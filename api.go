@@ -1,0 +1,135 @@
+package hdmaps
+
+import (
+	"math/rand"
+
+	"hdmaps/internal/apps/planning"
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+// Geometry primitives.
+type (
+	// Vec2 is a 2D point or displacement in metres.
+	Vec2 = geo.Vec2
+	// Vec3 is a 3D point or displacement in metres.
+	Vec3 = geo.Vec3
+	// Pose2 is a planar pose (position + heading).
+	Pose2 = geo.Pose2
+	// Polyline is a connected vertex chain (lane boundaries, centrelines).
+	Polyline = geo.Polyline
+	// AABB is an axis-aligned box.
+	AABB = geo.AABB
+	// LatLon is a WGS84 coordinate; use Projector to enter the local
+	// frame.
+	LatLon = geo.LatLon
+	// Projector converts WGS84 <-> local ENU metres.
+	Projector = geo.Projector
+)
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return geo.V2(x, y) }
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return geo.V3(x, y, z) }
+
+// NewProjector anchors a WGS84<->ENU projector at origin.
+func NewProjector(origin LatLon) *Projector { return geo.NewProjector(origin) }
+
+// The layered HD-map model.
+type (
+	// Map is the in-memory HD map (physical + relational layers with
+	// spatial indexes).
+	Map = core.Map
+	// ID identifies an element within a map.
+	ID = core.ID
+	// Class is the semantic class of a physical element.
+	Class = core.Class
+	// PointElement is a sign/light/pole.
+	PointElement = core.PointElement
+	// LineElement is a boundary/stop line/road edge.
+	LineElement = core.LineElement
+	// AreaElement is a crosswalk/intersection/parking polygon.
+	AreaElement = core.AreaElement
+	// Lanelet is the atomic drivable unit.
+	Lanelet = core.Lanelet
+	// LaneBundle groups parallel lanelets (HiDAM).
+	LaneBundle = core.LaneBundle
+	// RegulatoryElement ties devices and stop lines to lanelets.
+	RegulatoryElement = core.RegulatoryElement
+	// RouteGraph is the derived topological layer.
+	RouteGraph = core.RouteGraph
+	// Change is one entry of a geometric map diff.
+	Change = core.Change
+)
+
+// Selected element classes (see internal/core for the full set).
+const (
+	ClassLaneBoundary = core.ClassLaneBoundary
+	ClassRoadEdge     = core.ClassRoadEdge
+	ClassStopLine     = core.ClassStopLine
+	ClassCrosswalk    = core.ClassCrosswalk
+	ClassSign         = core.ClassSign
+	ClassTrafficLight = core.ClassTrafficLight
+	ClassPole         = core.ClassPole
+)
+
+// NewMap creates an empty HD map.
+func NewMap(name string) *Map { return core.NewMap(name) }
+
+// DiffMaps geometrically compares two maps.
+func DiffMaps(base, other *Map) []Change {
+	return core.Diff(base, other, core.DefaultDiffOptions())
+}
+
+// World generation.
+type (
+	// World is a ground-truth environment (map + terrain).
+	World = worldgen.World
+	// Highway is a generated corridor world.
+	Highway = worldgen.Highway
+	// Grid is a generated Manhattan city world.
+	Grid = worldgen.Grid
+	// HighwayParams configures GenerateHighway.
+	HighwayParams = worldgen.HighwayParams
+	// GridParams configures GenerateGrid.
+	GridParams = worldgen.GridParams
+)
+
+// GenerateHighway builds a highway corridor world.
+func GenerateHighway(p HighwayParams, rng *rand.Rand) (*Highway, error) {
+	return worldgen.GenerateHighway(p, rng)
+}
+
+// GenerateGrid builds a Manhattan grid world.
+func GenerateGrid(p GridParams, rng *rand.Rand) (*Grid, error) {
+	return worldgen.GenerateGrid(p, rng)
+}
+
+// Persistence.
+
+// EncodeBinary serialises a map to the compact vector format.
+func EncodeBinary(m *Map) []byte { return storage.EncodeBinary(m) }
+
+// DecodeBinary parses a map from the compact vector format.
+func DecodeBinary(data []byte) (*Map, error) { return storage.DecodeBinary(data) }
+
+// EncodeJSON serialises a map to the JSON interchange format.
+func EncodeJSON(m *Map) ([]byte, error) { return storage.EncodeJSON(m) }
+
+// DecodeJSON parses a map from the JSON interchange format.
+func DecodeJSON(data []byte) (*Map, error) { return storage.DecodeJSON(data) }
+
+// Routing.
+type (
+	// Route is a lane-level routing result.
+	Route = planning.Route
+)
+
+// FindRoute computes the minimum-cost lane-level route with the
+// bidirectional hybrid search.
+func FindRoute(g *RouteGraph, start, goal ID) (*Route, error) {
+	return planning.BHPS(g, start, goal)
+}

@@ -1,0 +1,87 @@
+package hdmaps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPublicFacade drives the re-exported surface end to end: world
+// generation, map queries, routing, diffing and persistence — the path a
+// downstream consumer of the library takes.
+func TestPublicFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	city, err := GenerateGrid(GridParams{Rows: 3, Cols: 3, Lanes: 2, TrafficLights: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := city.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("generated map invalid: %v", issues[0])
+	}
+	graph, err := city.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := graph.Nodes()
+	route, err := FindRoute(graph, nodes[0], nodes[len(nodes)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Cost <= 0 || len(route.Lanelets) < 2 {
+		t.Fatalf("route = %+v", route)
+	}
+	// Persistence round trips through both codecs.
+	bin := EncodeBinary(city.Map)
+	fromBin, err := DecodeBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffMaps(city.Map, fromBin); len(diffs) != 0 {
+		t.Fatalf("binary round trip diffs: %d", len(diffs))
+	}
+	js, err := EncodeJSON(city.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJS, err := DecodeJSON(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffMaps(city.Map, fromJS); len(diffs) != 0 {
+		t.Fatalf("json round trip diffs: %d", len(diffs))
+	}
+	// Geometry helpers.
+	if V2(3, 4).Norm() != 5 {
+		t.Error("V2 wrong")
+	}
+	if V3(1, 2, 2).Norm() != 3 {
+		t.Error("V3 wrong")
+	}
+	pr := NewProjector(LatLon{Lat: 33.97, Lon: -117.33})
+	ll := pr.ToLatLon(V2(100, 200))
+	back := pr.ToENU(ll)
+	if back.Dist(V2(100, 200)) > 1e-6 {
+		t.Errorf("projector round trip = %v", back)
+	}
+	// Highway generation + map matching.
+	hw, err := GenerateHighway(HighwayParams{LengthM: 500, Lanes: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, ok := hw.Map.MatchLanelet(hw.RefLine.PoseAt(250), 10)
+	if !ok {
+		t.Fatal("MatchLanelet failed on generated highway")
+	}
+	if lane.SpeedLimit <= 0 {
+		t.Error("lane speed limit missing")
+	}
+	// An empty map behaves.
+	empty := NewMap("empty")
+	if empty.NumElements() != 0 {
+		t.Error("empty map not empty")
+	}
+	if d := DiffMaps(empty, empty); len(d) != 0 {
+		t.Error("self-diff nonzero")
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,55 @@
+// Command mapbench regenerates the survey's tables and figures: it runs
+// the experiments catalogued in DESIGN.md (Table I, Fig 1, Fig 2 and the
+// E1–E20 headline results) and prints paper-quoted values next to
+// measured ones.
+//
+// Usage:
+//
+//	mapbench                 # run everything
+//	mapbench -experiment E6  # run one experiment
+//	mapbench -seed 7         # change the deterministic seed
+//	mapbench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hdmaps/internal/experiments"
+)
+
+func main() {
+	var (
+		id   = flag.String("experiment", "", "run a single experiment by ID (e.g. F2, E6)")
+		seed = flag.Int64("seed", 42, "deterministic seed")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	if *id != "" {
+		run(*id, *seed)
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e.ID, *seed)
+	}
+}
+
+func run(id string, seed int64) {
+	start := time.Now()
+	rep, err := experiments.Run(id, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,38 @@
+// Package hdmaps is an ecosystem library for High-Definition (HD) maps,
+// reproducing the systems surveyed in "On the Ecosystem of
+// High-Definition (HD) Maps" (ICDE 2024) as one coherent, testable Go
+// codebase.
+//
+// The library is organised along the survey's Table I taxonomy:
+//
+//   - Map modeling and design: a layered data model (physical /
+//     relational / topological, à la Lanelet2 + HiDAM lane bundles) in
+//     internal/core, the HDMI-Loc 8-bit semantic raster in
+//     internal/raster, and compact vector / raw / JSON codecs with a
+//     Morton-tiled, layer-decoupled store in internal/storage.
+//   - Map creation: LiDAR mapping pipelines (internal/creation/lidarmap),
+//     crowdsourced probe-data mapping with corrective feedback
+//     (internal/creation/crowd), and aerial+ground / smartphone fusion
+//     (internal/creation/fusion).
+//   - Map maintenance and update: SLAMCU DBN change detection
+//     (internal/update/slamcu), fleet-based boosted change classification
+//     (internal/update/crowdupdate), and incremental Kalman fusion with
+//     time decay plus RSU pre-aggregation (internal/update/incremental).
+//   - Applications: localization (internal/apps/localization), 6-DoF pose
+//     estimation (internal/apps/pose), lane-level planning and predictive
+//     cruise control (internal/apps/planning[.../pcc]), map-prior
+//     perception (internal/apps/perception), and indoor ATVs
+//     (internal/apps/atv).
+//
+// Substrates — geometry, spatial indexes, filters, point-cloud
+// processing, sensor and world simulation — live in internal/geo,
+// internal/spatial, internal/filters, internal/pointcloud,
+// internal/sensors, internal/sim and internal/worldgen.
+//
+// This root package re-exports the everyday surface (the map model,
+// world generation, persistence, routing) so that typical programs need
+// a single import; specialised pipelines are imported directly. The
+// runnable entry points are cmd/hdmapctl (toolbox CLI), cmd/mapbench
+// (regenerates every table and figure of the survey) and the programs
+// under examples/.
+package hdmaps

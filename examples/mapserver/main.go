@@ -1,0 +1,116 @@
+// Mapserver: the distribution story. A central tile server holds a
+// generated city split into Morton-keyed tiles; a vehicle pulls just the
+// tiles covering its region and routes on the stitched map; an update
+// pipeline pushes a patched tile without touching the rest; and snapshot
+// analytics quantify what changed — the data-management side of the HD
+// map ecosystem (survey §IV: "improvements are needed for efficient data
+// management").
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+
+	"hdmaps"
+
+	"hdmaps/internal/apps/analytics"
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(31))
+
+	// Generate a city (HDMapGen hierarchical generative model).
+	city, err := worldgen.GenerateHDMapGen(worldgen.HDMapGenParams{
+		Nodes: 12, Extent: 1500, Lanes: 2,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated city: %d key nodes, %d road edges, %.1f lane-km\n",
+		len(city.Nodes), len(city.Edges), city.Map.ComputeStats().TotalLaneKm)
+
+	// Stand up the central tile server (in-process HTTP for the demo;
+	// `hdmapctl serve` runs the same handler standalone).
+	store := storage.NewMemStore()
+	srv := httptest.NewServer(storage.NewTileServer(store))
+	defer srv.Close()
+	tiler := storage.Tiler{TileSize: 500}
+	nTiles, err := tiler.SaveMap(store, city.Map, "base")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %d tiles to %s\n", nTiles, srv.URL)
+
+	// A vehicle pulls only its region and routes on it.
+	client := &storage.Client{Base: srv.URL}
+	region, err := client.FetchRegion("base", 0, 0, 2, 2, "onboard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vehicle pulled region: %d elements\n", region.NumElements())
+	graph, err := region.BuildRouteGraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := graph.Nodes()
+	if len(nodes) >= 2 {
+		if route, err := hdmaps.FindRoute(graph, nodes[0], nodes[len(nodes)-1]); err == nil {
+			fmt.Printf("routed on the pulled region: %d lanelets, %.0f m-eq\n",
+				len(route.Lanelets), route.Cost)
+		} else {
+			fmt.Printf("region route: %v (region edge effects are expected)\n", err)
+		}
+	}
+
+	// The world changes; an updater patches ONE tile.
+	before := city.Map.Clone()
+	muts := worldgen.ApplyConstruction(city.World, worldgen.ConstructionSite{
+		Center: city.Nodes[0].P, Radius: 300,
+		RemoveProb: 0.5, AddCount: 3,
+	}, rng)
+	fmt.Printf("world changed: %d mutations near node 0\n", len(muts))
+	// Re-split and push only tiles that differ.
+	newTiles := tiler.Split(city.Map, "base")
+	pushed := 0
+	for key, tm := range newTiles {
+		data := hdmaps.EncodeBinary(tm)
+		old, err := client.GetTile(key)
+		if err == nil && string(old) == string(data) {
+			continue
+		}
+		if err := client.PutTile(key, data); err != nil {
+			log.Fatal(err)
+		}
+		pushed++
+	}
+	fmt.Printf("incremental update pushed %d of %d tiles\n", pushed, len(newTiles))
+
+	// Snapshot analytics over the change.
+	series := &analytics.Series{}
+	if err := series.Add(1, before); err != nil {
+		log.Fatal(err)
+	}
+	if err := series.Add(2, city.Map); err != nil {
+		log.Fatal(err)
+	}
+	growth, err := analytics.AnalyzeGrowth(series)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytics: +%d/-%d elements across the epoch\n",
+		growth.TotalAdded, growth.TotalRemoved)
+	hot := analytics.ChangeHotspots(before, city.Map, 300)
+	if len(hot) > 0 {
+		cell := hot[0].Cell
+		center := geo.V2(float64(cell[0])*300+150, float64(cell[1])*300+150)
+		fmt.Printf("hottest change cell: %v (%d changes) — construction near %v at %v\n",
+			cell, hot[0].Changes, city.Nodes[0].P, center)
+	}
+	_ = core.NilID
+}

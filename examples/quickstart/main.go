@@ -1,0 +1,100 @@
+// Quickstart: build a small HD map by hand through the public API, query
+// it, persist it, and compute a lane-level route.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdmaps"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+func main() {
+	// 1. Build a two-lane, two-segment road by hand.
+	m := hdmaps.NewMap("quickstart")
+	mkLane := func(y, x0, x1 float64) hdmaps.ID {
+		id, err := m.AddLaneFromCenterline(core.LaneSpec{
+			Centerline: geo.Polyline{geo.V2(x0, y), geo.V2(x1, y)},
+			Width:      3.5,
+			Type:       core.LaneDriving,
+			SpeedLimit: 13.9,
+			Source:     "quickstart",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	a1, a2 := mkLane(0, 0, 200), mkLane(0, 200, 400)
+	b1, b2 := mkLane(3.5, 0, 200), mkLane(3.5, 200, 400)
+	for _, pair := range [][2]hdmaps.ID{{a1, a2}, {b1, b2}} {
+		if err := m.Connect(pair[0], pair[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := m.SetNeighbors(b1, a1, true); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.SetNeighbors(b2, a2, true); err != nil {
+		log.Fatal(err)
+	}
+
+	// A stop sign with its regulatory element.
+	sign := m.AddPoint(hdmaps.PointElement{
+		Class: hdmaps.ClassSign,
+		Pos:   hdmaps.V3(390, -4, 2.2),
+		Attr:  map[string]string{"type": "stop"},
+	})
+	stop := m.AddLine(hdmaps.LineElement{
+		Class:    hdmaps.ClassStopLine,
+		Geometry: geo.Polyline{geo.V2(392, -1.75), geo.V2(392, 1.75)},
+	})
+	reg := m.AddRegulatory(hdmaps.RegulatoryElement{
+		Kind: core.RegStop, Devices: []hdmaps.ID{sign}, StopLine: stop,
+	})
+	if err := m.AttachRegulatory(a2, reg); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Validate and inspect.
+	if issues := m.Validate(); len(issues) > 0 {
+		log.Fatalf("map invalid: %v", issues)
+	}
+	stats := m.ComputeStats()
+	fmt.Printf("map: %d lanelets, %.2f lane-km, %d signs\n",
+		stats.Lanelets, stats.TotalLaneKm, stats.Points)
+
+	// 3. Spatial queries: what is near the vehicle?
+	pose := geo.NewPose2(100, 1, 0)
+	lane, ok := m.MatchLanelet(pose, 5)
+	if !ok {
+		log.Fatal("no lane matched")
+	}
+	fmt.Printf("vehicle at %v drives lanelet %d (limit %.0f km/h)\n",
+		pose.P, lane.ID, lane.SpeedLimit*3.6)
+
+	// 4. Route from lane b1 to lane a2 (one lane change + one segment).
+	graph, err := m.BuildRouteGraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	route, err := hdmaps.FindRoute(graph, b1, a2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route %v: cost %.0f m-eq, %d lane changes\n",
+		route.Lanelets, route.Cost, route.LaneChanges(graph))
+
+	// 5. Persist and reload.
+	data := hdmaps.EncodeBinary(m)
+	back, err := hdmaps.DecodeBinary(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip: %d bytes, %d elements preserved, 0 diffs: %v\n",
+		len(data), back.NumElements(),
+		len(hdmaps.DiffMaps(m, back)) == 0)
+}

@@ -1,0 +1,3 @@
+module hdmaps
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package analytics implements the survey's closing direction (§IV):
+// HD maps as a high-resolution geo-data source beyond driving. Given a
+// time series of map snapshots it quantifies urban development — per-class
+// element growth, lane-kilometre expansion, and change hotspots — the
+// "studying urban development ... through analyzing data from different
+// time snapshots" use case.
+package analytics
+
+import (
+	"errors"
+	"sort"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// ErrNoSnapshots is returned for empty or single-snapshot series.
+var ErrNoSnapshots = errors.New("analytics: need at least two snapshots")
+
+// Series is a time-ordered sequence of map snapshots of one region.
+type Series struct {
+	Times []uint64 // logical times (e.g. survey epochs)
+	Maps  []*core.Map
+}
+
+// Add appends a snapshot; times must be non-decreasing.
+func (s *Series) Add(t uint64, m *core.Map) error {
+	if len(s.Times) > 0 && t < s.Times[len(s.Times)-1] {
+		return errors.New("analytics: snapshots out of order")
+	}
+	s.Times = append(s.Times, t)
+	s.Maps = append(s.Maps, m)
+	return nil
+}
+
+// ClassTrend is the count evolution of one element class.
+type ClassTrend struct {
+	Class  core.Class
+	Counts []int // per snapshot
+	// Added/Removed per interval (len = snapshots-1), from geometric
+	// diffing (IDs are not assumed stable across surveys).
+	Added, Removed []int
+}
+
+// Growth summarises a series.
+type Growth struct {
+	Trends []ClassTrend
+	// LaneKm per snapshot.
+	LaneKm []float64
+	// TotalAdded/TotalRemoved across all intervals and classes.
+	TotalAdded, TotalRemoved int
+}
+
+// AnalyzeGrowth computes per-class trends across the series.
+func AnalyzeGrowth(s *Series) (*Growth, error) {
+	if len(s.Maps) < 2 {
+		return nil, ErrNoSnapshots
+	}
+	classes := collectClasses(s)
+	g := &Growth{}
+	for _, class := range classes {
+		tr := ClassTrend{Class: class}
+		for _, m := range s.Maps {
+			tr.Counts = append(tr.Counts, countClass(m, class))
+		}
+		g.Trends = append(g.Trends, tr)
+	}
+	// Interval diffs.
+	for i := 1; i < len(s.Maps); i++ {
+		changes := core.Diff(s.Maps[i-1], s.Maps[i], core.DefaultDiffOptions())
+		perClassAdd := map[core.Class]int{}
+		perClassRem := map[core.Class]int{}
+		for _, c := range changes {
+			switch c.Kind {
+			case core.ChangeAdded:
+				perClassAdd[c.Class]++
+				g.TotalAdded++
+			case core.ChangeRemoved:
+				perClassRem[c.Class]++
+				g.TotalRemoved++
+			}
+		}
+		for ti := range g.Trends {
+			g.Trends[ti].Added = append(g.Trends[ti].Added, perClassAdd[g.Trends[ti].Class])
+			g.Trends[ti].Removed = append(g.Trends[ti].Removed, perClassRem[g.Trends[ti].Class])
+		}
+	}
+	for _, m := range s.Maps {
+		g.LaneKm = append(g.LaneKm, m.ComputeStats().TotalLaneKm)
+	}
+	return g, nil
+}
+
+func collectClasses(s *Series) []core.Class {
+	seen := map[core.Class]bool{}
+	for _, m := range s.Maps {
+		for _, id := range m.PointIDs() {
+			p, _ := m.Point(id)
+			seen[p.Class] = true
+		}
+		for _, id := range m.LineIDs() {
+			l, _ := m.Line(id)
+			seen[l.Class] = true
+		}
+	}
+	out := make([]core.Class, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func countClass(m *core.Map, class core.Class) int {
+	n := 0
+	for _, id := range m.PointIDs() {
+		p, _ := m.Point(id)
+		if p.Class == class {
+			n++
+		}
+	}
+	for _, id := range m.LineIDs() {
+		l, _ := m.Line(id)
+		if l.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// Hotspot is one cell of the change-density heatmap.
+type Hotspot struct {
+	Cell    [2]int
+	Changes int
+}
+
+// ChangeHotspots bins the geometric changes between two snapshots into
+// cells of the given size and returns the cells sorted by change count —
+// where the city is being rebuilt.
+func ChangeHotspots(before, after *core.Map, cellSize float64) []Hotspot {
+	if cellSize <= 0 {
+		cellSize = 250
+	}
+	counts := map[[2]int]int{}
+	for _, c := range core.Diff(before, after, core.DefaultDiffOptions()) {
+		cell := [2]int{
+			int(floorDiv(c.Where.X, cellSize)),
+			int(floorDiv(c.Where.Y, cellSize)),
+		}
+		counts[cell]++
+	}
+	out := make([]Hotspot, 0, len(counts))
+	for cell, n := range counts {
+		out = append(out, Hotspot{Cell: cell, Changes: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Changes != out[j].Changes {
+			return out[i].Changes > out[j].Changes
+		}
+		if out[i].Cell[0] != out[j].Cell[0] {
+			return out[i].Cell[0] < out[j].Cell[0]
+		}
+		return out[i].Cell[1] < out[j].Cell[1]
+	})
+	return out
+}
+
+func floorDiv(v, cell float64) float64 {
+	q := v / cell
+	f := float64(int(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}
+
+// CoverageKm2 estimates the mapped area of a snapshot from its extent —
+// the coarse "how much of the world is mapped" metric the survey's
+// cost discussion turns on.
+func CoverageKm2(m *core.Map) float64 {
+	b := m.Bounds()
+	if b.IsEmpty() {
+		return 0
+	}
+	return b.Area() / 1e6
+}
+
+var _ = geo.Vec2{} // geo types appear in signatures via core

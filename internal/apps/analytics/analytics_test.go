@@ -1,0 +1,122 @@
+package analytics
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+// growingCity returns snapshots of an expanding grid city.
+func growingCity(t *testing.T) *Series {
+	t.Helper()
+	s := &Series{}
+	for i, size := range []int{2, 3, 4} {
+		g, err := worldgen.GenerateGrid(worldgen.GridParams{
+			Rows: size, Cols: size, Block: 150, Lanes: 1,
+		}, rand.New(rand.NewSource(811)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(uint64(i+1), g.Map); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAnalyzeGrowth(t *testing.T) {
+	s := growingCity(t)
+	g, err := AnalyzeGrowth(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane kilometres grow monotonically with the city.
+	for i := 1; i < len(g.LaneKm); i++ {
+		if g.LaneKm[i] <= g.LaneKm[i-1] {
+			t.Errorf("LaneKm not growing: %v", g.LaneKm)
+		}
+	}
+	// Boundary counts grow.
+	var boundaryTrend *ClassTrend
+	for i := range g.Trends {
+		if g.Trends[i].Class == core.ClassLaneBoundary {
+			boundaryTrend = &g.Trends[i]
+		}
+	}
+	if boundaryTrend == nil {
+		t.Fatal("no lane-boundary trend")
+	}
+	for i := 1; i < len(boundaryTrend.Counts); i++ {
+		if boundaryTrend.Counts[i] <= boundaryTrend.Counts[i-1] {
+			t.Errorf("boundary counts not growing: %v", boundaryTrend.Counts)
+		}
+	}
+	if g.TotalAdded == 0 {
+		t.Error("no additions detected across a growing city")
+	}
+	// Intervals have the right length.
+	if len(boundaryTrend.Added) != 2 || len(boundaryTrend.Removed) != 2 {
+		t.Errorf("interval lengths: %d/%d", len(boundaryTrend.Added), len(boundaryTrend.Removed))
+	}
+}
+
+func TestAnalyzeGrowthErrors(t *testing.T) {
+	s := &Series{}
+	if _, err := AnalyzeGrowth(s); !errors.Is(err, ErrNoSnapshots) {
+		t.Errorf("empty err = %v", err)
+	}
+	m := core.NewMap("x")
+	if err := s.Add(5, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(3, m); err == nil {
+		t.Error("out-of-order snapshot accepted")
+	}
+}
+
+func TestChangeHotspots(t *testing.T) {
+	rng := rand.New(rand.NewSource(812))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 2000, Lanes: 2, SignSpacing: 60,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := hw.Map.Clone()
+	// Construction concentrated around x=1500.
+	worldgen.ApplyConstruction(hw.World, worldgen.ConstructionSite{
+		Center: geo.V2(1500, -5), Radius: 200,
+		RemoveProb: 0.6, AddCount: 5,
+	}, rng)
+	hot := ChangeHotspots(before, hw.Map, 250)
+	if len(hot) == 0 {
+		t.Fatal("no hotspots")
+	}
+	// The hottest cell must cover x≈1500: cell index 1500/250 = 6 ± 1.
+	top := hot[0]
+	if top.Cell[0] < 5 || top.Cell[0] > 7 {
+		t.Errorf("hottest cell = %v, want near x-cell 6", top.Cell)
+	}
+	// Sorted by change count.
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Changes > hot[i-1].Changes {
+			t.Error("hotspots not sorted")
+		}
+	}
+}
+
+func TestCoverageKm2(t *testing.T) {
+	m := core.NewMap("x")
+	if CoverageKm2(m) != 0 {
+		t.Error("empty map coverage != 0")
+	}
+	m.AddLine(core.LineElement{Class: core.ClassRoadEdge,
+		Geometry: geo.Polyline{geo.V2(0, 0), geo.V2(1000, 2000)}})
+	if got := CoverageKm2(m); got != 2 {
+		t.Errorf("coverage = %v km², want 2", got)
+	}
+}

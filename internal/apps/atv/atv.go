@@ -1,0 +1,301 @@
+// Package atv implements the indoor Automated Transfer Vehicle pipeline
+// of Tas et al. [10], [11]: a factory floor is mapped as an occupancy
+// grid by a range-sensing ATV while a sign detector compares what it
+// sees against the on-board HD map; new or missing safety signs are
+// batched as map updates.
+package atv
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/raster"
+	"hdmaps/internal/update/incremental"
+)
+
+// ErrBadFactory is returned for degenerate factory parameters.
+var ErrBadFactory = errors.New("atv: bad factory parameters")
+
+// Factory is an indoor ground-truth world: wall segments (shelving
+// aisles + outer hull) and safety signs, stored in the same HD-map model
+// the outdoor pipelines use (walls are ClassBarrier lines).
+type Factory struct {
+	Map    *core.Map
+	Bounds geo.AABB
+	// Aisles is the number of shelving rows.
+	Aisles int
+}
+
+// FactoryParams configures GenerateFactory.
+type FactoryParams struct {
+	// Width/Height of the hall in metres (defaults 60×40).
+	Width, Height float64
+	// Aisles is the number of shelving rows (default 4).
+	Aisles int
+	// SignsPerAisle places safety signs at shelving ends (default 2).
+	SignsPerAisle int
+}
+
+func (p *FactoryParams) defaults() {
+	if p.Width <= 0 {
+		p.Width = 60
+	}
+	if p.Height <= 0 {
+		p.Height = 40
+	}
+	if p.Aisles <= 0 {
+		p.Aisles = 4
+	}
+	if p.SignsPerAisle <= 0 {
+		p.SignsPerAisle = 2
+	}
+}
+
+// GenerateFactory builds the hall.
+func GenerateFactory(p FactoryParams, rng *rand.Rand) (*Factory, error) {
+	p.defaults()
+	if p.Width < 20 || p.Height < 15 {
+		return nil, ErrBadFactory
+	}
+	m := core.NewMap("factory")
+	wall := func(a, b geo.Vec2) {
+		m.AddLine(core.LineElement{
+			Class:    core.ClassBarrier,
+			Geometry: geo.Polyline{a, b},
+			Meta:     core.Meta{Confidence: 1, Source: "factory"},
+		})
+	}
+	// Outer hull.
+	w, h := p.Width, p.Height
+	wall(geo.V2(0, 0), geo.V2(w, 0))
+	wall(geo.V2(w, 0), geo.V2(w, h))
+	wall(geo.V2(w, h), geo.V2(0, h))
+	wall(geo.V2(0, h), geo.V2(0, 0))
+	// Shelving rows: horizontal walls with aisle gaps at both ends.
+	gap := 4.0
+	rowSpacing := h / float64(p.Aisles+1)
+	for a := 1; a <= p.Aisles; a++ {
+		y := rowSpacing * float64(a)
+		wall(geo.V2(gap, y), geo.V2(w-gap, y))
+		// Safety signs at shelving ends.
+		for s := 0; s < p.SignsPerAisle; s++ {
+			x := gap
+			if s%2 == 1 {
+				x = w - gap
+			}
+			m.AddPoint(core.PointElement{
+				Class: core.ClassSign,
+				Pos:   geo.V3(x, y+0.5, 1.8),
+				Attr:  map[string]string{"type": "safety"},
+				Meta:  core.Meta{Confidence: 1, Source: "factory"},
+			})
+		}
+	}
+	m.FreezeIndexes()
+	return &Factory{
+		Map:    m,
+		Bounds: geo.NewAABB(geo.V2(0, 0), geo.V2(w, h)),
+		Aisles: p.Aisles,
+	}, nil
+}
+
+// wallSegments extracts all wall segments for ray casting.
+func (f *Factory) wallSegments() [][2]geo.Vec2 {
+	var segs [][2]geo.Vec2
+	for _, id := range f.Map.LineIDs() {
+		l, _ := f.Map.Line(id)
+		if l.Class != core.ClassBarrier {
+			continue
+		}
+		for i := 1; i < len(l.Geometry); i++ {
+			segs = append(segs, [2]geo.Vec2{l.Geometry[i-1], l.Geometry[i]})
+		}
+	}
+	return segs
+}
+
+// CastRay returns the distance to the nearest wall along the ray, capped
+// at maxRange; hit reports whether a wall was struck.
+func (f *Factory) CastRay(origin geo.Vec2, angle, maxRange float64) (dist float64, hit bool) {
+	dir := geo.V2(math.Cos(angle), math.Sin(angle))
+	end := origin.Add(dir.Scale(maxRange))
+	best := maxRange
+	found := false
+	for _, s := range f.wallSegments() {
+		if p, ok := geo.SegmentIntersect(origin, end, s[0], s[1]); ok {
+			if d := p.Dist(origin); d < best {
+				best = d
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// PatrolConfig tunes an ATV patrol run.
+type PatrolConfig struct {
+	// Rays per scan (default 90).
+	Rays int
+	// MaxRange of the range sensor (default 20 m).
+	MaxRange float64
+	// RangeNoise σ (default 0.03 m).
+	RangeNoise float64
+	// SignRange/SignTPR of the visual sign detector (defaults 8 m, 0.9).
+	SignRange, SignTPR float64
+	// GridRes of the occupancy map (default 0.25 m).
+	GridRes float64
+	// StepLen between scan poses along the patrol loop (default 1 m).
+	StepLen float64
+}
+
+func (c *PatrolConfig) defaults() {
+	if c.Rays <= 0 {
+		c.Rays = 90
+	}
+	if c.MaxRange <= 0 {
+		c.MaxRange = 20
+	}
+	if c.RangeNoise == 0 {
+		c.RangeNoise = 0.03
+	}
+	if c.SignRange <= 0 {
+		c.SignRange = 8
+	}
+	if c.SignTPR == 0 {
+		c.SignTPR = 0.9
+	}
+	if c.GridRes <= 0 {
+		c.GridRes = 0.25
+	}
+	if c.StepLen <= 0 {
+		c.StepLen = 1
+	}
+}
+
+// PatrolResult reports one patrol.
+type PatrolResult struct {
+	// Grid is the occupancy map built during the patrol.
+	Grid *raster.Occupancy
+	// UpdatedMap is the stale on-board map with confirmed sign changes
+	// applied.
+	UpdatedMap *core.Map
+	// Added / Removed count applied sign updates.
+	Added, Removed int
+	// Coverage is the known fraction of the grid after the patrol.
+	Coverage float64
+}
+
+// PatrolLoop returns a rectangular patrol route through the hall's open
+// perimeter corridor.
+func (f *Factory) PatrolLoop(margin float64) geo.Polyline {
+	if margin <= 0 {
+		margin = 2
+	}
+	w := f.Bounds.Max.X
+	h := f.Bounds.Max.Y
+	return geo.Polyline{
+		geo.V2(margin, margin), geo.V2(w-margin, margin),
+		geo.V2(w-margin, h-margin), geo.V2(margin, h-margin),
+		geo.V2(margin, margin),
+	}
+}
+
+// Patrol drives the loop with a range sensor and sign detector: the grid
+// is built from range returns (visual-SLAM substitute at the interface
+// level), signs are detected, matched against the stale on-board map,
+// and confirmed differences applied via the incremental fuser.
+func Patrol(f *Factory, onboard *core.Map, route geo.Polyline, cfg PatrolConfig, rng *rand.Rand) (*PatrolResult, error) {
+	cfg.defaults()
+	if len(route) < 2 {
+		return nil, ErrBadFactory
+	}
+	// The grid extends one metre beyond the hull so wall hits (whose
+	// noise straddles the wall plane) always land in a valid cell.
+	grid, err := raster.NewOccupancy(f.Bounds.Expand(1), cfg.GridRes)
+	if err != nil {
+		return nil, err
+	}
+	fuser, err := incremental.NewFuser(onboard, incremental.Config{
+		MatchRadius: 1.5, PromoteObs: 3, DecayHalfLife: 3, DemoteConf: 0.2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	L := route.Length()
+	stamp := uint64(0)
+	for s := 0.0; s <= L; s += cfg.StepLen {
+		stamp++
+		pose := route.PoseAt(s)
+		// Range scan -> occupancy update (per-scan deduplicated).
+		rays := make([]raster.Ray, 0, cfg.Rays)
+		for r := 0; r < cfg.Rays; r++ {
+			a := float64(r) / float64(cfg.Rays) * 2 * math.Pi
+			d, hit := f.CastRay(pose.P, a, cfg.MaxRange)
+			d += rng.NormFloat64() * cfg.RangeNoise
+			if d < 0.1 {
+				d = 0.1
+			}
+			end := pose.P.Add(geo.V2(math.Cos(a), math.Sin(a)).Scale(d))
+			rays = append(rays, raster.Ray{Hit: end, IsHit: hit})
+		}
+		grid.IntegrateScan(pose.P, rays)
+		// Sign detection against the TRUE factory (line of sight
+		// required: a wall between the ATV and the sign occludes it).
+		var obs []incremental.Observation
+		view := geo.NewAABB(pose.P, pose.P).Expand(cfg.SignRange)
+		for _, sign := range f.Map.PointsIn(view, core.ClassSign) {
+			d := sign.Pos.XY().Dist(pose.P)
+			if d > cfg.SignRange {
+				continue
+			}
+			if occluded(f, pose.P, sign.Pos.XY()) {
+				continue
+			}
+			if rng.Float64() > cfg.SignTPR {
+				continue
+			}
+			obs = append(obs, incremental.Observation{
+				Class: core.ClassSign,
+				P: sign.Pos.XY().Add(geo.V2(
+					rng.NormFloat64()*0.1, rng.NormFloat64()*0.1)),
+				PosVar: 0.01, Stamp: stamp,
+			})
+		}
+		// The decay view must only cover what the ATV can actually see:
+		// restrict to unoccluded mapped signs by passing a tight view.
+		fuser.Observe(obs, visibleRegion(f, pose.P, cfg.SignRange), stamp)
+	}
+	res := &PatrolResult{
+		Grid:       grid,
+		UpdatedMap: onboard,
+		Added:      fuser.Promoted,
+		Removed:    fuser.Removed,
+		Coverage:   grid.KnownFraction(),
+	}
+	return res, nil
+}
+
+// occluded reports whether a wall blocks the segment from a to b.
+func occluded(f *Factory, a, b geo.Vec2) bool {
+	for _, s := range f.wallSegments() {
+		if p, ok := geo.SegmentIntersect(a, b, s[0], s[1]); ok {
+			// Touching at the target point does not occlude.
+			if p.Dist(b) > 0.3 && p.Dist(a) > 0.3 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// visibleRegion approximates the sensing region around p: a box small
+// enough that signs hidden behind walls are unlikely to fall inside it,
+// so only confidently-visible mapped signs decay when unseen.
+func visibleRegion(f *Factory, p geo.Vec2, r float64) geo.AABB {
+	// Conservative: half the detector range, so only confidently-visible
+	// mapped signs decay when unseen.
+	return geo.NewAABB(p, p).Expand(r * 0.5)
+}

@@ -1,0 +1,165 @@
+package atv
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+func TestGenerateFactory(t *testing.T) {
+	rng := rand.New(rand.NewSource(381))
+	f, err := GenerateFactory(FactoryParams{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := f.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("invalid factory map: %v", issues[0])
+	}
+	_, lines, _, _, _, _ := f.Map.Counts()
+	if lines < 8 { // hull + aisles
+		t.Errorf("walls = %d", lines)
+	}
+	signs := f.Map.PointsIn(f.Bounds.Expand(1), core.ClassSign)
+	if len(signs) != 8 { // 4 aisles × 2
+		t.Errorf("signs = %d", len(signs))
+	}
+	if _, err := GenerateFactory(FactoryParams{Width: 5, Height: 5}, rng); !errors.Is(err, ErrBadFactory) {
+		t.Errorf("tiny factory err = %v", err)
+	}
+}
+
+func TestCastRay(t *testing.T) {
+	rng := rand.New(rand.NewSource(382))
+	f, err := GenerateFactory(FactoryParams{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the centre of the bottom corridor straight down: wall at y=0.
+	d, hit := f.CastRay(geo.V2(30, 2), -math.Pi/2, 20)
+	if !hit || math.Abs(d-2) > 1e-9 {
+		t.Errorf("ray down: d=%v hit=%v", d, hit)
+	}
+	// Straight up hits the first shelving row at y=8.
+	d, hit = f.CastRay(geo.V2(30, 2), math.Pi/2, 20)
+	if !hit || math.Abs(d-6) > 1e-9 {
+		t.Errorf("ray up: d=%v hit=%v", d, hit)
+	}
+	// Capped at max range when nothing is near enough.
+	d, hit = f.CastRay(geo.V2(30, 2), 0, 5)
+	if hit || d != 5 {
+		t.Errorf("capped ray: d=%v hit=%v", d, hit)
+	}
+}
+
+func TestPatrolBuildsGridAndKeepsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(383))
+	f, err := GenerateFactory(FactoryParams{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onboard := f.Map.Clone()
+	res, err := Patrol(f, onboard, f.PatrolLoop(2), PatrolConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage < 0.2 {
+		t.Errorf("coverage = %v", res.Coverage)
+	}
+	// Walls appear occupied at sampled positions (the wall sits on the
+	// grid boundary, so check the first two cell rows).
+	occupiedHits := 0
+	for x := 5.0; x < 55; x += 5 {
+		best := 0.0
+		for _, y := range []float64{-0.1, 0.1, 0.3} {
+			if p := res.Grid.ProbAt(geo.V2(x, y)); p > best {
+				best = p
+			}
+		}
+		if best > 0.6 {
+			occupiedHits++
+		}
+	}
+	if occupiedHits < 5 {
+		t.Errorf("hull wall occupied at only %d/10 samples", occupiedHits)
+	}
+	// Corridor is free.
+	if p := res.Grid.ProbAt(geo.V2(30, 2)); p > 0.3 {
+		t.Errorf("corridor occupancy = %v", p)
+	}
+	// Unchanged world: no spurious updates.
+	if res.Added != 0 || res.Removed != 0 {
+		t.Errorf("false updates: added=%d removed=%d", res.Added, res.Removed)
+	}
+}
+
+func TestPatrolDetectsSignChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(384))
+	f, err := GenerateFactory(FactoryParams{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onboard := f.Map.Clone()
+	// Mutate the world: remove one visible sign (left end of aisle 1)
+	// and add a new one on the patrol corridor.
+	var removedPos geo.Vec2
+	for _, s := range f.Map.PointsIn(f.Bounds, core.ClassSign) {
+		if s.Pos.X < 10 {
+			removedPos = s.Pos.XY()
+			if err := f.Map.RemovePoint(s.ID); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	newPos := geo.V2(30, 3)
+	f.Map.AddPoint(core.PointElement{
+		Class: core.ClassSign, Pos: newPos.Vec3(1.8),
+		Attr: map[string]string{"type": "safety"},
+	})
+	f.Map.FreezeIndexes()
+
+	// Several patrol laps (multiple passes let beliefs converge); updates
+	// accumulate across laps because the on-board map is patched in
+	// place.
+	loop := f.PatrolLoop(2)
+	var totalAdded, totalRemoved int
+	for lap := 0; lap < 3; lap++ {
+		res, err := Patrol(f, onboard, loop, PatrolConfig{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalAdded += res.Added
+		totalRemoved += res.Removed
+	}
+	if totalAdded == 0 {
+		t.Error("new sign not added to the map")
+	}
+	if totalRemoved == 0 && onboardHasSignNear(onboard, removedPos) {
+		t.Error("missing sign not removed from the map")
+	}
+	// Added sign is near the true new sign.
+	if !onboardHasSignNear(onboard, newPos) {
+		t.Error("added sign not near the true position")
+	}
+}
+
+func onboardHasSignNear(m *core.Map, p geo.Vec2) bool {
+	for _, s := range m.PointsIn(geo.NewAABB(p, p).Expand(1.5), core.ClassSign) {
+		if s.Pos.XY().Dist(p) < 1.5 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPatrolErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(385))
+	f, _ := GenerateFactory(FactoryParams{}, rng)
+	if _, err := Patrol(f, f.Map.Clone(), nil, PatrolConfig{}, rng); !errors.Is(err, ErrBadFactory) {
+		t.Errorf("nil route err = %v", err)
+	}
+}

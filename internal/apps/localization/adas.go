@@ -1,0 +1,257 @@
+package localization
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/filters"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/worldgen"
+)
+
+// ADASConfig tunes the Shin et al. [54] multi-sensor fusion localizer.
+type ADASConfig struct {
+	// GateChi2 is the Mahalanobis gate for landmark updates (default
+	// 9.21, the 99% χ² quantile with 2 DoF) — the "verification gates" of
+	// the paper.
+	GateChi2 float64
+	// LaneSigma is the lateral lane-correction σ (default 0.25 m).
+	LaneSigma float64
+	// LandmarkSigma is the landmark position σ (default 0.6 m).
+	LandmarkSigma float64
+}
+
+func (c *ADASConfig) defaults() {
+	if c.GateChi2 == 0 {
+		c.GateChi2 = 9.21
+	}
+	if c.LaneSigma == 0 {
+		c.LaneSigma = 0.25
+	}
+	if c.LandmarkSigma == 0 {
+		c.LandmarkSigma = 0.6
+	}
+}
+
+// ADAS is an EKF over (x, y, θ) fusing odometry, GPS, lane-detector
+// lateral corrections and landmark detections with validation gating —
+// the low-cost sensor fusion architecture of Shin et al.
+type ADAS struct {
+	Cfg ADASConfig
+	m   *core.Map
+	ekf *filters.EKF
+
+	// Gated counts rejected landmark updates (diagnostics).
+	Gated int
+}
+
+// NewADAS builds the fusion localizer on the given on-board map, seeded
+// at p0.
+func NewADAS(m *core.Map, p0 geo.Pose2, cfg ADASConfig) *ADAS {
+	cfg.defaults()
+	return &ADAS{
+		Cfg: cfg,
+		m:   m,
+		ekf: filters.NewEKF(
+			filters.Vec(p0.P.X, p0.P.Y, p0.Theta),
+			filters.Diag(2, 2, 0.05),
+		),
+	}
+}
+
+// Pose returns the current estimate.
+func (a *ADAS) Pose() geo.Pose2 {
+	return geo.NewPose2(a.ekf.X.At(0, 0), a.ekf.X.At(1, 0), a.ekf.X.At(2, 0))
+}
+
+// Predict applies a vehicle-frame odometry increment.
+func (a *ADAS) Predict(delta geo.Pose2) {
+	a.ekf.Predict(func(x *filters.Mat) (*filters.Mat, *filters.Mat) {
+		th := x.At(2, 0)
+		s, c := math.Sincos(th)
+		nx := filters.Vec(
+			x.At(0, 0)+c*delta.P.X-s*delta.P.Y,
+			x.At(1, 0)+s*delta.P.X+c*delta.P.Y,
+			geo.NormalizeAngle(th+delta.Theta),
+		)
+		jac := filters.MatFrom(3, 3,
+			1, 0, -s*delta.P.X-c*delta.P.Y,
+			0, 1, c*delta.P.X-s*delta.P.Y,
+			0, 0, 1,
+		)
+		return nx, jac
+	}, filters.Diag(0.02, 0.02, 0.0005))
+}
+
+// UpdateGPS fuses a GNSS fix with the given noise σ.
+func (a *ADAS) UpdateGPS(fix geo.Vec2, sigma float64) error {
+	r := filters.Diag(sigma*sigma, sigma*sigma)
+	return a.ekf.Update(filters.Vec(fix.X, fix.Y),
+		func(x *filters.Mat) (*filters.Mat, *filters.Mat) {
+			return filters.Vec(x.At(0, 0), x.At(1, 0)),
+				filters.MatFrom(2, 3, 1, 0, 0, 0, 1, 0)
+		}, r, nil)
+}
+
+// UpdateLane corrects the lateral position from lane-boundary
+// observations: each observation pins the vehicle's signed offset from a
+// mapped boundary.
+func (a *ADAS) UpdateLane(obs []sensors.BoundaryObservation) error {
+	pose := a.Pose()
+	box := geo.NewAABB(pose.P, pose.P).Expand(40)
+	bounds := a.m.LinesIn(box, core.ClassLaneBoundary)
+	if len(bounds) == 0 || len(obs) == 0 {
+		return nil
+	}
+	// Aggregate lateral residual over observations (median for
+	// robustness).
+	var residuals []float64
+	for _, o := range obs {
+		world := pose.Transform(o.Local)
+		best := math.Inf(1)
+		var bestSigned float64
+		for _, b := range bounds {
+			foot, sArc, d := b.Geometry.Project(world)
+			if d < best {
+				best = d
+				h := b.Geometry.HeadingAt(sArc)
+				normal := geo.V2(-math.Sin(h), math.Cos(h))
+				bestSigned = foot.Sub(world).Dot(normal)
+			}
+		}
+		if best < 1.5 {
+			residuals = append(residuals, bestSigned)
+		}
+	}
+	if len(residuals) == 0 {
+		return nil
+	}
+	lat := median(residuals)
+	// Observation model: lateral offset measured in the vehicle frame ->
+	// world correction along the vehicle normal.
+	normal := geo.V2(-math.Sin(pose.Theta), math.Cos(pose.Theta))
+	target := pose.P.Add(normal.Scale(lat))
+	// 1D update along the normal: project the state onto the normal.
+	h := filters.MatFrom(1, 3, normal.X, normal.Y, 0)
+	z := filters.Vec(target.Dot(normal))
+	r := filters.Diag(a.Cfg.LaneSigma * a.Cfg.LaneSigma)
+	return a.ekf.Update(z, func(x *filters.Mat) (*filters.Mat, *filters.Mat) {
+		return filters.Vec(x.At(0, 0)*normal.X + x.At(1, 0)*normal.Y), h
+	}, r, nil)
+}
+
+// UpdateLandmarks fuses landmark detections with Mahalanobis gating.
+func (a *ADAS) UpdateLandmarks(dets []sensors.Detection) error {
+	pose := a.Pose()
+	box := geo.NewAABB(pose.P, pose.P).Expand(80)
+	sigma := a.Cfg.LandmarkSigma
+	r := filters.Diag(sigma*sigma, sigma*sigma)
+	for _, d := range dets {
+		world := pose.Transform(d.Local)
+		var best *core.PointElement
+		bestD := 6.0
+		for _, p := range a.m.PointsIn(box, d.Class) {
+			if dd := p.Pos.XY().Dist(world); dd < bestD {
+				best, bestD = p, dd
+			}
+		}
+		if best == nil {
+			continue
+		}
+		// Measurement: the landmark's position expressed through the
+		// state: z = map position; h(x) = x ⊕ local.
+		local := d.Local
+		hFn := func(x *filters.Mat) (*filters.Mat, *filters.Mat) {
+			th := x.At(2, 0)
+			s, c := math.Sincos(th)
+			zx := x.At(0, 0) + c*local.X - s*local.Y
+			zy := x.At(1, 0) + s*local.X + c*local.Y
+			jac := filters.MatFrom(2, 3,
+				1, 0, -s*local.X-c*local.Y,
+				0, 1, c*local.X-s*local.Y,
+			)
+			return filters.Vec(zx, zy), jac
+		}
+		z := filters.Vec(best.Pos.X, best.Pos.Y)
+		// Verification gate.
+		zPred, jacH := hFn(a.ekf.X)
+		innov := z.Sub(zPred)
+		sMat := jacH.Mul(a.ekf.P).Mul(jacH.T()).Add(r)
+		sInv, err := sMat.Inverse()
+		if err != nil {
+			continue
+		}
+		d2 := innov.T().Mul(sInv).Mul(innov).At(0, 0)
+		if d2 > a.Cfg.GateChi2 {
+			a.Gated++
+			continue
+		}
+		if err := a.ekf.Update(z, hFn, r, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ADASRunResult compares the fusion stack against its ablations.
+type ADASRunResult struct {
+	FusionErrors []float64
+	GPSOnly      []float64
+	DeadReckon   []float64
+	Gated        int
+}
+
+// RunADAS drives a route comparing full fusion vs GPS-only vs dead
+// reckoning — the E19 experiment harness.
+func RunADAS(w *worldgen.World, onboard *core.Map, route geo.Polyline, keyframeEvery float64, rng *rand.Rand) (*ADASRunResult, error) {
+	if len(route) < 2 {
+		return nil, ErrNotInitialized
+	}
+	if keyframeEvery <= 0 {
+		keyframeEvery = 4
+	}
+	speed := 15.0
+	dt := keyframeEvery / speed
+	traj := driveTraj(route, speed, dt)
+	deltas := trajOdometry(traj)
+
+	gps := sensors.NewGPS(sensors.GPSConsumer, rng)
+	odo := sensors.NewOdometry(0.01, 0.001, rng)
+	laneDet := sensors.NewLaneDetector(sensors.LaneDetectorConfig{}, rng)
+	// Clutter-heavy detector: verification gates earn their keep by
+	// rejecting false detections that land near mapped landmarks.
+	objDet := sensors.NewObjectDetector(sensors.ObjectDetectorConfig{FalsePerScan: 2}, rng)
+
+	adas := NewADAS(onboard, traj[0], ADASConfig{})
+	deadReckon := traj[0]
+	res := &ADASRunResult{}
+	gpsSigma := gps.NoiseStd + gps.BiasStd
+
+	for i, pose := range traj {
+		var delta geo.Pose2
+		if i > 0 {
+			delta = odo.Measure(deltas[i-1])
+			adas.Predict(delta)
+			deadReckon = deadReckon.Compose(delta)
+		}
+		fix := gps.Measure(pose.P, dt)
+		if err := adas.UpdateGPS(fix, gpsSigma); err != nil {
+			return nil, err
+		}
+		if err := adas.UpdateLane(laneDet.Detect(w.Map, pose)); err != nil {
+			return nil, err
+		}
+		if err := adas.UpdateLandmarks(objDet.Detect(w.Map, pose, core.ClassSign, core.ClassPole)); err != nil {
+			return nil, err
+		}
+		if i > 2 {
+			res.FusionErrors = append(res.FusionErrors, adas.Pose().P.Dist(pose.P))
+			res.GPSOnly = append(res.GPSOnly, fix.Dist(pose.P))
+			res.DeadReckon = append(res.DeadReckon, deadReckon.P.Dist(pose.P))
+		}
+	}
+	res.Gated = adas.Gated
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package localization
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/filters"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+)
+
+// CoopVehicle is one member of a cooperative convoy (Hery et al. [55]):
+// it runs its own EKF on GPS+odometry, exchanges a local dynamic map
+// (its pose estimate) with neighbours, measures relative positions to
+// them, and maintains a bias estimate toward geo-referenced map features
+// so that shared errors do not masquerade as confidence.
+type CoopVehicle struct {
+	ID   int
+	ekf  *filters.EKF
+	bias geo.Vec2 // estimated common GNSS bias
+}
+
+// NewCoopVehicle seeds a vehicle at p0.
+func NewCoopVehicle(id int, p0 geo.Pose2) *CoopVehicle {
+	return &CoopVehicle{
+		ID: id,
+		ekf: filters.NewEKF(
+			filters.Vec(p0.P.X, p0.P.Y, p0.Theta),
+			filters.Diag(3, 3, 0.05),
+		),
+	}
+}
+
+// Pose returns the current (bias-corrected) estimate.
+func (v *CoopVehicle) Pose() geo.Pose2 {
+	return geo.NewPose2(
+		v.ekf.X.At(0, 0)-v.bias.X,
+		v.ekf.X.At(1, 0)-v.bias.Y,
+		v.ekf.X.At(2, 0),
+	)
+}
+
+// Predict applies odometry.
+func (v *CoopVehicle) Predict(delta geo.Pose2) {
+	v.ekf.Predict(func(x *filters.Mat) (*filters.Mat, *filters.Mat) {
+		th := x.At(2, 0)
+		s, c := math.Sincos(th)
+		nx := filters.Vec(
+			x.At(0, 0)+c*delta.P.X-s*delta.P.Y,
+			x.At(1, 0)+s*delta.P.X+c*delta.P.Y,
+			geo.NormalizeAngle(th+delta.Theta),
+		)
+		jac := filters.MatFrom(3, 3,
+			1, 0, -s*delta.P.X-c*delta.P.Y,
+			0, 1, c*delta.P.X-s*delta.P.Y,
+			0, 0, 1,
+		)
+		return nx, jac
+	}, filters.Diag(0.02, 0.02, 0.0005))
+}
+
+// UpdateGPS fuses a fix.
+func (v *CoopVehicle) UpdateGPS(fix geo.Vec2, sigma float64) error {
+	return v.ekf.Update(filters.Vec(fix.X, fix.Y),
+		func(x *filters.Mat) (*filters.Mat, *filters.Mat) {
+			return filters.Vec(x.At(0, 0), x.At(1, 0)),
+				filters.MatFrom(2, 3, 1, 0, 0, 0, 1, 0)
+		}, filters.Diag(sigma*sigma, sigma*sigma), nil)
+}
+
+// UpdateRelative fuses a relative position measurement to a neighbour
+// whose shared LDM pose estimate is nbrEst: z = (nbr - self) observed by
+// ranging/LiDAR with noise sigma. Correlated-error inflation (the
+// consistency mechanism of Hery et al.) widens the effective noise,
+// because the neighbour's estimate shares GNSS bias with ours.
+func (v *CoopVehicle) UpdateRelative(nbrEst geo.Vec2, rel geo.Vec2, sigma float64) error {
+	// Measurement model: z = nbrEst - position(self).
+	inflated := sigma * 1.5
+	return v.ekf.Update(filters.Vec(rel.X, rel.Y),
+		func(x *filters.Mat) (*filters.Mat, *filters.Mat) {
+			return filters.Vec(nbrEst.X-x.At(0, 0), nbrEst.Y-x.At(1, 0)),
+				filters.MatFrom(2, 3, -1, 0, 0, 0, -1, 0)
+		}, filters.Diag(inflated*inflated, inflated*inflated), nil)
+}
+
+// UpdateBias refines the common-bias estimate from a geo-referenced HD
+// map feature observed at a known map position: the residual between
+// where the filter thinks the feature is and where the map puts it is
+// (mostly) the shared GNSS bias.
+func (v *CoopVehicle) UpdateBias(observedWorld, mapTruth geo.Vec2) {
+	residual := observedWorld.Sub(mapTruth)
+	// Low-pass the bias estimate.
+	v.bias = v.bias.Scale(0.8).Add(residual.Scale(0.2))
+}
+
+// CoopResult compares cooperative vs standalone localization.
+type CoopResult struct {
+	StandaloneErrors []float64
+	CoopErrors       []float64
+}
+
+// RunConvoy simulates a convoy of n vehicles driving the route with a
+// common GNSS bias (the correlated-error regime that motivates the
+// bias estimator). Cooperative vehicles exchange poses + relative
+// measurements and anchor their bias on mapped sign positions; the
+// standalone baseline uses GPS+odometry only.
+func RunConvoy(route geo.Polyline, n int, spacing float64, signs []geo.Vec2, rng *rand.Rand) (*CoopResult, error) {
+	if len(route) < 2 || n < 2 {
+		return nil, ErrNotInitialized
+	}
+	if spacing <= 0 {
+		spacing = 20
+	}
+	speed, keyframe := 15.0, 5.0
+	dt := keyframe / speed
+	// Shared slowly-varying GNSS bias + per-vehicle receivers.
+	sharedBias := geo.V2(rng.NormFloat64()*1.2, rng.NormFloat64()*1.2)
+	gpsNoise := 0.8
+
+	type member struct {
+		coop   *CoopVehicle
+		alone  *CoopVehicle
+		offset float64
+		odo    *sensors.Odometry
+	}
+	members := make([]*member, n)
+	L := route.Length()
+	for i := 0; i < n; i++ {
+		off := float64(i) * spacing
+		p0 := route.PoseAt(off)
+		members[i] = &member{
+			coop:   NewCoopVehicle(i, p0),
+			alone:  NewCoopVehicle(i+100, p0),
+			offset: off,
+			odo:    sensors.NewOdometry(0.01, 0.001, rng),
+		}
+	}
+	res := &CoopResult{}
+	steps := int((L - float64(n)*spacing) / (speed * dt))
+	prevPoses := make([]geo.Pose2, n)
+	for i := range members {
+		prevPoses[i] = route.PoseAt(members[i].offset)
+	}
+	for step := 0; step < steps; step++ {
+		truth := make([]geo.Pose2, n)
+		for i, mb := range members {
+			s := mb.offset + float64(step+1)*speed*dt
+			truth[i] = route.PoseAt(s)
+			delta := mb.odo.Measure(prevPoses[i].Between(truth[i]))
+			mb.coop.Predict(delta)
+			mb.alone.Predict(delta)
+			prevPoses[i] = truth[i]
+			// GPS with the SHARED bias.
+			fix := truth[i].P.Add(sharedBias).Add(geo.V2(rng.NormFloat64()*gpsNoise, rng.NormFloat64()*gpsNoise))
+			if err := mb.coop.UpdateGPS(fix, gpsNoise+1.2); err != nil {
+				return nil, err
+			}
+			if err := mb.alone.UpdateGPS(fix, gpsNoise+1.2); err != nil {
+				return nil, err
+			}
+		}
+		// Cooperative phase: relative measurements to the vehicle ahead
+		// and bias anchoring on mapped signs within 30 m.
+		for i := 1; i < n; i++ {
+			rel := truth[i-1].P.Sub(truth[i].P).Add(geo.V2(rng.NormFloat64()*0.2, rng.NormFloat64()*0.2))
+			nbrEst := members[i-1].coop.Pose().P
+			if err := members[i].coop.UpdateRelative(nbrEst, rel, 0.3); err != nil {
+				return nil, err
+			}
+		}
+		for i, mb := range members {
+			for _, sp := range signs {
+				if d := sp.Dist(truth[i].P); d < 30 {
+					// The vehicle observes the sign relative to itself
+					// precisely; in its (biased) frame the sign appears
+					// at estimate+relative.
+					relObs := sp.Sub(truth[i].P).Add(geo.V2(rng.NormFloat64()*0.2, rng.NormFloat64()*0.2))
+					observedWorld := geo.V2(mb.coop.ekf.X.At(0, 0), mb.coop.ekf.X.At(1, 0)).Add(relObs)
+					mb.coop.UpdateBias(observedWorld, sp)
+				}
+			}
+		}
+		if step > 3 {
+			for i, mb := range members {
+				res.CoopErrors = append(res.CoopErrors, mb.coop.Pose().P.Dist(truth[i].P))
+				res.StandaloneErrors = append(res.StandaloneErrors, mb.alone.Pose().P.Dist(truth[i].P))
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,217 @@
+package localization
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/filters"
+	"hdmaps/internal/geo"
+)
+
+// ErrTooFewLandmarks is returned when a fix needs more landmarks than
+// were matched.
+var ErrTooFewLandmarks = errors.New("localization: too few matched landmarks")
+
+// LandmarkObservation is a range/position observation of one landmark in
+// the vehicle frame.
+type LandmarkObservation struct {
+	Local geo.Vec2
+	Class core.Class
+}
+
+// TriangulateFix estimates the vehicle pose from landmark observations
+// matched to mapped landmarks near the prior pose — the map-aided
+// self-positioning of Juang [72] and the HRL matching of Ghallabi [53].
+// It solves the rigid alignment of observed landmark positions to their
+// mapped counterparts and returns the implied vehicle pose; at least two
+// matched landmarks are required.
+func TriangulateFix(m *core.Map, prior geo.Pose2, obs []LandmarkObservation, searchRadius float64) (geo.Pose2, int, error) {
+	if searchRadius <= 0 {
+		searchRadius = 60
+	}
+	box := geo.NewAABB(prior.P, prior.P).Expand(searchRadius)
+	var src, tgt []geo.Vec2
+	for _, o := range obs {
+		world := prior.Transform(o.Local)
+		var best *core.PointElement
+		bestD := 6.0
+		for _, p := range m.PointsIn(box, o.Class) {
+			if d := p.Pos.XY().Dist(world); d < bestD {
+				best, bestD = p, d
+			}
+		}
+		if best == nil {
+			continue
+		}
+		src = append(src, o.Local)
+		tgt = append(tgt, best.Pos.XY())
+	}
+	if len(src) < 2 {
+		return geo.Pose2{}, len(src), ErrTooFewLandmarks
+	}
+	// The vehicle pose IS the transform taking local observations to
+	// their world positions.
+	pose := rigidAlignPose(src, tgt)
+	return pose, len(src), nil
+}
+
+// rigidAlignPose is the closed-form 2D alignment (same math as
+// pointcloud.RigidAlign, restated locally to keep this package free of a
+// pointcloud dependency for the pure-geometry paths).
+func rigidAlignPose(src, tgt []geo.Vec2) geo.Pose2 {
+	n := float64(len(src))
+	var cs, ct geo.Vec2
+	for i := range src {
+		cs = cs.Add(src[i])
+		ct = ct.Add(tgt[i])
+	}
+	cs, ct = cs.Scale(1/n), ct.Scale(1/n)
+	var sxx, sxy, syx, syy float64
+	for i := range src {
+		a := src[i].Sub(cs)
+		b := tgt[i].Sub(ct)
+		sxx += a.X * b.X
+		sxy += a.X * b.Y
+		syx += a.Y * b.X
+		syy += a.Y * b.Y
+	}
+	theta := math.Atan2(sxy-syx, sxx+syy)
+	rcs := cs.Rotate(theta)
+	return geo.Pose2{P: ct.Sub(rcs), Theta: theta}
+}
+
+// GeometricStrength quantifies how well a landmark configuration
+// constrains a position fix — the analysis of Zheng & Wang [49]. It
+// returns the trace of the position-error covariance of a weighted
+// least-squares fix from bearing-range observations with the given
+// per-observation noise: lower is stronger. Error grows with distance
+// and shrinks with landmark count; spread-out landmarks beat clustered
+// ones.
+func GeometricStrength(vehicle geo.Vec2, landmarks []geo.Vec2, rangeNoise float64) float64 {
+	if len(landmarks) == 0 {
+		return math.Inf(1)
+	}
+	if rangeNoise <= 0 {
+		rangeNoise = 0.3
+	}
+	// Information matrix of a 2D position fix from range+bearing
+	// measurements: each landmark contributes along its line of sight
+	// with range-dependent noise (bearing noise scales with distance).
+	info := filters.NewMat(2, 2)
+	for _, lm := range landmarks {
+		d := lm.Sub(vehicle)
+		r := d.Norm()
+		if r < 1e-9 {
+			continue
+		}
+		u := d.Scale(1 / r) // line of sight
+		v := u.Perp()
+		sigmaR := rangeNoise * (1 + r/50) // range error grows with distance
+		sigmaT := 0.05 * r                // ≈3° bearing noise dominates cross-range
+		if sigmaT < 1e-3 {
+			sigmaT = 1e-3
+		}
+		// info += u uᵀ/σr² + v vᵀ/σt²
+		wr, wt := 1/(sigmaR*sigmaR), 1/(sigmaT*sigmaT)
+		info.Set(0, 0, info.At(0, 0)+wr*u.X*u.X+wt*v.X*v.X)
+		info.Set(0, 1, info.At(0, 1)+wr*u.X*u.Y+wt*v.X*v.Y)
+		info.Set(1, 0, info.At(1, 0)+wr*u.Y*u.X+wt*v.Y*v.X)
+		info.Set(1, 1, info.At(1, 1)+wr*u.Y*u.Y+wt*v.Y*v.Y)
+	}
+	cov, err := info.Inverse()
+	if err != nil {
+		return math.Inf(1)
+	}
+	return cov.At(0, 0) + cov.At(1, 1)
+}
+
+// LineMatchFix implements Han et al. [51]-style line-segment matching:
+// observed road-marking segments (vehicle frame) are matched to mapped
+// stop lines / boundaries and the lateral+heading correction implied by
+// the best pairing is applied to the prior.
+type LineSegmentObs struct {
+	A, B geo.Vec2 // endpoints in the vehicle frame
+}
+
+// LineMatchFix aligns observed segments to mapped line elements near the
+// prior, correcting lateral offset and heading (longitudinal position is
+// not observable from parallel lines and passes through).
+func LineMatchFix(m *core.Map, prior geo.Pose2, segs []LineSegmentObs, classes []core.Class) (geo.Pose2, int) {
+	box := geo.NewAABB(prior.P, prior.P).Expand(50)
+	var mapLines []geo.Polyline
+	for _, c := range classes {
+		for _, le := range m.LinesIn(box, c) {
+			mapLines = append(mapLines, le.Geometry)
+		}
+	}
+	if len(mapLines) == 0 || len(segs) == 0 {
+		return prior, 0
+	}
+	type corr struct {
+		lateral float64
+		heading float64
+	}
+	var corrs []corr
+	for _, s := range segs {
+		wa, wb := prior.Transform(s.A), prior.Transform(s.B)
+		mid := wa.Lerp(wb, 0.5)
+		obsHeading := wb.Sub(wa).Angle()
+		// Best mapped line by midpoint distance + heading agreement.
+		best, bestScore := -1, math.Inf(1)
+		for i, ml := range mapLines {
+			_, sArc, d := ml.Project(mid)
+			hd := math.Abs(geo.AngleDiff(ml.HeadingAt(sArc), obsHeading))
+			if hd > math.Pi/2 {
+				hd = math.Pi - hd // lines are undirected
+			}
+			score := d + 4*hd
+			if d < 3 && score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		ml := mapLines[best]
+		foot, sArc, _ := ml.Project(mid)
+		mapHeading := ml.HeadingAt(sArc)
+		hd := geo.AngleDiff(mapHeading, obsHeading)
+		if hd > math.Pi/2 {
+			hd -= math.Pi
+		}
+		if hd < -math.Pi/2 {
+			hd += math.Pi
+		}
+		// Lateral correction in the line's normal direction.
+		normal := geo.V2(-math.Sin(mapHeading), math.Cos(mapHeading))
+		corrs = append(corrs, corr{
+			lateral: foot.Sub(mid).Dot(normal),
+			heading: hd,
+		})
+	}
+	if len(corrs) == 0 {
+		return prior, 0
+	}
+	// Median corrections are robust to misassociations.
+	lats := make([]float64, len(corrs))
+	hds := make([]float64, len(corrs))
+	for i, c := range corrs {
+		lats[i], hds[i] = c.lateral, c.heading
+	}
+	lat := median(lats)
+	hd := median(hds)
+	// Apply: shift laterally relative to the vehicle heading, rotate.
+	normal := geo.V2(-math.Sin(prior.Theta), math.Cos(prior.Theta))
+	return geo.Pose2{
+		P:     prior.P.Add(normal.Scale(lat)),
+		Theta: geo.NormalizeAngle(prior.Theta + hd),
+	}, len(corrs)
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,216 @@
+package localization
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/filters"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/worldgen"
+)
+
+// Monocular is the MLVHM [22] style camera-only localizer: after a coarse
+// initialization the vehicle tracks its pose purely from monocular
+// detections matched against the vector HD map — lane-boundary points pin
+// the lateral/heading state, sign/pole key points pin the longitudinal
+// one. No GNSS is consumed after initialization.
+type Monocular struct {
+	m   *core.Map
+	pf  *filters.ParticleFilter
+	rng *rand.Rand
+	n   int
+	// sawKeys counts frames with key-point detections; until a few have
+	// arrived the predict step keeps extra positional diversity so the
+	// longitudinally-blind lane likelihood cannot impoverish the filter
+	// onto a wrong longitudinal mode.
+	sawKeys int
+}
+
+// NewMonocular builds the localizer over the on-board vector map.
+func NewMonocular(m *core.Map, particles int, rng *rand.Rand) *Monocular {
+	if particles <= 0 {
+		particles = 400
+	}
+	return &Monocular{m: m, rng: rng, n: particles}
+}
+
+// Init seeds the filter from a coarse pose (e.g. a single cold-start GPS
+// fix).
+func (l *Monocular) Init(p0 geo.Pose2, stdXY, stdTheta float64) {
+	l.pf = filters.NewParticleFilter(l.n, p0, stdXY, stdTheta, l.rng)
+}
+
+// InitGlobal spreads the filter uniformly over a region — the kidnapped-
+// vehicle entry point used by the coarse-to-fine experiment.
+func (l *Monocular) InitGlobal(region geo.AABB) {
+	l.pf = filters.NewParticleFilterUniform(l.n, region, l.rng)
+}
+
+// Step advances the filter with odometry and the frame's detections.
+func (l *Monocular) Step(odoDelta geo.Pose2, lanes []sensors.BoundaryObservation, dets []sensors.Detection) (geo.Pose2, error) {
+	if l.pf == nil {
+		return geo.Pose2{}, ErrNotInitialized
+	}
+	posNoise := 0.07
+	if l.sawKeys < 5 {
+		posNoise = 0.8
+	}
+	l.pf.Predict(odoDelta, posNoise, 0.008)
+	if len(dets) > 0 {
+		l.sawKeys++
+	}
+	// Cap the per-frame observation count: with dozens of lane points the
+	// product likelihood gets so peaked that the filter starves.
+	if len(lanes) > 12 {
+		step := len(lanes) / 12
+		var sub []sensors.BoundaryObservation
+		for i := 0; i < len(lanes); i += step {
+			sub = append(sub, lanes[i])
+		}
+		lanes = sub
+	}
+	mean := l.pf.Mean()
+	spread := l.pf.Spread()
+	searchR := 60 + spread
+	box := geo.NewAABB(mean.P, mean.P).Expand(searchR)
+	var bounds []geo.Polyline
+	for _, le := range l.m.LinesIn(box, core.ClassLaneBoundary) {
+		bounds = append(bounds, le.Geometry)
+	}
+	type keyPoint struct {
+		p     geo.Vec2
+		class core.Class
+	}
+	var keys []keyPoint
+	for _, class := range []core.Class{core.ClassSign, core.ClassPole, core.ClassTrafficLight} {
+		for _, pe := range l.m.PointsIn(box, class) {
+			keys = append(keys, keyPoint{pe.Pos.XY(), class})
+		}
+	}
+	l.pf.Weigh(func(p geo.Pose2) float64 {
+		like := 1.0
+		for _, lo := range lanes {
+			world := p.Transform(lo.Local)
+			best := math.Inf(1)
+			for _, b := range bounds {
+				if d := b.DistanceTo(world); d < best {
+					best = d
+				}
+			}
+			if best < 3 {
+				like *= filters.GaussianLikelihood(best, 0.35)
+			} else {
+				like *= 0.25
+			}
+		}
+		for _, d := range dets {
+			world := p.Transform(d.Local)
+			best := math.Inf(1)
+			for _, k := range keys {
+				if k.class != d.Class {
+					continue
+				}
+				if dd := k.p.Dist(world); dd < best {
+					best = dd
+				}
+			}
+			if best < 10 {
+				like *= filters.GaussianLikelihood(best, 1.0)
+			} else {
+				like *= 0.3
+			}
+		}
+		return like
+	})
+	l.pf.ResampleIfNeeded(0.5)
+	return l.pf.Mean(), nil
+}
+
+// Spread exposes the filter convergence.
+func (l *Monocular) Spread() float64 {
+	if l.pf == nil {
+		return math.Inf(1)
+	}
+	return l.pf.Spread()
+}
+
+// MonocularRunResult is the MLVHM experiment output.
+type MonocularRunResult struct {
+	Errors []float64
+	// ConvergedAt is the keyframe index where the filter spread first
+	// dropped under 3 m (-1 if never) — the coarse-to-fine transition
+	// point of Guo et al. [56].
+	ConvergedAt int
+}
+
+// RunMonocular drives the route with camera-only tracking after a single
+// coarse initialization. When coarseGPS is true the filter starts
+// uniform over a 60 m box around one noisy consumer-GPS fix — the
+// coarse stage of Guo et al. [56] — and must find the fine pose from
+// semantics alone; otherwise it starts from a tight 5 m-σ fix.
+func RunMonocular(w *worldgen.World, onboard *core.Map, route geo.Polyline, keyframeEvery float64, coarseGPS bool, rng *rand.Rand) (*MonocularRunResult, error) {
+	if len(route) < 2 {
+		return nil, ErrNotInitialized
+	}
+	if keyframeEvery <= 0 {
+		keyframeEvery = 5
+	}
+	particles := 600
+	if coarseGPS {
+		// A cold start must cover a ±30 m, ±3σ-course hypothesis space;
+		// particle-starved filters lock onto aliases.
+		particles = 2500
+	}
+	loc := NewMonocular(onboard, particles, rng)
+	laneDet := sensors.NewLaneDetector(sensors.LaneDetectorConfig{
+		Ahead: 30, LateralNoise: 0.1, SampleStep: 3,
+	}, rng)
+	// Wide-FOV camera keeps roadside key points in view longer — the
+	// longitudinal anchor of a monocular stack.
+	objDet := sensors.NewObjectDetector(sensors.ObjectDetectorConfig{
+		PosNoise: 0.3, FOV: 2.4,
+	}, rng)
+	odo := sensors.NewOdometry(0.01, 0.001, rng)
+
+	speed := 14.0
+	traj := driveTraj(route, speed, keyframeEvery/speed)
+	deltas := trajOdometry(traj)
+	if coarseGPS {
+		// One noisy consumer fix plus the GPS course (two-fix heading):
+		// the coarse stage of the two-stage pipeline.
+		fix := traj[0].P.Add(geo.V2(rng.NormFloat64()*10, rng.NormFloat64()*10))
+		course := traj[0].Theta + rng.NormFloat64()*0.2
+		loc.Init(geo.Pose2{P: fix, Theta: course}, 12, 0.3)
+	} else {
+		loc.Init(traj[0], 5, 0.3)
+	}
+	res := &MonocularRunResult{ConvergedAt: -1}
+	keyFrames := 0
+	for i, pose := range traj {
+		var delta geo.Pose2
+		if i > 0 {
+			delta = odo.Measure(deltas[i-1])
+		}
+		lanes := laneDet.Detect(w.Map, pose)
+		dets := objDet.Detect(w.Map, pose, core.ClassSign, core.ClassPole, core.ClassTrafficLight)
+		est, err := loc.Step(delta, lanes, dets)
+		if err != nil {
+			return nil, err
+		}
+		if len(dets) > 0 {
+			keyFrames++
+		}
+		// Convergence needs a collapsed filter AND longitudinal evidence:
+		// lane geometry alone is longitudinally invariant, so a filter
+		// that never saw a key point has only pretended to converge.
+		if res.ConvergedAt < 0 && loc.Spread() < 3 && i >= 4 && keyFrames >= 5 {
+			res.ConvergedAt = i
+		}
+		if res.ConvergedAt >= 0 && i > res.ConvergedAt+2 {
+			res.Errors = append(res.Errors, est.P.Dist(pose.P))
+		}
+	}
+	return res, nil
+}

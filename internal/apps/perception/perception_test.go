@@ -1,0 +1,206 @@
+package perception
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+func sceneWorld(t testing.TB, seed int64) *worldgen.Highway {
+	t.Helper()
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 600, Lanes: 3,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}
+
+func TestPlaceActors(t *testing.T) {
+	hw := sceneWorld(t, 371)
+	rng := rand.New(rand.NewSource(372))
+	bounds := hw.Bounds.Expand(30)
+	actors, err := PlaceActors(hw.Map, bounds, 40, 0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var on, off int
+	for _, a := range actors {
+		if a.OnRoad {
+			on++
+			if _, d, ok := hw.Map.NearestLanelet(a.P); !ok || d > 3 {
+				t.Fatalf("on-road actor %v is %.1f m from any lane", a.P, d)
+			}
+		} else {
+			off++
+		}
+	}
+	if on < 20 || off < 5 {
+		t.Errorf("actor split on=%d off=%d", on, off)
+	}
+	if _, err := PlaceActors(hw.Map, bounds, 0, 0.5, rng); !errors.Is(err, ErrNoActors) {
+		t.Errorf("zero actors err = %v", err)
+	}
+}
+
+func TestMapPriorImprovesAP(t *testing.T) {
+	hw := sceneWorld(t, 373)
+	rng := rand.New(rand.NewSource(374))
+	bounds := hw.Bounds.Expand(30)
+	var apRaw, apMap, apPred float64
+	const scenes = 8
+	for s := 0; s < scenes; s++ {
+		actors, err := PlaceActors(hw.Map, bounds, 25, 0.8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props := GenerateProposals(actors, bounds, ProposalConfig{}, rng)
+		apRaw += AveragePrecision(props, actors, 2.5)
+		withMap := ApplyPrior(props, func(p geo.Vec2) float64 { return MapPrior(hw.Map, p) })
+		apMap += AveragePrecision(withMap, actors, 2.5)
+		// Online predicted prior: ground points sampled from the true
+		// lane surfaces (what a single-scan ground segmentation yields).
+		var ground []geo.Vec2
+		for _, id := range hw.Map.LaneletIDs() {
+			l, _ := hw.Map.Lanelet(id)
+			for d := 0.0; d < l.Length(); d += 5 {
+				ground = append(ground, l.Centerline.At(d))
+			}
+		}
+		withPred := ApplyPrior(props, PredictedPrior(ground, 3))
+		apPred += AveragePrecision(withPred, actors, 2.5)
+	}
+	apRaw /= scenes
+	apMap /= scenes
+	apPred /= scenes
+	t.Logf("AP: raw %.3f, map prior %.3f, predicted prior %.3f", apRaw, apMap, apPred)
+	if apMap <= apRaw {
+		t.Errorf("map prior did not improve AP: %v vs %v", apMap, apRaw)
+	}
+	if apPred <= apRaw {
+		t.Errorf("predicted prior did not improve AP: %v vs %v", apPred, apRaw)
+	}
+	// Predicted prior recovers most of the map prior's gain (HDNET's
+	// no-map fallback result).
+	if gain, predGain := apMap-apRaw, apPred-apRaw; predGain < gain*0.5 {
+		t.Errorf("predicted prior gain %v < half of map gain %v", predGain, gain)
+	}
+}
+
+func TestAveragePrecisionBounds(t *testing.T) {
+	actors := []Actor{{P: geo.V2(0, 0), OnRoad: true}, {P: geo.V2(10, 0), OnRoad: true}}
+	// Perfect detector.
+	props := []Proposal{
+		{P: geo.V2(0, 0.1), Score: 0.9, Truth: 0},
+		{P: geo.V2(10, -0.1), Score: 0.8, Truth: 1},
+	}
+	if ap := AveragePrecision(props, actors, 2); math.Abs(ap-1) > 1e-9 {
+		t.Errorf("perfect AP = %v", ap)
+	}
+	// All clutter.
+	clutter := []Proposal{{P: geo.V2(500, 500), Score: 0.9, Truth: -1}}
+	if ap := AveragePrecision(clutter, actors, 2); ap != 0 {
+		t.Errorf("clutter AP = %v", ap)
+	}
+	if ap := AveragePrecision(nil, nil, 2); ap != 0 {
+		t.Errorf("empty AP = %v", ap)
+	}
+}
+
+func TestFuseTracks(t *testing.T) {
+	a, b := geo.V2(10, 0), geo.V2(12, 0)
+	fused, v := FuseTracks(a, 1, b, 1)
+	if !almost(fused.X, 11) || !almost(v, 0.5) {
+		t.Errorf("fused = %v var %v", fused, v)
+	}
+	// Lower-variance source dominates.
+	fused, _ = FuseTracks(a, 0.1, b, 10)
+	if fused.Dist(a) > 0.1 {
+		t.Errorf("precise source should dominate: %v", fused)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCooperativeFusionReducesRMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(375))
+	// Target moves along a line; two observers with different noise.
+	var truth, vehEst, roadEst, fusedEst []geo.Vec2
+	varVeh, varRoad := 0.8*0.8, 0.5*0.5
+	for i := 0; i < 300; i++ {
+		p := geo.V2(float64(i)*0.5, 3)
+		truth = append(truth, p)
+		ve := p.Add(geo.V2(rng.NormFloat64()*0.8, rng.NormFloat64()*0.8))
+		re := p.Add(geo.V2(rng.NormFloat64()*0.5, rng.NormFloat64()*0.5))
+		fe, _ := FuseTracks(ve, varVeh, re, varRoad)
+		vehEst = append(vehEst, ve)
+		roadEst = append(roadEst, re)
+		fusedEst = append(fusedEst, fe)
+	}
+	rVeh := TrackRMSE(vehEst, truth)
+	rRoad := TrackRMSE(roadEst, truth)
+	rFused := TrackRMSE(fusedEst, truth)
+	t.Logf("RMSE: vehicle %.2f, roadside %.2f, fused %.2f", rVeh, rRoad, rFused)
+	if rFused >= rRoad || rFused >= rVeh {
+		t.Errorf("fusion did not reduce RMSE: %v vs %v/%v", rFused, rVeh, rRoad)
+	}
+	if math.IsInf(TrackRMSE(nil, nil), 1) != true {
+		t.Error("empty RMSE should be +Inf")
+	}
+}
+
+func TestGateLights(t *testing.T) {
+	rng := rand.New(rand.NewSource(376))
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 2, Cols: 2, Block: 120, Lanes: 1, TrafficLights: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lights := g.Map.PointsIn(g.Bounds.Expand(10), core.ClassTrafficLight)
+	if len(lights) == 0 {
+		t.Fatal("no lights in world")
+	}
+	// Observations: true detections near lights + clutter.
+	var obs []LightObservation
+	for _, l := range lights {
+		obs = append(obs, LightObservation{
+			P:     l.Pos.XY().Add(geo.V2(rng.NormFloat64()*0.5, rng.NormFloat64()*0.5)),
+			Color: "red", Truth: true,
+		})
+	}
+	nTrue := len(obs)
+	for i := 0; i < 30; i++ {
+		obs = append(obs, LightObservation{
+			P:     geo.V2(rng.Float64()*240-60, rng.Float64()*240-60),
+			Color: "green", Truth: false,
+		})
+	}
+	gated := GateLights(g.Map, obs, 3)
+	var tp, fp int
+	for _, o := range gated {
+		if o.Truth {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp < nTrue {
+		t.Errorf("gating dropped %d true detections", nTrue-tp)
+	}
+	precision := float64(tp) / float64(tp+fp)
+	t.Logf("gated precision = %.3f (tp %d, fp %d)", precision, tp, fp)
+	if precision < 0.9 {
+		t.Errorf("gated precision = %v", precision)
+	}
+	// Ungated precision is necessarily worse.
+	if raw := float64(nTrue) / float64(len(obs)); precision <= raw {
+		t.Errorf("gating did not improve precision: %v vs %v", precision, raw)
+	}
+}

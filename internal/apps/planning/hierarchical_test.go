@@ -1,0 +1,114 @@
+package planning
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/worldgen"
+)
+
+// cityForHierarchy builds an HDMapGen city (bundles included) for the
+// road-level tests.
+func cityForHierarchy(t testing.TB, seed int64, nodes int) *worldgen.GeneratedMap {
+	t.Helper()
+	g, err := worldgen.GenerateHDMapGen(worldgen.HDMapGenParams{
+		Nodes: nodes, Extent: 1500, Lanes: 2,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBundleGraph(t *testing.T) {
+	g := cityForHierarchy(t, 851, 8)
+	bg, err := BuildBundleGraph(g.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every lanelet belongs to some bundle (real or implicit).
+	for _, lid := range g.Map.LaneletIDs() {
+		if _, ok := bg.BundleOf(lid); !ok {
+			t.Fatalf("lanelet %d has no bundle", lid)
+		}
+	}
+	// Real bundles carry their lanelets.
+	for _, bid := range g.Map.BundleIDs() {
+		b, _ := g.Map.Bundle(bid)
+		for _, ll := range b.Lanelets {
+			got, _ := bg.BundleOf(ll)
+			if got != bid {
+				t.Fatalf("lanelet %d mapped to %d, want %d", ll, got, bid)
+			}
+		}
+	}
+}
+
+func TestHierarchicalRouteMatchesFlat(t *testing.T) {
+	g := cityForHierarchy(t, 852, 22)
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(853))
+	nodes := graph.Nodes()
+	agree, total := 0, 0
+	var flatExp, hierExp int
+	for trial := 0; trial < 30; trial++ {
+		start := nodes[rng.Intn(len(nodes))]
+		goal := nodes[rng.Intn(len(nodes))]
+		flat, errF := Dijkstra(graph, start, goal)
+		hier, errH := HierarchicalRoute(g.Map, graph, start, goal)
+		if errF != nil {
+			// Flat unreachable: hierarchical must agree.
+			if errH == nil {
+				t.Fatalf("hierarchical found a route where flat could not")
+			}
+			continue
+		}
+		if errH != nil {
+			t.Fatalf("hierarchical failed where flat succeeded: %v", errH)
+		}
+		if flat.Expanded < 120 {
+			continue // hierarchy's win is on long routes; short ones pay overhead
+		}
+		total++
+		flatExp += flat.Expanded
+		hierExp += hier.Expanded
+		// Corridor restriction may cost at most ~one road segment extra.
+		if hier.Cost < flat.Cost-1e-6 {
+			t.Fatalf("hierarchical cheaper than optimal?! %v < %v", hier.Cost, flat.Cost)
+		}
+		if hier.Cost <= flat.Cost*1.25+30 {
+			agree++
+		}
+		// Route integrity.
+		if hier.Lanelets[0] != start || hier.Lanelets[len(hier.Lanelets)-1] != goal {
+			t.Fatal("bad endpoints")
+		}
+	}
+	if total == 0 {
+		t.Fatal("no reachable pairs sampled")
+	}
+	if agree < total*8/10 {
+		t.Errorf("hierarchical near-optimal on only %d/%d pairs", agree, total)
+	}
+	t.Logf("expansions: flat %d vs hierarchical %d over %d routes", flatExp, hierExp, total)
+	if hierExp >= flatExp {
+		t.Errorf("hierarchy did not reduce expansions: %d vs %d", hierExp, flatExp)
+	}
+}
+
+func TestHierarchicalRouteErrors(t *testing.T) {
+	g := cityForHierarchy(t, 854, 6)
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HierarchicalRoute(g.Map, graph, 999999, 1); !errors.Is(err, ErrNoPath) {
+		t.Errorf("unknown start err = %v", err)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,130 @@
+package planning
+
+import (
+	"math"
+	"sort"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// MatchState is one lane hypothesis of the lane-level map matcher.
+type MatchState struct {
+	Lanelet core.ID
+	Prob    float64
+}
+
+// LaneMatcher is the lane-level map matching with integrity of Li et al.
+// [59]: a discrete Bayes filter over lanelet hypotheses. The transition
+// model follows lanelet topology (stay / successor / lane change); the
+// measurement model scores lateral offset and heading agreement. The
+// integrity level is the probability mass of the best hypothesis — the
+// matcher reports "unreliable" instead of guessing when hypotheses stay
+// ambiguous.
+type LaneMatcher struct {
+	m *core.Map
+	g *core.RouteGraph
+	// beliefs over lanelets.
+	belief map[core.ID]float64
+	// IntegrityThreshold below which Match reports !ok (default 0.6).
+	IntegrityThreshold float64
+}
+
+// NewLaneMatcher builds a matcher; graph edges drive the transitions.
+func NewLaneMatcher(m *core.Map, g *core.RouteGraph) *LaneMatcher {
+	return &LaneMatcher{m: m, g: g, belief: make(map[core.ID]float64), IntegrityThreshold: 0.6}
+}
+
+// Init seeds the belief from the pose's nearby lanelets.
+func (lm *LaneMatcher) Init(pose geo.Pose2, radius float64) {
+	lm.belief = make(map[core.ID]float64)
+	box := geo.NewAABB(pose.P, pose.P).Expand(radius)
+	cands := lm.m.LaneletsIn(box)
+	if len(cands) == 0 {
+		return
+	}
+	u := 1 / float64(len(cands))
+	for _, l := range cands {
+		lm.belief[l.ID] = u
+	}
+}
+
+// measurement scores how well the pose fits a lanelet.
+func (lm *LaneMatcher) measurement(l *core.Lanelet, pose geo.Pose2) float64 {
+	_, s, d := l.Centerline.Project(pose.P)
+	hErr := math.Abs(geo.AngleDiff(l.Centerline.HeadingAt(s), pose.Theta))
+	return math.Exp(-d*d/(2*1.2*1.2)) * math.Exp(-hErr*hErr/(2*0.4*0.4))
+}
+
+// Step advances the filter with a new pose estimate.
+func (lm *LaneMatcher) Step(pose geo.Pose2) {
+	next := make(map[core.ID]float64, len(lm.belief))
+	// Transition: mass stays or flows along edges (75% stay, the rest
+	// split over outgoing edges — lane changes and successions).
+	for id, p := range lm.belief {
+		if p <= 0 {
+			continue
+		}
+		edges := lm.g.Edges(id)
+		stay := 0.75
+		if len(edges) == 0 {
+			stay = 1
+		}
+		next[id] += p * stay
+		if len(edges) > 0 {
+			share := p * (1 - stay) / float64(len(edges))
+			for _, e := range edges {
+				next[e.To] += share
+			}
+		}
+	}
+	// Measurement + renormalise.
+	var sum float64
+	for id := range next {
+		l, err := lm.m.Lanelet(id)
+		if err != nil {
+			delete(next, id)
+			continue
+		}
+		next[id] *= lm.measurement(l, pose)
+		sum += next[id]
+	}
+	if sum <= 0 {
+		lm.Init(pose, 30)
+		return
+	}
+	for id := range next {
+		next[id] /= sum
+	}
+	lm.belief = next
+}
+
+// Match returns the best hypothesis; ok is false when the integrity
+// level is below threshold (ambiguous matching).
+func (lm *LaneMatcher) Match() (MatchState, bool) {
+	best := MatchState{}
+	for id, p := range lm.belief {
+		if p > best.Prob {
+			best = MatchState{Lanelet: id, Prob: p}
+		}
+	}
+	return best, best.Prob >= lm.IntegrityThreshold
+}
+
+// TopK returns the k most probable hypotheses, sorted.
+func (lm *LaneMatcher) TopK(k int) []MatchState {
+	out := make([]MatchState, 0, len(lm.belief))
+	for id, p := range lm.belief {
+		out = append(out, MatchState{Lanelet: id, Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Lanelet < out[j].Lanelet
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package planning
+
+import (
+	"errors"
+	"math"
+
+	"hdmaps/internal/geo"
+)
+
+// ErrNoFeasiblePath is returned when every candidate collides.
+var ErrNoFeasiblePath = errors.New("planning: no feasible path")
+
+// Obstacle is a circular obstacle on the road.
+type Obstacle struct {
+	P geo.Vec2
+	R float64
+}
+
+// PathSetConfig tunes the Jian et al. [52] local planner.
+type PathSetConfig struct {
+	// Horizon is the planning distance along the lane (default 40 m).
+	Horizon float64
+	// Offsets are the candidate terminal lateral offsets; default
+	// [-2.4 .. 2.4] in 0.6 m steps.
+	Offsets []float64
+	// Step is the sampling distance (default 2 m).
+	Step float64
+	// SafetyMargin inflates obstacles (default 0.8 m).
+	SafetyMargin float64
+	// InertiaWeight penalises switching away from the previous selection
+	// (default 0.35) — the "inertia-like path selection".
+	InertiaWeight float64
+	// OffsetWeight penalises leaving the lane centre (default 0.08 per
+	// metre of terminal offset).
+	OffsetWeight float64
+}
+
+func (c *PathSetConfig) defaults() {
+	if c.Horizon <= 0 {
+		c.Horizon = 40
+	}
+	if len(c.Offsets) == 0 {
+		for o := -2.4; o <= 2.401; o += 0.6 {
+			c.Offsets = append(c.Offsets, o)
+		}
+	}
+	if c.Step <= 0 {
+		c.Step = 2
+	}
+	if c.SafetyMargin == 0 {
+		c.SafetyMargin = 0.8
+	}
+	if c.InertiaWeight == 0 {
+		c.InertiaWeight = 0.35
+	}
+	if c.OffsetWeight == 0 {
+		c.OffsetWeight = 0.08
+	}
+}
+
+// CandidatePath is one member of the generated path set.
+type CandidatePath struct {
+	// TerminalOffset is the lateral offset reached at the horizon.
+	TerminalOffset float64
+	// Points is the Cartesian geometry.
+	Points geo.Polyline
+	// Clearance is the minimum obstacle clearance (negative =
+	// collision).
+	Clearance float64
+	// Cost is the selection cost (lower wins).
+	Cost float64
+}
+
+// PathSetPlanner generates lateral-offset candidate paths in the lane's
+// Frenet frame and selects among the collision-free ones with an
+// inertia-like rule that resists oscillating between near-equal paths.
+type PathSetPlanner struct {
+	Cfg PathSetConfig
+	// prevOffset is the previously selected terminal offset.
+	prevOffset float64
+	hasPrev    bool
+}
+
+// NewPathSetPlanner builds a planner.
+func NewPathSetPlanner(cfg PathSetConfig) *PathSetPlanner {
+	cfg.defaults()
+	return &PathSetPlanner{Cfg: cfg}
+}
+
+// Generate builds the candidate set from the vehicle's arc-length s0 and
+// current lateral offset d0 relative to the lane centreline.
+func (p *PathSetPlanner) Generate(center geo.Polyline, s0, d0 float64, obstacles []Obstacle) []CandidatePath {
+	cfg := p.Cfg
+	var out []CandidatePath
+	for _, target := range cfg.Offsets {
+		var pts geo.Polyline
+		clearance := math.Inf(1)
+		for s := 0.0; s <= cfg.Horizon; s += cfg.Step {
+			t := s / cfg.Horizon
+			// Quintic-like smooth blend from d0 to target.
+			blend := 10*t*t*t - 15*t*t*t*t + 6*t*t*t*t*t
+			d := d0 + (target-d0)*blend
+			pt := center.FromFrenet(s0+s, d)
+			pts = append(pts, pt)
+			for _, ob := range obstacles {
+				c := pt.Dist(ob.P) - ob.R - cfg.SafetyMargin
+				if c < clearance {
+					clearance = c
+				}
+			}
+		}
+		out = append(out, CandidatePath{
+			TerminalOffset: target,
+			Points:         pts,
+			Clearance:      clearance,
+		})
+	}
+	return out
+}
+
+// Select scores the candidates and picks the winner, applying the
+// inertia preference toward the previous selection. It returns
+// ErrNoFeasiblePath when every candidate collides.
+func (p *PathSetPlanner) Select(cands []CandidatePath) (CandidatePath, error) {
+	best := -1
+	bestCost := math.Inf(1)
+	for i := range cands {
+		c := &cands[i]
+		if c.Clearance < 0 {
+			c.Cost = math.Inf(1)
+			continue
+		}
+		cost := p.Cfg.OffsetWeight * math.Abs(c.TerminalOffset)
+		// Clearance reward saturates: beyond 2 m more space doesn't
+		// matter.
+		cost += 0.3 * math.Max(0, 2-c.Clearance)
+		if p.hasPrev {
+			cost += p.Cfg.InertiaWeight * math.Abs(c.TerminalOffset-p.prevOffset) / 2.4
+		}
+		c.Cost = cost
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		return CandidatePath{}, ErrNoFeasiblePath
+	}
+	p.prevOffset = cands[best].TerminalOffset
+	p.hasPrev = true
+	return cands[best], nil
+}
+
+// Reset clears the inertia state.
+func (p *PathSetPlanner) Reset() { p.hasPrev = false }

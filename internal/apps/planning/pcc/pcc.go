@@ -1,0 +1,260 @@
+// Package pcc implements the predictive cruise control of Chu et al.
+// [61]: HD-map elevation data lets a dynamic-programming speed planner
+// trade kinetic energy against upcoming grades inside a comfort band,
+// avoiding the braking and high-power peaks that a constant-speed ACC
+// incurs on hilly routes. The survey quotes an 8.73% fuel saving over a
+// 370 km route; the reproduction target is the shape — PCC beats ACC by
+// single-digit percent at matched trip time, with the gap growing with
+// hill amplitude.
+package pcc
+
+import (
+	"errors"
+	"math"
+
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+// ErrBadProfile is returned for degenerate grade profiles or speed
+// bounds.
+var ErrBadProfile = errors.New("pcc: bad profile")
+
+// Vehicle holds the longitudinal parameters.
+type Vehicle struct {
+	Mass      float64 // kg
+	Crr       float64 // rolling resistance coefficient
+	AeroCoeff float64 // 0.5·ρ·Cd·A, N/(m/s)²
+	// Driveline efficiency.
+	Eta float64
+	// AccelMax / DecelMax bound comfort (m/s²).
+	AccelMax, DecelMax float64
+}
+
+// DefaultVehicle returns mid-size-sedan parameters.
+func DefaultVehicle() Vehicle {
+	return Vehicle{
+		Mass: 1600, Crr: 0.009, AeroCoeff: 0.38, Eta: 0.88,
+		AccelMax: 1.0, DecelMax: 1.5,
+	}
+}
+
+// FuelModel is a convex Willans-line model: grams/s = Idle + A1·P + A2·P²
+// for positive engine power P in kW; braking and coasting burn Idle only.
+// The convex term is what rewards PCC's power smoothing.
+type FuelModel struct {
+	Idle float64 // g/s
+	A1   float64 // g/s per kW
+	A2   float64 // g/s per kW²
+}
+
+// DefaultFuel returns a gasoline-engine Willans fit.
+func DefaultFuel() FuelModel {
+	return FuelModel{Idle: 0.25, A1: 0.068, A2: 0.0006}
+}
+
+// Rate returns grams/second at engine power pKW.
+func (f FuelModel) Rate(pKW float64) float64 {
+	if pKW <= 0 {
+		return f.Idle
+	}
+	return f.Idle + f.A1*pKW + f.A2*pKW*pKW
+}
+
+// SegmentFuel integrates one route segment travelled from speed v1 to v2
+// over distance ds with the given grade. It returns fuel grams and time
+// seconds.
+func SegmentFuel(veh Vehicle, fm FuelModel, v1, v2, ds, grade float64) (fuel, dt float64) {
+	vm := (v1 + v2) / 2
+	if vm < 0.1 {
+		vm = 0.1
+	}
+	dt = ds / vm
+	accel := (v2*v2 - v1*v1) / (2 * ds)
+	const g = 9.81
+	force := veh.Mass*accel + veh.Mass*g*(veh.Crr+grade) + veh.AeroCoeff*vm*vm
+	powerKW := force * vm / veh.Eta / 1000
+	return fm.Rate(powerKW) * dt, dt
+}
+
+// Profile is a speed plan over a segmented route.
+type Profile struct {
+	// Speeds at segment boundaries (len = segments+1).
+	Speeds []float64
+	// FuelGrams and TimeSec totals.
+	FuelGrams, TimeSec float64
+}
+
+// GradeProfile samples a world's terrain grade along a route every ds
+// metres; it returns the grades and the per-segment headings' count.
+func GradeProfile(w *worldgen.World, route geo.Polyline, ds float64) []float64 {
+	if len(route) < 2 || ds <= 0 {
+		return nil
+	}
+	L := route.Length()
+	n := int(L / ds)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := (float64(i) + 0.5) * ds
+		pose := route.PoseAt(s)
+		out[i] = w.GradeAt(pose.P, pose.Theta)
+	}
+	return out
+}
+
+// ConstantSpeed evaluates the ACC baseline: hold the setpoint exactly
+// through every segment (braking when the grade would accelerate the
+// car).
+func ConstantSpeed(veh Vehicle, fm FuelModel, grades []float64, ds, setpoint float64) (Profile, error) {
+	if len(grades) == 0 || ds <= 0 || setpoint <= 0 {
+		return Profile{}, ErrBadProfile
+	}
+	p := Profile{Speeds: make([]float64, len(grades)+1)}
+	for i := range p.Speeds {
+		p.Speeds[i] = setpoint
+	}
+	for _, gr := range grades {
+		f, dt := SegmentFuel(veh, fm, setpoint, setpoint, ds, gr)
+		p.FuelGrams += f
+		p.TimeSec += dt
+	}
+	return p, nil
+}
+
+// DPConfig tunes the optimizer.
+type DPConfig struct {
+	// VMin/VMax/VStep define the speed grid (defaults setpoint ∓ 4 m/s,
+	// step 0.5).
+	VMin, VMax, VStep float64
+	// Lambda is the time penalty in fuel-grams per second; higher lambda
+	// means faster trips. MatchedTimeProfiles picks it automatically.
+	Lambda float64
+}
+
+// Optimize runs dynamic programming over (segment × speed grid),
+// minimising fuel + Lambda·time with comfort-bounded accelerations.
+func Optimize(veh Vehicle, fm FuelModel, grades []float64, ds, setpoint float64, cfg DPConfig) (Profile, error) {
+	if len(grades) == 0 || ds <= 0 || setpoint <= 0 {
+		return Profile{}, ErrBadProfile
+	}
+	if cfg.VStep <= 0 {
+		cfg.VStep = 0.5
+	}
+	if cfg.VMin <= 0 {
+		cfg.VMin = math.Max(3, setpoint-4)
+	}
+	if cfg.VMax <= cfg.VMin {
+		cfg.VMax = setpoint + 4
+	}
+	nv := int((cfg.VMax-cfg.VMin)/cfg.VStep) + 1
+	speedAt := func(k int) float64 { return cfg.VMin + float64(k)*cfg.VStep }
+	// Start and end pinned near the setpoint.
+	startK := int((setpoint - cfg.VMin) / cfg.VStep)
+	if startK < 0 || startK >= nv {
+		return Profile{}, ErrBadProfile
+	}
+
+	n := len(grades)
+	const inf = math.MaxFloat64 / 4
+	cost := make([][]float64, n+1)
+	prev := make([][]int, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, nv)
+		prev[i] = make([]int, nv)
+		for k := range cost[i] {
+			cost[i][k] = inf
+			prev[i][k] = -1
+		}
+	}
+	cost[0][startK] = 0
+	for i := 0; i < n; i++ {
+		for k := 0; k < nv; k++ {
+			if cost[i][k] >= inf {
+				continue
+			}
+			v1 := speedAt(k)
+			for k2 := 0; k2 < nv; k2++ {
+				v2 := speedAt(k2)
+				accel := (v2*v2 - v1*v1) / (2 * ds)
+				if accel > veh.AccelMax || accel < -veh.DecelMax {
+					continue
+				}
+				f, dt := SegmentFuel(veh, fm, v1, v2, ds, grades[i])
+				c := cost[i][k] + f + cfg.Lambda*dt
+				if c < cost[i+1][k2] {
+					cost[i+1][k2] = c
+					prev[i+1][k2] = k
+				}
+			}
+		}
+	}
+	// Terminal: end at the setpoint grid point if reachable, else best.
+	endK := startK
+	if cost[n][endK] >= inf {
+		best := inf
+		for k := 0; k < nv; k++ {
+			if cost[n][k] < best {
+				best, endK = cost[n][k], k
+			}
+		}
+		if best >= inf {
+			return Profile{}, ErrBadProfile
+		}
+	}
+	// Reconstruct.
+	ks := make([]int, n+1)
+	ks[n] = endK
+	for i := n; i > 0; i-- {
+		ks[i-1] = prev[i][ks[i]]
+		if ks[i-1] < 0 {
+			return Profile{}, ErrBadProfile
+		}
+	}
+	p := Profile{Speeds: make([]float64, n+1)}
+	for i, k := range ks {
+		p.Speeds[i] = speedAt(k)
+	}
+	for i := 0; i < n; i++ {
+		f, dt := SegmentFuel(veh, fm, p.Speeds[i], p.Speeds[i+1], ds, grades[i])
+		p.FuelGrams += f
+		p.TimeSec += dt
+	}
+	return p, nil
+}
+
+// MatchedTimeProfiles returns a PCC profile whose trip time matches the
+// ACC baseline within tolFrac (bisection over Lambda), plus the baseline
+// itself — the fair comparison behind the fuel-saving number.
+func MatchedTimeProfiles(veh Vehicle, fm FuelModel, grades []float64, ds, setpoint float64) (pcc, acc Profile, err error) {
+	acc, err = ConstantSpeed(veh, fm, grades, ds, setpoint)
+	if err != nil {
+		return
+	}
+	lo, hi := 0.0, 3.0
+	const tolFrac = 0.01
+	for iter := 0; iter < 30; iter++ {
+		lambda := (lo + hi) / 2
+		pcc, err = Optimize(veh, fm, grades, ds, setpoint, DPConfig{Lambda: lambda})
+		if err != nil {
+			return
+		}
+		ratio := pcc.TimeSec / acc.TimeSec
+		switch {
+		case ratio > 1+tolFrac:
+			lo = lambda // too slow: value time more
+		case ratio < 1-tolFrac:
+			hi = lambda // too fast: value time less
+		default:
+			return pcc, acc, nil
+		}
+	}
+	return pcc, acc, nil
+}
+
+// SavingPercent returns the relative fuel saving of a vs b in percent.
+func SavingPercent(pcc, acc Profile) float64 {
+	if acc.FuelGrams == 0 {
+		return 0
+	}
+	return (acc.FuelGrams - pcc.FuelGrams) / acc.FuelGrams * 100
+}

@@ -1,0 +1,146 @@
+package pcc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/worldgen"
+)
+
+func TestSegmentFuelBasics(t *testing.T) {
+	veh, fm := DefaultVehicle(), DefaultFuel()
+	// Flat constant speed consumes more than idle.
+	f, dt := SegmentFuel(veh, fm, 20, 20, 100, 0)
+	if dt != 5 {
+		t.Errorf("dt = %v", dt)
+	}
+	if f <= fm.Idle*dt {
+		t.Errorf("flat cruise fuel %v not above idle %v", f, fm.Idle*dt)
+	}
+	// Uphill consumes more than flat.
+	fu, _ := SegmentFuel(veh, fm, 20, 20, 100, 0.05)
+	if fu <= f {
+		t.Errorf("uphill %v not above flat %v", fu, f)
+	}
+	// Steep downhill at constant speed = braking = idle fuel only.
+	fd, dtd := SegmentFuel(veh, fm, 20, 20, 100, -0.08)
+	if math.Abs(fd-fm.Idle*dtd) > 1e-12 {
+		t.Errorf("downhill braking fuel = %v, want idle %v", fd, fm.Idle*dtd)
+	}
+	// Faster costs more on flat (aero).
+	fFast, _ := SegmentFuel(veh, fm, 30, 30, 100, 0)
+	fSlowTime := f / 5 // per second
+	fFastTime := fFast / (100.0 / 30.0)
+	if fFastTime <= fSlowTime {
+		t.Errorf("per-second fuel at 30 m/s (%v) not above 20 m/s (%v)", fFastTime, fSlowTime)
+	}
+}
+
+func TestConstantSpeedProfile(t *testing.T) {
+	veh, fm := DefaultVehicle(), DefaultFuel()
+	grades := make([]float64, 100) // flat 5 km at 50 m segments
+	p, err := ConstantSpeed(veh, fm, grades, 50, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.TimeSec-200) > 1e-9 {
+		t.Errorf("time = %v, want 200 s", p.TimeSec)
+	}
+	if p.FuelGrams <= 0 {
+		t.Error("no fuel burned")
+	}
+	if _, err := ConstantSpeed(veh, fm, nil, 50, 25); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("empty grades err = %v", err)
+	}
+}
+
+func TestOptimizeFlatMatchesConstant(t *testing.T) {
+	// On a flat route at matched time, DP cannot beat constant speed by
+	// much (constant speed is optimal for convex cost): saving ≈ 0.
+	veh, fm := DefaultVehicle(), DefaultFuel()
+	grades := make([]float64, 80)
+	pcc, acc, err := MatchedTimeProfiles(veh, fm, grades, 50, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := SavingPercent(pcc, acc)
+	t.Logf("flat-route saving = %.2f%%", saving)
+	if saving > 1.5 || saving < -1.5 {
+		t.Errorf("flat saving = %v%%, want ≈0", saving)
+	}
+}
+
+func TestPCCSavesOnHills(t *testing.T) {
+	// Hilly route: PCC must save meaningfully at matched trip time —
+	// the Chu et al. shape (they report 8.73% on a real 370 km route).
+	veh, fm := DefaultVehicle(), DefaultFuel()
+	rng := rand.New(rand.NewSource(361))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 20000, Lanes: 2, HillAmp: 120,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := hw.RoutePolyline(hw.LaneChains[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	grades := GradeProfile(hw.World, route, 50)
+	if len(grades) < 100 {
+		t.Fatalf("grades = %d", len(grades))
+	}
+	// The terrain must actually be hilly.
+	var maxG float64
+	for _, g := range grades {
+		if math.Abs(g) > maxG {
+			maxG = math.Abs(g)
+		}
+	}
+	if maxG < 0.02 {
+		t.Fatalf("terrain too flat: max grade %v", maxG)
+	}
+	pcc, acc, err := MatchedTimeProfiles(veh, fm, grades, 50, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := SavingPercent(pcc, acc)
+	timeRatio := pcc.TimeSec / acc.TimeSec
+	t.Logf("hilly saving = %.2f%% at time ratio %.3f", saving, timeRatio)
+	if saving < 1 {
+		t.Errorf("hill saving = %v%%, want noticeable", saving)
+	}
+	if timeRatio > 1.05 {
+		t.Errorf("PCC cheated on time: ratio %v", timeRatio)
+	}
+	// Speed stays within the DP band.
+	for _, v := range pcc.Speeds {
+		if v < 17 || v > 27 {
+			t.Fatalf("speed %v outside band", v)
+		}
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	veh, fm := DefaultVehicle(), DefaultFuel()
+	if _, err := Optimize(veh, fm, nil, 50, 22, DPConfig{}); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Optimize(veh, fm, []float64{0}, 0, 22, DPConfig{}); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("zero-ds err = %v", err)
+	}
+}
+
+func TestGradeProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(362))
+	hw, _ := worldgen.GenerateHighway(worldgen.HighwayParams{LengthM: 1000, HillAmp: 30}, rng)
+	route, _ := hw.RoutePolyline(hw.LaneChains[0])
+	g := GradeProfile(hw.World, route, 50)
+	if len(g) != 19 && len(g) != 20 {
+		t.Errorf("grades = %d", len(g))
+	}
+	if GradeProfile(hw.World, nil, 50) != nil {
+		t.Error("nil route grades")
+	}
+}

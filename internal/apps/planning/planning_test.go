@@ -1,0 +1,349 @@
+package planning
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+func gridWorld(t testing.TB, seed int64, rows, cols int) *worldgen.Grid {
+	t.Helper()
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: rows, Cols: cols, Block: 150, Lanes: 2,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDijkstraAStarBFSAgreeOnReachability(t *testing.T) {
+	g := gridWorld(t, 351, 4, 4)
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.Segments[worldgen.SegKey{R: 0, C: 0, Dir: worldgen.East, Lane: 0}]
+	goal := g.Segments[worldgen.SegKey{R: 3, C: 1, Dir: worldgen.East, Lane: 1}]
+
+	dj, err := Dijkstra(graph, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := AStar(graph, g.Map, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BFS(graph, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same optimal cost for Dijkstra and A*.
+	if math.Abs(dj.Cost-as.Cost) > 1e-6 {
+		t.Errorf("Dijkstra %v vs A* %v", dj.Cost, as.Cost)
+	}
+	// A* expands no more than Dijkstra.
+	if as.Expanded > dj.Expanded {
+		t.Errorf("A* expanded %d > Dijkstra %d", as.Expanded, dj.Expanded)
+	}
+	// Routes start and end correctly and are edge-connected.
+	for _, r := range []*Route{dj, as, bf} {
+		if r.Lanelets[0] != start || r.Lanelets[len(r.Lanelets)-1] != goal {
+			t.Fatalf("route endpoints wrong")
+		}
+		for i := 0; i+1 < len(r.Lanelets); i++ {
+			ok := false
+			for _, e := range graph.Edges(r.Lanelets[i]) {
+				if e.To == r.Lanelets[i+1] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("route not edge-connected at %d", i)
+			}
+		}
+	}
+	// Unreachable goal: reversed-direction far segment may still be
+	// reachable in a grid, so use a disconnected fresh lanelet.
+	iso := g.Map.AddLanelet(core.Lanelet{
+		Left: 1, Right: 2,
+		Centerline: geo.Polyline{geo.V2(9000, 9000), geo.V2(9010, 9000)},
+	})
+	graph2, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dijkstra(graph2, start, iso); !errors.Is(err, ErrNoPath) {
+		t.Errorf("unreachable err = %v", err)
+	}
+	if _, err := BFS(graph2, start, iso); !errors.Is(err, ErrNoPath) {
+		t.Errorf("BFS unreachable err = %v", err)
+	}
+	if _, err := BHPS(graph2, start, iso); !errors.Is(err, ErrNoPath) {
+		t.Errorf("BHPS unreachable err = %v", err)
+	}
+}
+
+func TestBHPSMatchesDijkstraCost(t *testing.T) {
+	g := gridWorld(t, 352, 5, 5)
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(353))
+	nodes := graph.Nodes()
+	for trial := 0; trial < 20; trial++ {
+		start := nodes[rng.Intn(len(nodes))]
+		goal := nodes[rng.Intn(len(nodes))]
+		dj, errD := Dijkstra(graph, start, goal)
+		bh, errB := BHPS(graph, start, goal)
+		if (errD == nil) != (errB == nil) {
+			t.Fatalf("reachability disagreement: %v vs %v", errD, errB)
+		}
+		if errD != nil {
+			continue
+		}
+		if math.Abs(dj.Cost-bh.Cost) > 1e-6 {
+			t.Fatalf("cost mismatch: Dijkstra %v, BHPS %v", dj.Cost, bh.Cost)
+		}
+		// Stitched route must be valid.
+		if bh.Lanelets[0] != start || bh.Lanelets[len(bh.Lanelets)-1] != goal {
+			t.Fatalf("BHPS endpoints wrong")
+		}
+	}
+}
+
+func TestBHPSExpandsLess(t *testing.T) {
+	g := gridWorld(t, 354, 7, 7)
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.Segments[worldgen.SegKey{R: 0, C: 0, Dir: worldgen.East, Lane: 0}]
+	goal := g.Segments[worldgen.SegKey{R: 6, C: 5, Dir: worldgen.East, Lane: 0}]
+	dj, err := Dijkstra(graph, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := BHPS(graph, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("corner-to-corner: Dijkstra %d expansions, BHPS %d", dj.Expanded, bh.Expanded)
+	if bh.Expanded >= dj.Expanded {
+		t.Errorf("BHPS expanded %d >= Dijkstra %d", bh.Expanded, dj.Expanded)
+	}
+}
+
+func TestRoutePolyline(t *testing.T) {
+	g := gridWorld(t, 355, 3, 3)
+	graph, _ := g.Map.BuildRouteGraph()
+	start := g.Segments[worldgen.SegKey{R: 0, C: 0, Dir: worldgen.East, Lane: 0}]
+	goal := g.Segments[worldgen.SegKey{R: 0, C: 1, Dir: worldgen.East, Lane: 0}]
+	r, err := Dijkstra(graph, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := RoutePolyline(g.Map, r.Lanelets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Length() < 100 {
+		t.Errorf("route polyline length = %v", pl.Length())
+	}
+	if _, err := RoutePolyline(g.Map, []core.ID{99999}); err == nil {
+		t.Error("bad lanelet accepted")
+	}
+}
+
+func TestLaneChangesCounted(t *testing.T) {
+	// Straight 2-lane corridor: goal in the other lane forces exactly
+	// one lane change.
+	m := core.NewMap("t")
+	mk := func(y float64, x0, x1 float64) core.ID {
+		id, err := m.AddLaneFromCenterline(core.LaneSpec{
+			Centerline: geo.Polyline{geo.V2(x0, y), geo.V2(x1, y)}, Width: 3.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a1, a2 := mk(0, 0, 100), mk(0, 100, 200)
+	b1, b2 := mk(3.5, 0, 100), mk(3.5, 100, 200)
+	for _, pair := range [][2]core.ID{{a1, a2}, {b1, b2}} {
+		if err := m.Connect(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.SetNeighbors(b1, a1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetNeighbors(b2, a2, true); err != nil {
+		t.Fatal(err)
+	}
+	graph, err := m.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Dijkstra(graph, a1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc := r.LaneChanges(graph); lc != 1 {
+		t.Errorf("lane changes = %d, want 1 (route %v)", lc, r.Lanelets)
+	}
+}
+
+func TestLaneMatcher(t *testing.T) {
+	g := gridWorld(t, 356, 3, 3)
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := NewLaneMatcher(g.Map, graph)
+	target := g.Segments[worldgen.SegKey{R: 0, C: 0, Dir: worldgen.East, Lane: 1}]
+	tl, _ := g.Map.Lanelet(target)
+	// Walk along the target lanelet; belief should converge to it.
+	lm.Init(tl.Centerline.PoseAt(0), 15)
+	var okAt int = -1
+	L := tl.Centerline.Length()
+	for s := 0.0; s <= L; s += 10 {
+		pose := tl.Centerline.PoseAt(s)
+		lm.Step(pose)
+		if st, ok := lm.Match(); ok && st.Lanelet == target && okAt < 0 {
+			okAt = int(s)
+		}
+	}
+	st, ok := lm.Match()
+	if !ok {
+		t.Fatalf("matcher never confident: %+v", lm.TopK(3))
+	}
+	if st.Lanelet != target {
+		t.Errorf("matched %d, want %d (top: %+v)", st.Lanelet, target, lm.TopK(3))
+	}
+	if okAt < 0 {
+		t.Error("integrity never reached threshold")
+	}
+	// TopK is sorted and normalised.
+	top := lm.TopK(5)
+	var sum float64
+	for i := 1; i < len(top); i++ {
+		if top[i].Prob > top[i-1].Prob {
+			t.Error("TopK not sorted")
+		}
+	}
+	for _, s := range lm.TopK(1000) {
+		sum += s.Prob
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("belief sums to %v", sum)
+	}
+}
+
+func TestLaneMatcherIntegrityAmbiguous(t *testing.T) {
+	// A pose exactly between two parallel lanes with matching heading
+	// must not reach integrity immediately.
+	g := gridWorld(t, 357, 3, 3)
+	graph, _ := g.Map.BuildRouteGraph()
+	lm := NewLaneMatcher(g.Map, graph)
+	a := g.Segments[worldgen.SegKey{R: 0, C: 0, Dir: worldgen.East, Lane: 0}]
+	b := g.Segments[worldgen.SegKey{R: 0, C: 0, Dir: worldgen.East, Lane: 1}]
+	al, _ := g.Map.Lanelet(a)
+	bl, _ := g.Map.Lanelet(b)
+	mid := al.Centerline.At(20).Lerp(bl.Centerline.At(20), 0.5)
+	lm.Init(geo.Pose2{P: mid, Theta: 0}, 15)
+	lm.Step(geo.Pose2{P: mid, Theta: 0})
+	if _, ok := lm.Match(); ok {
+		t.Error("ambiguous pose reported as confident")
+	}
+}
+
+func TestPathSetPlanner(t *testing.T) {
+	center := geo.Polyline{geo.V2(0, 0), geo.V2(200, 0)}
+	p := NewPathSetPlanner(PathSetConfig{})
+	// No obstacles: stays near the centre.
+	cands := p.Generate(center, 0, 0, nil)
+	if len(cands) < 5 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	sel, err := p.Select(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel.TerminalOffset) > 0.7 {
+		t.Errorf("free road selected offset %v", sel.TerminalOffset)
+	}
+	// Obstacle ahead on the centreline (deep enough in the horizon for
+	// the smooth lateral blend to reach full clearance): the selected
+	// path must clear it.
+	obs := []Obstacle{{P: geo.V2(40, 0), R: 1}}
+	cands = p.Generate(center, 5, 0, obs)
+	sel, err = p.Select(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Clearance < 0 {
+		t.Errorf("selected colliding path: clearance %v", sel.Clearance)
+	}
+	if math.Abs(sel.TerminalOffset) < 0.5 {
+		t.Errorf("did not swerve: offset %v", sel.TerminalOffset)
+	}
+	// Inertia: with the obstacle gone, the planner returns toward centre
+	// but does not oscillate sign.
+	first := sel.TerminalOffset
+	cands = p.Generate(center, 10, first, nil)
+	sel2, err := p.Select(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.TerminalOffset*first < 0 {
+		t.Errorf("selection flipped sides: %v -> %v", first, sel2.TerminalOffset)
+	}
+	// Fully blocked road.
+	wall := []Obstacle{{P: geo.V2(25, 0), R: 6}}
+	cands = p.Generate(center, 5, 0, wall)
+	if _, err := p.Select(cands); !errors.Is(err, ErrNoFeasiblePath) {
+		t.Errorf("blocked road err = %v", err)
+	}
+}
+
+func TestPathSetInertiaReducesSwitching(t *testing.T) {
+	// A marginal obstacle placed so two paths score nearly equally:
+	// with inertia the planner should hold one side across replans.
+	center := geo.Polyline{geo.V2(0, 0), geo.V2(400, 0)}
+	rng := rand.New(rand.NewSource(358))
+	withInertia := NewPathSetPlanner(PathSetConfig{InertiaWeight: 0.5})
+	noInertia := NewPathSetPlanner(PathSetConfig{InertiaWeight: 1e-9})
+	countSwitches := func(p *PathSetPlanner) int {
+		prev := 0.0
+		switches := 0
+		for step := 0; step < 40; step++ {
+			s0 := float64(step) * 5
+			// Obstacle jitters around the centreline.
+			obs := []Obstacle{{P: geo.V2(s0+25, rng.NormFloat64()*0.12), R: 0.9}}
+			cands := p.Generate(center, s0, prev, obs)
+			sel, err := p.Select(cands)
+			if err != nil {
+				continue
+			}
+			if step > 0 && sel.TerminalOffset*prev < 0 {
+				switches++
+			}
+			prev = sel.TerminalOffset
+		}
+		return switches
+	}
+	swInertia := countSwitches(withInertia)
+	rng = rand.New(rand.NewSource(358)) // same obstacle sequence
+	swFree := countSwitches(noInertia)
+	t.Logf("side switches: inertia %d vs free %d", swInertia, swFree)
+	if swInertia > swFree {
+		t.Errorf("inertia increased switching: %d vs %d", swInertia, swFree)
+	}
+}

@@ -1,0 +1,129 @@
+package planning
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/worldgen"
+)
+
+// TestPropertySearchAgreement: on randomly generated cities, A*, BHPS and
+// Dijkstra must agree on reachability and optimal cost for random
+// origin/destination pairs, and BFS must never use more hops than the
+// others' lanelet counts allow.
+func TestPropertySearchAgreement(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g, err := worldgen.GenerateHDMapGen(worldgen.HDMapGenParams{
+			Nodes: 6 + int(seed), Extent: 900,
+		}, rand.New(rand.NewSource(800+seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		graph, err := g.Map.BuildRouteGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := graph.Nodes()
+		rng := rand.New(rand.NewSource(900 + seed))
+		for trial := 0; trial < 15; trial++ {
+			start := nodes[rng.Intn(len(nodes))]
+			goal := nodes[rng.Intn(len(nodes))]
+			dj, errD := Dijkstra(graph, start, goal)
+			as, errA := AStar(graph, g.Map, start, goal)
+			bh, errB := BHPS(graph, start, goal)
+			_, errF := BFS(graph, start, goal)
+			reach := errD == nil
+			for _, e := range []error{errA, errB, errF} {
+				if (e == nil) != reach {
+					t.Fatalf("seed %d: reachability disagreement: %v vs %v", seed, errD, e)
+				}
+			}
+			if !reach {
+				if !errors.Is(errD, ErrNoPath) {
+					t.Fatalf("unexpected error type: %v", errD)
+				}
+				continue
+			}
+			if math.Abs(dj.Cost-as.Cost) > 1e-6 || math.Abs(dj.Cost-bh.Cost) > 1e-6 {
+				t.Fatalf("seed %d trial %d: costs disagree: dj=%v a*=%v bhps=%v",
+					seed, trial, dj.Cost, as.Cost, bh.Cost)
+			}
+			// All returned routes are edge-connected and terminate
+			// correctly.
+			for _, r := range []*Route{dj, as, bh} {
+				if r.Lanelets[0] != start || r.Lanelets[len(r.Lanelets)-1] != goal {
+					t.Fatalf("bad endpoints")
+				}
+				for i := 0; i+1 < len(r.Lanelets); i++ {
+					connected := false
+					for _, e := range graph.Edges(r.Lanelets[i]) {
+						if e.To == r.Lanelets[i+1] {
+							connected = true
+						}
+					}
+					if !connected {
+						t.Fatalf("disconnected route")
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRouteCostNonNegativeMonotone: route cost equals the sum of
+// its edge costs and is non-negative.
+func TestPropertyRouteCostConsistency(t *testing.T) {
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 4, Cols: 4, Block: 120, Lanes: 2,
+	}, rand.New(rand.NewSource(801)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := graph.Nodes()
+	rng := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 25; trial++ {
+		start := nodes[rng.Intn(len(nodes))]
+		goal := nodes[rng.Intn(len(nodes))]
+		r, err := Dijkstra(graph, start, goal)
+		if errors.Is(err, ErrNoPath) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cost < 0 {
+			t.Fatalf("negative cost %v", r.Cost)
+		}
+		var sum float64
+		for i := 0; i+1 < len(r.Lanelets); i++ {
+			best := math.Inf(1)
+			for _, e := range graph.Edges(r.Lanelets[i]) {
+				if e.To == r.Lanelets[i+1] && e.Cost < best {
+					best = e.Cost
+				}
+			}
+			sum += best
+		}
+		if math.Abs(sum-r.Cost) > 1e-6 {
+			t.Fatalf("cost %v != edge sum %v", r.Cost, sum)
+		}
+		// Triangle-ish sanity: routing start->goal never costs more than
+		// start->mid->goal.
+		mid := nodes[rng.Intn(len(nodes))]
+		r1, err1 := Dijkstra(graph, start, mid)
+		r2, err2 := Dijkstra(graph, mid, goal)
+		if err1 == nil && err2 == nil {
+			if r.Cost > r1.Cost+r2.Cost+1e-6 {
+				t.Fatalf("triangle violation: %v > %v + %v", r.Cost, r1.Cost, r2.Cost)
+			}
+		}
+	}
+	_ = core.NilID
+}

@@ -1,0 +1,306 @@
+// Package planning implements lane-level path planning on the HD map's
+// topological layer: Dijkstra, A* and BFS searches, the bidirectional
+// hybrid path search of Yang et al. [62], lane-level map matching with
+// integrity monitoring (Li et al. [59]), and the Frenet path-set
+// generation with inertia-like selection of Jian et al. [52]. The
+// predictive cruise control of Chu et al. [61] lives in the pcc
+// subpackage.
+package planning
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// ErrNoPath is returned when the goal is unreachable.
+var ErrNoPath = errors.New("planning: no path")
+
+// Route is a search result.
+type Route struct {
+	// Lanelets from start to goal inclusive.
+	Lanelets []core.ID
+	// Cost is the accumulated edge cost (metres-equivalent).
+	Cost float64
+	// Expanded counts node expansions (the efficiency metric the BHPS
+	// comparison reports).
+	Expanded int
+}
+
+// LaneChanges counts lane-change edges along the route.
+func (r *Route) LaneChanges(g *core.RouteGraph) int {
+	n := 0
+	for i := 0; i+1 < len(r.Lanelets); i++ {
+		for _, e := range g.Edges(r.Lanelets[i]) {
+			if e.To == r.Lanelets[i+1] && e.Kind == core.EdgeLaneChange {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// pqItem is a priority-queue entry.
+type pqItem struct {
+	id   core.ID
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra finds the minimum-cost lanelet route.
+func Dijkstra(g *core.RouteGraph, start, goal core.ID) (*Route, error) {
+	dist := map[core.ID]float64{start: 0}
+	prev := map[core.ID]core.ID{}
+	done := map[core.ID]bool{}
+	q := &pq{{id: start}}
+	expanded := 0
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if done[cur.id] {
+			continue
+		}
+		done[cur.id] = true
+		expanded++
+		if cur.id == goal {
+			return assemble(prev, start, goal, cur.cost, expanded), nil
+		}
+		for _, e := range g.Edges(cur.id) {
+			nd := cur.cost + e.Cost
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				prev[e.To] = cur.id
+				heap.Push(q, pqItem{id: e.To, cost: nd})
+			}
+		}
+	}
+	return nil, ErrNoPath
+}
+
+// AStar finds the minimum-cost route guided by straight-line distance
+// between lanelet end points (admissible for metre-cost edges).
+func AStar(g *core.RouteGraph, m *core.Map, start, goal core.ID) (*Route, error) {
+	goalL, err := m.Lanelet(goal)
+	if err != nil {
+		return nil, err
+	}
+	goalP := goalL.Centerline.Centroid()
+	h := func(id core.ID) float64 {
+		l, err := m.Lanelet(id)
+		if err != nil {
+			return 0
+		}
+		return l.Centerline.Centroid().Dist(goalP)
+	}
+	dist := map[core.ID]float64{start: 0}
+	prev := map[core.ID]core.ID{}
+	done := map[core.ID]bool{}
+	q := &pq{{id: start, cost: h(start)}}
+	expanded := 0
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if done[cur.id] {
+			continue
+		}
+		done[cur.id] = true
+		expanded++
+		if cur.id == goal {
+			return assemble(prev, start, goal, dist[goal], expanded), nil
+		}
+		for _, e := range g.Edges(cur.id) {
+			nd := dist[cur.id] + e.Cost
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				prev[e.To] = cur.id
+				heap.Push(q, pqItem{id: e.To, cost: nd + h(e.To)})
+			}
+		}
+	}
+	return nil, ErrNoPath
+}
+
+// BFS finds the route with the fewest lanelet hops (ignores costs).
+func BFS(g *core.RouteGraph, start, goal core.ID) (*Route, error) {
+	prev := map[core.ID]core.ID{}
+	seen := map[core.ID]bool{start: true}
+	queue := []core.ID{start}
+	expanded := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		expanded++
+		if cur == goal {
+			r := assemble(prev, start, goal, 0, expanded)
+			r.Cost = pathCost(g, r.Lanelets)
+			return r, nil
+		}
+		for _, e := range g.Edges(cur) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				prev[e.To] = cur
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return nil, ErrNoPath
+}
+
+func assemble(prev map[core.ID]core.ID, start, goal core.ID, cost float64, expanded int) *Route {
+	var rev []core.ID
+	for cur := goal; ; {
+		rev = append(rev, cur)
+		if cur == start {
+			break
+		}
+		cur = prev[cur]
+	}
+	out := make([]core.ID, len(rev))
+	for i, id := range rev {
+		out[len(rev)-1-i] = id
+	}
+	return &Route{Lanelets: out, Cost: cost, Expanded: expanded}
+}
+
+func pathCost(g *core.RouteGraph, path []core.ID) float64 {
+	var c float64
+	for i := 0; i+1 < len(path); i++ {
+		best := math.Inf(1)
+		for _, e := range g.Edges(path[i]) {
+			if e.To == path[i+1] && e.Cost < best {
+				best = e.Cost
+			}
+		}
+		if !math.IsInf(best, 1) {
+			c += best
+		}
+	}
+	return c
+}
+
+// BHPS is the bidirectional hybrid path search of Yang et al. [62]: a
+// forward Dijkstra and a reverse Dijkstra (over the reversed graph)
+// expand alternately until their frontiers meet; the best meeting node
+// stitches the route. Against unidirectional Dijkstra it reaches the
+// same cost with far fewer expansions on large lane graphs.
+func BHPS(g *core.RouteGraph, start, goal core.ID) (*Route, error) {
+	rg := g.Reverse()
+	fDist := map[core.ID]float64{start: 0}
+	bDist := map[core.ID]float64{goal: 0}
+	fPrev := map[core.ID]core.ID{}
+	bPrev := map[core.ID]core.ID{}
+	fDone := map[core.ID]bool{}
+	bDone := map[core.ID]bool{}
+	fq := &pq{{id: start}}
+	bq := &pq{{id: goal}}
+	expanded := 0
+	bestMeet := core.NilID
+	bestCost := math.Inf(1)
+
+	relax := func(graph *core.RouteGraph, q *pq, dist map[core.ID]float64, prev map[core.ID]core.ID, done map[core.ID]bool, other map[core.ID]float64) bool {
+		for q.Len() > 0 {
+			cur := heap.Pop(q).(pqItem)
+			if done[cur.id] {
+				continue
+			}
+			done[cur.id] = true
+			expanded++
+			if od, ok := other[cur.id]; ok {
+				if total := dist[cur.id] + od; total < bestCost {
+					bestCost = total
+					bestMeet = cur.id
+				}
+			}
+			for _, e := range graph.Edges(cur.id) {
+				nd := dist[cur.id] + e.Cost
+				if old, ok := dist[e.To]; !ok || nd < old {
+					dist[e.To] = nd
+					prev[e.To] = cur.id
+					heap.Push(q, pqItem{id: e.To, cost: nd})
+				}
+			}
+			return true
+		}
+		return false
+	}
+
+	for {
+		fTop, bTop := math.Inf(1), math.Inf(1)
+		if fq.Len() > 0 {
+			fTop = (*fq)[0].cost
+		}
+		if bq.Len() > 0 {
+			bTop = (*bq)[0].cost
+		}
+		// Termination: the classic bidirectional stop criterion.
+		if bestMeet != core.NilID && fTop+bTop >= bestCost {
+			break
+		}
+		if math.IsInf(fTop, 1) && math.IsInf(bTop, 1) {
+			break
+		}
+		if fTop <= bTop {
+			if !relax(g, fq, fDist, fPrev, fDone, bDist) && bq.Len() == 0 {
+				break
+			}
+		} else {
+			if !relax(rg, bq, bDist, bPrev, bDone, fDist) && fq.Len() == 0 {
+				break
+			}
+		}
+	}
+	if bestMeet == core.NilID {
+		return nil, ErrNoPath
+	}
+	// Stitch: start -> meet from forward tree, meet -> goal from the
+	// backward tree (whose prev pointers walk toward goal).
+	fwd := assemble(fPrev, start, bestMeet, 0, 0).Lanelets
+	var back []core.ID
+	for cur := bestMeet; cur != goal; {
+		nxt, ok := bPrev[cur]
+		if !ok {
+			return nil, ErrNoPath
+		}
+		back = append(back, nxt)
+		cur = nxt
+	}
+	return &Route{
+		Lanelets: append(fwd, back...),
+		Cost:     bestCost,
+		Expanded: expanded,
+	}, nil
+}
+
+// RoutePolyline stitches the centrelines of a lanelet route into one
+// drivable curve.
+func RoutePolyline(m *core.Map, route []core.ID) (geo.Polyline, error) {
+	var out geo.Polyline
+	for _, id := range route {
+		l, err := m.Lanelet(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range l.Centerline {
+			if len(out) > 0 && out[len(out)-1].Dist(p) < 1e-9 {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+// Package pose implements pose estimation beyond planar localization:
+// the 6-DoF completion of HDMI-Loc [23] (a 4-DoF ground estimate is
+// extended with roll and pitch from the terrain model) and the
+// max-mixture semantic landmark refinement of Stannartz et al. [58]
+// (ambiguous data associations resolved by letting each observation pick
+// its best hypothesis every iteration, with a null hypothesis for
+// clutter).
+package pose
+
+import (
+	"errors"
+	"math"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+// ErrNoObservations is returned when refinement has nothing to work on.
+var ErrNoObservations = errors.New("pose: no observations")
+
+// CompleteSixDoF lifts a planar pose estimate to 6-DoF using the world's
+// terrain: z from the elevation model, pitch from the along-track grade,
+// roll from the cross-track grade. This mirrors HDMI-Loc's second stage,
+// which computes roll/pitch after the 4-DoF particle stage.
+func CompleteSixDoF(w *worldgen.World, ground geo.Pose2) geo.Pose3 {
+	gradeAlong := w.GradeAt(ground.P, ground.Theta)
+	gradeCross := w.GradeAt(ground.P, ground.Theta+math.Pi/2)
+	return geo.Pose3{
+		P:     ground.P.Vec3(w.ElevationAt(ground.P)),
+		Yaw:   ground.Theta,
+		Pitch: -math.Atan(gradeAlong), // nose up on ascending grade
+		Roll:  math.Atan(gradeCross),
+	}
+}
+
+// Observation is one semantic landmark detection in the vehicle frame.
+type Observation struct {
+	Local geo.Vec2
+	Class core.Class
+}
+
+// MaxMixtureConfig tunes the refinement.
+type MaxMixtureConfig struct {
+	// Iterations of associate-and-align (default 5).
+	Iterations int
+	// CandidateRadius bounds association candidates (default 8 m).
+	CandidateRadius float64
+	// NullDistance is the residual beyond which the null (clutter)
+	// hypothesis wins and the observation is dropped this iteration
+	// (default 3 m).
+	NullDistance float64
+}
+
+func (c *MaxMixtureConfig) defaults() {
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.CandidateRadius <= 0 {
+		c.CandidateRadius = 8
+	}
+	if c.NullDistance <= 0 {
+		c.NullDistance = 3
+	}
+}
+
+// MaxMixtureRefine refines a pose prior by repeatedly (1) associating
+// each observation to its maximum-likelihood map candidate given the
+// current pose — the max-mixture step — and (2) solving the rigid
+// alignment over the surviving associations. It returns the refined pose
+// and the number of observations that ended associated (not null).
+func MaxMixtureRefine(m *core.Map, prior geo.Pose2, obs []Observation, cfg MaxMixtureConfig) (geo.Pose2, int, error) {
+	cfg.defaults()
+	if len(obs) == 0 {
+		return prior, 0, ErrNoObservations
+	}
+	pose := prior
+	associated := 0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		box := geo.NewAABB(pose.P, pose.P).Expand(80)
+		var src, tgt []geo.Vec2
+		associated = 0
+		for _, o := range obs {
+			world := pose.Transform(o.Local)
+			// Max-mixture: evaluate every candidate of the class, keep
+			// the best; the null hypothesis wins beyond NullDistance.
+			var best geo.Vec2
+			bestD := cfg.NullDistance
+			found := false
+			for _, p := range m.PointsIn(box, o.Class) {
+				if d := p.Pos.XY().Dist(world); d < bestD && p.Pos.XY().Dist(world) <= cfg.CandidateRadius {
+					best, bestD = p.Pos.XY(), d
+					found = true
+				}
+			}
+			if !found {
+				continue
+			}
+			src = append(src, world)
+			tgt = append(tgt, best)
+			associated++
+		}
+		if associated < 2 {
+			return pose, associated, nil
+		}
+		delta := rigidAlign(src, tgt)
+		pose = delta.Compose(pose)
+		if delta.P.Norm() < 1e-4 && math.Abs(delta.Theta) < 1e-5 {
+			break
+		}
+	}
+	return pose, associated, nil
+}
+
+// rigidAlign is the closed-form 2D alignment.
+func rigidAlign(src, tgt []geo.Vec2) geo.Pose2 {
+	n := float64(len(src))
+	var cs, ct geo.Vec2
+	for i := range src {
+		cs = cs.Add(src[i])
+		ct = ct.Add(tgt[i])
+	}
+	cs, ct = cs.Scale(1/n), ct.Scale(1/n)
+	var sxx, sxy, syx, syy float64
+	for i := range src {
+		a := src[i].Sub(cs)
+		b := tgt[i].Sub(ct)
+		sxx += a.X * b.X
+		sxy += a.X * b.Y
+		syx += a.Y * b.X
+		syy += a.Y * b.Y
+	}
+	theta := math.Atan2(sxy-syx, sxx+syy)
+	rcs := cs.Rotate(theta)
+	return geo.Pose2{P: ct.Sub(rcs), Theta: theta}
+}

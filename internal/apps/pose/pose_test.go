@@ -1,0 +1,150 @@
+package pose
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+func TestCompleteSixDoF(t *testing.T) {
+	rng := rand.New(rand.NewSource(341))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 500, Lanes: 2, HillAmp: 25,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ground := geo.NewPose2(250, -3.6, 0.1)
+	p6 := CompleteSixDoF(hw.World, ground)
+	if p6.P.XY() != ground.P || p6.Yaw != ground.Theta {
+		t.Error("planar components changed")
+	}
+	if p6.P.Z != hw.ElevationAt(ground.P) {
+		t.Error("z not from terrain")
+	}
+	// Roll/pitch bounded by the terrain's maximum slope.
+	if math.Abs(p6.Pitch) > 0.3 || math.Abs(p6.Roll) > 0.3 {
+		t.Errorf("implausible attitude: pitch=%v roll=%v", p6.Pitch, p6.Roll)
+	}
+	// On flat terrain both vanish.
+	flat, _ := worldgen.GenerateHighway(worldgen.HighwayParams{LengthM: 200}, rand.New(rand.NewSource(342)))
+	p6f := CompleteSixDoF(flat.World, geo.NewPose2(100, -3.6, 0))
+	if p6f.Pitch != 0 || p6f.Roll != 0 || p6f.P.Z != 0 {
+		t.Errorf("flat terrain gave pitch=%v roll=%v z=%v", p6f.Pitch, p6f.Roll, p6f.P.Z)
+	}
+}
+
+func TestSixDoFPitchSign(t *testing.T) {
+	// Construct a world with a known slope via a hilly highway and check
+	// the pitch opposes the grade direction consistently: driving uphill
+	// (positive grade) -> positive pitch per our convention (nose up =
+	// -atan(grade)... verify internal consistency both directions).
+	rng := rand.New(rand.NewSource(343))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{LengthM: 2000, HillAmp: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.V2(700, -3.6)
+	fwd := CompleteSixDoF(hw.World, geo.Pose2{P: p, Theta: 0})
+	bwd := CompleteSixDoF(hw.World, geo.Pose2{P: p, Theta: math.Pi})
+	if math.Abs(fwd.Pitch+bwd.Pitch) > 1e-9 {
+		t.Errorf("pitch must flip with direction: %v vs %v", fwd.Pitch, bwd.Pitch)
+	}
+	if math.Abs(fwd.Roll+bwd.Roll) > 1e-9 {
+		t.Errorf("roll must flip with direction: %v vs %v", fwd.Roll, bwd.Roll)
+	}
+}
+
+func TestMaxMixtureRefine(t *testing.T) {
+	m := core.NewMap("t")
+	rng := rand.New(rand.NewSource(344))
+	var landmarks []geo.Vec2
+	for i := 0; i < 12; i++ {
+		p := geo.V2(rng.Float64()*80, rng.Float64()*40-20)
+		landmarks = append(landmarks, p)
+		m.AddPoint(core.PointElement{Class: core.ClassSign, Pos: p.Vec3(2)})
+	}
+	truth := geo.NewPose2(40, 0, 0.05)
+	var obs []Observation
+	for _, lm := range landmarks {
+		local := truth.InverseTransform(lm)
+		if local.Norm() > 50 {
+			continue
+		}
+		obs = append(obs, Observation{
+			Local: local.Add(geo.V2(rng.NormFloat64()*0.1, rng.NormFloat64()*0.1)),
+			Class: core.ClassSign,
+		})
+	}
+	// Clutter observation with no map counterpart anywhere near.
+	obs = append(obs, Observation{Local: geo.V2(5, 200), Class: core.ClassSign})
+	prior := geo.NewPose2(41.5, 1.2, 0.12)
+	refined, associated, err := MaxMixtureRefine(m, prior, obs, MaxMixtureConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if associated < len(obs)-1 {
+		t.Errorf("associated = %d of %d", associated, len(obs)-1)
+	}
+	priorErr := prior.P.Dist(truth.P)
+	refErr := refined.P.Dist(truth.P)
+	if refErr >= priorErr {
+		t.Errorf("refinement did not improve: %v -> %v", priorErr, refErr)
+	}
+	if refErr > 0.2 {
+		t.Errorf("refined error = %v m", refErr)
+	}
+	if hd := math.Abs(geo.AngleDiff(refined.Theta, truth.Theta)); hd > 0.02 {
+		t.Errorf("refined heading error = %v", hd)
+	}
+}
+
+func TestMaxMixtureAmbiguity(t *testing.T) {
+	// Two identical landmark rows 4 m apart: a naive nearest association
+	// from a bad prior picks the wrong row; max-mixture re-association
+	// across iterations must still converge to a consistent alignment.
+	m := core.NewMap("t")
+	for x := 0.0; x < 60; x += 10 {
+		m.AddPoint(core.PointElement{Class: core.ClassPole, Pos: geo.V3(x, 0, 3)})
+		m.AddPoint(core.PointElement{Class: core.ClassPole, Pos: geo.V3(x, 4, 3)})
+	}
+	truth := geo.NewPose2(30, 2, 0)
+	var obs []Observation
+	for x := 0.0; x < 60; x += 10 {
+		for _, y := range []float64{0.0, 4.0} {
+			obs = append(obs, Observation{
+				Local: truth.InverseTransform(geo.V2(x, y)), Class: core.ClassPole,
+			})
+		}
+	}
+	prior := geo.NewPose2(30, 3.2, 0) // 1.2 m off toward the wrong row
+	refined, _, err := MaxMixtureRefine(m, prior, obs, MaxMixtureConfig{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converges to truth or to the 4 m-shifted alias — both are
+	// self-consistent; the residual must be near zero for one of them.
+	d1 := refined.P.Dist(truth.P)
+	d2 := refined.P.Dist(truth.P.Add(geo.V2(0, 4)))
+	if math.Min(d1, d2) > 0.3 {
+		t.Errorf("did not converge to a consistent mode: %v / %v", d1, d2)
+	}
+}
+
+func TestMaxMixtureErrors(t *testing.T) {
+	m := core.NewMap("t")
+	if _, _, err := MaxMixtureRefine(m, geo.Pose2{}, nil, MaxMixtureConfig{}); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("err = %v", err)
+	}
+	// All observations are clutter: pose unchanged, associated = 0.
+	prior := geo.NewPose2(1, 2, 0.3)
+	got, n, err := MaxMixtureRefine(m, prior, []Observation{{Local: geo.V2(1, 1), Class: core.ClassSign}}, MaxMixtureConfig{})
+	if err != nil || n != 0 || got != prior {
+		t.Errorf("clutter-only refine: %v n=%d err=%v", got, n, err)
+	}
+}

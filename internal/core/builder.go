@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"hdmaps/internal/geo"
+)
+
+// LaneSpec describes one lane to build from a centreline.
+type LaneSpec struct {
+	Centerline geo.Polyline
+	Width      float64
+	Type       LaneType
+	SpeedLimit float64 // m/s, 0 = unposted
+	LeftBound  BoundaryType
+	RightBound BoundaryType
+	Source     string
+}
+
+// AddLaneFromCenterline derives the left/right bound line elements from
+// the centreline by lateral offsetting, inserts all three, and returns
+// the lanelet ID. It is the standard constructor used by the world
+// generator and the creation pipelines. It returns geo.ErrDegenerate
+// (wrapped) for centrelines with fewer than two vertices or non-positive
+// width.
+func (m *Map) AddLaneFromCenterline(spec LaneSpec) (ID, error) {
+	if len(spec.Centerline) < 2 || spec.Width <= 0 {
+		return NilID, fmt.Errorf("lane from centreline (%d pts, width %v): %w",
+			len(spec.Centerline), spec.Width, geo.ErrDegenerate)
+	}
+	half := spec.Width / 2
+	left := m.AddLine(LineElement{
+		Class:    ClassLaneBoundary,
+		Geometry: spec.Centerline.Offset(half),
+		Boundary: spec.LeftBound,
+		Meta:     Meta{Confidence: 1, Source: spec.Source},
+	})
+	right := m.AddLine(LineElement{
+		Class:    ClassLaneBoundary,
+		Geometry: spec.Centerline.Offset(-half),
+		Boundary: spec.RightBound,
+		Meta:     Meta{Confidence: 1, Source: spec.Source},
+	})
+	id := m.AddLanelet(Lanelet{
+		Left:       left,
+		Right:      right,
+		Centerline: spec.Centerline.Clone(),
+		Type:       spec.Type,
+		SpeedLimit: spec.SpeedLimit,
+		Meta:       Meta{Confidence: 1, Source: spec.Source},
+	})
+	return id, nil
+}
+
+// Connect records that a vehicle leaving lanelet from can continue into
+// lanelet to. It returns ErrNotFound (wrapped) for unknown IDs.
+func (m *Map) Connect(from, to ID) error {
+	fl, err := m.Lanelet(from)
+	if err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+	if _, err := m.Lanelet(to); err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+	for _, s := range fl.Successors {
+		if s == to {
+			return nil // already connected
+		}
+	}
+	fl.Successors = append(fl.Successors, to)
+	fl.Meta.touch(m.Tick())
+	return nil
+}
+
+// SetNeighbors records the lane-change adjacency between two parallel
+// lanelets: left is to the left of right in driving direction. Pass
+// bidirectional=false when only right-to-left changes are legal (e.g.
+// a solid line on one side).
+func (m *Map) SetNeighbors(left, right ID, bidirectional bool) error {
+	ll, err := m.Lanelet(left)
+	if err != nil {
+		return fmt.Errorf("set neighbors: %w", err)
+	}
+	rl, err := m.Lanelet(right)
+	if err != nil {
+		return fmt.Errorf("set neighbors: %w", err)
+	}
+	ll.RightNeighbor = right
+	ll.Meta.touch(m.Tick())
+	if bidirectional {
+		rl.LeftNeighbor = left
+		rl.Meta.touch(m.Tick())
+	}
+	return nil
+}
+
+// AttachRegulatory links an existing regulatory element to a lanelet in
+// both directions.
+func (m *Map) AttachRegulatory(lanelet, reg ID) error {
+	l, err := m.Lanelet(lanelet)
+	if err != nil {
+		return fmt.Errorf("attach regulatory: %w", err)
+	}
+	r, err := m.Regulatory(reg)
+	if err != nil {
+		return fmt.Errorf("attach regulatory: %w", err)
+	}
+	l.Regulatory = append(l.Regulatory, reg)
+	r.Lanelets = append(r.Lanelets, lanelet)
+	l.Meta.touch(m.Tick())
+	r.Meta.touch(m.Tick())
+	return nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+
+	"hdmaps/internal/geo"
+)
+
+// ChangeKind classifies one entry of a map diff.
+type ChangeKind uint8
+
+// Change kinds.
+const (
+	ChangeAdded ChangeKind = iota
+	ChangeRemoved
+	ChangeMoved
+	ChangeAttr
+)
+
+// String implements fmt.Stringer.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeAdded:
+		return "added"
+	case ChangeRemoved:
+		return "removed"
+	case ChangeMoved:
+		return "moved"
+	case ChangeAttr:
+		return "attr"
+	default:
+		return "unknown"
+	}
+}
+
+// Change describes one difference between two maps.
+type Change struct {
+	Kind  ChangeKind
+	Class Class
+	// ID is the element ID in the base map (removed/moved/attr) or in the
+	// other map (added).
+	ID ID
+	// Displacement is the movement distance for ChangeMoved.
+	Displacement float64
+	// Where locates the change for reporting.
+	Where geo.Vec2
+}
+
+// DiffOptions tunes geometric diffing.
+type DiffOptions struct {
+	// MatchRadius pairs elements of the same class whose positions are
+	// within this distance (metres).
+	MatchRadius float64
+	// MoveTolerance is the displacement below which matched elements are
+	// considered unchanged.
+	MoveTolerance float64
+}
+
+// DefaultDiffOptions matches elements within 5 m and flags moves above
+// 0.2 m — the regime of the surveyed change-detection systems.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{MatchRadius: 5, MoveTolerance: 0.2}
+}
+
+// Diff compares the physical layers of two maps geometrically (IDs are
+// not assumed stable across maps: crowdsourced rebuilds renumber
+// everything). Point elements are matched greedily nearest-first within
+// MatchRadius and same class; line elements are matched by mean curve
+// distance. The result lists additions (in other, not base), removals
+// (in base, not other) and moves.
+func Diff(base, other *Map, opt DiffOptions) []Change {
+	var changes []Change
+	changes = append(changes, diffPoints(base, other, opt)...)
+	changes = append(changes, diffLines(base, other, opt)...)
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].Kind != changes[j].Kind {
+			return changes[i].Kind < changes[j].Kind
+		}
+		return changes[i].ID < changes[j].ID
+	})
+	return changes
+}
+
+type pointPair struct {
+	baseID, otherID ID
+	dist            float64
+}
+
+func diffPoints(base, other *Map, opt DiffOptions) []Change {
+	// Candidate pairs within radius, same class.
+	var pairs []pointPair
+	otherByID := make(map[ID]*PointElement)
+	for _, oid := range other.PointIDs() {
+		op, _ := other.Point(oid)
+		otherByID[oid] = op
+	}
+	for _, bid := range base.PointIDs() {
+		bp, _ := base.Point(bid)
+		for _, oid := range other.PointIDs() {
+			op := otherByID[oid]
+			if op.Class != bp.Class {
+				continue
+			}
+			if d := bp.Pos.XY().Dist(op.Pos.XY()); d <= opt.MatchRadius {
+				pairs = append(pairs, pointPair{bid, oid, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].dist < pairs[j].dist })
+	matchedBase := make(map[ID]ID)
+	matchedOther := make(map[ID]bool)
+	moved := make(map[ID]float64)
+	for _, pr := range pairs {
+		if _, ok := matchedBase[pr.baseID]; ok {
+			continue
+		}
+		if matchedOther[pr.otherID] {
+			continue
+		}
+		matchedBase[pr.baseID] = pr.otherID
+		matchedOther[pr.otherID] = true
+		if pr.dist > opt.MoveTolerance {
+			moved[pr.baseID] = pr.dist
+		}
+	}
+	var changes []Change
+	for _, bid := range base.PointIDs() {
+		bp, _ := base.Point(bid)
+		if _, ok := matchedBase[bid]; !ok {
+			changes = append(changes, Change{
+				Kind: ChangeRemoved, Class: bp.Class, ID: bid, Where: bp.Pos.XY(),
+			})
+		} else if d, ok := moved[bid]; ok {
+			changes = append(changes, Change{
+				Kind: ChangeMoved, Class: bp.Class, ID: bid,
+				Displacement: d, Where: bp.Pos.XY(),
+			})
+		}
+	}
+	for _, oid := range other.PointIDs() {
+		if !matchedOther[oid] {
+			op := otherByID[oid]
+			changes = append(changes, Change{
+				Kind: ChangeAdded, Class: op.Class, ID: oid, Where: op.Pos.XY(),
+			})
+		}
+	}
+	return changes
+}
+
+func diffLines(base, other *Map, opt DiffOptions) []Change {
+	type linePair struct {
+		baseID, otherID ID
+		dist            float64
+	}
+	var pairs []linePair
+	otherByID := make(map[ID]*LineElement)
+	for _, oid := range other.LineIDs() {
+		ol, _ := other.Line(oid)
+		otherByID[oid] = ol
+	}
+	for _, bid := range base.LineIDs() {
+		bl, _ := base.Line(bid)
+		for _, oid := range other.LineIDs() {
+			ol := otherByID[oid]
+			if ol.Class != bl.Class {
+				continue
+			}
+			if !bl.Bounds().Expand(opt.MatchRadius).Intersects(ol.Bounds()) {
+				continue
+			}
+			d := geo.MeanDistance(bl.Geometry, ol.Geometry)
+			if d <= opt.MatchRadius {
+				pairs = append(pairs, linePair{bid, oid, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].dist < pairs[j].dist })
+	matchedBase := make(map[ID]ID)
+	matchedOther := make(map[ID]bool)
+	moved := make(map[ID]float64)
+	for _, pr := range pairs {
+		if _, ok := matchedBase[pr.baseID]; ok {
+			continue
+		}
+		if matchedOther[pr.otherID] {
+			continue
+		}
+		matchedBase[pr.baseID] = pr.otherID
+		matchedOther[pr.otherID] = true
+		if pr.dist > opt.MoveTolerance {
+			moved[pr.baseID] = pr.dist
+		}
+	}
+	var changes []Change
+	for _, bid := range base.LineIDs() {
+		bl, _ := base.Line(bid)
+		if _, ok := matchedBase[bid]; !ok {
+			changes = append(changes, Change{
+				Kind: ChangeRemoved, Class: bl.Class, ID: bid,
+				Where: bl.Geometry.Centroid(),
+			})
+		} else if d, ok := moved[bid]; ok {
+			changes = append(changes, Change{
+				Kind: ChangeMoved, Class: bl.Class, ID: bid,
+				Displacement: d, Where: bl.Geometry.Centroid(),
+			})
+		}
+	}
+	for _, oid := range other.LineIDs() {
+		if !matchedOther[oid] {
+			ol := otherByID[oid]
+			changes = append(changes, Change{
+				Kind: ChangeAdded, Class: ol.Class, ID: oid,
+				Where: ol.Geometry.Centroid(),
+			})
+		}
+	}
+	return changes
+}

@@ -1,0 +1,224 @@
+// Package core implements the layered HD-map data model that the rest of
+// hdmaps is built around. It follows the architecture the surveyed
+// frameworks converge on — Lanelet2's three layers fused with HiDAM's
+// lane-bundle view of road segments:
+//
+//   - The physical layer stores observable elements: points (signs,
+//     lights, poles), linestrings (lane boundaries, stop lines, road
+//     edges) and polygons (crosswalks, intersection areas).
+//   - The relational layer groups physical elements into lanelets
+//     (left/right bound + centreline + regulatory references) and bundles
+//     parallel lanelets of one carriageway into lane bundles.
+//   - The topological layer is derived: a lane-level routing graph
+//     inferred from lanelet adjacency and successor relations.
+//
+// Every element carries versioning metadata (version, logical timestamp,
+// confidence, source) so that the creation and update pipelines can fuse
+// repeated observations and the diff machinery can reason about change.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hdmaps/internal/geo"
+)
+
+// ID uniquely identifies an element within a map. IDs are assigned by the
+// Map and are stable across serialization.
+type ID int64
+
+// NilID is the zero, never-assigned ID.
+const NilID ID = 0
+
+// Class is the semantic class of a physical element. The eight-bit class
+// space is deliberate: it is what lets the HDMI-Loc raster represent each
+// cell as one byte with one bit per class group.
+type Class uint8
+
+// Physical element classes.
+const (
+	ClassUnknown Class = iota
+	ClassLaneBoundary
+	ClassCenterline
+	ClassRoadEdge
+	ClassStopLine
+	ClassCrosswalk
+	ClassSign
+	ClassTrafficLight
+	ClassPole
+	ClassBarrier
+	ClassArrowMarking
+	ClassParkingArea
+	ClassIntersectionArea
+	ClassBuilding
+	classCount
+)
+
+var classNames = [...]string{
+	"unknown", "lane_boundary", "centerline", "road_edge", "stop_line",
+	"crosswalk", "sign", "traffic_light", "pole", "barrier",
+	"arrow_marking", "parking_area", "intersection_area", "building",
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool { return c < classCount }
+
+// BoundaryType describes how a lane boundary may be crossed.
+type BoundaryType uint8
+
+// Boundary types.
+const (
+	BoundaryUnknown BoundaryType = iota
+	BoundarySolid                // crossing prohibited
+	BoundaryDashed               // lane changes allowed
+	BoundaryCurb                 // physical edge
+	BoundaryVirtual              // inferred, e.g. inside intersections
+)
+
+// String implements fmt.Stringer.
+func (b BoundaryType) String() string {
+	switch b {
+	case BoundarySolid:
+		return "solid"
+	case BoundaryDashed:
+		return "dashed"
+	case BoundaryCurb:
+		return "curb"
+	case BoundaryVirtual:
+		return "virtual"
+	default:
+		return "unknown"
+	}
+}
+
+// Meta is the versioning and provenance header carried by every element.
+type Meta struct {
+	Version    int     // increments on every mutation
+	Stamp      uint64  // logical timestamp of the last update
+	Confidence float64 // [0,1] belief that the element matches the world
+	Observy    int     // number of observations fused into the element
+	Source     string  // producing pipeline, e.g. "lidar", "crowd", "survey"
+}
+
+// touch records a mutation at logical time stamp.
+func (m *Meta) touch(stamp uint64) {
+	m.Version++
+	m.Stamp = stamp
+}
+
+// PointElement is a physical point feature: sign, light, pole.
+type PointElement struct {
+	ID    ID
+	Class Class
+	Pos   geo.Vec3
+	// Heading is the facing direction for oriented features (signs,
+	// lights); NaN-free zero means unoriented.
+	Heading float64
+	// Attr holds free-form attributes (sign type, light cycle, ...).
+	Attr map[string]string
+	Meta Meta
+}
+
+// Bounds implements spatial.Item.
+func (p *PointElement) Bounds() geo.AABB {
+	return geo.NewAABB(p.Pos.XY(), p.Pos.XY())
+}
+
+// LineElement is a physical polyline feature: lane boundary, stop line,
+// road edge, centreline.
+type LineElement struct {
+	ID       ID
+	Class    Class
+	Geometry geo.Polyline
+	Boundary BoundaryType // meaningful for ClassLaneBoundary
+	Attr     map[string]string
+	Meta     Meta
+
+	bounds geo.AABB // cached; zero value = dirty (empty box)
+}
+
+// Bounds implements spatial.Item with caching (geometry is treated as
+// immutable once inserted; mutating pipelines replace elements).
+func (l *LineElement) Bounds() geo.AABB {
+	if l.bounds.IsEmpty() {
+		l.bounds = l.Geometry.Bounds()
+	}
+	return l.bounds
+}
+
+// invalidate clears the cached bounds after geometry replacement.
+func (l *LineElement) invalidate() { l.bounds = geo.EmptyAABB() }
+
+// AreaElement is a physical polygon feature: crosswalk, parking area,
+// intersection area, building footprint.
+type AreaElement struct {
+	ID      ID
+	Class   Class
+	Outline geo.Polygon
+	Attr    map[string]string
+	Meta    Meta
+}
+
+// Bounds implements spatial.Item.
+func (a *AreaElement) Bounds() geo.AABB { return a.Outline.Bounds() }
+
+// RegulatoryElement ties physical elements to a traffic rule: a sign or
+// light, the stop line it governs, and the lanelets it applies to.
+type RegulatoryElement struct {
+	ID       ID
+	Kind     RegulatoryKind
+	Devices  []ID // point elements (signs, lights)
+	StopLine ID   // optional line element
+	Lanelets []ID // lanelets governed by the rule
+	// Value carries rule parameters, e.g. the speed limit in m/s.
+	Value float64
+	Meta  Meta
+}
+
+// RegulatoryKind enumerates supported traffic rules.
+type RegulatoryKind uint8
+
+// Regulatory kinds.
+const (
+	RegUnknown RegulatoryKind = iota
+	RegSpeedLimit
+	RegStop
+	RegYield
+	RegTrafficLight
+)
+
+// String implements fmt.Stringer.
+func (k RegulatoryKind) String() string {
+	switch k {
+	case RegSpeedLimit:
+		return "speed_limit"
+	case RegStop:
+		return "stop"
+	case RegYield:
+		return "yield"
+	case RegTrafficLight:
+		return "traffic_light"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors shared by map operations.
+var (
+	// ErrNotFound is returned when an element ID does not exist.
+	ErrNotFound = errors.New("core: element not found")
+	// ErrInvalidElement is returned when an element fails validation.
+	ErrInvalidElement = errors.New("core: invalid element")
+	// ErrDanglingRef is returned when a relation references a missing
+	// element.
+	ErrDanglingRef = errors.New("core: dangling reference")
+)

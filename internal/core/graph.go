@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeKind distinguishes the ways a vehicle moves between lanelets.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeSuccessor  EdgeKind = iota // continue straight into the next lanelet
+	EdgeLaneChange                 // lateral move to a neighbour lanelet
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	if k == EdgeSuccessor {
+		return "successor"
+	}
+	return "lane_change"
+}
+
+// Edge is a directed edge of the topological layer.
+type Edge struct {
+	From, To ID
+	Kind     EdgeKind
+	// Cost is the traversal cost in metres-equivalent (length for
+	// successors, a configurable penalty for lane changes).
+	Cost float64
+}
+
+// RouteGraph is the topological layer: the lane-level routing graph
+// derived from lanelet relations. Lanelet2 infers this layer implicitly
+// from the relational layer; RouteGraph materialises it once so that the
+// planners can run graph searches without touching map internals.
+type RouteGraph struct {
+	adj   map[ID][]Edge
+	nodes []ID
+}
+
+// LaneChangePenalty is the default metres-equivalent cost of one lane
+// change, tuned so that planners prefer staying in lane unless a change
+// shortens the route meaningfully.
+const LaneChangePenalty = 15.0
+
+// BuildRouteGraph derives the topological layer from the relational
+// layer. It returns ErrDanglingRef (wrapped) if a lanelet references a
+// missing successor or neighbour.
+func (m *Map) BuildRouteGraph() (*RouteGraph, error) {
+	g := &RouteGraph{adj: make(map[ID][]Edge, len(m.lanelets))}
+	for _, id := range m.LaneletIDs() {
+		l := m.lanelets[id]
+		g.nodes = append(g.nodes, id)
+		for _, succ := range l.Successors {
+			sl, ok := m.lanelets[succ]
+			if !ok {
+				return nil, fmt.Errorf("lanelet %d successor %d: %w", id, succ, ErrDanglingRef)
+			}
+			g.adj[id] = append(g.adj[id], Edge{
+				From: id, To: succ, Kind: EdgeSuccessor, Cost: sl.Length(),
+			})
+		}
+		for _, nb := range []ID{l.LeftNeighbor, l.RightNeighbor} {
+			if nb == NilID {
+				continue
+			}
+			if _, ok := m.lanelets[nb]; !ok {
+				return nil, fmt.Errorf("lanelet %d neighbor %d: %w", id, nb, ErrDanglingRef)
+			}
+			g.adj[id] = append(g.adj[id], Edge{
+				From: id, To: nb, Kind: EdgeLaneChange, Cost: LaneChangePenalty,
+			})
+		}
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+	return g, nil
+}
+
+// Nodes returns all lanelet IDs in the graph in ascending order.
+func (g *RouteGraph) Nodes() []ID { return g.nodes }
+
+// Edges returns the outgoing edges of node id.
+func (g *RouteGraph) Edges(id ID) []Edge { return g.adj[id] }
+
+// NumEdges returns the total directed edge count.
+func (g *RouteGraph) NumEdges() int {
+	n := 0
+	for _, es := range g.adj {
+		n += len(es)
+	}
+	return n
+}
+
+// Reverse returns the graph with all edges reversed (used by backward
+// searches in the bidirectional planner).
+func (g *RouteGraph) Reverse() *RouteGraph {
+	r := &RouteGraph{
+		adj:   make(map[ID][]Edge, len(g.adj)),
+		nodes: append([]ID(nil), g.nodes...),
+	}
+	for _, es := range g.adj {
+		for _, e := range es {
+			r.adj[e.To] = append(r.adj[e.To], Edge{
+				From: e.To, To: e.From, Kind: e.Kind, Cost: e.Cost,
+			})
+		}
+	}
+	return r
+}

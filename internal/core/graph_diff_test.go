@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hdmaps/internal/geo"
+)
+
+// buildCorridor creates n consecutive lanelets in 2 parallel lanes and
+// returns the lanelet IDs as [segment][lane].
+func buildCorridor(t *testing.T, m *Map, segments int) [][2]ID {
+	t.Helper()
+	out := make([][2]ID, segments)
+	for s := 0; s < segments; s++ {
+		x0, x1 := float64(s*100), float64((s+1)*100)
+		out[s][0] = straightLane(t, m, x0, 0, x1)
+		out[s][1] = straightLane(t, m, x0, 3.5, x1)
+		if err := m.SetNeighbors(out[s][1], out[s][0], true); err != nil {
+			t.Fatal(err)
+		}
+		if s > 0 {
+			if err := m.Connect(out[s-1][0], out[s][0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Connect(out[s-1][1], out[s][1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return out
+}
+
+func TestBuildRouteGraph(t *testing.T) {
+	m := NewMap("t")
+	ids := buildCorridor(t, m, 3)
+	g, err := m.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes()) != 6 {
+		t.Errorf("nodes = %d", len(g.Nodes()))
+	}
+	// Each segment-0/1 lanelet: 1 successor (except last) + 1 lane change.
+	// successors: 4, lane changes: 6 -> 10 edges.
+	if g.NumEdges() != 10 {
+		t.Errorf("edges = %d, want 10", g.NumEdges())
+	}
+	edges := g.Edges(ids[0][0])
+	var hasSucc, hasChange bool
+	for _, e := range edges {
+		switch e.Kind {
+		case EdgeSuccessor:
+			hasSucc = true
+			if e.Cost != 100 {
+				t.Errorf("successor cost = %v", e.Cost)
+			}
+		case EdgeLaneChange:
+			hasChange = true
+			if e.Cost != LaneChangePenalty {
+				t.Errorf("lane change cost = %v", e.Cost)
+			}
+		}
+	}
+	if !hasSucc || !hasChange {
+		t.Errorf("edge kinds missing: %+v", edges)
+	}
+}
+
+func TestRouteGraphReverse(t *testing.T) {
+	m := NewMap("t")
+	ids := buildCorridor(t, m, 2)
+	g, err := m.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Reverse()
+	if r.NumEdges() != g.NumEdges() {
+		t.Errorf("reverse edges = %d, want %d", r.NumEdges(), g.NumEdges())
+	}
+	// Forward successor a->b becomes b->a in reverse.
+	found := false
+	for _, e := range r.Edges(ids[1][0]) {
+		if e.To == ids[0][0] && e.Kind == EdgeSuccessor {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reversed successor edge missing")
+	}
+}
+
+func TestBuildRouteGraphDangling(t *testing.T) {
+	m := NewMap("t")
+	a := straightLane(t, m, 0, 0, 50)
+	al, _ := m.Lanelet(a)
+	al.Successors = append(al.Successors, 999)
+	if _, err := m.BuildRouteGraph(); !errors.Is(err, ErrDanglingRef) {
+		t.Errorf("dangling successor error = %v", err)
+	}
+}
+
+func TestValidateCleanMap(t *testing.T) {
+	m := NewMap("t")
+	buildCorridor(t, m, 2)
+	if issues := m.Validate(); len(issues) != 0 {
+		t.Errorf("clean map has issues: %v", issues)
+	}
+}
+
+func TestValidateFindsProblems(t *testing.T) {
+	m := NewMap("t")
+	// Line with one vertex.
+	m.AddLine(LineElement{Class: ClassStopLine, Geometry: geo.Polyline{geo.V2(0, 0)}})
+	// Lanelet with missing bounds.
+	m.AddLanelet(Lanelet{Left: 100, Right: 101, Centerline: geo.Polyline{geo.V2(0, 0), geo.V2(1, 0)}})
+	// Point with bad confidence.
+	m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(0, 0, 0), Meta: Meta{Confidence: 2}})
+	// Area with 2 vertices.
+	m.AddArea(AreaElement{Class: ClassCrosswalk, Outline: geo.Polygon{geo.V2(0, 0), geo.V2(1, 0)}})
+	issues := m.Validate()
+	if len(issues) < 4 {
+		t.Errorf("found %d issues, want >= 4: %v", len(issues), issues)
+	}
+	for _, iss := range issues {
+		if iss.String() == "" {
+			t.Error("empty issue string")
+		}
+	}
+}
+
+func TestDiffAddRemoveMove(t *testing.T) {
+	base := NewMap("base")
+	s1 := base.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(10, 0, 2)})
+	base.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(50, 0, 2)})
+	base.AddLine(LineElement{Class: ClassLaneBoundary, Geometry: geo.Polyline{geo.V2(0, 0), geo.V2(100, 0)}})
+
+	other := NewMap("other")
+	other.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(10.05, 0, 2)}) // unchanged (5 cm)
+	other.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(52, 0, 2)})    // moved 2 m
+	other.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(80, 0, 2)})    // added
+	other.AddLine(LineElement{Class: ClassLaneBoundary, Geometry: geo.Polyline{geo.V2(0, 0.05), geo.V2(100, 0.05)}})
+
+	changes := Diff(base, other, DefaultDiffOptions())
+	var added, removed, moved int
+	for _, c := range changes {
+		switch c.Kind {
+		case ChangeAdded:
+			added++
+		case ChangeRemoved:
+			removed++
+		case ChangeMoved:
+			moved++
+			if c.ID == s1 {
+				t.Error("unmoved sign flagged as moved")
+			}
+			if c.Displacement < 1.9 || c.Displacement > 2.1 {
+				t.Errorf("displacement = %v", c.Displacement)
+			}
+		}
+	}
+	if added != 1 || removed != 0 || moved != 1 {
+		t.Errorf("added=%d removed=%d moved=%d; %+v", added, removed, moved, changes)
+	}
+}
+
+func TestDiffClassMismatchNoMatch(t *testing.T) {
+	base := NewMap("base")
+	base.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(10, 0, 2)})
+	other := NewMap("other")
+	other.AddPoint(PointElement{Class: ClassPole, Pos: geo.V3(10, 0, 2)})
+	changes := Diff(base, other, DefaultDiffOptions())
+	// Same position, different class: one removed + one added.
+	if len(changes) != 2 {
+		t.Errorf("changes = %v", changes)
+	}
+}
+
+func TestDiffLineRemoved(t *testing.T) {
+	base := NewMap("base")
+	base.AddLine(LineElement{Class: ClassStopLine, Geometry: geo.Polyline{geo.V2(0, 0), geo.V2(3, 0)}})
+	other := NewMap("other")
+	changes := Diff(base, other, DefaultDiffOptions())
+	if len(changes) != 1 || changes[0].Kind != ChangeRemoved || changes[0].Class != ClassStopLine {
+		t.Errorf("changes = %+v", changes)
+	}
+}
+
+func TestDiffEmptyMaps(t *testing.T) {
+	if ch := Diff(NewMap("a"), NewMap("b"), DefaultDiffOptions()); len(ch) != 0 {
+		t.Errorf("empty diff = %v", ch)
+	}
+}
+
+func TestTaxonomyCoversTableI(t *testing.T) {
+	entries := Taxonomy()
+	if len(entries) != 8 {
+		t.Fatalf("taxonomy rows = %d, want 8 (Table I)", len(entries))
+	}
+	subAreas := map[string]bool{}
+	var design, apps int
+	for _, e := range entries {
+		if len(e.Packages) == 0 {
+			t.Errorf("%s has no implementing packages", e.SubArea)
+		}
+		if len(e.Systems) == 0 {
+			t.Errorf("%s has no reproduced systems", e.SubArea)
+		}
+		subAreas[e.SubArea] = true
+		switch e.Category {
+		case CategoryDesignConstruction:
+			design++
+		case CategoryApplications:
+			apps++
+		default:
+			t.Errorf("unknown category %q", e.Category)
+		}
+	}
+	if design != 3 || apps != 5 {
+		t.Errorf("category split = %d/%d, want 3/5", design, apps)
+	}
+	for _, want := range []string{
+		"Map Modeling and Design", "Map Creation", "Map Maintenance and Update",
+		"Localization", "Pose Estimation", "Path Planning", "Perception", "ATVs",
+	} {
+		if !subAreas[want] {
+			t.Errorf("missing Table I row %q", want)
+		}
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	for k, want := range map[ChangeKind]string{
+		ChangeAdded: "added", ChangeRemoved: "removed", ChangeMoved: "moved", ChangeAttr: "attr",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hdmaps/internal/geo"
+	"hdmaps/internal/spatial"
+)
+
+// Map is the in-memory HD map: the physical and relational layers plus
+// spatial indexes. It is not safe for concurrent mutation; the pipelines
+// build maps single-writer and share them read-only (queries after
+// FreezeIndexes are concurrency-safe).
+type Map struct {
+	// Name labels the map (tile id, region, scenario).
+	Name string
+	// Clock is the logical timestamp assigned to mutations.
+	Clock uint64
+
+	points   map[ID]*PointElement
+	lines    map[ID]*LineElement
+	areas    map[ID]*AreaElement
+	lanelets map[ID]*Lanelet
+	bundles  map[ID]*LaneBundle
+	regs     map[ID]*RegulatoryElement
+
+	nextID ID
+
+	pointIdx   *spatial.RTree
+	lineIdx    *spatial.RTree
+	laneletIdx *spatial.RTree
+	indexDirty bool
+}
+
+// NewMap creates an empty map.
+func NewMap(name string) *Map {
+	return &Map{
+		Name:     name,
+		points:   make(map[ID]*PointElement),
+		lines:    make(map[ID]*LineElement),
+		areas:    make(map[ID]*AreaElement),
+		lanelets: make(map[ID]*Lanelet),
+		bundles:  make(map[ID]*LaneBundle),
+		regs:     make(map[ID]*RegulatoryElement),
+		nextID:   1,
+	}
+}
+
+// allocate returns a fresh ID.
+func (m *Map) allocate() ID {
+	id := m.nextID
+	m.nextID++
+	return id
+}
+
+// Tick advances the logical clock and returns the new stamp.
+func (m *Map) Tick() uint64 {
+	m.Clock++
+	return m.Clock
+}
+
+// --- Insertion -----------------------------------------------------------
+
+// AddPoint inserts a point element and returns its assigned ID.
+func (m *Map) AddPoint(p PointElement) ID {
+	p.ID = m.allocate()
+	p.Meta.touch(m.Tick())
+	cp := p
+	m.points[cp.ID] = &cp
+	m.indexDirty = true
+	return cp.ID
+}
+
+// AddLine inserts a line element and returns its assigned ID.
+func (m *Map) AddLine(l LineElement) ID {
+	l.ID = m.allocate()
+	l.Meta.touch(m.Tick())
+	l.invalidate()
+	cl := l
+	m.lines[cl.ID] = &cl
+	m.indexDirty = true
+	return cl.ID
+}
+
+// AddArea inserts an area element and returns its assigned ID.
+func (m *Map) AddArea(a AreaElement) ID {
+	a.ID = m.allocate()
+	a.Meta.touch(m.Tick())
+	ca := a
+	m.areas[ca.ID] = &ca
+	m.indexDirty = true
+	return ca.ID
+}
+
+// AddLanelet inserts a lanelet and returns its assigned ID.
+func (m *Map) AddLanelet(l Lanelet) ID {
+	l.ID = m.allocate()
+	l.Meta.touch(m.Tick())
+	l.invalidate()
+	cl := l
+	m.lanelets[cl.ID] = &cl
+	m.indexDirty = true
+	return cl.ID
+}
+
+// AddBundle inserts a lane bundle and returns its assigned ID.
+func (m *Map) AddBundle(b LaneBundle) ID {
+	b.ID = m.allocate()
+	b.Meta.touch(m.Tick())
+	cb := b
+	m.bundles[cb.ID] = &cb
+	m.indexDirty = true
+	return cb.ID
+}
+
+// AddRegulatory inserts a regulatory element and returns its assigned ID.
+func (m *Map) AddRegulatory(r RegulatoryElement) ID {
+	r.ID = m.allocate()
+	r.Meta.touch(m.Tick())
+	cr := r
+	m.regs[cr.ID] = &cr
+	return cr.ID
+}
+
+// --- Lookup --------------------------------------------------------------
+
+// Point returns the point element with id.
+func (m *Map) Point(id ID) (*PointElement, error) {
+	if p, ok := m.points[id]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("point %d: %w", id, ErrNotFound)
+}
+
+// Line returns the line element with id.
+func (m *Map) Line(id ID) (*LineElement, error) {
+	if l, ok := m.lines[id]; ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("line %d: %w", id, ErrNotFound)
+}
+
+// Area returns the area element with id.
+func (m *Map) Area(id ID) (*AreaElement, error) {
+	if a, ok := m.areas[id]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("area %d: %w", id, ErrNotFound)
+}
+
+// Lanelet returns the lanelet with id.
+func (m *Map) Lanelet(id ID) (*Lanelet, error) {
+	if l, ok := m.lanelets[id]; ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("lanelet %d: %w", id, ErrNotFound)
+}
+
+// Bundle returns the lane bundle with id.
+func (m *Map) Bundle(id ID) (*LaneBundle, error) {
+	if b, ok := m.bundles[id]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("bundle %d: %w", id, ErrNotFound)
+}
+
+// Regulatory returns the regulatory element with id.
+func (m *Map) Regulatory(id ID) (*RegulatoryElement, error) {
+	if r, ok := m.regs[id]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("regulatory %d: %w", id, ErrNotFound)
+}
+
+// --- Removal -------------------------------------------------------------
+
+// RemovePoint deletes a point element.
+func (m *Map) RemovePoint(id ID) error {
+	if _, ok := m.points[id]; !ok {
+		return fmt.Errorf("remove point %d: %w", id, ErrNotFound)
+	}
+	delete(m.points, id)
+	m.indexDirty = true
+	return nil
+}
+
+// RemoveLine deletes a line element.
+func (m *Map) RemoveLine(id ID) error {
+	if _, ok := m.lines[id]; !ok {
+		return fmt.Errorf("remove line %d: %w", id, ErrNotFound)
+	}
+	delete(m.lines, id)
+	m.indexDirty = true
+	return nil
+}
+
+// RemoveLanelet deletes a lanelet.
+func (m *Map) RemoveLanelet(id ID) error {
+	if _, ok := m.lanelets[id]; !ok {
+		return fmt.Errorf("remove lanelet %d: %w", id, ErrNotFound)
+	}
+	delete(m.lanelets, id)
+	m.indexDirty = true
+	return nil
+}
+
+// --- Iteration (deterministic order) --------------------------------------
+
+// PointIDs returns all point IDs in ascending order.
+func (m *Map) PointIDs() []ID { return sortedIDs(m.points) }
+
+// LineIDs returns all line IDs in ascending order.
+func (m *Map) LineIDs() []ID { return sortedIDs(m.lines) }
+
+// AreaIDs returns all area IDs in ascending order.
+func (m *Map) AreaIDs() []ID { return sortedIDs(m.areas) }
+
+// LaneletIDs returns all lanelet IDs in ascending order.
+func (m *Map) LaneletIDs() []ID { return sortedIDs(m.lanelets) }
+
+// BundleIDs returns all bundle IDs in ascending order.
+func (m *Map) BundleIDs() []ID { return sortedIDs(m.bundles) }
+
+// RegulatoryIDs returns all regulatory IDs in ascending order.
+func (m *Map) RegulatoryIDs() []ID { return sortedIDs(m.regs) }
+
+func sortedIDs[T any](mm map[ID]T) []ID {
+	out := make([]ID, 0, len(mm))
+	for id := range mm {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- Spatial queries -------------------------------------------------------
+
+// FreezeIndexes (re)builds the spatial indexes. Queries call it lazily,
+// but pipelines that finish a batch of mutations should call it once
+// before handing the map to readers.
+func (m *Map) FreezeIndexes() {
+	pts := make([]spatial.Item, 0, len(m.points))
+	for _, p := range m.points {
+		pts = append(pts, p)
+	}
+	lns := make([]spatial.Item, 0, len(m.lines))
+	for _, l := range m.lines {
+		lns = append(lns, l)
+	}
+	lls := make([]spatial.Item, 0, len(m.lanelets))
+	for _, l := range m.lanelets {
+		lls = append(lls, l)
+	}
+	m.pointIdx = spatial.NewRTree(pts, 16)
+	m.lineIdx = spatial.NewRTree(lns, 16)
+	m.laneletIdx = spatial.NewRTree(lls, 16)
+	m.indexDirty = false
+}
+
+func (m *Map) ensureIndexes() {
+	if m.indexDirty || m.pointIdx == nil {
+		m.FreezeIndexes()
+	}
+}
+
+// PointsIn returns the point elements intersecting box, optionally
+// filtered by class (ClassUnknown matches all).
+func (m *Map) PointsIn(box geo.AABB, class Class) []*PointElement {
+	m.ensureIndexes()
+	var out []*PointElement
+	m.pointIdx.Visit(box, func(it spatial.Item) bool {
+		p := it.(*PointElement)
+		if class == ClassUnknown || p.Class == class {
+			out = append(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+// LinesIn returns the line elements intersecting box, optionally filtered
+// by class.
+func (m *Map) LinesIn(box geo.AABB, class Class) []*LineElement {
+	m.ensureIndexes()
+	var out []*LineElement
+	m.lineIdx.Visit(box, func(it spatial.Item) bool {
+		l := it.(*LineElement)
+		if class == ClassUnknown || l.Class == class {
+			out = append(out, l)
+		}
+		return true
+	})
+	return out
+}
+
+// LaneletsIn returns the lanelets whose bounds intersect box.
+func (m *Map) LaneletsIn(box geo.AABB) []*Lanelet {
+	m.ensureIndexes()
+	var out []*Lanelet
+	m.laneletIdx.Visit(box, func(it spatial.Item) bool {
+		out = append(out, it.(*Lanelet))
+		return true
+	})
+	return out
+}
+
+// NearestLanelet returns the lanelet whose centreline is closest to p,
+// with the distance; ok is false for an empty map.
+func (m *Map) NearestLanelet(p geo.Vec2) (*Lanelet, float64, bool) {
+	m.ensureIndexes()
+	// Candidate set: nearest by bounds, then exact by centreline distance.
+	cands := m.laneletIdx.Nearest(p, 8)
+	best, bestD := (*Lanelet)(nil), math.Inf(1)
+	for _, it := range cands {
+		l := it.(*Lanelet)
+		if d := l.Centerline.DistanceTo(p); d < bestD {
+			best, bestD = l, d
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	return best, bestD, true
+}
+
+// MatchLanelet returns the lanelet best matching a pose: close in space
+// and aligned in heading. This is the entry point of the lane-level
+// map-matching application (Li et al. [59]).
+func (m *Map) MatchLanelet(pose geo.Pose2, maxDist float64) (*Lanelet, bool) {
+	m.ensureIndexes()
+	box := geo.NewAABB(pose.P, pose.P).Expand(maxDist)
+	best, bestScore := (*Lanelet)(nil), math.Inf(1)
+	for _, l := range m.LaneletsIn(box) {
+		_, s, d := l.Centerline.Project(pose.P)
+		if d > maxDist {
+			continue
+		}
+		hErr := math.Abs(geo.AngleDiff(l.Centerline.HeadingAt(s), pose.Theta))
+		// Combined cost: lateral metres + heading error weighted so that
+		// 1 rad ≈ 5 m (empirically robust for lane-width geometry).
+		score := d + 5*hErr
+		if score < bestScore {
+			best, bestScore = l, score
+		}
+	}
+	return best, best != nil
+}
+
+// LaneletPolygon returns the drivable surface polygon of a lanelet from
+// its left and right bounds.
+func (m *Map) LaneletPolygon(id ID) (geo.Polygon, error) {
+	l, err := m.Lanelet(id)
+	if err != nil {
+		return nil, err
+	}
+	left, err := m.Line(l.Left)
+	if err != nil {
+		return nil, fmt.Errorf("lanelet %d left bound: %w", id, err)
+	}
+	right, err := m.Line(l.Right)
+	if err != nil {
+		return nil, fmt.Errorf("lanelet %d right bound: %w", id, err)
+	}
+	poly := make(geo.Polygon, 0, len(left.Geometry)+len(right.Geometry))
+	poly = append(poly, left.Geometry...)
+	rev := right.Geometry.Reverse()
+	poly = append(poly, rev...)
+	return poly, nil
+}
+
+// Bounds returns the bounding box of all physical geometry.
+func (m *Map) Bounds() geo.AABB {
+	box := geo.EmptyAABB()
+	for _, p := range m.points {
+		box = box.Union(p.Bounds())
+	}
+	for _, l := range m.lines {
+		box = box.Union(l.Bounds())
+	}
+	for _, a := range m.areas {
+		box = box.Union(a.Bounds())
+	}
+	return box
+}
+
+// Clone returns a deep copy of the map (indexes are rebuilt lazily).
+func (m *Map) Clone() *Map {
+	c := NewMap(m.Name)
+	c.Clock = m.Clock
+	c.nextID = m.nextID
+	for id, p := range m.points {
+		cp := *p
+		cp.Attr = cloneAttr(p.Attr)
+		c.points[id] = &cp
+	}
+	for id, l := range m.lines {
+		cl := *l
+		cl.Geometry = l.Geometry.Clone()
+		cl.Attr = cloneAttr(l.Attr)
+		c.lines[id] = &cl
+	}
+	for id, a := range m.areas {
+		ca := *a
+		ca.Outline = append(geo.Polygon(nil), a.Outline...)
+		ca.Attr = cloneAttr(a.Attr)
+		c.areas[id] = &ca
+	}
+	for id, l := range m.lanelets {
+		cl := *l
+		cl.Centerline = l.Centerline.Clone()
+		cl.Successors = append([]ID(nil), l.Successors...)
+		cl.Regulatory = append([]ID(nil), l.Regulatory...)
+		c.lanelets[id] = &cl
+	}
+	for id, b := range m.bundles {
+		cb := *b
+		cb.Lanelets = append([]ID(nil), b.Lanelets...)
+		cb.RefLine = b.RefLine.Clone()
+		c.bundles[id] = &cb
+	}
+	for id, r := range m.regs {
+		cr := *r
+		cr.Devices = append([]ID(nil), r.Devices...)
+		cr.Lanelets = append([]ID(nil), r.Lanelets...)
+		c.regs[id] = &cr
+	}
+	c.indexDirty = true
+	return c
+}
+
+func cloneAttr(a map[string]string) map[string]string {
+	if a == nil {
+		return nil
+	}
+	out := make(map[string]string, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// NumElements returns the total physical + relational element count.
+func (m *Map) NumElements() int {
+	return len(m.points) + len(m.lines) + len(m.areas) +
+		len(m.lanelets) + len(m.bundles) + len(m.regs)
+}
+
+// Counts returns per-layer element counts.
+func (m *Map) Counts() (points, lines, areas, lanelets, bundles, regs int) {
+	return len(m.points), len(m.lines), len(m.areas),
+		len(m.lanelets), len(m.bundles), len(m.regs)
+}

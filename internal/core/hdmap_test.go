@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hdmaps/internal/geo"
+)
+
+func straightLane(t *testing.T, m *Map, x0, y, x1 float64) ID {
+	t.Helper()
+	id, err := m.AddLaneFromCenterline(LaneSpec{
+		Centerline: geo.Polyline{geo.V2(x0, y), geo.V2(x1, y)},
+		Width:      3.5,
+		Type:       LaneDriving,
+		SpeedLimit: 13.9,
+		LeftBound:  BoundaryDashed,
+		RightBound: BoundarySolid,
+		Source:     "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestAddAndLookup(t *testing.T) {
+	m := NewMap("t")
+	pid := m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(5, 2, 3), Meta: Meta{Confidence: 0.9}})
+	p, err := m.Point(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != ClassSign || p.Pos.Z != 3 {
+		t.Errorf("point = %+v", p)
+	}
+	if p.Meta.Version != 1 || p.Meta.Stamp == 0 {
+		t.Errorf("meta not touched: %+v", p.Meta)
+	}
+	if _, err := m.Point(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing point error = %v", err)
+	}
+	lid := m.AddLine(LineElement{Class: ClassStopLine, Geometry: geo.Polyline{geo.V2(0, 0), geo.V2(3, 0)}})
+	if _, err := m.Line(lid); err != nil {
+		t.Fatal(err)
+	}
+	aid := m.AddArea(AreaElement{Class: ClassCrosswalk, Outline: geo.Polygon{geo.V2(0, 0), geo.V2(1, 0), geo.V2(1, 1)}})
+	if _, err := m.Area(aid); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.NumElements(); n != 3 {
+		t.Errorf("NumElements = %d", n)
+	}
+	// IDs are unique and increasing.
+	if !(pid < lid && lid < aid) {
+		t.Errorf("ids not increasing: %d %d %d", pid, lid, aid)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := NewMap("t")
+	pid := m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(0, 0, 0)})
+	if err := m.RemovePoint(pid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemovePoint(pid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove error = %v", err)
+	}
+	lid := straightLane(t, m, 0, 0, 10)
+	if err := m.RemoveLanelet(lid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveLine(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("remove missing line error = %v", err)
+	}
+}
+
+func TestLaneFromCenterline(t *testing.T) {
+	m := NewMap("t")
+	id := straightLane(t, m, 0, 0, 100)
+	l, err := m.Lanelet(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Length()-100) > 1e-9 {
+		t.Errorf("length = %v", l.Length())
+	}
+	left, _ := m.Line(l.Left)
+	right, _ := m.Line(l.Right)
+	if math.Abs(left.Geometry[0].Y-1.75) > 1e-9 {
+		t.Errorf("left bound y = %v, want 1.75", left.Geometry[0].Y)
+	}
+	if math.Abs(right.Geometry[0].Y+1.75) > 1e-9 {
+		t.Errorf("right bound y = %v, want -1.75", right.Geometry[0].Y)
+	}
+	if left.Boundary != BoundaryDashed || right.Boundary != BoundarySolid {
+		t.Error("boundary types lost")
+	}
+	// Degenerate inputs rejected.
+	if _, err := m.AddLaneFromCenterline(LaneSpec{Centerline: geo.Polyline{geo.V2(0, 0)}, Width: 3}); !errors.Is(err, geo.ErrDegenerate) {
+		t.Errorf("degenerate centreline error = %v", err)
+	}
+	if _, err := m.AddLaneFromCenterline(LaneSpec{Centerline: geo.Polyline{geo.V2(0, 0), geo.V2(1, 0)}, Width: 0}); !errors.Is(err, geo.ErrDegenerate) {
+		t.Errorf("zero width error = %v", err)
+	}
+}
+
+func TestLaneletContainsAndPolygon(t *testing.T) {
+	m := NewMap("t")
+	id := straightLane(t, m, 0, 0, 50)
+	l, _ := m.Lanelet(id)
+	if !l.Contains(geo.V2(25, 1), 1.75) {
+		t.Error("in-lane point rejected")
+	}
+	if l.Contains(geo.V2(25, 3), 1.75) {
+		t.Error("off-lane point accepted")
+	}
+	poly, err := m.LaneletPolygon(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.Contains(geo.V2(25, 0)) {
+		t.Error("polygon must contain centreline point")
+	}
+	if got := poly.Area(); math.Abs(got-50*3.5) > 1 {
+		t.Errorf("polygon area = %v, want ≈175", got)
+	}
+}
+
+func TestSpatialQueries(t *testing.T) {
+	m := NewMap("t")
+	for i := 0; i < 10; i++ {
+		m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(float64(i*10), 0, 0)})
+	}
+	m.AddPoint(PointElement{Class: ClassPole, Pos: geo.V3(5, 0, 0)})
+	box := geo.NewAABB(geo.V2(-1, -1), geo.V2(25, 1))
+	signs := m.PointsIn(box, ClassSign)
+	if len(signs) != 3 {
+		t.Errorf("PointsIn signs = %d, want 3", len(signs))
+	}
+	all := m.PointsIn(box, ClassUnknown)
+	if len(all) != 4 {
+		t.Errorf("PointsIn all = %d, want 4", len(all))
+	}
+	m.AddLine(LineElement{Class: ClassRoadEdge, Geometry: geo.Polyline{geo.V2(0, 5), geo.V2(100, 5)}})
+	edges := m.LinesIn(geo.NewAABB(geo.V2(0, 0), geo.V2(10, 10)), ClassRoadEdge)
+	if len(edges) != 1 {
+		t.Errorf("LinesIn = %d", len(edges))
+	}
+}
+
+func TestQueriesSeeMutations(t *testing.T) {
+	m := NewMap("t")
+	m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(0, 0, 0)})
+	box := geo.NewAABB(geo.V2(-1, -1), geo.V2(1, 1))
+	if got := len(m.PointsIn(box, ClassSign)); got != 1 {
+		t.Fatalf("initial query = %d", got)
+	}
+	// Mutation after a freeze must still be visible (index rebuilds).
+	m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(0.5, 0.5, 0)})
+	if got := len(m.PointsIn(box, ClassSign)); got != 2 {
+		t.Fatalf("post-mutation query = %d", got)
+	}
+}
+
+func TestNearestAndMatchLanelet(t *testing.T) {
+	m := NewMap("t")
+	a := straightLane(t, m, 0, 0, 100)   // eastbound at y=0
+	b := straightLane(t, m, 0, 3.5, 100) // eastbound at y=3.5
+	_ = b
+	// Westbound lane at y=7: centreline reversed.
+	wid, err := m.AddLaneFromCenterline(LaneSpec{
+		Centerline: geo.Polyline{geo.V2(100, 7), geo.V2(0, 7)},
+		Width:      3.5, Type: LaneDriving,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, d, ok := m.NearestLanelet(geo.V2(50, -1))
+	if !ok || l.ID != a || math.Abs(d-1) > 1e-9 {
+		t.Errorf("NearestLanelet = %v d=%v ok=%v", l, d, ok)
+	}
+	// Pose heading selects direction: eastbound pose near the westbound
+	// lane still matches an eastbound lanelet.
+	got, ok := m.MatchLanelet(geo.NewPose2(50, 5.5, 0), 6)
+	if !ok {
+		t.Fatal("MatchLanelet failed")
+	}
+	if got.ID == wid {
+		t.Error("eastbound pose matched westbound lane")
+	}
+	// Westbound pose matches the westbound lane.
+	got, ok = m.MatchLanelet(geo.NewPose2(50, 6.5, math.Pi), 6)
+	if !ok || got.ID != wid {
+		t.Errorf("westbound match = %+v ok=%v", got, ok)
+	}
+	// Out of range.
+	if _, ok := m.MatchLanelet(geo.NewPose2(50, 100, 0), 6); ok {
+		t.Error("far pose matched")
+	}
+	// Empty map.
+	empty := NewMap("e")
+	if _, _, ok := empty.NearestLanelet(geo.V2(0, 0)); ok {
+		t.Error("empty map returned lanelet")
+	}
+}
+
+func TestConnectAndNeighbors(t *testing.T) {
+	m := NewMap("t")
+	a := straightLane(t, m, 0, 0, 50)
+	b := straightLane(t, m, 50, 0, 100)
+	c := straightLane(t, m, 0, 3.5, 50)
+	if err := m.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Connect(a, b); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	al, _ := m.Lanelet(a)
+	if len(al.Successors) != 1 || al.Successors[0] != b {
+		t.Errorf("successors = %v", al.Successors)
+	}
+	if err := m.Connect(a, 999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("connect missing error = %v", err)
+	}
+	if err := m.SetNeighbors(c, a, true); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := m.Lanelet(c)
+	if cl.RightNeighbor != a {
+		t.Errorf("right neighbor = %v", cl.RightNeighbor)
+	}
+	al, _ = m.Lanelet(a)
+	if al.LeftNeighbor != c {
+		t.Errorf("left neighbor = %v", al.LeftNeighbor)
+	}
+}
+
+func TestRegulatory(t *testing.T) {
+	m := NewMap("t")
+	lane := straightLane(t, m, 0, 0, 100)
+	sign := m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(90, 2, 2)})
+	stop := m.AddLine(LineElement{Class: ClassStopLine, Geometry: geo.Polyline{geo.V2(90, -1.75), geo.V2(90, 1.75)}})
+	reg := m.AddRegulatory(RegulatoryElement{
+		Kind: RegStop, Devices: []ID{sign}, StopLine: stop,
+	})
+	if err := m.AttachRegulatory(lane, reg); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.Regulatory(reg)
+	if len(r.Lanelets) != 1 || r.Lanelets[0] != lane {
+		t.Errorf("reg lanelets = %v", r.Lanelets)
+	}
+	l, _ := m.Lanelet(lane)
+	if len(l.Regulatory) != 1 {
+		t.Errorf("lane regulatory = %v", l.Regulatory)
+	}
+	if err := m.AttachRegulatory(999, reg); !errors.Is(err, ErrNotFound) {
+		t.Errorf("attach missing error = %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMap("orig")
+	id := straightLane(t, m, 0, 0, 10)
+	sid := m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(1, 2, 3), Attr: map[string]string{"k": "v"}})
+	c := m.Clone()
+	// Mutating the clone must not affect the original.
+	cl, _ := c.Lanelet(id)
+	cl.Centerline[0] = geo.V2(99, 99)
+	ol, _ := m.Lanelet(id)
+	if ol.Centerline[0].X == 99 {
+		t.Error("clone shares centreline storage")
+	}
+	cp, _ := c.Point(sid)
+	cp.Attr["k"] = "mutated"
+	op, _ := m.Point(sid)
+	if op.Attr["k"] != "v" {
+		t.Error("clone shares attr map")
+	}
+	// Clone sees the same element counts.
+	if c.NumElements() != m.NumElements() {
+		t.Error("clone count mismatch")
+	}
+	// IDs allocated after cloning do not collide.
+	nid := c.AddPoint(PointElement{Class: ClassPole, Pos: geo.V3(0, 0, 0)})
+	if _, err := m.Point(nid); !errors.Is(err, ErrNotFound) {
+		t.Error("clone ID collided with original")
+	}
+}
+
+func TestBoundsAndStats(t *testing.T) {
+	m := NewMap("t")
+	straightLane(t, m, 0, 0, 1000)
+	m.AddPoint(PointElement{Class: ClassSign, Pos: geo.V3(500, 10, 2), Meta: Meta{Confidence: 0.8}})
+	s := m.ComputeStats()
+	if s.Lanelets != 1 || s.Points != 1 || s.Lines != 2 {
+		t.Errorf("counts = %+v", s)
+	}
+	if math.Abs(s.TotalLaneKm-1) > 1e-9 {
+		t.Errorf("TotalLaneKm = %v", s.TotalLaneKm)
+	}
+	if s.TotalBoundaryKm < 1.9 || s.TotalBoundaryKm > 2.1 {
+		t.Errorf("TotalBoundaryKm = %v", s.TotalBoundaryKm)
+	}
+	if s.Extent.IsEmpty() {
+		t.Error("extent empty")
+	}
+	if s.MeanConfidence <= 0 || s.MeanConfidence > 1 {
+		t.Errorf("MeanConfidence = %v", s.MeanConfidence)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassSign.String() != "sign" || ClassLaneBoundary.String() != "lane_boundary" {
+		t.Error("class names wrong")
+	}
+	if !ClassSign.Valid() || Class(200).Valid() {
+		t.Error("class validity wrong")
+	}
+	if BoundaryDashed.String() != "dashed" || RegStop.String() != "stop" {
+		t.Error("enum names wrong")
+	}
+	if LaneDriving.String() != "driving" || EdgeSuccessor.String() != "successor" {
+		t.Error("lane/edge names wrong")
+	}
+}

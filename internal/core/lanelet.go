@@ -1,0 +1,118 @@
+package core
+
+import (
+	"hdmaps/internal/geo"
+)
+
+// LaneType classifies the use of a lanelet.
+type LaneType uint8
+
+// Lane types.
+const (
+	LaneDriving LaneType = iota
+	LaneShoulder
+	LaneBike
+	LaneBus
+	LaneParking
+	LaneEntry // acceleration/merge lane
+	LaneExit  // deceleration/exit lane
+)
+
+// String implements fmt.Stringer.
+func (t LaneType) String() string {
+	switch t {
+	case LaneDriving:
+		return "driving"
+	case LaneShoulder:
+		return "shoulder"
+	case LaneBike:
+		return "bike"
+	case LaneBus:
+		return "bus"
+	case LaneParking:
+		return "parking"
+	case LaneEntry:
+		return "entry"
+	case LaneExit:
+		return "exit"
+	default:
+		return "unknown"
+	}
+}
+
+// Lanelet is the atomic drivable unit of the relational layer: a lane
+// section bounded left and right by physical linestrings, with an explicit
+// centreline, driving direction implied by the centreline orientation,
+// and references to the regulatory elements that govern it.
+type Lanelet struct {
+	ID         ID
+	Left       ID // LineElement: left bound in driving direction
+	Right      ID // LineElement: right bound in driving direction
+	Centerline geo.Polyline
+	Type       LaneType
+	// SpeedLimit is the legal limit in m/s (0 = unposted).
+	SpeedLimit float64
+	// Successors are lanelets a vehicle can continue into.
+	Successors []ID
+	// LeftNeighbor / RightNeighbor are parallel lanelets available for
+	// lane changes (NilID when none, or when the boundary is solid).
+	LeftNeighbor, RightNeighbor ID
+	// Regulatory lists the regulatory elements applying to this lanelet.
+	Regulatory []ID
+	Meta       Meta
+
+	bounds geo.AABB
+}
+
+// Bounds implements spatial.Item.
+func (l *Lanelet) Bounds() geo.AABB {
+	if l.bounds.IsEmpty() {
+		l.bounds = l.Centerline.Bounds()
+	}
+	return l.bounds
+}
+
+// invalidate clears cached bounds after a geometry change.
+func (l *Lanelet) invalidate() { l.bounds = geo.EmptyAABB() }
+
+// Length returns the centreline arc length.
+func (l *Lanelet) Length() float64 { return l.Centerline.Length() }
+
+// Contains reports whether the ground point p lies laterally between an
+// assumed half-width margin of the centreline. Exact bound-polygon
+// membership is available through Map.LaneletPolygon; this cheap test is
+// what the hot localization loops use.
+func (l *Lanelet) Contains(p geo.Vec2, halfWidth float64) bool {
+	_, d := l.Centerline.SignedOffset(p)
+	return d >= -halfWidth && d <= halfWidth
+}
+
+// LaneBundle groups the parallel lanelets of one carriageway of a road
+// segment, ordered left-to-right in driving direction — HiDAM's
+// "multi-directional lane bundle" made concrete. Road-level routing and
+// the storage codecs operate on bundles; lane-level algorithms descend
+// into the lanelets.
+type LaneBundle struct {
+	ID ID
+	// RoadID groups the two directional bundles of a bidirectional road.
+	RoadID int64
+	// Lanelets are ordered left-to-right in the driving direction.
+	Lanelets []ID
+	// RefLine is the bundle's reference geometry (typically the road
+	// centreline in driving direction).
+	RefLine geo.Polyline
+	Meta    Meta
+
+	bounds geo.AABB
+}
+
+// Bounds implements spatial.Item.
+func (b *LaneBundle) Bounds() geo.AABB {
+	if b.bounds.IsEmpty() {
+		b.bounds = b.RefLine.Bounds()
+	}
+	return b.bounds
+}
+
+// LaneCount returns the number of lanes in the bundle.
+func (b *LaneBundle) LaneCount() int { return len(b.Lanelets) }

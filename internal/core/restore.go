@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIDTaken is returned by Restore methods when the element ID already
+// exists in the map.
+var ErrIDTaken = errors.New("core: element id already exists")
+
+// The Restore family inserts elements with their existing IDs and
+// metadata untouched. It exists for decoders and replication: normal
+// construction goes through the Add methods, which assign IDs and touch
+// version metadata.
+
+func (m *Map) reserve(id ID) error {
+	if id == NilID {
+		return fmt.Errorf("restore: %w", ErrInvalidElement)
+	}
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	return nil
+}
+
+// RestorePoint inserts a point element preserving its ID and metadata.
+func (m *Map) RestorePoint(p PointElement) error {
+	if err := m.reserve(p.ID); err != nil {
+		return err
+	}
+	if _, ok := m.points[p.ID]; ok {
+		return fmt.Errorf("restore point %d: %w", p.ID, ErrIDTaken)
+	}
+	cp := p
+	m.points[cp.ID] = &cp
+	m.indexDirty = true
+	return nil
+}
+
+// RestoreLine inserts a line element preserving its ID and metadata.
+func (m *Map) RestoreLine(l LineElement) error {
+	if err := m.reserve(l.ID); err != nil {
+		return err
+	}
+	if _, ok := m.lines[l.ID]; ok {
+		return fmt.Errorf("restore line %d: %w", l.ID, ErrIDTaken)
+	}
+	l.invalidate()
+	cl := l
+	m.lines[cl.ID] = &cl
+	m.indexDirty = true
+	return nil
+}
+
+// RestoreArea inserts an area element preserving its ID and metadata.
+func (m *Map) RestoreArea(a AreaElement) error {
+	if err := m.reserve(a.ID); err != nil {
+		return err
+	}
+	if _, ok := m.areas[a.ID]; ok {
+		return fmt.Errorf("restore area %d: %w", a.ID, ErrIDTaken)
+	}
+	ca := a
+	m.areas[ca.ID] = &ca
+	m.indexDirty = true
+	return nil
+}
+
+// RestoreLanelet inserts a lanelet preserving its ID and metadata.
+func (m *Map) RestoreLanelet(l Lanelet) error {
+	if err := m.reserve(l.ID); err != nil {
+		return err
+	}
+	if _, ok := m.lanelets[l.ID]; ok {
+		return fmt.Errorf("restore lanelet %d: %w", l.ID, ErrIDTaken)
+	}
+	l.invalidate()
+	cl := l
+	m.lanelets[cl.ID] = &cl
+	m.indexDirty = true
+	return nil
+}
+
+// RestoreBundle inserts a lane bundle preserving its ID and metadata.
+func (m *Map) RestoreBundle(b LaneBundle) error {
+	if err := m.reserve(b.ID); err != nil {
+		return err
+	}
+	if _, ok := m.bundles[b.ID]; ok {
+		return fmt.Errorf("restore bundle %d: %w", b.ID, ErrIDTaken)
+	}
+	cb := b
+	m.bundles[cb.ID] = &cb
+	m.indexDirty = true
+	return nil
+}
+
+// RestoreRegulatory inserts a regulatory element preserving its ID and
+// metadata.
+func (m *Map) RestoreRegulatory(r RegulatoryElement) error {
+	if err := m.reserve(r.ID); err != nil {
+		return err
+	}
+	if _, ok := m.regs[r.ID]; ok {
+		return fmt.Errorf("restore regulatory %d: %w", r.ID, ErrIDTaken)
+	}
+	cr := r
+	m.regs[cr.ID] = &cr
+	return nil
+}
+
+// SetClock restores the logical clock (decoders only).
+func (m *Map) SetClock(c uint64) { m.Clock = c }

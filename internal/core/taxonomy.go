@@ -1,0 +1,117 @@
+package core
+
+// This file materialises Table I of the survey: the taxonomy of the HD-map
+// ecosystem. Each taxonomy entry maps a sub-area of the literature to the
+// hdmaps packages implementing it, so that the Table I "experiment" can
+// verify that every row of the paper's taxonomy is a working subsystem.
+
+// TaxonomyCategory is a top-level category of Table I.
+type TaxonomyCategory string
+
+// Table I categories.
+const (
+	CategoryDesignConstruction TaxonomyCategory = "Design and Construction"
+	CategoryApplications       TaxonomyCategory = "Applications"
+)
+
+// TaxonomyEntry is one row of Table I.
+type TaxonomyEntry struct {
+	Category TaxonomyCategory
+	SubArea  string
+	// Packages lists the hdmaps packages implementing the sub-area.
+	Packages []string
+	// Systems lists the surveyed systems reproduced (by first author or
+	// system name, with the survey's reference numbers).
+	Systems []string
+}
+
+// Taxonomy returns the eight rows of Table I with their implementations in
+// this repository.
+func Taxonomy() []TaxonomyEntry {
+	return []TaxonomyEntry{
+		{
+			Category: CategoryDesignConstruction,
+			SubArea:  "Map Modeling and Design",
+			Packages: []string{"internal/core", "internal/raster", "internal/storage"},
+			Systems: []string{
+				"Lanelet2 [20] layered model", "HiDAM [21] lane bundles",
+				"HDMI-Loc [23] 8-bit raster", "HDMapGen [24] hierarchical graph",
+			},
+		},
+		{
+			Category: CategoryDesignConstruction,
+			SubArea:  "Map Creation",
+			Packages: []string{
+				"internal/creation/lidarmap", "internal/creation/crowd",
+				"internal/creation/fusion", "internal/pointcloud", "internal/sensors",
+			},
+			Systems: []string{
+				"Zhao [32] LiDAR pipeline", "Dabeer [29] crowdsourced mapping",
+				"Massow [28] probe data", "Mattyus [27] aerial+ground",
+				"Kim [31] feature layers", "Szabo [34] smartphone",
+				"Ilci&Toth [35] GNSS/IMU/LiDAR",
+			},
+		},
+		{
+			Category: CategoryDesignConstruction,
+			SubArea:  "Map Maintenance and Update",
+			Packages: []string{
+				"internal/update/slamcu", "internal/update/crowdupdate",
+				"internal/update/incremental",
+			},
+			Systems: []string{
+				"SLAMCU [41] DBN change detection", "Pannen [42,44] crowd update",
+				"Liu [43] incremental fusion", "Kim [45] lane learner",
+				"Diff-Net [46] raster differencing", "Qi [47] RSU aggregation",
+			},
+		},
+		{
+			Category: CategoryApplications,
+			SubArea:  "Localization",
+			Packages: []string{"internal/apps/localization", "internal/filters"},
+			Systems: []string{
+				"Ghallabi [50] lane markings", "HRL [53] landmarks",
+				"Zheng [49] geometric analysis", "Bauer [48] road surfaces",
+				"Han [51] line matching", "Shin [54] ADAS EKF",
+				"MLVHM [22] monocular", "HDMI-Loc [23] bitwise PF",
+				"Hery [55] cooperative",
+			},
+		},
+		{
+			Category: CategoryApplications,
+			SubArea:  "Pose Estimation",
+			Packages: []string{"internal/apps/pose"},
+			Systems: []string{
+				"HDMI-Loc [23] 6-DoF completion",
+				"Stannartz [58] semantic landmark association",
+			},
+		},
+		{
+			Category: CategoryApplications,
+			SubArea:  "Path Planning",
+			Packages: []string{"internal/apps/planning", "internal/apps/planning/pcc"},
+			Systems: []string{
+				"Yang [62] BHPS", "Li [59] lane-level map matching",
+				"Jian [52] path sets", "Li [60] vector-map navigation",
+				"Chu [61] predictive cruise control",
+			},
+		},
+		{
+			Category: CategoryApplications,
+			SubArea:  "Perception",
+			Packages: []string{"internal/apps/perception"},
+			Systems: []string{
+				"HDNET [6] map priors", "Masi [63] cooperative roadside fusion",
+				"Hirabayashi [33] traffic-light gating",
+			},
+		},
+		{
+			Category: CategoryApplications,
+			SubArea:  "ATVs",
+			Packages: []string{"internal/apps/atv"},
+			Systems: []string{
+				"Tas [10,11] indoor sign update framework",
+			},
+		},
+	}
+}

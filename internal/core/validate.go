@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hdmaps/internal/geo"
+)
+
+// ValidationIssue describes one violation found by Validate.
+type ValidationIssue struct {
+	ID     ID
+	Reason string
+}
+
+// String implements fmt.Stringer.
+func (v ValidationIssue) String() string {
+	return fmt.Sprintf("element %d: %s", v.ID, v.Reason)
+}
+
+// Validate checks structural and geometric invariants of the map:
+//
+//   - every line has ≥2 vertices and finite coordinates;
+//   - every lanelet references existing left/right bounds, has a
+//     non-degenerate centreline and existing successors/neighbours;
+//   - every bundle references existing lanelets;
+//   - every regulatory element references existing devices and lanelets;
+//   - confidences are within [0,1].
+//
+// It returns all issues found (nil when the map is consistent).
+func (m *Map) Validate() []ValidationIssue {
+	var issues []ValidationIssue
+	bad := func(id ID, format string, args ...interface{}) {
+		issues = append(issues, ValidationIssue{ID: id, Reason: fmt.Sprintf(format, args...)})
+	}
+
+	for _, id := range m.PointIDs() {
+		p := m.points[id]
+		if !finiteV3(p.Pos) {
+			bad(id, "non-finite point position")
+		}
+		if !p.Class.Valid() {
+			bad(id, "invalid class %d", p.Class)
+		}
+		if p.Meta.Confidence < 0 || p.Meta.Confidence > 1 {
+			bad(id, "confidence %v out of range", p.Meta.Confidence)
+		}
+	}
+	for _, id := range m.LineIDs() {
+		l := m.lines[id]
+		if len(l.Geometry) < 2 {
+			bad(id, "line with %d vertices", len(l.Geometry))
+		}
+		for _, v := range l.Geometry {
+			if !finiteV2(v) {
+				bad(id, "non-finite line vertex")
+				break
+			}
+		}
+		if l.Meta.Confidence < 0 || l.Meta.Confidence > 1 {
+			bad(id, "confidence %v out of range", l.Meta.Confidence)
+		}
+	}
+	for _, id := range m.AreaIDs() {
+		a := m.areas[id]
+		if len(a.Outline) < 3 {
+			bad(id, "area with %d vertices", len(a.Outline))
+		}
+	}
+	for _, id := range m.LaneletIDs() {
+		l := m.lanelets[id]
+		if _, ok := m.lines[l.Left]; !ok {
+			bad(id, "missing left bound %d", l.Left)
+		}
+		if _, ok := m.lines[l.Right]; !ok {
+			bad(id, "missing right bound %d", l.Right)
+		}
+		if len(l.Centerline) < 2 {
+			bad(id, "centreline with %d vertices", len(l.Centerline))
+		}
+		if l.SpeedLimit < 0 {
+			bad(id, "negative speed limit %v", l.SpeedLimit)
+		}
+		for _, s := range l.Successors {
+			if _, ok := m.lanelets[s]; !ok {
+				bad(id, "missing successor %d", s)
+			}
+		}
+		for _, nb := range []ID{l.LeftNeighbor, l.RightNeighbor} {
+			if nb != NilID {
+				if _, ok := m.lanelets[nb]; !ok {
+					bad(id, "missing neighbor %d", nb)
+				}
+			}
+		}
+		for _, r := range l.Regulatory {
+			if _, ok := m.regs[r]; !ok {
+				bad(id, "missing regulatory %d", r)
+			}
+		}
+	}
+	for _, id := range m.BundleIDs() {
+		b := m.bundles[id]
+		if len(b.Lanelets) == 0 {
+			bad(id, "empty bundle")
+		}
+		for _, ll := range b.Lanelets {
+			if _, ok := m.lanelets[ll]; !ok {
+				bad(id, "missing bundle lanelet %d", ll)
+			}
+		}
+	}
+	for _, id := range m.RegulatoryIDs() {
+		r := m.regs[id]
+		for _, d := range r.Devices {
+			if _, ok := m.points[d]; !ok {
+				bad(id, "missing device %d", d)
+			}
+		}
+		if r.StopLine != NilID {
+			if _, ok := m.lines[r.StopLine]; !ok {
+				bad(id, "missing stop line %d", r.StopLine)
+			}
+		}
+		for _, ll := range r.Lanelets {
+			if _, ok := m.lanelets[ll]; !ok {
+				bad(id, "missing governed lanelet %d", ll)
+			}
+		}
+	}
+	return issues
+}
+
+func finiteV2(v geo.Vec2) bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) && !math.IsNaN(v.Y) && !math.IsInf(v.Y, 0)
+}
+
+func finiteV3(v geo.Vec3) bool {
+	return finiteV2(v.XY()) && !math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// Stats summarises a map for reporting.
+type Stats struct {
+	Points, Lines, Areas    int
+	Lanelets, Bundles, Regs int
+	// TotalLaneKm is the summed lanelet centreline length in kilometres.
+	TotalLaneKm float64
+	// TotalBoundaryKm is the summed line-element length in kilometres.
+	TotalBoundaryKm float64
+	// MeanConfidence averages element confidence over points and lines.
+	MeanConfidence float64
+	// Extent is the physical bounding box.
+	Extent geo.AABB
+}
+
+// ComputeStats gathers map statistics.
+func (m *Map) ComputeStats() Stats {
+	s := Stats{Extent: m.Bounds()}
+	s.Points, s.Lines, s.Areas, s.Lanelets, s.Bundles, s.Regs = m.Counts()
+	var confSum float64
+	var confN int
+	for _, l := range m.lines {
+		s.TotalBoundaryKm += l.Geometry.Length() / 1000
+		confSum += l.Meta.Confidence
+		confN++
+	}
+	for _, p := range m.points {
+		confSum += p.Meta.Confidence
+		confN++
+	}
+	for _, l := range m.lanelets {
+		s.TotalLaneKm += l.Length() / 1000
+	}
+	if confN > 0 {
+		s.MeanConfidence = confSum / float64(confN)
+	}
+	return s
+}

@@ -1,0 +1,506 @@
+// Package crowd implements crowdsourced HD map creation from connected-
+// vehicle probe data: the cost-effective-sensor pipeline with corrective
+// feedback of Dabeer et al. [29], the GPS-only vs sensor-rich probe-data
+// map derivation of Massow et al. [28], the decoupled feature layers of
+// Kim et al. [31], and the lane learner over low-accuracy crowd data of
+// Kim et al. [45].
+package crowd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/sim"
+	"hdmaps/internal/spatial"
+	"hdmaps/internal/worldgen"
+)
+
+// ErrNoTraces is returned when aggregation receives no data.
+var ErrNoTraces = errors.New("crowd: no traces")
+
+// Suite selects the probe sensor package.
+type Suite uint8
+
+// Sensor suites (Massow's two regimes).
+const (
+	// SuiteGPSOnly reports only GPS fixes.
+	SuiteGPSOnly Suite = iota
+	// SuiteFull adds camera sign detections and lane observations.
+	SuiteFull
+)
+
+// String implements fmt.Stringer.
+func (s Suite) String() string {
+	if s == SuiteGPSOnly {
+		return "gps-only"
+	}
+	return "sensor-rich"
+}
+
+// WorldObs is one detection projected into the world frame using the
+// probe vehicle's own (noisy) pose estimate — exactly the data a
+// crowdsourcing backend receives.
+type WorldObs struct {
+	P     geo.Vec2
+	Class core.Class
+}
+
+// Sample is one probe keyframe: the vehicle's pose estimate plus the
+// detections it made, kept in the VEHICLE frame so that later pose
+// corrections (the feedback loop) can re-project them.
+type Sample struct {
+	// Fix is the raw GPS measurement.
+	Fix geo.Vec2
+	// Est is the vehicle's current pose estimate (GPS-derived initially;
+	// refined by corrective feedback).
+	Est geo.Pose2
+	// Truth is the ground-truth pose, carried for EVALUATION ONLY — no
+	// pipeline reads it (experiments score pose corrections against it).
+	Truth geo.Pose2
+	// LocalSigns / LocalLanes are detections in the vehicle frame.
+	LocalSigns []geo.Vec2
+	LocalLanes []geo.Vec2
+}
+
+// Trace is one vehicle's contribution.
+type Trace struct {
+	Samples []Sample
+}
+
+// GPS returns the raw fix series.
+func (tr *Trace) GPS() []geo.Vec2 {
+	out := make([]geo.Vec2, len(tr.Samples))
+	for i, s := range tr.Samples {
+		out[i] = s.Fix
+	}
+	return out
+}
+
+// WorldSigns projects the sign detections with the current pose
+// estimates.
+func (tr *Trace) WorldSigns() []WorldObs {
+	var out []WorldObs
+	for _, s := range tr.Samples {
+		for _, l := range s.LocalSigns {
+			out = append(out, WorldObs{P: s.Est.Transform(l), Class: core.ClassSign})
+		}
+	}
+	return out
+}
+
+// WorldLanes projects the lane observations with the current pose
+// estimates.
+func (tr *Trace) WorldLanes() []geo.Vec2 {
+	var out []geo.Vec2
+	for _, s := range tr.Samples {
+		for _, l := range s.LocalLanes {
+			out = append(out, s.Est.Transform(l))
+		}
+	}
+	return out
+}
+
+// FleetConfig configures probe collection.
+type FleetConfig struct {
+	Vehicles int
+	Suite    Suite
+	GPSGrade sensors.GPSGrade
+	// Speed and SampleEvery control the drive (defaults 14 m/s, 5 m).
+	Speed, SampleEvery float64
+	// Wander shapes in-lane imperfection.
+	Wander sim.WanderParams
+}
+
+func (c *FleetConfig) defaults() {
+	if c.Vehicles <= 0 {
+		c.Vehicles = 20
+	}
+	if c.Speed <= 0 {
+		c.Speed = 14
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5
+	}
+}
+
+// CollectTraces drives the fleet along the route and returns each
+// vehicle's probe trace.
+func CollectTraces(w *worldgen.World, route geo.Polyline, cfg FleetConfig, rng *rand.Rand) ([]Trace, error) {
+	cfg.defaults()
+	if len(route) < 2 {
+		return nil, ErrNoTraces
+	}
+	var traces []Trace
+	for v := 0; v < cfg.Vehicles; v++ {
+		gps := sensors.NewGPS(cfg.GPSGrade, rng)
+		signDet := sensors.NewObjectDetector(sensors.ObjectDetectorConfig{
+			Range: 40, TPR: 0.85, FalsePerScan: 0.05, PosNoise: 0.4,
+		}, rng)
+		laneDet := sensors.NewLaneDetector(sensors.LaneDetectorConfig{
+			Ahead: 20, LateralNoise: 0.12, DetectProb: 0.8, SampleStep: 4,
+		}, rng)
+		dt := cfg.SampleEvery / cfg.Speed
+		traj := sim.DriveWithWander(route, cfg.Speed, dt, cfg.Wander, rng)
+		// Collect fixes first so headings can be estimated over a
+		// smoothed window (consecutive-fix headings are hopeless at
+		// consumer GPS noise levels).
+		fixes := make(geo.Polyline, len(traj))
+		for i, tp := range traj {
+			fixes[i] = gps.Measure(tp.Pose.P, dt)
+		}
+		smoothed := geo.MovingAverage(fixes, 3)
+		var tr Trace
+		for i, tp := range traj {
+			heading := tp.Pose.Theta
+			lo, hi := i-2, i+2
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(smoothed)-1 {
+				hi = len(smoothed) - 1
+			}
+			if d := smoothed[hi].Sub(smoothed[lo]); d.Norm() > 1 {
+				heading = d.Angle()
+			}
+			sample := Sample{
+				Fix:   fixes[i],
+				Est:   geo.Pose2{P: fixes[i], Theta: heading},
+				Truth: tp.Pose,
+			}
+			if cfg.Suite == SuiteFull {
+				for _, det := range signDet.Detect(w.Map, tp.Pose, core.ClassSign) {
+					sample.LocalSigns = append(sample.LocalSigns, det.Local)
+				}
+				for _, obs := range laneDet.Detect(w.Map, tp.Pose) {
+					sample.LocalLanes = append(sample.LocalLanes, obs.Local)
+				}
+			}
+			tr.Samples = append(tr.Samples, sample)
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// SignAggOpts tunes sign aggregation.
+type SignAggOpts struct {
+	// ClusterEps groups observations (default 4 m).
+	ClusterEps float64
+	// MinObs is the minimum cluster size to accept a sign (default 5).
+	MinObs int
+	// TrimSigma rejects observations beyond this many σ in the
+	// corrective-feedback trim pass (default 2.5).
+	TrimSigma float64
+}
+
+func (o *SignAggOpts) defaults() {
+	if o.ClusterEps <= 0 {
+		o.ClusterEps = 4
+	}
+	if o.MinObs <= 0 {
+		o.MinObs = 5
+	}
+	if o.TrimSigma <= 0 {
+		o.TrimSigma = 2.5
+	}
+}
+
+// AggregateSigns triangulates sign positions from the fleet's world
+// observations: greedy radius clustering, then trimmed re-averaging (the
+// aggregation half of Dabeer's corrective feedback).
+func AggregateSigns(traces []Trace, opts SignAggOpts) ([]geo.Vec2, error) {
+	opts.defaults()
+	var obs []geo.Vec2
+	for i := range traces {
+		for _, o := range traces[i].WorldSigns() {
+			obs = append(obs, o.P)
+		}
+	}
+	if len(obs) == 0 {
+		return nil, ErrNoTraces
+	}
+	clusters := clusterPoints(obs, opts.ClusterEps, opts.MinObs)
+	var out []geo.Vec2
+	for _, cl := range clusters {
+		// Reject sprawling clusters: chained false positives stretch
+		// along the road, while a real sign's observations stay compact.
+		if clusterStd(cl) > 1.5*opts.ClusterEps {
+			continue
+		}
+		out = append(out, trimmedMean(cl, opts.TrimSigma))
+	}
+	if len(out) == 0 {
+		return nil, ErrNoTraces
+	}
+	return out, nil
+}
+
+// clusterStd is the RMS spread of a cluster around its mean.
+func clusterStd(pts []geo.Vec2) float64 {
+	mean := meanOf(pts)
+	var v float64
+	for _, p := range pts {
+		v += p.DistSq(mean)
+	}
+	return math.Sqrt(v / float64(len(pts)))
+}
+
+// clusterPoints groups points by single-link connectivity at distance
+// eps (union-find over a grid index). Dense observation blobs of one
+// sign stay together even when their total spread exceeds eps, while
+// distinct signs remain separate — the property mean-based greedy
+// clustering lacks.
+func clusterPoints(pts []geo.Vec2, eps float64, minPts int) [][]geo.Vec2 {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	g := spatial.NewGridIndex(eps)
+	g.AddAll(pts)
+	var nbrs []int
+	for i, p := range pts {
+		nbrs = g.WithinRadius(p, eps, nbrs[:0])
+		for _, j := range nbrs {
+			if j == i {
+				continue
+			}
+			ri, rj := find(i), find(j)
+			if ri != rj {
+				parent[ri] = rj
+			}
+		}
+	}
+	groups := make(map[int][]geo.Vec2)
+	order := make([]int, 0)
+	for i, p := range pts {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], p)
+	}
+	var out [][]geo.Vec2
+	for _, r := range order {
+		if len(groups[r]) >= minPts {
+			out = append(out, groups[r])
+		}
+	}
+	return out
+}
+
+// trimmedMean averages points after rejecting outliers beyond
+// trimSigma standard deviations from the initial mean.
+func trimmedMean(pts []geo.Vec2, trimSigma float64) geo.Vec2 {
+	mean := meanOf(pts)
+	if len(pts) < 3 {
+		return mean
+	}
+	var varSum float64
+	for _, p := range pts {
+		varSum += p.DistSq(mean)
+	}
+	std := math.Sqrt(varSum / float64(len(pts)))
+	if std == 0 {
+		return mean
+	}
+	var kept []geo.Vec2
+	for _, p := range pts {
+		if p.Dist(mean) <= trimSigma*std {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return mean
+	}
+	return meanOf(kept)
+}
+
+func meanOf(pts []geo.Vec2) geo.Vec2 {
+	var s geo.Vec2
+	for _, p := range pts {
+		s = s.Add(p)
+	}
+	return s.Scale(1 / float64(len(pts)))
+}
+
+// LearnCenterline averages the fleet's GPS traces into a road centreline:
+// fixes are binned by arc length along a reference curve (the first
+// trace, smoothed) and averaged per bin — Massow's GPS-only map
+// derivation.
+func LearnCenterline(traces []Trace, binLen float64) (geo.Polyline, error) {
+	if len(traces) == 0 || len(traces[0].Samples) < 2 {
+		return nil, ErrNoTraces
+	}
+	if binLen <= 0 {
+		binLen = 10
+	}
+	ref := geo.MovingAverage(geo.Polyline(traces[0].GPS()), 3)
+	L := ref.Length()
+	n := int(L/binLen) + 1
+	sums := make([]geo.Vec2, n)
+	counts := make([]int, n)
+	for i := range traces {
+		for _, p := range traces[i].GPS() {
+			s, d := ref.SignedOffset(p)
+			if math.Abs(d) > 15 {
+				continue // gross outlier
+			}
+			i := int(s / binLen)
+			if i < 0 || i >= n {
+				continue
+			}
+			sums[i] = sums[i].Add(p)
+			counts[i]++
+		}
+	}
+	var out geo.Polyline
+	for i := range sums {
+		if counts[i] > 0 {
+			out = append(out, sums[i].Scale(1/float64(counts[i])))
+		}
+	}
+	if len(out) >= 3 {
+		out = geo.MovingAverage(out, 2)
+	}
+	if len(out) < 2 {
+		return nil, ErrNoTraces
+	}
+	return out, nil
+}
+
+// LearnLaneBoundaries implements the lane learner of Kim et al. [45]:
+// given the fleet's (noisy, low-accuracy) lane observations and a learned
+// centreline, it histograms the signed lateral offsets, finds the peaks,
+// and reconstructs each boundary as a lateral offset of the centreline.
+func LearnLaneBoundaries(traces []Trace, centerline geo.Polyline, maxOffset float64) ([]geo.Polyline, error) {
+	if len(centerline) < 2 {
+		return nil, ErrNoTraces
+	}
+	if maxOffset <= 0 {
+		maxOffset = 12
+	}
+	var offsets []float64
+	for i := range traces {
+		for _, p := range traces[i].WorldLanes() {
+			_, d := centerline.SignedOffset(p)
+			if math.Abs(d) <= maxOffset {
+				offsets = append(offsets, d)
+			}
+		}
+	}
+	if len(offsets) < 20 {
+		return nil, ErrNoTraces
+	}
+	// Histogram at 0.25 m resolution, find local maxima above threshold.
+	const binW = 0.25
+	nBins := int(2*maxOffset/binW) + 1
+	bins := make([]int, nBins)
+	for _, d := range offsets {
+		i := int((d + maxOffset) / binW)
+		if i >= 0 && i < nBins {
+			bins[i]++
+		}
+	}
+	// Peak = bin greater than neighbours and above 30% of the max bin.
+	maxBin := 0
+	for _, b := range bins {
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	thresh := maxBin * 3 / 10
+	type peak struct {
+		offset float64
+		votes  int
+	}
+	var peaks []peak
+	for i := 1; i+1 < nBins; i++ {
+		if bins[i] >= thresh && bins[i] >= bins[i-1] && bins[i] >= bins[i+1] && bins[i] > 0 {
+			// Refine the peak offset by local centroid.
+			num := float64(bins[i-1])*(-binW) + float64(bins[i+1])*binW
+			den := float64(bins[i-1] + bins[i] + bins[i+1])
+			off := -maxOffset + (float64(i)+0.5)*binW
+			if den > 0 {
+				off += num / den
+			}
+			peaks = append(peaks, peak{offset: off, votes: bins[i]})
+		}
+	}
+	// Merge peaks closer than one lane-marking ambiguity (1 m), keeping
+	// the stronger.
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].offset < peaks[j].offset })
+	var merged []peak
+	for _, p := range peaks {
+		if len(merged) > 0 && p.offset-merged[len(merged)-1].offset < 1 {
+			if p.votes > merged[len(merged)-1].votes {
+				merged[len(merged)-1] = p
+			}
+			continue
+		}
+		merged = append(merged, p)
+	}
+	if len(merged) == 0 {
+		return nil, ErrNoTraces
+	}
+	var out []geo.Polyline
+	for _, p := range merged {
+		out = append(out, centerline.Offset(p.offset))
+	}
+	return out, nil
+}
+
+// BuildMap assembles a probe-derived HD map: learned centreline(s), lane
+// boundaries (when the suite provides them), and aggregated signs. The
+// resulting map is a feature layer in the Kim [31] sense: it can be
+// stored and updated independently of a base map.
+func BuildMap(traces []Trace, suite Suite) (*core.Map, error) {
+	m := core.NewMap("crowd-" + suite.String())
+	cl, err := LearnCenterline(traces, 10)
+	if err != nil {
+		return nil, err
+	}
+	m.AddLine(core.LineElement{
+		Class:    core.ClassCenterline,
+		Geometry: cl,
+		Meta:     core.Meta{Confidence: 0.7, Source: "crowd"},
+	})
+	if suite == SuiteFull {
+		if bounds, err := LearnLaneBoundaries(traces, cl, 12); err == nil {
+			for _, b := range bounds {
+				m.AddLine(core.LineElement{
+					Class:    core.ClassLaneBoundary,
+					Geometry: b,
+					Meta:     core.Meta{Confidence: 0.7, Source: "crowd"},
+				})
+			}
+		}
+		if signs, err := AggregateSigns(traces, SignAggOpts{}); err == nil {
+			for _, s := range signs {
+				m.AddPoint(core.PointElement{
+					Class: core.ClassSign,
+					Pos:   s.Vec3(2.2),
+					Meta:  core.Meta{Confidence: 0.7, Source: "crowd"},
+				})
+			}
+		}
+	}
+	m.FreezeIndexes()
+	return m, nil
+}

@@ -1,0 +1,315 @@
+package crowd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/mapeval"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/worldgen"
+)
+
+func fleetWorld(t testing.TB, seed int64) (*worldgen.Highway, geo.Polyline) {
+	t.Helper()
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 600, Lanes: 2, SignSpacing: 150,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := hw.RoutePolyline(hw.LaneChains[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, route
+}
+
+func signError(hw *worldgen.Highway, signs []geo.Vec2) (mae float64, matched int) {
+	truth := hw.Map.PointsIn(hw.Bounds.Expand(20), core.ClassSign)
+	var sum float64
+	for _, tp := range truth {
+		best := math.Inf(1)
+		for _, s := range signs {
+			if d := s.Dist(tp.Pos.XY()); d < best {
+				best = d
+			}
+		}
+		if best < 5 {
+			sum += best
+			matched++
+		}
+	}
+	if matched == 0 {
+		return math.Inf(1), 0
+	}
+	return sum / float64(matched), matched
+}
+
+func TestCollectTraces(t *testing.T) {
+	hw, route := fleetWorld(t, 161)
+	rng := rand.New(rand.NewSource(162))
+	traces, err := CollectTraces(hw.World, route, FleetConfig{
+		Vehicles: 5, Suite: SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 5 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	for i := range traces {
+		if len(traces[i].Samples) < 50 {
+			t.Fatalf("trace %d samples = %d", i, len(traces[i].Samples))
+		}
+		if len(traces[i].WorldSigns()) == 0 {
+			t.Errorf("trace %d has no sign observations", i)
+		}
+		if len(traces[i].WorldLanes()) == 0 {
+			t.Errorf("trace %d has no lane observations", i)
+		}
+	}
+	// GPS-only suite carries no detections.
+	gTraces, err := CollectTraces(hw.World, route, FleetConfig{
+		Vehicles: 2, Suite: SuiteGPSOnly, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gTraces[0].WorldSigns()) != 0 || len(gTraces[0].WorldLanes()) != 0 {
+		t.Error("gps-only trace has detections")
+	}
+	if _, err := CollectTraces(hw.World, nil, FleetConfig{}, rng); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("nil route err = %v", err)
+	}
+}
+
+func TestAggregateSigns(t *testing.T) {
+	hw, route := fleetWorld(t, 163)
+	rng := rand.New(rand.NewSource(164))
+	traces, err := CollectTraces(hw.World, route, FleetConfig{
+		Vehicles: 30, Suite: SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signs, err := AggregateSigns(traces, SignAggOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signs) == 0 {
+		t.Fatal("no aggregated signs")
+	}
+	mae, matched := signError(hw, signs)
+	if matched < 2 {
+		t.Fatalf("matched = %d", matched)
+	}
+	// Crowd of 30 with consumer GPS: error well below single-fix noise.
+	if mae > 1.5 {
+		t.Errorf("crowd sign MAE = %v m", mae)
+	}
+	if _, err := AggregateSigns(nil, SignAggOpts{}); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("empty agg err = %v", err)
+	}
+}
+
+func poseRMS(traces []Trace) float64 {
+	var sum float64
+	var n int
+	for i := range traces {
+		for _, s := range traces[i].Samples {
+			sum += s.Est.P.DistSq(s.Truth.P)
+			n++
+		}
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+func TestCorrectiveFeedbackImproves(t *testing.T) {
+	hw, route := fleetWorld(t, 165)
+	rng := rand.New(rand.NewSource(166))
+	traces, err := CollectTraces(hw.World, route, FleetConfig{
+		Vehicles: 30, Suite: SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poseBefore := poseRMS(traces)
+	res, err := RefineWithFeedback(traces, 3, SignAggOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SignsPerRound) != 4 {
+		t.Fatalf("rounds = %d", len(res.SignsPerRound))
+	}
+	if res.Corrected == 0 {
+		t.Fatal("no samples corrected")
+	}
+	poseAfter := poseRMS(traces)
+	// The feedback's job is to collapse per-vehicle pose error (GPS
+	// bias) toward the crowd-consensus floor.
+	if poseAfter >= poseBefore {
+		t.Errorf("feedback did not reduce pose error: %v -> %v", poseBefore, poseAfter)
+	}
+	mae0, _ := signError(hw, res.SignsPerRound[0])
+	maeN, matched := signError(hw, res.SignsPerRound[len(res.SignsPerRound)-1])
+	if matched == 0 {
+		t.Fatal("feedback lost all signs")
+	}
+	// The aggregated-sign MAE is floored by the fleet-mean GPS bias;
+	// feedback must not degrade it materially.
+	if maeN > mae0*1.4 {
+		t.Errorf("feedback degraded MAE: %v -> %v", mae0, maeN)
+	}
+	t.Logf("feedback: pose RMS %.2f -> %.2f m; sign MAE %.2f -> %.2f m",
+		poseBefore, poseAfter, mae0, maeN)
+}
+
+func TestCrowdCapacityScaling(t *testing.T) {
+	// Dabeer's "crowd capacity": sign MAE falls with fleet size.
+	hw, route := fleetWorld(t, 175)
+	var maes []float64
+	for _, v := range []int{5, 80} {
+		rng := rand.New(rand.NewSource(176))
+		traces, err := CollectTraces(hw.World, route, FleetConfig{
+			Vehicles: v, Suite: SuiteFull, GPSGrade: sensors.GPSConsumer,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signs, err := AggregateSigns(traces, SignAggOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae, matched := signError(hw, signs)
+		if matched == 0 {
+			t.Fatalf("v=%d: no matches", v)
+		}
+		maes = append(maes, mae)
+	}
+	t.Logf("crowd capacity: MAE %.2f m (5 vehicles) -> %.2f m (80 vehicles)", maes[0], maes[1])
+	if maes[1] >= maes[0] {
+		t.Errorf("larger crowd did not improve MAE: %v", maes)
+	}
+	if maes[1] > 0.6 {
+		t.Errorf("80-vehicle MAE = %v m, want approaching the paper's regime", maes[1])
+	}
+}
+
+func TestLearnCenterline(t *testing.T) {
+	hw, route := fleetWorld(t, 167)
+	rng := rand.New(rand.NewSource(168))
+	traces, err := CollectTraces(hw.World, route, FleetConfig{
+		Vehicles: 25, Suite: SuiteGPSOnly, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := LearnCenterline(traces, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Length() < 400 {
+		t.Fatalf("centerline length = %v", cl.Length())
+	}
+	// Learned centreline tracks the driven route within a few metres
+	// (consumer-GPS bias floor).
+	err2 := geo.MeanDistance(cl, route)
+	if err2 > 4 {
+		t.Errorf("centerline error = %v m", err2)
+	}
+	if _, err := LearnCenterline(nil, 10); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestLearnLaneBoundaries(t *testing.T) {
+	hw, route := fleetWorld(t, 169)
+	rng := rand.New(rand.NewSource(170))
+	traces, err := CollectTraces(hw.World, route, FleetConfig{
+		Vehicles: 30, Suite: SuiteFull, GPSGrade: sensors.GPSDGPS,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := LearnCenterline(traces, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := LearnLaneBoundaries(traces, cl, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drive is in lane 1 of a 2-lane road: at least 2 boundaries
+	// should be recovered (own-lane edges), often 3.
+	if len(bounds) < 2 {
+		t.Fatalf("boundaries = %d", len(bounds))
+	}
+	// Each learned boundary is near a true boundary.
+	box := hw.Bounds.Expand(20)
+	var truth []geo.Polyline
+	for _, le := range hw.Map.LinesIn(box, core.ClassLaneBoundary) {
+		truth = append(truth, le.Geometry)
+	}
+	// Truth boundaries are per-lanelet segments, so compare per learned
+	// vertex against the nearest truth line of any segment.
+	for _, b := range bounds {
+		var sum float64
+		for _, v := range b {
+			best := math.Inf(1)
+			for _, tl := range truth {
+				if d := tl.DistanceTo(v); d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		if mean := sum / float64(len(b)); mean > 1.2 {
+			t.Errorf("learned boundary mean %.2f m from truth", mean)
+		}
+	}
+	if _, err := LearnLaneBoundaries(nil, nil, 0); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestBuildMapSuites(t *testing.T) {
+	hw, route := fleetWorld(t, 171)
+	rng := rand.New(rand.NewSource(172))
+	for _, suite := range []Suite{SuiteGPSOnly, SuiteFull} {
+		traces, err := CollectTraces(hw.World, route, FleetConfig{
+			Vehicles: 20, Suite: suite, GPSGrade: sensors.GPSConsumer,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := BuildMap(traces, suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issues := m.Validate(); len(issues) != 0 {
+			t.Fatalf("%v map invalid: %v", suite, issues[0])
+		}
+		cls := mapeval.EvalLines(hw.Map, m, core.ClassCenterline, 6)
+		_ = cls
+		p, l, _, _, _, _ := m.Counts()
+		if l == 0 {
+			t.Fatalf("%v: no lines built", suite)
+		}
+		if suite == SuiteFull && p == 0 {
+			t.Error("sensor-rich map has no signs")
+		}
+		if suite == SuiteGPSOnly && p != 0 {
+			t.Error("gps-only map has signs")
+		}
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if SuiteGPSOnly.String() != "gps-only" || SuiteFull.String() != "sensor-rich" {
+		t.Error("suite names wrong")
+	}
+}

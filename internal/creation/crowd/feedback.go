@@ -1,0 +1,100 @@
+package crowd
+
+import (
+	"hdmaps/internal/geo"
+	"hdmaps/internal/pointcloud"
+	"hdmaps/internal/spatial"
+)
+
+// FeedbackResult reports the corrective-feedback refinement.
+type FeedbackResult struct {
+	// SignsPerRound holds the aggregated sign estimates after each round
+	// (round 0 = GPS-only poses).
+	SignsPerRound [][]geo.Vec2
+	// Corrected counts how many samples received a pose correction in
+	// the final round.
+	Corrected int
+}
+
+// RefineWithFeedback runs Dabeer-style corrective feedback. Each round:
+//
+//  1. Aggregate a consensus sign map from the current pose estimates.
+//  2. Per VEHICLE, estimate its GNSS bias as the trimmed mean residual
+//     of its sign observations against the consensus, and subtract it
+//     from every sample of that trace. The bias is the dominant shared
+//     error of a cheap receiver and is observable from many matches.
+//  3. Per sample with ≥2 matches, apply a damped rigid alignment to fix
+//     the heading (which projects detections laterally at range).
+//
+// Per-vehicle biases are independent across the crowd, so the consensus
+// converges toward the truth as poses tighten — the mechanism behind the
+// paper's sub-20 cm regime with cost-effective sensors.
+func RefineWithFeedback(traces []Trace, rounds int, opts SignAggOpts) (*FeedbackResult, error) {
+	res := &FeedbackResult{}
+	signs, err := AggregateSigns(traces, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.SignsPerRound = append(res.SignsPerRound, signs)
+
+	for round := 1; round <= rounds; round++ {
+		tree := spatial.NewKDTree(signs)
+		corrected := 0
+		for ti := range traces {
+			tr := &traces[ti]
+			// Pass 1: vehicle bias from all matched observations.
+			var residuals []geo.Vec2
+			for si := range tr.Samples {
+				s := &tr.Samples[si]
+				for _, l := range s.LocalSigns {
+					world := s.Est.Transform(l)
+					idx, d, ok := tree.Nearest(world)
+					if !ok || d > 6 {
+						continue
+					}
+					residuals = append(residuals, world.Sub(signs[idx]))
+				}
+			}
+			if len(residuals) >= 3 {
+				bias := trimmedMean(residuals, 2.0).Scale(0.8) // damped
+				for si := range tr.Samples {
+					tr.Samples[si].Est.P = tr.Samples[si].Est.P.Sub(bias)
+				}
+			}
+			// Pass 2: per-sample heading (and residual translation)
+			// from multi-sign alignments.
+			for si := range tr.Samples {
+				s := &tr.Samples[si]
+				if len(s.LocalSigns) < 2 {
+					continue
+				}
+				var src, tgt []geo.Vec2
+				for _, l := range s.LocalSigns {
+					world := s.Est.Transform(l)
+					idx, d, ok := tree.Nearest(world)
+					if !ok || d > 6 {
+						continue
+					}
+					src = append(src, world)
+					tgt = append(tgt, signs[idx])
+				}
+				if len(src) < 2 {
+					continue
+				}
+				delta := pointcloud.RigidAlign(src, tgt)
+				// Rotation-only about the sample position: translation is
+				// the bias pass's job, and letting per-sample alignments
+				// translate makes the consensus drift round over round.
+				s.Est.Theta = geo.NormalizeAngle(s.Est.Theta + 0.5*delta.Theta)
+				corrected++
+			}
+		}
+		res.Corrected = corrected
+		signs, err = AggregateSigns(traces, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.SignsPerRound = append(res.SignsPerRound, signs)
+	}
+	return res, nil
+}

@@ -1,0 +1,212 @@
+package fusion
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/creation/crowd"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/worldgen"
+)
+
+func fusionWorld(t testing.TB, seed int64) (*worldgen.Highway, geo.Polyline) {
+	t.Helper()
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 500, Lanes: 2, SignSpacing: 120,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := hw.RoutePolyline(hw.LaneChains[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, route
+}
+
+// boundaryError returns the mean distance of points to the nearest true
+// lane boundary.
+func boundaryError(hw *worldgen.Highway, pts []geo.Vec2) float64 {
+	box := hw.Bounds.Expand(20)
+	var lines []geo.Polyline
+	for _, le := range hw.Map.LinesIn(box, core.ClassLaneBoundary) {
+		lines = append(lines, le.Geometry)
+	}
+	var sum float64
+	for _, p := range pts {
+		best := math.Inf(1)
+		for _, l := range lines {
+			if d := l.DistanceTo(p); d < best {
+				best = d
+			}
+		}
+		sum += math.Min(best, 10)
+	}
+	return sum / float64(len(pts))
+}
+
+func TestRenderAerial(t *testing.T) {
+	hw, _ := fusionWorld(t, 181)
+	rng := rand.New(rand.NewSource(182))
+	a, err := RenderAerial(hw.Map, AerialConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := a.BoundaryCells()
+	if len(cells) < 100 {
+		t.Fatalf("aerial boundary cells = %d", len(cells))
+	}
+	// Aerial cells sit near true boundaries within registration error +
+	// pixel size.
+	if e := boundaryError(hw, cells); e > 1.0 {
+		t.Errorf("aerial cell error = %v m", e)
+	}
+}
+
+func TestFig1AerialGroundFusion(t *testing.T) {
+	hw, route := fusionWorld(t, 183)
+	rng := rand.New(rand.NewSource(184))
+	a, err := RenderAerial(hw.Map, AerialConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+		Vehicles: 6, Suite: crowd.SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FuseAerialGround(a, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorrectedSamples == 0 {
+		t.Fatal("no samples corrected")
+	}
+	groundErr := boundaryError(hw, res.GroundOnly)
+	fusedErr := boundaryError(hw, res.Fused)
+	t.Logf("Fig1: ground-only %.2f m, fused %.2f m", groundErr, fusedErr)
+	// The paper's shape: fused ≪ ground-only (0.57 vs 1.67 m).
+	if fusedErr >= groundErr {
+		t.Errorf("fusion did not help: %v -> %v", groundErr, fusedErr)
+	}
+	if fusedErr > 1.0 {
+		t.Errorf("fused error = %v m, want sub-metre", fusedErr)
+	}
+	if groundErr < 1.0 {
+		t.Errorf("ground-only error = %v m suspiciously good for consumer GPS", groundErr)
+	}
+	if _, err := FuseAerialGround(a, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty traces err = %v", err)
+	}
+}
+
+func TestBuildSmartphone(t *testing.T) {
+	hw, route := fusionWorld(t, 185)
+	rng := rand.New(rand.NewSource(186))
+	traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+		Vehicles: 1, Suite: crowd.SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildSmartphone(traces[0], route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Szabó's claim: better than 3 m.
+	if res.TrackError > 3 {
+		t.Errorf("smartphone track error = %v m, want < 3", res.TrackError)
+	}
+	if res.TrackError == 0 {
+		t.Error("zero track error is implausible")
+	}
+	_, lines, _, _, _, _ := res.Map.Counts()
+	if lines == 0 {
+		t.Error("smartphone map has no lines")
+	}
+	if issues := res.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("invalid smartphone map: %v", issues[0])
+	}
+	if _, err := BuildSmartphone(crowd.Trace{}, route); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty trace err = %v", err)
+	}
+}
+
+func TestLaneCountFromAerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(187))
+	for _, lanes := range []int{2, 3} {
+		hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+			LengthM: 400, Lanes: lanes,
+		}, rand.New(rand.NewSource(int64(190+lanes))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := RenderAerial(hw.Map, AerialConfig{DropoutProb: 0.02}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Telemetry centreline: the road reference line shifted to the
+		// carriageway middle.
+		center := hw.RefLine.Offset(-float64(lanes) * 3.6 / 2)
+		got, err := LaneCountFromAerial(a, center, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != lanes {
+			t.Errorf("lane count = %d, want %d", got, lanes)
+		}
+	}
+	if _, err := LaneCountFromAerial(&AerialImage{}, nil, 0); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestBuildPiggyback(t *testing.T) {
+	hw, route := fusionWorld(t, 421)
+	rng := rand.New(rand.NewSource(422))
+	res, err := BuildPiggyback(hw.World, hw.Map, route, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observations == 0 {
+		t.Fatal("no observations piggybacked")
+	}
+	// The primary task stayed healthy.
+	var locSum float64
+	for _, e := range res.LocalizationErrors {
+		locSum += e
+	}
+	locMean := locSum / float64(len(res.LocalizationErrors))
+	if locMean > 1.0 {
+		t.Errorf("localization mean = %v m", locMean)
+	}
+	// The by-product map contains usable boundaries near the truth.
+	_, lines, _, _, _, _ := res.Map.Counts()
+	if lines < 2 {
+		t.Fatalf("piggyback map has %d lines", lines)
+	}
+	var pts []geo.Vec2
+	for _, id := range res.Map.LineIDs() {
+		l, _ := res.Map.Line(id)
+		if l.Class == core.ClassLaneBoundary {
+			pts = append(pts, l.Geometry...)
+		}
+	}
+	if len(pts) == 0 {
+		t.Fatal("no boundary geometry")
+	}
+	if e := boundaryError(hw, pts); e > 0.6 {
+		t.Errorf("piggyback boundary error = %v m", e)
+	}
+	if issues := res.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("invalid piggyback map: %v", issues[0])
+	}
+	if _, err := BuildPiggyback(hw.World, hw.Map, nil, 4, rng); !errors.Is(err, ErrNoData) {
+		t.Errorf("nil route err = %v", err)
+	}
+}

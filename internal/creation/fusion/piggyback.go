@@ -1,0 +1,106 @@
+package fusion
+
+import (
+	"math/rand"
+
+	"hdmaps/internal/apps/localization"
+	"hdmaps/internal/core"
+	"hdmaps/internal/creation/crowd"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/worldgen"
+)
+
+// PiggybackResult reports a Maeda et al. [37] style run: the map was
+// built as a by-product of localization, at no extra sensing cost.
+type PiggybackResult struct {
+	// Map holds the lane boundaries learned during the drive.
+	Map *core.Map
+	// LocalizationErrors per keyframe (the primary task's quality).
+	LocalizationErrors []float64
+	// Observations consumed (all shared with the localizer).
+	Observations int
+}
+
+// BuildPiggyback implements the piggyback pipeline: a vehicle localises
+// with the ADAS fusion stack against an EXISTING on-board map while the
+// very same lane detections, projected with the localization estimate,
+// accumulate into a fresh boundary layer. Map construction costs nothing
+// beyond what localization already paid — Maeda's "minimal overhead"
+// claim.
+func BuildPiggyback(w *worldgen.World, onboard *core.Map, route geo.Polyline, keyframeEvery float64, rng *rand.Rand) (*PiggybackResult, error) {
+	if len(route) < 2 {
+		return nil, ErrNoData
+	}
+	if keyframeEvery <= 0 {
+		keyframeEvery = 4
+	}
+	speed := 15.0
+	dt := keyframeEvery / speed
+	gps := sensors.NewGPS(sensors.GPSConsumer, rng)
+	odo := sensors.NewOdometry(0.01, 0.001, rng)
+	laneDet := sensors.NewLaneDetector(sensors.LaneDetectorConfig{}, rng)
+	objDet := sensors.NewObjectDetector(sensors.ObjectDetectorConfig{}, rng)
+
+	adas := localization.NewADAS(onboard, route.PoseAt(0), localization.ADASConfig{})
+	res := &PiggybackResult{}
+	var laneWorld []geo.Vec2
+	var track geo.Polyline
+	prev := route.PoseAt(0)
+	gpsSigma := gps.NoiseStd + gps.BiasStd
+	for s := 0.0; s <= route.Length(); s += keyframeEvery {
+		pose := route.PoseAt(s)
+		if s > 0 {
+			adas.Predict(odo.Measure(prev.Between(pose)))
+		}
+		prev = pose
+		if err := adas.UpdateGPS(gps.Measure(pose.P, dt), gpsSigma); err != nil {
+			return nil, err
+		}
+		lanes := laneDet.Detect(w.Map, pose)
+		if err := adas.UpdateLane(lanes); err != nil {
+			return nil, err
+		}
+		if err := adas.UpdateLandmarks(objDet.Detect(w.Map, pose, core.ClassSign, core.ClassPole)); err != nil {
+			return nil, err
+		}
+		est := adas.Pose()
+		res.LocalizationErrors = append(res.LocalizationErrors, est.P.Dist(pose.P))
+		track = append(track, est.P)
+		// The piggyback: re-project the SAME detections with the refined
+		// pose into the map layer under construction.
+		for _, lo := range lanes {
+			laneWorld = append(laneWorld, est.Transform(lo.Local))
+			res.Observations++
+		}
+	}
+	m := core.NewMap("piggyback")
+	if len(track) >= 2 {
+		m.AddLine(core.LineElement{
+			Class:    core.ClassCenterline,
+			Geometry: geo.MovingAverage(track, 2),
+			Meta:     core.Meta{Confidence: 0.8, Source: "piggyback"},
+		})
+	}
+	if len(laneWorld) > 20 && len(track) >= 2 {
+		center := geo.MovingAverage(track, 2)
+		if bounds, err := boundariesFromPoints(laneWorld, center); err == nil {
+			for _, b := range bounds {
+				m.AddLine(core.LineElement{
+					Class:    core.ClassLaneBoundary,
+					Geometry: b,
+					Meta:     core.Meta{Confidence: 0.8, Source: "piggyback"},
+				})
+			}
+		}
+	}
+	m.FreezeIndexes()
+	res.Map = m
+	return res, nil
+}
+
+// boundariesFromPoints reuses the lane-learner peak logic through the
+// crowd package's synthetic-trace adapter.
+func boundariesFromPoints(laneWorld []geo.Vec2, center geo.Polyline) ([]geo.Polyline, error) {
+	return crowd.LearnLaneBoundaries([]crowd.Trace{syntheticTrace(laneWorld)}, center, 12)
+}

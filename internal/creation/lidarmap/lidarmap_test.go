@@ -1,0 +1,162 @@
+package lidarmap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/mapeval"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/worldgen"
+)
+
+func buildWorld(t testing.TB, seed int64, length float64) (*worldgen.Highway, geo.Polyline) {
+	t.Helper()
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: length, Lanes: 2, SignSpacing: 100,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := hw.RoutePolyline(hw.LaneChains[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, route
+}
+
+func TestBuildFromRouteRTK(t *testing.T) {
+	hw, route := buildWorld(t, 141, 300)
+	rng := rand.New(rand.NewSource(142))
+	res, err := BuildFromRoute(hw.World, route, Config{
+		GPSGrade:      sensors.GPSRTK,
+		KeyframeEvery: 10,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scans < 25 || res.Points == 0 {
+		t.Fatalf("scans=%d points=%d", res.Scans, res.Points)
+	}
+	// RTK pose errors are centimetre level.
+	te := mapeval.EvalTrajectory(res.PoseErrors)
+	if te.Mean > 0.1 {
+		t.Errorf("RTK mean pose error = %v m", te.Mean)
+	}
+	// Extracted boundaries exist and are accurate to ~decimetres.
+	lr := mapeval.EvalLines(hw.Map, res.Map, core.ClassLaneBoundary, 1.5)
+	if lr.Built == 0 || lr.Matched == 0 {
+		t.Fatalf("boundary extraction empty: %+v", lr)
+	}
+	if lr.MeanError > 0.35 {
+		t.Errorf("boundary mean error = %v m", lr.MeanError)
+	}
+	// Signs extracted near truth.
+	pr := mapeval.EvalPoints(hw.Map, res.Map, core.ClassSign, 3)
+	if pr.Matched == 0 {
+		t.Fatalf("no signs extracted: %+v", pr)
+	}
+	if pr.MAE > 1.0 {
+		t.Errorf("sign MAE = %v m", pr.MAE)
+	}
+	// Validates cleanly.
+	if issues := res.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("invalid built map: %v", issues[0])
+	}
+}
+
+func TestConsumerGPSWorseThanRTK(t *testing.T) {
+	hw, route := buildWorld(t, 143, 300)
+	resRTK, err := BuildFromRoute(hw.World, route, Config{
+		GPSGrade: sensors.GPSRTK, KeyframeEvery: 10,
+	}, rand.New(rand.NewSource(144)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCons, err := BuildFromRoute(hw.World, route, Config{
+		GPSGrade: sensors.GPSConsumer, KeyframeEvery: 10,
+	}, rand.New(rand.NewSource(144)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtkErr := mapeval.EvalTrajectory(resRTK.PoseErrors).Mean
+	consErr := mapeval.EvalTrajectory(resCons.PoseErrors).Mean
+	if consErr < 3*rtkErr {
+		t.Errorf("consumer %v should be ≫ RTK %v", consErr, rtkErr)
+	}
+	// And the map inherits the pose quality.
+	rtkLines := mapeval.EvalLines(hw.Map, resRTK.Map, core.ClassLaneBoundary, 3)
+	consLines := mapeval.EvalLines(hw.Map, resCons.Map, core.ClassLaneBoundary, 3)
+	if consLines.Matched > 0 && rtkLines.Matched > 0 && consLines.MeanError < rtkLines.MeanError {
+		t.Errorf("consumer map (%.3f) better than RTK map (%.3f)",
+			consLines.MeanError, rtkLines.MeanError)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	hw, _ := buildWorld(t, 145, 200)
+	rng := rand.New(rand.NewSource(146))
+	if _, err := BuildFromRoute(hw.World, nil, Config{}, rng); !errors.Is(err, ErrEmptyRoute) {
+		t.Errorf("nil route err = %v", err)
+	}
+	if _, err := FuseTraversals(nil, 1); !errors.Is(err, ErrEmptyRoute) {
+		t.Errorf("empty fuse err = %v", err)
+	}
+}
+
+func TestFuseTraversalsImproves(t *testing.T) {
+	hw, route := buildWorld(t, 147, 300)
+	var passes []*core.Map
+	var singleMAE float64
+	for i := 0; i < 3; i++ {
+		res, err := BuildFromRoute(hw.World, route, Config{
+			GPSGrade: sensors.GPSDGPS, KeyframeEvery: 10,
+		}, rand.New(rand.NewSource(int64(150+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		passes = append(passes, res.Map)
+		if i == 0 {
+			singleMAE = mapeval.EvalPoints(hw.Map, res.Map, core.ClassSign, 4).MAE
+		}
+	}
+	fused, err := FuseTraversals(passes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedRep := mapeval.EvalPoints(hw.Map, fused, core.ClassSign, 4)
+	if fusedRep.Matched == 0 {
+		t.Fatal("fusion lost all signs")
+	}
+	// Fusion must not be significantly worse than a single pass; with
+	// noise it is typically better.
+	if singleMAE > 0 && fusedRep.MAE > singleMAE*1.3 {
+		t.Errorf("fused MAE %v worse than single-pass %v", fusedRep.MAE, singleMAE)
+	}
+	// Majority vote kills clutter seen only once.
+	clutter := passes[0].AddPoint(core.PointElement{
+		Class: core.ClassSign, Pos: geo.V3(9999, 9999, 2),
+	})
+	_ = clutter
+	fused2, err := FuseTraversals(passes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range fused2.PointIDs() {
+		p, _ := fused2.Point(id)
+		if p.Pos.XY().Dist(geo.V2(9999, 9999)) < 10 {
+			t.Error("single-pass clutter survived majority fusion")
+		}
+	}
+}
+
+func TestMetaConfidenceGrowsWithObservations(t *testing.T) {
+	if meta(1).Confidence >= meta(100).Confidence {
+		t.Error("confidence must grow with observations")
+	}
+	if c := meta(0).Confidence; c < 0 || c > 1 {
+		t.Errorf("confidence out of range: %v", c)
+	}
+}

@@ -1,0 +1,563 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/creation/crowd"
+	"hdmaps/internal/creation/fusion"
+	"hdmaps/internal/creation/lidarmap"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/mapeval"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/update/incremental"
+	"hdmaps/internal/update/slamcu"
+	"hdmaps/internal/worldgen"
+)
+
+// TableI verifies the taxonomy: every row of the paper's Table I maps to
+// implemented packages and reproduced systems.
+func TableI(seed int64) (Report, error) {
+	rep := Report{
+		ID: "T1", Title: "Taxonomy of the presented techniques",
+		Source: "Table I of the survey",
+	}
+	entries := core.Taxonomy()
+	var design, apps, systems int
+	for _, e := range entries {
+		if e.Category == core.CategoryDesignConstruction {
+			design++
+		} else {
+			apps++
+		}
+		systems += len(e.Systems)
+		rep.Metrics = append(rep.Metrics, Metric{
+			Name:     e.SubArea,
+			Paper:    "sub-area with cited systems",
+			Measured: float64(len(e.Packages)),
+			Unit:     "implementing packages",
+		})
+	}
+	rep.Metrics = append(rep.Metrics,
+		Metric{Name: "design+construction rows", Paper: "3", Measured: float64(design), Unit: "rows"},
+		Metric{Name: "application rows", Paper: "5", Measured: float64(apps), Unit: "rows"},
+		Metric{Name: "reproduced systems", Paper: "~40 cited works", Measured: float64(systems), Unit: "systems"},
+	)
+	return rep, nil
+}
+
+// buildHighway is the shared scenario generator.
+func buildHighway(seed int64, length float64, lanes int, signSpacing float64) (*worldgen.Highway, geo.Polyline, error) {
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: length, Lanes: lanes, SignSpacing: signSpacing,
+		CurveAmp: 20, CurvePeriod: 1200,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	lane := 0
+	if lanes > 1 {
+		lane = 1
+	}
+	route, err := hw.RoutePolyline(hw.LaneChains[lane])
+	if err != nil {
+		return nil, nil, err
+	}
+	return hw, route, nil
+}
+
+// Fig1AerialGround reproduces Fig 1 / Mattyus [27]: aerial+ground fusion
+// vs GPS+IMU ground-only road extraction.
+func Fig1AerialGround(seed int64) (Report, error) {
+	rep := Report{
+		ID: "F1", Title: "Image-based lane extraction: aerial+ground fusion",
+		Source: "Fig 1, Mattyus et al. [27]",
+		Notes:  "aerial orthophoto simulated as shifted noisy semantic raster",
+	}
+	hw, route, err := buildHighway(seed, 1500, 2, 150)
+	if err != nil {
+		return rep, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	aerial, err := fusion.RenderAerial(hw.Map, fusion.AerialConfig{}, rng)
+	if err != nil {
+		return rep, err
+	}
+	traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+		Vehicles: 6, Suite: crowd.SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		return rep, err
+	}
+	start := time.Now()
+	res, err := fusion.FuseAerialGround(aerial, traces)
+	if err != nil {
+		return rep, err
+	}
+	elapsed := time.Since(start)
+	groundErr := boundaryPtsError(hw, res.GroundOnly)
+	fusedErr := boundaryPtsError(hw, res.Fused)
+	rep.Metrics = []Metric{
+		{Name: "GPS+IMU ground-only error", Paper: "1.67 m", Measured: groundErr, Unit: "m"},
+		{Name: "aerial+ground fused error", Paper: "0.57 m", Measured: fusedErr, Unit: "m"},
+		{Name: "improvement factor", Paper: "~2.9x", Measured: groundErr / fusedErr, Unit: "x"},
+		{Name: "inference time per km", Paper: "6 s/km", Measured: elapsed.Seconds() / (route.Length() / 1000), Unit: "s/km"},
+	}
+	return rep, nil
+}
+
+func boundaryPtsError(hw *worldgen.Highway, pts []geo.Vec2) float64 {
+	box := hw.Bounds.Expand(20)
+	var lines []geo.Polyline
+	for _, le := range hw.Map.LinesIn(box, core.ClassLaneBoundary) {
+		lines = append(lines, le.Geometry)
+	}
+	var sum float64
+	for _, p := range pts {
+		best := math.Inf(1)
+		for _, l := range lines {
+			if d := l.DistanceTo(p); d < best {
+				best = d
+			}
+		}
+		sum += math.Min(best, 10)
+	}
+	if len(pts) == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(len(pts))
+}
+
+// Fig2SLAMCU reproduces Fig 2 / Jo et al. [41]: position-error histogram
+// of newly estimated map features plus change-classification accuracy.
+func Fig2SLAMCU(seed int64) (Report, error) {
+	rep := Report{
+		ID: "F2", Title: "SLAMCU mapping error for new map features",
+		Source: "Fig 2, Jo et al. [41]",
+	}
+	var newErrors []float64
+	var score mapeval.BinaryScore
+	runs := 4
+	for r := 0; r < runs; r++ {
+		s := seed + int64(r)*17
+		rng := rand.New(rand.NewSource(s))
+		hw, route, err := buildHighway(s, 1500, 2, 70)
+		if err != nil {
+			return rep, err
+		}
+		stale := hw.Map.Clone()
+		muts := worldgen.ApplyConstruction(hw.World, worldgen.ConstructionSite{
+			Center: geo.V2(750, -10), Radius: 600,
+			RemoveProb: 0.25, AddCount: 4,
+		}, rng)
+		res, err := slamcu.Run(hw.World, stale, route, slamcu.Config{}, rng)
+		if err != nil {
+			return rep, err
+		}
+		newErrors = append(newErrors, res.NewFeatureErrors...)
+		// Change-classification accuracy: did each true mutation get
+		// reported, and was each report a true mutation?
+		for _, mu := range muts {
+			detected := false
+			for _, c := range res.Changes {
+				if c.Pos.Dist(mu.Where) < 8 && (c.Removed == (mu.Kind == worldgen.MutRemoveSign)) {
+					detected = true
+					break
+				}
+			}
+			score.Add(detected, true)
+		}
+		for _, c := range res.Changes {
+			genuine := false
+			for _, mu := range muts {
+				if c.Pos.Dist(mu.Where) < 8 {
+					genuine = true
+					break
+				}
+			}
+			if !genuine {
+				score.Add(true, false) // false alarm
+			}
+		}
+	}
+	te := mapeval.EvalTrajectory(newErrors)
+	bins := mapeval.Histogram(newErrors, 8, 4)
+	series := make([]float64, len(bins))
+	for i, b := range bins {
+		series[i] = float64(b)
+	}
+	rep.Metrics = []Metric{
+		{Name: "new-feature position error mean", Paper: "0.8 m", Measured: te.Mean, Unit: "m"},
+		{Name: "new-feature position error std", Paper: "0.9 m", Measured: te.Std, Unit: "m"},
+		{Name: "change estimation accuracy", Paper: "96.12 %", Measured: score.Accuracy() * 100, Unit: "%"},
+		{Name: "features estimated", Paper: "20 km highway study", Measured: float64(te.N), Unit: "features"},
+	}
+	rep.Series = map[string][]float64{"error histogram (0..4 m, 8 bins)": series}
+	return rep, nil
+}
+
+// E1CrowdsourcedCreation reproduces Dabeer et al. [29]: crowdsourced sign
+// triangulation with corrective feedback approaching the 20 cm regime.
+func E1CrowdsourcedCreation(seed int64) (Report, error) {
+	rep := Report{
+		ID: "E1", Title: "Crowdsourced 3D map creation with corrective feedback",
+		Source: "Dabeer et al. [29]",
+	}
+	hw, route, err := buildHighway(seed, 1000, 2, 120)
+	if err != nil {
+		return rep, err
+	}
+	// Crowd capacity: sign MAE vs fleet size.
+	var capacity []float64
+	fleets := []int{5, 20, 80}
+	for _, v := range fleets {
+		rng := rand.New(rand.NewSource(seed + 2))
+		traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+			Vehicles: v, Suite: crowd.SuiteFull, GPSGrade: sensors.GPSConsumer,
+		}, rng)
+		if err != nil {
+			return rep, err
+		}
+		signs, err := crowd.AggregateSigns(traces, crowd.SignAggOpts{})
+		if err != nil {
+			return rep, err
+		}
+		capacity = append(capacity, signsError(hw, signs))
+	}
+	// Corrective feedback: per-vehicle pose error collapse.
+	rng := rand.New(rand.NewSource(seed + 2))
+	traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+		Vehicles: 80, Suite: crowd.SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		return rep, err
+	}
+	poseBefore := poseRMS(traces)
+	res, err := crowd.RefineWithFeedback(traces, 3, crowd.SignAggOpts{})
+	if err != nil {
+		return rep, err
+	}
+	poseAfter := poseRMS(traces)
+	maeFinal := signsError(hw, res.SignsPerRound[len(res.SignsPerRound)-1])
+	rep.Metrics = []Metric{
+		{Name: "sign MAE, 5-vehicle crowd", Paper: "(metres, crowd too small)", Measured: capacity[0], Unit: "m"},
+		{Name: "sign MAE, 80-vehicle crowd", Paper: "< 0.20 m", Measured: capacity[2], Unit: "m"},
+		{Name: "probe pose RMS before feedback", Paper: "(GPS bias dominated)", Measured: poseBefore, Unit: "m"},
+		{Name: "probe pose RMS after feedback", Paper: "corrective feedback refines", Measured: poseAfter, Unit: "m"},
+		{Name: "sign MAE after feedback (80)", Paper: "< 0.20 m", Measured: maeFinal, Unit: "m"},
+	}
+	rep.Series = map[string][]float64{"sign MAE vs fleet size (5/20/80)": capacity}
+	return rep, nil
+}
+
+// poseRMS scores pose estimates against the evaluation-only truth.
+func poseRMS(traces []crowd.Trace) float64 {
+	var sum float64
+	var n int
+	for i := range traces {
+		for _, s := range traces[i].Samples {
+			sum += s.Est.P.DistSq(s.Truth.P)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+func signsError(hw *worldgen.Highway, signs []geo.Vec2) float64 {
+	truth := hw.Map.PointsIn(hw.Bounds.Expand(20), core.ClassSign)
+	var sum float64
+	var n int
+	for _, tp := range truth {
+		best := math.Inf(1)
+		for _, s := range signs {
+			if d := s.Dist(tp.Pos.XY()); d < best {
+				best = d
+			}
+		}
+		if best < 5 {
+			sum += best
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// E2ProbeDataMaps reproduces Massow et al. [28]: GPS-only vs sensor-rich
+// probe-data map accuracy.
+func E2ProbeDataMaps(seed int64) (Report, error) {
+	rep := Report{
+		ID: "E2", Title: "HD maps from vehicular probe data",
+		Source: "Massow et al. [28]",
+	}
+	hw, route, err := buildHighway(seed, 1200, 2, 150)
+	if err != nil {
+		return rep, err
+	}
+	measure := func(suite crowd.Suite) (float64, error) {
+		rng := rand.New(rand.NewSource(seed + 3))
+		traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+			Vehicles: 25, Suite: suite, GPSGrade: sensors.GPSConsumer,
+		}, rng)
+		if err != nil {
+			return 0, err
+		}
+		m, err := crowd.BuildMap(traces, suite)
+		if err != nil {
+			return 0, err
+		}
+		// Map accuracy: centreline vs the driven route.
+		var cl geo.Polyline
+		for _, id := range m.LineIDs() {
+			l, _ := m.Line(id)
+			if l.Class == core.ClassCenterline {
+				cl = l.Geometry
+				break
+			}
+		}
+		if len(cl) < 2 {
+			return math.Inf(1), nil
+		}
+		return geo.MeanDistance(cl, route), nil
+	}
+	gpsOnly, err := measure(crowd.SuiteGPSOnly)
+	if err != nil {
+		return rep, err
+	}
+	sensorRich, err := measure(crowd.SuiteFull)
+	if err != nil {
+		return rep, err
+	}
+	// Sensor-rich also reconstructs lane boundaries; use their accuracy
+	// as its headline number (the extra sensors are what enable it).
+	rng := rand.New(rand.NewSource(seed + 4))
+	traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+		Vehicles: 25, Suite: crowd.SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		return rep, err
+	}
+	m, err := crowd.BuildMap(traces, crowd.SuiteFull)
+	if err != nil {
+		return rep, err
+	}
+	// Crowd boundaries are single long lines while truth is segmented per
+	// lanelet, so score per built vertex against the nearest truth line.
+	boundaryErr := builtBoundaryError(hw, m)
+	rep.Metrics = []Metric{
+		{Name: "GPS-only map accuracy", Paper: "2.4 m", Measured: gpsOnly, Unit: "m"},
+		{Name: "sensor-rich map accuracy", Paper: "1.9 m", Measured: sensorRich, Unit: "m"},
+		{Name: "sensor-rich lane-boundary error", Paper: "(enables lane layer)", Measured: boundaryErr, Unit: "m"},
+	}
+	if sensorRich < gpsOnly {
+		rep.Notes = "shape holds: richer sensors -> better maps"
+	}
+	return rep, nil
+}
+
+// E7LidarMapping reproduces Zhao et al. [32]: LiDAR road mapping pose
+// error across scene lengths.
+func E7LidarMapping(seed int64) (Report, error) {
+	rep := Report{
+		ID: "E7", Title: "Automatic vector road mapping with multibeam LiDAR",
+		Source: "Zhao et al. [32]",
+	}
+	var series []float64
+	var last *lidarmap.Result
+	var lastHW *worldgen.Highway
+	for i, length := range []float64{300, 600, 1200} {
+		hw, route, err := buildHighway(seed+int64(i), length, 2, 100)
+		if err != nil {
+			return rep, err
+		}
+		res, err := lidarmap.BuildFromRoute(hw.World, route, lidarmap.Config{
+			GPSGrade: sensors.GPSConsumer, KeyframeEvery: 8,
+		}, rand.New(rand.NewSource(seed+int64(i)+5)))
+		if err != nil {
+			return rep, err
+		}
+		te := mapeval.EvalTrajectory(res.PoseErrors)
+		series = append(series, te.Mean)
+		last, lastHW = res, hw
+	}
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(len(series))
+	lr := mapeval.EvalLines(lastHW.Map, last.Map, core.ClassLaneBoundary, 3)
+	rep.Metrics = []Metric{
+		{Name: "avg abs pose error", Paper: "1.83 m", Measured: mean, Unit: "m"},
+		{Name: "boundary completeness", Paper: "road structure recovered", Measured: lr.Completeness * 100, Unit: "%"},
+		{Name: "boundary geometric error", Paper: "(pose-limited)", Measured: lr.MeanError, Unit: "m"},
+	}
+	rep.Series = map[string][]float64{"pose error by scene length (0.3/0.6/1.2 km)": series}
+	return rep, nil
+}
+
+// E13RTKMapping reproduces Ilci & Toth [35]: GNSS/IMU/LiDAR integration
+// at RTK grade reaching centimetre map accuracy.
+func E13RTKMapping(seed int64) (Report, error) {
+	rep := Report{
+		ID: "E13", Title: "HD map creation with GNSS/IMU/LiDAR integration",
+		Source: "Ilci & Toth [35]",
+	}
+	hw, route, err := buildHighway(seed, 500, 2, 100)
+	if err != nil {
+		return rep, err
+	}
+	res, err := lidarmap.BuildFromRoute(hw.World, route, lidarmap.Config{
+		GPSGrade: sensors.GPSRTK, KeyframeEvery: 5,
+	}, rand.New(rand.NewSource(seed+6)))
+	if err != nil {
+		return rep, err
+	}
+	te := mapeval.EvalTrajectory(res.PoseErrors)
+	pr := mapeval.EvalPoints(hw.Map, res.Map, core.ClassSign, 3)
+	lr := mapeval.EvalLines(hw.Map, res.Map, core.ClassLaneBoundary, 1.5)
+	rep.Metrics = []Metric{
+		{Name: "pose error (RTK integration)", Paper: "~0.02 m", Measured: te.Mean, Unit: "m"},
+		{Name: "sign MAE", Paper: "centimetre-level", Measured: pr.MAE, Unit: "m"},
+		{Name: "boundary error", Paper: "centimetre-level", Measured: lr.MeanError, Unit: "m"},
+	}
+	return rep, nil
+}
+
+// E14SmartphoneMapping reproduces Szabó et al. [34]: phone-grade mapping
+// better than 3 m.
+func E14SmartphoneMapping(seed int64) (Report, error) {
+	rep := Report{
+		ID: "E14", Title: "Smartphone-based HD map building",
+		Source: "Szabó et al. [34]",
+	}
+	hw, route, err := buildHighway(seed, 800, 2, 150)
+	if err != nil {
+		return rep, err
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	traces, err := crowd.CollectTraces(hw.World, route, crowd.FleetConfig{
+		Vehicles: 1, Suite: crowd.SuiteFull, GPSGrade: sensors.GPSConsumer,
+	}, rng)
+	if err != nil {
+		return rep, err
+	}
+	res, err := fusion.BuildSmartphone(traces[0], route)
+	if err != nil {
+		return rep, err
+	}
+	// Raw single-fix error for contrast.
+	var rawErr float64
+	for _, s := range traces[0].Samples {
+		_, _, d := route.Project(s.Fix)
+		rawErr += d
+	}
+	rawErr /= float64(len(traces[0].Samples))
+	rep.Metrics = []Metric{
+		{Name: "raw phone GPS track error", Paper: "(several metres)", Measured: rawErr, Unit: "m"},
+		{Name: "Kalman-refined map error", Paper: "< 3 m", Measured: res.TrackError, Unit: "m"},
+	}
+	return rep, nil
+}
+
+// E15IncrementalFusion reproduces Liu et al. [43]: repeated-observation
+// fusion raises confidence and position accuracy; time decay adapts to
+// changes.
+func E15IncrementalFusion(seed int64) (Report, error) {
+	rep := Report{
+		ID: "E15", Title: "Incremental fusing map update",
+		Source: "Liu et al. [43]",
+	}
+	rng := rand.New(rand.NewSource(seed + 8))
+	m := core.NewMap("inc")
+	truth := geo.V2(50, 0)
+	id := m.AddPoint(core.PointElement{
+		Class: core.ClassSign, Pos: geo.V3(50.8, 0.6, 2.2), // 1 m off initially
+		Meta: core.Meta{Confidence: 0.5},
+	})
+	f, err := incremental.NewFuser(m, incremental.Config{DecayHalfLife: 3})
+	if err != nil {
+		return rep, err
+	}
+	view := geo.NewAABB(geo.V2(30, -20), geo.V2(70, 20))
+	initialErr := 1.0
+	for i := 0; i < 25; i++ {
+		f.Observe([]incremental.Observation{{
+			Class:  core.ClassSign,
+			P:      truth.Add(geo.V2(rng.NormFloat64()*0.3, rng.NormFloat64()*0.3)),
+			PosVar: 0.09, Stamp: uint64(i + 1),
+		}}, view, uint64(i+1))
+	}
+	p, _ := m.Point(id)
+	fusedErr := p.Pos.XY().Dist(truth)
+	fusedConf := p.Meta.Confidence
+	// Now the sign vanishes: decay until removal.
+	removedAfter := -1
+	for i := 26; i < 60; i++ {
+		f.Observe(nil, view, uint64(i))
+		if _, err := m.Point(id); err != nil {
+			removedAfter = i - 25
+			break
+		}
+	}
+	// Qi et al. [47]: RSU/MEC pre-aggregation shrinks the central upload.
+	var rsuObs []incremental.Observation
+	for i := 0; i < 400; i++ {
+		t := geo.V2(float64(i%8)*120+60, float64(i%3)*4-4)
+		rsuObs = append(rsuObs, incremental.Observation{
+			Class:  core.ClassSign,
+			P:      t.Add(geo.V2(rng.NormFloat64()*0.4, rng.NormFloat64()*0.4)),
+			PosVar: 0.16, Stamp: uint64(i),
+		})
+	}
+	reports := incremental.PreAggregateRSU(rsuObs, 250, 3)
+	rawB, aggB := incremental.UploadSavings(reports)
+	merged := incremental.CentralMerge(reports, 3)
+	rep.Metrics = []Metric{
+		{Name: "position error before fusion", Paper: "(stale map)", Measured: initialErr, Unit: "m"},
+		{Name: "position error after 25 obs", Paper: "improves", Measured: fusedErr, Unit: "m"},
+		{Name: "confidence after fusion", Paper: "grows", Measured: fusedConf, Unit: ""},
+		{Name: "passes to adapt to removal", Paper: "time decay adapts quickly", Measured: float64(removedAfter), Unit: "passes"},
+		{Name: "RSU upload reduction (Qi [47])", Paper: "MEC pre-aggregation shrinks traffic", Measured: float64(rawB) / float64(aggB), Unit: "x"},
+		{Name: "central elements after merge", Paper: "deduplicated updates", Measured: float64(len(merged)), Unit: "elements"},
+	}
+	return rep, nil
+}
+
+// E18ExtractionThroughput reproduces the throughput claim of Chen et al.
+// [26]: large-scene retro-reflective feature extraction in minutes.
+func E18ExtractionThroughput(seed int64) (Report, error) {
+	rep := Report{
+		ID: "E18", Title: "Retro-reflective feature extraction throughput",
+		Source: "Chen et al. [26]",
+		Notes:  "absolute times are hardware-bound; the measure is points/second scaling",
+	}
+	hw, route, err := buildHighway(seed, 600, 2, 80)
+	if err != nil {
+		return rep, err
+	}
+	rng := rand.New(rand.NewSource(seed + 9))
+	start := time.Now()
+	res, err := lidarmap.BuildFromRoute(hw.World, route, lidarmap.Config{
+		GPSGrade: sensors.GPSRTK, KeyframeEvery: 6,
+	}, rng)
+	if err != nil {
+		return rep, err
+	}
+	elapsed := time.Since(start).Seconds()
+	rep.Metrics = []Metric{
+		{Name: "points processed", Paper: "(large scenes)", Measured: float64(res.Points), Unit: "points"},
+		{Name: "pipeline wall time", Paper: "3.1 min for their scene", Measured: elapsed, Unit: "s"},
+		{Name: "throughput", Paper: "scales to large scenes", Measured: float64(res.Points) / math.Max(elapsed, 1e-9), Unit: "points/s"},
+	}
+	return rep, nil
+}
+
+var _ = fmt.Sprintf // reserved for debug formatting

@@ -1,0 +1,105 @@
+// Package experiments implements the reproduction of every table and
+// figure the survey presents or quotes: Table I (the taxonomy), Fig 1
+// (aerial+ground road extraction), Fig 2 (SLAMCU new-feature error
+// histogram), and the twenty headline results E1–E20 catalogued in
+// DESIGN.md. Each experiment returns a structured Report with the
+// paper-quoted value next to the measured one, so `go test -bench` and
+// cmd/mapbench regenerate the evaluation from scratch.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric is one row of an experiment report.
+type Metric struct {
+	Name string
+	// Paper is the value or shape the survey quotes (free text).
+	Paper string
+	// Measured is this run's value.
+	Measured float64
+	// Unit annotates Measured.
+	Unit string
+}
+
+// Report is one regenerated table/figure.
+type Report struct {
+	// ID matches the DESIGN.md experiment index (T1, F1, F2, E1..E20).
+	ID    string
+	Title string
+	// Source cites the surveyed system.
+	Source  string
+	Metrics []Metric
+	// Series holds figure-style data (e.g. histogram bins) when the
+	// artefact is a plot rather than a scalar table.
+	Series map[string][]float64
+	// Notes records caveats (substitutions, scale reductions).
+	Notes string
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s (%s)\n", r.ID, r.Title, r.Source)
+	for _, m := range r.Metrics {
+		fmt.Fprintf(&b, "  %-38s paper: %-28s measured: %10.3f %s\n",
+			m.Name, m.Paper, m.Measured, m.Unit)
+	}
+	for name, vals := range r.Series {
+		fmt.Fprintf(&b, "  series %-20s", name)
+		for _, v := range vals {
+			fmt.Fprintf(&b, " %6.2f", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "  note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func(seed int64) (Report, error)
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", TableI},
+		{"F1", Fig1AerialGround},
+		{"F2", Fig2SLAMCU},
+		{"E1", E1CrowdsourcedCreation},
+		{"E2", E2ProbeDataMaps},
+		{"E3", E3CrowdUpdate},
+		{"E4", E4HDMILoc},
+		{"E5", E5StorageFootprint},
+		{"E6", E6PCCFuel},
+		{"E7", E7LidarMapping},
+		{"E8", E8MapPriorDetection},
+		{"E9", E9BHPS},
+		{"E10", E10LaneMarkingLoc},
+		{"E11", E11GeometricStrength},
+		{"E12", E12TrafficLights},
+		{"E13", E13RTKMapping},
+		{"E14", E14SmartphoneMapping},
+		{"E15", E15IncrementalFusion},
+		{"E16", E16ATVUpdate},
+		{"E17", E17Cooperative},
+		{"E18", E18ExtractionThroughput},
+		{"E19", E19ADASFusion},
+		{"E20", E20PathSets},
+	}
+}
+
+// Run executes one experiment by ID.
+func Run(id string, seed int64) (Report, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run(seed)
+		}
+	}
+	return Report{}, fmt.Errorf("experiments: unknown id %q", id)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// metric fetches a metric by name.
+func metric(t *testing.T, r Report, name string) float64 {
+	t.Helper()
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Measured
+		}
+	}
+	t.Fatalf("%s: metric %q missing (have %+v)", r.ID, name, r.Metrics)
+	return 0
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 23 { // T1, F1, F2, E1..E20
+		t.Fatalf("experiments = %d, want 23", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := Run("nope", 1); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	r, err := TableI(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(t, r, "design+construction rows") != 3 {
+		t.Error("design rows != 3")
+	}
+	if metric(t, r, "application rows") != 5 {
+		t.Error("application rows != 5")
+	}
+	if !strings.Contains(r.String(), "Taxonomy") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1AerialGround(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ground := metric(t, r, "GPS+IMU ground-only error")
+	fused := metric(t, r, "aerial+ground fused error")
+	if fused >= ground {
+		t.Errorf("Fig1 shape broken: fused %v >= ground %v", fused, ground)
+	}
+	if fused > 1.0 {
+		t.Errorf("fused error %v not sub-metre", fused)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	r, err := E5StorageFootprint(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := metric(t, r, "raw / vector ratio")
+	if ratio < 20 {
+		t.Errorf("storage ratio = %v, want ≫", ratio)
+	}
+	raw := metric(t, r, "raw point-cloud format")
+	if raw < 1 || raw > 100 {
+		t.Errorf("raw MB/mile = %v, want O(10)", raw)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	r, err := E6PCCFuel(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hills := metric(t, r, "fuel saving on hills")
+	flat := metric(t, r, "fuel saving on flat (ablation)")
+	if hills < 1 {
+		t.Errorf("hill saving = %v%%", hills)
+	}
+	if math.Abs(flat) > 1.5 {
+		t.Errorf("flat saving = %v%%, want ≈0", flat)
+	}
+	if hills <= flat {
+		t.Error("hills must beat flat")
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	r, err := E9BHPS(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(t, r, "path cost parity") != 1 {
+		t.Error("BHPS found suboptimal paths")
+	}
+	if metric(t, r, "expansion reduction (Dijkstra/BHPS)") <= 1 {
+		t.Error("BHPS did not reduce expansions")
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	r, err := E11GeometricStrength(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(t, r, "error: 2 vs 16 features (30 m)") <= 1 {
+		t.Error("count trend broken")
+	}
+	if metric(t, r, "error: 120 m vs 15 m (6 features)") <= 1 {
+		t.Error("distance trend broken")
+	}
+	if metric(t, r, "error: clustered / random spread") <= 1 {
+		t.Error("distribution trend broken")
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	r, err := E12TrafficLights(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := metric(t, r, "map-gated precision")
+	raw := metric(t, r, "raw detector precision")
+	if gated <= raw {
+		t.Error("gating did not improve precision")
+	}
+	if gated < 90 {
+		t.Errorf("gated precision = %v%%, want ≈97", gated)
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	r, err := E15IncrementalFusion(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(t, r, "position error after 25 obs") >= metric(t, r, "position error before fusion") {
+		t.Error("fusion did not improve position")
+	}
+	if metric(t, r, "passes to adapt to removal") <= 0 {
+		t.Error("decay never removed the element")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		ID: "X", Title: "demo", Source: "test",
+		Metrics: []Metric{{Name: "m", Paper: "1", Measured: 2, Unit: "u"}},
+		Series:  map[string][]float64{"s": {1, 2}},
+		Notes:   "note",
+	}
+	s := r.String()
+	for _, want := range []string{"X", "demo", "paper: 1", "2.000 u", "series", "note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

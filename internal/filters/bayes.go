@@ -1,0 +1,240 @@
+package filters
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadDistribution is returned when probabilities are invalid.
+var ErrBadDistribution = errors.New("filters: invalid probability distribution")
+
+// Histogram1D is a discrete Bayes filter over a 1-D state (e.g. lateral
+// lane position or arc-length along a route). Bauer-style road-surface
+// localization and lane-level map matching use it where a full particle
+// filter is overkill.
+type Histogram1D struct {
+	Min, Max float64
+	P        []float64 // cell probabilities, sum to 1
+}
+
+// NewHistogram1D creates a uniform histogram with n cells over [min, max].
+func NewHistogram1D(min, max float64, n int) *Histogram1D {
+	if n < 1 {
+		n = 1
+	}
+	h := &Histogram1D{Min: min, Max: max, P: make([]float64, n)}
+	u := 1 / float64(n)
+	for i := range h.P {
+		h.P[i] = u
+	}
+	return h
+}
+
+// CellWidth returns the width of one cell.
+func (h *Histogram1D) CellWidth() float64 { return (h.Max - h.Min) / float64(len(h.P)) }
+
+// CellCenter returns the centre value of cell i.
+func (h *Histogram1D) CellCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.CellWidth()
+}
+
+// Predict convolves the belief with a Gaussian motion kernel: the state
+// moves by delta with standard deviation sigma.
+func (h *Histogram1D) Predict(delta, sigma float64) {
+	n := len(h.P)
+	w := h.CellWidth()
+	next := make([]float64, n)
+	// Discretise the kernel out to 3 sigma around the shift.
+	halfK := int(math.Ceil((3*sigma+math.Abs(delta))/w)) + 1
+	kernel := make([]float64, 2*halfK+1)
+	var kSum float64
+	for k := -halfK; k <= halfK; k++ {
+		d := float64(k)*w - delta
+		kernel[k+halfK] = math.Exp(-d * d / (2 * sigma * sigma))
+		kSum += kernel[k+halfK]
+	}
+	if kSum == 0 {
+		return
+	}
+	for i := range kernel {
+		kernel[i] /= kSum
+	}
+	for i := 0; i < n; i++ {
+		if h.P[i] == 0 {
+			continue
+		}
+		for k := -halfK; k <= halfK; k++ {
+			j := i + k
+			if j < 0 {
+				j = 0
+			}
+			if j >= n {
+				j = n - 1
+			}
+			next[j] += h.P[i] * kernel[k+halfK]
+		}
+	}
+	h.P = next
+}
+
+// Update multiplies by likelihood(cellCenter) and renormalises; a zero
+// total resets to uniform and reports divergence.
+func (h *Histogram1D) Update(likelihood func(x float64) float64) (diverged bool) {
+	var sum float64
+	for i := range h.P {
+		h.P[i] *= likelihood(h.CellCenter(i))
+		sum += h.P[i]
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(h.P))
+		for i := range h.P {
+			h.P[i] = u
+		}
+		return true
+	}
+	for i := range h.P {
+		h.P[i] /= sum
+	}
+	return false
+}
+
+// Mean returns the expected state value.
+func (h *Histogram1D) Mean() float64 {
+	var m float64
+	for i, p := range h.P {
+		m += p * h.CellCenter(i)
+	}
+	return m
+}
+
+// MAP returns the centre of the most probable cell.
+func (h *Histogram1D) MAP() float64 {
+	best, bp := 0, -1.0
+	for i, p := range h.P {
+		if p > bp {
+			best, bp = i, p
+		}
+	}
+	return h.CellCenter(best)
+}
+
+// Entropy returns the Shannon entropy in nats — a confidence diagnostic.
+func (h *Histogram1D) Entropy() float64 {
+	var e float64
+	for _, p := range h.P {
+		if p > 0 {
+			e -= p * math.Log(p)
+		}
+	}
+	return e
+}
+
+// DBN is a discrete dynamic Bayesian network over binary "element changed"
+// variables, the inference core of SLAMCU (Jo et al.). Each tracked map
+// element carries a belief that it has physically changed; per-visit
+// evidence (detected / not detected, displaced / in place) updates the
+// belief, and a persistence prior transfers belief across time steps.
+type DBN struct {
+	// PChangePrior is the per-visit prior probability that an element
+	// changed since the last visit (hazard rate).
+	PChangePrior float64
+	// PDetectGivenPresent is the sensor's true-positive rate.
+	PDetectGivenPresent float64
+	// PDetectGivenAbsent is the sensor's false-positive rate.
+	PDetectGivenAbsent float64
+
+	beliefs map[int64]float64 // element id -> P(changed)
+}
+
+// NewDBN constructs the network. It returns ErrBadDistribution when any
+// probability is outside [0, 1].
+func NewDBN(hazard, tpr, fpr float64) (*DBN, error) {
+	for _, p := range []float64{hazard, tpr, fpr} {
+		if p < 0 || p > 1 {
+			return nil, ErrBadDistribution
+		}
+	}
+	return &DBN{
+		PChangePrior:        hazard,
+		PDetectGivenPresent: tpr,
+		PDetectGivenAbsent:  fpr,
+		beliefs:             make(map[int64]float64),
+	}, nil
+}
+
+// Belief returns P(changed) for element id (the hazard prior when the
+// element has never been observed).
+func (d *DBN) Belief(id int64) float64 {
+	if b, ok := d.beliefs[id]; ok {
+		return b
+	}
+	return d.PChangePrior
+}
+
+// Propagate applies the temporal transition: an unchanged element may
+// change with the hazard rate between observation epochs.
+func (d *DBN) Propagate(id int64) {
+	b := d.Belief(id)
+	d.beliefs[id] = b + (1-b)*d.PChangePrior
+}
+
+// Observe updates the belief for an element the map says should be
+// present. detected reports whether the sensor saw it this pass.
+// For a map element, "changed" means removed/moved, so detection is
+// evidence against change:
+//
+//	P(detected | changed)   = fpr   (we shouldn't see it, maybe clutter)
+//	P(detected | unchanged) = tpr
+func (d *DBN) Observe(id int64, detected bool) float64 {
+	b := d.Belief(id)
+	var lChanged, lUnchanged float64
+	if detected {
+		lChanged, lUnchanged = d.PDetectGivenAbsent, d.PDetectGivenPresent
+	} else {
+		lChanged, lUnchanged = 1-d.PDetectGivenAbsent, 1-d.PDetectGivenPresent
+	}
+	num := lChanged * b
+	den := num + lUnchanged*(1-b)
+	if den <= 0 {
+		return b
+	}
+	d.beliefs[id] = num / den
+	return d.beliefs[id]
+}
+
+// ObserveNew updates the belief for a detection with no map counterpart
+// (a candidate new element). Here "changed" means the world gained an
+// element, so detection is evidence for change.
+func (d *DBN) ObserveNew(id int64, detected bool) float64 {
+	b := d.Belief(id)
+	var lChanged, lUnchanged float64
+	if detected {
+		lChanged, lUnchanged = d.PDetectGivenPresent, d.PDetectGivenAbsent
+	} else {
+		lChanged, lUnchanged = 1-d.PDetectGivenPresent, 1-d.PDetectGivenAbsent
+	}
+	num := lChanged * b
+	den := num + lUnchanged*(1-b)
+	if den <= 0 {
+		return b
+	}
+	d.beliefs[id] = num / den
+	return d.beliefs[id]
+}
+
+// Decide returns the ids whose change belief crosses threshold.
+func (d *DBN) Decide(threshold float64) []int64 {
+	var out []int64
+	for id, b := range d.beliefs {
+		if b >= threshold {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Reset clears the belief for id (called after the map is patched).
+func (d *DBN) Reset(id int64) { delete(d.beliefs, id) }
+
+// Len returns the number of tracked elements.
+func (d *DBN) Len() int { return len(d.beliefs) }

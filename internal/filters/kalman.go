@@ -1,0 +1,108 @@
+package filters
+
+import "fmt"
+
+// Kalman is a linear Kalman filter over an n-dimensional state.
+//
+//	x' = F·x + B·u + w,  w ~ N(0, Q)
+//	z  = H·x + v,        v ~ N(0, R)
+//
+// It is used directly by the incremental map-update fusion (Liu et al.)
+// and the smartphone mapping pipeline, and underlies the EKF in ekf.go.
+type Kalman struct {
+	X *Mat // state estimate (n×1)
+	P *Mat // state covariance (n×n)
+	F *Mat // state transition (n×n)
+	B *Mat // control matrix (n×m), may be nil
+	Q *Mat // process noise (n×n)
+}
+
+// NewKalman constructs a filter with initial state x0 and covariance p0.
+func NewKalman(x0, p0, f, q *Mat) *Kalman {
+	return &Kalman{X: x0.Clone(), P: p0.Clone(), F: f, Q: q}
+}
+
+// Predict advances the state one step with optional control input u
+// (pass nil when B is nil).
+func (k *Kalman) Predict(u *Mat) {
+	k.X = k.F.Mul(k.X)
+	if k.B != nil && u != nil {
+		k.X = k.X.Add(k.B.Mul(u))
+	}
+	k.P = k.F.Mul(k.P).Mul(k.F.T()).Add(k.Q).Symmetrize()
+}
+
+// Update fuses measurement z with observation model H and measurement
+// noise R. It returns an error when the innovation covariance is
+// singular, which indicates an ill-posed model rather than bad data.
+func (k *Kalman) Update(z, h, r *Mat) error {
+	y := z.Sub(h.Mul(k.X))            // innovation
+	s := h.Mul(k.P).Mul(h.T()).Add(r) // innovation covariance
+	sInv, err := s.Inverse()
+	if err != nil {
+		return fmt.Errorf("kalman update: %w", err)
+	}
+	gain := k.P.Mul(h.T()).Mul(sInv)
+	k.X = k.X.Add(gain.Mul(y))
+	ikh := Eye(k.P.Rows).Sub(gain.Mul(h))
+	// Joseph form keeps P positive semi-definite under rounding.
+	k.P = ikh.Mul(k.P).Mul(ikh.T()).Add(gain.Mul(r).Mul(gain.T())).Symmetrize()
+	return nil
+}
+
+// MahalanobisSq returns the squared Mahalanobis distance of measurement z
+// under observation model (H, R) — the gating statistic used for
+// validation gates in the ADAS localization fusion.
+func (k *Kalman) MahalanobisSq(z, h, r *Mat) (float64, error) {
+	y := z.Sub(h.Mul(k.X))
+	s := h.Mul(k.P).Mul(h.T()).Add(r)
+	sInv, err := s.Inverse()
+	if err != nil {
+		return 0, fmt.Errorf("kalman gate: %w", err)
+	}
+	d := y.T().Mul(sInv).Mul(y)
+	return d.At(0, 0), nil
+}
+
+// EKF is an extended Kalman filter with caller-supplied nonlinear models.
+// The motion and measurement functions return both the propagated value
+// and the Jacobian evaluated at the linearisation point.
+type EKF struct {
+	X *Mat // state (n×1)
+	P *Mat // covariance (n×n)
+}
+
+// NewEKF constructs an EKF with initial state and covariance.
+func NewEKF(x0, p0 *Mat) *EKF {
+	return &EKF{X: x0.Clone(), P: p0.Clone()}
+}
+
+// Predict propagates the state through motion model f, which must return
+// the new state and its Jacobian F = ∂f/∂x; q is the process noise.
+func (e *EKF) Predict(f func(x *Mat) (xNext, jacF *Mat), q *Mat) {
+	xNext, jacF := f(e.X)
+	e.X = xNext
+	e.P = jacF.Mul(e.P).Mul(jacF.T()).Add(q).Symmetrize()
+}
+
+// Update fuses measurement z through measurement model h, which must
+// return the predicted measurement and its Jacobian H = ∂h/∂x; r is the
+// measurement noise. residualFn, when non-nil, post-processes the
+// innovation (e.g. to wrap angles).
+func (e *EKF) Update(z *Mat, h func(x *Mat) (zPred, jacH *Mat), r *Mat, residualFn func(*Mat)) error {
+	zPred, jacH := h(e.X)
+	y := z.Sub(zPred)
+	if residualFn != nil {
+		residualFn(y)
+	}
+	s := jacH.Mul(e.P).Mul(jacH.T()).Add(r)
+	sInv, err := s.Inverse()
+	if err != nil {
+		return fmt.Errorf("ekf update: %w", err)
+	}
+	gain := e.P.Mul(jacH.T()).Mul(sInv)
+	e.X = e.X.Add(gain.Mul(y))
+	ikh := Eye(e.P.Rows).Sub(gain.Mul(jacH))
+	e.P = ikh.Mul(e.P).Mul(ikh.T()).Add(gain.Mul(r).Mul(gain.T())).Symmetrize()
+	return nil
+}

@@ -1,0 +1,147 @@
+package filters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/geo"
+)
+
+// TestKalman1DConvergence tracks a static scalar with noisy measurements:
+// the estimate must converge to the truth and the variance must shrink.
+func TestKalman1DConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	truth := 5.0
+	k := NewKalman(Vec(0), Diag(100), Eye(1), Diag(1e-6))
+	h, r := Eye(1), Diag(1)
+	for i := 0; i < 200; i++ {
+		k.Predict(nil)
+		z := Vec(truth + rng.NormFloat64())
+		if err := k.Update(z, h, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(k.X.At(0, 0)-truth) > 0.3 {
+		t.Errorf("estimate = %v, want ≈%v", k.X.At(0, 0), truth)
+	}
+	if k.P.At(0, 0) > 0.1 {
+		t.Errorf("variance = %v, want small", k.P.At(0, 0))
+	}
+}
+
+// TestKalmanConstantVelocity tracks a 1-D constant-velocity target and
+// checks that the velocity state is recovered from position-only
+// measurements.
+func TestKalmanConstantVelocity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dt := 0.1
+	f := MatFrom(2, 2, 1, dt, 0, 1)
+	q := MatFrom(2, 2, 1e-4, 0, 0, 1e-4)
+	k := NewKalman(Vec(0, 0), Diag(10, 10), f, q)
+	h := MatFrom(1, 2, 1, 0)
+	r := Diag(0.25)
+	trueVel := 3.0
+	pos := 0.0
+	for i := 0; i < 300; i++ {
+		pos += trueVel * dt
+		k.Predict(nil)
+		if err := k.Update(Vec(pos+rng.NormFloat64()*0.5), h, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(k.X.At(1, 0)-trueVel) > 0.3 {
+		t.Errorf("velocity estimate = %v, want ≈%v", k.X.At(1, 0), trueVel)
+	}
+}
+
+func TestKalmanControlInput(t *testing.T) {
+	// x' = x + u exactly; no noise.
+	k := NewKalman(Vec(0), Diag(1), Eye(1), Diag(0))
+	k.B = Eye(1)
+	k.Predict(Vec(2.5))
+	if got := k.X.At(0, 0); got != 2.5 {
+		t.Errorf("state after control = %v", got)
+	}
+}
+
+func TestMahalanobisGate(t *testing.T) {
+	k := NewKalman(Vec(0), Diag(1), Eye(1), Diag(0))
+	h, r := Eye(1), Diag(1)
+	// Innovation covariance = P+R = 2; z=2 gives d² = 4/2 = 2.
+	d2, err := k.MahalanobisSq(Vec(2), h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2-2) > 1e-12 {
+		t.Errorf("Mahalanobis² = %v, want 2", d2)
+	}
+}
+
+func TestKalmanCovarianceStaysPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	k := NewKalman(Vec(0, 0), Diag(1, 1), MatFrom(2, 2, 1, 0.1, 0, 1), Diag(0.01, 0.01))
+	h := MatFrom(1, 2, 1, 0)
+	r := Diag(0.5)
+	for i := 0; i < 1000; i++ {
+		k.Predict(nil)
+		if err := k.Update(Vec(rng.NormFloat64()), h, r); err != nil {
+			t.Fatal(err)
+		}
+		// Diagonal must stay positive and the matrix symmetric.
+		if k.P.At(0, 0) <= 0 || k.P.At(1, 1) <= 0 {
+			t.Fatalf("iteration %d: non-positive variance %v", i, k.P.Data)
+		}
+		if math.Abs(k.P.At(0, 1)-k.P.At(1, 0)) > 1e-12 {
+			t.Fatalf("iteration %d: asymmetric covariance", i)
+		}
+	}
+}
+
+// TestEKFUnicycleLocalization runs an EKF on a unicycle robot with range-
+// bearing-free position fixes and checks convergence — the structure
+// shared by the ADAS localization fusion.
+func TestEKFUnicycleLocalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	dt, v, omega := 0.1, 5.0, 0.2
+	truth := geo.NewPose2(0, 0, 0)
+	ekf := NewEKF(Vec(1, -1, 0.1), Diag(4, 4, 0.25)) // deliberately wrong prior
+	q := Diag(0.01, 0.01, 0.001)
+	r := Diag(1, 1)
+	h := func(x *Mat) (*Mat, *Mat) {
+		return Vec(x.At(0, 0), x.At(1, 0)), MatFrom(2, 3, 1, 0, 0, 0, 1, 0)
+	}
+	for i := 0; i < 400; i++ {
+		// True motion.
+		truth = truth.Compose(geo.NewPose2(v*dt, 0, omega*dt))
+		// EKF predict with the same control.
+		ekf.Predict(func(x *Mat) (*Mat, *Mat) {
+			th := x.At(2, 0)
+			nx := Vec(
+				x.At(0, 0)+v*dt*math.Cos(th),
+				x.At(1, 0)+v*dt*math.Sin(th),
+				x.At(2, 0)+omega*dt,
+			)
+			jac := MatFrom(3, 3,
+				1, 0, -v*dt*math.Sin(th),
+				0, 1, v*dt*math.Cos(th),
+				0, 0, 1,
+			)
+			return nx, jac
+		}, q)
+		// GPS-like fix every 5 steps.
+		if i%5 == 0 {
+			z := Vec(truth.P.X+rng.NormFloat64(), truth.P.Y+rng.NormFloat64())
+			if err := ekf.Update(z, h, r, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	est := geo.V2(ekf.X.At(0, 0), ekf.X.At(1, 0))
+	if d := est.Dist(truth.P); d > 1.5 {
+		t.Errorf("EKF position error = %v m, want < 1.5", d)
+	}
+	if hd := math.Abs(geo.AngleDiff(ekf.X.At(2, 0), truth.Theta)); hd > 0.2 {
+		t.Errorf("EKF heading error = %v rad", hd)
+	}
+}

@@ -1,0 +1,221 @@
+// Package filters implements the state-estimation machinery the HD-map
+// pipelines are built on: linear Kalman filters, extended Kalman filters,
+// particle filters with systematic resampling, 1-D histogram filters, and
+// a small discrete dynamic Bayesian network used by SLAMCU-style map
+// change inference.
+//
+// A tiny dense-matrix type is included rather than depending on an
+// external linear-algebra package; the state dimensions in this domain
+// are single digits, so clarity beats asymptotics.
+package filters
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned when a matrix inversion fails.
+var ErrSingular = errors.New("filters: singular matrix")
+
+// ErrDimension is returned when operand shapes are incompatible.
+var ErrDimension = errors.New("filters: dimension mismatch")
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat returns a zero matrix of the given shape.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatFrom builds a matrix from row-major values; it panics if the value
+// count does not match the shape (a programming error, not runtime input).
+func MatFrom(rows, cols int, vals ...float64) *Mat {
+	if len(vals) != rows*cols {
+		panic(fmt.Sprintf("filters: MatFrom(%d,%d) got %d values", rows, cols, len(vals)))
+	}
+	m := NewMat(rows, cols)
+	copy(m.Data, vals)
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with the given diagonal.
+func Diag(vals ...float64) *Mat {
+	m := NewMat(len(vals), len(vals))
+	for i, v := range vals {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Add returns m + o.
+func (m *Mat) Add(o *Mat) *Mat {
+	checkShape(m, o)
+	r := NewMat(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] + o.Data[i]
+	}
+	return r
+}
+
+// Sub returns m - o.
+func (m *Mat) Sub(o *Mat) *Mat {
+	checkShape(m, o)
+	r := NewMat(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return r
+}
+
+// Scale returns m scaled by s.
+func (m *Mat) Scale(s float64) *Mat {
+	r := NewMat(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] * s
+	}
+	return r
+}
+
+// Mul returns the matrix product m·o.
+func (m *Mat) Mul(o *Mat) *Mat {
+	if m.Cols != o.Rows {
+		panic(ErrDimension)
+	}
+	r := NewMat(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				r.Data[i*o.Cols+j] += a * o.Data[k*o.Cols+j]
+			}
+		}
+	}
+	return r
+}
+
+// T returns the transpose of m.
+func (m *Mat) T() *Mat {
+	r := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Set(j, i, m.At(i, j))
+		}
+	}
+	return r
+}
+
+// Inverse returns m⁻¹ using Gauss-Jordan elimination with partial
+// pivoting. It returns ErrSingular for non-invertible input.
+func (m *Mat) Inverse() (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, ErrDimension
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Eye(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a.At(r, col)) > abs(a.At(pivot, col)) {
+				pivot = r
+			}
+		}
+		if abs(a.At(pivot, col)) < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalise pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Mat, a, b int) {
+	for j := 0; j < m.Cols; j++ {
+		va, vb := m.At(a, j), m.At(b, j)
+		m.Set(a, j, vb)
+		m.Set(b, j, va)
+	}
+}
+
+func checkShape(a, b *Mat) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(ErrDimension)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Vec returns a column vector matrix from values.
+func Vec(vals ...float64) *Mat { return MatFrom(len(vals), 1, vals...) }
+
+// Col extracts column j as a slice.
+func (m *Mat) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := range out {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Symmetrize returns (m + mᵀ)/2, used to keep covariance matrices
+// numerically symmetric across many filter iterations.
+func (m *Mat) Symmetrize() *Mat {
+	return m.Add(m.T()).Scale(0.5)
+}

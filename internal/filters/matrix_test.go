@@ -1,0 +1,129 @@
+package filters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func matAlmostEq(a, b *Mat, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatBasics(t *testing.T) {
+	a := MatFrom(2, 2, 1, 2, 3, 4)
+	b := MatFrom(2, 2, 5, 6, 7, 8)
+	if got := a.Add(b); !matAlmostEq(got, MatFrom(2, 2, 6, 8, 10, 12), 0) {
+		t.Errorf("Add = %v", got.Data)
+	}
+	if got := b.Sub(a); !matAlmostEq(got, MatFrom(2, 2, 4, 4, 4, 4), 0) {
+		t.Errorf("Sub = %v", got.Data)
+	}
+	if got := a.Scale(2); !matAlmostEq(got, MatFrom(2, 2, 2, 4, 6, 8), 0) {
+		t.Errorf("Scale = %v", got.Data)
+	}
+	if got := a.Mul(b); !matAlmostEq(got, MatFrom(2, 2, 19, 22, 43, 50), 0) {
+		t.Errorf("Mul = %v", got.Data)
+	}
+	if got := a.T(); !matAlmostEq(got, MatFrom(2, 2, 1, 3, 2, 4), 0) {
+		t.Errorf("T = %v", got.Data)
+	}
+}
+
+func TestMatMulNonSquare(t *testing.T) {
+	a := MatFrom(2, 3, 1, 2, 3, 4, 5, 6)
+	b := MatFrom(3, 1, 1, 1, 1)
+	got := a.Mul(b)
+	if got.Rows != 2 || got.Cols != 1 || got.At(0, 0) != 6 || got.At(1, 0) != 15 {
+		t.Errorf("Mul = %+v", got)
+	}
+}
+
+func TestMatInverse(t *testing.T) {
+	a := MatFrom(2, 2, 4, 7, 2, 6)
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Mul(inv); !matAlmostEq(got, Eye(2), 1e-12) {
+		t.Errorf("A·A⁻¹ = %v", got.Data)
+	}
+	if _, err := MatFrom(2, 2, 1, 2, 2, 4).Inverse(); err == nil {
+		t.Error("singular matrix inverted")
+	}
+	if _, err := MatFrom(2, 3, 1, 2, 3, 4, 5, 6).Inverse(); err == nil {
+		t.Error("non-square matrix inverted")
+	}
+}
+
+func TestMatInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance ensures invertibility.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("unexpected singular: %v", err)
+		}
+		if got := a.Mul(inv); !matAlmostEq(got, Eye(n), 1e-9) {
+			t.Fatalf("n=%d inverse check failed", n)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		m := MatFrom(2, 3, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5])
+		return matAlmostEq(m.T().T(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiagEyeVec(t *testing.T) {
+	d := Diag(1, 2, 3)
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(2, 2) != 3 || d.At(0, 1) != 0 {
+		t.Error("Diag wrong")
+	}
+	v := Vec(7, 8)
+	if v.Rows != 2 || v.Cols != 1 || v.At(1, 0) != 8 {
+		t.Error("Vec wrong")
+	}
+	if c := d.Col(1); len(c) != 3 || c[1] != 2 {
+		t.Error("Col wrong")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := MatFrom(2, 2, 1, 2, 4, 3)
+	s := m.Symmetrize()
+	if s.At(0, 1) != 3 || s.At(1, 0) != 3 {
+		t.Errorf("Symmetrize = %v", s.Data)
+	}
+}
+
+func TestMatFromPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatFrom with wrong count must panic")
+		}
+	}()
+	MatFrom(2, 2, 1, 2, 3)
+}

@@ -1,0 +1,210 @@
+package filters
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/geo"
+)
+
+// Particle is one pose hypothesis with an importance weight.
+type Particle struct {
+	Pose   geo.Pose2
+	Weight float64
+}
+
+// ParticleFilter is a sample-based pose estimator. It is the backbone of
+// most surveyed localization methods: lane-marking matching (Ghallabi),
+// road-surface localization (Bauer), HRL landmark matching, the bitwise
+// raster matching of HDMI-Loc, and the two-filter change detector of
+// Pannen et al.
+type ParticleFilter struct {
+	Particles []Particle
+	rng       *rand.Rand
+}
+
+// NewParticleFilter creates n particles drawn from the given Gaussian
+// prior around pose p0 (stdXY metres, stdTheta radians).
+func NewParticleFilter(n int, p0 geo.Pose2, stdXY, stdTheta float64, rng *rand.Rand) *ParticleFilter {
+	pf := &ParticleFilter{Particles: make([]Particle, n), rng: rng}
+	w := 1 / float64(n)
+	for i := range pf.Particles {
+		pf.Particles[i] = Particle{
+			Pose: geo.Pose2{
+				P: geo.V2(
+					p0.P.X+rng.NormFloat64()*stdXY,
+					p0.P.Y+rng.NormFloat64()*stdXY,
+				),
+				Theta: geo.NormalizeAngle(p0.Theta + rng.NormFloat64()*stdTheta),
+			},
+			Weight: w,
+		}
+	}
+	return pf
+}
+
+// NewParticleFilterUniform spreads n particles uniformly over box with
+// random headings — the global-initialization mode used by coarse-to-fine
+// localization before GPS narrows the prior.
+func NewParticleFilterUniform(n int, box geo.AABB, rng *rand.Rand) *ParticleFilter {
+	pf := &ParticleFilter{Particles: make([]Particle, n), rng: rng}
+	w := 1 / float64(n)
+	for i := range pf.Particles {
+		pf.Particles[i] = Particle{
+			Pose: geo.Pose2{
+				P: geo.V2(
+					box.Min.X+rng.Float64()*(box.Max.X-box.Min.X),
+					box.Min.Y+rng.Float64()*(box.Max.Y-box.Min.Y),
+				),
+				Theta: rng.Float64()*2*math.Pi - math.Pi,
+			},
+			Weight: w,
+		}
+	}
+	return pf
+}
+
+// Predict applies odometry increment delta (in the vehicle frame) to every
+// particle with Gaussian noise.
+func (pf *ParticleFilter) Predict(delta geo.Pose2, stdXY, stdTheta float64) {
+	for i := range pf.Particles {
+		noisy := geo.Pose2{
+			P: geo.V2(
+				delta.P.X+pf.rng.NormFloat64()*stdXY,
+				delta.P.Y+pf.rng.NormFloat64()*stdXY,
+			),
+			Theta: delta.Theta + pf.rng.NormFloat64()*stdTheta,
+		}
+		pf.Particles[i].Pose = pf.Particles[i].Pose.Compose(noisy)
+	}
+}
+
+// Weigh multiplies each particle's weight by likelihood(pose) and
+// renormalises. A likelihood sum of zero resets to uniform weights (filter
+// divergence is reported via the return value so callers can re-seed).
+func (pf *ParticleFilter) Weigh(likelihood func(geo.Pose2) float64) (diverged bool) {
+	var sum float64
+	for i := range pf.Particles {
+		w := pf.Particles[i].Weight * likelihood(pf.Particles[i].Pose)
+		if w < 0 || math.IsNaN(w) {
+			w = 0
+		}
+		pf.Particles[i].Weight = w
+		sum += w
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(pf.Particles))
+		for i := range pf.Particles {
+			pf.Particles[i].Weight = u
+		}
+		return true
+	}
+	for i := range pf.Particles {
+		pf.Particles[i].Weight /= sum
+	}
+	return false
+}
+
+// EffectiveN returns the effective sample size 1/Σw², the standard
+// resampling trigger.
+func (pf *ParticleFilter) EffectiveN() float64 {
+	var s float64
+	for _, p := range pf.Particles {
+		s += p.Weight * p.Weight
+	}
+	if s == 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// Resample performs systematic (low-variance) resampling, leaving all
+// weights uniform.
+func (pf *ParticleFilter) Resample() {
+	n := len(pf.Particles)
+	if n == 0 {
+		return
+	}
+	next := make([]Particle, n)
+	step := 1 / float64(n)
+	u := pf.rng.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+pf.Particles[j].Weight < target && j < n-1 {
+			cum += pf.Particles[j].Weight
+			j++
+		}
+		next[i] = pf.Particles[j]
+		next[i].Weight = step
+	}
+	pf.Particles = next
+}
+
+// ResampleIfNeeded resamples when the effective sample size drops below
+// ratio·N (typical ratio 0.5) and reports whether it did.
+func (pf *ParticleFilter) ResampleIfNeeded(ratio float64) bool {
+	if pf.EffectiveN() < ratio*float64(len(pf.Particles)) {
+		pf.Resample()
+		return true
+	}
+	return false
+}
+
+// Mean returns the weighted mean pose (circular mean for heading).
+func (pf *ParticleFilter) Mean() geo.Pose2 {
+	var x, y, sc, ss, wSum float64
+	for _, p := range pf.Particles {
+		x += p.Weight * p.Pose.P.X
+		y += p.Weight * p.Pose.P.Y
+		sc += p.Weight * math.Cos(p.Pose.Theta)
+		ss += p.Weight * math.Sin(p.Pose.Theta)
+		wSum += p.Weight
+	}
+	if wSum == 0 {
+		return geo.Pose2{}
+	}
+	return geo.Pose2{
+		P:     geo.V2(x/wSum, y/wSum),
+		Theta: math.Atan2(ss, sc),
+	}
+}
+
+// Spread returns the weighted positional standard deviation around the
+// mean — a convergence diagnostic.
+func (pf *ParticleFilter) Spread() float64 {
+	m := pf.Mean()
+	var v, wSum float64
+	for _, p := range pf.Particles {
+		v += p.Weight * p.Pose.P.DistSq(m.P)
+		wSum += p.Weight
+	}
+	if wSum == 0 {
+		return 0
+	}
+	return math.Sqrt(v / wSum)
+}
+
+// Best returns the highest-weight particle's pose.
+func (pf *ParticleFilter) Best() geo.Pose2 {
+	best, bw := geo.Pose2{}, -1.0
+	for _, p := range pf.Particles {
+		if p.Weight > bw {
+			best, bw = p.Pose, p.Weight
+		}
+	}
+	return best
+}
+
+// GaussianLikelihood returns exp(-d²/(2σ²)), the unnormalised Gaussian
+// likelihood used by nearly every measurement model in this repository.
+func GaussianLikelihood(dist, sigma float64) float64 {
+	if sigma <= 0 {
+		if dist == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(-dist * dist / (2 * sigma * sigma))
+}

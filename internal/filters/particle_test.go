@@ -1,0 +1,275 @@
+package filters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/geo"
+)
+
+func TestParticleFilterConvergesToLandmark(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	truth := geo.NewPose2(10, 20, 0.5)
+	pf := NewParticleFilter(500, geo.NewPose2(8, 22, 0.3), 5, 0.5, rng)
+	for step := 0; step < 30; step++ {
+		pf.Predict(geo.NewPose2(0, 0, 0), 0.1, 0.01)
+		pf.Weigh(func(p geo.Pose2) float64 {
+			return GaussianLikelihood(p.P.Dist(truth.P), 1.0) *
+				GaussianLikelihood(geo.AngleDiff(p.Theta, truth.Theta), 0.2)
+		})
+		pf.ResampleIfNeeded(0.5)
+	}
+	m := pf.Mean()
+	if d := m.P.Dist(truth.P); d > 0.5 {
+		t.Errorf("PF position error = %v", d)
+	}
+	if hd := math.Abs(geo.AngleDiff(m.Theta, truth.Theta)); hd > 0.1 {
+		t.Errorf("PF heading error = %v", hd)
+	}
+	if pf.Spread() > 1.5 {
+		t.Errorf("PF did not converge, spread = %v", pf.Spread())
+	}
+}
+
+func TestParticleFilterTracksMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	truth := geo.NewPose2(0, 0, 0)
+	pf := NewParticleFilter(400, truth, 0.5, 0.05, rng)
+	delta := geo.NewPose2(1, 0, 0.05)
+	for step := 0; step < 50; step++ {
+		truth = truth.Compose(delta)
+		pf.Predict(delta, 0.05, 0.005)
+		pf.Weigh(func(p geo.Pose2) float64 {
+			return GaussianLikelihood(p.P.Dist(truth.P), 0.5)
+		})
+		pf.ResampleIfNeeded(0.5)
+	}
+	if d := pf.Mean().P.Dist(truth.P); d > 0.5 {
+		t.Errorf("tracking error = %v", d)
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	pf := NewParticleFilter(100, geo.Pose2{}, 1, 0.1, rng)
+	pf.Weigh(func(p geo.Pose2) float64 { return rng.Float64() })
+	var sum float64
+	for _, p := range pf.Particles {
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+func TestWeighDivergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	pf := NewParticleFilter(50, geo.Pose2{}, 1, 0.1, rng)
+	if diverged := pf.Weigh(func(geo.Pose2) float64 { return 0 }); !diverged {
+		t.Error("zero likelihood must report divergence")
+	}
+	// Weights reset to uniform.
+	for _, p := range pf.Particles {
+		if math.Abs(p.Weight-1.0/50) > 1e-12 {
+			t.Fatalf("weight = %v after divergence", p.Weight)
+		}
+	}
+	// Negative and NaN likelihoods are treated as zero, not propagated.
+	pf.Weigh(func(p geo.Pose2) float64 {
+		if p.P.X > 0 {
+			return math.NaN()
+		}
+		return 1
+	})
+	for _, p := range pf.Particles {
+		if math.IsNaN(p.Weight) {
+			t.Fatal("NaN weight leaked")
+		}
+	}
+}
+
+func TestResamplePreservesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	pf := NewParticleFilter(1000, geo.Pose2{}, 1, 0.1, rng)
+	// Concentrate weight on particles with X > 0.
+	pf.Weigh(func(p geo.Pose2) float64 {
+		if p.P.X > 0 {
+			return 1
+		}
+		return 1e-9
+	})
+	pf.Resample()
+	pos := 0
+	for _, p := range pf.Particles {
+		if p.Pose.P.X > 0 {
+			pos++
+		}
+		if math.Abs(p.Weight-1.0/1000) > 1e-12 {
+			t.Fatal("resample must leave uniform weights")
+		}
+	}
+	if pos < 950 {
+		t.Errorf("only %d/1000 particles kept from the high-weight region", pos)
+	}
+}
+
+func TestEffectiveN(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	pf := NewParticleFilter(100, geo.Pose2{}, 1, 0.1, rng)
+	if n := pf.EffectiveN(); math.Abs(n-100) > 1e-6 {
+		t.Errorf("uniform EffectiveN = %v, want 100", n)
+	}
+	// One particle with all the weight.
+	for i := range pf.Particles {
+		pf.Particles[i].Weight = 0
+	}
+	pf.Particles[0].Weight = 1
+	if n := pf.EffectiveN(); math.Abs(n-1) > 1e-9 {
+		t.Errorf("degenerate EffectiveN = %v, want 1", n)
+	}
+}
+
+func TestUniformInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(100, 50))
+	pf := NewParticleFilterUniform(1000, box, rng)
+	for _, p := range pf.Particles {
+		if !box.Contains(p.Pose.P) {
+			t.Fatalf("particle %v outside box", p.Pose.P)
+		}
+	}
+	// Mean should be near the box centre.
+	if d := pf.Mean().P.Dist(box.Center()); d > 5 {
+		t.Errorf("uniform mean %v far from centre", pf.Mean().P)
+	}
+}
+
+func TestBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	pf := NewParticleFilter(10, geo.Pose2{}, 1, 0.1, rng)
+	pf.Particles[7].Weight = 10
+	pf.Particles[7].Pose = geo.NewPose2(42, 0, 0)
+	if b := pf.Best(); b.P.X != 42 {
+		t.Errorf("Best = %v", b)
+	}
+}
+
+func TestGaussianLikelihood(t *testing.T) {
+	if g := GaussianLikelihood(0, 1); g != 1 {
+		t.Errorf("G(0,1) = %v", g)
+	}
+	if g := GaussianLikelihood(1, 1); math.Abs(g-math.Exp(-0.5)) > 1e-12 {
+		t.Errorf("G(1,1) = %v", g)
+	}
+	if g := GaussianLikelihood(5, 0); g != 0 {
+		t.Errorf("G(5,0) = %v", g)
+	}
+	if g := GaussianLikelihood(0, 0); g != 1 {
+		t.Errorf("G(0,0) = %v", g)
+	}
+}
+
+func TestHistogram1D(t *testing.T) {
+	h := NewHistogram1D(0, 10, 100)
+	if math.Abs(h.CellWidth()-0.1) > 1e-12 {
+		t.Fatalf("CellWidth = %v", h.CellWidth())
+	}
+	// Sharp likelihood at 7.0 concentrates belief there.
+	for i := 0; i < 10; i++ {
+		h.Update(func(x float64) float64 { return GaussianLikelihood(x-7, 0.5) })
+	}
+	if m := h.Mean(); math.Abs(m-7) > 0.1 {
+		t.Errorf("Mean = %v, want ≈7", m)
+	}
+	if m := h.MAP(); math.Abs(m-7) > 0.1 {
+		t.Errorf("MAP = %v, want ≈7", m)
+	}
+	// Predict shifts the belief.
+	h.Predict(2, 0.2)
+	if m := h.Mean(); math.Abs(m-9) > 0.2 {
+		t.Errorf("post-predict Mean = %v, want ≈9", m)
+	}
+	// Entropy increases after diffusion-only predict.
+	e0 := h.Entropy()
+	h.Predict(0, 0.5)
+	if h.Entropy() <= e0 {
+		t.Error("entropy must grow under diffusion")
+	}
+}
+
+func TestHistogramDivergence(t *testing.T) {
+	h := NewHistogram1D(0, 1, 10)
+	if diverged := h.Update(func(float64) float64 { return 0 }); !diverged {
+		t.Error("zero likelihood must report divergence")
+	}
+	var sum float64
+	for _, p := range h.P {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("post-divergence sum = %v", sum)
+	}
+}
+
+func TestDBNChangeInference(t *testing.T) {
+	dbn, err := NewDBN(0.01, 0.9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated non-detection of a mapped element drives P(changed) up.
+	for i := 0; i < 5; i++ {
+		dbn.Propagate(1)
+		dbn.Observe(1, false)
+	}
+	if b := dbn.Belief(1); b < 0.9 {
+		t.Errorf("missed element belief = %v, want > 0.9", b)
+	}
+	// Repeated detection keeps belief low.
+	for i := 0; i < 5; i++ {
+		dbn.Propagate(2)
+		dbn.Observe(2, true)
+	}
+	if b := dbn.Belief(2); b > 0.05 {
+		t.Errorf("present element belief = %v, want < 0.05", b)
+	}
+	// New-element evidence: repeated detections of an unmapped element.
+	for i := 0; i < 5; i++ {
+		dbn.ObserveNew(3, true)
+	}
+	if b := dbn.Belief(3); b < 0.9 {
+		t.Errorf("new element belief = %v, want > 0.9", b)
+	}
+	decided := dbn.Decide(0.9)
+	if len(decided) != 2 {
+		t.Errorf("Decide returned %v", decided)
+	}
+	dbn.Reset(1)
+	if dbn.Len() != 2 {
+		t.Errorf("Len after reset = %d", dbn.Len())
+	}
+	if b := dbn.Belief(1); b != dbn.PChangePrior {
+		t.Errorf("reset belief = %v", b)
+	}
+}
+
+func TestDBNValidation(t *testing.T) {
+	if _, err := NewDBN(-0.1, 0.9, 0.05); err == nil {
+		t.Error("negative hazard accepted")
+	}
+	if _, err := NewDBN(0.01, 1.5, 0.05); err == nil {
+		t.Error("tpr > 1 accepted")
+	}
+}
+
+func BenchmarkParticleFilterStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(59))
+	pf := NewParticleFilter(1000, geo.Pose2{}, 1, 0.1, rng)
+	target := geo.V2(3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf.Predict(geo.NewPose2(0.1, 0, 0), 0.05, 0.01)
+		pf.Weigh(func(p geo.Pose2) float64 { return GaussianLikelihood(p.P.Dist(target), 2) })
+		pf.ResampleIfNeeded(0.5)
+	}
+}

@@ -1,0 +1,232 @@
+package geo
+
+import "math"
+
+// AABB is an axis-aligned bounding box. An empty box has Min > Max.
+type AABB struct {
+	Min, Max Vec2
+}
+
+// EmptyAABB returns a box that contains nothing and extends to fit.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec2{inf, inf}, Max: Vec2{-inf, -inf}}
+}
+
+// NewAABB returns the box spanning the two corner points in any order.
+func NewAABB(a, b Vec2) AABB {
+	return AABB{
+		Min: Vec2{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Vec2{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// IsEmpty reports whether the box contains no points.
+func (b AABB) IsEmpty() bool { return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y }
+
+// ExtendPoint returns the box grown to include p.
+func (b AABB) ExtendPoint(p Vec2) AABB {
+	return AABB{
+		Min: Vec2{math.Min(b.Min.X, p.X), math.Min(b.Min.Y, p.Y)},
+		Max: Vec2{math.Max(b.Max.X, p.X), math.Max(b.Max.Y, p.Y)},
+	}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b AABB) Union(o AABB) AABB {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return AABB{
+		Min: Vec2{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y)},
+		Max: Vec2{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y)},
+	}
+}
+
+// Intersects reports whether b and o overlap (touching counts).
+func (b AABB) Intersects(o AABB) bool {
+	return !b.IsEmpty() && !o.IsEmpty() &&
+		b.Min.X <= o.Max.X && o.Min.X <= b.Max.X &&
+		b.Min.Y <= o.Max.Y && o.Min.Y <= b.Max.Y
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b AABB) Contains(p Vec2) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y
+}
+
+// ContainsBox reports whether o lies entirely within b.
+func (b AABB) ContainsBox(o AABB) bool {
+	return !b.IsEmpty() && !o.IsEmpty() &&
+		o.Min.X >= b.Min.X && o.Max.X <= b.Max.X &&
+		o.Min.Y >= b.Min.Y && o.Max.Y <= b.Max.Y
+}
+
+// Area returns the area of the box (0 if empty).
+func (b AABB) Area() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	return (b.Max.X - b.Min.X) * (b.Max.Y - b.Min.Y)
+}
+
+// Center returns the centre point of the box.
+func (b AABB) Center() Vec2 {
+	return Vec2{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2}
+}
+
+// Expand returns the box grown by margin m on every side.
+func (b AABB) Expand(m float64) AABB {
+	return AABB{Min: Vec2{b.Min.X - m, b.Min.Y - m}, Max: Vec2{b.Max.X + m, b.Max.Y + m}}
+}
+
+// DistanceToPoint returns the distance from p to the nearest point of the
+// box (0 when p is inside).
+func (b AABB) DistanceToPoint(p Vec2) float64 {
+	dx := math.Max(math.Max(b.Min.X-p.X, 0), p.X-b.Max.X)
+	dy := math.Max(math.Max(b.Min.Y-p.Y, 0), p.Y-b.Max.Y)
+	return math.Hypot(dx, dy)
+}
+
+// Polygon is a simple (non-self-intersecting) polygon given as a CCW or CW
+// ring without a repeated closing vertex. Crosswalks, intersection areas
+// and building footprints are polygons in the HD-map model.
+type Polygon []Vec2
+
+// Area returns the unsigned area of the polygon.
+func (pg Polygon) Area() float64 { return math.Abs(pg.SignedArea()) }
+
+// SignedArea returns the shoelace-formula area: positive for CCW rings.
+func (pg Polygon) SignedArea() float64 {
+	var a float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += pg[i].Cross(pg[j])
+	}
+	return a / 2
+}
+
+// Contains reports whether p lies strictly inside the polygon, using the
+// even-odd ray-casting rule.
+func (pg Polygon) Contains(p Vec2) bool {
+	inside := false
+	n := len(pg)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg[i], pg[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xCross := (b.X-a.X)*(p.Y-a.Y)/(b.Y-a.Y) + a.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Bounds returns the axis-aligned bounding box of the polygon.
+func (pg Polygon) Bounds() AABB {
+	box := EmptyAABB()
+	for _, p := range pg {
+		box = box.ExtendPoint(p)
+	}
+	return box
+}
+
+// Centroid returns the area centroid of the polygon. Degenerate polygons
+// fall back to the vertex mean.
+func (pg Polygon) Centroid() Vec2 {
+	a := pg.SignedArea()
+	if a == 0 {
+		return Polyline(pg).Centroid()
+	}
+	var cx, cy float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cross := pg[i].Cross(pg[j])
+		cx += (pg[i].X + pg[j].X) * cross
+		cy += (pg[i].Y + pg[j].Y) * cross
+	}
+	return Vec2{cx / (6 * a), cy / (6 * a)}
+}
+
+// Ring returns the closed outline of the polygon as a polyline (first
+// vertex repeated at the end).
+func (pg Polygon) Ring() Polyline {
+	if len(pg) == 0 {
+		return nil
+	}
+	out := make(Polyline, len(pg)+1)
+	copy(out, pg)
+	out[len(pg)] = pg[0]
+	return out
+}
+
+// RectPolygon returns the four-corner polygon of an oriented rectangle
+// centred at c with the given length (along heading), width, and heading.
+func RectPolygon(c Vec2, length, width, heading float64) Polygon {
+	hl, hw := length/2, width/2
+	pose := Pose2{P: c, Theta: heading}
+	return Polygon{
+		pose.Transform(Vec2{hl, hw}),
+		pose.Transform(Vec2{-hl, hw}),
+		pose.Transform(Vec2{-hl, -hw}),
+		pose.Transform(Vec2{hl, -hw}),
+	}
+}
+
+// ConvexHull returns the convex hull of the given points in CCW order
+// (Andrew's monotone chain). Fewer than three distinct points yield the
+// points themselves.
+func ConvexHull(points []Vec2) Polygon {
+	pts := append([]Vec2(nil), points...)
+	n := len(pts)
+	if n < 3 {
+		return Polygon(pts)
+	}
+	// Sort by X then Y (insertion sort keeps this dependency-free and the
+	// point sets here are small; large hulls go through sort in callers).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && less(pts[j], pts[j-1]); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	hull := make([]Vec2, 0, 2*n)
+	for _, p := range pts { // lower hull
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- { // upper hull
+		p := pts[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return Polygon(hull[:len(hull)-1])
+}
+
+func less(a, b Vec2) bool { return a.X < b.X || (a.X == b.X && a.Y < b.Y) }
+
+// IoU returns the intersection-over-union of two axis-aligned boxes, the
+// standard detection-quality metric used by the perception experiments.
+func IoU(a, b AABB) float64 {
+	ix := math.Min(a.Max.X, b.Max.X) - math.Max(a.Min.X, b.Min.X)
+	iy := math.Min(a.Max.Y, b.Max.Y) - math.Max(a.Min.Y, b.Min.Y)
+	if ix <= 0 || iy <= 0 {
+		return 0
+	}
+	inter := ix * iy
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}

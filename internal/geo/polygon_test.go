@@ -1,0 +1,268 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() Polygon { return Polygon{V2(0, 0), V2(1, 0), V2(1, 1), V2(0, 1)} }
+
+func TestAABB(t *testing.T) {
+	b := NewAABB(V2(2, 3), V2(0, 1))
+	if !vecAlmostEq(b.Min, V2(0, 1), eps) || !vecAlmostEq(b.Max, V2(2, 3), eps) {
+		t.Errorf("NewAABB = %v", b)
+	}
+	if !b.Contains(V2(1, 2)) || b.Contains(V2(3, 2)) {
+		t.Error("Contains wrong")
+	}
+	if got := b.Area(); !almostEq(got, 4, eps) {
+		t.Errorf("Area = %v", got)
+	}
+	if got := b.Center(); !vecAlmostEq(got, V2(1, 2), eps) {
+		t.Errorf("Center = %v", got)
+	}
+	if EmptyAABB().Area() != 0 || !EmptyAABB().IsEmpty() {
+		t.Error("EmptyAABB not empty")
+	}
+	u := b.Union(NewAABB(V2(5, 5), V2(6, 6)))
+	if !vecAlmostEq(u.Max, V2(6, 6), eps) {
+		t.Errorf("Union = %v", u)
+	}
+	if !b.Intersects(NewAABB(V2(1, 2), V2(5, 5))) {
+		t.Error("boxes must intersect")
+	}
+	if b.Intersects(NewAABB(V2(10, 10), V2(11, 11))) {
+		t.Error("boxes must not intersect")
+	}
+	if !b.ContainsBox(NewAABB(V2(0.5, 1.5), V2(1, 2))) {
+		t.Error("ContainsBox wrong")
+	}
+	if got := b.DistanceToPoint(V2(5, 2)); !almostEq(got, 3, eps) {
+		t.Errorf("DistanceToPoint = %v", got)
+	}
+	if got := b.DistanceToPoint(V2(1, 2)); got != 0 {
+		t.Errorf("inside DistanceToPoint = %v", got)
+	}
+	e := b.Expand(1)
+	if !vecAlmostEq(e.Min, V2(-1, 0), eps) {
+		t.Errorf("Expand = %v", e)
+	}
+}
+
+func TestAABBUnionEmptyIdentity(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		b := NewAABB(V2(ax, ay), V2(bx, by))
+		return b.Union(EmptyAABB()) == b && EmptyAABB().Union(b) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if got := unitSquare().Area(); !almostEq(got, 1, eps) {
+		t.Errorf("Area = %v", got)
+	}
+	// CW ring has negative signed area but same unsigned area.
+	cw := Polygon{V2(0, 0), V2(0, 1), V2(1, 1), V2(1, 0)}
+	if got := cw.SignedArea(); !almostEq(got, -1, eps) {
+		t.Errorf("SignedArea = %v", got)
+	}
+	tri := Polygon{V2(0, 0), V2(4, 0), V2(0, 3)}
+	if got := tri.Area(); !almostEq(got, 6, eps) {
+		t.Errorf("triangle Area = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := unitSquare()
+	if !sq.Contains(V2(0.5, 0.5)) {
+		t.Error("centre must be inside")
+	}
+	if sq.Contains(V2(1.5, 0.5)) || sq.Contains(V2(-0.1, 0.5)) {
+		t.Error("outside points must not be inside")
+	}
+	// Concave polygon (L shape).
+	l := Polygon{V2(0, 0), V2(2, 0), V2(2, 1), V2(1, 1), V2(1, 2), V2(0, 2)}
+	if !l.Contains(V2(0.5, 1.5)) {
+		t.Error("L-arm point must be inside")
+	}
+	if l.Contains(V2(1.5, 1.5)) {
+		t.Error("L-notch point must be outside")
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	if got := unitSquare().Centroid(); !vecAlmostEq(got, V2(0.5, 0.5), eps) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestRectPolygon(t *testing.T) {
+	r := RectPolygon(V2(5, 5), 4, 2, 0)
+	if got := r.Area(); !almostEq(got, 8, eps) {
+		t.Errorf("rect area = %v", got)
+	}
+	if !r.Contains(V2(6.5, 5.5)) || r.Contains(V2(7.5, 5)) {
+		t.Error("rect containment wrong")
+	}
+	// Rotated rectangle keeps its area and centroid.
+	r = RectPolygon(V2(5, 5), 4, 2, math.Pi/3)
+	if got := r.Area(); !almostEq(got, 8, 1e-9) {
+		t.Errorf("rotated rect area = %v", got)
+	}
+	if got := r.Centroid(); !vecAlmostEq(got, V2(5, 5), 1e-9) {
+		t.Errorf("rotated rect centroid = %v", got)
+	}
+}
+
+func TestConvexHull(t *testing.T) {
+	pts := []Vec2{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}, {0.5, 0.5}} // square + interior
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4", len(h))
+	}
+	if got := h.Area(); !almostEq(got, 4, eps) {
+		t.Errorf("hull area = %v", got)
+	}
+	if got := h.SignedArea(); got <= 0 {
+		t.Errorf("hull must be CCW, signed area = %v", got)
+	}
+}
+
+func TestConvexHullProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		pts := make([]Vec2, 30)
+		for i := range pts {
+			pts[i] = V2(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		}
+		h := ConvexHull(pts)
+		// Every input point is inside or on the hull boundary.
+		for _, p := range pts {
+			if !h.Contains(p) && h.Ring().DistanceTo(p) > 1e-7 {
+				t.Fatalf("point %v outside hull", p)
+			}
+		}
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := NewAABB(V2(0, 0), V2(2, 2))
+	if got := IoU(a, a); !almostEq(got, 1, eps) {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := NewAABB(V2(1, 0), V2(3, 2))
+	if got := IoU(a, b); !almostEq(got, 2.0/6.0, eps) {
+		t.Errorf("IoU = %v, want 1/3", got)
+	}
+	c := NewAABB(V2(5, 5), V2(6, 6))
+	if got := IoU(a, c); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+}
+
+func TestProjector(t *testing.T) {
+	origin := LatLon{Lat: 33.9737, Lon: -117.3281} // UC Riverside
+	pr := NewProjector(origin)
+	if got := pr.ToENU(origin); !vecAlmostEq(got, V2(0, 0), eps) {
+		t.Errorf("origin maps to %v", got)
+	}
+	// 0.01 deg of latitude ≈ 1.11 km everywhere.
+	p := pr.ToENU(LatLon{Lat: origin.Lat + 0.01, Lon: origin.Lon})
+	if math.Abs(p.Y-1108) > 5 || math.Abs(p.X) > 1e-6 {
+		t.Errorf("lat step = %v, want ≈(0,1108)", p)
+	}
+	// Round trip.
+	ll := LatLon{Lat: 33.99, Lon: -117.30}
+	back := pr.ToLatLon(pr.ToENU(ll))
+	if math.Abs(back.Lat-ll.Lat) > 1e-10 || math.Abs(back.Lon-ll.Lon) > 1e-10 {
+		t.Errorf("round trip = %v", back)
+	}
+	// ENU distance matches haversine within 0.1% at 10 km scale.
+	far := LatLon{Lat: 34.05, Lon: -117.25}
+	enuDist := pr.ToENU(far).Norm()
+	hav := HaversineDistance(origin, far)
+	if math.Abs(enuDist-hav)/hav > 1e-3 {
+		t.Errorf("ENU %v vs haversine %v", enuDist, hav)
+	}
+}
+
+func TestProjectorMaxRange(t *testing.T) {
+	pr := NewProjector(LatLon{33, -117})
+	pr.MaxRange = 1000
+	if _, err := pr.ToENUChecked(LatLon{33.001, -117}); err != nil {
+		t.Errorf("near point rejected: %v", err)
+	}
+	if _, err := pr.ToENUChecked(LatLon{34, -117}); err == nil {
+		t.Error("far point accepted")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	// Collinear interior points vanish.
+	pl := line(0, 0, 1, 0, 2, 0, 3, 0, 10, 0)
+	s := Simplify(pl, 0.01)
+	if len(s) != 2 {
+		t.Fatalf("Simplify len = %d, want 2", len(s))
+	}
+	// A significant corner survives.
+	pl = line(0, 0, 5, 0, 5, 5)
+	s = Simplify(pl, 0.01)
+	if len(s) != 3 {
+		t.Fatalf("corner Simplify len = %d, want 3", len(s))
+	}
+	// Tolerance property: simplified curve stays within tol of the input.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		p := randomPolyline(rng, 40)
+		tol := 0.5
+		sp := Simplify(p, tol)
+		for _, v := range p {
+			if d := sp.DistanceTo(v); d > tol+1e-9 {
+				t.Fatalf("simplified curve deviates %v > tol %v", d, tol)
+			}
+		}
+		if len(sp) > len(p) {
+			t.Fatal("Simplify grew the polyline")
+		}
+	}
+}
+
+func TestChaikinSmooth(t *testing.T) {
+	pl := line(0, 0, 5, 0, 5, 5)
+	s := ChaikinSmooth(pl, 2)
+	if len(s) <= len(pl) {
+		t.Fatalf("smooth did not refine: %d", len(s))
+	}
+	// Endpoints preserved.
+	if !vecAlmostEq(s[0], pl[0], eps) || !vecAlmostEq(s[len(s)-1], pl[2], eps) {
+		t.Error("endpoints moved")
+	}
+	// Smoothed curve stays within the hull of the control polygon.
+	for _, p := range s {
+		if p.X < -eps || p.Y < -eps || p.X > 5+eps || p.Y > 5+eps {
+			t.Fatalf("point %v escaped control hull", p)
+		}
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	pl := line(0, 0, 1, 1, 2, 0, 3, 1, 4, 0)
+	s := MovingAverage(pl, 1)
+	if len(s) != len(pl) {
+		t.Fatal("length changed")
+	}
+	if !vecAlmostEq(s[0], pl[0], eps) || !vecAlmostEq(s[4], pl[4], eps) {
+		t.Error("endpoints moved")
+	}
+	// Middle vertex is averaged with neighbours: (1+0+1)/3.
+	if math.Abs(s[2].Y-2.0/3.0) > eps {
+		t.Errorf("s[2].Y = %v, want 2/3", s[2].Y)
+	}
+}

@@ -1,0 +1,292 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDegenerate is returned by operations that require a polyline with at
+// least two distinct vertices.
+var ErrDegenerate = errors.New("geo: degenerate polyline")
+
+// Polyline is an ordered sequence of 2D vertices interpreted as connected
+// straight segments. Lane boundaries, centrelines, stop lines and road
+// edges are all polylines in the HD-map model.
+type Polyline []Vec2
+
+// Length returns the total arc length of the polyline.
+func (pl Polyline) Length() float64 {
+	var L float64
+	for i := 1; i < len(pl); i++ {
+		L += pl[i].Dist(pl[i-1])
+	}
+	return L
+}
+
+// At returns the point at arc length s along the polyline, clamped to the
+// ends.
+func (pl Polyline) At(s float64) Vec2 {
+	if len(pl) == 0 {
+		return Vec2{}
+	}
+	if s <= 0 {
+		return pl[0]
+	}
+	for i := 1; i < len(pl); i++ {
+		d := pl[i].Dist(pl[i-1])
+		if s <= d && d > 0 {
+			return pl[i-1].Lerp(pl[i], s/d)
+		}
+		s -= d
+	}
+	return pl[len(pl)-1]
+}
+
+// HeadingAt returns the tangent direction (radians) at arc length s.
+func (pl Polyline) HeadingAt(s float64) float64 {
+	if len(pl) < 2 {
+		return 0
+	}
+	if s <= 0 {
+		return pl[1].Sub(pl[0]).Angle()
+	}
+	for i := 1; i < len(pl); i++ {
+		d := pl[i].Dist(pl[i-1])
+		if s <= d {
+			return pl[i].Sub(pl[i-1]).Angle()
+		}
+		s -= d
+	}
+	n := len(pl)
+	return pl[n-1].Sub(pl[n-2]).Angle()
+}
+
+// PoseAt returns the pose (point + tangent heading) at arc length s.
+func (pl Polyline) PoseAt(s float64) Pose2 {
+	return Pose2{P: pl.At(s), Theta: pl.HeadingAt(s)}
+}
+
+// Project returns the closest point on the polyline to q, together with its
+// arc-length coordinate s and the distance to q.
+func (pl Polyline) Project(q Vec2) (closest Vec2, s, dist float64) {
+	if len(pl) == 0 {
+		return Vec2{}, 0, math.Inf(1)
+	}
+	closest, s, dist = pl[0], 0, pl[0].Dist(q)
+	var acc float64
+	for i := 1; i < len(pl); i++ {
+		a, b := pl[i-1], pl[i]
+		segLen := b.Dist(a)
+		p, t := projectOnSegment(q, a, b)
+		if d := p.Dist(q); d < dist {
+			closest, s, dist = p, acc+t*segLen, d
+		}
+		acc += segLen
+	}
+	return closest, s, dist
+}
+
+// projectOnSegment returns the closest point on segment [a,b] to q and the
+// normalised parameter t in [0,1].
+func projectOnSegment(q, a, b Vec2) (Vec2, float64) {
+	ab := b.Sub(a)
+	den := ab.NormSq()
+	if den == 0 {
+		return a, 0
+	}
+	t := Clamp(q.Sub(a).Dot(ab)/den, 0, 1)
+	return a.Add(ab.Scale(t)), t
+}
+
+// DistanceTo returns the minimum distance from q to the polyline.
+func (pl Polyline) DistanceTo(q Vec2) float64 {
+	_, _, d := pl.Project(q)
+	return d
+}
+
+// SignedOffset returns the Frenet-frame coordinates of q relative to the
+// polyline: arc length s of the foot point and the signed lateral offset d
+// (positive to the left of the direction of travel).
+func (pl Polyline) SignedOffset(q Vec2) (s, d float64) {
+	foot, s, dist := pl.Project(q)
+	h := pl.HeadingAt(s)
+	side := Vec2{math.Cos(h), math.Sin(h)}.Cross(q.Sub(foot))
+	if side < 0 {
+		return s, -dist
+	}
+	return s, dist
+}
+
+// FromFrenet converts Frenet coordinates (s, d) back to a Cartesian point:
+// the point at arc length s displaced d metres to the left of the tangent.
+func (pl Polyline) FromFrenet(s, d float64) Vec2 {
+	p := pl.At(s)
+	h := pl.HeadingAt(s)
+	normal := Vec2{-math.Sin(h), math.Cos(h)}
+	return p.Add(normal.Scale(d))
+}
+
+// Resample returns a copy of the polyline resampled at (approximately)
+// uniform arc-length spacing step, always retaining the endpoints.
+// It returns ErrDegenerate for polylines with fewer than two vertices or
+// non-positive step.
+func (pl Polyline) Resample(step float64) (Polyline, error) {
+	if len(pl) < 2 || step <= 0 {
+		return nil, ErrDegenerate
+	}
+	L := pl.Length()
+	if L == 0 {
+		return nil, ErrDegenerate
+	}
+	n := int(math.Ceil(L/step)) + 1
+	if n < 2 {
+		n = 2
+	}
+	out := make(Polyline, n)
+	for i := 0; i < n; i++ {
+		out[i] = pl.At(L * float64(i) / float64(n-1))
+	}
+	return out, nil
+}
+
+// Offset returns a polyline displaced laterally by d metres (positive to
+// the left of the direction of travel). This is the operation used to
+// derive lane boundaries from centrelines and parallel lanes from each
+// other. The offset is computed with vertex normals averaged between
+// adjacent segments, which is exact for straight lines and a good
+// approximation for the gentle curvatures of road geometry.
+func (pl Polyline) Offset(d float64) Polyline {
+	n := len(pl)
+	if n < 2 {
+		return append(Polyline(nil), pl...)
+	}
+	out := make(Polyline, n)
+	for i := 0; i < n; i++ {
+		var dir Vec2
+		switch {
+		case i == 0:
+			dir = pl[1].Sub(pl[0])
+		case i == n-1:
+			dir = pl[n-1].Sub(pl[n-2])
+		default:
+			dir = pl[i].Sub(pl[i-1]).Unit().Add(pl[i+1].Sub(pl[i]).Unit())
+		}
+		normal := dir.Unit().Perp()
+		out[i] = pl[i].Add(normal.Scale(d))
+	}
+	return out
+}
+
+// Reverse returns the polyline with vertex order reversed.
+func (pl Polyline) Reverse() Polyline {
+	out := make(Polyline, len(pl))
+	for i, p := range pl {
+		out[len(pl)-1-i] = p
+	}
+	return out
+}
+
+// Bounds returns the axis-aligned bounding box of the polyline.
+func (pl Polyline) Bounds() AABB {
+	box := EmptyAABB()
+	for _, p := range pl {
+		box = box.ExtendPoint(p)
+	}
+	return box
+}
+
+// Clone returns a deep copy.
+func (pl Polyline) Clone() Polyline { return append(Polyline(nil), pl...) }
+
+// CurvatureAt estimates the signed curvature (1/m) at arc length s using a
+// three-point finite difference with window h. Positive curvature bends
+// left.
+func (pl Polyline) CurvatureAt(s, h float64) float64 {
+	if len(pl) < 3 || h <= 0 {
+		return 0
+	}
+	h0 := pl.HeadingAt(s - h)
+	h1 := pl.HeadingAt(s + h)
+	return AngleDiff(h1, h0) / (2 * h)
+}
+
+// SegmentIntersect reports whether segments [a1,a2] and [b1,b2] properly
+// intersect (including endpoint touching), and the intersection point when
+// they do.
+func SegmentIntersect(a1, a2, b1, b2 Vec2) (Vec2, bool) {
+	r := a2.Sub(a1)
+	s := b2.Sub(b1)
+	den := r.Cross(s)
+	qp := b1.Sub(a1)
+	if den == 0 {
+		return Vec2{}, false // parallel (collinear overlap treated as no single point)
+	}
+	t := qp.Cross(s) / den
+	u := qp.Cross(r) / den
+	const eps = 1e-12
+	if t < -eps || t > 1+eps || u < -eps || u > 1+eps {
+		return Vec2{}, false
+	}
+	return a1.Add(r.Scale(t)), true
+}
+
+// Intersects reports whether the polyline crosses other anywhere.
+func (pl Polyline) Intersects(other Polyline) bool {
+	for i := 1; i < len(pl); i++ {
+		for j := 1; j < len(other); j++ {
+			if _, ok := SegmentIntersect(pl[i-1], pl[i], other[j-1], other[j]); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Centroid returns the arithmetic mean of the vertices (not the arc-length
+// weighted centroid); used for coarse placement and tile assignment.
+func (pl Polyline) Centroid() Vec2 {
+	if len(pl) == 0 {
+		return Vec2{}
+	}
+	var c Vec2
+	for _, p := range pl {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(pl)))
+}
+
+// HausdorffDistance returns the (symmetric, discrete) Hausdorff distance
+// between two polylines: the largest distance from a vertex of one to the
+// other curve. It is the standard metric for comparing an extracted map
+// element against ground truth.
+func HausdorffDistance(a, b Polyline) float64 {
+	d := directedHausdorff(a, b)
+	if d2 := directedHausdorff(b, a); d2 > d {
+		d = d2
+	}
+	return d
+}
+
+func directedHausdorff(a, b Polyline) float64 {
+	var worst float64
+	for _, p := range a {
+		if d := b.DistanceTo(p); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MeanDistance returns the mean distance from the vertices of a to the
+// curve b — the "average absolute error" metric quoted by the mapping
+// papers the survey covers.
+func MeanDistance(a, b Polyline) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range a {
+		sum += b.DistanceTo(p)
+	}
+	return sum / float64(len(a))
+}

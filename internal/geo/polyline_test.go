@@ -1,0 +1,272 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func line(pts ...float64) Polyline {
+	pl := make(Polyline, len(pts)/2)
+	for i := range pl {
+		pl[i] = V2(pts[2*i], pts[2*i+1])
+	}
+	return pl
+}
+
+func randomPolyline(rng *rand.Rand, n int) Polyline {
+	pl := make(Polyline, n)
+	p := V2(rng.NormFloat64()*10, rng.NormFloat64()*10)
+	for i := 0; i < n; i++ {
+		pl[i] = p
+		p = p.Add(V2(1+rng.Float64()*5, rng.NormFloat64()*2))
+	}
+	return pl
+}
+
+func TestPolylineLength(t *testing.T) {
+	pl := line(0, 0, 3, 0, 3, 4)
+	if got := pl.Length(); !almostEq(got, 7, eps) {
+		t.Errorf("Length = %v, want 7", got)
+	}
+	if got := (Polyline{V2(1, 1)}).Length(); got != 0 {
+		t.Errorf("single-point length = %v, want 0", got)
+	}
+}
+
+func TestPolylineAt(t *testing.T) {
+	pl := line(0, 0, 10, 0, 10, 10)
+	cases := []struct {
+		s    float64
+		want Vec2
+	}{
+		{-5, V2(0, 0)},
+		{0, V2(0, 0)},
+		{5, V2(5, 0)},
+		{10, V2(10, 0)},
+		{15, V2(10, 5)},
+		{20, V2(10, 10)},
+		{99, V2(10, 10)},
+	}
+	for _, c := range cases {
+		if got := pl.At(c.s); !vecAlmostEq(got, c.want, eps) {
+			t.Errorf("At(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPolylineHeadingAt(t *testing.T) {
+	pl := line(0, 0, 10, 0, 10, 10)
+	if got := pl.HeadingAt(5); !almostEq(got, 0, eps) {
+		t.Errorf("HeadingAt(5) = %v, want 0", got)
+	}
+	if got := pl.HeadingAt(15); !almostEq(got, math.Pi/2, eps) {
+		t.Errorf("HeadingAt(15) = %v, want pi/2", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	pl := line(0, 0, 10, 0)
+	p, s, d := pl.Project(V2(4, 3))
+	if !vecAlmostEq(p, V2(4, 0), eps) || !almostEq(s, 4, eps) || !almostEq(d, 3, eps) {
+		t.Errorf("Project = %v s=%v d=%v", p, s, d)
+	}
+	// Beyond the end clamps to endpoint.
+	p, s, d = pl.Project(V2(12, 0))
+	if !vecAlmostEq(p, V2(10, 0), eps) || !almostEq(s, 10, eps) || !almostEq(d, 2, eps) {
+		t.Errorf("end Project = %v s=%v d=%v", p, s, d)
+	}
+}
+
+func TestProjectAtRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		pl := randomPolyline(rng, 10)
+		L := pl.Length()
+		s := rng.Float64() * L
+		pt := pl.At(s)
+		_, s2, d := pl.Project(pt)
+		if d > 1e-6 {
+			t.Fatalf("projecting on-curve point gave distance %v", d)
+		}
+		// Arc lengths can differ at self-near points, but the projected
+		// point must coincide.
+		if pl.At(s2).Dist(pt) > 1e-6 {
+			t.Fatalf("At(Project(At(s))) mismatch at s=%v s2=%v", s, s2)
+		}
+	}
+}
+
+func TestSignedOffsetAndFrenet(t *testing.T) {
+	pl := line(0, 0, 10, 0)
+	s, d := pl.SignedOffset(V2(5, 2))
+	if !almostEq(s, 5, eps) || !almostEq(d, 2, eps) {
+		t.Errorf("left offset: s=%v d=%v", s, d)
+	}
+	s, d = pl.SignedOffset(V2(5, -2))
+	if !almostEq(s, 5, eps) || !almostEq(d, -2, eps) {
+		t.Errorf("right offset: s=%v d=%v", s, d)
+	}
+	if got := pl.FromFrenet(5, 2); !vecAlmostEq(got, V2(5, 2), eps) {
+		t.Errorf("FromFrenet = %v", got)
+	}
+}
+
+func TestFrenetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pl := randomPolyline(rng, 20)
+	for i := 0; i < 100; i++ {
+		s := rng.Float64() * pl.Length()
+		d := rng.NormFloat64() * 0.5 // small offsets stay in the unambiguous band
+		pt := pl.FromFrenet(s, d)
+		s2, d2 := pl.SignedOffset(pt)
+		if pl.FromFrenet(s2, d2).Dist(pt) > 1e-6 {
+			t.Fatalf("Frenet round trip failed: s=%v d=%v", s, d)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	pl := line(0, 0, 10, 0)
+	r, err := pl.Resample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 11 {
+		t.Fatalf("Resample len = %d, want 11", len(r))
+	}
+	if !vecAlmostEq(r[0], pl[0], eps) || !vecAlmostEq(r[len(r)-1], pl[1], eps) {
+		t.Error("Resample must keep endpoints")
+	}
+	if !almostEq(r.Length(), 10, 1e-9) {
+		t.Errorf("resampled length = %v", r.Length())
+	}
+	if _, err := (Polyline{V2(0, 0)}).Resample(1); err == nil {
+		t.Error("want ErrDegenerate for single point")
+	}
+	if _, err := pl.Resample(0); err == nil {
+		t.Error("want ErrDegenerate for zero step")
+	}
+}
+
+func TestOffsetStraight(t *testing.T) {
+	pl := line(0, 0, 10, 0)
+	off := pl.Offset(2)
+	want := line(0, 2, 10, 2)
+	for i := range off {
+		if !vecAlmostEq(off[i], want[i], eps) {
+			t.Errorf("Offset[%d] = %v, want %v", i, off[i], want[i])
+		}
+	}
+	// Negative offset goes right.
+	off = pl.Offset(-2)
+	if !vecAlmostEq(off[0], V2(0, -2), eps) {
+		t.Errorf("negative offset = %v", off[0])
+	}
+}
+
+func TestOffsetDistanceProperty(t *testing.T) {
+	// The averaged-normal offset is only exact for gentle curvature (as on
+	// road geometry), so the property is checked on gently-curving inputs.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		pl := make(Polyline, 15)
+		heading := rng.Float64() * 2 * math.Pi
+		p := V2(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		for i := range pl {
+			pl[i] = p
+			heading += rng.NormFloat64() * 0.15
+			p = p.Add(V2(math.Cos(heading), math.Sin(heading)).Scale(4 + rng.Float64()*4))
+		}
+		d := 1 + rng.Float64()*3
+		off := pl.Offset(d)
+		for _, p := range off {
+			if dist := pl.DistanceTo(p); math.Abs(dist-d) > 0.35*d {
+				t.Fatalf("offset point distance %v, want ≈%v", dist, d)
+			}
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	pl := line(0, 0, 1, 0, 2, 0)
+	r := pl.Reverse()
+	if !vecAlmostEq(r[0], V2(2, 0), eps) || !vecAlmostEq(r[2], V2(0, 0), eps) {
+		t.Errorf("Reverse = %v", r)
+	}
+	if !almostEq(r.Length(), pl.Length(), eps) {
+		t.Error("Reverse changed length")
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	p, ok := SegmentIntersect(V2(0, 0), V2(2, 2), V2(0, 2), V2(2, 0))
+	if !ok || !vecAlmostEq(p, V2(1, 1), eps) {
+		t.Errorf("intersection = %v ok=%v", p, ok)
+	}
+	if _, ok := SegmentIntersect(V2(0, 0), V2(1, 0), V2(0, 1), V2(1, 1)); ok {
+		t.Error("parallel segments must not intersect")
+	}
+	if _, ok := SegmentIntersect(V2(0, 0), V2(1, 0), V2(2, -1), V2(2, 1)); ok {
+		t.Error("disjoint segments must not intersect")
+	}
+}
+
+func TestPolylineIntersects(t *testing.T) {
+	a := line(0, 0, 10, 0)
+	b := line(5, -5, 5, 5)
+	c := line(0, 1, 10, 1)
+	if !a.Intersects(b) {
+		t.Error("a must intersect b")
+	}
+	if a.Intersects(c) {
+		t.Error("a must not intersect c")
+	}
+}
+
+func TestCurvature(t *testing.T) {
+	// A circle of radius 50 has curvature 0.02.
+	var pl Polyline
+	for i := 0; i <= 180; i++ {
+		a := float64(i) * math.Pi / 180
+		pl = append(pl, V2(50*math.Cos(a), 50*math.Sin(a)))
+	}
+	k := pl.CurvatureAt(pl.Length()/2, 5)
+	if math.Abs(k-0.02) > 0.002 {
+		t.Errorf("curvature = %v, want ≈0.02", k)
+	}
+	straight := line(0, 0, 100, 0)
+	if k := straight.CurvatureAt(50, 5); !almostEq(k, 0, 1e-9) {
+		t.Errorf("straight curvature = %v", k)
+	}
+}
+
+func TestHausdorffAndMeanDistance(t *testing.T) {
+	a := line(0, 0, 10, 0)
+	b := line(0, 1, 10, 1)
+	if got := HausdorffDistance(a, b); !almostEq(got, 1, eps) {
+		t.Errorf("Hausdorff = %v, want 1", got)
+	}
+	if got := MeanDistance(a, b); !almostEq(got, 1, eps) {
+		t.Errorf("MeanDistance = %v, want 1", got)
+	}
+	if got := HausdorffDistance(a, a); !almostEq(got, 0, eps) {
+		t.Errorf("self Hausdorff = %v", got)
+	}
+	// Hausdorff is symmetric by construction.
+	c := line(0, 0, 5, 0)
+	if !almostEq(HausdorffDistance(a, c), HausdorffDistance(c, a), eps) {
+		t.Error("Hausdorff not symmetric")
+	}
+}
+
+func TestBoundsAndCentroid(t *testing.T) {
+	pl := line(0, 0, 4, 0, 4, 4, 0, 4)
+	b := pl.Bounds()
+	if !vecAlmostEq(b.Min, V2(0, 0), eps) || !vecAlmostEq(b.Max, V2(4, 4), eps) {
+		t.Errorf("Bounds = %v", b)
+	}
+	if got := pl.Centroid(); !vecAlmostEq(got, V2(2, 2), eps) {
+		t.Errorf("Centroid = %v", got)
+	}
+}

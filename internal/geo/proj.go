@@ -1,0 +1,90 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// WGS84 ellipsoid constants.
+const (
+	wgs84A  = 6378137.0         // semi-major axis, metres
+	wgs84F  = 1 / 298.257223563 // flattening
+	wgs84E2 = wgs84F * (2 - wgs84F)
+)
+
+// ErrOutOfProjection is returned when a point is too far from the projector
+// origin for the local tangent-plane approximation to hold.
+var ErrOutOfProjection = errors.New("geo: point too far from projection origin")
+
+// LatLon is a WGS84 geodetic coordinate in degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Projector converts between WGS84 geodetic coordinates and a local ENU
+// (east-north-up) tangent plane anchored at an origin. HD maps cover tens
+// of kilometres, for which the tangent-plane error is sub-centimetre — the
+// same approach taken by Lanelet2's local projectors.
+type Projector struct {
+	Origin LatLon
+	// MaxRange bounds the validity radius in metres; ToENUChecked returns
+	// ErrOutOfProjection beyond it. Zero means unlimited.
+	MaxRange float64
+
+	mPerDegLat float64
+	mPerDegLon float64
+}
+
+// NewProjector returns a projector anchored at origin.
+func NewProjector(origin LatLon) *Projector {
+	latRad := origin.Lat * math.Pi / 180
+	s2 := math.Sin(latRad) * math.Sin(latRad)
+	// Meridional and normal radii of curvature.
+	den := 1 - wgs84E2*s2
+	m := wgs84A * (1 - wgs84E2) / math.Pow(den, 1.5)
+	n := wgs84A / math.Sqrt(den)
+	return &Projector{
+		Origin:     origin,
+		mPerDegLat: m * math.Pi / 180,
+		mPerDegLon: n * math.Cos(latRad) * math.Pi / 180,
+	}
+}
+
+// ToENU converts a geodetic coordinate into the local frame.
+func (pr *Projector) ToENU(ll LatLon) Vec2 {
+	return Vec2{
+		X: (ll.Lon - pr.Origin.Lon) * pr.mPerDegLon,
+		Y: (ll.Lat - pr.Origin.Lat) * pr.mPerDegLat,
+	}
+}
+
+// ToENUChecked converts ll and enforces MaxRange.
+func (pr *Projector) ToENUChecked(ll LatLon) (Vec2, error) {
+	p := pr.ToENU(ll)
+	if pr.MaxRange > 0 && p.Norm() > pr.MaxRange {
+		return Vec2{}, ErrOutOfProjection
+	}
+	return p, nil
+}
+
+// ToLatLon converts a local ENU point back to geodetic coordinates.
+func (pr *Projector) ToLatLon(p Vec2) LatLon {
+	return LatLon{
+		Lat: pr.Origin.Lat + p.Y/pr.mPerDegLat,
+		Lon: pr.Origin.Lon + p.X/pr.mPerDegLon,
+	}
+}
+
+// HaversineDistance returns the great-circle distance between two geodetic
+// points in metres, used for sanity-checking projections and for
+// coarse-grained tile lookups before entering the local frame.
+func HaversineDistance(a, b LatLon) float64 {
+	const r = 6371008.8 // mean earth radius
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * r * math.Asin(math.Min(1, math.Sqrt(h)))
+}

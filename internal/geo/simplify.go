@@ -1,0 +1,83 @@
+package geo
+
+// Simplify returns the polyline simplified with the Douglas-Peucker
+// algorithm: the result deviates from the input by at most tol metres.
+// Compact vector maps (the Li et al. storage experiment) rely on this to
+// drop redundant vertices from near-straight road geometry.
+func Simplify(pl Polyline, tol float64) Polyline {
+	if len(pl) < 3 || tol <= 0 {
+		return pl.Clone()
+	}
+	keep := make([]bool, len(pl))
+	keep[0], keep[len(pl)-1] = true, true
+	dpMark(pl, 0, len(pl)-1, tol, keep)
+	out := make(Polyline, 0, len(pl))
+	for i, k := range keep {
+		if k {
+			out = append(out, pl[i])
+		}
+	}
+	return out
+}
+
+func dpMark(pl Polyline, lo, hi int, tol float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	a, b := pl[lo], pl[hi]
+	worst, worstIdx := -1.0, -1
+	for i := lo + 1; i < hi; i++ {
+		p, _ := projectOnSegment(pl[i], a, b)
+		if d := p.Dist(pl[i]); d > worst {
+			worst, worstIdx = d, i
+		}
+	}
+	if worst > tol {
+		keep[worstIdx] = true
+		dpMark(pl, lo, worstIdx, tol, keep)
+		dpMark(pl, worstIdx, hi, tol, keep)
+	}
+}
+
+// ChaikinSmooth applies n rounds of Chaikin corner cutting, producing a
+// smoother curve through approximately the same shape. Used by the lane
+// learner to turn jagged crowd-averaged geometry into drivable curves.
+func ChaikinSmooth(pl Polyline, rounds int) Polyline {
+	cur := pl.Clone()
+	for r := 0; r < rounds && len(cur) >= 3; r++ {
+		next := make(Polyline, 0, 2*len(cur))
+		next = append(next, cur[0])
+		for i := 0; i < len(cur)-1; i++ {
+			a, b := cur[i], cur[i+1]
+			next = append(next, a.Lerp(b, 0.25), a.Lerp(b, 0.75))
+		}
+		next = append(next, cur[len(cur)-1])
+		cur = next
+	}
+	return cur
+}
+
+// MovingAverage smooths a polyline with a centred moving average of
+// half-window w vertices, preserving endpoints.
+func MovingAverage(pl Polyline, w int) Polyline {
+	if w <= 0 || len(pl) < 3 {
+		return pl.Clone()
+	}
+	out := make(Polyline, len(pl))
+	for i := range pl {
+		lo, hi := i-w, i+w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(pl)-1 {
+			hi = len(pl) - 1
+		}
+		var acc Vec2
+		for j := lo; j <= hi; j++ {
+			acc = acc.Add(pl[j])
+		}
+		out[i] = acc.Scale(1 / float64(hi-lo+1))
+	}
+	out[0], out[len(out)-1] = pl[0], pl[len(pl)-1]
+	return out
+}

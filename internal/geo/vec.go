@@ -1,0 +1,243 @@
+// Package geo provides the geometric primitives used throughout hdmaps:
+// 2D/3D vectors, planar and spatial poses, polylines with arc-length and
+// Frenet-frame operations, polygons, axis-aligned boxes, geodetic
+// projections, and curve simplification.
+//
+// Conventions: distances are metres, angles are radians, and headings are
+// measured counter-clockwise from the +X (east) axis. All map-frame
+// computation happens in a local East-North-Up (ENU) Cartesian frame;
+// WGS84 coordinates appear only at ingest/egress boundaries (see Projector).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a 2D point or displacement in metres.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Cross returns the scalar (z-component) cross product v×o.
+func (v Vec2) Cross(o Vec2) float64 { return v.X*o.Y - v.Y*o.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec2) NormSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec2) Dist(o Vec2) float64 { return v.Sub(o).Norm() }
+
+// DistSq returns the squared Euclidean distance between v and o.
+func (v Vec2) DistSq(o Vec2) float64 { return v.Sub(o).NormSq() }
+
+// Unit returns v normalised to length 1. The zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Perp returns v rotated +90 degrees (counter-clockwise).
+func (v Vec2) Perp() Vec2 { return Vec2{-v.Y, v.X} }
+
+// Rotate returns v rotated by theta radians counter-clockwise.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{c*v.X - s*v.Y, s*v.X + c*v.Y}
+}
+
+// Angle returns the direction of v in radians in (-pi, pi].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Lerp linearly interpolates from v to o by t in [0,1].
+func (v Vec2) Lerp(o Vec2, t float64) Vec2 {
+	return Vec2{v.X + (o.X-v.X)*t, v.Y + (o.Y-v.Y)*t}
+}
+
+// Vec3 returns v lifted to 3D at height z.
+func (v Vec2) Vec3(z float64) Vec3 { return Vec3{v.X, v.Y, z} }
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
+
+// Vec3 is a 3D point or displacement in metres.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the vector cross product v×o.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		v.Y*o.Z - v.Z*o.Y,
+		v.Z*o.X - v.X*o.Z,
+		v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.NormSq()) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec3) Dist(o Vec3) float64 { return v.Sub(o).Norm() }
+
+// Unit returns v normalised to length 1. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// XY projects v onto the ground plane.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z) }
+
+// Pose2 is a planar rigid-body pose: position plus heading.
+type Pose2 struct {
+	P     Vec2    // position, metres
+	Theta float64 // heading, radians CCW from +X
+}
+
+// NewPose2 constructs a Pose2.
+func NewPose2(x, y, theta float64) Pose2 { return Pose2{P: Vec2{x, y}, Theta: theta} }
+
+// Transform maps a point from the pose's local frame into the world frame.
+func (p Pose2) Transform(local Vec2) Vec2 {
+	return local.Rotate(p.Theta).Add(p.P)
+}
+
+// InverseTransform maps a world-frame point into the pose's local frame.
+func (p Pose2) InverseTransform(world Vec2) Vec2 {
+	return world.Sub(p.P).Rotate(-p.Theta)
+}
+
+// Compose returns the pose obtained by applying o in p's local frame
+// (p ∘ o), the usual SE(2) group operation.
+func (p Pose2) Compose(o Pose2) Pose2 {
+	return Pose2{
+		P:     p.Transform(o.P),
+		Theta: NormalizeAngle(p.Theta + o.Theta),
+	}
+}
+
+// Inverse returns the SE(2) inverse of p.
+func (p Pose2) Inverse() Pose2 {
+	inv := p.P.Scale(-1).Rotate(-p.Theta)
+	return Pose2{P: inv, Theta: NormalizeAngle(-p.Theta)}
+}
+
+// Between returns the relative pose taking p to o, i.e. p.Inverse() ∘ o.
+func (p Pose2) Between(o Pose2) Pose2 { return p.Inverse().Compose(o) }
+
+// Forward returns the unit heading vector of p.
+func (p Pose2) Forward() Vec2 { return Vec2{math.Cos(p.Theta), math.Sin(p.Theta)} }
+
+// String implements fmt.Stringer.
+func (p Pose2) String() string {
+	return fmt.Sprintf("[%.3f, %.3f; %.4f rad]", p.P.X, p.P.Y, p.Theta)
+}
+
+// Pose3 is a spatial pose with independent roll/pitch/yaw Euler angles
+// (Z-Y-X convention). It is deliberately minimal: the HD-map pipelines only
+// need 6-DoF composition with the ground-plane pose plus roll/pitch
+// completion (HDMI-Loc style), not a full quaternion algebra.
+type Pose3 struct {
+	P                Vec3
+	Roll, Pitch, Yaw float64
+}
+
+// Pose2 projects the spatial pose to the ground plane.
+func (p Pose3) Pose2() Pose2 { return Pose2{P: p.P.XY(), Theta: p.Yaw} }
+
+// RotationMatrix returns the 3x3 row-major rotation matrix for p's Euler
+// angles (R = Rz(yaw)·Ry(pitch)·Rx(roll)).
+func (p Pose3) RotationMatrix() [9]float64 {
+	sr, cr := math.Sincos(p.Roll)
+	sp, cp := math.Sincos(p.Pitch)
+	sy, cy := math.Sincos(p.Yaw)
+	return [9]float64{
+		cy * cp, cy*sp*sr - sy*cr, cy*sp*cr + sy*sr,
+		sy * cp, sy*sp*sr + cy*cr, sy*sp*cr - cy*sr,
+		-sp, cp * sr, cp * cr,
+	}
+}
+
+// Transform maps a point from the pose's local frame into the world frame.
+func (p Pose3) Transform(local Vec3) Vec3 {
+	r := p.RotationMatrix()
+	return Vec3{
+		r[0]*local.X + r[1]*local.Y + r[2]*local.Z + p.P.X,
+		r[3]*local.X + r[4]*local.Y + r[5]*local.Z + p.P.Y,
+		r[6]*local.X + r[7]*local.Y + r[8]*local.Z + p.P.Z,
+	}
+}
+
+// NormalizeAngle wraps an angle to (-pi, pi].
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	switch {
+	case a <= -math.Pi:
+		a += 2 * math.Pi
+	case a > math.Pi:
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the signed smallest difference a-b wrapped to (-pi, pi].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(a - b) }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,206 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec2, tol float64) bool { return a.Dist(b) <= tol }
+
+func TestVec2Basics(t *testing.T) {
+	v := V2(3, 4)
+	if got := v.Norm(); !almostEq(got, 5, eps) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Unit().Norm(); !almostEq(got, 1, eps) {
+		t.Errorf("Unit().Norm() = %v, want 1", got)
+	}
+	if got := v.Dot(V2(1, 2)); !almostEq(got, 11, eps) {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := v.Cross(V2(1, 2)); !almostEq(got, 2, eps) {
+		t.Errorf("Cross = %v, want 2", got)
+	}
+	if got := v.Perp(); !vecAlmostEq(got, V2(-4, 3), eps) {
+		t.Errorf("Perp = %v, want (-4,3)", got)
+	}
+	if got := V2(0, 0).Unit(); got != (Vec2{}) {
+		t.Errorf("zero Unit = %v, want zero", got)
+	}
+}
+
+func TestVec2Rotate(t *testing.T) {
+	cases := []struct {
+		v     Vec2
+		theta float64
+		want  Vec2
+	}{
+		{V2(1, 0), math.Pi / 2, V2(0, 1)},
+		{V2(1, 0), math.Pi, V2(-1, 0)},
+		{V2(0, 1), -math.Pi / 2, V2(1, 0)},
+		{V2(2, 0), math.Pi / 4, V2(math.Sqrt2, math.Sqrt2)},
+	}
+	for _, c := range cases {
+		if got := c.v.Rotate(c.theta); !vecAlmostEq(got, c.want, 1e-12) {
+			t.Errorf("%v.Rotate(%v) = %v, want %v", c.v, c.theta, got, c.want)
+		}
+	}
+}
+
+func TestRotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		v := V2(x, y)
+		r := v.Rotate(theta)
+		return almostEq(v.Norm(), r.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x, y, z := V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v, want z", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y×z = %v, want x", got)
+	}
+	if got := x.Cross(x); got != (Vec3{}) {
+		t.Errorf("x×x = %v, want zero", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-3 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e4)
+		n := NormalizeAngle(a)
+		return n > -math.Pi-1e-9 && n <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPose2TransformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := NewPose2(rng.NormFloat64()*100, rng.NormFloat64()*100, rng.Float64()*7-3.5)
+		q := V2(rng.NormFloat64()*50, rng.NormFloat64()*50)
+		back := p.InverseTransform(p.Transform(q))
+		if !vecAlmostEq(back, q, 1e-8) {
+			t.Fatalf("round trip failed: %v -> %v", q, back)
+		}
+	}
+}
+
+func TestPose2ComposeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := NewPose2(rng.NormFloat64()*10, rng.NormFloat64()*10, rng.Float64()*6-3)
+		ident := a.Compose(a.Inverse())
+		if !vecAlmostEq(ident.P, Vec2{}, 1e-8) || !almostEq(NormalizeAngle(ident.Theta), 0, 1e-8) {
+			t.Fatalf("a∘a⁻¹ = %v, want identity", ident)
+		}
+	}
+}
+
+func TestPose2ComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := NewPose2(rng.NormFloat64(), rng.NormFloat64(), rng.Float64())
+		b := NewPose2(rng.NormFloat64(), rng.NormFloat64(), rng.Float64())
+		c := NewPose2(rng.NormFloat64(), rng.NormFloat64(), rng.Float64())
+		l := a.Compose(b).Compose(c)
+		r := a.Compose(b.Compose(c))
+		if !vecAlmostEq(l.P, r.P, 1e-8) || !almostEq(AngleDiff(l.Theta, r.Theta), 0, 1e-8) {
+			t.Fatalf("associativity failed: %v vs %v", l, r)
+		}
+	}
+}
+
+func TestPose2Between(t *testing.T) {
+	a := NewPose2(1, 2, math.Pi/2)
+	b := NewPose2(1, 5, math.Pi)
+	rel := a.Between(b)
+	if got := a.Compose(rel); !vecAlmostEq(got.P, b.P, 1e-9) || !almostEq(AngleDiff(got.Theta, b.Theta), 0, 1e-9) {
+		t.Errorf("a∘between = %v, want %v", got, b)
+	}
+	// In a's frame, b is 3m ahead (a faces +Y).
+	if !vecAlmostEq(rel.P, V2(3, 0), 1e-9) {
+		t.Errorf("rel.P = %v, want (3,0)", rel.P)
+	}
+}
+
+func TestPose3Transform(t *testing.T) {
+	// Pure yaw must match Pose2.
+	p3 := Pose3{P: V3(1, 2, 3), Yaw: math.Pi / 3}
+	p2 := p3.Pose2()
+	local := V3(4, 5, 0)
+	got := p3.Transform(local)
+	want2 := p2.Transform(local.XY())
+	if !vecAlmostEq(got.XY(), want2, 1e-9) || !almostEq(got.Z, 3, 1e-9) {
+		t.Errorf("yaw-only Pose3.Transform = %v, want %v z=3", got, want2)
+	}
+	// 90 deg pitch sends +X to -Z.
+	pp := Pose3{Pitch: math.Pi / 2}
+	v := pp.Transform(V3(1, 0, 0))
+	if !vecAlmostEq(v.XY(), V2(0, 0), 1e-9) || !almostEq(v.Z, -1, 1e-9) {
+		t.Errorf("pitch transform = %v, want (0,0,-1)", v)
+	}
+}
+
+func TestRotationMatrixOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		p := Pose3{Roll: rng.Float64(), Pitch: rng.Float64(), Yaw: rng.Float64()}
+		r := p.RotationMatrix()
+		rows := [3]Vec3{{r[0], r[1], r[2]}, {r[3], r[4], r[5]}, {r[6], r[7], r[8]}}
+		for j := 0; j < 3; j++ {
+			if !almostEq(rows[j].Norm(), 1, 1e-9) {
+				t.Fatalf("row %d not unit: %v", j, rows[j].Norm())
+			}
+			for k := j + 1; k < 3; k++ {
+				if !almostEq(rows[j].Dot(rows[k]), 0, 1e-9) {
+					t.Fatalf("rows %d,%d not orthogonal", j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}

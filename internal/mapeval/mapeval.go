@@ -1,0 +1,298 @@
+// Package mapeval scores a constructed or updated HD map against ground
+// truth. Every creation and update experiment reports through these
+// metrics, which mirror the ones the surveyed papers quote: point-feature
+// mean absolute error, line-geometry mean/worst error, and
+// completeness/precision of element inventories.
+package mapeval
+
+import (
+	"math"
+	"sort"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// PointReport scores point features (signs, lights, poles) of one class.
+type PointReport struct {
+	// Truth and Built are the element counts compared.
+	Truth, Built int
+	// Matched pairs within the match radius.
+	Matched int
+	// MAE is the mean absolute position error of matched pairs (metres).
+	MAE float64
+	// P95 is the 95th-percentile error.
+	P95 float64
+	// Completeness = Matched/Truth; Precision = Matched/Built.
+	Completeness, Precision float64
+}
+
+// EvalPoints greedily matches built point elements of class to truth
+// within matchRadius and reports accuracy.
+func EvalPoints(truth, built *core.Map, class core.Class, matchRadius float64) PointReport {
+	var rep PointReport
+	type pt struct {
+		id  core.ID
+		pos geo.Vec2
+	}
+	var tpts, bpts []pt
+	for _, id := range truth.PointIDs() {
+		p, _ := truth.Point(id)
+		if p.Class == class {
+			tpts = append(tpts, pt{id, p.Pos.XY()})
+		}
+	}
+	for _, id := range built.PointIDs() {
+		p, _ := built.Point(id)
+		if p.Class == class {
+			bpts = append(bpts, pt{id, p.Pos.XY()})
+		}
+	}
+	rep.Truth, rep.Built = len(tpts), len(bpts)
+	type pair struct {
+		t, b int
+		d    float64
+	}
+	var pairs []pair
+	for ti, tp := range tpts {
+		for bi, bp := range bpts {
+			if d := tp.pos.Dist(bp.pos); d <= matchRadius {
+				pairs = append(pairs, pair{ti, bi, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+	tUsed := make([]bool, len(tpts))
+	bUsed := make([]bool, len(bpts))
+	var errs []float64
+	for _, pr := range pairs {
+		if tUsed[pr.t] || bUsed[pr.b] {
+			continue
+		}
+		tUsed[pr.t], bUsed[pr.b] = true, true
+		errs = append(errs, pr.d)
+	}
+	rep.Matched = len(errs)
+	if len(errs) > 0 {
+		var sum float64
+		for _, e := range errs {
+			sum += e
+		}
+		rep.MAE = sum / float64(len(errs))
+		sort.Float64s(errs)
+		rep.P95 = errs[p95Index(len(errs))]
+	}
+	if rep.Truth > 0 {
+		rep.Completeness = float64(rep.Matched) / float64(rep.Truth)
+	}
+	if rep.Built > 0 {
+		rep.Precision = float64(rep.Matched) / float64(rep.Built)
+	}
+	return rep
+}
+
+// LineReport scores line geometry of one class.
+type LineReport struct {
+	Truth, Built int
+	Matched      int
+	// MeanError averages, over matched built lines, the mean distance of
+	// their vertices to the matched truth line.
+	MeanError float64
+	// Hausdorff is the worst matched Hausdorff distance.
+	Hausdorff float64
+	// Completeness is the fraction of truth lines with a match.
+	Completeness float64
+	// CoverageError is the mean distance from truth-line sample points to
+	// the nearest built line of the class (penalises missing geometry).
+	CoverageError float64
+}
+
+// EvalLines matches built lines of class to the nearest truth line (by
+// mean curve distance, within matchRadius) and reports geometric error.
+func EvalLines(truth, built *core.Map, class core.Class, matchRadius float64) LineReport {
+	var rep LineReport
+	var tls, bls []geo.Polyline
+	for _, id := range truth.LineIDs() {
+		l, _ := truth.Line(id)
+		if l.Class == class {
+			tls = append(tls, l.Geometry)
+		}
+	}
+	for _, id := range built.LineIDs() {
+		l, _ := built.Line(id)
+		if l.Class == class {
+			bls = append(bls, l.Geometry)
+		}
+	}
+	rep.Truth, rep.Built = len(tls), len(bls)
+	if len(tls) == 0 {
+		return rep
+	}
+	tMatched := make([]bool, len(tls))
+	var errSum, hdWorst float64
+	for _, bl := range bls {
+		best, bestD := -1, math.Inf(1)
+		for ti, tl := range tls {
+			if d := geo.MeanDistance(bl, tl); d < bestD {
+				best, bestD = ti, d
+			}
+		}
+		if best >= 0 && bestD <= matchRadius {
+			rep.Matched++
+			tMatched[best] = true
+			errSum += bestD
+			if hd := geo.HausdorffDistance(bl, tls[best]); hd > hdWorst {
+				hdWorst = hd
+			}
+		}
+	}
+	if rep.Matched > 0 {
+		rep.MeanError = errSum / float64(rep.Matched)
+		rep.Hausdorff = hdWorst
+	}
+	var tm int
+	for _, m := range tMatched {
+		if m {
+			tm++
+		}
+	}
+	rep.Completeness = float64(tm) / float64(len(tls))
+
+	// Coverage: sample truth lines, measure distance to nearest built.
+	var covSum float64
+	var covN int
+	for _, tl := range tls {
+		L := tl.Length()
+		for s := 0.0; s <= L; s += 5 {
+			p := tl.At(s)
+			best := math.Inf(1)
+			for _, bl := range bls {
+				if d := bl.DistanceTo(p); d < best {
+					best = d
+				}
+			}
+			if !math.IsInf(best, 1) {
+				covSum += math.Min(best, matchRadius*2)
+				covN++
+			}
+		}
+	}
+	if covN > 0 {
+		rep.CoverageError = covSum / float64(covN)
+	}
+	return rep
+}
+
+// p95Index returns the 95th-percentile order statistic index (ceil rank).
+func p95Index(n int) int {
+	i := int(math.Ceil(0.95*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// TrajectoryError summarises a pose-estimate series against truth.
+type TrajectoryError struct {
+	Mean, Median, P95, Max, RMSE, Std float64
+	N                                 int
+}
+
+// EvalTrajectory computes error statistics between matched pose series.
+func EvalTrajectory(errs []float64) TrajectoryError {
+	var te TrajectoryError
+	te.N = len(errs)
+	if te.N == 0 {
+		return te
+	}
+	s := append([]float64(nil), errs...)
+	sort.Float64s(s)
+	var sum, sumSq float64
+	for _, e := range s {
+		sum += e
+		sumSq += e * e
+	}
+	te.Mean = sum / float64(te.N)
+	te.Median = s[te.N/2]
+	te.P95 = s[p95Index(te.N)]
+	te.Max = s[te.N-1]
+	te.RMSE = math.Sqrt(sumSq / float64(te.N))
+	var varSum float64
+	for _, e := range s {
+		varSum += (e - te.Mean) * (e - te.Mean)
+	}
+	te.Std = math.Sqrt(varSum / float64(te.N))
+	return te
+}
+
+// Histogram bins values into n equal-width bins over [0, max] (values
+// above max land in the last bin). It backs the Fig 2 reproduction.
+func Histogram(values []float64, n int, max float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	bins := make([]int, n)
+	for _, v := range values {
+		i := int(v / max * float64(n))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i]++
+	}
+	return bins
+}
+
+// BinaryScore tallies a binary classification.
+type BinaryScore struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one labelled prediction.
+func (b *BinaryScore) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		b.TP++
+	case predicted && !actual:
+		b.FP++
+	case !predicted && !actual:
+		b.TN++
+	default:
+		b.FN++
+	}
+}
+
+// Sensitivity returns TP/(TP+FN) (recall of positives).
+func (b BinaryScore) Sensitivity() float64 {
+	if b.TP+b.FN == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(b.TP+b.FN)
+}
+
+// Specificity returns TN/(TN+FP).
+func (b BinaryScore) Specificity() float64 {
+	if b.TN+b.FP == 0 {
+		return 0
+	}
+	return float64(b.TN) / float64(b.TN+b.FP)
+}
+
+// Accuracy returns (TP+TN)/total.
+func (b BinaryScore) Accuracy() float64 {
+	total := b.TP + b.FP + b.TN + b.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(b.TP+b.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP).
+func (b BinaryScore) Precision() float64 {
+	if b.TP+b.FP == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(b.TP+b.FP)
+}

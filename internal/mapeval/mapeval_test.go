@@ -1,0 +1,131 @@
+package mapeval
+
+import (
+	"math"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+func TestEvalPoints(t *testing.T) {
+	truth := core.NewMap("t")
+	truth.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(0, 0, 2)})
+	truth.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(100, 0, 2)})
+	truth.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(200, 0, 2)})
+	built := core.NewMap("b")
+	built.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(0.3, 0, 2)})   // match, err 0.3
+	built.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(100.1, 0, 2)}) // match, err 0.1
+	built.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(500, 0, 2)})   // spurious
+	rep := EvalPoints(truth, built, core.ClassSign, 2)
+	if rep.Truth != 3 || rep.Built != 3 || rep.Matched != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if math.Abs(rep.MAE-0.2) > 1e-9 {
+		t.Errorf("MAE = %v", rep.MAE)
+	}
+	if math.Abs(rep.Completeness-2.0/3) > 1e-9 || math.Abs(rep.Precision-2.0/3) > 1e-9 {
+		t.Errorf("completeness %v precision %v", rep.Completeness, rep.Precision)
+	}
+	if rep.P95 < 0.1 || rep.P95 > 0.31 {
+		t.Errorf("P95 = %v", rep.P95)
+	}
+}
+
+func TestEvalPointsGreedyNoDouble(t *testing.T) {
+	truth := core.NewMap("t")
+	truth.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(0, 0, 2)})
+	built := core.NewMap("b")
+	built.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(0.1, 0, 2)})
+	built.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(0.2, 0, 2)})
+	rep := EvalPoints(truth, built, core.ClassSign, 2)
+	if rep.Matched != 1 {
+		t.Errorf("Matched = %d, want 1 (no double matching)", rep.Matched)
+	}
+}
+
+func TestEvalLines(t *testing.T) {
+	truth := core.NewMap("t")
+	truth.AddLine(core.LineElement{Class: core.ClassLaneBoundary,
+		Geometry: geo.Polyline{geo.V2(0, 0), geo.V2(100, 0)}})
+	truth.AddLine(core.LineElement{Class: core.ClassLaneBoundary,
+		Geometry: geo.Polyline{geo.V2(0, 3.5), geo.V2(100, 3.5)}})
+	built := core.NewMap("b")
+	built.AddLine(core.LineElement{Class: core.ClassLaneBoundary,
+		Geometry: geo.Polyline{geo.V2(0, 0.2), geo.V2(100, 0.2)}})
+	rep := EvalLines(truth, built, core.ClassLaneBoundary, 1)
+	if rep.Matched != 1 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if math.Abs(rep.MeanError-0.2) > 0.01 {
+		t.Errorf("MeanError = %v", rep.MeanError)
+	}
+	if math.Abs(rep.Completeness-0.5) > 1e-9 {
+		t.Errorf("Completeness = %v", rep.Completeness)
+	}
+	// Coverage error penalises the missing second boundary.
+	if rep.CoverageError < 0.5 {
+		t.Errorf("CoverageError = %v should reflect missing line", rep.CoverageError)
+	}
+	empty := EvalLines(core.NewMap("e"), built, core.ClassLaneBoundary, 1)
+	if empty.Truth != 0 || empty.Matched != 0 {
+		t.Errorf("empty truth rep = %+v", empty)
+	}
+}
+
+func TestEvalTrajectory(t *testing.T) {
+	te := EvalTrajectory([]float64{1, 2, 3, 4, 5})
+	if te.Mean != 3 || te.Median != 3 || te.Max != 5 || te.N != 5 {
+		t.Errorf("te = %+v", te)
+	}
+	if math.Abs(te.RMSE-math.Sqrt(11)) > 1e-9 {
+		t.Errorf("RMSE = %v", te.RMSE)
+	}
+	if math.Abs(te.Std-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("Std = %v", te.Std)
+	}
+	if z := EvalTrajectory(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty = %+v", z)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.1, 0.2, 1.5, 2.5, 99}, 4, 4)
+	if len(h) != 4 {
+		t.Fatalf("bins = %v", h)
+	}
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 || h[3] != 1 {
+		t.Errorf("h = %v", h)
+	}
+	if Histogram(nil, 0, 1) != nil {
+		t.Error("zero bins")
+	}
+}
+
+func TestBinaryScore(t *testing.T) {
+	var b BinaryScore
+	b.Add(true, true)   // TP
+	b.Add(true, true)   // TP
+	b.Add(false, true)  // FN
+	b.Add(true, false)  // FP
+	b.Add(false, false) // TN
+	if b.TP != 2 || b.FN != 1 || b.FP != 1 || b.TN != 1 {
+		t.Fatalf("b = %+v", b)
+	}
+	if math.Abs(b.Sensitivity()-2.0/3) > 1e-9 {
+		t.Errorf("sens = %v", b.Sensitivity())
+	}
+	if math.Abs(b.Specificity()-0.5) > 1e-9 {
+		t.Errorf("spec = %v", b.Specificity())
+	}
+	if math.Abs(b.Accuracy()-0.6) > 1e-9 {
+		t.Errorf("acc = %v", b.Accuracy())
+	}
+	if math.Abs(b.Precision()-2.0/3) > 1e-9 {
+		t.Errorf("prec = %v", b.Precision())
+	}
+	var z BinaryScore
+	if z.Sensitivity() != 0 || z.Specificity() != 0 || z.Accuracy() != 0 || z.Precision() != 0 {
+		t.Error("zero score division")
+	}
+}

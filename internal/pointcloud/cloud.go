@@ -1,0 +1,271 @@
+// Package pointcloud provides the LiDAR point-cloud container and the
+// processing primitives the surveyed map-creation pipelines are built
+// from: voxel downsampling, ground segmentation, intensity-based marking
+// extraction, Euclidean clustering, Hough line detection, road-boundary
+// extraction and ICP scan matching.
+package pointcloud
+
+import (
+	"math"
+	"sort"
+
+	"hdmaps/internal/geo"
+)
+
+// Point is a single LiDAR return.
+type Point struct {
+	P geo.Vec3
+	// Intensity is the normalised return strength in [0,1];
+	// retro-reflective paint and signage return ≳0.7, asphalt ≲0.2.
+	Intensity float64
+	// Ring is the laser ring index that produced the return.
+	Ring int
+}
+
+// Cloud is an ordered collection of LiDAR returns.
+type Cloud struct {
+	Points []Point
+}
+
+// Len returns the number of points.
+func (c *Cloud) Len() int { return len(c.Points) }
+
+// Append adds a point.
+func (c *Cloud) Append(p Point) { c.Points = append(c.Points, p) }
+
+// Merge appends all points of other.
+func (c *Cloud) Merge(other *Cloud) { c.Points = append(c.Points, other.Points...) }
+
+// Transform returns the cloud rigidly transformed by the planar pose
+// (z is preserved).
+func (c *Cloud) Transform(pose geo.Pose2) *Cloud {
+	out := &Cloud{Points: make([]Point, len(c.Points))}
+	for i, p := range c.Points {
+		xy := pose.Transform(p.P.XY())
+		out.Points[i] = Point{P: xy.Vec3(p.P.Z), Intensity: p.Intensity, Ring: p.Ring}
+	}
+	return out
+}
+
+// XY returns the ground-plane projection of all points.
+func (c *Cloud) XY() []geo.Vec2 {
+	out := make([]geo.Vec2, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = p.P.XY()
+	}
+	return out
+}
+
+// Bounds returns the 2D bounding box of the cloud.
+func (c *Cloud) Bounds() geo.AABB {
+	box := geo.EmptyAABB()
+	for _, p := range c.Points {
+		box = box.ExtendPoint(p.P.XY())
+	}
+	return box
+}
+
+// FilterIntensity returns the sub-cloud with intensity ≥ threshold — the
+// first step of every marking-extraction pipeline (paint is
+// retro-reflective).
+func (c *Cloud) FilterIntensity(threshold float64) *Cloud {
+	out := &Cloud{}
+	for _, p := range c.Points {
+		if p.Intensity >= threshold {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// FilterHeight returns the sub-cloud with z in [lo, hi].
+func (c *Cloud) FilterHeight(lo, hi float64) *Cloud {
+	out := &Cloud{}
+	for _, p := range c.Points {
+		if p.P.Z >= lo && p.P.Z <= hi {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// VoxelDownsample returns one representative (centroid) point per
+// occupied voxel of the given size. Intensity is averaged; the ring of
+// the first point in the voxel is kept.
+func (c *Cloud) VoxelDownsample(size float64) *Cloud {
+	if size <= 0 || len(c.Points) == 0 {
+		return &Cloud{Points: append([]Point(nil), c.Points...)}
+	}
+	type acc struct {
+		sum   geo.Vec3
+		inten float64
+		n     int
+		ring  int
+	}
+	cells := make(map[[3]int32]*acc)
+	order := make([][3]int32, 0)
+	for _, p := range c.Points {
+		k := [3]int32{
+			int32(math.Floor(p.P.X / size)),
+			int32(math.Floor(p.P.Y / size)),
+			int32(math.Floor(p.P.Z / size)),
+		}
+		a, ok := cells[k]
+		if !ok {
+			a = &acc{ring: p.Ring}
+			cells[k] = a
+			order = append(order, k)
+		}
+		a.sum = a.sum.Add(p.P)
+		a.inten += p.Intensity
+		a.n++
+	}
+	out := &Cloud{Points: make([]Point, 0, len(cells))}
+	for _, k := range order {
+		a := cells[k]
+		out.Points = append(out.Points, Point{
+			P:         a.sum.Scale(1 / float64(a.n)),
+			Intensity: a.inten / float64(a.n),
+			Ring:      a.ring,
+		})
+	}
+	return out
+}
+
+// RemoveGround splits the cloud into ground and non-ground points using
+// per-cell minimum-height analysis: a point is ground when it lies within
+// tolerance of the lowest return in its grid cell and the cell's height
+// spread is small. This grid variant of the classic approach is robust to
+// the gentle slopes worldgen produces, mirroring the "eliminate ground
+// data" step of the Zhao et al. pipeline.
+func (c *Cloud) RemoveGround(cell, tolerance float64) (ground, nonGround *Cloud) {
+	if cell <= 0 {
+		cell = 1
+	}
+	type stats struct{ min float64 }
+	cells := make(map[[2]int32]*stats)
+	key := func(p geo.Vec3) [2]int32 {
+		return [2]int32{int32(math.Floor(p.X / cell)), int32(math.Floor(p.Y / cell))}
+	}
+	for _, p := range c.Points {
+		k := key(p.P)
+		s, ok := cells[k]
+		if !ok {
+			cells[k] = &stats{min: p.P.Z}
+			continue
+		}
+		if p.P.Z < s.min {
+			s.min = p.P.Z
+		}
+	}
+	ground, nonGround = &Cloud{}, &Cloud{}
+	for _, p := range c.Points {
+		s := cells[key(p.P)]
+		if p.P.Z-s.min <= tolerance {
+			ground.Points = append(ground.Points, p)
+		} else {
+			nonGround.Points = append(nonGround.Points, p)
+		}
+	}
+	return ground, nonGround
+}
+
+// Cluster groups points whose ground-plane distance is below eps into
+// Euclidean clusters with at least minPts members (single-link, grid
+// accelerated). Cluster order is deterministic (by first point index).
+func (c *Cloud) Cluster(eps float64, minPts int) []*Cloud {
+	n := len(c.Points)
+	if n == 0 || eps <= 0 {
+		return nil
+	}
+	// Union-find over points, linking neighbours within eps.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	cell := eps
+	grid := make(map[[2]int32][]int)
+	key := func(p geo.Vec2) [2]int32 {
+		return [2]int32{int32(math.Floor(p.X / cell)), int32(math.Floor(p.Y / cell))}
+	}
+	for i, p := range c.Points {
+		grid[key(p.P.XY())] = append(grid[key(p.P.XY())], i)
+	}
+	eps2 := eps * eps
+	for i, p := range c.Points {
+		k := key(p.P.XY())
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for _, j := range grid[[2]int32{k[0] + dx, k[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					if c.Points[i].P.XY().DistSq(c.Points[j].P.XY()) <= eps2 {
+						union(i, j)
+					}
+				}
+			}
+		}
+		_ = p
+	}
+	groups := make(map[int][]int)
+	for i := range c.Points {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	// Deterministic ordering by smallest member index.
+	roots := make([]int, 0, len(groups))
+	for r, members := range groups {
+		if len(members) >= minPts {
+			roots = append(roots, r)
+		}
+	}
+	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
+	out := make([]*Cloud, 0, len(roots))
+	for _, r := range roots {
+		cl := &Cloud{}
+		for _, i := range groups[r] {
+			cl.Points = append(cl.Points, c.Points[i])
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// Centroid returns the 3D centroid of the cloud (zero for empty clouds).
+func (c *Cloud) Centroid() geo.Vec3 {
+	if len(c.Points) == 0 {
+		return geo.Vec3{}
+	}
+	var s geo.Vec3
+	for _, p := range c.Points {
+		s = s.Add(p.P)
+	}
+	return s.Scale(1 / float64(len(c.Points)))
+}
+
+// MeanIntensity returns the average intensity (0 for empty clouds).
+func (c *Cloud) MeanIntensity() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range c.Points {
+		s += p.Intensity
+	}
+	return s / float64(len(c.Points))
+}

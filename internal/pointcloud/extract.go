@@ -1,0 +1,205 @@
+package pointcloud
+
+import (
+	"math"
+	"sort"
+
+	"hdmaps/internal/geo"
+)
+
+// HoughLine is a detected line in Hesse normal form: x·cosθ + y·sinθ = r,
+// with the votes it received.
+type HoughLine struct {
+	Theta float64 // normal direction, radians in [0, pi)
+	R     float64 // signed distance from origin
+	Votes int
+}
+
+// Distance returns the perpendicular distance of p from the line.
+func (h HoughLine) Distance(p geo.Vec2) float64 {
+	return math.Abs(p.X*math.Cos(h.Theta) + p.Y*math.Sin(h.Theta) - h.R)
+}
+
+// HoughLines detects up to maxLines dominant lines among the 2D points
+// using a Hough transform with the given angular and radial resolution.
+// Detected lines suppress their inlier points before the next extraction,
+// which is the standard iterative peak-picking variant used for lane
+// marking detection (Ghallabi et al.).
+func HoughLines(points []geo.Vec2, thetaStep, rStep float64, minVotes, maxLines int) []HoughLine {
+	if len(points) == 0 || thetaStep <= 0 || rStep <= 0 {
+		return nil
+	}
+	remaining := append([]geo.Vec2(nil), points...)
+	var out []HoughLine
+	for iter := 0; iter < maxLines && len(remaining) >= minVotes; iter++ {
+		best, ok := houghPeak(remaining, thetaStep, rStep, minVotes)
+		if !ok {
+			break
+		}
+		out = append(out, best)
+		// Suppress inliers within 1.5 radial cells of the line.
+		keep := remaining[:0]
+		for _, p := range remaining {
+			if best.Distance(p) > 1.5*rStep {
+				keep = append(keep, p)
+			}
+		}
+		remaining = keep
+	}
+	return out
+}
+
+func houghPeak(points []geo.Vec2, thetaStep, rStep float64, minVotes int) (HoughLine, bool) {
+	nTheta := int(math.Ceil(math.Pi / thetaStep))
+	// Radial extent from data bounds.
+	var rMax float64
+	for _, p := range points {
+		if n := p.Norm(); n > rMax {
+			rMax = n
+		}
+	}
+	nR := 2*int(math.Ceil(rMax/rStep)) + 1
+	rOff := nR / 2
+	votes := make([]int, nTheta*nR)
+	for _, p := range points {
+		for ti := 0; ti < nTheta; ti++ {
+			th := float64(ti) * thetaStep
+			r := p.X*math.Cos(th) + p.Y*math.Sin(th)
+			ri := int(math.Round(r/rStep)) + rOff
+			if ri >= 0 && ri < nR {
+				votes[ti*nR+ri]++
+			}
+		}
+	}
+	bestIdx, bestVotes := -1, minVotes-1
+	for i, v := range votes {
+		if v > bestVotes {
+			bestIdx, bestVotes = i, v
+		}
+	}
+	if bestIdx < 0 {
+		return HoughLine{}, false
+	}
+	ti, ri := bestIdx/nR, bestIdx%nR
+	return HoughLine{
+		Theta: float64(ti) * thetaStep,
+		R:     float64(ri-rOff) * rStep,
+		Votes: bestVotes,
+	}, true
+}
+
+// FitPolyline orders the 2D points of a (roughly curvilinear) cluster
+// along their dominant direction and returns a smoothed polyline through
+// them — the step that turns an extracted marking cluster into map
+// geometry.
+func FitPolyline(points []geo.Vec2, step float64) geo.Polyline {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return geo.Polyline{points[0]}
+	}
+	// Dominant direction via covariance (power iteration on 2x2 is
+	// closed-form).
+	var c geo.Vec2
+	for _, p := range points {
+		c = c.Add(p)
+	}
+	c = c.Scale(1 / float64(n))
+	var sxx, sxy, syy float64
+	for _, p := range points {
+		d := p.Sub(c)
+		sxx += d.X * d.X
+		sxy += d.X * d.Y
+		syy += d.Y * d.Y
+	}
+	// Principal axis angle.
+	theta := 0.5 * math.Atan2(2*sxy, sxx-syy)
+	dir := geo.V2(math.Cos(theta), math.Sin(theta))
+	type proj struct {
+		t float64
+		p geo.Vec2
+	}
+	ps := make([]proj, n)
+	for i, p := range points {
+		ps[i] = proj{t: p.Sub(c).Dot(dir), p: p}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].t < ps[j].t })
+	// Bin along the axis at the given step and average laterally.
+	if step <= 0 {
+		step = 1
+	}
+	var out geo.Polyline
+	binStart := ps[0].t
+	var acc geo.Vec2
+	var cnt int
+	flush := func() {
+		if cnt > 0 {
+			out = append(out, acc.Scale(1/float64(cnt)))
+		}
+		acc, cnt = geo.Vec2{}, 0
+	}
+	for _, pr := range ps {
+		if pr.t >= binStart+step {
+			flush()
+			binStart += step * math.Floor((pr.t-binStart)/step)
+		}
+		acc = acc.Add(pr.p)
+		cnt++
+	}
+	flush()
+	if len(out) >= 3 {
+		out = geo.MovingAverage(out, 1)
+	}
+	return out
+}
+
+// ExtractBoundary returns the left- and rightmost extent of a road point
+// cloud as two polylines, by slicing the cloud along a reference
+// direction and taking lateral extrema per slice — the "extract road
+// boundaries" step of the Zhao et al. LiDAR mapping pipeline.
+func ExtractBoundary(points []geo.Vec2, ref geo.Polyline, sliceLen float64) (left, right geo.Polyline) {
+	if len(points) == 0 || len(ref) < 2 || sliceLen <= 0 {
+		return nil, nil
+	}
+	type extrema struct {
+		minD, maxD float64
+		minP, maxP geo.Vec2
+		seen       bool
+	}
+	nSlices := int(math.Ceil(ref.Length()/sliceLen)) + 1
+	slices := make([]extrema, nSlices)
+	for _, p := range points {
+		s, d := ref.SignedOffset(p)
+		idx := int(s / sliceLen)
+		if idx < 0 || idx >= nSlices {
+			continue
+		}
+		e := &slices[idx]
+		if !e.seen {
+			*e = extrema{minD: d, maxD: d, minP: p, maxP: p, seen: true}
+			continue
+		}
+		if d < e.minD {
+			e.minD, e.minP = d, p
+		}
+		if d > e.maxD {
+			e.maxD, e.maxP = d, p
+		}
+	}
+	for _, e := range slices {
+		if !e.seen {
+			continue
+		}
+		left = append(left, e.maxP) // positive offset = left
+		right = append(right, e.minP)
+	}
+	if len(left) >= 3 {
+		left = geo.MovingAverage(left, 1)
+	}
+	if len(right) >= 3 {
+		right = geo.MovingAverage(right, 1)
+	}
+	return left, right
+}

@@ -1,0 +1,122 @@
+package pointcloud
+
+import (
+	"errors"
+	"math"
+
+	"hdmaps/internal/geo"
+	"hdmaps/internal/spatial"
+)
+
+// ErrICPDiverged is returned when ICP cannot find enough correspondences.
+var ErrICPDiverged = errors.New("pointcloud: icp diverged (too few correspondences)")
+
+// ICPResult reports an ICP registration.
+type ICPResult struct {
+	// Transform maps source points into the target frame.
+	Transform geo.Pose2
+	// RMSE is the root-mean-square correspondence error after
+	// convergence.
+	RMSE float64
+	// Iterations actually run.
+	Iterations int
+	// Matched is the number of correspondences in the final iteration.
+	Matched int
+}
+
+// ICPOptions tunes ICP.
+type ICPOptions struct {
+	MaxIterations int     // default 30
+	MaxCorrDist   float64 // correspondence gating distance, default 2 m
+	Tolerance     float64 // convergence threshold on pose change, default 1e-4
+	MinMatches    int     // minimum correspondences, default 10
+}
+
+func (o *ICPOptions) defaults() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 30
+	}
+	if o.MaxCorrDist <= 0 {
+		o.MaxCorrDist = 2
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.MinMatches <= 0 {
+		o.MinMatches = 10
+	}
+}
+
+// ICP registers source against target (2D point-to-point) starting from
+// initial guess. It returns ErrICPDiverged when fewer than MinMatches
+// correspondences survive gating. This is the scan-matching core used by
+// the SLAM-style pipelines ([2], Tas et al.) and multi-LiDAR merging
+// (Wang et al.).
+func ICP(source, target []geo.Vec2, initial geo.Pose2, opt ICPOptions) (ICPResult, error) {
+	opt.defaults()
+	if len(source) == 0 || len(target) == 0 {
+		return ICPResult{}, ErrICPDiverged
+	}
+	tree := spatial.NewKDTree(target)
+	pose := initial
+	var res ICPResult
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		// Gather gated correspondences.
+		var srcM, tgtM []geo.Vec2
+		var sse float64
+		for _, sp := range source {
+			tp := pose.Transform(sp)
+			idx, d, ok := tree.Nearest(tp)
+			if !ok || d > opt.MaxCorrDist {
+				continue
+			}
+			srcM = append(srcM, tp)
+			tgtM = append(tgtM, target[idx])
+			sse += d * d
+		}
+		if len(srcM) < opt.MinMatches {
+			return ICPResult{}, ErrICPDiverged
+		}
+		res.Matched = len(srcM)
+		res.RMSE = math.Sqrt(sse / float64(len(srcM)))
+		// Closed-form 2D rigid alignment (Umeyama without scale).
+		delta := rigidAlign(srcM, tgtM)
+		pose = delta.Compose(pose)
+		res.Iterations = iter + 1
+		if delta.P.Norm() < opt.Tolerance && math.Abs(delta.Theta) < opt.Tolerance {
+			break
+		}
+	}
+	res.Transform = pose
+	return res, nil
+}
+
+// RigidAlign returns the rigid transform T minimising Σ|T(src_i)-tgt_i|²
+// over paired points (closed-form 2D Umeyama without scale). It is the
+// correspondence-free building block shared by ICP and the landmark-based
+// pose-correction loops.
+func RigidAlign(src, tgt []geo.Vec2) geo.Pose2 { return rigidAlign(src, tgt) }
+
+// rigidAlign returns the rigid transform T minimising Σ|T(src_i)-tgt_i|².
+func rigidAlign(src, tgt []geo.Vec2) geo.Pose2 {
+	n := float64(len(src))
+	var cs, ct geo.Vec2
+	for i := range src {
+		cs = cs.Add(src[i])
+		ct = ct.Add(tgt[i])
+	}
+	cs, ct = cs.Scale(1/n), ct.Scale(1/n)
+	var sxx, sxy, syx, syy float64
+	for i := range src {
+		a := src[i].Sub(cs)
+		b := tgt[i].Sub(ct)
+		sxx += a.X * b.X
+		sxy += a.X * b.Y
+		syx += a.Y * b.X
+		syy += a.Y * b.Y
+	}
+	theta := math.Atan2(sxy-syx, sxx+syy)
+	// t = ct - R·cs
+	rcs := cs.Rotate(theta)
+	return geo.Pose2{P: ct.Sub(rcs), Theta: theta}
+}

@@ -1,0 +1,307 @@
+package pointcloud
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/geo"
+)
+
+func TestCloudBasics(t *testing.T) {
+	c := &Cloud{}
+	c.Append(Point{P: geo.V3(1, 2, 3), Intensity: 0.5, Ring: 1})
+	c.Append(Point{P: geo.V3(3, 4, 5), Intensity: 0.7, Ring: 2})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Centroid(); got.Dist(geo.V3(2, 3, 4)) > 1e-9 {
+		t.Errorf("Centroid = %v", got)
+	}
+	if got := c.MeanIntensity(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("MeanIntensity = %v", got)
+	}
+	b := c.Bounds()
+	if !b.Contains(geo.V2(2, 3)) {
+		t.Error("Bounds wrong")
+	}
+	d := &Cloud{}
+	d.Merge(c)
+	if d.Len() != 2 {
+		t.Error("Merge failed")
+	}
+	if (&Cloud{}).MeanIntensity() != 0 {
+		t.Error("empty MeanIntensity")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	c := &Cloud{Points: []Point{{P: geo.V3(1, 0, 2), Intensity: 0.9}}}
+	tr := c.Transform(geo.NewPose2(10, 0, math.Pi/2))
+	want := geo.V3(10, 1, 2)
+	if tr.Points[0].P.Dist(want) > 1e-9 {
+		t.Errorf("Transform = %v, want %v", tr.Points[0].P, want)
+	}
+	if tr.Points[0].Intensity != 0.9 {
+		t.Error("intensity lost")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	c := &Cloud{Points: []Point{
+		{P: geo.V3(0, 0, 0), Intensity: 0.1},
+		{P: geo.V3(0, 0, 1), Intensity: 0.9},
+		{P: geo.V3(0, 0, 5), Intensity: 0.5},
+	}}
+	if got := c.FilterIntensity(0.5).Len(); got != 2 {
+		t.Errorf("FilterIntensity = %d", got)
+	}
+	if got := c.FilterHeight(0.5, 2).Len(); got != 1 {
+		t.Errorf("FilterHeight = %d", got)
+	}
+}
+
+func TestVoxelDownsample(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	c := &Cloud{}
+	// 1000 points inside a single 1m voxel.
+	for i := 0; i < 1000; i++ {
+		c.Append(Point{P: geo.V3(rng.Float64()*0.9, rng.Float64()*0.9, 0.1), Intensity: 0.5})
+	}
+	d := c.VoxelDownsample(1)
+	if d.Len() != 1 {
+		t.Fatalf("downsample len = %d, want 1", d.Len())
+	}
+	if d.Points[0].P.XY().Dist(geo.V2(0.45, 0.45)) > 0.1 {
+		t.Errorf("voxel centroid = %v", d.Points[0].P)
+	}
+	// Two distant points stay separate.
+	c2 := &Cloud{Points: []Point{{P: geo.V3(0, 0, 0)}, {P: geo.V3(10, 0, 0)}}}
+	if got := c2.VoxelDownsample(1).Len(); got != 2 {
+		t.Errorf("distant downsample = %d", got)
+	}
+	// Non-positive size copies.
+	if got := c2.VoxelDownsample(0).Len(); got != 2 {
+		t.Errorf("zero-size downsample = %d", got)
+	}
+}
+
+func TestRemoveGround(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	c := &Cloud{}
+	// Ground plane at z≈0 and a pole at (5,5) rising to 4 m.
+	for i := 0; i < 2000; i++ {
+		c.Append(Point{P: geo.V3(rng.Float64()*20, rng.Float64()*20, rng.Float64()*0.05)})
+	}
+	for i := 0; i < 100; i++ {
+		c.Append(Point{P: geo.V3(5+rng.Float64()*0.2, 5+rng.Float64()*0.2, 0.5+rng.Float64()*3.5)})
+	}
+	ground, nonGround := c.RemoveGround(2, 0.3)
+	if ground.Len() < 1900 {
+		t.Errorf("ground points = %d", ground.Len())
+	}
+	if nonGround.Len() < 90 {
+		t.Errorf("non-ground points = %d", nonGround.Len())
+	}
+	for _, p := range nonGround.Points {
+		if p.P.Z < 0.3 {
+			t.Fatalf("ground point leaked into non-ground: %v", p.P)
+		}
+	}
+}
+
+func TestCluster(t *testing.T) {
+	c := &Cloud{}
+	// Two blobs 20 m apart + one isolated point.
+	for i := 0; i < 50; i++ {
+		c.Append(Point{P: geo.V3(float64(i%7)*0.1, float64(i/7)*0.1, 0)})
+		c.Append(Point{P: geo.V3(20+float64(i%7)*0.1, float64(i/7)*0.1, 0)})
+	}
+	c.Append(Point{P: geo.V3(50, 50, 0)})
+	clusters := c.Cluster(0.5, 5)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	if clusters[0].Len() != 50 || clusters[1].Len() != 50 {
+		t.Errorf("cluster sizes = %d, %d", clusters[0].Len(), clusters[1].Len())
+	}
+	// Blob centroids in the right places.
+	c0 := clusters[0].Centroid().XY()
+	c1 := clusters[1].Centroid().XY()
+	if c0.X > c1.X {
+		c0, c1 = c1, c0
+	}
+	if c0.Dist(geo.V2(0.3, 0.3)) > 1 || c1.Dist(geo.V2(20.3, 0.3)) > 1 {
+		t.Errorf("centroids = %v, %v", c0, c1)
+	}
+	if got := (&Cloud{}).Cluster(0.5, 1); got != nil {
+		t.Error("empty cluster output")
+	}
+}
+
+func TestHoughLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	var pts []geo.Vec2
+	// Two parallel lines y=0 and y=3.5 plus noise.
+	for x := 0.0; x < 50; x += 0.25 {
+		pts = append(pts, geo.V2(x, rng.NormFloat64()*0.03))
+		pts = append(pts, geo.V2(x, 3.5+rng.NormFloat64()*0.03))
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geo.V2(rng.Float64()*50, rng.Float64()*10))
+	}
+	lines := HoughLines(pts, math.Pi/180, 0.1, 50, 4)
+	if len(lines) < 2 {
+		t.Fatalf("lines = %d, want >= 2", len(lines))
+	}
+	// The two strongest lines must be y≈0 and y≈3.5 (theta ≈ pi/2).
+	rs := []float64{lines[0].R, lines[1].R}
+	if rs[0] > rs[1] {
+		rs[0], rs[1] = rs[1], rs[0]
+	}
+	if math.Abs(rs[0]) > 0.3 || math.Abs(rs[1]-3.5) > 0.3 {
+		t.Errorf("line offsets = %v", rs)
+	}
+	for _, l := range lines[:2] {
+		if math.Abs(l.Theta-math.Pi/2) > 0.05 {
+			t.Errorf("line theta = %v, want ≈pi/2", l.Theta)
+		}
+	}
+	if got := HoughLines(nil, 0.01, 0.1, 5, 3); got != nil {
+		t.Error("empty input must give no lines")
+	}
+}
+
+func TestFitPolyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	// Noisy samples of y = x/10 for x in [0, 40].
+	var pts []geo.Vec2
+	for i := 0; i < 400; i++ {
+		x := rng.Float64() * 40
+		pts = append(pts, geo.V2(x, x/10+rng.NormFloat64()*0.05))
+	}
+	pl := FitPolyline(pts, 2)
+	if len(pl) < 10 {
+		t.Fatalf("polyline vertices = %d", len(pl))
+	}
+	// The fit must stay close to the true line.
+	for _, p := range pl {
+		if math.Abs(p.Y-p.X/10) > 0.2 {
+			t.Fatalf("fit point %v off the true curve", p)
+		}
+	}
+	// Arc-length ordering: x must be monotonically increasing.
+	for i := 1; i < len(pl); i++ {
+		if pl[i].X < pl[i-1].X-0.5 {
+			t.Fatalf("polyline not ordered at %d", i)
+		}
+	}
+	if got := FitPolyline(nil, 1); got != nil {
+		t.Error("empty fit")
+	}
+	if got := FitPolyline([]geo.Vec2{geo.V2(1, 1)}, 1); len(got) != 1 {
+		t.Error("single-point fit")
+	}
+}
+
+func TestExtractBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	ref := geo.Polyline{geo.V2(0, 0), geo.V2(100, 0)}
+	var pts []geo.Vec2
+	// Road surface points spanning y in [-7, 7].
+	for i := 0; i < 5000; i++ {
+		pts = append(pts, geo.V2(rng.Float64()*100, rng.Float64()*14-7))
+	}
+	left, right := ExtractBoundary(pts, ref, 5)
+	if len(left) < 10 || len(right) < 10 {
+		t.Fatalf("boundary sizes = %d, %d", len(left), len(right))
+	}
+	for _, p := range left {
+		if p.Y < 5.5 {
+			t.Fatalf("left boundary point %v too far inside", p)
+		}
+	}
+	for _, p := range right {
+		if p.Y > -5.5 {
+			t.Fatalf("right boundary point %v too far inside", p)
+		}
+	}
+	l, r := ExtractBoundary(nil, ref, 5)
+	if l != nil || r != nil {
+		t.Error("empty extraction")
+	}
+}
+
+func TestICPRecoversTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	// Target: random structure (unique correspondences, no sliding
+	// symmetry — regular patterns alias at their spacing).
+	var target []geo.Vec2
+	for i := 0; i < 300; i++ {
+		target = append(target, geo.V2(rng.Float64()*20, rng.Float64()*20))
+	}
+	truth := geo.NewPose2(0.8, -0.5, 0.1)
+	inv := truth.Inverse()
+	var source []geo.Vec2
+	for _, p := range target {
+		source = append(source, inv.Transform(p).Add(geo.V2(rng.NormFloat64()*0.01, rng.NormFloat64()*0.01)))
+	}
+	res, err := ICP(source, target, geo.Pose2{}, ICPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Transform.P.Dist(truth.P); d > 0.05 {
+		t.Errorf("ICP translation error = %v", d)
+	}
+	if hd := math.Abs(geo.AngleDiff(res.Transform.Theta, truth.Theta)); hd > 0.01 {
+		t.Errorf("ICP rotation error = %v", hd)
+	}
+	if res.RMSE > 0.1 {
+		t.Errorf("ICP RMSE = %v", res.RMSE)
+	}
+}
+
+func TestICPDivergence(t *testing.T) {
+	target := []geo.Vec2{geo.V2(0, 0), geo.V2(1, 0)}
+	source := []geo.Vec2{geo.V2(100, 100)}
+	_, err := ICP(source, target, geo.Pose2{}, ICPOptions{})
+	if !errors.Is(err, ErrICPDiverged) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ICP(nil, target, geo.Pose2{}, ICPOptions{}); !errors.Is(err, ErrICPDiverged) {
+		t.Errorf("empty source err = %v", err)
+	}
+}
+
+func BenchmarkVoxelDownsample(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	c := &Cloud{}
+	for i := 0; i < 100000; i++ {
+		c.Append(Point{P: geo.V3(rng.Float64()*200, rng.Float64()*200, rng.Float64()*2)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.VoxelDownsample(0.5)
+	}
+}
+
+func BenchmarkICP(b *testing.B) {
+	rng := rand.New(rand.NewSource(78))
+	var target []geo.Vec2
+	for i := 0; i < 2000; i++ {
+		target = append(target, geo.V2(rng.Float64()*50, rng.Float64()*50))
+	}
+	truth := geo.NewPose2(0.5, 0.3, 0.05)
+	inv := truth.Inverse()
+	var source []geo.Vec2
+	for _, p := range target {
+		source = append(source, inv.Transform(p))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ICP(source, target, geo.Pose2{}, ICPOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

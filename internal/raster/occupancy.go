@@ -1,0 +1,158 @@
+package raster
+
+import (
+	"math"
+
+	"hdmaps/internal/geo"
+)
+
+// Occupancy is a log-odds occupancy grid, the mapping substrate of the
+// indoor ATV pipelines (visual-SLAM-style grid mapping with object
+// positioning, Tas et al.).
+type Occupancy struct {
+	Origin geo.Vec2
+	Res    float64
+	W, H   int
+	// LogOdds per cell; 0 = unknown, >0 occupied, <0 free.
+	LogOdds []float64
+
+	// Clamping bounds keep cells revisable.
+	MinLO, MaxLO float64
+	// Hit/Miss are the per-observation log-odds increments.
+	Hit, Miss float64
+}
+
+// NewOccupancy allocates a grid covering box.
+func NewOccupancy(box geo.AABB, res float64) (*Occupancy, error) {
+	s, err := NewSemantic(box, res) // reuse dimension math
+	if err != nil {
+		return nil, err
+	}
+	return &Occupancy{
+		Origin: s.Origin, Res: res, W: s.W, H: s.H,
+		LogOdds: make([]float64, s.W*s.H),
+		MinLO:   -4, MaxLO: 4, Hit: 0.85, Miss: -0.4,
+	}, nil
+}
+
+// cellOf returns the cell containing p.
+func (o *Occupancy) cellOf(p geo.Vec2) (int, int) {
+	return int(math.Floor((p.X - o.Origin.X) / o.Res)),
+		int(math.Floor((p.Y - o.Origin.Y) / o.Res))
+}
+
+// InBounds reports whether the cell exists.
+func (o *Occupancy) InBounds(cx, cy int) bool {
+	return cx >= 0 && cx < o.W && cy >= 0 && cy < o.H
+}
+
+// ProbAt returns the occupancy probability at a world point (0.5 for
+// unknown/out of bounds).
+func (o *Occupancy) ProbAt(p geo.Vec2) float64 {
+	cx, cy := o.cellOf(p)
+	if !o.InBounds(cx, cy) {
+		return 0.5
+	}
+	lo := o.LogOdds[cy*o.W+cx]
+	return 1 - 1/(1+math.Exp(lo))
+}
+
+// IntegrateRay updates the grid with one range measurement: cells along
+// the ray toward the hit are observed free, the hit cell occupied.
+// maxRange hits (no return) only clear free space.
+func (o *Occupancy) IntegrateRay(origin, hit geo.Vec2, isHit bool) {
+	// Bresenham-style walk at half-resolution steps.
+	d := hit.Sub(origin)
+	L := d.Norm()
+	if L == 0 {
+		return
+	}
+	step := o.Res / 2
+	dir := d.Scale(1 / L)
+	// Stop free-space marking a full cell before the hit so grazing rays
+	// do not erode occupied cells they terminate next to.
+	for t := 0.0; t < L-o.Res; t += step {
+		p := origin.Add(dir.Scale(t))
+		o.update(p, o.Miss)
+	}
+	if isHit {
+		o.update(hit, o.Hit)
+	}
+}
+
+func (o *Occupancy) update(p geo.Vec2, delta float64) {
+	cx, cy := o.cellOf(p)
+	if !o.InBounds(cx, cy) {
+		return
+	}
+	i := cy*o.W + cx
+	o.LogOdds[i] = geo.Clamp(o.LogOdds[i]+delta, o.MinLO, o.MaxLO)
+}
+
+// Ray is one range measurement of a scan.
+type Ray struct {
+	Hit   geo.Vec2
+	IsHit bool
+}
+
+// IntegrateScan applies a full scan with per-cell deduplication: every
+// cell is updated at most once per scan, and an occupied observation
+// wins over free ones. This suppresses the grazing-ray erosion that
+// per-ray updates inflict on walls nearly parallel to the beams.
+func (o *Occupancy) IntegrateScan(origin geo.Vec2, rays []Ray) {
+	free := make(map[int]struct{})
+	occ := make(map[int]struct{})
+	step := o.Res / 2
+	for _, r := range rays {
+		d := r.Hit.Sub(origin)
+		L := d.Norm()
+		if L == 0 {
+			continue
+		}
+		dir := d.Scale(1 / L)
+		for t := 0.0; t < L-o.Res; t += step {
+			p := origin.Add(dir.Scale(t))
+			cx, cy := o.cellOf(p)
+			if o.InBounds(cx, cy) {
+				free[cy*o.W+cx] = struct{}{}
+			}
+		}
+		if r.IsHit {
+			cx, cy := o.cellOf(r.Hit)
+			if o.InBounds(cx, cy) {
+				occ[cy*o.W+cx] = struct{}{}
+			}
+		}
+	}
+	for i := range occ {
+		delete(free, i)
+		o.LogOdds[i] = geo.Clamp(o.LogOdds[i]+o.Hit, o.MinLO, o.MaxLO)
+	}
+	for i := range free {
+		o.LogOdds[i] = geo.Clamp(o.LogOdds[i]+o.Miss, o.MinLO, o.MaxLO)
+	}
+}
+
+// OccupiedFraction returns the fraction of cells believed occupied
+// (probability > 0.65).
+func (o *Occupancy) OccupiedFraction() float64 {
+	n := 0
+	for _, lo := range o.LogOdds {
+		if 1-1/(1+math.Exp(lo)) > 0.65 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(o.LogOdds))
+}
+
+// KnownFraction returns the fraction of cells observed at least once
+// (|log-odds| above a small threshold).
+func (o *Occupancy) KnownFraction() float64 {
+	n := 0
+	for _, lo := range o.LogOdds {
+		if math.Abs(lo) > 0.05 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(o.LogOdds))
+}

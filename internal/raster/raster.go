@@ -1,0 +1,274 @@
+// Package raster implements the HDMI-Loc map representation: the vector
+// HD map rendered as a top-view 8-bit image in which each bit of a cell
+// marks the presence of one semantic element class. Bitwise matching of a
+// query patch against the map raster is what makes the HDMI-Loc particle
+// filter cheap, and the byte-per-cell encoding is what collapses storage
+// and update cost. The package also provides the plain occupancy grid
+// used by the ATV (indoor) pipelines.
+package raster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// ErrOutOfBounds is returned for cell access outside the raster.
+var ErrOutOfBounds = errors.New("raster: cell out of bounds")
+
+// Layer flags: one bit per semantic class group, eight in total — the
+// "8-bit image" of HDMI-Loc.
+const (
+	BitLaneBoundary uint8 = 1 << iota
+	BitRoadEdge
+	BitStopLine
+	BitCrosswalk
+	BitSign
+	BitLight
+	BitPole
+	BitOther
+)
+
+// ClassBit maps a map element class to its raster bit.
+func ClassBit(c core.Class) uint8 {
+	switch c {
+	case core.ClassLaneBoundary, core.ClassCenterline:
+		return BitLaneBoundary
+	case core.ClassRoadEdge, core.ClassBarrier:
+		return BitRoadEdge
+	case core.ClassStopLine:
+		return BitStopLine
+	case core.ClassCrosswalk:
+		return BitCrosswalk
+	case core.ClassSign:
+		return BitSign
+	case core.ClassTrafficLight:
+		return BitLight
+	case core.ClassPole:
+		return BitPole
+	default:
+		return BitOther
+	}
+}
+
+// Semantic is the 8-bit semantic raster.
+type Semantic struct {
+	// Origin is the world position of cell (0, 0)'s corner.
+	Origin geo.Vec2
+	// Res is the cell size in metres.
+	Res float64
+	// W, H are the raster dimensions in cells.
+	W, H int
+	// Cells holds one byte per cell, row-major.
+	Cells []uint8
+}
+
+// NewSemantic allocates a raster covering box at the given resolution.
+func NewSemantic(box geo.AABB, res float64) (*Semantic, error) {
+	if box.IsEmpty() || res <= 0 {
+		return nil, fmt.Errorf("raster: invalid extent or resolution: %w", ErrOutOfBounds)
+	}
+	w := int(math.Ceil((box.Max.X - box.Min.X) / res))
+	h := int(math.Ceil((box.Max.Y - box.Min.Y) / res))
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return &Semantic{
+		Origin: box.Min,
+		Res:    res,
+		W:      w,
+		H:      h,
+		Cells:  make([]uint8, w*h),
+	}, nil
+}
+
+// CellOf returns the cell coordinates containing p.
+func (s *Semantic) CellOf(p geo.Vec2) (cx, cy int) {
+	return int(math.Floor((p.X - s.Origin.X) / s.Res)),
+		int(math.Floor((p.Y - s.Origin.Y) / s.Res))
+}
+
+// CellCenter returns the world position of a cell's centre.
+func (s *Semantic) CellCenter(cx, cy int) geo.Vec2 {
+	return geo.V2(
+		s.Origin.X+(float64(cx)+0.5)*s.Res,
+		s.Origin.Y+(float64(cy)+0.5)*s.Res,
+	)
+}
+
+// InBounds reports whether the cell exists.
+func (s *Semantic) InBounds(cx, cy int) bool {
+	return cx >= 0 && cx < s.W && cy >= 0 && cy < s.H
+}
+
+// At returns the cell byte (0 outside bounds).
+func (s *Semantic) At(cx, cy int) uint8 {
+	if !s.InBounds(cx, cy) {
+		return 0
+	}
+	return s.Cells[cy*s.W+cx]
+}
+
+// Set ORs bits into a cell; out-of-bounds cells are ignored (map features
+// at the tile edge).
+func (s *Semantic) Set(cx, cy int, bit uint8) {
+	if s.InBounds(cx, cy) {
+		s.Cells[cy*s.W+cx] |= bit
+	}
+}
+
+// AtPoint returns the cell byte at a world position.
+func (s *Semantic) AtPoint(p geo.Vec2) uint8 {
+	cx, cy := s.CellOf(p)
+	return s.At(cx, cy)
+}
+
+// MarkPoint sets a bit at a world position (with a one-cell dilation to
+// make thin features robust to sampling).
+func (s *Semantic) MarkPoint(p geo.Vec2, bit uint8) {
+	cx, cy := s.CellOf(p)
+	s.Set(cx, cy, bit)
+}
+
+// MarkPolyline rasterises a polyline with the given bit, sampling at half
+// the cell resolution.
+func (s *Semantic) MarkPolyline(pl geo.Polyline, bit uint8) {
+	if len(pl) == 0 {
+		return
+	}
+	if len(pl) == 1 {
+		s.MarkPoint(pl[0], bit)
+		return
+	}
+	step := s.Res / 2
+	L := pl.Length()
+	for d := 0.0; d <= L; d += step {
+		s.MarkPoint(pl.At(d), bit)
+	}
+	s.MarkPoint(pl[len(pl)-1], bit)
+}
+
+// MarkPolygon rasterises a polygon outline and interior.
+func (s *Semantic) MarkPolygon(pg geo.Polygon, bit uint8) {
+	if len(pg) < 3 {
+		return
+	}
+	box := pg.Bounds()
+	cx0, cy0 := s.CellOf(box.Min)
+	cx1, cy1 := s.CellOf(box.Max)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			if !s.InBounds(cx, cy) {
+				continue
+			}
+			if pg.Contains(s.CellCenter(cx, cy)) {
+				s.Set(cx, cy, bit)
+			}
+		}
+	}
+	s.MarkPolyline(pg.Ring(), bit)
+}
+
+// Rasterize renders an entire HD map into a fresh raster at the given
+// resolution (HDMI-Loc's offline map-preparation step).
+func Rasterize(m *core.Map, res float64) (*Semantic, error) {
+	box := m.Bounds().Expand(res)
+	s, err := NewSemantic(box, res)
+	if err != nil {
+		return nil, fmt.Errorf("rasterize %q: %w", m.Name, err)
+	}
+	for _, id := range m.LineIDs() {
+		l, _ := m.Line(id)
+		s.MarkPolyline(l.Geometry, ClassBit(l.Class))
+	}
+	for _, id := range m.PointIDs() {
+		p, _ := m.Point(id)
+		s.MarkPoint(p.Pos.XY(), ClassBit(p.Class))
+	}
+	for _, id := range m.AreaIDs() {
+		a, _ := m.Area(id)
+		if a.Class == core.ClassCrosswalk {
+			s.MarkPolygon(a.Outline, BitCrosswalk)
+		}
+	}
+	return s, nil
+}
+
+// MatchScore computes the bitwise matching score of a set of observed
+// semantic samples (world positions with expected bits) against the
+// raster: the fraction of samples whose raster cell contains the expected
+// bit. This is HDMI-Loc's particle likelihood.
+func (s *Semantic) MatchScore(samples []SemanticSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, sm := range samples {
+		if s.AtPoint(sm.P)&sm.Bit != 0 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(samples))
+}
+
+// SemanticSample is one observed semantic point.
+type SemanticSample struct {
+	P   geo.Vec2
+	Bit uint8
+}
+
+// PopCount returns the total number of set bits in the raster — a cheap
+// content measure used by the storage experiments.
+func (s *Semantic) PopCount() int {
+	n := 0
+	for _, c := range s.Cells {
+		n += bits.OnesCount8(c)
+	}
+	return n
+}
+
+// OccupiedCells returns the number of non-zero cells.
+func (s *Semantic) OccupiedCells() int {
+	n := 0
+	for _, c := range s.Cells {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes returns the raw in-memory size of the cell array.
+func (s *Semantic) SizeBytes() int { return len(s.Cells) }
+
+// Diff returns the cells whose bits differ between two aligned rasters —
+// the Diff-Net style single-step change detection surface.
+func (s *Semantic) Diff(other *Semantic) ([]CellDiff, error) {
+	if s.W != other.W || s.H != other.H || s.Res != other.Res || s.Origin != other.Origin {
+		return nil, fmt.Errorf("raster diff: mismatched rasters: %w", ErrOutOfBounds)
+	}
+	var out []CellDiff
+	for i, c := range s.Cells {
+		if o := other.Cells[i]; o != c {
+			out = append(out, CellDiff{
+				CX: i % s.W, CY: i / s.W,
+				Removed: c &^ o,
+				Added:   o &^ c,
+			})
+		}
+	}
+	return out, nil
+}
+
+// CellDiff is one changed raster cell.
+type CellDiff struct {
+	CX, CY         int
+	Removed, Added uint8
+}

@@ -1,0 +1,272 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+func TestNewSemantic(t *testing.T) {
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(10, 5))
+	s, err := NewSemantic(box, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.W != 20 || s.H != 10 {
+		t.Errorf("dims = %dx%d", s.W, s.H)
+	}
+	if _, err := NewSemantic(geo.EmptyAABB(), 0.5); err == nil {
+		t.Error("empty box accepted")
+	}
+	if _, err := NewSemantic(box, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	box := geo.NewAABB(geo.V2(-5, -5), geo.V2(5, 5))
+	s, _ := NewSemantic(box, 0.25)
+	rng := rand.New(rand.NewSource(111))
+	for i := 0; i < 200; i++ {
+		p := geo.V2(rng.Float64()*10-5, rng.Float64()*10-5)
+		cx, cy := s.CellOf(p)
+		if !s.InBounds(cx, cy) {
+			t.Fatalf("point %v out of bounds -> (%d,%d)", p, cx, cy)
+		}
+		c := s.CellCenter(cx, cy)
+		if c.Dist(p) > s.Res {
+			t.Fatalf("cell centre %v too far from %v", c, p)
+		}
+	}
+}
+
+func TestMarkAndQuery(t *testing.T) {
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(20, 20))
+	s, _ := NewSemantic(box, 0.5)
+	s.MarkPoint(geo.V2(3, 3), BitSign)
+	if s.AtPoint(geo.V2(3, 3))&BitSign == 0 {
+		t.Error("sign bit not set")
+	}
+	if s.AtPoint(geo.V2(10, 10)) != 0 {
+		t.Error("unmarked cell non-zero")
+	}
+	// Bits compose.
+	s.MarkPoint(geo.V2(3, 3), BitPole)
+	if got := s.AtPoint(geo.V2(3, 3)); got != BitSign|BitPole {
+		t.Errorf("cell = %08b", got)
+	}
+	// Out-of-bounds marks are ignored silently.
+	s.MarkPoint(geo.V2(100, 100), BitSign)
+	if s.At(500, 500) != 0 {
+		t.Error("out-of-bounds At non-zero")
+	}
+}
+
+func TestMarkPolyline(t *testing.T) {
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(50, 10))
+	s, _ := NewSemantic(box, 0.5)
+	line := geo.Polyline{geo.V2(1, 5), geo.V2(49, 5)}
+	s.MarkPolyline(line, BitLaneBoundary)
+	// Every cell along the line is set.
+	for x := 1.0; x <= 49; x += 0.5 {
+		if s.AtPoint(geo.V2(x, 5))&BitLaneBoundary == 0 {
+			t.Fatalf("cell at x=%v not marked", x)
+		}
+	}
+	// Off-line cells are not.
+	if s.AtPoint(geo.V2(25, 8)) != 0 {
+		t.Error("off-line cell marked")
+	}
+}
+
+func TestMarkPolygon(t *testing.T) {
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(20, 20))
+	s, _ := NewSemantic(box, 0.5)
+	pg := geo.Polygon{geo.V2(5, 5), geo.V2(15, 5), geo.V2(15, 10), geo.V2(5, 10)}
+	s.MarkPolygon(pg, BitCrosswalk)
+	if s.AtPoint(geo.V2(10, 7))&BitCrosswalk == 0 {
+		t.Error("interior not filled")
+	}
+	if s.AtPoint(geo.V2(2, 2)) != 0 {
+		t.Error("exterior marked")
+	}
+}
+
+func TestRasterizeMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 500, Lanes: 2, SignSpacing: 100,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Rasterize(hw.Map, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OccupiedCells() == 0 {
+		t.Fatal("empty raster")
+	}
+	// Lane boundary cells exist along the road.
+	found := false
+	for x := 50.0; x < 450; x += 10 {
+		for y := -15.0; y < 5; y += 0.25 {
+			if s.AtPoint(geo.V2(x, y))&BitLaneBoundary != 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no lane boundary cells")
+	}
+	// Sign bit present somewhere.
+	signFound := false
+	for _, c := range s.Cells {
+		if c&BitSign != 0 {
+			signFound = true
+			break
+		}
+	}
+	if !signFound {
+		t.Error("no sign cells")
+	}
+}
+
+func TestMatchScoreDiscriminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	hw, _ := worldgen.GenerateHighway(worldgen.HighwayParams{LengthM: 400, Lanes: 2}, rng)
+	s, _ := Rasterize(hw.Map, 0.25)
+	// Samples on the true boundaries score high at the true pose and low
+	// at a laterally offset pose.
+	var samples []SemanticSample
+	box := geo.NewAABB(geo.V2(150, -20), geo.V2(250, 10))
+	for _, le := range hw.Map.LinesIn(box, core.ClassLaneBoundary) {
+		for d := 0.0; d < le.Geometry.Length(); d += 2 {
+			samples = append(samples, SemanticSample{P: le.Geometry.At(d), Bit: BitLaneBoundary})
+		}
+	}
+	if len(samples) < 20 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	trueScore := s.MatchScore(samples)
+	var shifted []SemanticSample
+	for _, sm := range samples {
+		shifted = append(shifted, SemanticSample{P: sm.P.Add(geo.V2(0, 1.5)), Bit: sm.Bit})
+	}
+	offScore := s.MatchScore(shifted)
+	if trueScore < 0.8 {
+		t.Errorf("true-pose score = %v", trueScore)
+	}
+	if offScore > trueScore/2 {
+		t.Errorf("offset score %v not discriminated from %v", offScore, trueScore)
+	}
+	if s.MatchScore(nil) != 0 {
+		t.Error("empty samples score")
+	}
+}
+
+func TestSemanticDiff(t *testing.T) {
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(10, 10))
+	a, _ := NewSemantic(box, 1)
+	b, _ := NewSemantic(box, 1)
+	a.MarkPoint(geo.V2(2, 2), BitSign)
+	b.MarkPoint(geo.V2(2, 2), BitSign)
+	b.MarkPoint(geo.V2(5, 5), BitPole) // added
+	a.MarkPoint(geo.V2(8, 8), BitSign) // removed
+	diffs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	var added, removed int
+	for _, d := range diffs {
+		if d.Added != 0 {
+			added++
+		}
+		if d.Removed != 0 {
+			removed++
+		}
+	}
+	if added != 1 || removed != 1 {
+		t.Errorf("added=%d removed=%d", added, removed)
+	}
+	// Mismatched rasters rejected.
+	c, _ := NewSemantic(box, 0.5)
+	if _, err := a.Diff(c); err == nil {
+		t.Error("mismatched diff accepted")
+	}
+}
+
+func TestPopCountAndSize(t *testing.T) {
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(4, 4))
+	s, _ := NewSemantic(box, 1)
+	if s.SizeBytes() != 16 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+	s.MarkPoint(geo.V2(1, 1), BitSign|BitPole)
+	if s.PopCount() != 2 || s.OccupiedCells() != 1 {
+		t.Errorf("PopCount=%d OccupiedCells=%d", s.PopCount(), s.OccupiedCells())
+	}
+}
+
+func TestClassBitCoversAllClasses(t *testing.T) {
+	classes := []core.Class{
+		core.ClassLaneBoundary, core.ClassCenterline, core.ClassRoadEdge,
+		core.ClassStopLine, core.ClassCrosswalk, core.ClassSign,
+		core.ClassTrafficLight, core.ClassPole, core.ClassBarrier,
+		core.ClassArrowMarking,
+	}
+	for _, c := range classes {
+		b := ClassBit(c)
+		if b == 0 || (b&(b-1)) != 0 {
+			t.Errorf("ClassBit(%v) = %08b is not a single bit", c, b)
+		}
+	}
+}
+
+func TestOccupancyGrid(t *testing.T) {
+	box := geo.NewAABB(geo.V2(0, 0), geo.V2(20, 20))
+	o, err := NewOccupancy(box, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := geo.V2(10, 10)
+	wall := geo.V2(15, 10)
+	for i := 0; i < 10; i++ {
+		o.IntegrateRay(origin, wall, true)
+	}
+	if p := o.ProbAt(wall); p < 0.8 {
+		t.Errorf("wall probability = %v", p)
+	}
+	if p := o.ProbAt(geo.V2(12, 10)); p > 0.2 {
+		t.Errorf("free-space probability = %v", p)
+	}
+	if p := o.ProbAt(geo.V2(3, 3)); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("unknown probability = %v", p)
+	}
+	if o.KnownFraction() <= 0 || o.KnownFraction() > 0.2 {
+		t.Errorf("KnownFraction = %v", o.KnownFraction())
+	}
+	if o.OccupiedFraction() <= 0 {
+		t.Error("no occupied cells")
+	}
+	// Out-of-bounds integrate is a no-op.
+	o.IntegrateRay(geo.V2(-5, -5), geo.V2(-1, -1), true)
+}
+
+func BenchmarkRasterize(b *testing.B) {
+	rng := rand.New(rand.NewSource(114))
+	hw, _ := worldgen.GenerateHighway(worldgen.HighwayParams{LengthM: 2000, Lanes: 3, SignSpacing: 100}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rasterize(hw.Map, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

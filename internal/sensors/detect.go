@@ -1,0 +1,230 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// Detection is one camera-style detection in the VEHICLE frame.
+type Detection struct {
+	Class core.Class
+	// Local is the detection position relative to the vehicle (x forward,
+	// y left).
+	Local geo.Vec2
+	// Conf is the detector confidence in [0,1].
+	Conf float64
+	// Attr carries pass-through attributes (e.g. recognised sign type or
+	// light colour). Nil for false positives.
+	Attr map[string]string
+	// TruthID is the map element that generated the detection (NilID for
+	// false positives) — available to experiments for scoring, never used
+	// by the pipelines themselves.
+	TruthID core.ID
+}
+
+// ObjectDetectorConfig calibrates a simulated CNN object detector.
+type ObjectDetectorConfig struct {
+	// Range and FOV bound the sensing frustum (defaults 60 m, 100°).
+	Range float64
+	FOV   float64
+	// TPR is the per-object detection probability inside the frustum
+	// (default 0.9).
+	TPR float64
+	// FalsePerScan is the expected number of false positives per scan
+	// (default 0.1).
+	FalsePerScan float64
+	// PosNoise is the 1σ position noise in metres (default 0.3); noise
+	// grows linearly to 2σ at full range, matching monocular depth error.
+	PosNoise float64
+	// ConfNoise spreads reported confidences (default 0.1).
+	ConfNoise float64
+}
+
+func (c *ObjectDetectorConfig) defaults() {
+	if c.Range <= 0 {
+		c.Range = 60
+	}
+	if c.FOV <= 0 {
+		c.FOV = 100 * math.Pi / 180
+	}
+	if c.TPR == 0 {
+		c.TPR = 0.9
+	}
+	if c.FalsePerScan == 0 {
+		c.FalsePerScan = 0.1
+	}
+	if c.PosNoise == 0 {
+		c.PosNoise = 0.3
+	}
+	if c.ConfNoise == 0 {
+		c.ConfNoise = 0.1
+	}
+}
+
+// ObjectDetector simulates a camera object detector (YOLO-style) against
+// the ground-truth map: true objects in the frustum are detected with
+// TPR and positional noise, plus Poisson-distributed clutter.
+type ObjectDetector struct {
+	Cfg ObjectDetectorConfig
+	rng *rand.Rand
+}
+
+// NewObjectDetector builds a detector; zero config fields take defaults.
+func NewObjectDetector(cfg ObjectDetectorConfig, rng *rand.Rand) *ObjectDetector {
+	cfg.defaults()
+	return &ObjectDetector{Cfg: cfg, rng: rng}
+}
+
+// Detect returns this frame's detections of the given classes from pose.
+// truth is the ground-truth world map.
+func (d *ObjectDetector) Detect(truth *core.Map, pose geo.Pose2, classes ...core.Class) []Detection {
+	cfg := d.Cfg
+	box := geo.NewAABB(pose.P, pose.P).Expand(cfg.Range)
+	var out []Detection
+	for _, class := range classes {
+		for _, p := range truth.PointsIn(box, class) {
+			local := pose.InverseTransform(p.Pos.XY())
+			r := local.Norm()
+			if r > cfg.Range {
+				continue
+			}
+			if math.Abs(local.Angle()) > cfg.FOV/2 {
+				continue
+			}
+			if d.rng.Float64() > cfg.TPR {
+				continue
+			}
+			noise := cfg.PosNoise * (1 + r/cfg.Range)
+			out = append(out, Detection{
+				Class: class,
+				Local: local.Add(geo.V2(
+					d.rng.NormFloat64()*noise,
+					d.rng.NormFloat64()*noise,
+				)),
+				Conf:    geo.Clamp(0.85+d.rng.NormFloat64()*cfg.ConfNoise, 0, 1),
+				Attr:    p.Attr,
+				TruthID: p.ID,
+			})
+		}
+	}
+	// Clutter: Poisson(FalsePerScan) false positives uniform in frustum.
+	for n := poisson(d.rng, cfg.FalsePerScan); n > 0; n-- {
+		r := cfg.Range * math.Sqrt(d.rng.Float64())
+		a := (d.rng.Float64() - 0.5) * cfg.FOV
+		class := classes[d.rng.Intn(len(classes))]
+		out = append(out, Detection{
+			Class: class,
+			Local: geo.V2(r*math.Cos(a), r*math.Sin(a)),
+			Conf:  geo.Clamp(0.3+d.rng.NormFloat64()*0.15, 0, 1),
+		})
+	}
+	return out
+}
+
+// poisson draws a Poisson variate via Knuth's method (small lambda).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// BoundaryObservation is one detected lane-boundary sample in the vehicle
+// frame, grouped by which physical boundary produced it.
+type BoundaryObservation struct {
+	Local geo.Vec2
+	// LineID is the producing map element (for scoring only).
+	LineID core.ID
+	// Boundary is the observed marking type.
+	Boundary core.BoundaryType
+}
+
+// LaneDetectorConfig calibrates the simulated camera lane detector.
+type LaneDetectorConfig struct {
+	// Ahead/Behind bound the longitudinal view in metres (defaults 40/5).
+	Ahead, Behind float64
+	// MaxLateral bounds the lateral view (default 8 m).
+	MaxLateral float64
+	// SampleStep spaces samples along each boundary (default 2 m).
+	SampleStep float64
+	// LateralNoise is the 1σ lateral detection noise (default 0.1 m).
+	LateralNoise float64
+	// DetectProb is the per-sample detection probability (default 0.9).
+	DetectProb float64
+}
+
+func (c *LaneDetectorConfig) defaults() {
+	if c.Ahead <= 0 {
+		c.Ahead = 40
+	}
+	if c.Behind <= 0 {
+		c.Behind = 5
+	}
+	if c.MaxLateral <= 0 {
+		c.MaxLateral = 8
+	}
+	if c.SampleStep <= 0 {
+		c.SampleStep = 2
+	}
+	if c.LateralNoise == 0 {
+		c.LateralNoise = 0.1
+	}
+	if c.DetectProb == 0 {
+		c.DetectProb = 0.9
+	}
+}
+
+// LaneDetector simulates a camera lane-marking detector: it observes
+// points on lane boundaries near the vehicle with lateral noise, the
+// interface a lane-detection CNN exposes after inverse perspective
+// mapping (Han et al., Maeda et al.).
+type LaneDetector struct {
+	Cfg LaneDetectorConfig
+	rng *rand.Rand
+}
+
+// NewLaneDetector builds a detector; zero config fields take defaults.
+func NewLaneDetector(cfg LaneDetectorConfig, rng *rand.Rand) *LaneDetector {
+	cfg.defaults()
+	return &LaneDetector{Cfg: cfg, rng: rng}
+}
+
+// Detect returns boundary observations visible from pose against the
+// ground-truth map.
+func (d *LaneDetector) Detect(truth *core.Map, pose geo.Pose2) []BoundaryObservation {
+	cfg := d.Cfg
+	reach := cfg.Ahead + cfg.MaxLateral
+	box := geo.NewAABB(pose.P, pose.P).Expand(reach)
+	var out []BoundaryObservation
+	for _, le := range truth.LinesIn(box, core.ClassLaneBoundary) {
+		L := le.Geometry.Length()
+		for s := 0.0; s <= L; s += cfg.SampleStep {
+			world := le.Geometry.At(s)
+			local := pose.InverseTransform(world)
+			if local.X < -cfg.Behind || local.X > cfg.Ahead ||
+				math.Abs(local.Y) > cfg.MaxLateral {
+				continue
+			}
+			if d.rng.Float64() > cfg.DetectProb {
+				continue
+			}
+			out = append(out, BoundaryObservation{
+				Local:    local.Add(geo.V2(0, d.rng.NormFloat64()*cfg.LateralNoise)),
+				LineID:   le.ID,
+				Boundary: le.Boundary,
+			})
+		}
+	}
+	return out
+}

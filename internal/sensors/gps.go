@@ -1,0 +1,119 @@
+// Package sensors simulates the sensor suites of the surveyed systems:
+// GNSS receivers of several grades, drifting odometry, a multi-ring LiDAR
+// whose returns carry the intensity signature of retro-reflective paint
+// and signage, and camera-style detectors with calibrated
+// precision/recall. Downstream pipelines consume these through the same
+// interfaces real drivers would provide, which is what makes the
+// substitution for hardware faithful: the algorithms cannot tell the
+// difference between a simulated noisy detection and a CNN output.
+package sensors
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/geo"
+)
+
+// GPSGrade selects a GNSS accuracy class.
+type GPSGrade uint8
+
+// GPS grades with their typical horizontal accuracy.
+const (
+	// GPSConsumer is a phone/automotive receiver: ~3 m noise, metre-level
+	// slowly-varying bias.
+	GPSConsumer GPSGrade = iota
+	// GPSDGPS is differential GPS: ~0.5 m.
+	GPSDGPS
+	// GPSRTK is RTK/survey grade: ~0.02 m.
+	GPSRTK
+)
+
+// String implements fmt.Stringer.
+func (g GPSGrade) String() string {
+	switch g {
+	case GPSDGPS:
+		return "dgps"
+	case GPSRTK:
+		return "rtk"
+	default:
+		return "consumer"
+	}
+}
+
+// GPS simulates a GNSS receiver with white noise plus a first-order
+// Gauss-Markov bias (multipath / atmospheric error that drifts over
+// seconds, the dominant error source for map-building from probes).
+type GPS struct {
+	NoiseStd float64 // white noise per fix, metres
+	BiasStd  float64 // stationary bias magnitude, metres
+	BiasTau  float64 // bias correlation time, seconds
+
+	bias geo.Vec2
+	rng  *rand.Rand
+}
+
+// NewGPS builds a receiver of the given grade.
+func NewGPS(grade GPSGrade, rng *rand.Rand) *GPS {
+	g := &GPS{rng: rng, BiasTau: 60}
+	switch grade {
+	case GPSRTK:
+		g.NoiseStd, g.BiasStd = 0.015, 0.005
+	case GPSDGPS:
+		g.NoiseStd, g.BiasStd = 0.3, 0.2
+	default:
+		g.NoiseStd, g.BiasStd = 2.0, 1.5
+	}
+	g.bias = geo.V2(rng.NormFloat64()*g.BiasStd, rng.NormFloat64()*g.BiasStd)
+	return g
+}
+
+// Measure returns a fix for the true position, advancing the bias process
+// by dt seconds.
+func (g *GPS) Measure(truth geo.Vec2, dt float64) geo.Vec2 {
+	if g.BiasTau > 0 && dt > 0 {
+		// Exact discretisation of the Ornstein-Uhlenbeck process.
+		a := 1 - dt/g.BiasTau
+		if a < 0 {
+			a = 0
+		}
+		q := g.BiasStd * math.Sqrt(math.Max(0, 1-a*a))
+		g.bias = geo.V2(
+			g.bias.X*a+g.rng.NormFloat64()*q,
+			g.bias.Y*a+g.rng.NormFloat64()*q,
+		)
+	}
+	return truth.Add(g.bias).Add(geo.V2(
+		g.rng.NormFloat64()*g.NoiseStd,
+		g.rng.NormFloat64()*g.NoiseStd,
+	))
+}
+
+// Odometry simulates wheel/inertial dead reckoning: each pose increment
+// is scaled and rotated by slowly accumulating errors.
+type Odometry struct {
+	// DistNoiseFrac is the per-metre translational noise fraction.
+	DistNoiseFrac float64
+	// HeadingDriftStd is the heading noise per metre travelled, radians.
+	HeadingDriftStd float64
+
+	rng *rand.Rand
+}
+
+// NewOdometry builds an odometry model; typical automotive values are
+// frac 0.01 and drift 0.001.
+func NewOdometry(distNoiseFrac, headingDriftStd float64, rng *rand.Rand) *Odometry {
+	return &Odometry{DistNoiseFrac: distNoiseFrac, HeadingDriftStd: headingDriftStd, rng: rng}
+}
+
+// Measure corrupts a true pose increment (vehicle frame).
+func (o *Odometry) Measure(delta geo.Pose2) geo.Pose2 {
+	d := delta.P.Norm()
+	return geo.Pose2{
+		P: geo.V2(
+			delta.P.X*(1+o.rng.NormFloat64()*o.DistNoiseFrac),
+			delta.P.Y+o.rng.NormFloat64()*o.DistNoiseFrac*d,
+		),
+		Theta: delta.Theta + o.rng.NormFloat64()*o.HeadingDriftStd*d,
+	}
+}

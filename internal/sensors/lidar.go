@@ -1,0 +1,252 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/pointcloud"
+	"hdmaps/internal/worldgen"
+)
+
+// Reflectivity constants of the intensity model: retro-reflective paint
+// and sign faces return far more energy than asphalt, which is the
+// physical effect every marking-extraction pipeline keys on.
+const (
+	IntensityAsphalt = 0.10
+	IntensityEdge    = 0.30
+	IntensityPaint   = 0.75
+	IntensitySign    = 0.90
+	IntensityPole    = 0.40
+	IntensityLight   = 0.50
+)
+
+// markingHalfWidth is the painted stripe half-width in metres.
+const markingHalfWidth = 0.12
+
+// LidarConfig describes a multi-ring spinning LiDAR.
+type LidarConfig struct {
+	// Rings is the number of laser rings (default 16).
+	Rings int
+	// VFOVDown/VFOVUp bound the vertical field of view in radians
+	// (defaults -15°/+3°).
+	VFOVDown, VFOVUp float64
+	// AzimuthStep is the horizontal angular resolution in radians
+	// (default 0.6°).
+	AzimuthStep float64
+	// MaxRange in metres (default 80).
+	MaxRange float64
+	// MountHeight above ground in metres (default 1.8).
+	MountHeight float64
+	// RangeNoise is the 1σ radial noise in metres (default 0.02).
+	RangeNoise float64
+	// Dropout is the per-return loss probability (default 0.05).
+	Dropout float64
+	// IntensityNoise is the 1σ intensity noise (default 0.05).
+	IntensityNoise float64
+}
+
+func (c *LidarConfig) defaults() {
+	if c.Rings <= 0 {
+		c.Rings = 16
+	}
+	if c.VFOVDown == 0 {
+		c.VFOVDown = -15 * math.Pi / 180
+	}
+	if c.VFOVUp == 0 {
+		c.VFOVUp = 3 * math.Pi / 180
+	}
+	if c.AzimuthStep <= 0 {
+		c.AzimuthStep = 0.6 * math.Pi / 180
+	}
+	if c.MaxRange <= 0 {
+		c.MaxRange = 80
+	}
+	if c.MountHeight <= 0 {
+		c.MountHeight = 1.8
+	}
+	if c.RangeNoise == 0 {
+		c.RangeNoise = 0.02
+	}
+	if c.Dropout == 0 {
+		c.Dropout = 0.05
+	}
+	if c.IntensityNoise == 0 {
+		c.IntensityNoise = 0.05
+	}
+}
+
+// Lidar simulates a spinning multi-ring LiDAR against a worldgen world.
+type Lidar struct {
+	Cfg LidarConfig
+	rng *rand.Rand
+}
+
+// NewLidar builds a simulator; zero-value config fields take defaults.
+func NewLidar(cfg LidarConfig, rng *rand.Rand) *Lidar {
+	cfg.defaults()
+	return &Lidar{Cfg: cfg, rng: rng}
+}
+
+// scanObject is a vertical cylinder target (sign, pole, light).
+type scanObject struct {
+	pos       geo.Vec2
+	radius    float64
+	zLo, zHi  float64
+	intensity float64
+}
+
+// objectFor maps a map point element to its scan cylinder.
+func objectFor(p *core.PointElement) (scanObject, bool) {
+	switch p.Class {
+	case core.ClassSign:
+		return scanObject{pos: p.Pos.XY(), radius: 0.3, zLo: p.Pos.Z - 0.4, zHi: p.Pos.Z + 0.4, intensity: IntensitySign}, true
+	case core.ClassPole:
+		return scanObject{pos: p.Pos.XY(), radius: 0.15, zLo: 0, zHi: p.Pos.Z, intensity: IntensityPole}, true
+	case core.ClassTrafficLight:
+		return scanObject{pos: p.Pos.XY(), radius: 0.25, zLo: p.Pos.Z - 0.5, zHi: p.Pos.Z + 0.5, intensity: IntensityLight}, true
+	default:
+		return scanObject{}, false
+	}
+}
+
+// Scan simulates one revolution at the given vehicle pose and returns the
+// cloud in the VEHICLE frame (x forward, y left, z up from ground level).
+func (l *Lidar) Scan(w *worldgen.World, pose geo.Pose2) *pointcloud.Cloud {
+	cfg := l.Cfg
+	box := geo.NewAABB(pose.P, pose.P).Expand(cfg.MaxRange)
+
+	// Candidate painted lines and road edges.
+	type paintLine struct {
+		geom      geo.Polyline
+		bounds    geo.AABB
+		intensity float64
+	}
+	var lines []paintLine
+	for _, cl := range []struct {
+		class core.Class
+		inten float64
+	}{
+		{core.ClassLaneBoundary, IntensityPaint},
+		{core.ClassStopLine, IntensityPaint},
+		{core.ClassRoadEdge, IntensityEdge},
+	} {
+		for _, le := range w.Map.LinesIn(box, cl.class) {
+			lines = append(lines, paintLine{
+				geom:      le.Geometry,
+				bounds:    le.Bounds().Expand(markingHalfWidth * 2),
+				intensity: cl.inten,
+			})
+		}
+	}
+	// Candidate vertical objects.
+	var objects []scanObject
+	for _, pe := range w.Map.PointsIn(box, core.ClassUnknown) {
+		if o, ok := objectFor(pe); ok {
+			objects = append(objects, o)
+		}
+	}
+
+	baseZ := w.ElevationAt(pose.P)
+	cloud := &pointcloud.Cloud{}
+	nAz := int(2 * math.Pi / cfg.AzimuthStep)
+	for ring := 0; ring < cfg.Rings; ring++ {
+		var phi float64
+		if cfg.Rings == 1 {
+			phi = cfg.VFOVDown
+		} else {
+			phi = cfg.VFOVDown + (cfg.VFOVUp-cfg.VFOVDown)*float64(ring)/float64(cfg.Rings-1)
+		}
+		tanPhi := math.Tan(phi)
+		for ai := 0; ai < nAz; ai++ {
+			if l.rng.Float64() < cfg.Dropout {
+				continue
+			}
+			alpha := float64(ai) * cfg.AzimuthStep
+			worldA := pose.Theta + alpha
+			dir := geo.V2(math.Cos(worldA), math.Sin(worldA))
+
+			// Nearest object hit along this ray.
+			bestT := math.Inf(1)
+			var bestObj *scanObject
+			for i := range objects {
+				o := &objects[i]
+				t, ok := rayCircle(pose.P, dir, o.pos, o.radius)
+				if !ok || t > cfg.MaxRange || t >= bestT {
+					continue
+				}
+				z := cfg.MountHeight + t*tanPhi
+				if z < o.zLo || z > o.zHi {
+					continue
+				}
+				bestT, bestObj = t, o
+			}
+
+			var hit geo.Vec2
+			var z, inten float64
+			switch {
+			case bestObj != nil:
+				hit = pose.P.Add(dir.Scale(bestT))
+				z = cfg.MountHeight + bestT*tanPhi
+				inten = bestObj.intensity
+			case tanPhi < 0:
+				// Ground return.
+				t := -cfg.MountHeight / tanPhi
+				if t > cfg.MaxRange {
+					continue
+				}
+				hit = pose.P.Add(dir.Scale(t))
+				z = w.ElevationAt(hit) - baseZ
+				bestT = t
+				inten = IntensityAsphalt
+				for i := range lines {
+					pl := &lines[i]
+					if !pl.bounds.Contains(hit) {
+						continue
+					}
+					if pl.geom.DistanceTo(hit) <= markingHalfWidth {
+						if pl.intensity > inten {
+							inten = pl.intensity
+						}
+					}
+				}
+			default:
+				continue // upward ray into the sky
+			}
+
+			// Radial noise displaces the hit along the ray.
+			noisyT := bestT + l.rng.NormFloat64()*cfg.RangeNoise
+			hit = pose.P.Add(dir.Scale(noisyT))
+			inten = geo.Clamp(inten+l.rng.NormFloat64()*cfg.IntensityNoise, 0, 1)
+
+			local := pose.InverseTransform(hit)
+			cloud.Append(pointcloud.Point{
+				P:         local.Vec3(z),
+				Intensity: inten,
+				Ring:      ring,
+			})
+		}
+	}
+	return cloud
+}
+
+// rayCircle intersects ray origin+t·dir (t>0) with a circle; it returns
+// the nearest positive t.
+func rayCircle(origin, dir, center geo.Vec2, radius float64) (float64, bool) {
+	oc := origin.Sub(center)
+	b := oc.Dot(dir)
+	c := oc.NormSq() - radius*radius
+	disc := b*b - c
+	if disc < 0 {
+		return 0, false
+	}
+	s := math.Sqrt(disc)
+	if t := -b - s; t > 0 {
+		return t, true
+	}
+	if t := -b + s; t > 0 {
+		return t, true
+	}
+	return 0, false
+}

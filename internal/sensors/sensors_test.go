@@ -1,0 +1,277 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/worldgen"
+)
+
+func testHighway(t testing.TB, seed int64) *worldgen.Highway {
+	t.Helper()
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 500, Lanes: 2, SignSpacing: 100,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}
+
+func TestGPSGrades(t *testing.T) {
+	truth := geo.V2(100, 200)
+	for _, tc := range []struct {
+		grade GPSGrade
+		bound float64 // 99th-percentile-ish error bound
+	}{
+		{GPSConsumer, 12}, {GPSDGPS, 2}, {GPSRTK, 0.1},
+	} {
+		rng := rand.New(rand.NewSource(81))
+		g := NewGPS(tc.grade, rng)
+		var worst, sum float64
+		const n = 500
+		for i := 0; i < n; i++ {
+			err := g.Measure(truth, 1).Dist(truth)
+			sum += err
+			if err > worst {
+				worst = err
+			}
+		}
+		if worst > tc.bound {
+			t.Errorf("%v: worst error %v > %v", tc.grade, worst, tc.bound)
+		}
+		if sum/n < tc.bound/1e4 {
+			t.Errorf("%v: error suspiciously small (%v)", tc.grade, sum/n)
+		}
+	}
+}
+
+func TestGPSBiasCorrelated(t *testing.T) {
+	// Consecutive fixes share the slowly-varying bias: differences of
+	// consecutive fixes have smaller spread than differences of fixes
+	// taken a long time apart.
+	rng := rand.New(rand.NewSource(82))
+	g := NewGPS(GPSConsumer, rng)
+	g.NoiseStd = 0.01 // isolate the bias process
+	truth := geo.V2(0, 0)
+	var shortDiffs, longDiffs []float64
+	prev := g.Measure(truth, 0.1)
+	for i := 0; i < 400; i++ {
+		cur := g.Measure(truth, 0.1)
+		shortDiffs = append(shortDiffs, cur.Dist(prev))
+		prev = cur
+	}
+	for i := 0; i < 200; i++ {
+		a := g.Measure(truth, 300) // far beyond BiasTau
+		b := g.Measure(truth, 300)
+		longDiffs = append(longDiffs, a.Dist(b))
+	}
+	if mean(shortDiffs) >= mean(longDiffs) {
+		t.Errorf("bias not temporally correlated: short %v, long %v",
+			mean(shortDiffs), mean(longDiffs))
+	}
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func TestOdometryDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	o := NewOdometry(0.01, 0.001, rng)
+	truthDelta := geo.NewPose2(1, 0, 0)
+	// Integrate 1 km of 1 m steps: dead reckoning must drift but stay
+	// within a plausible envelope.
+	truth := geo.Pose2{}
+	est := geo.Pose2{}
+	for i := 0; i < 1000; i++ {
+		truth = truth.Compose(truthDelta)
+		est = est.Compose(o.Measure(truthDelta))
+	}
+	drift := est.P.Dist(truth.P)
+	if drift == 0 {
+		t.Error("odometry is noiseless")
+	}
+	if drift > 100 {
+		t.Errorf("drift %v m over 1 km is implausible", drift)
+	}
+}
+
+func TestLidarScanStructure(t *testing.T) {
+	hw := testHighway(t, 84)
+	rng := rand.New(rand.NewSource(85))
+	// Dense scan standing 15 m before a sign: a 0.3 m cylinder at that
+	// distance subtends ≈2.3°, comfortably above the azimuth step.
+	lidar := NewLidar(LidarConfig{Rings: 32, AzimuthStep: 0.25 * math.Pi / 180}, rng)
+	pose := geo.NewPose2(285, -3.6, 0) // in lane 1, sign ahead at x=300
+	cloud := lidar.Scan(hw.World, pose)
+	if cloud.Len() < 500 {
+		t.Fatalf("cloud size = %d", cloud.Len())
+	}
+	// All points within range; some paint returns present.
+	var paint, ground, high int
+	for _, p := range cloud.Points {
+		r := p.P.XY().Norm()
+		if r > lidar.Cfg.MaxRange+1 {
+			t.Fatalf("point beyond range: %v", r)
+		}
+		if p.P.Z > 1.0 {
+			high++
+		} else {
+			ground++
+		}
+		if p.Intensity > 0.6 {
+			paint++
+		}
+	}
+	if ground == 0 {
+		t.Error("no ground returns")
+	}
+	if paint == 0 {
+		t.Error("no high-intensity returns (markings/signs invisible)")
+	}
+	if high == 0 {
+		t.Error("no elevated returns (signs/poles invisible)")
+	}
+}
+
+func TestLidarMarkingGeometry(t *testing.T) {
+	// High-intensity ground returns must lie near true lane boundaries.
+	hw := testHighway(t, 86)
+	rng := rand.New(rand.NewSource(87))
+	lidar := NewLidar(LidarConfig{Rings: 12, RangeNoise: 0.01, Dropout: 0.01}, rng)
+	pose := geo.NewPose2(250, -3.6, 0)
+	cloud := lidar.Scan(hw.World, pose)
+	world := cloud.Transform(pose)
+	box := geo.NewAABB(pose.P, pose.P).Expand(lidar.Cfg.MaxRange + 5)
+	var lines []geo.Polyline
+	for _, le := range hw.Map.LinesIn(box, core.ClassLaneBoundary) {
+		lines = append(lines, le.Geometry)
+	}
+	checked := 0
+	for i, p := range world.Points {
+		if p.Intensity < 0.65 || p.P.Z > 0.5 {
+			continue
+		}
+		if cloud.Points[i].P.Z > 0.5 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, l := range lines {
+			if d := l.DistanceTo(p.P.XY()); d < best {
+				best = d
+			}
+		}
+		if best > 0.5 {
+			t.Fatalf("paint return %v is %.2f m from any boundary", p.P, best)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Errorf("only %d paint returns checked", checked)
+	}
+}
+
+func TestObjectDetector(t *testing.T) {
+	hw := testHighway(t, 88)
+	rng := rand.New(rand.NewSource(89))
+	det := NewObjectDetector(ObjectDetectorConfig{TPR: 0.95, FalsePerScan: 0.01, PosNoise: 0.2}, rng)
+	// Count truth signs in the frustum vs detections over many frames.
+	pose := geo.NewPose2(150, -3.6, 0)
+	var hits, frames int
+	for i := 0; i < 100; i++ {
+		dets := det.Detect(hw.Map, pose, core.ClassSign)
+		frames++
+		for _, d := range dets {
+			if d.TruthID != core.NilID {
+				hits++
+				// Detection position must be near the truth.
+				p, err := hw.Map.Point(d.TruthID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				world := pose.Transform(d.Local)
+				if world.Dist(p.Pos.XY()) > 3 {
+					t.Fatalf("detection %v too far from truth %v", world, p.Pos.XY())
+				}
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no true detections")
+	}
+	// Signs at 200, 300 are within 60 m ahead FOV from x=150: expect ≈1-2
+	// per frame at TPR 0.95.
+	perFrame := float64(hits) / float64(frames)
+	if perFrame < 0.5 {
+		t.Errorf("detections per frame = %v", perFrame)
+	}
+}
+
+func TestObjectDetectorFalsePositives(t *testing.T) {
+	hw := testHighway(t, 90)
+	rng := rand.New(rand.NewSource(91))
+	det := NewObjectDetector(ObjectDetectorConfig{TPR: 0.9, FalsePerScan: 2}, rng)
+	pose := geo.NewPose2(250, -3.6, 0)
+	var fps int
+	for i := 0; i < 200; i++ {
+		for _, d := range det.Detect(hw.Map, pose, core.ClassSign) {
+			if d.TruthID == core.NilID {
+				fps++
+			}
+		}
+	}
+	rate := float64(fps) / 200
+	if rate < 1 || rate > 3 {
+		t.Errorf("false positives per scan = %v, want ≈2", rate)
+	}
+}
+
+func TestLaneDetector(t *testing.T) {
+	hw := testHighway(t, 92)
+	rng := rand.New(rand.NewSource(93))
+	det := NewLaneDetector(LaneDetectorConfig{LateralNoise: 0.05}, rng)
+	pose := geo.NewPose2(250, -3.6, 0)
+	obs := det.Detect(hw.Map, pose)
+	if len(obs) < 10 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	// All observations near a true boundary after mapping back to world.
+	for _, o := range obs {
+		world := pose.Transform(o.Local)
+		le, err := hw.Map.Line(o.LineID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := le.Geometry.DistanceTo(world); d > 0.5 {
+			t.Fatalf("obs %.2f m from its boundary", d)
+		}
+		if o.Local.X > det.Cfg.Ahead+1 || o.Local.X < -det.Cfg.Behind-1 {
+			t.Fatalf("obs outside longitudinal window: %v", o.Local)
+		}
+	}
+}
+
+func TestGPSGradeString(t *testing.T) {
+	if GPSConsumer.String() != "consumer" || GPSRTK.String() != "rtk" || GPSDGPS.String() != "dgps" {
+		t.Error("grade names wrong")
+	}
+}
+
+func BenchmarkLidarScan(b *testing.B) {
+	hw := testHighway(b, 94)
+	rng := rand.New(rand.NewSource(95))
+	lidar := NewLidar(LidarConfig{}, rng)
+	pose := geo.NewPose2(250, -3.6, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lidar.Scan(hw.World, pose)
+	}
+}

@@ -1,0 +1,158 @@
+// Package sim provides the vehicle-motion substrate: timed trajectories
+// along routes, a kinematic bicycle model, and fleet traversal generation
+// with realistic lane-keeping imperfection. The creation and update
+// pipelines consume its trajectories the way real systems consume CAN/
+// odometry streams.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/geo"
+)
+
+// TimedPose is a ground-truth vehicle state sample.
+type TimedPose struct {
+	T    float64 // seconds since trajectory start
+	Pose geo.Pose2
+	V    float64 // speed, m/s
+}
+
+// Trajectory is a time-ordered pose sequence.
+type Trajectory []TimedPose
+
+// Duration returns the trajectory's time span.
+func (tr Trajectory) Duration() float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	return tr[len(tr)-1].T - tr[0].T
+}
+
+// Length returns the travelled path length.
+func (tr Trajectory) Length() float64 {
+	var L float64
+	for i := 1; i < len(tr); i++ {
+		L += tr[i].Pose.P.Dist(tr[i-1].Pose.P)
+	}
+	return L
+}
+
+// DrivePolyline samples a constant-speed drive along the route at the
+// given timestep. Headings follow the route tangent.
+func DrivePolyline(route geo.Polyline, speed, dt float64) Trajectory {
+	if len(route) < 2 || speed <= 0 || dt <= 0 {
+		return nil
+	}
+	L := route.Length()
+	var tr Trajectory
+	for s, t := 0.0, 0.0; s <= L; s, t = s+speed*dt, t+dt {
+		tr = append(tr, TimedPose{T: t, Pose: route.PoseAt(s), V: speed})
+	}
+	return tr
+}
+
+// WanderParams shapes the lane-keeping imperfection of a human/automated
+// driver: a slowly-varying lateral offset within the lane.
+type WanderParams struct {
+	// Std is the stationary lateral offset deviation (default 0.25 m).
+	Std float64
+	// Tau is the correlation time in seconds (default 8 s).
+	Tau float64
+	// SpeedJitterFrac varies speed around nominal (default 0.05).
+	SpeedJitterFrac float64
+}
+
+func (w *WanderParams) defaults() {
+	if w.Std == 0 {
+		w.Std = 0.25
+	}
+	if w.Tau <= 0 {
+		w.Tau = 8
+	}
+	if w.SpeedJitterFrac == 0 {
+		w.SpeedJitterFrac = 0.05
+	}
+}
+
+// DriveWithWander samples a drive along the route with Ornstein-Uhlenbeck
+// lateral wander inside the lane — the essential imperfection that makes
+// crowd-sourced traversals informative only in aggregate.
+func DriveWithWander(route geo.Polyline, speed, dt float64, w WanderParams, rng *rand.Rand) Trajectory {
+	w.defaults()
+	if len(route) < 2 || speed <= 0 || dt <= 0 {
+		return nil
+	}
+	L := route.Length()
+	var tr Trajectory
+	offset := rng.NormFloat64() * w.Std
+	a := 1 - dt/w.Tau
+	if a < 0 {
+		a = 0
+	}
+	q := w.Std * math.Sqrt(1-a*a)
+	v := speed * (1 + rng.NormFloat64()*w.SpeedJitterFrac)
+	for s, t := 0.0, 0.0; s <= L; t = t + dt {
+		offset = offset*a + rng.NormFloat64()*q
+		base := route.PoseAt(s)
+		lateral := geo.V2(-math.Sin(base.Theta), math.Cos(base.Theta)).Scale(offset)
+		tr = append(tr, TimedPose{
+			T:    t,
+			Pose: geo.Pose2{P: base.P.Add(lateral), Theta: base.Theta},
+			V:    v,
+		})
+		s += v * dt
+	}
+	return tr
+}
+
+// Bicycle is a kinematic bicycle model for closed-loop driving.
+type Bicycle struct {
+	// Wheelbase in metres (default 2.8).
+	Wheelbase float64
+	// State.
+	Pose geo.Pose2
+	V    float64
+}
+
+// Step advances the model by dt with the given acceleration and steering
+// angle (front wheel, radians). Speed never goes negative.
+func (b *Bicycle) Step(accel, steer, dt float64) {
+	wb := b.Wheelbase
+	if wb <= 0 {
+		wb = 2.8
+	}
+	b.V = math.Max(0, b.V+accel*dt)
+	ds := b.V * dt
+	b.Pose.P = b.Pose.P.Add(geo.V2(math.Cos(b.Pose.Theta), math.Sin(b.Pose.Theta)).Scale(ds))
+	b.Pose.Theta = geo.NormalizeAngle(b.Pose.Theta + ds*math.Tan(steer)/wb)
+}
+
+// PurePursuit computes the steering angle to track the route from the
+// current pose with the given lookahead distance.
+func PurePursuit(route geo.Polyline, pose geo.Pose2, lookahead, wheelbase float64) float64 {
+	_, s, _ := route.Project(pose.P)
+	target := route.At(s + lookahead)
+	local := pose.InverseTransform(target)
+	d2 := local.NormSq()
+	if d2 == 0 {
+		return 0
+	}
+	curvature := 2 * local.Y / d2
+	return math.Atan(curvature * wheelbase)
+}
+
+// Odometry converts consecutive trajectory samples into vehicle-frame
+// pose increments (the ground-truth deltas a perfect odometer would
+// report; corrupt them with sensors.Odometry).
+func (tr Trajectory) Odometry() []geo.Pose2 {
+	if len(tr) < 2 {
+		return nil
+	}
+	out := make([]geo.Pose2, len(tr)-1)
+	for i := 1; i < len(tr); i++ {
+		out[i-1] = tr[i-1].Pose.Between(tr[i].Pose)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/geo"
+)
+
+func TestDrivePolyline(t *testing.T) {
+	route := geo.Polyline{geo.V2(0, 0), geo.V2(100, 0)}
+	tr := DrivePolyline(route, 10, 0.1)
+	if len(tr) < 100 {
+		t.Fatalf("samples = %d", len(tr))
+	}
+	if math.Abs(tr.Duration()-10) > 0.2 {
+		t.Errorf("duration = %v, want ≈10 s", tr.Duration())
+	}
+	if math.Abs(tr.Length()-100) > 1.5 {
+		t.Errorf("length = %v", tr.Length())
+	}
+	// Constant speed and tangent heading.
+	for _, s := range tr {
+		if s.V != 10 {
+			t.Fatal("speed changed")
+		}
+		if math.Abs(s.Pose.Theta) > 1e-9 {
+			t.Fatal("heading off tangent")
+		}
+	}
+	if DrivePolyline(route, 0, 0.1) != nil {
+		t.Error("zero speed accepted")
+	}
+	if DrivePolyline(geo.Polyline{geo.V2(0, 0)}, 1, 0.1) != nil {
+		t.Error("degenerate route accepted")
+	}
+}
+
+func TestDriveWithWander(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	route := geo.Polyline{geo.V2(0, 0), geo.V2(1000, 0)}
+	tr := DriveWithWander(route, 15, 0.1, WanderParams{Std: 0.3}, rng)
+	if len(tr) < 500 {
+		t.Fatalf("samples = %d", len(tr))
+	}
+	// Lateral offsets bounded and non-degenerate.
+	var maxOff, sumSq float64
+	for _, s := range tr {
+		off := math.Abs(s.Pose.P.Y)
+		if off > maxOff {
+			maxOff = off
+		}
+		sumSq += s.Pose.P.Y * s.Pose.P.Y
+	}
+	if maxOff > 2 {
+		t.Errorf("max lateral offset %v too large", maxOff)
+	}
+	rms := math.Sqrt(sumSq / float64(len(tr)))
+	if rms < 0.05 || rms > 1 {
+		t.Errorf("lateral rms = %v, want ≈0.3", rms)
+	}
+	// Different seeds give different traversals.
+	tr2 := DriveWithWander(route, 15, 0.1, WanderParams{Std: 0.3}, rand.New(rand.NewSource(102)))
+	same := true
+	for i := 0; i < 100 && i < len(tr) && i < len(tr2); i++ {
+		if tr[i].Pose.P != tr2[i].Pose.P {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("wander identical across seeds")
+	}
+}
+
+func TestOdometryDeltas(t *testing.T) {
+	route := geo.Polyline{geo.V2(0, 0), geo.V2(50, 0), geo.V2(50, 50)}
+	tr := DrivePolyline(route, 5, 0.5)
+	deltas := tr.Odometry()
+	if len(deltas) != len(tr)-1 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	// Recomposing the deltas reproduces the trajectory.
+	pose := tr[0].Pose
+	for i, d := range deltas {
+		pose = pose.Compose(d)
+		if pose.P.Dist(tr[i+1].Pose.P) > 1e-6 {
+			t.Fatalf("recomposition diverged at %d", i)
+		}
+	}
+}
+
+func TestBicyclePurePursuit(t *testing.T) {
+	// Close the loop: a bicycle tracking a curved route stays near it.
+	route := geo.Polyline{}
+	for i := 0; i <= 100; i++ {
+		a := float64(i) / 100 * math.Pi / 2
+		route = append(route, geo.V2(100*math.Sin(a), 100*(1-math.Cos(a))))
+	}
+	b := &Bicycle{Wheelbase: 2.8, Pose: geo.NewPose2(0, 0, 0), V: 8}
+	worst := 0.0
+	for i := 0; i < 2000; i++ {
+		steer := PurePursuit(route, b.Pose, 8, b.Wheelbase)
+		b.Step(0, steer, 0.05)
+		_, _, d := route.Project(b.Pose.P)
+		if d > worst {
+			worst = d
+		}
+		if b.Pose.P.Dist(route[len(route)-1]) < 2 {
+			break
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("tracking error = %v m", worst)
+	}
+	// Reached the end region.
+	if b.Pose.P.Dist(route[len(route)-1]) > 10 {
+		t.Errorf("did not reach route end: %v", b.Pose.P)
+	}
+}
+
+func TestBicycleNoReverse(t *testing.T) {
+	b := &Bicycle{V: 1}
+	b.Step(-10, 0, 1)
+	if b.V != 0 {
+		t.Errorf("V = %v, want 0", b.V)
+	}
+}

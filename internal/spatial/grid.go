@@ -1,0 +1,140 @@
+package spatial
+
+import (
+	"math"
+
+	"hdmaps/internal/geo"
+)
+
+// GridIndex is a uniform-cell spatial hash for 2D points. It is the
+// workhorse behind point-cloud neighbourhood queries and probe-trace
+// aggregation, where millions of points share a bounded extent and the
+// R-tree's generality is unnecessary.
+type GridIndex struct {
+	cell  float64
+	cells map[[2]int32][]int
+	pts   []geo.Vec2
+}
+
+// NewGridIndex creates an index with the given cell size in metres.
+// Cell sizes at or below zero default to 1 m.
+func NewGridIndex(cellSize float64) *GridIndex {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &GridIndex{cell: cellSize, cells: make(map[[2]int32][]int)}
+}
+
+// key returns the cell coordinate containing p.
+func (g *GridIndex) key(p geo.Vec2) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// Add inserts a point and returns its index handle.
+func (g *GridIndex) Add(p geo.Vec2) int {
+	id := len(g.pts)
+	g.pts = append(g.pts, p)
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+	return id
+}
+
+// AddAll inserts all points.
+func (g *GridIndex) AddAll(pts []geo.Vec2) {
+	for _, p := range pts {
+		g.Add(p)
+	}
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+// Point returns the point with handle id.
+func (g *GridIndex) Point(id int) geo.Vec2 { return g.pts[id] }
+
+// WithinRadius appends the handles of all points within r of p to out.
+func (g *GridIndex) WithinRadius(p geo.Vec2, r float64, out []int) []int {
+	if r < 0 {
+		return out
+	}
+	r2 := r * r
+	k0 := g.key(geo.V2(p.X-r, p.Y-r))
+	k1 := g.key(geo.V2(p.X+r, p.Y+r))
+	for cx := k0[0]; cx <= k1[0]; cx++ {
+		for cy := k0[1]; cy <= k1[1]; cy++ {
+			for _, id := range g.cells[[2]int32{cx, cy}] {
+				if g.pts[id].DistSq(p) <= r2 {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountWithin returns the number of points within r of p.
+func (g *GridIndex) CountWithin(p geo.Vec2, r float64) int {
+	count := 0
+	r2 := r * r
+	k0 := g.key(geo.V2(p.X-r, p.Y-r))
+	k1 := g.key(geo.V2(p.X+r, p.Y+r))
+	for cx := k0[0]; cx <= k1[0]; cx++ {
+		for cy := k0[1]; cy <= k1[1]; cy++ {
+			for _, id := range g.cells[[2]int32{cx, cy}] {
+				if g.pts[id].DistSq(p) <= r2 {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// NearestPoint returns the handle of the closest point to p and its
+// distance; ok is false when the index is empty. The search expands in
+// growing rings of cells until a hit is confirmed.
+func (g *GridIndex) NearestPoint(p geo.Vec2) (id int, dist float64, ok bool) {
+	if len(g.pts) == 0 {
+		return 0, 0, false
+	}
+	center := g.key(p)
+	best, bestD2 := -1, math.Inf(1)
+	for ring := int32(0); ; ring++ {
+		found := false
+		for cx := center[0] - ring; cx <= center[0]+ring; cx++ {
+			for cy := center[1] - ring; cy <= center[1]+ring; cy++ {
+				// Only the perimeter of the ring is new.
+				if ring > 0 && cx > center[0]-ring && cx < center[0]+ring &&
+					cy > center[1]-ring && cy < center[1]+ring {
+					continue
+				}
+				ids := g.cells[[2]int32{cx, cy}]
+				if len(ids) > 0 {
+					found = true
+				}
+				for _, i := range ids {
+					if d2 := g.pts[i].DistSq(p); d2 < bestD2 {
+						best, bestD2 = i, d2
+					}
+				}
+			}
+		}
+		// Once a candidate exists, one extra ring guarantees correctness
+		// (a closer point can hide at most one ring further out).
+		if best >= 0 && (found || float64(ring-1)*g.cell > math.Sqrt(bestD2)) {
+			// Expand one more ring, then stop.
+			if float64(ring)*g.cell > math.Sqrt(bestD2) {
+				return best, math.Sqrt(bestD2), true
+			}
+		}
+		if ring > int32(len(g.pts))+2 && best >= 0 { // safety net
+			return best, math.Sqrt(bestD2), true
+		}
+		if ring > 1<<20 { // unreachable guard against infinite loops
+			return best, math.Sqrt(bestD2), best >= 0
+		}
+	}
+}
+
+// Cells returns the number of occupied cells (for diagnostics).
+func (g *GridIndex) Cells() int { return len(g.cells) }

@@ -1,0 +1,195 @@
+package spatial
+
+import (
+	"container/heap"
+	"sort"
+
+	"hdmaps/internal/geo"
+)
+
+// KDTree is a static 2-d tree over points, used for nearest-neighbour
+// association in scan matching (ICP) and landmark data association, where
+// the query pattern is many kNN lookups against a fixed reference set.
+type KDTree struct {
+	pts  []geo.Vec2 // points in tree order
+	idx  []int      // original indices, parallel to pts
+	axis []int8     // split axis per node (-1 for leaf sentinel)
+}
+
+// NewKDTree builds a balanced KD-tree over pts. The original slice is not
+// retained.
+func NewKDTree(pts []geo.Vec2) *KDTree {
+	n := len(pts)
+	t := &KDTree{
+		pts:  make([]geo.Vec2, 0, n),
+		idx:  make([]int, 0, n),
+		axis: make([]int8, 0, n),
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	src := append([]geo.Vec2(nil), pts...)
+	t.build(src, order, 0)
+	return t
+}
+
+// build recursively partitions by median along alternating axes, appending
+// nodes in pre-order so the tree is encoded implicitly in three slices.
+func (t *KDTree) build(pts []geo.Vec2, order []int, depth int) int {
+	if len(pts) == 0 {
+		return -1
+	}
+	axis := int8(depth % 2)
+	sort.Sort(&kdSorter{pts: pts, order: order, axis: axis})
+	mid := len(pts) / 2
+	nodeIdx := len(t.pts)
+	t.pts = append(t.pts, pts[mid])
+	t.idx = append(t.idx, order[mid])
+	t.axis = append(t.axis, axis)
+	// Children positions are discovered by recursion order: left subtree
+	// occupies the range immediately after the node; record sizes.
+	t.build(pts[:mid], order[:mid], depth+1)
+	t.build(pts[mid+1:], order[mid+1:], depth+1)
+	return nodeIdx
+}
+
+type kdSorter struct {
+	pts   []geo.Vec2
+	order []int
+	axis  int8
+}
+
+func (s *kdSorter) Len() int { return len(s.pts) }
+func (s *kdSorter) Swap(i, j int) {
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
+	s.order[i], s.order[j] = s.order[j], s.order[i]
+}
+func (s *kdSorter) Less(i, j int) bool {
+	if s.axis == 0 {
+		return s.pts[i].X < s.pts[j].X
+	}
+	return s.pts[i].Y < s.pts[j].Y
+}
+
+// Len returns the number of points in the tree.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Nearest returns the original index of the point closest to q and its
+// distance; ok is false for an empty tree.
+func (t *KDTree) Nearest(q geo.Vec2) (idx int, dist float64, ok bool) {
+	res := t.KNearest(q, 1)
+	if len(res) == 0 {
+		return 0, 0, false
+	}
+	return res[0].Index, res[0].Dist, true
+}
+
+// Neighbor is a kNN result.
+type Neighbor struct {
+	Index int // index into the original point slice
+	Dist  float64
+}
+
+type nbrHeap []Neighbor // max-heap on Dist
+
+func (h nbrHeap) Len() int            { return len(h) }
+func (h nbrHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h nbrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nbrHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nbrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// KNearest returns up to k nearest points to q, sorted by increasing
+// distance.
+func (t *KDTree) KNearest(q geo.Vec2, k int) []Neighbor {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil
+	}
+	h := &nbrHeap{}
+	t.knn(q, k, 0, len(t.pts), h)
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	return out
+}
+
+// knn searches the subtree stored in pre-order range [lo, hi).
+func (t *KDTree) knn(q geo.Vec2, k, lo, hi int, h *nbrHeap) {
+	if lo >= hi {
+		return
+	}
+	node := lo
+	p := t.pts[node]
+	d := p.Dist(q)
+	if h.Len() < k {
+		heap.Push(h, Neighbor{Index: t.idx[node], Dist: d})
+	} else if d < (*h)[0].Dist {
+		(*h)[0] = Neighbor{Index: t.idx[node], Dist: d}
+		heap.Fix(h, 0)
+	}
+	// The left subtree is the pre-order range (lo, lo+leftSize]; its size
+	// mirrors the build's median split: n points -> n/2 on the left.
+	leftSize := (hi - lo) / 2
+	leftLo, leftHi := lo+1, lo+1+leftSize
+	rightLo, rightHi := leftHi, hi
+
+	var qCoord, pCoord float64
+	if t.axis[node] == 0 {
+		qCoord, pCoord = q.X, p.X
+	} else {
+		qCoord, pCoord = q.Y, p.Y
+	}
+	near, far := [2]int{leftLo, leftHi}, [2]int{rightLo, rightHi}
+	if qCoord > pCoord {
+		near, far = far, near
+	}
+	t.knn(q, k, near[0], near[1], h)
+	planeDist := qCoord - pCoord
+	if planeDist < 0 {
+		planeDist = -planeDist
+	}
+	if h.Len() < k || planeDist < (*h)[0].Dist {
+		t.knn(q, k, far[0], far[1], h)
+	}
+}
+
+// WithinRadius returns the original indices of all points within r of q.
+func (t *KDTree) WithinRadius(q geo.Vec2, r float64) []int {
+	var out []int
+	t.radius(q, r, 0, len(t.pts), &out)
+	return out
+}
+
+func (t *KDTree) radius(q geo.Vec2, r float64, lo, hi int, out *[]int) {
+	if lo >= hi {
+		return
+	}
+	node := lo
+	p := t.pts[node]
+	if p.Dist(q) <= r {
+		*out = append(*out, t.idx[node])
+	}
+	leftSize := (hi - lo) / 2
+	leftLo, leftHi := lo+1, lo+1+leftSize
+	rightLo, rightHi := leftHi, hi
+
+	var qCoord, pCoord float64
+	if t.axis[node] == 0 {
+		qCoord, pCoord = q.X, p.X
+	} else {
+		qCoord, pCoord = q.Y, p.Y
+	}
+	if qCoord-r <= pCoord {
+		t.radius(q, r, leftLo, leftHi, out)
+	}
+	if qCoord+r >= pCoord {
+		t.radius(q, r, rightLo, rightHi, out)
+	}
+}

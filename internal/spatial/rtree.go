@@ -1,0 +1,276 @@
+// Package spatial provides the spatial indexes used by the HD-map store
+// and the localization/creation pipelines: an STR-bulk-loaded R-tree for
+// map elements, a uniform grid index for dense point data, and a KD-tree
+// for nearest-neighbour queries over point sets.
+package spatial
+
+import (
+	"container/heap"
+	"sort"
+
+	"hdmaps/internal/geo"
+)
+
+// Item is anything indexable by a bounding box.
+type Item interface {
+	Bounds() geo.AABB
+}
+
+// rtreeNode is an internal or leaf node of the R-tree.
+type rtreeNode struct {
+	bounds   geo.AABB
+	children []*rtreeNode // nil for leaves
+	items    []Item       // nil for internal nodes
+}
+
+// RTree is a static, bulk-loaded R-tree (Sort-Tile-Recursive packing).
+// HD-map element sets are write-rarely/read-often: maps are rebuilt in
+// batches by the creation and update pipelines, then queried millions of
+// times by localization and planning, which is exactly the trade-off STR
+// packing optimises for. Insertions after construction are supported via a
+// small overflow buffer that is folded in on the next Rebuild.
+type RTree struct {
+	root     *rtreeNode
+	overflow []Item
+	size     int
+	fanout   int
+}
+
+// NewRTree builds an R-tree over items with the given fanout (node
+// capacity). Fanout < 2 defaults to 16.
+func NewRTree(items []Item, fanout int) *RTree {
+	if fanout < 2 {
+		fanout = 16
+	}
+	t := &RTree{fanout: fanout}
+	t.bulkLoad(items)
+	return t
+}
+
+func (t *RTree) bulkLoad(items []Item) {
+	t.size = len(items)
+	t.overflow = nil
+	if len(items) == 0 {
+		t.root = &rtreeNode{bounds: geo.EmptyAABB()}
+		return
+	}
+	leaves := strPack(items, t.fanout)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = strPackNodes(nodes, t.fanout)
+	}
+	t.root = nodes[0]
+}
+
+// strPack groups items into leaf nodes using Sort-Tile-Recursive.
+func strPack(items []Item, fanout int) []*rtreeNode {
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Bounds().Center().X < sorted[j].Bounds().Center().X
+	})
+	nLeaves := (len(sorted) + fanout - 1) / fanout
+	nSlices := intSqrtCeil(nLeaves)
+	sliceSize := nSlices * fanout
+	var leaves []*rtreeNode
+	for start := 0; start < len(sorted); start += sliceSize {
+		end := min(start+sliceSize, len(sorted))
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Bounds().Center().Y < slice[j].Bounds().Center().Y
+		})
+		for ls := 0; ls < len(slice); ls += fanout {
+			le := min(ls+fanout, len(slice))
+			leaf := &rtreeNode{items: append([]Item(nil), slice[ls:le]...), bounds: geo.EmptyAABB()}
+			for _, it := range leaf.items {
+				leaf.bounds = leaf.bounds.Union(it.Bounds())
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func strPackNodes(nodes []*rtreeNode, fanout int) []*rtreeNode {
+	sorted := append([]*rtreeNode(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].bounds.Center().X < sorted[j].bounds.Center().X
+	})
+	nParents := (len(sorted) + fanout - 1) / fanout
+	nSlices := intSqrtCeil(nParents)
+	sliceSize := nSlices * fanout
+	var parents []*rtreeNode
+	for start := 0; start < len(sorted); start += sliceSize {
+		end := min(start+sliceSize, len(sorted))
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].bounds.Center().Y < slice[j].bounds.Center().Y
+		})
+		for ls := 0; ls < len(slice); ls += fanout {
+			le := min(ls+fanout, len(slice))
+			p := &rtreeNode{children: append([]*rtreeNode(nil), slice[ls:le]...), bounds: geo.EmptyAABB()}
+			for _, c := range p.children {
+				p.bounds = p.bounds.Union(c.bounds)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func intSqrtCeil(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// Len returns the number of indexed items (including pending inserts).
+func (t *RTree) Len() int { return t.size }
+
+// Insert adds an item to the overflow buffer. Queries see it immediately;
+// call Rebuild to fold overflow into the packed tree when the buffer grows.
+func (t *RTree) Insert(it Item) {
+	t.overflow = append(t.overflow, it)
+	t.size++
+}
+
+// OverflowLen returns the number of items pending a Rebuild.
+func (t *RTree) OverflowLen() int { return len(t.overflow) }
+
+// Rebuild repacks the tree including all overflow items.
+func (t *RTree) Rebuild() {
+	all := make([]Item, 0, t.size)
+	t.collect(t.root, &all)
+	all = append(all, t.overflow...)
+	t.bulkLoad(all)
+}
+
+func (t *RTree) collect(n *rtreeNode, out *[]Item) {
+	if n == nil {
+		return
+	}
+	*out = append(*out, n.items...)
+	for _, c := range n.children {
+		t.collect(c, out)
+	}
+}
+
+// Search appends to out every item whose bounds intersect query, and
+// returns the result. Pass a reused slice to avoid allocation.
+func (t *RTree) Search(query geo.AABB, out []Item) []Item {
+	out = t.searchNode(t.root, query, out)
+	for _, it := range t.overflow {
+		if it.Bounds().Intersects(query) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func (t *RTree) searchNode(n *rtreeNode, query geo.AABB, out []Item) []Item {
+	if n == nil || !n.bounds.Intersects(query) {
+		return out
+	}
+	for _, it := range n.items {
+		if it.Bounds().Intersects(query) {
+			out = append(out, it)
+		}
+	}
+	for _, c := range n.children {
+		out = t.searchNode(c, query, out)
+	}
+	return out
+}
+
+// Visit calls fn for every item intersecting query; returning false stops
+// the traversal early.
+func (t *RTree) Visit(query geo.AABB, fn func(Item) bool) {
+	if !t.visitNode(t.root, query, fn) {
+		return
+	}
+	for _, it := range t.overflow {
+		if it.Bounds().Intersects(query) && !fn(it) {
+			return
+		}
+	}
+}
+
+func (t *RTree) visitNode(n *rtreeNode, query geo.AABB, fn func(Item) bool) bool {
+	if n == nil || !n.bounds.Intersects(query) {
+		return true
+	}
+	for _, it := range n.items {
+		if it.Bounds().Intersects(query) && !fn(it) {
+			return false
+		}
+	}
+	for _, c := range n.children {
+		if !t.visitNode(c, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// nnEntry is a node or item in the best-first nearest-neighbour queue.
+type nnEntry struct {
+	dist float64
+	node *rtreeNode
+	item Item
+}
+
+type nnQueue []nnEntry
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnEntry)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Nearest returns the k items whose bounding boxes are closest to p,
+// ordered by increasing distance (best-first branch-and-bound traversal).
+func (t *RTree) Nearest(p geo.Vec2, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	q := &nnQueue{}
+	if t.root != nil {
+		heap.Push(q, nnEntry{dist: t.root.bounds.DistanceToPoint(p), node: t.root})
+	}
+	for _, it := range t.overflow {
+		heap.Push(q, nnEntry{dist: it.Bounds().DistanceToPoint(p), item: it})
+	}
+	var result []Item
+	for q.Len() > 0 && len(result) < k {
+		e := heap.Pop(q).(nnEntry)
+		switch {
+		case e.item != nil:
+			result = append(result, e.item)
+		case e.node != nil:
+			for _, it := range e.node.items {
+				heap.Push(q, nnEntry{dist: it.Bounds().DistanceToPoint(p), item: it})
+			}
+			for _, c := range e.node.children {
+				heap.Push(q, nnEntry{dist: c.bounds.DistanceToPoint(p), node: c})
+			}
+		}
+	}
+	return result
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

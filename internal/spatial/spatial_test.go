@@ -1,0 +1,305 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hdmaps/internal/geo"
+)
+
+// boxItem is a trivial Item for index tests.
+type boxItem struct {
+	id  int
+	box geo.AABB
+}
+
+func (b boxItem) Bounds() geo.AABB { return b.box }
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		c := geo.V2(rng.Float64()*1000, rng.Float64()*1000)
+		half := geo.V2(rng.Float64()*5, rng.Float64()*5)
+		items[i] = boxItem{id: i, box: geo.NewAABB(c.Sub(half), c.Add(half))}
+	}
+	return items
+}
+
+func bruteSearch(items []Item, q geo.AABB) map[int]bool {
+	hits := map[int]bool{}
+	for _, it := range items {
+		if it.Bounds().Intersects(q) {
+			hits[it.(boxItem).id] = true
+		}
+	}
+	return hits
+}
+
+func TestRTreeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{0, 1, 5, 64, 500} {
+		items := randomItems(rng, n)
+		tree := NewRTree(items, 8)
+		if tree.Len() != n {
+			t.Fatalf("Len = %d, want %d", tree.Len(), n)
+		}
+		for trial := 0; trial < 50; trial++ {
+			c := geo.V2(rng.Float64()*1000, rng.Float64()*1000)
+			q := geo.NewAABB(c, c.Add(geo.V2(rng.Float64()*100, rng.Float64()*100)))
+			want := bruteSearch(items, q)
+			got := tree.Search(q, nil)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: Search returned %d, want %d", n, len(got), len(want))
+			}
+			for _, it := range got {
+				if !want[it.(boxItem).id] {
+					t.Fatalf("unexpected hit %v", it)
+				}
+			}
+		}
+	}
+}
+
+func TestRTreeInsertOverflowAndRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	items := randomItems(rng, 100)
+	tree := NewRTree(items[:50], 8)
+	for _, it := range items[50:] {
+		tree.Insert(it)
+	}
+	if tree.Len() != 100 || tree.OverflowLen() != 50 {
+		t.Fatalf("Len=%d OverflowLen=%d", tree.Len(), tree.OverflowLen())
+	}
+	q := geo.NewAABB(geo.V2(0, 0), geo.V2(1000, 1000))
+	if got := len(tree.Search(q, nil)); got != 100 {
+		t.Fatalf("pre-rebuild search found %d", got)
+	}
+	tree.Rebuild()
+	if tree.OverflowLen() != 0 || tree.Len() != 100 {
+		t.Fatalf("post-rebuild Len=%d OverflowLen=%d", tree.Len(), tree.OverflowLen())
+	}
+	if got := len(tree.Search(q, nil)); got != 100 {
+		t.Fatalf("post-rebuild search found %d", got)
+	}
+}
+
+func TestRTreeNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	items := randomItems(rng, 300)
+	tree := NewRTree(items, 8)
+	for trial := 0; trial < 30; trial++ {
+		p := geo.V2(rng.Float64()*1000, rng.Float64()*1000)
+		got := tree.Nearest(p, 5)
+		if len(got) != 5 {
+			t.Fatalf("Nearest returned %d items", len(got))
+		}
+		// Compare against brute force ordering of box distances.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Bounds().DistanceToPoint(p)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			d := it.Bounds().DistanceToPoint(p)
+			if math.Abs(d-dists[i]) > 1e-9 {
+				t.Fatalf("Nearest[%d] dist %v, want %v", i, d, dists[i])
+			}
+		}
+	}
+}
+
+func TestRTreeVisitEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	items := randomItems(rng, 200)
+	tree := NewRTree(items, 8)
+	count := 0
+	tree.Visit(geo.NewAABB(geo.V2(0, 0), geo.V2(1000, 1000)), func(Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("Visit count = %d, want 10", count)
+	}
+}
+
+func TestRTreeEmpty(t *testing.T) {
+	tree := NewRTree(nil, 8)
+	if got := tree.Search(geo.NewAABB(geo.V2(0, 0), geo.V2(1, 1)), nil); len(got) != 0 {
+		t.Fatal("empty tree returned hits")
+	}
+	if got := tree.Nearest(geo.V2(0, 0), 3); got != nil {
+		t.Fatal("empty tree returned neighbours")
+	}
+}
+
+func TestGridIndexWithinRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	g := NewGridIndex(5)
+	pts := make([]geo.Vec2, 500)
+	for i := range pts {
+		pts[i] = geo.V2(rng.Float64()*200, rng.Float64()*200)
+	}
+	g.AddAll(pts)
+	if g.Len() != 500 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geo.V2(rng.Float64()*200, rng.Float64()*200)
+		r := rng.Float64() * 20
+		got := g.WithinRadius(q, r, nil)
+		want := 0
+		for _, p := range pts {
+			if p.Dist(q) <= r {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("WithinRadius found %d, want %d", len(got), want)
+		}
+		if c := g.CountWithin(q, r); c != want {
+			t.Fatalf("CountWithin = %d, want %d", c, want)
+		}
+		for _, id := range got {
+			if g.Point(id).Dist(q) > r {
+				t.Fatalf("point %d outside radius", id)
+			}
+		}
+	}
+}
+
+func TestGridIndexNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	g := NewGridIndex(3)
+	pts := make([]geo.Vec2, 300)
+	for i := range pts {
+		pts[i] = geo.V2(rng.Float64()*100, rng.Float64()*100)
+	}
+	g.AddAll(pts)
+	for trial := 0; trial < 50; trial++ {
+		q := geo.V2(rng.Float64()*140-20, rng.Float64()*140-20)
+		id, dist, ok := g.NearestPoint(q)
+		if !ok {
+			t.Fatal("NearestPoint failed")
+		}
+		bestD := math.Inf(1)
+		for _, p := range pts {
+			if d := p.Dist(q); d < bestD {
+				bestD = d
+			}
+		}
+		if math.Abs(dist-bestD) > 1e-9 {
+			t.Fatalf("NearestPoint dist %v, want %v (id %d)", dist, bestD, id)
+		}
+	}
+	empty := NewGridIndex(1)
+	if _, _, ok := empty.NearestPoint(geo.V2(0, 0)); ok {
+		t.Fatal("empty grid returned a point")
+	}
+}
+
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for _, n := range []int{1, 2, 7, 100, 513} {
+		pts := make([]geo.Vec2, n)
+		for i := range pts {
+			pts[i] = geo.V2(rng.NormFloat64()*50, rng.NormFloat64()*50)
+		}
+		tree := NewKDTree(pts)
+		if tree.Len() != n {
+			t.Fatalf("Len = %d", tree.Len())
+		}
+		for trial := 0; trial < 40; trial++ {
+			q := geo.V2(rng.NormFloat64()*60, rng.NormFloat64()*60)
+			k := 1 + rng.Intn(5)
+			got := tree.KNearest(q, k)
+			// Brute force.
+			type pd struct {
+				i int
+				d float64
+			}
+			all := make([]pd, n)
+			for i, p := range pts {
+				all[i] = pd{i, p.Dist(q)}
+			}
+			sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+			wantK := k
+			if wantK > n {
+				wantK = n
+			}
+			if len(got) != wantK {
+				t.Fatalf("n=%d k=%d: got %d results", n, k, len(got))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-all[i].d) > 1e-9 {
+					t.Fatalf("n=%d k=%d: result %d dist %v, want %v", n, k, i, got[i].Dist, all[i].d)
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeWithinRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	pts := make([]geo.Vec2, 400)
+	for i := range pts {
+		pts[i] = geo.V2(rng.Float64()*100, rng.Float64()*100)
+	}
+	tree := NewKDTree(pts)
+	for trial := 0; trial < 40; trial++ {
+		q := geo.V2(rng.Float64()*100, rng.Float64()*100)
+		r := rng.Float64() * 15
+		got := tree.WithinRadius(q, r)
+		want := map[int]bool{}
+		for i, p := range pts {
+			if p.Dist(q) <= r {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("WithinRadius found %d, want %d", len(got), len(want))
+		}
+		for _, i := range got {
+			if !want[i] {
+				t.Fatalf("unexpected index %d", i)
+			}
+		}
+	}
+}
+
+func TestKDTreeNearestSingle(t *testing.T) {
+	tree := NewKDTree([]geo.Vec2{geo.V2(5, 5)})
+	idx, d, ok := tree.Nearest(geo.V2(8, 9))
+	if !ok || idx != 0 || math.Abs(d-5) > 1e-9 {
+		t.Fatalf("Nearest = %d %v %v", idx, d, ok)
+	}
+	empty := NewKDTree(nil)
+	if _, _, ok := empty.Nearest(geo.V2(0, 0)); ok {
+		t.Fatal("empty KD-tree returned a point")
+	}
+}
+
+func BenchmarkRTreeSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	tree := NewRTree(randomItems(rng, 10000), 16)
+	var buf []Item
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := geo.V2(rng.Float64()*1000, rng.Float64()*1000)
+		buf = tree.Search(geo.NewAABB(c, c.Add(geo.V2(50, 50))), buf[:0])
+	}
+}
+
+func BenchmarkKDTreeKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	pts := make([]geo.Vec2, 10000)
+	for i := range pts {
+		pts[i] = geo.V2(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	tree := NewKDTree(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.KNearest(geo.V2(rng.Float64()*1000, rng.Float64()*1000), 8)
+	}
+}

@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// DecodeBinary parses a map from the compact vector format. It returns
+// ErrBadFormat (wrapped) for structurally invalid input and ErrVersion
+// for unknown versions.
+func DecodeBinary(data []byte) (*core.Map, error) {
+	r := &reader{buf: bytes.NewReader(data)}
+	magic, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("magic %x: %w", magic, ErrBadFormat)
+	}
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("version %d: %w", version, ErrVersion)
+	}
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	clock, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewMap(name)
+	m.SetClock(clock)
+
+	nPoints, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nPoints; i++ {
+		var p core.PointElement
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		p.ID = core.ID(id)
+		class, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		p.Class = core.Class(class)
+		x, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		y, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		z, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		p.Pos = geo.V3(float64(x)*coordUnit, float64(y)*coordUnit, float64(z)*coordUnit)
+		if p.Heading, err = r.float(); err != nil {
+			return nil, err
+		}
+		if p.Attr, err = r.attrs(); err != nil {
+			return nil, err
+		}
+		if p.Meta, err = r.meta(); err != nil {
+			return nil, err
+		}
+		if err := m.RestorePoint(p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+
+	nLines, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nLines; i++ {
+		var l core.LineElement
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.ID = core.ID(id)
+		class, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.Class = core.Class(class)
+		btype, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.Boundary = core.BoundaryType(btype)
+		if l.Geometry, err = r.polyline(); err != nil {
+			return nil, err
+		}
+		if l.Attr, err = r.attrs(); err != nil {
+			return nil, err
+		}
+		if l.Meta, err = r.meta(); err != nil {
+			return nil, err
+		}
+		if err := m.RestoreLine(l); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+
+	nAreas, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nAreas; i++ {
+		var a core.AreaElement
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		a.ID = core.ID(id)
+		class, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		a.Class = core.Class(class)
+		pl, err := r.polyline()
+		if err != nil {
+			return nil, err
+		}
+		a.Outline = geo.Polygon(pl)
+		if a.Attr, err = r.attrs(); err != nil {
+			return nil, err
+		}
+		if a.Meta, err = r.meta(); err != nil {
+			return nil, err
+		}
+		if err := m.RestoreArea(a); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+
+	nLL, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nLL; i++ {
+		var l core.Lanelet
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.ID = core.ID(id)
+		left, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		right, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.Left, l.Right = core.ID(left), core.ID(right)
+		if l.Centerline, err = r.polyline(); err != nil {
+			return nil, err
+		}
+		lt, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.Type = core.LaneType(lt)
+		if l.SpeedLimit, err = r.float(); err != nil {
+			return nil, err
+		}
+		if l.Successors, err = r.ids(); err != nil {
+			return nil, err
+		}
+		ln, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.LeftNeighbor, l.RightNeighbor = core.ID(ln), core.ID(rn)
+		if l.Regulatory, err = r.ids(); err != nil {
+			return nil, err
+		}
+		if l.Meta, err = r.meta(); err != nil {
+			return nil, err
+		}
+		if err := m.RestoreLanelet(l); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+
+	nB, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nB; i++ {
+		var b core.LaneBundle
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b.ID = core.ID(id)
+		if b.RoadID, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if b.Lanelets, err = r.ids(); err != nil {
+			return nil, err
+		}
+		if b.RefLine, err = r.polyline(); err != nil {
+			return nil, err
+		}
+		if b.Meta, err = r.meta(); err != nil {
+			return nil, err
+		}
+		if err := m.RestoreBundle(b); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+
+	nR, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nR; i++ {
+		var reg core.RegulatoryElement
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		reg.ID = core.ID(id)
+		kind, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		reg.Kind = core.RegulatoryKind(kind)
+		if reg.Devices, err = r.ids(); err != nil {
+			return nil, err
+		}
+		sl, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		reg.StopLine = core.ID(sl)
+		if reg.Lanelets, err = r.ids(); err != nil {
+			return nil, err
+		}
+		if reg.Value, err = r.float(); err != nil {
+			return nil, err
+		}
+		if reg.Meta, err = r.meta(); err != nil {
+			return nil, err
+		}
+		if err := m.RestoreRegulatory(reg); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	return m, nil
+}

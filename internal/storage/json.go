@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// JSON interchange DTOs. The JSON codec trades size for inspectability;
+// the binary codec is the storage format.
+
+type jsonMap struct {
+	Name     string       `json:"name"`
+	Clock    uint64       `json:"clock"`
+	Points   []jsonPoint  `json:"points,omitempty"`
+	Lines    []jsonLine   `json:"lines,omitempty"`
+	Areas    []jsonArea   `json:"areas,omitempty"`
+	Lanelets []jsonLane   `json:"lanelets,omitempty"`
+	Bundles  []jsonBundle `json:"bundles,omitempty"`
+	Regs     []jsonReg    `json:"regulatory,omitempty"`
+}
+
+type jsonMeta struct {
+	Version    int     `json:"v"`
+	Stamp      uint64  `json:"t"`
+	Confidence float64 `json:"conf"`
+	Observy    int     `json:"obs,omitempty"`
+	Source     string  `json:"src,omitempty"`
+}
+
+type jsonPoint struct {
+	ID      core.ID           `json:"id"`
+	Class   string            `json:"class"`
+	Pos     [3]float64        `json:"pos"`
+	Heading float64           `json:"heading,omitempty"`
+	Attr    map[string]string `json:"attr,omitempty"`
+	Meta    jsonMeta          `json:"meta"`
+}
+
+type jsonLine struct {
+	ID       core.ID           `json:"id"`
+	Class    string            `json:"class"`
+	Boundary string            `json:"boundary,omitempty"`
+	Geometry [][2]float64      `json:"geometry"`
+	Attr     map[string]string `json:"attr,omitempty"`
+	Meta     jsonMeta          `json:"meta"`
+}
+
+type jsonArea struct {
+	ID      core.ID           `json:"id"`
+	Class   string            `json:"class"`
+	Outline [][2]float64      `json:"outline"`
+	Attr    map[string]string `json:"attr,omitempty"`
+	Meta    jsonMeta          `json:"meta"`
+}
+
+type jsonLane struct {
+	ID         core.ID      `json:"id"`
+	Left       core.ID      `json:"left"`
+	Right      core.ID      `json:"right"`
+	Centerline [][2]float64 `json:"centerline"`
+	Type       string       `json:"type"`
+	SpeedLimit float64      `json:"speed_limit,omitempty"`
+	Successors []core.ID    `json:"successors,omitempty"`
+	LeftNb     core.ID      `json:"left_neighbor,omitempty"`
+	RightNb    core.ID      `json:"right_neighbor,omitempty"`
+	Regulatory []core.ID    `json:"regulatory,omitempty"`
+	Meta       jsonMeta     `json:"meta"`
+}
+
+type jsonBundle struct {
+	ID       core.ID      `json:"id"`
+	RoadID   int64        `json:"road_id"`
+	Lanelets []core.ID    `json:"lanelets"`
+	RefLine  [][2]float64 `json:"ref_line"`
+	Meta     jsonMeta     `json:"meta"`
+}
+
+type jsonReg struct {
+	ID       core.ID   `json:"id"`
+	Kind     string    `json:"kind"`
+	Devices  []core.ID `json:"devices,omitempty"`
+	StopLine core.ID   `json:"stop_line,omitempty"`
+	Lanelets []core.ID `json:"lanelets,omitempty"`
+	Value    float64   `json:"value,omitempty"`
+	Meta     jsonMeta  `json:"meta"`
+}
+
+func toJSONMeta(m core.Meta) jsonMeta {
+	return jsonMeta{Version: m.Version, Stamp: m.Stamp, Confidence: m.Confidence, Observy: m.Observy, Source: m.Source}
+}
+
+func fromJSONMeta(m jsonMeta) core.Meta {
+	return core.Meta{Version: m.Version, Stamp: m.Stamp, Confidence: m.Confidence, Observy: m.Observy, Source: m.Source}
+}
+
+func toPairs(pl geo.Polyline) [][2]float64 {
+	out := make([][2]float64, len(pl))
+	for i, p := range pl {
+		out[i] = [2]float64{p.X, p.Y}
+	}
+	return out
+}
+
+func fromPairs(pairs [][2]float64) geo.Polyline {
+	out := make(geo.Polyline, len(pairs))
+	for i, p := range pairs {
+		out[i] = geo.V2(p[0], p[1])
+	}
+	return out
+}
+
+var classByName = func() map[string]core.Class {
+	out := make(map[string]core.Class)
+	for c := core.Class(0); c.Valid(); c++ {
+		out[c.String()] = c
+	}
+	return out
+}()
+
+// EncodeJSON serialises a map to indented JSON.
+func EncodeJSON(m *core.Map) ([]byte, error) {
+	jm := jsonMap{Name: m.Name, Clock: m.Clock}
+	for _, id := range m.PointIDs() {
+		p, _ := m.Point(id)
+		jm.Points = append(jm.Points, jsonPoint{
+			ID: p.ID, Class: p.Class.String(),
+			Pos:     [3]float64{p.Pos.X, p.Pos.Y, p.Pos.Z},
+			Heading: p.Heading, Attr: p.Attr, Meta: toJSONMeta(p.Meta),
+		})
+	}
+	for _, id := range m.LineIDs() {
+		l, _ := m.Line(id)
+		jm.Lines = append(jm.Lines, jsonLine{
+			ID: l.ID, Class: l.Class.String(), Boundary: l.Boundary.String(),
+			Geometry: toPairs(l.Geometry), Attr: l.Attr, Meta: toJSONMeta(l.Meta),
+		})
+	}
+	for _, id := range m.AreaIDs() {
+		a, _ := m.Area(id)
+		jm.Areas = append(jm.Areas, jsonArea{
+			ID: a.ID, Class: a.Class.String(),
+			Outline: toPairs(geo.Polyline(a.Outline)), Attr: a.Attr, Meta: toJSONMeta(a.Meta),
+		})
+	}
+	for _, id := range m.LaneletIDs() {
+		l, _ := m.Lanelet(id)
+		jm.Lanelets = append(jm.Lanelets, jsonLane{
+			ID: l.ID, Left: l.Left, Right: l.Right,
+			Centerline: toPairs(l.Centerline), Type: l.Type.String(),
+			SpeedLimit: l.SpeedLimit, Successors: l.Successors,
+			LeftNb: l.LeftNeighbor, RightNb: l.RightNeighbor,
+			Regulatory: l.Regulatory, Meta: toJSONMeta(l.Meta),
+		})
+	}
+	for _, id := range m.BundleIDs() {
+		b, _ := m.Bundle(id)
+		jm.Bundles = append(jm.Bundles, jsonBundle{
+			ID: b.ID, RoadID: b.RoadID, Lanelets: b.Lanelets,
+			RefLine: toPairs(b.RefLine), Meta: toJSONMeta(b.Meta),
+		})
+	}
+	for _, id := range m.RegulatoryIDs() {
+		r, _ := m.Regulatory(id)
+		jm.Regs = append(jm.Regs, jsonReg{
+			ID: r.ID, Kind: r.Kind.String(), Devices: r.Devices,
+			StopLine: r.StopLine, Lanelets: r.Lanelets, Value: r.Value,
+			Meta: toJSONMeta(r.Meta),
+		})
+	}
+	return json.MarshalIndent(jm, "", "  ")
+}
+
+var boundaryByName = map[string]core.BoundaryType{
+	"unknown": core.BoundaryUnknown, "solid": core.BoundarySolid,
+	"dashed": core.BoundaryDashed, "curb": core.BoundaryCurb,
+	"virtual": core.BoundaryVirtual,
+}
+
+var laneTypeByName = map[string]core.LaneType{
+	"driving": core.LaneDriving, "shoulder": core.LaneShoulder,
+	"bike": core.LaneBike, "bus": core.LaneBus, "parking": core.LaneParking,
+	"entry": core.LaneEntry, "exit": core.LaneExit,
+}
+
+var regKindByName = map[string]core.RegulatoryKind{
+	"unknown": core.RegUnknown, "speed_limit": core.RegSpeedLimit,
+	"stop": core.RegStop, "yield": core.RegYield,
+	"traffic_light": core.RegTrafficLight,
+}
+
+// DecodeJSON parses a map from the JSON interchange format.
+func DecodeJSON(data []byte) (*core.Map, error) {
+	var jm jsonMap
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	m := core.NewMap(jm.Name)
+	m.SetClock(jm.Clock)
+	for _, p := range jm.Points {
+		if err := m.RestorePoint(core.PointElement{
+			ID: p.ID, Class: classByName[p.Class],
+			Pos:     geo.V3(p.Pos[0], p.Pos[1], p.Pos[2]),
+			Heading: p.Heading, Attr: p.Attr, Meta: fromJSONMeta(p.Meta),
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	for _, l := range jm.Lines {
+		if err := m.RestoreLine(core.LineElement{
+			ID: l.ID, Class: classByName[l.Class], Boundary: boundaryByName[l.Boundary],
+			Geometry: fromPairs(l.Geometry), Attr: l.Attr, Meta: fromJSONMeta(l.Meta),
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	for _, a := range jm.Areas {
+		if err := m.RestoreArea(core.AreaElement{
+			ID: a.ID, Class: classByName[a.Class],
+			Outline: geo.Polygon(fromPairs(a.Outline)), Attr: a.Attr, Meta: fromJSONMeta(a.Meta),
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	for _, l := range jm.Lanelets {
+		if err := m.RestoreLanelet(core.Lanelet{
+			ID: l.ID, Left: l.Left, Right: l.Right,
+			Centerline: fromPairs(l.Centerline), Type: laneTypeByName[l.Type],
+			SpeedLimit: l.SpeedLimit, Successors: l.Successors,
+			LeftNeighbor: l.LeftNb, RightNeighbor: l.RightNb,
+			Regulatory: l.Regulatory, Meta: fromJSONMeta(l.Meta),
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	for _, b := range jm.Bundles {
+		if err := m.RestoreBundle(core.LaneBundle{
+			ID: b.ID, RoadID: b.RoadID, Lanelets: b.Lanelets,
+			RefLine: fromPairs(b.RefLine), Meta: fromJSONMeta(b.Meta),
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	for _, r := range jm.Regs {
+		if err := m.RestoreRegulatory(core.RegulatoryElement{
+			ID: r.ID, Kind: regKindByName[r.Kind], Devices: r.Devices,
+			StopLine: r.StopLine, Lanelets: r.Lanelets, Value: r.Value,
+			Meta: fromJSONMeta(r.Meta),
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	return m, nil
+}

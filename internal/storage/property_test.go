@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// randomMap builds a structurally valid random map: points, lines,
+// lanelets with real bound references, regulatory elements with real
+// device references.
+func randomMap(rng *rand.Rand) *core.Map {
+	m := core.NewMap("rand")
+	classes := []core.Class{
+		core.ClassSign, core.ClassTrafficLight, core.ClassPole, core.ClassBarrier,
+	}
+	nPts := rng.Intn(20)
+	var ptIDs []core.ID
+	for i := 0; i < nPts; i++ {
+		id := m.AddPoint(core.PointElement{
+			Class: classes[rng.Intn(len(classes))],
+			Pos: geo.V3(rng.NormFloat64()*500, rng.NormFloat64()*500,
+				rng.Float64()*5),
+			Heading: rng.Float64()*6 - 3,
+			Attr:    randAttr(rng),
+			Meta:    randMeta(rng),
+		})
+		ptIDs = append(ptIDs, id)
+	}
+	nLanes := 1 + rng.Intn(6)
+	var laneIDs []core.ID
+	for i := 0; i < nLanes; i++ {
+		cl := make(geo.Polyline, 2+rng.Intn(6))
+		p := geo.V2(rng.NormFloat64()*500, rng.NormFloat64()*500)
+		for j := range cl {
+			cl[j] = p
+			p = p.Add(geo.V2(5+rng.Float64()*20, rng.NormFloat64()*3))
+		}
+		id, err := m.AddLaneFromCenterline(core.LaneSpec{
+			Centerline: cl, Width: 2.5 + rng.Float64()*2,
+			Type:       core.LaneType(rng.Intn(4)),
+			SpeedLimit: rng.Float64() * 40,
+			Source:     "prop",
+		})
+		if err != nil {
+			continue
+		}
+		laneIDs = append(laneIDs, id)
+	}
+	// Random successor relations among created lanelets.
+	for _, a := range laneIDs {
+		if rng.Float64() < 0.5 && len(laneIDs) > 1 {
+			b := laneIDs[rng.Intn(len(laneIDs))]
+			if b != a {
+				_ = m.Connect(a, b)
+			}
+		}
+	}
+	// Regulatory element referencing real devices and lanelets.
+	if len(ptIDs) > 0 && len(laneIDs) > 0 && rng.Float64() < 0.7 {
+		reg := m.AddRegulatory(core.RegulatoryElement{
+			Kind:    core.RegulatoryKind(1 + rng.Intn(4)),
+			Devices: []core.ID{ptIDs[rng.Intn(len(ptIDs))]},
+			Value:   rng.Float64() * 30,
+		})
+		_ = m.AttachRegulatory(laneIDs[rng.Intn(len(laneIDs))], reg)
+	}
+	// Random area.
+	if rng.Float64() < 0.5 {
+		c := geo.V2(rng.NormFloat64()*200, rng.NormFloat64()*200)
+		m.AddArea(core.AreaElement{
+			Class: core.ClassCrosswalk,
+			Outline: geo.Polygon{
+				c, c.Add(geo.V2(4, 0)), c.Add(geo.V2(4, 3)), c.Add(geo.V2(0, 3)),
+			},
+			Meta: randMeta(rng),
+		})
+	}
+	return m
+}
+
+func randAttr(rng *rand.Rand) map[string]string {
+	if rng.Float64() < 0.5 {
+		return nil
+	}
+	out := map[string]string{}
+	for i := 0; i < rng.Intn(3)+1; i++ {
+		out[string(rune('a'+i))] = string(rune('x' + rng.Intn(3)))
+	}
+	return out
+}
+
+func randMeta(rng *rand.Rand) core.Meta {
+	return core.Meta{
+		Confidence: rng.Float64(),
+		Observy:    rng.Intn(50),
+		Source:     []string{"", "lidar", "crowd", "survey"}[rng.Intn(4)],
+	}
+}
+
+// TestPropertyBinaryRoundTrip fuzzes the binary codec with 150 random
+// structurally-valid maps.
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	for trial := 0; trial < 150; trial++ {
+		m := randomMap(rng)
+		back, err := DecodeBinary(EncodeBinary(m))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mapsEquivalent(t, m, back)
+		// Validation issues must be preserved (usually none; the builder
+		// makes valid maps).
+		if got, want := len(back.Validate()), len(m.Validate()); got != want {
+			t.Fatalf("trial %d: validity changed: %d vs %d", trial, got, want)
+		}
+	}
+}
+
+// TestPropertyJSONRoundTrip fuzzes the JSON codec the same way.
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	for trial := 0; trial < 60; trial++ {
+		m := randomMap(rng)
+		data, err := EncodeJSON(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mapsEquivalent(t, m, back)
+	}
+}
+
+// TestPropertyTilerPartition: splitting a map into tiles and reloading it
+// preserves every element exactly, at several tile sizes.
+func TestPropertyTilerPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	for _, tileSize := range []float64{100, 350, 5000} {
+		for trial := 0; trial < 25; trial++ {
+			m := randomMap(rng)
+			if m.NumElements() == 0 {
+				continue
+			}
+			store := NewMemStore()
+			tiler := Tiler{TileSize: tileSize}
+			if _, err := tiler.SaveMap(store, m, "l"); err != nil {
+				t.Fatal(err)
+			}
+			back, err := tiler.LoadMap(store, "l", m.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapsEquivalent(t, m, back)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math"
+
+	"hdmaps/internal/core"
+)
+
+// RawParams configures EncodeRawSize, which models the storage footprint
+// of point-cloud-backed HD map formats: instead of vector geometry, such
+// formats persist a dense laser scan of the road surface (the "large-
+// scale laser point cloud data" Li et al. remove to get their two-order-
+// of-magnitude saving).
+type RawParams struct {
+	// PointsPerSqM is the surface scan density (default 30, a mobile-
+	// mapping-system figure after merging traversals).
+	PointsPerSqM float64
+	// BytesPerPoint is the per-return storage (default 16: 3×float32
+	// position + float32 intensity).
+	BytesPerPoint int
+	// RoadWidth fallback when lanelets are absent (default 7 m).
+	RoadWidth float64
+}
+
+func (p *RawParams) defaults() {
+	if p.PointsPerSqM <= 0 {
+		p.PointsPerSqM = 30
+	}
+	if p.BytesPerPoint <= 0 {
+		p.BytesPerPoint = 16
+	}
+	if p.RoadWidth <= 0 {
+		p.RoadWidth = 7
+	}
+}
+
+// EncodeRawSize returns the byte size a raw point-cloud encoding of the
+// map's drivable surface would occupy. The cloud itself is not
+// materialised (it would be gigabytes for city maps); the size model is
+// surface area × density × bytes/point, plus the vector layer for
+// topology, exactly the composition of the formats the storage experiment
+// compares.
+func EncodeRawSize(m *core.Map, p RawParams) int64 {
+	p.defaults()
+	var area float64
+	for _, id := range m.LaneletIDs() {
+		l, _ := m.Lanelet(id)
+		// Approximate the lanelet surface as centreline length × width
+		// inferred from bound spacing.
+		width := 3.5
+		if lb, err := m.Line(l.Left); err == nil {
+			if rb, err := m.Line(l.Right); err == nil && len(lb.Geometry) > 0 && len(rb.Geometry) > 0 {
+				width = lb.Geometry.DistanceTo(rb.Geometry[0])
+				if width <= 0 || math.IsNaN(width) {
+					width = 3.5
+				}
+			}
+		}
+		area += l.Length() * width
+	}
+	if area == 0 {
+		// No relational layer: estimate from line extents.
+		var length float64
+		for _, id := range m.LineIDs() {
+			l, _ := m.Line(id)
+			length += l.Geometry.Length()
+		}
+		area = length * p.RoadWidth / 2
+	}
+	points := area * p.PointsPerSqM
+	return int64(points)*int64(p.BytesPerPoint) + int64(len(EncodeBinary(m)))
+}
+
+// SampleRawChunk materialises a small representative chunk of the raw
+// encoding (capped at maxPoints) so tests can validate the layout without
+// allocating city-scale buffers: packed little-endian float32 x, y, z,
+// intensity records.
+func SampleRawChunk(m *core.Map, p RawParams, maxPoints int) []byte {
+	p.defaults()
+	if maxPoints <= 0 {
+		return nil
+	}
+	buf := make([]byte, 0, maxPoints*p.BytesPerPoint)
+	var rec [16]byte
+	n := 0
+	for _, id := range m.LaneletIDs() {
+		if n >= maxPoints {
+			break
+		}
+		l, _ := m.Lanelet(id)
+		L := l.Length()
+		step := math.Sqrt(1 / p.PointsPerSqM)
+		for s := 0.0; s < L && n < maxPoints; s += step {
+			pt := l.Centerline.At(s)
+			binary.LittleEndian.PutUint32(rec[0:], math.Float32bits(float32(pt.X)))
+			binary.LittleEndian.PutUint32(rec[4:], math.Float32bits(float32(pt.Y)))
+			binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(float32(0)))
+			binary.LittleEndian.PutUint32(rec[12:], math.Float32bits(float32(0.1)))
+			buf = append(buf, rec[:p.BytesPerPoint]...)
+			n++
+		}
+	}
+	return buf
+}

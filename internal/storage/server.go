@@ -1,0 +1,322 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hdmaps/internal/core"
+)
+
+// TileServer exposes a TileStore over HTTP — the central map-distribution
+// node of the ecosystem (vehicles pull tiles for their region; update
+// pipelines push patched tiles; decoupled layers update independently).
+//
+// Routes:
+//
+//	GET    /v1/layers                    -> ["base", "crowd-signs", ...]
+//	GET    /v1/tiles/{layer}             -> [{"tx":..,"ty":..}, ...]
+//	GET    /v1/tiles/{layer}/{tx}/{ty}   -> tile bytes (binary map)
+//	PUT    /v1/tiles/{layer}/{tx}/{ty}   <- tile bytes
+//	DELETE /v1/tiles/{layer}/{tx}/{ty}
+//
+// Concurrency follows the store's guarantees; the server adds a
+// read-write mutex so a PUT is atomic relative to GETs of the same key.
+type TileServer struct {
+	store TileStore
+	mu    sync.RWMutex
+	// MaxTileBytes bounds accepted uploads (default 16 MiB).
+	MaxTileBytes int64
+}
+
+// NewTileServer wraps a store.
+func NewTileServer(store TileStore) *TileServer {
+	return &TileServer{store: store, MaxTileBytes: 16 << 20}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *TileServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	parts := strings.Split(path, "/")
+	switch {
+	case len(parts) == 2 && parts[0] == "v1" && parts[1] == "layers" && r.Method == http.MethodGet:
+		s.handleLayers(w)
+	case len(parts) == 3 && parts[0] == "v1" && parts[1] == "tiles" && r.Method == http.MethodGet:
+		s.handleList(w, parts[2])
+	case len(parts) == 5 && parts[0] == "v1" && parts[1] == "tiles":
+		key, err := parseKey(parts[2], parts[3], parts[4])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			s.handleGet(w, key)
+		case http.MethodPut:
+			s.handlePut(w, r, key)
+		case http.MethodDelete:
+			s.handleDelete(w, key)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func parseKey(layer, txs, tys string) (TileKey, error) {
+	if layer == "" {
+		return TileKey{}, errors.New("empty layer")
+	}
+	tx, err := strconv.ParseInt(txs, 10, 32)
+	if err != nil {
+		return TileKey{}, fmt.Errorf("bad tx: %w", err)
+	}
+	ty, err := strconv.ParseInt(tys, 10, 32)
+	if err != nil {
+		return TileKey{}, fmt.Errorf("bad ty: %w", err)
+	}
+	return TileKey{Layer: layer, TX: int32(tx), TY: int32(ty)}, nil
+}
+
+func (s *TileServer) handleLayers(w http.ResponseWriter) {
+	// Layers are discovered from the store by probing known keys; the
+	// TileStore interface lists per layer, so servers track layers by
+	// convention: a meta key per layer would be overkill for this use,
+	// and MemStore/DirStore iterate cheaply.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	layers := map[string]bool{}
+	switch st := s.store.(type) {
+	case *MemStore:
+		st.mu.RLock()
+		for k := range st.tiles {
+			layers[k.Layer] = true
+		}
+		st.mu.RUnlock()
+	case *DirStore:
+		ents, err := listDirLayers(st.root)
+		if err == nil {
+			for _, l := range ents {
+				layers[l] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(layers))
+	for l := range layers {
+		out = append(out, l)
+	}
+	sortStrings(out)
+	writeJSON(w, out)
+}
+
+func (s *TileServer) handleList(w http.ResponseWriter, layer string) {
+	s.mu.RLock()
+	keys, err := s.store.Keys(layer)
+	s.mu.RUnlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type entry struct {
+		TX int32 `json:"tx"`
+		TY int32 `json:"ty"`
+	}
+	out := make([]entry, len(keys))
+	for i, k := range keys {
+		out[i] = entry{TX: k.TX, TY: k.TY}
+	}
+	writeJSON(w, out)
+}
+
+func (s *TileServer) handleGet(w http.ResponseWriter, key TileKey) {
+	s.mu.RLock()
+	data, err := s.store.Get(key)
+	s.mu.RUnlock()
+	if errors.Is(err, ErrNoTile) {
+		http.Error(w, "tile not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (s *TileServer) handlePut(w http.ResponseWriter, r *http.Request, key TileKey) {
+	limit := s.MaxTileBytes
+	if limit <= 0 {
+		limit = 16 << 20
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(data)) > limit {
+		http.Error(w, "tile too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// Tiles must decode as maps: the server refuses corrupt uploads so a
+	// bad producer cannot poison consumers.
+	if _, err := DecodeBinary(data); err != nil {
+		http.Error(w, fmt.Sprintf("invalid tile: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+	s.mu.Lock()
+	err = s.store.Put(key, data)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *TileServer) handleDelete(w http.ResponseWriter, key TileKey) {
+	s.mu.Lock()
+	err := s.store.Delete(key)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// listDirLayers returns the layer directories of a DirStore root.
+func listDirLayers(root string) ([]string, error) {
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// Client pulls tiles from a TileServer — the vehicle-side consumer.
+type Client struct {
+	// Base is the server URL, e.g. "http://maps.internal:8080".
+	Base string
+	// HTTP is the client to use (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Layers lists the server's layers.
+func (c *Client) Layers() ([]string, error) {
+	resp, err := c.http().Get(c.Base + "/v1/layers")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("storage client: layers: %s", resp.Status)
+	}
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetTile fetches one tile's bytes; ErrNoTile when absent.
+func (c *Client) GetTile(key TileKey) ([]byte, error) {
+	url := fmt.Sprintf("%s/v1/tiles/%s/%d/%d", c.Base, key.Layer, key.TX, key.TY)
+	resp, err := c.http().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%v: %w", key, ErrNoTile)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("storage client: get tile: %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// PutTile uploads one tile.
+func (c *Client) PutTile(key TileKey, data []byte) error {
+	url := fmt.Sprintf("%s/v1/tiles/%s/%d/%d", c.Base, key.Layer, key.TX, key.TY)
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("storage client: put tile: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// FetchRegion downloads all tiles of a layer whose coordinates fall in
+// [tx0,tx1]×[ty0,ty1] and stitches them into one map — the vehicle's
+// map-region pull.
+func (c *Client) FetchRegion(layer string, tx0, ty0, tx1, ty1 int32, name string) (*core.Map, error) {
+	resp, err := c.http().Get(c.Base + "/v1/tiles/" + layer)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("storage client: list tiles: %s", resp.Status)
+	}
+	var keys []struct {
+		TX int32 `json:"tx"`
+		TY int32 `json:"ty"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return nil, err
+	}
+	store := NewMemStore()
+	found := 0
+	for _, k := range keys {
+		if k.TX < tx0 || k.TX > tx1 || k.TY < ty0 || k.TY > ty1 {
+			continue
+		}
+		key := TileKey{Layer: layer, TX: k.TX, TY: k.TY}
+		data, err := c.GetTile(key)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Put(key, data); err != nil {
+			return nil, err
+		}
+		found++
+	}
+	if found == 0 {
+		return nil, fmt.Errorf("region empty: %w", ErrNoTile)
+	}
+	return Tiler{}.LoadMap(store, layer, name)
+}

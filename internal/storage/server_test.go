@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client, *MemStore) {
+	t.Helper()
+	store := NewMemStore()
+	srv := httptest.NewServer(NewTileServer(store))
+	t.Cleanup(srv.Close)
+	return srv, &Client{Base: srv.URL}, store
+}
+
+func TestTileServerRoundTrip(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	m := testWorld(t, 501)
+	tiler := Tiler{TileSize: 200}
+	tiles := tiler.Split(m, "base")
+	// Push every tile through the HTTP API.
+	for key, tm := range tiles {
+		if err := client.PutTile(key, EncodeBinary(tm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Layer discovery.
+	layers, err := client.Layers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 1 || layers[0] != "base" {
+		t.Fatalf("layers = %v", layers)
+	}
+	// Pull the whole region back and compare.
+	back, err := client.FetchRegion("base", -100, -100, 100, 100, m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapsEquivalent(t, m, back)
+}
+
+func TestTileServerErrors(t *testing.T) {
+	srv, client, _ := newTestServer(t)
+	// Missing tile -> ErrNoTile through the client.
+	if _, err := client.GetTile(TileKey{Layer: "base", TX: 9, TY: 9}); !errors.Is(err, ErrNoTile) {
+		t.Errorf("missing tile err = %v", err)
+	}
+	// Corrupt upload rejected with 422.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/tiles/base/0/0", strings.NewReader("garbage"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("corrupt PUT status = %d", resp.StatusCode)
+	}
+	// Bad coordinates -> 400.
+	resp, err = http.Get(srv.URL + "/v1/tiles/base/xx/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad coord status = %d", resp.StatusCode)
+	}
+	// Unknown route -> 404.
+	resp, err = http.Get(srv.URL + "/v2/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route status = %d", resp.StatusCode)
+	}
+	// Oversize upload -> 413.
+	ts, ok := srvHandler(srv)
+	if ok {
+		ts.MaxTileBytes = 8
+		req, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/tiles/base/0/0", strings.NewReader("0123456789abcdef"))
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversize status = %d", resp.StatusCode)
+		}
+	}
+	// Empty region.
+	if _, err := client.FetchRegion("base", 0, 0, 0, 0, "x"); !errors.Is(err, ErrNoTile) {
+		t.Errorf("empty region err = %v", err)
+	}
+}
+
+// srvHandler extracts the TileServer from an httptest server.
+func srvHandler(srv *httptest.Server) (*TileServer, bool) {
+	h, ok := srv.Config.Handler.(*TileServer)
+	return h, ok
+}
+
+func TestTileServerDelete(t *testing.T) {
+	srv, client, _ := newTestServer(t)
+	m := core_NewTinyMap(t)
+	key := TileKey{Layer: "base", TX: 0, TY: 0}
+	if err := client.PutTile(key, EncodeBinary(m)); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/tiles/base/0/0", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if _, err := client.GetTile(key); !errors.Is(err, ErrNoTile) {
+		t.Errorf("tile survived delete: %v", err)
+	}
+}
+
+func TestTileServerConcurrentAccess(t *testing.T) {
+	_, client, _ := newTestServer(t)
+	m := core_NewTinyMap(t)
+	data := EncodeBinary(m)
+	key := TileKey{Layer: "base", TX: 1, TY: 1}
+	if err := client.PutTile(key, data); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.GetTile(key); err != nil {
+				errs <- err
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := client.PutTile(key, data); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent access: %v", err)
+	}
+}
+
+// core_NewTinyMap builds a minimal valid map for server tests.
+func core_NewTinyMap(t *testing.T) *core.Map {
+	t.Helper()
+	m := core.NewMap("tiny")
+	m.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(1, 2, 2)})
+	return m
+}

@@ -1,0 +1,204 @@
+package crowdupdate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/geo"
+	"hdmaps/internal/mapeval"
+	"hdmaps/internal/worldgen"
+)
+
+func TestTrainBoostXORish(t *testing.T) {
+	// Linearly separable set: feature 0 above 0.5 = positive.
+	rng := rand.New(rand.NewSource(251))
+	var X [][]float64
+	var y []bool
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()
+		X = append(X, []float64{v, rng.Float64()})
+		y = append(y, v > 0.5)
+	}
+	b, err := TrainBoost(X, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range X {
+		if b.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	if correct < 195 {
+		t.Errorf("accuracy = %d/200", correct)
+	}
+	// Prob is monotone in the margin (may saturate to 1 for large
+	// margins).
+	if p := b.Prob([]float64{0.9, 0}); p <= 0.5 || p > 1 {
+		t.Errorf("Prob(high) = %v", p)
+	}
+	if p := b.Prob([]float64{0.1, 0}); p >= 0.5 || p <= 0 {
+		t.Errorf("Prob(low) = %v", p)
+	}
+}
+
+func TestTrainBoostNonLinear(t *testing.T) {
+	// Requires multiple stumps: positive iff both features high OR both
+	// low (XOR-like in thresholded space). Stumps can't solve XOR
+	// perfectly but boosting should beat chance clearly on a noisy
+	// margin version.
+	rng := rand.New(rand.NewSource(252))
+	var X [][]float64
+	var y []bool
+	for i := 0; i < 400; i++ {
+		a, b2 := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b2})
+		y = append(y, a+b2 > 1.0)
+	}
+	b, err := TrainBoost(X, y, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range X {
+		if b.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	if correct < 360 {
+		t.Errorf("accuracy = %d/400", correct)
+	}
+}
+
+func TestTrainBoostErrors(t *testing.T) {
+	if _, err := TrainBoost(nil, nil, 5); !errors.Is(err, ErrBadTraining) {
+		t.Errorf("empty err = %v", err)
+	}
+	// Single class.
+	X := [][]float64{{1}, {2}}
+	if _, err := TrainBoost(X, []bool{true, true}, 5); !errors.Is(err, ErrBadTraining) {
+		t.Errorf("single-class err = %v", err)
+	}
+	// Ragged.
+	if _, err := TrainBoost([][]float64{{1}, {1, 2}}, []bool{true, false}, 5); !errors.Is(err, ErrBadTraining) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+// buildSection returns a 400 m highway section world; when changed, a
+// construction site rearranges its signs and boundaries.
+func buildSection(t testing.TB, seed int64, changed bool) (*worldgen.Highway, *worldgen.World, geo.Polyline, interface{}) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 400, Lanes: 2, SignSpacing: 60,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := hw.RoutePolyline(hw.LaneChains[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		worldgen.ApplyConstruction(hw.World, worldgen.ConstructionSite{
+			Center: geo.V2(200, -5), Radius: 180,
+			RemoveProb: 0.5, MoveProb: 0.2, MoveStd: 3, AddCount: 3,
+			ShiftBoundaries: true, ShiftAmount: 1.0,
+		}, rng)
+	}
+	return hw, hw.World, route, nil
+}
+
+func TestFeaturesDiscriminate(t *testing.T) {
+	rngU := rand.New(rand.NewSource(261))
+	rngC := rand.New(rand.NewSource(262))
+	hwU, _, routeU, _ := buildSection(t, 263, false)
+	staleU := hwU.Map.Clone()
+	fu := ExtractFeatures(hwU.World, staleU, routeU, TraversalConfig{}, rngU)
+
+	hwC, _, routeC, _ := buildSection(t, 264, true)
+	// The on-board map is the PRISTINE version, so the changed world
+	// disagrees with it. Rebuild the pristine version from the same seed.
+	hwP, _, _, _ := buildSection(t, 264, false)
+	fc := ExtractFeatures(hwC.World, hwP.Map, routeC, TraversalConfig{}, rngC)
+
+	t.Logf("unchanged features: %+v", fu)
+	t.Logf("changed features:   %+v", fc)
+	// Miss rate and lane residual must be clearly higher on the changed
+	// section.
+	if fc[0] <= fu[0] {
+		t.Errorf("miss rate did not rise: %v vs %v", fc[0], fu[0])
+	}
+	if fc[4] <= fu[4] {
+		t.Errorf("lane residual did not rise: %v vs %v", fc[4], fu[4])
+	}
+	// Empty route gives zero features, not a panic.
+	zero := ExtractFeatures(hwU.World, staleU, nil, TraversalConfig{}, rngU)
+	if zero != (Features{}) {
+		t.Errorf("empty-route features = %+v", zero)
+	}
+}
+
+func TestMultiTraversalBeatsSingle(t *testing.T) {
+	// Small-scale version of the Pannen experiment: train a boost on
+	// labelled traversals, compare single- vs 5-traversal classification.
+	rng := rand.New(rand.NewSource(271))
+	type section struct {
+		world   *worldgen.World
+		onboard interface{}
+	}
+	var trainX [][]float64
+	var trainY []bool
+	collect := func(seed int64, changed bool, k int) []Features {
+		hw, _, route, _ := buildSection(t, seed, changed)
+		pristine, _, _, _ := buildSection(t, seed, false)
+		var out []Features
+		for i := 0; i < k; i++ {
+			out = append(out, ExtractFeatures(hw.World, pristine.Map, route,
+				TraversalConfig{Particles: 80}, rng))
+		}
+		return out
+	}
+	// Training set: 4 sections each way, 3 traversals each.
+	for s := int64(0); s < 4; s++ {
+		for _, changed := range []bool{false, true} {
+			for _, f := range collect(300+s, changed, 3) {
+				trainX = append(trainX, f.Vector())
+				trainY = append(trainY, changed)
+			}
+		}
+	}
+	b, err := TrainBoost(trainX, trainY, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluation: fresh sections.
+	var single, multi mapeval.BinaryScore
+	for s := int64(0); s < 4; s++ {
+		for _, changed := range []bool{false, true} {
+			travs := collect(400+s, changed, 5)
+			single.Add(b.Predict(travs[0].Vector()), changed)
+			multi.Add(AggregateScores(b, travs) > 0, changed)
+		}
+	}
+	t.Logf("single: sens %.2f spec %.2f | multi: sens %.2f spec %.2f",
+		single.Sensitivity(), single.Specificity(),
+		multi.Sensitivity(), multi.Specificity())
+	if multi.Accuracy() < single.Accuracy() {
+		t.Errorf("multi-traversal (%v) worse than single (%v)",
+			multi.Accuracy(), single.Accuracy())
+	}
+	if multi.Sensitivity() < 0.75 {
+		t.Errorf("multi-traversal sensitivity = %v", multi.Sensitivity())
+	}
+	_ = section{}
+}
+
+func TestAggregateScoresEmpty(t *testing.T) {
+	b := &Boost{Stumps: []Stump{{Feature: 0, Threshold: 0, Polarity: 1, Alpha: 1}}}
+	if AggregateScores(b, nil) != 0 {
+		t.Error("empty aggregate should be 0")
+	}
+}

@@ -1,0 +1,248 @@
+package crowdupdate
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/filters"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/sim"
+	"hdmaps/internal/worldgen"
+)
+
+// FeatureDim is the length of a traversal feature vector.
+const FeatureDim = 5
+
+// Features is one traversal's agreement profile against the on-board
+// map:
+//
+//	[0] sign miss rate        — mapped signs in view never detected
+//	[1] unmatched detections  — detections with no map counterpart, per km
+//	[2] mean sign residual    — metres, matched detections to map
+//	[3] PF divergence         — mean distance between the map-anchored and
+//	                            GPS-anchored particle filters
+//	[4] lane residual         — mean lane-observation distance to mapped
+//	                            boundaries
+type Features [FeatureDim]float64
+
+// Vector returns the features as a slice for the classifier.
+func (f Features) Vector() []float64 { return f[:] }
+
+// TraversalConfig tunes feature extraction.
+type TraversalConfig struct {
+	// Speed / SampleEvery control the drive (defaults 14 m/s, 6 m).
+	Speed, SampleEvery float64
+	// Particles per filter (default 150).
+	Particles int
+	// DetectorTPR / LaneDetectProb model per-traversal sensing quality
+	// (defaults 0.9 / 0.85); occlusion and weather push these down on
+	// real fleets, which is exactly the noise multi-traversal
+	// aggregation exists to suppress.
+	DetectorTPR, LaneDetectProb float64
+}
+
+func (c *TraversalConfig) defaults() {
+	if c.Speed <= 0 {
+		c.Speed = 14
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 6
+	}
+	if c.Particles <= 0 {
+		c.Particles = 150
+	}
+	if c.DetectorTPR == 0 {
+		c.DetectorTPR = 0.9
+	}
+	if c.LaneDetectProb == 0 {
+		c.LaneDetectProb = 0.85
+	}
+}
+
+// ExtractFeatures drives the route once through the (possibly changed)
+// world while holding the stale on-board map, and summarises the
+// disagreement. This is the per-traversal stage of the Pannen pipeline:
+// change detection → (job creation → map update) happens on aggregated
+// feature streams.
+func ExtractFeatures(w *worldgen.World, onboard *core.Map, route geo.Polyline, cfg TraversalConfig, rng *rand.Rand) Features {
+	cfg.defaults()
+	var f Features
+	if len(route) < 2 {
+		return f
+	}
+	det := sensors.NewObjectDetector(sensors.ObjectDetectorConfig{
+		Range: 40, TPR: cfg.DetectorTPR, FalsePerScan: 0.05, PosNoise: 0.35,
+	}, rng)
+	laneDet := sensors.NewLaneDetector(sensors.LaneDetectorConfig{
+		Ahead: 25, LateralNoise: 0.1, DetectProb: cfg.LaneDetectProb, SampleStep: 5,
+	}, rng)
+	gps := sensors.NewGPS(sensors.GPSDGPS, rng)
+	odo := sensors.NewOdometry(0.01, 0.001, rng)
+
+	dt := cfg.SampleEvery / cfg.Speed
+	traj := sim.DrivePolyline(route, cfg.Speed, dt)
+	if len(traj) < 2 {
+		return f
+	}
+	deltas := traj.Odometry()
+
+	// Two particle filters: A anchored to the map (signs+lanes), B
+	// anchored to GPS only. Their divergence spikes where the map is
+	// stale.
+	pfMap := filters.NewParticleFilter(cfg.Particles, traj[0].Pose, 1, 0.05, rng)
+	pfGPS := filters.NewParticleFilter(cfg.Particles, traj[0].Pose, 1, 0.05, rng)
+
+	var expected, missed, unmatched int
+	var residSum float64
+	var residN int
+	var laneResidSum float64
+	var laneResidN int
+	var divSum float64
+	var divN int
+
+	for i, tp := range traj {
+		if i > 0 {
+			d := odo.Measure(deltas[i-1])
+			pfMap.Predict(d, 0.08, 0.008)
+			pfGPS.Predict(d, 0.08, 0.008)
+		}
+		fix := gps.Measure(tp.Pose.P, dt)
+		dets := det.Detect(w.Map, tp.Pose, core.ClassSign)
+		lanes := laneDet.Detect(w.Map, tp.Pose)
+
+		searchBox := geo.NewAABB(tp.Pose.P, tp.Pose.P).Expand(60)
+		mapSigns := onboard.PointsIn(searchBox, core.ClassSign)
+		mapBounds := onboard.LinesIn(searchBox, core.ClassLaneBoundary)
+
+		pfGPS.Weigh(func(p geo.Pose2) float64 {
+			return filters.GaussianLikelihood(p.P.Dist(fix), 0.8)
+		})
+		pfGPS.ResampleIfNeeded(0.5)
+		estGPS := pfGPS.Mean()
+
+		pfMap.Weigh(func(p geo.Pose2) float64 {
+			like := filters.GaussianLikelihood(p.P.Dist(fix), 3.0) // weak GPS prior
+			for _, d := range dets {
+				world := p.Transform(d.Local)
+				best := math.Inf(1)
+				for _, ms := range mapSigns {
+					if dd := ms.Pos.XY().Dist(world); dd < best {
+						best = dd
+					}
+				}
+				if best < 8 {
+					like *= filters.GaussianLikelihood(best, 1.0)
+				}
+			}
+			for _, lo := range lanes {
+				world := p.Transform(lo.Local)
+				best := math.Inf(1)
+				for _, mb := range mapBounds {
+					if dd := mb.Geometry.DistanceTo(world); dd < best {
+						best = dd
+					}
+				}
+				if best < 3 {
+					like *= filters.GaussianLikelihood(best, 0.4)
+				}
+			}
+			return like
+		})
+		pfMap.ResampleIfNeeded(0.5)
+		estMap := pfMap.Mean()
+
+		divSum += estMap.P.Dist(estGPS.P)
+		divN++
+
+		// Sign agreement relative to the GPS-anchored estimate (the
+		// neutral reference).
+		detWorld := make([]geo.Vec2, len(dets))
+		for di, d := range dets {
+			detWorld[di] = estGPS.Transform(d.Local)
+		}
+		detUsed := make([]bool, len(dets))
+		for _, ms := range mapSigns {
+			local := estGPS.InverseTransform(ms.Pos.XY())
+			if local.Norm() > 34 || math.Abs(local.Angle()) > 0.7 {
+				continue
+			}
+			expected++
+			found := false
+			for di, dw := range detWorld {
+				if !detUsed[di] && dw.Dist(ms.Pos.XY()) < 4 {
+					detUsed[di] = true
+					residSum += dw.Dist(ms.Pos.XY())
+					residN++
+					found = true
+					break
+				}
+			}
+			if !found {
+				missed++
+			}
+		}
+		for di := range dets {
+			if !detUsed[di] {
+				near := false
+				for _, ms := range mapSigns {
+					if detWorld[di].Dist(ms.Pos.XY()) < 6 {
+						near = true
+						break
+					}
+				}
+				if !near {
+					unmatched++
+				}
+			}
+		}
+		// Lane residual.
+		for _, lo := range lanes {
+			world := estGPS.Transform(lo.Local)
+			best := math.Inf(1)
+			for _, mb := range mapBounds {
+				if dd := mb.Geometry.DistanceTo(world); dd < best {
+					best = dd
+				}
+			}
+			if !math.IsInf(best, 1) {
+				laneResidSum += math.Min(best, 5)
+				laneResidN++
+			}
+		}
+	}
+
+	if expected > 0 {
+		f[0] = float64(missed) / float64(expected)
+	}
+	km := route.Length() / 1000
+	if km > 0 {
+		f[1] = float64(unmatched) / km
+	}
+	if residN > 0 {
+		f[2] = residSum / float64(residN)
+	}
+	if divN > 0 {
+		f[3] = divSum / float64(divN)
+	}
+	if laneResidN > 0 {
+		f[4] = laneResidSum / float64(laneResidN)
+	}
+	return f
+}
+
+// AggregateScores implements multi-traversal classification: the mean
+// classifier margin over k traversals of the same section. Averaging
+// suppresses single-traversal noise (occlusions, detector misses), which
+// is where the paper's multi-traversal sensitivity gain comes from.
+func AggregateScores(b *Boost, traversals []Features) float64 {
+	if len(traversals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range traversals {
+		s += b.Score(f.Vector())
+	}
+	return s / float64(len(traversals))
+}

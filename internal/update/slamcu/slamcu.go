@@ -1,0 +1,298 @@
+// Package slamcu reproduces SLAMCU (Jo et al. [41]): simultaneous
+// localization and map change update. A vehicle drives with its on-board
+// (possibly stale) HD map, localises against it, and runs a dynamic
+// Bayesian network over map elements: repeatedly missing a mapped sign
+// raises its change belief; repeatedly seeing an unmapped sign raises a
+// new-element belief. Confirmed changes are applied to the map and the
+// position accuracy of newly estimated features is reported — the Fig 2
+// histogram of the survey.
+package slamcu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/filters"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/sensors"
+	"hdmaps/internal/sim"
+	"hdmaps/internal/worldgen"
+)
+
+// ErrNoRoute is returned for degenerate routes.
+var ErrNoRoute = errors.New("slamcu: degenerate route")
+
+// Config tunes the change detector.
+type Config struct {
+	// Hazard is the per-visit prior change probability (default 0.02).
+	Hazard float64
+	// TPR/FPR calibrate the detection model fed to the DBN (defaults
+	// 0.9 / 0.05; they should match the detector's actual rates).
+	TPR, FPR float64
+	// Decide is the belief threshold for reporting a change (default 0.95).
+	Decide float64
+	// SensorRange bounds which mapped elements count as observable
+	// (default 40 m, must match the detector range).
+	SensorRange float64
+	// Speed / SampleEvery control the drive (defaults 15 m/s, 5 m).
+	Speed, SampleEvery float64
+	// NewClusterEps groups unmatched detections into new-element
+	// candidates (default 3 m).
+	NewClusterEps float64
+	// MinNewObs is the observation count before a candidate becomes a
+	// tracked new element (default 3).
+	MinNewObs int
+}
+
+func (c *Config) defaults() {
+	if c.Hazard == 0 {
+		c.Hazard = 0.02
+	}
+	if c.TPR == 0 {
+		c.TPR = 0.9
+	}
+	if c.FPR == 0 {
+		c.FPR = 0.05
+	}
+	if c.Decide == 0 {
+		c.Decide = 0.95
+	}
+	if c.SensorRange == 0 {
+		c.SensorRange = 40
+	}
+	if c.Speed == 0 {
+		c.Speed = 15
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 5
+	}
+	if c.NewClusterEps == 0 {
+		c.NewClusterEps = 3
+	}
+	if c.MinNewObs == 0 {
+		c.MinNewObs = 3
+	}
+}
+
+// ReportedChange is one confirmed map change.
+type ReportedChange struct {
+	// Removed is true for a missing mapped element, false for a new one.
+	Removed bool
+	// MapID is the stale-map element (removals only).
+	MapID core.ID
+	// Pos is the estimated position (new elements) or the mapped
+	// position (removals).
+	Pos geo.Vec2
+	// Belief is the final change probability.
+	Belief float64
+}
+
+// Result is a completed SLAMCU run.
+type Result struct {
+	// Changes lists confirmed removals and additions.
+	Changes []ReportedChange
+	// NewFeatureErrors is the position-estimation error of each detected
+	// new feature vs the true world — the Fig 2 histogram data.
+	NewFeatureErrors []float64
+	// LocalizationErrors is the per-keyframe vehicle pose error.
+	LocalizationErrors []float64
+	// UpdatedMap is the stale map with confirmed changes applied.
+	UpdatedMap *core.Map
+}
+
+// candidate tracks an unmapped detection cluster.
+type candidate struct {
+	id  int64
+	sum geo.Vec2
+	n   int
+	kf  *filters.Kalman
+}
+
+// Run drives the route through the (mutated) world holding the stale
+// map, localising and updating change beliefs, then applies confirmed
+// changes.
+func Run(w *worldgen.World, staleMap *core.Map, route geo.Polyline, cfg Config, rng *rand.Rand) (*Result, error) {
+	cfg.defaults()
+	if len(route) < 2 {
+		return nil, ErrNoRoute
+	}
+	dbn, err := filters.NewDBN(cfg.Hazard, cfg.TPR, cfg.FPR)
+	if err != nil {
+		return nil, fmt.Errorf("slamcu: %w", err)
+	}
+	newDBN, err := filters.NewDBN(cfg.Hazard, cfg.TPR, cfg.FPR)
+	if err != nil {
+		return nil, fmt.Errorf("slamcu: %w", err)
+	}
+	det := sensors.NewObjectDetector(sensors.ObjectDetectorConfig{
+		Range: cfg.SensorRange, TPR: cfg.TPR, FalsePerScan: cfg.FPR, PosNoise: 0.35,
+	}, rng)
+	gps := sensors.NewGPS(sensors.GPSDGPS, rng)
+	odo := sensors.NewOdometry(0.01, 0.001, rng)
+
+	dt := cfg.SampleEvery / cfg.Speed
+	traj := sim.DrivePolyline(route, cfg.Speed, dt)
+	deltas := traj.Odometry()
+
+	res := &Result{UpdatedMap: staleMap.Clone()}
+
+	// Localization: particle filter against mapped signs + GPS prior.
+	pf := filters.NewParticleFilter(300, traj[0].Pose, 1.5, 0.1, rng)
+
+	var candidates []*candidate
+	nextCand := int64(1)
+
+	for i, tp := range traj {
+		if i > 0 {
+			pf.Predict(odo.Measure(deltas[i-1]), 0.08, 0.01)
+		}
+		fix := gps.Measure(tp.Pose.P, dt)
+		detections := det.Detect(w.Map, tp.Pose, core.ClassSign)
+
+		// Measurement update: GPS + sign detections matched to the
+		// STALE map (localisation uses the map it has).
+		mapSigns := res.UpdatedMap.PointsIn(
+			geo.NewAABB(tp.Pose.P, tp.Pose.P).Expand(cfg.SensorRange+10), core.ClassSign)
+		pf.Weigh(func(p geo.Pose2) float64 {
+			like := filters.GaussianLikelihood(p.P.Dist(fix), gps.NoiseStd+gps.BiasStd)
+			for _, d := range detections {
+				world := p.Transform(d.Local)
+				best := math.Inf(1)
+				for _, ms := range mapSigns {
+					if dd := ms.Pos.XY().Dist(world); dd < best {
+						best = dd
+					}
+				}
+				if best < 8 {
+					like *= filters.GaussianLikelihood(best, 1.0)
+				}
+			}
+			return like
+		})
+		pf.ResampleIfNeeded(0.5)
+		est := pf.Mean()
+		res.LocalizationErrors = append(res.LocalizationErrors, est.P.Dist(tp.Pose.P))
+
+		// DBN evidence. Which mapped signs should be visible?
+		detWorld := make([]geo.Vec2, len(detections))
+		for di, d := range detections {
+			detWorld[di] = est.Transform(d.Local)
+		}
+		detUsed := make([]bool, len(detections))
+		for _, ms := range mapSigns {
+			local := est.InverseTransform(ms.Pos.XY())
+			if local.Norm() > cfg.SensorRange*0.85 || math.Abs(local.Angle()) > 0.7 {
+				continue // not confidently in view this frame
+			}
+			// Is any detection near this mapped sign?
+			seen := false
+			for di, dw := range detWorld {
+				if !detUsed[di] && dw.Dist(ms.Pos.XY()) < 4 {
+					seen = true
+					detUsed[di] = true
+					break
+				}
+			}
+			dbn.Propagate(int64(ms.ID))
+			dbn.Observe(int64(ms.ID), seen)
+		}
+		// Unmatched detections feed new-element candidates.
+		for di, dw := range detWorld {
+			if detUsed[di] {
+				continue
+			}
+			nearMapped := false
+			for _, ms := range mapSigns {
+				if dw.Dist(ms.Pos.XY()) < 6 {
+					nearMapped = true
+					break
+				}
+			}
+			if nearMapped {
+				continue
+			}
+			var bestCand *candidate
+			bestD := cfg.NewClusterEps
+			for _, c := range candidates {
+				mean := c.sum.Scale(1 / float64(c.n))
+				if d := mean.Dist(dw); d <= bestD {
+					bestCand, bestD = c, d
+				}
+			}
+			if bestCand == nil {
+				kf := filters.NewKalman(
+					filters.Vec(dw.X, dw.Y), filters.Diag(1, 1),
+					filters.Eye(2), filters.Diag(1e-6, 1e-6))
+				candidates = append(candidates, &candidate{
+					id: nextCand, sum: dw, n: 1, kf: kf,
+				})
+				nextCand++
+			} else {
+				bestCand.sum = bestCand.sum.Add(dw)
+				bestCand.n++
+				r := filters.Diag(0.5, 0.5)
+				h := filters.Eye(2)
+				_ = bestCand.kf.Update(filters.Vec(dw.X, dw.Y), h, r)
+				if bestCand.n >= cfg.MinNewObs {
+					newDBN.ObserveNew(bestCand.id, true)
+				}
+			}
+		}
+	}
+
+	// Decisions: removals.
+	for _, id := range dbn.Decide(cfg.Decide) {
+		p, err := res.UpdatedMap.Point(core.ID(id))
+		if err != nil {
+			continue
+		}
+		res.Changes = append(res.Changes, ReportedChange{
+			Removed: true, MapID: core.ID(id), Pos: p.Pos.XY(),
+			Belief: dbn.Belief(id),
+		})
+		_ = res.UpdatedMap.RemovePoint(core.ID(id))
+	}
+	// Decisions: additions, with the Fig 2 position-error statistic.
+	byID := make(map[int64]*candidate, len(candidates))
+	for _, c := range candidates {
+		byID[c.id] = c
+	}
+	for _, id := range newDBN.Decide(cfg.Decide) {
+		c, ok := byID[id]
+		if !ok {
+			continue
+		}
+		est := geo.V2(c.kf.X.At(0, 0), c.kf.X.At(1, 0))
+		res.UpdatedMap.AddPoint(core.PointElement{
+			Class: core.ClassSign, Pos: est.Vec3(2.2),
+			Meta: core.Meta{Confidence: newDBN.Belief(id), Observy: c.n, Source: "slamcu"},
+		})
+		res.Changes = append(res.Changes, ReportedChange{
+			Removed: false, Pos: est, Belief: newDBN.Belief(id),
+		})
+		// Error vs the nearest true sign in the current world.
+		if tr := nearestTrueSign(w.Map, est); tr >= 0 {
+			res.NewFeatureErrors = append(res.NewFeatureErrors, tr)
+		}
+	}
+	res.UpdatedMap.FreezeIndexes()
+	return res, nil
+}
+
+// nearestTrueSign returns the distance from p to the nearest true sign,
+// or -1 when none is within 10 m (a hallucinated feature).
+func nearestTrueSign(truth *core.Map, p geo.Vec2) float64 {
+	best := math.Inf(1)
+	for _, s := range truth.PointsIn(geo.NewAABB(p, p).Expand(12), core.ClassSign) {
+		if d := s.Pos.XY().Dist(p); d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) || best > 10 {
+		return -1
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package slamcu
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/mapeval"
+	"hdmaps/internal/worldgen"
+)
+
+// scenario builds a highway, clones the pristine map (the stale on-board
+// copy), then mutates the world with a construction site.
+func scenario(t testing.TB, seed int64) (*worldgen.Highway, *core.Map, []worldgen.Mutation, geo.Polyline) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 1200, Lanes: 2, SignSpacing: 80,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := hw.Map.Clone()
+	muts := worldgen.ApplyConstruction(hw.World, worldgen.ConstructionSite{
+		Center: geo.V2(600, -10), Radius: 450,
+		RemoveProb: 0.3, MoveProb: 0, AddCount: 4,
+	}, rng)
+	route, err := hw.RoutePolyline(hw.LaneChains[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw, stale, muts, route
+}
+
+func TestRunDetectsChanges(t *testing.T) {
+	hw, stale, muts, route := scenario(t, 201)
+	var removed, added int
+	for _, m := range muts {
+		switch m.Kind {
+		case worldgen.MutRemoveSign:
+			removed++
+		case worldgen.MutAddSign:
+			added++
+		}
+	}
+	if removed == 0 || added == 0 {
+		t.Fatalf("scenario degenerate: removed=%d added=%d", removed, added)
+	}
+	rng := rand.New(rand.NewSource(202))
+	res, err := Run(hw.World, stale, route, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRemovals, gotAdds int
+	for _, c := range res.Changes {
+		if c.Removed {
+			gotRemovals++
+		} else {
+			gotAdds++
+		}
+		if c.Belief < 0.95 {
+			t.Errorf("low-belief change reported: %v", c.Belief)
+		}
+	}
+	if gotRemovals == 0 {
+		t.Error("no removals detected")
+	}
+	if gotAdds == 0 {
+		t.Error("no additions detected")
+	}
+	// The updated map should be closer to the current world than the
+	// stale map was.
+	staleDiff := len(core.Diff(stale, hw.Map, core.DefaultDiffOptions()))
+	updatedDiff := len(core.Diff(res.UpdatedMap, hw.Map, core.DefaultDiffOptions()))
+	if updatedDiff >= staleDiff {
+		t.Errorf("update did not converge to world: diff %d -> %d", staleDiff, updatedDiff)
+	}
+	// Localization stayed reasonable throughout.
+	locErr := mapeval.EvalTrajectory(res.LocalizationErrors)
+	if locErr.Mean > 1.5 {
+		t.Errorf("localization mean error = %v m", locErr.Mean)
+	}
+}
+
+func TestFig2NewFeatureErrorStats(t *testing.T) {
+	// Aggregate several runs: new-feature position errors should have a
+	// sub-metre-ish mean and a right-skewed histogram like Fig 2.
+	var all []float64
+	for seed := int64(0); seed < 4; seed++ {
+		hw, stale, _, route := scenario(t, 211+seed)
+		res, err := Run(hw.World, stale, route, Config{}, rand.New(rand.NewSource(221+seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, res.NewFeatureErrors...)
+	}
+	if len(all) < 5 {
+		t.Fatalf("only %d new-feature errors collected", len(all))
+	}
+	te := mapeval.EvalTrajectory(all)
+	t.Logf("Fig2 stats: mean %.2f m, std %.2f m, n=%d", te.Mean, te.Std, te.N)
+	// SLAMCU reports mean 0.8 m, σ 0.9 m; the shape target is mean ≤ ~1.5.
+	if te.Mean > 1.5 {
+		t.Errorf("new-feature mean error = %v m", te.Mean)
+	}
+	// Right-skew: median below mean is typical; histogram mode in the
+	// low bins.
+	bins := mapeval.Histogram(all, 6, 3)
+	maxBin := 0
+	for i, b := range bins {
+		if b > bins[maxBin] {
+			maxBin = i
+		}
+	}
+	if maxBin > 2 {
+		t.Errorf("histogram mode at bin %d of %v, want low bins", maxBin, bins)
+	}
+}
+
+func TestRunNoChangesNoFalseAlarms(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	hw, err := worldgen.GenerateHighway(worldgen.HighwayParams{
+		LengthM: 800, Lanes: 2, SignSpacing: 100,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := hw.Map.Clone() // identical to world
+	route, _ := hw.RoutePolyline(hw.LaneChains[0])
+	res, err := Run(hw.World, stale, route, Config{}, rand.New(rand.NewSource(232)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changes) > 1 {
+		t.Errorf("%d false changes on an unchanged world: %+v", len(res.Changes), res.Changes)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	hw, stale, _, _ := scenario(t, 241)
+	rng := rand.New(rand.NewSource(242))
+	if _, err := Run(hw.World, stale, nil, Config{}, rng); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("nil route err = %v", err)
+	}
+}

@@ -1,0 +1,416 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// GridParams configures GenerateGrid, a Manhattan-style urban network.
+type GridParams struct {
+	// Rows, Cols are the number of intersections per axis (≥2).
+	Rows, Cols int
+	// Block is the intersection spacing in metres (default 200).
+	Block float64
+	// Lanes per direction (default 1).
+	Lanes int
+	// LaneWidth in metres (default 3.5).
+	LaneWidth float64
+	// SpeedLimit in m/s (default 13.9 ≈ 50 km/h).
+	SpeedLimit float64
+	// TrafficLights places lights (true) or stop signs (false) at
+	// intersections.
+	TrafficLights bool
+	// HillAmp is the elevation amplitude in metres.
+	HillAmp float64
+}
+
+func (p *GridParams) defaults() {
+	if p.Block <= 0 {
+		p.Block = 200
+	}
+	if p.Lanes <= 0 {
+		p.Lanes = 1
+	}
+	if p.LaneWidth <= 0 {
+		p.LaneWidth = 3.5
+	}
+	if p.SpeedLimit <= 0 {
+		p.SpeedLimit = 13.9
+	}
+}
+
+// Direction enumerates the four cardinal driving directions of a grid.
+type Direction uint8
+
+// Directions.
+const (
+	East Direction = iota
+	West
+	North
+	South
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	return [...]string{"east", "west", "north", "south"}[d]
+}
+
+// heading returns the driving heading of d.
+func (d Direction) heading() float64 {
+	switch d {
+	case East:
+		return 0
+	case West:
+		return 3.14159265358979
+	case North:
+		return 1.5707963267948966
+	default:
+		return -1.5707963267948966
+	}
+}
+
+// SegKey identifies one directed street segment of the grid: the street
+// runs from intersection (R, C) toward direction Dir, lane Lane (0 =
+// leftmost in driving direction).
+type SegKey struct {
+	R, C int
+	Dir  Direction
+	Lane int
+}
+
+// Grid is the result of GenerateGrid.
+type Grid struct {
+	*World
+	Params GridParams
+	// Segments maps directed street segments to their lanelet IDs.
+	Segments map[SegKey]core.ID
+	// Connectors lists the intersection connector lanelets.
+	Connectors []core.ID
+}
+
+// Margin returns the intersection half-size: segments start/end this far
+// from intersection centres.
+func (g *Grid) Margin() float64 {
+	return float64(g.Params.Lanes)*g.Params.LaneWidth + 2
+}
+
+// GenerateGrid builds a Rows×Cols Manhattan grid with per-direction
+// lanes, intersection connectors for through/left/right movements,
+// stop lines, crosswalks, and signs or lights at every approach.
+func GenerateGrid(p GridParams, rng *rand.Rand) (*Grid, error) {
+	p.defaults()
+	if p.Rows < 2 || p.Cols < 2 {
+		return nil, fmt.Errorf("worldgen: grid %dx%d: %w", p.Rows, p.Cols, geo.ErrDegenerate)
+	}
+	m := core.NewMap("grid")
+	w := &World{Map: m}
+	if p.HillAmp > 0 {
+		w.elevTerms = newElevation(rng, p.HillAmp, 4)
+	}
+	g := &Grid{World: w, Params: p, Segments: make(map[SegKey]core.ID)}
+	margin := g.Margin()
+
+	addSeg := func(key SegKey, from, to geo.Vec2) error {
+		// Lateral offset: lane 0 leftmost; right side of travel direction.
+		dir := to.Sub(from).Unit()
+		rightN := dir.Perp().Scale(-1) // right of travel
+		off := rightN.Scale((float64(key.Lane) + 0.5) * p.LaneWidth)
+		cl := geo.Polyline{from.Add(off), from.Lerp(to, 0.5).Add(off), to.Add(off)}
+		lb, rb := core.BoundaryDashed, core.BoundarySolid
+		if key.Lane == 0 {
+			lb = core.BoundarySolid // centre line of the two-way road
+		}
+		if key.Lane == p.Lanes-1 {
+			rb = core.BoundaryCurb
+		}
+		id, err := m.AddLaneFromCenterline(core.LaneSpec{
+			Centerline: cl, Width: p.LaneWidth, Type: core.LaneDriving,
+			SpeedLimit: p.SpeedLimit, LeftBound: lb, RightBound: rb,
+			Source: "worldgen",
+		})
+		if err != nil {
+			return err
+		}
+		g.Segments[key] = id
+		return nil
+	}
+
+	ix := func(c int) float64 { return float64(c) * p.Block }
+	iy := func(r int) float64 { return float64(r) * p.Block }
+
+	// Horizontal street segments (between (r,c) and (r,c+1)).
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c+1 < p.Cols; c++ {
+			x0, x1, y := ix(c)+margin, ix(c+1)-margin, iy(r)
+			for lane := 0; lane < p.Lanes; lane++ {
+				if err := addSeg(SegKey{r, c, East, lane}, geo.V2(x0, y), geo.V2(x1, y)); err != nil {
+					return nil, err
+				}
+				if err := addSeg(SegKey{r, c, West, lane}, geo.V2(x1, y), geo.V2(x0, y)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Vertical street segments (between (r,c) and (r+1,c)).
+	for r := 0; r+1 < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			y0, y1, x := iy(r)+margin, iy(r+1)-margin, ix(c)
+			for lane := 0; lane < p.Lanes; lane++ {
+				if err := addSeg(SegKey{r, c, North, lane}, geo.V2(x, y0), geo.V2(x, y1)); err != nil {
+					return nil, err
+				}
+				if err := addSeg(SegKey{r, c, South, lane}, geo.V2(x, y1), geo.V2(x, y0)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Lane-change adjacency within each multi-lane segment.
+	for lane := 0; lane+1 < p.Lanes; lane++ {
+		for key, left := range g.Segments {
+			if key.Lane != lane {
+				continue
+			}
+			rightKey := key
+			rightKey.Lane = lane + 1
+			if right, ok := g.Segments[rightKey]; ok {
+				if err := m.SetNeighbors(left, right, true); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Intersection furniture and connectors.
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			if err := g.buildIntersection(r, c, rng); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.FreezeIndexes()
+	w.Bounds = m.Bounds()
+	return g, nil
+}
+
+// incoming returns the segment key whose lanelet ENDS at intersection
+// (r,c) travelling in direction dir, if it exists.
+func (g *Grid) incoming(r, c int, dir Direction, lane int) (core.ID, bool) {
+	var key SegKey
+	switch dir {
+	case East:
+		key = SegKey{r, c - 1, East, lane}
+	case West:
+		key = SegKey{r, c, West, lane}
+	case North:
+		key = SegKey{r - 1, c, North, lane}
+	case South:
+		key = SegKey{r, c, South, lane}
+	}
+	id, ok := g.Segments[key]
+	return id, ok
+}
+
+// outgoing returns the segment key whose lanelet STARTS at intersection
+// (r,c) travelling in direction dir.
+func (g *Grid) outgoing(r, c int, dir Direction, lane int) (core.ID, bool) {
+	var key SegKey
+	switch dir {
+	case East:
+		key = SegKey{r, c, East, lane}
+	case West:
+		key = SegKey{r, c - 1, West, lane}
+	case North:
+		key = SegKey{r, c, North, lane}
+	case South:
+		key = SegKey{r - 1, c, South, lane}
+	}
+	id, ok := g.Segments[key]
+	return id, ok
+}
+
+// turn maps (incoming direction) to the outgoing directions of through,
+// right and left movements.
+func turns(dir Direction) (through, right, left Direction) {
+	switch dir {
+	case East:
+		return East, South, North
+	case West:
+		return West, North, South
+	case North:
+		return North, East, West
+	default:
+		return South, West, East
+	}
+}
+
+// buildIntersection adds connectors, stop lines, crosswalks, and signs or
+// lights at intersection (r, c).
+func (g *Grid) buildIntersection(r, c int, rng *rand.Rand) error {
+	m := g.Map
+	p := g.Params
+	center := geo.V2(float64(c)*p.Block, float64(r)*p.Block)
+	margin := g.Margin()
+
+	// Intersection area polygon.
+	m.AddArea(core.AreaElement{
+		Class: core.ClassIntersectionArea,
+		Outline: geo.Polygon{
+			center.Add(geo.V2(-margin, -margin)),
+			center.Add(geo.V2(margin, -margin)),
+			center.Add(geo.V2(margin, margin)),
+			center.Add(geo.V2(-margin, margin)),
+		},
+		Meta: core.Meta{Confidence: 1, Source: "worldgen"},
+	})
+
+	for _, dir := range []Direction{East, West, North, South} {
+		// Connector lanelets from every incoming lane.
+		through, right, left := turns(dir)
+		for lane := 0; lane < p.Lanes; lane++ {
+			in, ok := g.incoming(r, c, dir, lane)
+			if !ok {
+				continue
+			}
+			inL, err := m.Lanelet(in)
+			if err != nil {
+				return err
+			}
+			entry := inL.Centerline[len(inL.Centerline)-1]
+			entryH := inL.Centerline.HeadingAt(inL.Centerline.Length())
+
+			connectTo := func(outDir Direction, outLane int) error {
+				out, ok := g.outgoing(r, c, outDir, outLane)
+				if !ok {
+					return nil
+				}
+				outL, err := m.Lanelet(out)
+				if err != nil {
+					return err
+				}
+				exit := outL.Centerline[0]
+				exitH := outL.Centerline.HeadingAt(0)
+				cl := connectorCurve(entry, entryH, exit, exitH)
+				id, err := m.AddLaneFromCenterline(core.LaneSpec{
+					Centerline: cl, Width: p.LaneWidth, Type: core.LaneDriving,
+					SpeedLimit: p.SpeedLimit * 0.6,
+					LeftBound:  core.BoundaryVirtual, RightBound: core.BoundaryVirtual,
+					Source: "worldgen",
+				})
+				if err != nil {
+					return err
+				}
+				g.Connectors = append(g.Connectors, id)
+				if err := m.Connect(in, id); err != nil {
+					return err
+				}
+				return m.Connect(id, out)
+			}
+			// Through for every lane; turns only from the edge lanes.
+			if err := connectTo(through, lane); err != nil {
+				return err
+			}
+			if lane == p.Lanes-1 {
+				if err := connectTo(right, p.Lanes-1); err != nil {
+					return err
+				}
+			}
+			if lane == 0 {
+				if err := connectTo(left, 0); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Stop line + crosswalk + sign/light per approach with at least
+		// one incoming lane.
+		in0, ok := g.incoming(r, c, dir, 0)
+		if !ok {
+			continue
+		}
+		inL, err := m.Lanelet(in0)
+		if err != nil {
+			return err
+		}
+		end := inL.Centerline[len(inL.Centerline)-1]
+		h := inL.Centerline.HeadingAt(inL.Centerline.Length())
+		fw := geo.V2(1, 0).Rotate(h)
+		rightN := fw.Perp().Scale(-1)
+		roadHalf := float64(p.Lanes) * p.LaneWidth
+
+		// Stop line across the approach lanes.
+		sl0 := end.Add(rightN.Scale(-0.5 * p.LaneWidth)) // left edge of lane 0
+		sl1 := end.Add(rightN.Scale(roadHalf - 0.5*p.LaneWidth + p.LaneWidth*0.5))
+		stop := m.AddLine(core.LineElement{
+			Class:    core.ClassStopLine,
+			Geometry: geo.Polyline{sl0, sl1},
+			Meta:     core.Meta{Confidence: 1, Source: "worldgen"},
+		})
+
+		// Crosswalk polygon just beyond the stop line.
+		cw0 := sl0.Add(fw.Scale(1))
+		cw1 := sl1.Add(fw.Scale(1))
+		m.AddArea(core.AreaElement{
+			Class: core.ClassCrosswalk,
+			Outline: geo.Polygon{
+				cw0, cw1, cw1.Add(fw.Scale(2.5)), cw0.Add(fw.Scale(2.5)),
+			},
+			Meta: core.Meta{Confidence: 1, Source: "worldgen"},
+		})
+
+		// Device on the right shoulder at the stop line.
+		devPos := end.Add(rightN.Scale(roadHalf + 1.0))
+		var dev core.ID
+		var kind core.RegulatoryKind
+		if p.TrafficLights {
+			dev = m.AddPoint(core.PointElement{
+				Class: core.ClassTrafficLight, Pos: devPos.Vec3(lightHeight),
+				Heading: geo.NormalizeAngle(h + 3.14159265358979),
+				Attr:    map[string]string{"type": "3-aspect"},
+				Meta:    core.Meta{Confidence: 1, Source: "worldgen"},
+			})
+			kind = core.RegTrafficLight
+		} else {
+			dev = addSign(m, devPos, h, "stop")
+			kind = core.RegStop
+		}
+		reg := m.AddRegulatory(core.RegulatoryElement{
+			Kind: kind, Devices: []core.ID{dev}, StopLine: stop,
+		})
+		for lane := 0; lane < p.Lanes; lane++ {
+			if in, ok := g.incoming(r, c, dir, lane); ok {
+				if err := m.AttachRegulatory(in, reg); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// connectorCurve builds a smooth quadratic-Bezier-like connector from the
+// entry pose to the exit pose, sampled at 8 points.
+func connectorCurve(entry geo.Vec2, entryH float64, exit geo.Vec2, exitH float64) geo.Polyline {
+	// Control point: intersection of the entry and exit tangents; fall
+	// back to the midpoint for (anti)parallel tangents (through moves).
+	e1 := entry.Add(geo.V2(1, 0).Rotate(entryH).Scale(1000))
+	x1 := exit.Sub(geo.V2(1, 0).Rotate(exitH).Scale(1000))
+	ctrl, ok := geo.SegmentIntersect(entry, e1, x1, exit)
+	if !ok {
+		ctrl = entry.Lerp(exit, 0.5)
+	}
+	const samples = 8
+	out := make(geo.Polyline, samples)
+	for i := 0; i < samples; i++ {
+		t := float64(i) / float64(samples-1)
+		a := entry.Lerp(ctrl, t)
+		b := ctrl.Lerp(exit, t)
+		out[i] = a.Lerp(b, t)
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package worldgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// This file implements the generative map model of HDMapGen (Mi et al.
+// [24]) in procedural form: maps are sampled from a two-level
+// hierarchical graph. A GLOBAL graph places key nodes (intersections and
+// road endpoints) and samples their connectivity; a LOCAL model then
+// refines every edge into curved lane geometry. The original uses a
+// learned autoregressive model; this generator reproduces the same
+// structure with calibrated stochastic rules, which is what downstream
+// consumers (routing, localization, storage benchmarks) need: diverse,
+// valid, city-like maps on demand.
+
+// HDMapGenParams configures the hierarchical generator.
+type HDMapGenParams struct {
+	// Nodes is the global-graph node count (default 12).
+	Nodes int
+	// Extent is the square world edge length in metres (default 1200).
+	Extent float64
+	// MinNodeSpacing keeps key nodes apart (default Extent/6).
+	MinNodeSpacing float64
+	// ExtraEdgeProb adds redundant connections beyond the spanning tree
+	// (default 0.35), controlling how "grid-like" vs "tree-like" the
+	// city is.
+	ExtraEdgeProb float64
+	// CurveJitter bends local geometry: lateral σ as a fraction of edge
+	// length (default 0.08).
+	CurveJitter float64
+	// Lanes per direction (default 1).
+	Lanes int
+	// LaneWidth in metres (default 3.5).
+	LaneWidth float64
+}
+
+func (p *HDMapGenParams) defaults() {
+	if p.Nodes <= 0 {
+		p.Nodes = 12
+	}
+	if p.Extent <= 0 {
+		p.Extent = 1200
+	}
+	if p.MinNodeSpacing <= 0 {
+		p.MinNodeSpacing = p.Extent / 6
+	}
+	if p.ExtraEdgeProb == 0 {
+		p.ExtraEdgeProb = 0.35
+	}
+	if p.CurveJitter == 0 {
+		p.CurveJitter = 0.08
+	}
+	if p.Lanes <= 0 {
+		p.Lanes = 1
+	}
+	if p.LaneWidth <= 0 {
+		p.LaneWidth = 3.5
+	}
+}
+
+// GlobalNode is a key node of the global graph.
+type GlobalNode struct {
+	P geo.Vec2
+	// Degree is the sampled connectivity.
+	Degree int
+}
+
+// GlobalEdge connects two global nodes.
+type GlobalEdge struct {
+	A, B int
+	// Geometry is the refined local curve from A to B.
+	Geometry geo.Polyline
+}
+
+// GeneratedMap is the HDMapGen output: the hierarchical graph plus the
+// materialised HD map (bidirectional lanes along every edge, connected at
+// the global nodes).
+type GeneratedMap struct {
+	*World
+	Nodes []GlobalNode
+	Edges []GlobalEdge
+	// LaneletsAB / LaneletsBA index the directional lanelets per edge.
+	LaneletsAB, LaneletsBA [][]core.ID
+}
+
+// GenerateHDMapGen samples a map from the hierarchical model. It returns
+// geo.ErrDegenerate (wrapped) for unusable parameters.
+func GenerateHDMapGen(p HDMapGenParams, rng *rand.Rand) (*GeneratedMap, error) {
+	p.defaults()
+	if p.Nodes < 2 {
+		return nil, fmt.Errorf("worldgen: hdmapgen with %d nodes: %w", p.Nodes, geo.ErrDegenerate)
+	}
+	// --- Global level: node placement by rejection sampling ------------
+	var nodes []GlobalNode
+	for attempts := 0; len(nodes) < p.Nodes && attempts < p.Nodes*200; attempts++ {
+		cand := geo.V2(rng.Float64()*p.Extent, rng.Float64()*p.Extent)
+		ok := true
+		for _, n := range nodes {
+			if n.P.Dist(cand) < p.MinNodeSpacing {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			nodes = append(nodes, GlobalNode{P: cand})
+		}
+	}
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("worldgen: hdmapgen placed %d nodes: %w", len(nodes), geo.ErrDegenerate)
+	}
+
+	// --- Global level: connectivity = Euclidean MST + random extra
+	// short edges (city networks are locally dense, globally sparse).
+	type cand struct {
+		a, b int
+		d    float64
+	}
+	var cands []cand
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			cands = append(cands, cand{i, j, nodes[i].P.Dist(nodes[j].P)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	edgeSet := make(map[[2]int]bool)
+	addEdge := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		edgeSet[[2]int{a, b}] = true
+	}
+	for _, c := range cands { // Kruskal MST
+		if find(c.a) != find(c.b) {
+			parent[find(c.a)] = find(c.b)
+			addEdge(c.a, c.b)
+		}
+	}
+	// Extra short edges for loops (skip ones that would cross existing
+	// geometry badly: accept only the shortest quartile candidates).
+	for _, c := range cands[:len(cands)/4] {
+		if edgeSet[[2]int{min2(c.a, c.b), max2(c.a, c.b)}] {
+			continue
+		}
+		if rng.Float64() < p.ExtraEdgeProb {
+			addEdge(c.a, c.b)
+		}
+	}
+
+	// --- Local level: refine every edge into a curved polyline ---------
+	m := core.NewMap("hdmapgen")
+	w := &World{Map: m}
+	g := &GeneratedMap{World: w, Nodes: nodes}
+	for e := range edgeSet {
+		a, b := e[0], e[1]
+		curve := localCurve(nodes[a].P, nodes[b].P, p.CurveJitter, rng)
+		g.Edges = append(g.Edges, GlobalEdge{A: a, B: b, Geometry: curve})
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].A != g.Edges[j].A {
+			return g.Edges[i].A < g.Edges[j].A
+		}
+		return g.Edges[i].B < g.Edges[j].B
+	})
+
+	// Materialise bidirectional lanes along each refined edge.
+	nodeIn := make(map[int][]core.ID)  // lanelets ENDING at node
+	nodeOut := make(map[int][]core.ID) // lanelets STARTING at node
+	for _, e := range g.Edges {
+		var ab, ba []core.ID
+		for lane := 0; lane < p.Lanes; lane++ {
+			offAB := -(float64(lane) + 0.5) * p.LaneWidth
+			clAB := e.Geometry.Offset(offAB)
+			idAB, err := m.AddLaneFromCenterline(core.LaneSpec{
+				Centerline: clAB, Width: p.LaneWidth,
+				Type: core.LaneDriving, SpeedLimit: 13.9,
+				Source: "hdmapgen",
+			})
+			if err != nil {
+				return nil, err
+			}
+			ab = append(ab, idAB)
+			rev := e.Geometry.Reverse()
+			clBA := rev.Offset(offAB)
+			idBA, err := m.AddLaneFromCenterline(core.LaneSpec{
+				Centerline: clBA, Width: p.LaneWidth,
+				Type: core.LaneDriving, SpeedLimit: 13.9,
+				Source: "hdmapgen",
+			})
+			if err != nil {
+				return nil, err
+			}
+			ba = append(ba, idBA)
+		}
+		g.LaneletsAB = append(g.LaneletsAB, ab)
+		g.LaneletsBA = append(g.LaneletsBA, ba)
+		nodeOut[e.A] = append(nodeOut[e.A], ab...)
+		nodeIn[e.B] = append(nodeIn[e.B], ab...)
+		nodeOut[e.B] = append(nodeOut[e.B], ba...)
+		nodeIn[e.A] = append(nodeIn[e.A], ba...)
+		// Lane-change adjacency within each direction.
+		for lane := 0; lane+1 < p.Lanes; lane++ {
+			if err := m.SetNeighbors(ab[lane], ab[lane+1], true); err != nil {
+				return nil, err
+			}
+			if err := m.SetNeighbors(ba[lane], ba[lane+1], true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Node connectivity: every incoming lanelet connects to every
+	// outgoing lanelet of OTHER edges. U-turns are allowed only at
+	// dead-end nodes (degree 1), where the turnaround is the only way
+	// back — exactly how real cul-de-sacs work.
+	degree := make(map[int]int)
+	for e := range edgeSet {
+		degree[e[0]]++
+		degree[e[1]]++
+	}
+	for n := range nodes {
+		for _, in := range nodeIn[n] {
+			inL, err := m.Lanelet(in)
+			if err != nil {
+				return nil, err
+			}
+			inEnd := inL.Centerline[len(inL.Centerline)-1]
+			for _, out := range nodeOut[n] {
+				outL, err := m.Lanelet(out)
+				if err != nil {
+					return nil, err
+				}
+				outStart := outL.Centerline[0]
+				// Skip the reverse of the same physical edge (U-turn):
+				// its start is (nearly) our end AND its end is our start.
+				// Dead ends keep the turnaround.
+				if degree[n] > 1 &&
+					outL.Centerline[len(outL.Centerline)-1].Dist(inL.Centerline[0]) < p.LaneWidth*float64(p.Lanes)*2 &&
+					outStart.Dist(inEnd) < p.LaneWidth*float64(p.Lanes)*2 {
+					continue
+				}
+				if err := m.Connect(in, out); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Intersection signage: one sign per approach, placed roadside a
+	// little before the node — the distinctive structure localizers rely
+	// on in cities.
+	for i := range g.Edges {
+		for _, dirLanes := range [][]core.ID{g.LaneletsAB[i], g.LaneletsBA[i]} {
+			if len(dirLanes) == 0 {
+				continue
+			}
+			outer := dirLanes[len(dirLanes)-1] // rightmost lane
+			l, err := m.Lanelet(outer)
+			if err != nil {
+				return nil, err
+			}
+			L := l.Centerline.Length()
+			if L < 60 {
+				continue
+			}
+			s := L - 25
+			pos := l.Centerline.FromFrenet(s, -(p.LaneWidth/2 + 1.5))
+			addSign(m, pos, l.Centerline.HeadingAt(s), "intersection")
+		}
+	}
+
+	// One lane bundle per edge direction (the HiDAM view of the same
+	// network).
+	for i, e := range g.Edges {
+		m.AddBundle(core.LaneBundle{
+			RoadID:   int64(i),
+			Lanelets: g.LaneletsAB[i],
+			RefLine:  e.Geometry.Clone(),
+			Meta:     core.Meta{Confidence: 1, Source: "hdmapgen"},
+		})
+		m.AddBundle(core.LaneBundle{
+			RoadID:   int64(i),
+			Lanelets: g.LaneletsBA[i],
+			RefLine:  e.Geometry.Reverse(),
+			Meta:     core.Meta{Confidence: 1, Source: "hdmapgen"},
+		})
+	}
+	m.FreezeIndexes()
+	w.Bounds = m.Bounds()
+	return g, nil
+}
+
+// localCurve refines a straight global edge into a smooth curve: control
+// points displaced laterally by the jitter fraction, then Chaikin
+// smoothing — HDMapGen's local level in procedural form.
+func localCurve(a, b geo.Vec2, jitter float64, rng *rand.Rand) geo.Polyline {
+	L := a.Dist(b)
+	dir := b.Sub(a).Unit()
+	normal := dir.Perp()
+	nCtrl := int(math.Max(2, L/150))
+	pts := geo.Polyline{a}
+	for i := 1; i <= nCtrl; i++ {
+		t := float64(i) / float64(nCtrl+1)
+		base := a.Lerp(b, t)
+		pts = append(pts, base.Add(normal.Scale(rng.NormFloat64()*jitter*L*0.5)))
+	}
+	pts = append(pts, b)
+	out := geo.ChaikinSmooth(pts, 3)
+	// Resample for even vertex spacing.
+	if rs, err := out.Resample(10); err == nil {
+		return rs
+	}
+	return out
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

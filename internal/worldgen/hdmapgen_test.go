@@ -1,0 +1,135 @@
+package worldgen
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+func TestGenerateHDMapGen(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	g, err := GenerateHDMapGen(HDMapGenParams{Nodes: 10, Lanes: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 10 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	// Connectivity: at least a spanning tree.
+	if len(g.Edges) < len(g.Nodes)-1 {
+		t.Fatalf("edges = %d < n-1", len(g.Edges))
+	}
+	if issues := g.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("invalid generated map: %v", issues[0])
+	}
+	// Node spacing respected.
+	for i := range g.Nodes {
+		for j := i + 1; j < len(g.Nodes); j++ {
+			if d := g.Nodes[i].P.Dist(g.Nodes[j].P); d < 1200/6-1e-9 {
+				t.Fatalf("nodes %d,%d only %.1f m apart", i, j, d)
+			}
+		}
+	}
+	// Bundles exist: two per edge.
+	if got := len(g.Map.BundleIDs()); got != 2*len(g.Edges) {
+		t.Errorf("bundles = %d, want %d", got, 2*len(g.Edges))
+	}
+	// Lane-level routing works across the sampled city: pick the two
+	// most distant nodes and route between adjacent lanelets.
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.LaneletsAB[0][0]
+	// BFS reachability must cover most of the network (strong
+	// connectivity through the no-U-turn junctions).
+	visited := map[core.ID]bool{start: true}
+	queue := []core.ID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range graph.Edges(cur) {
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(visited) < len(graph.Nodes())/2 {
+		t.Errorf("reachable = %d of %d lanelets", len(visited), len(graph.Nodes()))
+	}
+}
+
+func TestHDMapGenDiversity(t *testing.T) {
+	// Different seeds produce structurally different maps.
+	a, err := GenerateHDMapGen(HDMapGenParams{Nodes: 8}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHDMapGen(HDMapGenParams{Nodes: 8}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Nodes {
+		if i >= len(b.Nodes) || a.Nodes[i].P.Dist(b.Nodes[i].P) > 1 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical node placements")
+	}
+	// Same seed reproduces exactly.
+	a2, err := GenerateHDMapGen(HDMapGenParams{Nodes: 8}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].P != a2.Nodes[i].P {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestHDMapGenLocalCurves(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	g, err := GenerateHDMapGen(HDMapGenParams{Nodes: 6, CurveJitter: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local refinement: edges are curved (longer than the chord) but not
+	// wildly so.
+	curved := 0
+	for _, e := range g.Edges {
+		chord := g.Nodes[e.A].P.Dist(g.Nodes[e.B].P)
+		L := e.Geometry.Length()
+		if L < chord-1e-6 {
+			t.Fatalf("edge shorter than its chord: %v < %v", L, chord)
+		}
+		if L > chord*1.8 {
+			t.Fatalf("edge absurdly curved: %v vs chord %v", L, chord)
+		}
+		if L > chord*1.001 {
+			curved++
+		}
+		// Geometry endpoints at the nodes.
+		if e.Geometry[0].Dist(g.Nodes[e.A].P) > 1e-6 ||
+			e.Geometry[len(e.Geometry)-1].Dist(g.Nodes[e.B].P) > 1e-6 {
+			t.Fatal("edge geometry detached from nodes")
+		}
+	}
+	if curved == 0 {
+		t.Error("no edge is curved despite jitter")
+	}
+}
+
+func TestHDMapGenErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	if _, err := GenerateHDMapGen(HDMapGenParams{Nodes: 1}, rng); !errors.Is(err, geo.ErrDegenerate) {
+		t.Errorf("1-node err = %v", err)
+	}
+}

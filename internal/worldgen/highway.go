@@ -1,0 +1,218 @@
+package worldgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// HighwayParams configures GenerateHighway.
+type HighwayParams struct {
+	// LengthM is the corridor length in metres.
+	LengthM float64
+	// Lanes is the number of lanes per direction (the generated corridor
+	// is one direction; generate twice for a divided highway).
+	Lanes int
+	// LaneWidth in metres (default 3.6).
+	LaneWidth float64
+	// CurveAmp/CurvePeriod shape the gentle lateral meander of the
+	// corridor (amplitude metres / period metres). Zero amplitude gives a
+	// straight road.
+	CurveAmp, CurvePeriod float64
+	// SegmentLen splits the corridor into lanelets of this length
+	// (default 200 m).
+	SegmentLen float64
+	// SignSpacing places a roadside sign every SignSpacing metres
+	// (0 disables signs).
+	SignSpacing float64
+	// SpeedLimit in m/s (default 33.3 ≈ 120 km/h).
+	SpeedLimit float64
+	// HillAmp is the elevation amplitude in metres (0 = flat).
+	HillAmp float64
+	// Step is the centreline sampling step (default 10 m).
+	Step float64
+}
+
+func (p *HighwayParams) defaults() {
+	if p.LaneWidth <= 0 {
+		p.LaneWidth = 3.6
+	}
+	if p.Lanes <= 0 {
+		p.Lanes = 2
+	}
+	if p.SegmentLen <= 0 {
+		p.SegmentLen = 200
+	}
+	if p.SpeedLimit <= 0 {
+		p.SpeedLimit = 33.3
+	}
+	if p.Step <= 0 {
+		p.Step = 10
+	}
+	if p.CurvePeriod <= 0 {
+		p.CurvePeriod = 2000
+	}
+}
+
+// Highway is the result of GenerateHighway: the world plus the ordered
+// lanelet chain of each lane (index 0 = leftmost).
+type Highway struct {
+	*World
+	// LaneChains[lane] lists the lanelet IDs of that lane front-to-back.
+	LaneChains [][]core.ID
+	// RefLine is the corridor reference centreline (the leftmost lane's
+	// left boundary side reference, used for Frenet-frame workloads).
+	RefLine geo.Polyline
+}
+
+// GenerateHighway builds a one-directional highway corridor with parallel
+// lanes, lanelet segmentation, lane-change adjacency, roadside signs and
+// road-edge barriers. It returns an error for non-positive length.
+func GenerateHighway(p HighwayParams, rng *rand.Rand) (*Highway, error) {
+	p.defaults()
+	if p.LengthM <= 0 {
+		return nil, fmt.Errorf("worldgen: highway length %v: %w", p.LengthM, geo.ErrDegenerate)
+	}
+	m := core.NewMap("highway")
+	w := &World{Map: m}
+	if p.HillAmp > 0 {
+		w.elevTerms = newElevation(rng, p.HillAmp, 4)
+	}
+
+	// Reference centreline: x along corridor, y = meander.
+	n := int(p.LengthM/p.Step) + 1
+	ref := make(geo.Polyline, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) * p.Step
+		y := 0.0
+		if p.CurveAmp > 0 {
+			y = p.CurveAmp * math.Sin(x/p.CurvePeriod*2*math.Pi)
+		}
+		ref[i] = geo.V2(x, y)
+	}
+
+	hw := &Highway{World: w, RefLine: ref, LaneChains: make([][]core.ID, p.Lanes)}
+
+	// Lane centrelines: lane 0 leftmost. Ref line is the road centre;
+	// offsets place lanes to its right (negative lateral offsets going
+	// right in driving direction = +x).
+	laneOffsets := make([]float64, p.Lanes)
+	for lane := 0; lane < p.Lanes; lane++ {
+		laneOffsets[lane] = -(float64(lane) + 0.5) * p.LaneWidth
+	}
+
+	segments := int(math.Ceil(p.LengthM / p.SegmentLen))
+	refLen := ref.Length()
+	for lane := 0; lane < p.Lanes; lane++ {
+		full := ref.Offset(laneOffsets[lane])
+		fullLen := full.Length()
+		var prev core.ID
+		for s := 0; s < segments; s++ {
+			s0 := fullLen * float64(s) / float64(segments)
+			s1 := fullLen * float64(s+1) / float64(segments)
+			seg := subPolyline(full, s0, s1, p.Step)
+			lb, rb := core.BoundaryDashed, core.BoundaryDashed
+			if lane == 0 {
+				lb = core.BoundarySolid
+			}
+			if lane == p.Lanes-1 {
+				rb = core.BoundarySolid
+			}
+			id, err := m.AddLaneFromCenterline(core.LaneSpec{
+				Centerline: seg,
+				Width:      p.LaneWidth,
+				Type:       core.LaneDriving,
+				SpeedLimit: p.SpeedLimit,
+				LeftBound:  lb,
+				RightBound: rb,
+				Source:     "worldgen",
+			})
+			if err != nil {
+				return nil, fmt.Errorf("worldgen: highway lane %d seg %d: %w", lane, s, err)
+			}
+			hw.LaneChains[lane] = append(hw.LaneChains[lane], id)
+			if prev != core.NilID {
+				if err := m.Connect(prev, id); err != nil {
+					return nil, err
+				}
+			}
+			prev = id
+		}
+	}
+	// Lane-change adjacency per segment.
+	for lane := 0; lane+1 < p.Lanes; lane++ {
+		for s := 0; s < segments; s++ {
+			if err := m.SetNeighbors(hw.LaneChains[lane][s], hw.LaneChains[lane+1][s], true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// One HiDAM lane bundle per segment: the parallel lanelets of the
+	// carriageway, left-to-right, anchored on the road reference line.
+	for s := 0; s < segments; s++ {
+		lanelets := make([]core.ID, p.Lanes)
+		for lane := 0; lane < p.Lanes; lane++ {
+			lanelets[lane] = hw.LaneChains[lane][s]
+		}
+		s0 := refLen * float64(s) / float64(segments)
+		s1 := refLen * float64(s+1) / float64(segments)
+		m.AddBundle(core.LaneBundle{
+			RoadID:   1,
+			Lanelets: lanelets,
+			RefLine:  subPolyline(ref, s0, s1, p.Step),
+			Meta:     core.Meta{Confidence: 1, Source: "worldgen"},
+		})
+	}
+
+	// Road edges (barriers) on both sides of the carriageway.
+	leftEdge := ref.Offset(0.5)
+	rightEdge := ref.Offset(-(float64(p.Lanes)*p.LaneWidth + 0.5))
+	m.AddLine(core.LineElement{
+		Class: core.ClassRoadEdge, Geometry: leftEdge, Boundary: core.BoundaryCurb,
+		Meta: core.Meta{Confidence: 1, Source: "worldgen"},
+	})
+	m.AddLine(core.LineElement{
+		Class: core.ClassRoadEdge, Geometry: rightEdge, Boundary: core.BoundaryCurb,
+		Meta: core.Meta{Confidence: 1, Source: "worldgen"},
+	})
+
+	// Roadside signs every SignSpacing metres on the right shoulder.
+	if p.SignSpacing > 0 {
+		edge := ref.Offset(-(float64(p.Lanes)*p.LaneWidth + 2.0))
+		for s := p.SignSpacing; s < refLen; s += p.SignSpacing {
+			pos := edge.At(s)
+			heading := edge.HeadingAt(s)
+			addSign(m, pos, heading, "speed_limit")
+			// A pole accompanies every second sign.
+			if int(s/p.SignSpacing)%2 == 0 {
+				m.AddPoint(core.PointElement{
+					Class: core.ClassPole, Pos: pos.Vec3(poleHeight),
+					Meta: core.Meta{Confidence: 1, Source: "worldgen"},
+				})
+			}
+		}
+	}
+	m.FreezeIndexes()
+	w.Bounds = m.Bounds()
+	return hw, nil
+}
+
+// subPolyline extracts the sub-curve of pl between arc lengths s0 and s1,
+// resampled at roughly the given step.
+func subPolyline(pl geo.Polyline, s0, s1, step float64) geo.Polyline {
+	if s1 <= s0 {
+		return geo.Polyline{pl.At(s0), pl.At(s0 + 0.1)}
+	}
+	n := int(math.Ceil((s1-s0)/step)) + 1
+	if n < 2 {
+		n = 2
+	}
+	out := make(geo.Polyline, n)
+	for i := 0; i < n; i++ {
+		out[i] = pl.At(s0 + (s1-s0)*float64(i)/float64(n-1))
+	}
+	return out
+}

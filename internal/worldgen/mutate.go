@@ -1,0 +1,154 @@
+package worldgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// MutationKind labels a ground-truth world change.
+type MutationKind uint8
+
+// Mutation kinds.
+const (
+	MutRemoveSign MutationKind = iota
+	MutMoveSign
+	MutAddSign
+	MutShiftBoundary
+)
+
+// String implements fmt.Stringer.
+func (k MutationKind) String() string {
+	return [...]string{"remove_sign", "move_sign", "add_sign", "shift_boundary"}[k]
+}
+
+// Mutation records one applied ground-truth change, so change-detection
+// experiments can score detections against a known answer key.
+type Mutation struct {
+	Kind MutationKind
+	// ID is the affected element in the mutated map (NilID for removals,
+	// where OldID locates the element in the base map).
+	ID core.ID
+	// OldID is the element's ID before mutation (valid for remove/move/
+	// shift).
+	OldID core.ID
+	// Where locates the change.
+	Where geo.Vec2
+	// Displacement is the move distance for move/shift mutations.
+	Displacement float64
+}
+
+// ConstructionSite configures ApplyConstruction.
+type ConstructionSite struct {
+	// Center and Radius bound the affected region.
+	Center geo.Vec2
+	Radius float64
+	// RemoveProb / MoveProb are per-sign probabilities inside the region
+	// (move wins ties; remaining signs are untouched).
+	RemoveProb, MoveProb float64
+	// MoveStd is the displacement standard deviation for moved signs.
+	MoveStd float64
+	// AddCount inserts this many new temporary signs in the region.
+	AddCount int
+	// ShiftBoundaries laterally shifts lane-boundary lines crossing the
+	// region by ShiftAmount metres (simulating repainted lanes).
+	ShiftBoundaries bool
+	ShiftAmount     float64
+}
+
+// ApplyConstruction mutates the world's map in place, simulating a
+// construction site, and returns the ground-truth change list. The
+// typical workflow clones the pristine map first (the clone plays the
+// role of the stale on-vehicle HD map):
+//
+//	stale := world.Map.Clone()
+//	muts := worldgen.ApplyConstruction(world, site, rng)
+//	// detector drives through world (new truth) holding stale map
+func ApplyConstruction(w *World, site ConstructionSite, rng *rand.Rand) []Mutation {
+	m := w.Map
+	var muts []Mutation
+
+	// Deterministic iteration order for reproducibility.
+	signIDs := m.PointIDs()
+	sort.Slice(signIDs, func(i, j int) bool { return signIDs[i] < signIDs[j] })
+	for _, id := range signIDs {
+		p, err := m.Point(id)
+		if err != nil {
+			continue
+		}
+		if p.Class != core.ClassSign && p.Class != core.ClassTrafficLight {
+			continue
+		}
+		if p.Pos.XY().Dist(site.Center) > site.Radius {
+			continue
+		}
+		u := rng.Float64()
+		switch {
+		case u < site.MoveProb:
+			dx := rng.NormFloat64() * site.MoveStd
+			dy := rng.NormFloat64() * site.MoveStd
+			old := p.Pos.XY()
+			p.Pos = geo.V3(p.Pos.X+dx, p.Pos.Y+dy, p.Pos.Z)
+			muts = append(muts, Mutation{
+				Kind: MutMoveSign, ID: id, OldID: id,
+				Where:        old,
+				Displacement: geo.V2(dx, dy).Norm(),
+			})
+		case u < site.MoveProb+site.RemoveProb:
+			where := p.Pos.XY()
+			if err := m.RemovePoint(id); err == nil {
+				muts = append(muts, Mutation{
+					Kind: MutRemoveSign, OldID: id, Where: where,
+				})
+			}
+		}
+	}
+
+	// New signs go roadside: sample a lanelet crossing the site and
+	// offset laterally from its centreline (construction signage stands
+	// where drivers can see it).
+	if site.AddCount > 0 {
+		box := geo.NewAABB(site.Center, site.Center).Expand(site.Radius)
+		lanelets := m.LaneletsIn(box)
+		attempts := 0
+		for i := 0; i < site.AddCount && len(lanelets) > 0 && attempts < 100*site.AddCount; i++ {
+			attempts++
+			l := lanelets[rng.Intn(len(lanelets))]
+			s := rng.Float64() * l.Length()
+			side := 4 + rng.Float64()*3
+			if rng.Intn(2) == 0 {
+				side = -side
+			}
+			pos := l.Centerline.FromFrenet(s, side)
+			if pos.Dist(site.Center) > site.Radius {
+				i-- // outside the site: resample
+				continue
+			}
+			id := m.AddPoint(core.PointElement{
+				Class: core.ClassSign, Pos: pos.Vec3(signHeight),
+				Attr: map[string]string{"type": "construction"},
+				Meta: core.Meta{Confidence: 1, Source: "construction"},
+			})
+			muts = append(muts, Mutation{Kind: MutAddSign, ID: id, Where: pos})
+		}
+	}
+
+	if site.ShiftBoundaries && site.ShiftAmount != 0 {
+		box := geo.NewAABB(site.Center, site.Center).Expand(site.Radius)
+		for _, l := range m.LinesIn(box, core.ClassLaneBoundary) {
+			if l.Geometry.Centroid().Dist(site.Center) > site.Radius {
+				continue
+			}
+			l.Geometry = l.Geometry.Offset(site.ShiftAmount)
+			muts = append(muts, Mutation{
+				Kind: MutShiftBoundary, ID: l.ID, OldID: l.ID,
+				Where:        l.Geometry.Centroid(),
+				Displacement: site.ShiftAmount,
+			})
+		}
+	}
+	m.FreezeIndexes()
+	return muts
+}

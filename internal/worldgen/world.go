@@ -1,0 +1,123 @@
+// Package worldgen procedurally generates ground-truth worlds: HD maps
+// with full physical, relational and topological layers, plus a smooth
+// elevation model. It substitutes for the real road networks and survey
+// ground truth that the surveyed systems evaluate against — every
+// experiment in this repository measures its pipeline's output against a
+// worldgen world.
+package worldgen
+
+import (
+	"math"
+	"math/rand"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+// World is a ground-truth environment: the true HD map and terrain.
+type World struct {
+	// Map is the ground-truth HD map.
+	Map *core.Map
+	// Bounds is the generated extent.
+	Bounds geo.AABB
+
+	// Elevation model: z(p) = Σ amp_i · sin(p·dir_i / wavelength_i + phase_i).
+	elevTerms []elevTerm
+}
+
+type elevTerm struct {
+	dir        geo.Vec2
+	wavelength float64
+	amp        float64
+	phase      float64
+}
+
+// maxTerrainGrade caps the combined slope of the elevation model: real
+// highways are engineered below ~6% grade, and steeper synthetic terrain
+// would let grade-exploiting algorithms (PCC) win unrealistically.
+const maxTerrainGrade = 0.06
+
+// newElevation builds a deterministic rolling-hills model with the given
+// peak amplitude in metres, grade-limited to maxTerrainGrade.
+func newElevation(rng *rand.Rand, amp float64, n int) []elevTerm {
+	terms := make([]elevTerm, n)
+	for i := range terms {
+		a := rng.Float64() * 2 * math.Pi
+		terms[i] = elevTerm{
+			dir:        geo.V2(math.Cos(a), math.Sin(a)),
+			wavelength: 400 + rng.Float64()*1600,
+			amp:        amp / float64(n) * (0.5 + rng.Float64()),
+			phase:      rng.Float64() * 2 * math.Pi,
+		}
+	}
+	// Worst-case combined grade is Σ 2π·amp/λ; rescale if it exceeds the
+	// cap.
+	var g float64
+	for _, t := range terms {
+		g += 2 * math.Pi * t.amp / t.wavelength
+	}
+	if g > maxTerrainGrade {
+		scale := maxTerrainGrade / g
+		for i := range terms {
+			terms[i].amp *= scale
+		}
+	}
+	return terms
+}
+
+// ElevationAt returns the terrain height at a ground position.
+func (w *World) ElevationAt(p geo.Vec2) float64 {
+	var z float64
+	for _, t := range w.elevTerms {
+		z += t.amp * math.Sin(p.Dot(t.dir)/t.wavelength*2*math.Pi+t.phase)
+	}
+	return z
+}
+
+// GradeAt returns the road grade (dz/ds, dimensionless) in the given
+// heading at p, computed by central difference.
+func (w *World) GradeAt(p geo.Vec2, heading float64) float64 {
+	const h = 5.0
+	dir := geo.V2(math.Cos(heading), math.Sin(heading))
+	z0 := w.ElevationAt(p.Sub(dir.Scale(h)))
+	z1 := w.ElevationAt(p.Add(dir.Scale(h)))
+	return (z1 - z0) / (2 * h)
+}
+
+// RoutePolyline concatenates the centrelines of a lanelet sequence into a
+// single drivable polyline (consecutive duplicate points removed).
+func (w *World) RoutePolyline(laneletIDs []core.ID) (geo.Polyline, error) {
+	var out geo.Polyline
+	for _, id := range laneletIDs {
+		l, err := w.Map.Lanelet(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range l.Centerline {
+			if len(out) > 0 && out[len(out)-1].Dist(p) < 1e-9 {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// signHeight is the mounting height used for generated signs and lights.
+const (
+	signHeight  = 2.2
+	lightHeight = 5.0
+	poleHeight  = 4.0
+)
+
+// addSign places a sign point element facing against the driving
+// direction of the lane it serves.
+func addSign(m *core.Map, pos geo.Vec2, laneHeading float64, signType string) core.ID {
+	return m.AddPoint(core.PointElement{
+		Class:   core.ClassSign,
+		Pos:     pos.Vec3(signHeight),
+		Heading: geo.NormalizeAngle(laneHeading + math.Pi),
+		Attr:    map[string]string{"type": signType},
+		Meta:    core.Meta{Confidence: 1, Source: "worldgen"},
+	})
+}

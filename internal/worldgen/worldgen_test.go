@@ -1,0 +1,265 @@
+package worldgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+)
+
+func TestGenerateHighwayBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	hw, err := GenerateHighway(HighwayParams{
+		LengthM: 2000, Lanes: 3, CurveAmp: 30, CurvePeriod: 1500,
+		SignSpacing: 250, HillAmp: 20,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hw.LaneChains) != 3 {
+		t.Fatalf("lanes = %d", len(hw.LaneChains))
+	}
+	// 2000m / 200m segments = 10 per lane.
+	for lane, chain := range hw.LaneChains {
+		if len(chain) != 10 {
+			t.Errorf("lane %d segments = %d", lane, len(chain))
+		}
+	}
+	if issues := hw.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("invalid map: %v", issues[:minInt(3, len(issues))])
+	}
+	// Chain is connected.
+	for _, chain := range hw.LaneChains {
+		for i := 0; i+1 < len(chain); i++ {
+			l, _ := hw.Map.Lanelet(chain[i])
+			found := false
+			for _, s := range l.Successors {
+				if s == chain[i+1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("segment %d not connected to %d", i, i+1)
+			}
+		}
+	}
+	// Lane neighbours present.
+	l0, _ := hw.Map.Lanelet(hw.LaneChains[0][0])
+	if l0.RightNeighbor != hw.LaneChains[1][0] {
+		t.Error("lane 0 right neighbor wrong")
+	}
+	// Signs were placed: 2000/250 - 1 boundary effects => ≥6.
+	signs := hw.Map.PointsIn(hw.Bounds.Expand(10), core.ClassSign)
+	if len(signs) < 6 {
+		t.Errorf("signs = %d", len(signs))
+	}
+	// Route polyline spans the corridor.
+	pl, err := hw.RoutePolyline(hw.LaneChains[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Length() < 1900 || pl.Length() > 2100 {
+		t.Errorf("route length = %v", pl.Length())
+	}
+	// Elevation and grade are finite and bounded.
+	for s := 0.0; s < pl.Length(); s += 100 {
+		p := pl.At(s)
+		z := hw.ElevationAt(p)
+		if math.Abs(z) > 40 {
+			t.Fatalf("elevation %v out of range", z)
+		}
+		gr := hw.GradeAt(p, pl.HeadingAt(s))
+		if math.Abs(gr) > 0.3 {
+			t.Fatalf("grade %v out of range", gr)
+		}
+	}
+	// Graph builds.
+	if _, err := hw.Map.BuildRouteGraph(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGenerateHighwayErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	if _, err := GenerateHighway(HighwayParams{LengthM: 0}, rng); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestGenerateHighwayStraightIsStraight(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	hw, err := GenerateHighway(HighwayParams{LengthM: 1000, Lanes: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := hw.RoutePolyline(hw.LaneChains[0])
+	for _, p := range pl {
+		if math.Abs(p.Y-pl[0].Y) > 1e-6 {
+			t.Fatalf("straight highway meanders: %v", p)
+		}
+	}
+}
+
+func TestGenerateGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	g, err := GenerateGrid(GridParams{Rows: 3, Cols: 3, Block: 150, Lanes: 2, TrafficLights: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := g.Map.Validate(); len(issues) != 0 {
+		t.Fatalf("invalid map: %v", issues[:minInt(3, len(issues))])
+	}
+	// Horizontal segments: rows(3) * (cols-1)(2) * 2 dir * 2 lanes = 24.
+	// Vertical likewise = 24.
+	if len(g.Segments) != 48 {
+		t.Errorf("segments = %d, want 48", len(g.Segments))
+	}
+	if len(g.Connectors) == 0 {
+		t.Fatal("no connectors")
+	}
+	// Graph is navigable: a route exists from one corner east segment to
+	// a far segment (checked indirectly via BFS over the route graph).
+	graph, err := g.Map.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.Segments[SegKey{0, 0, East, 0}]
+	visited := map[core.ID]bool{start: true}
+	queue := []core.ID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range graph.Edges(cur) {
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	// From a corner, a right-hand grid should reach most of the network.
+	if len(visited) < len(graph.Nodes())/2 {
+		t.Errorf("reachable = %d of %d", len(visited), len(graph.Nodes()))
+	}
+	// Traffic lights were placed and wired to regulatory elements.
+	lights := g.Map.PointsIn(g.Bounds.Expand(10), core.ClassTrafficLight)
+	if len(lights) == 0 {
+		t.Error("no traffic lights")
+	}
+	foundLightReg := false
+	for _, rid := range g.Map.RegulatoryIDs() {
+		r, _ := g.Map.Regulatory(rid)
+		if r.Kind == core.RegTrafficLight && len(r.Lanelets) > 0 {
+			foundLightReg = true
+		}
+	}
+	if !foundLightReg {
+		t.Error("no traffic-light regulatory element attached to lanelets")
+	}
+}
+
+func TestGenerateGridStopSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	g, err := GenerateGrid(GridParams{Rows: 2, Cols: 2, Block: 120, Lanes: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signs := g.Map.PointsIn(g.Bounds.Expand(10), core.ClassSign)
+	if len(signs) == 0 {
+		t.Fatal("no stop signs")
+	}
+	for _, s := range signs {
+		if s.Attr["type"] != "stop" {
+			t.Fatalf("sign type = %q", s.Attr["type"])
+		}
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	if _, err := GenerateGrid(GridParams{Rows: 1, Cols: 5}, rng); err == nil {
+		t.Error("1-row grid accepted")
+	}
+}
+
+func TestApplyConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	hw, err := GenerateHighway(HighwayParams{LengthM: 3000, Lanes: 2, SignSpacing: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := hw.Map.Clone()
+	beforeSigns := len(hw.Map.PointsIn(hw.Bounds.Expand(10), core.ClassSign))
+	muts := ApplyConstruction(hw.World, ConstructionSite{
+		Center: geo.V2(1500, 0), Radius: 500,
+		RemoveProb: 0.4, MoveProb: 0.3, MoveStd: 2,
+		AddCount:        3,
+		ShiftBoundaries: true, ShiftAmount: 0.5,
+	}, rng)
+	if len(muts) == 0 {
+		t.Fatal("no mutations applied")
+	}
+	var removed, moved, added, shifted int
+	for _, mu := range muts {
+		switch mu.Kind {
+		case MutRemoveSign:
+			removed++
+		case MutMoveSign:
+			moved++
+			if mu.Displacement <= 0 {
+				t.Error("move with zero displacement")
+			}
+		case MutAddSign:
+			added++
+		case MutShiftBoundary:
+			shifted++
+		}
+	}
+	if added != 3 {
+		t.Errorf("added = %d", added)
+	}
+	if removed == 0 || moved == 0 || shifted == 0 {
+		t.Errorf("removed=%d moved=%d shifted=%d", removed, moved, shifted)
+	}
+	afterSigns := len(hw.Map.PointsIn(hw.Bounds.Expand(600), core.ClassSign))
+	if afterSigns != beforeSigns-removed+added {
+		t.Errorf("sign count %d, want %d", afterSigns, beforeSigns-removed+added)
+	}
+	// Diff between stale clone and mutated map detects the changes.
+	changes := core.Diff(before, hw.Map, core.DefaultDiffOptions())
+	if len(changes) < removed+added {
+		t.Errorf("diff found %d changes, want >= %d", len(changes), removed+added)
+	}
+	// Mutations outside the site radius never happen.
+	for _, mu := range muts {
+		if mu.Kind != MutAddSign && mu.Where.Dist(geo.V2(1500, 0)) > 501 {
+			t.Errorf("mutation outside site at %v", mu.Where)
+		}
+	}
+}
+
+func TestMutationKindString(t *testing.T) {
+	if MutRemoveSign.String() != "remove_sign" || MutShiftBoundary.String() != "shift_boundary" {
+		t.Error("mutation names wrong")
+	}
+	if East.String() != "east" || South.String() != "south" {
+		t.Error("direction names wrong")
+	}
+}
+
+func TestElevationDeterminism(t *testing.T) {
+	hw1, _ := GenerateHighway(HighwayParams{LengthM: 500, HillAmp: 10}, rand.New(rand.NewSource(99)))
+	hw2, _ := GenerateHighway(HighwayParams{LengthM: 500, HillAmp: 10}, rand.New(rand.NewSource(99)))
+	p := geo.V2(250, 0)
+	if hw1.ElevationAt(p) != hw2.ElevationAt(p) {
+		t.Error("elevation not deterministic under equal seeds")
+	}
+}
