@@ -1,0 +1,37 @@
+# Verification pipeline for the HD-map ecosystem repo.
+#
+#   make verify   — everything CI runs: vet, build, race-enabled tests,
+#                   and a short fuzz smoke over the tile decode path.
+#   make test     — fast tier-1 check (what the roadmap calls "tier-1").
+#   make fuzz     — longer decode fuzzing for local hunting.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: verify vet build test race fuzz-smoke fuzz bench
+
+verify: vet build race fuzz-smoke
+	@echo "verify: all green"
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector runs over the full suite — the chaos integration
+# tests hammer the client/server concurrently and are the main customer.
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=$(FUZZTIME) ./internal/storage
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=5m ./internal/storage
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -13,15 +13,25 @@
 //	hdmapctl route -in city.hdmp -from <laneletID> -to <laneletID>
 //	hdmapctl drive -kind highway -length 1000 -out built.hdmp   (LiDAR mapping run)
 //	hdmapctl serve -dir tiles/ -addr :8080                      (tile distribution server)
+//	hdmapctl fetch -base http://host:8080 -layer base -out region.hdmp  (vehicle-side pull)
+//
+// Long-running commands (serve, fetch) stop cleanly on SIGINT/SIGTERM:
+// serve drains in-flight requests through http.Server.Shutdown, fetch
+// cancels its context so retries stop immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"hdmaps/internal/apps/planning"
 	"hdmaps/internal/core"
@@ -37,6 +47,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Root context for every subcommand: first SIGINT/SIGTERM cancels,
+	// a second one kills via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "gen":
@@ -54,7 +68,9 @@ func main() {
 	case "drive":
 		err = cmdDrive(os.Args[2:])
 	case "serve":
-		err = cmdServe(os.Args[2:])
+		err = cmdServe(ctx, os.Args[2:])
+	case "fetch":
+		err = cmdFetch(ctx, os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -79,7 +95,8 @@ subcommands:
   diff      geometric diff of two maps
   route     lane-level route between two lanelets
   drive     run the LiDAR mapping pipeline over a generated world
-  serve     serve a tile directory over HTTP`)
+  serve     serve a tile directory over HTTP (graceful shutdown on SIGINT)
+  fetch     pull a tile region from a server and stitch it to one map`)
 }
 
 func loadMap(path string) (*core.Map, error) {
@@ -335,10 +352,11 @@ func cmdDrive(args []string) error {
 	return nil
 }
 
-func cmdServe(args []string) error {
+func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("dir", "tiles", "tile directory (DirStore root)")
 	addr := fs.String("addr", ":8080", "listen address")
+	drain := fs.Duration("drain", 5*time.Second, "max time to drain in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -346,6 +364,60 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	srv := &http.Server{Addr: *addr, Handler: storage.NewTileServer(store)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving tiles from %s on %s\n", *dir, *addr)
-	return http.ListenAndServe(*addr, storage.NewTileServer(store))
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down, draining in-flight requests...")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func cmdFetch(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	base := fs.String("base", "http://localhost:8080", "tile server URL")
+	layer := fs.String("layer", "base", "layer to pull")
+	tx0 := fs.Int("tx0", -1000, "min tile x")
+	ty0 := fs.Int("ty0", -1000, "min tile y")
+	tx1 := fs.Int("tx1", 1000, "max tile x")
+	ty1 := fs.Int("ty1", 1000, "max tile y")
+	out := fs.String("out", "region.hdmp", "output path (.hdmp or .json)")
+	timeout := fs.Duration("timeout", 30*time.Second, "overall fetch deadline")
+	attempts := fs.Int("attempts", 4, "per-request attempts (1 disables retries)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+	client := &storage.Client{
+		Base:  *base,
+		Retry: storage.RetryPolicy{MaxAttempts: *attempts},
+	}
+	m, health, err := client.FetchRegion(ctx, *layer, int32(*tx0), int32(*ty0), int32(*tx1), int32(*ty1), "region")
+	if err != nil {
+		return err
+	}
+	if err := saveMap(m, *out); err != nil {
+		return err
+	}
+	status := "fresh"
+	if health.Degraded {
+		status = "DEGRADED"
+	}
+	fmt.Printf("fetched %s region [%d,%d]x[%d,%d]: %d tiles (%d fresh, %d stale, %d missing) — %s\n",
+		*layer, *tx0, *ty0, *tx1, *ty1, health.Requested, health.Fresh, health.Stale, len(health.Missing), status)
+	fmt.Printf("wrote %s (%d elements)\n", *out, m.NumElements())
+	return nil
 }

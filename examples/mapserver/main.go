@@ -1,21 +1,27 @@
 // Mapserver: the distribution story. A central tile server holds a
 // generated city split into Morton-keyed tiles; a vehicle pulls just the
-// tiles covering its region and routes on the stitched map; an update
-// pipeline pushes a patched tile without touching the rest; and snapshot
-// analytics quantify what changed — the data-management side of the HD
-// map ecosystem (survey §IV: "improvements are needed for efficient data
-// management").
+// tiles covering its region over a deliberately unreliable network
+// (chaos-injected corruption, errors, truncation) and still recovers a
+// byte-correct map through retries and checksums; an update pipeline
+// pushes a patched tile without touching the rest; the server then goes
+// down mid-route and the vehicle keeps driving on cached tiles flagged
+// degraded — the data-management side of the HD map ecosystem (survey
+// §IV: "improvements are needed for efficient data management").
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"hdmaps"
 
 	"hdmaps/internal/apps/analytics"
+	"hdmaps/internal/chaos"
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
 	"hdmaps/internal/storage"
@@ -24,6 +30,7 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(31))
+	ctx := context.Background()
 
 	// Generate a city (HDMapGen hierarchical generative model).
 	city, err := worldgen.GenerateHDMapGen(worldgen.HDMapGenParams{
@@ -47,13 +54,30 @@ func main() {
 	}
 	fmt.Printf("published %d tiles to %s\n", nTiles, srv.URL)
 
-	// A vehicle pulls only its region and routes on it.
-	client := &storage.Client{Base: srv.URL}
-	region, err := client.FetchRegion("base", 0, 0, 2, 2, "onboard")
+	// A vehicle pulls only its region and routes on it — over a flaky
+	// cellular link: the chaos transport corrupts, errors, and delays
+	// requests; retries plus CRC32-C checksums still deliver an intact
+	// map, and the onboard cache keeps every good tile for later.
+	injector := chaos.New(chaos.Config{
+		Seed:        7,
+		ErrorProb:   0.2,
+		CorruptProb: 0.2,
+		LatencyProb: 0.2, Latency: 2 * time.Millisecond,
+	})
+	cache := storage.NewTileCache(256)
+	client := &storage.Client{
+		Base:  srv.URL,
+		HTTP:  &http.Client{Transport: injector.Transport(nil)},
+		Retry: storage.RetryPolicy{MaxAttempts: 8},
+		Cache: cache,
+	}
+	region, health, err := client.FetchRegion(ctx, "base", 0, 0, 2, 2, "onboard")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("vehicle pulled region: %d elements\n", region.NumElements())
+	st := injector.Stats()
+	fmt.Printf("vehicle pulled region through chaos: %d elements, %d fresh tiles (injected: %d errors, %d corruptions; degraded=%v)\n",
+		region.NumElements(), health.Fresh, st.Errors, st.Corruptions, health.Degraded)
 	graph, err := region.BuildRouteGraph()
 	if err != nil {
 		log.Fatal(err)
@@ -80,16 +104,37 @@ func main() {
 	pushed := 0
 	for key, tm := range newTiles {
 		data := hdmaps.EncodeBinary(tm)
-		old, err := client.GetTile(key)
+		old, err := client.GetTile(ctx, key)
 		if err == nil && string(old) == string(data) {
 			continue
 		}
-		if err := client.PutTile(key, data); err != nil {
+		if err := client.PutTile(ctx, key, data); err != nil {
 			log.Fatal(err)
 		}
 		pushed++
 	}
 	fmt.Printf("incremental update pushed %d of %d tiles\n", pushed, len(newTiles))
+
+	// The map server goes dark mid-route. The vehicle's next region pull
+	// cannot reach it at all — but the onboard cache serves last-known-
+	// good tiles, the health report says the map is degraded (not wrong),
+	// and routing still works.
+	injector.SetDown(true)
+	stale, health2, err := client.FetchRegion(ctx, "base", 0, 0, 2, 2, "onboard-degraded")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server DOWN: degraded=%v, %d stale tiles from cache, %d elements still usable\n",
+		health2.Degraded, health2.Stale, stale.NumElements())
+	if g2, err := stale.BuildRouteGraph(); err == nil {
+		if n2 := g2.Nodes(); len(n2) >= 2 {
+			if route, err := hdmaps.FindRoute(g2, n2[0], n2[len(n2)-1]); err == nil {
+				fmt.Printf("routed on the stale map: %d lanelets — the vehicle survives the outage\n",
+					len(route.Lanelets))
+			}
+		}
+	}
+	injector.SetDown(false)
 
 	// Snapshot analytics over the change.
 	series := &analytics.Series{}

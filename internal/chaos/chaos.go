@@ -1,0 +1,370 @@
+// Package chaos injects deterministic, seedable faults into the map
+// distribution stack: latency, server errors, connection failures,
+// payload corruption (bit flips), truncation, and partial reads. It
+// wraps either side of the wire — a storage.TileStore (server-side
+// faults) or an http.RoundTripper (network faults) — so the same fault
+// model exercises every hop of tiler→server→client→planner. The survey's
+// data-management thread (§IV) makes the point bluntly: an HD map is
+// only as good as its delivery under real network conditions, so the
+// failure path is the hot path and must be testable on demand.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdmaps/internal/storage"
+)
+
+// Config sets per-fault-type probabilities (each in [0,1], rolled
+// independently per operation) and fault parameters.
+type Config struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// LatencyProb injects Latency of extra delay before the operation.
+	LatencyProb float64
+	// Latency is the injected delay (default 50ms).
+	Latency time.Duration
+	// ErrorProb fails the operation: a transport roll returns either a
+	// connection error or a synthesized 503; a store roll returns an
+	// I/O error.
+	ErrorProb float64
+	// CorruptProb flips one random bit of the payload.
+	CorruptProb float64
+	// TruncateProb drops the tail of the payload.
+	TruncateProb float64
+	// PartialProb makes the response body fail mid-read (connection
+	// reset after some bytes).
+	PartialProb float64
+}
+
+// Stats counts injected faults by type, plus operations passed through
+// untouched. Counters are atomic so chaos wrappers can be hit
+// concurrently under the race detector.
+type Stats struct {
+	Latencies, Errors, Corruptions, Truncations, Partials, Passthroughs uint64
+}
+
+// Injector is a deterministic fault source shared by any number of
+// Store/Transport wrappers. The zero value is unusable; construct with
+// New.
+type Injector struct {
+	cfg  Config
+	down atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	latencies, errors, corruptions, truncations, partials, passthroughs atomic.Uint64
+}
+
+// New creates an injector with the given fault plan.
+func New(cfg Config) *Injector {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetDown toggles total outage: every operation fails immediately with
+// a connection error regardless of probabilities.
+func (in *Injector) SetDown(down bool) { in.down.Store(down) }
+
+// Down reports whether total outage is active.
+func (in *Injector) Down() bool { return in.down.Load() }
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Latencies:    in.latencies.Load(),
+		Errors:       in.errors.Load(),
+		Corruptions:  in.corruptions.Load(),
+		Truncations:  in.truncations.Load(),
+		Partials:     in.partials.Load(),
+		Passthroughs: in.passthroughs.Load(),
+	}
+}
+
+// roll holds one operation's fault decisions, drawn under the lock so
+// the sequence is deterministic for a given seed and operation order.
+type roll struct {
+	latency                            bool
+	fail                               bool
+	failConn                           bool // connection error vs 503/ErrIO
+	corrupt, truncate, partial         bool
+	corruptBit                         int
+	truncateFrac, partialFrac, bitFrac float64
+}
+
+func (in *Injector) roll() roll {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := roll{
+		latency:      in.rng.Float64() < in.cfg.LatencyProb,
+		fail:         in.rng.Float64() < in.cfg.ErrorProb,
+		failConn:     in.rng.Float64() < 0.5,
+		corrupt:      in.rng.Float64() < in.cfg.CorruptProb,
+		truncate:     in.rng.Float64() < in.cfg.TruncateProb,
+		partial:      in.rng.Float64() < in.cfg.PartialProb,
+		truncateFrac: in.rng.Float64(),
+		partialFrac:  in.rng.Float64(),
+		bitFrac:      in.rng.Float64(),
+	}
+	return r
+}
+
+// flipBit corrupts one bit of a copy of data (data returned unchanged
+// when empty).
+func flipBit(data []byte, frac float64) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	bit := int(frac * float64(len(cp)*8))
+	if bit >= len(cp)*8 {
+		bit = len(cp)*8 - 1
+	}
+	cp[bit/8] ^= 1 << (bit % 8)
+	return cp
+}
+
+// cut truncates a copy of data to a strict prefix.
+func cut(data []byte, frac float64) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	n := int(frac * float64(len(data)))
+	if n >= len(data) {
+		n = len(data) - 1
+	}
+	cp := make([]byte, n)
+	copy(cp, data[:n])
+	return cp
+}
+
+// ErrInjected marks a chaos-injected connection/store failure.
+type ErrInjected struct{ Op string }
+
+func (e *ErrInjected) Error() string { return fmt.Sprintf("chaos: injected failure: %s", e.Op) }
+
+// sleep waits the injected latency, or less if the request context
+// expires first (a real slow link does not outlive its caller).
+func sleep(done <-chan struct{}, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return fmt.Errorf("chaos: context done during injected latency")
+	case <-t.C:
+		return nil
+	}
+}
+
+// ---- storage.TileStore wrapper ----
+
+// Store wraps a TileStore so reads come back late, failed, corrupted,
+// or truncated according to the injector's plan. Writes only see
+// latency and errors — a store that silently mangles writes is a
+// different failure class than a flaky wire.
+func (in *Injector) Store(s storage.TileStore) storage.TileStore {
+	return &chaosStore{in: in, next: s}
+}
+
+type chaosStore struct {
+	in   *Injector
+	next storage.TileStore
+}
+
+func (c *chaosStore) pre(op string) error {
+	if c.in.Down() {
+		c.in.errors.Add(1)
+		return &ErrInjected{Op: op}
+	}
+	r := c.in.roll()
+	if r.latency {
+		c.in.latencies.Add(1)
+		time.Sleep(c.in.cfg.Latency)
+	}
+	if r.fail {
+		c.in.errors.Add(1)
+		return &ErrInjected{Op: op}
+	}
+	return nil
+}
+
+func (c *chaosStore) Put(key storage.TileKey, data []byte) error {
+	if err := c.pre("put"); err != nil {
+		return err
+	}
+	c.in.passthroughs.Add(1)
+	return c.next.Put(key, data)
+}
+
+func (c *chaosStore) Get(key storage.TileKey) ([]byte, error) {
+	if c.in.Down() {
+		c.in.errors.Add(1)
+		return nil, &ErrInjected{Op: "get"}
+	}
+	r := c.in.roll()
+	if r.latency {
+		c.in.latencies.Add(1)
+		time.Sleep(c.in.cfg.Latency)
+	}
+	if r.fail {
+		c.in.errors.Add(1)
+		return nil, &ErrInjected{Op: "get"}
+	}
+	data, err := c.next.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case r.corrupt:
+		c.in.corruptions.Add(1)
+		return flipBit(data, r.bitFrac), nil
+	case r.truncate:
+		c.in.truncations.Add(1)
+		return cut(data, r.truncateFrac), nil
+	}
+	c.in.passthroughs.Add(1)
+	return data, nil
+}
+
+func (c *chaosStore) Keys(layer string) ([]storage.TileKey, error) {
+	if err := c.pre("keys"); err != nil {
+		return nil, err
+	}
+	c.in.passthroughs.Add(1)
+	return c.next.Keys(layer)
+}
+
+func (c *chaosStore) ListLayers() ([]string, error) {
+	if err := c.pre("list-layers"); err != nil {
+		return nil, err
+	}
+	c.in.passthroughs.Add(1)
+	return c.next.ListLayers()
+}
+
+func (c *chaosStore) Delete(key storage.TileKey) error {
+	if err := c.pre("delete"); err != nil {
+		return err
+	}
+	c.in.passthroughs.Add(1)
+	return c.next.Delete(key)
+}
+
+// ---- http.RoundTripper wrapper ----
+
+// Transport wraps a RoundTripper (http.DefaultTransport when nil) so
+// requests through it experience the injector's network faults. Give
+// the result to a storage.Client via &http.Client{Transport: ...}.
+func (in *Injector) Transport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &chaosTransport{in: in, next: next}
+}
+
+type chaosTransport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if c.in.Down() {
+		c.in.errors.Add(1)
+		return nil, &ErrInjected{Op: "connect " + req.URL.Path}
+	}
+	r := c.in.roll()
+	if r.latency {
+		c.in.latencies.Add(1)
+		if err := sleep(req.Context().Done(), c.in.cfg.Latency); err != nil {
+			return nil, req.Context().Err()
+		}
+	}
+	if r.fail {
+		c.in.errors.Add(1)
+		if r.failConn {
+			return nil, &ErrInjected{Op: "connect " + req.URL.Path}
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(bytes.NewReader([]byte("chaos: injected 503"))),
+			Request:    req,
+		}, nil
+	}
+	resp, err := c.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// Payload faults only make sense on successful bodies.
+	if resp.StatusCode != http.StatusOK || resp.Body == nil {
+		c.in.passthroughs.Add(1)
+		return resp, nil
+	}
+	switch {
+	case r.corrupt:
+		c.in.corruptions.Add(1)
+		return rewriteBody(resp, func(b []byte) []byte { return flipBit(b, r.bitFrac) })
+	case r.truncate:
+		c.in.truncations.Add(1)
+		return rewriteBody(resp, func(b []byte) []byte { return cut(b, r.truncateFrac) })
+	case r.partial:
+		c.in.partials.Add(1)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		n := int(r.partialFrac * float64(len(body)))
+		resp.Body = io.NopCloser(&partialReader{data: body, n: n})
+		return resp, nil
+	}
+	c.in.passthroughs.Add(1)
+	return resp, nil
+}
+
+// rewriteBody replaces a response body with fn applied to its full
+// contents, fixing Content-Length so the damage reaches the client
+// instead of tripping transport-layer length checks.
+func rewriteBody(resp *http.Response, fn func([]byte) []byte) (*http.Response, error) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	out := fn(body)
+	resp.Body = io.NopCloser(bytes.NewReader(out))
+	resp.ContentLength = int64(len(out))
+	resp.Header.Set("Content-Length", fmt.Sprint(len(out)))
+	return resp, nil
+}
+
+// partialReader yields n bytes then fails like a reset connection.
+type partialReader struct {
+	data []byte
+	n    int
+	off  int
+}
+
+func (p *partialReader) Read(b []byte) (int, error) {
+	if p.off >= p.n {
+		return 0, fmt.Errorf("chaos: connection reset after %d bytes: %w", p.n, io.ErrUnexpectedEOF)
+	}
+	n := copy(b, p.data[p.off:p.n])
+	p.off += n
+	return n, nil
+}

@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hdmaps/internal/storage"
+)
+
+func tileBytes(t *testing.T) []byte {
+	t.Helper()
+	// Any payload works for the wrappers; realistic tiles are exercised
+	// by the integration tests.
+	return []byte("0123456789abcdefghijklmnopqrstuvwxyz")
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorProb: 0.5, CorruptProb: 0.5, TruncateProb: 0.3}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 100; i++ {
+		ra, rb := a.roll(), b.roll()
+		if ra != rb {
+			t.Fatalf("roll %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestFlipBitChangesExactlyOneBit(t *testing.T) {
+	data := tileBytes(t)
+	out := flipBit(data, 0.37)
+	if len(out) != len(data) {
+		t.Fatalf("length changed: %d -> %d", len(data), len(out))
+	}
+	diff := 0
+	for i := range data {
+		x := data[i] ^ out[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want 1", diff)
+	}
+}
+
+func TestCutIsStrictPrefix(t *testing.T) {
+	data := tileBytes(t)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.999999} {
+		out := cut(data, frac)
+		if len(out) >= len(data) {
+			t.Fatalf("frac %v: not a strict prefix (%d >= %d)", frac, len(out), len(data))
+		}
+		if string(out) != string(data[:len(out)]) {
+			t.Fatalf("frac %v: not a prefix", frac)
+		}
+	}
+}
+
+func TestChaosStoreFaults(t *testing.T) {
+	inner := storage.NewMemStore()
+	key := storage.TileKey{Layer: "base", TX: 1, TY: 2}
+	orig := tileBytes(t)
+	if err := inner.Put(key, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// Always-corrupt store: every read differs from the original.
+	in := New(Config{Seed: 1, CorruptProb: 1})
+	st := in.Store(inner)
+	got, err := st.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == string(orig) {
+		t.Fatal("corruption injected but payload unchanged")
+	}
+	if st := in.Stats(); st.Corruptions == 0 {
+		t.Fatalf("stats did not record corruption: %+v", st)
+	}
+
+	// Always-error store.
+	in = New(Config{Seed: 1, ErrorProb: 1})
+	st = in.Store(inner)
+	if _, err := st.Get(key); err == nil {
+		t.Fatal("error fault not injected")
+	}
+	var inj *ErrInjected
+	if _, err := st.Get(key); !errors.As(err, &inj) {
+		t.Fatalf("injected error has wrong type: %v", err)
+	}
+
+	// Down dominates everything, including writes and listings.
+	in = New(Config{Seed: 1})
+	st = in.Store(inner)
+	in.SetDown(true)
+	if _, err := st.Get(key); err == nil {
+		t.Fatal("down store served a read")
+	}
+	if err := st.Put(key, orig); err == nil {
+		t.Fatal("down store accepted a write")
+	}
+	if _, err := st.Keys("base"); err == nil {
+		t.Fatal("down store listed keys")
+	}
+	if _, err := st.ListLayers(); err == nil {
+		t.Fatal("down store listed layers")
+	}
+	in.SetDown(false)
+	if got, err := st.Get(key); err != nil || string(got) != string(orig) {
+		t.Fatalf("store did not recover: %v", err)
+	}
+}
+
+func TestChaosTransportFaults(t *testing.T) {
+	payload := tileBytes(t)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(payload)
+	}))
+	defer backend.Close()
+
+	get := func(rt http.RoundTripper) ([]byte, error) {
+		c := &http.Client{Transport: rt}
+		resp, err := c.Get(backend.URL)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, errors.New(resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+
+	// Corruption: same length, different bytes.
+	in := New(Config{Seed: 5, CorruptProb: 1})
+	got, err := get(in.Transport(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) || string(got) == string(payload) {
+		t.Fatalf("corrupt transport: len %d vs %d, equal=%v", len(got), len(payload), string(got) == string(payload))
+	}
+
+	// Truncation: strict prefix.
+	in = New(Config{Seed: 5, TruncateProb: 1})
+	got, err = get(in.Transport(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(payload) || string(got) != string(payload[:len(got)]) {
+		t.Fatalf("truncated transport returned %d bytes of %d", len(got), len(payload))
+	}
+
+	// Partial read: the body errors mid-stream.
+	in = New(Config{Seed: 5, PartialProb: 1})
+	if _, err = get(in.Transport(nil)); err == nil {
+		t.Fatal("partial-read fault produced a clean body")
+	}
+
+	// Errors: either a connection error or a 503 — never a clean 200.
+	in = New(Config{Seed: 5, ErrorProb: 1})
+	for i := 0; i < 10; i++ {
+		if _, err := get(in.Transport(nil)); err == nil {
+			t.Fatal("error fault produced a clean response")
+		}
+	}
+
+	// Down: immediate connection failure; recovery after SetDown(false).
+	in = New(Config{Seed: 5})
+	rt := in.Transport(nil)
+	in.SetDown(true)
+	if _, err := get(rt); err == nil {
+		t.Fatal("down transport connected")
+	}
+	in.SetDown(false)
+	if got, err := get(rt); err != nil || string(got) != string(payload) {
+		t.Fatalf("transport did not recover: %v", err)
+	}
+}
+
+func TestChaosTransportLatencyRespectsContext(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer backend.Close()
+	in := New(Config{Seed: 5, LatencyProb: 1, Latency: 10 * time.Second})
+	c := &http.Client{Transport: in.Transport(nil), Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Get(backend.URL)
+	if err == nil {
+		t.Fatal("latency-injected request succeeded within timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("injected latency ignored the deadline: took %v", elapsed)
+	}
+}

@@ -1,0 +1,305 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hdmaps"
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/core"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+// publishCity generates a city, tiles it, and stands up a tile server.
+func publishCity(t *testing.T, seed int64) (*httptest.Server, *core.Map, int) {
+	t.Helper()
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 2, Cols: 3, Block: 150, Lanes: 2, TrafficLights: true,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewMemStore()
+	n, err := storage.Tiler{TileSize: 200}.SaveMap(store, g.Map, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storage.NewTileServer(store))
+	t.Cleanup(srv.Close)
+	return srv, g.Map, n
+}
+
+// TestChaosEndToEndRecovery drives tiler→server→client→route-graph with
+// 30% injected corruption and 30% injected errors on every hop of the
+// wire. Retries plus checksums must recover a byte-exact region — the
+// acceptance bar from the issue: never a panic, never a silently wrong
+// map.
+func TestChaosEndToEndRecovery(t *testing.T) {
+	ctx := context.Background()
+	srv, _, nTiles := publishCity(t, 901)
+
+	// Reference fetch over a clean wire.
+	clean := &storage.Client{Base: srv.URL}
+	want, wantHealth, err := clean.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantHealth.Fresh != nTiles || wantHealth.Degraded {
+		t.Fatalf("clean fetch unhealthy: %+v", wantHealth)
+	}
+
+	// Same fetch through a hostile wire.
+	injector := chaos.New(chaos.Config{
+		Seed:        17,
+		ErrorProb:   0.3,
+		CorruptProb: 0.3,
+		LatencyProb: 0.1, Latency: time.Millisecond,
+		TruncateProb: 0.1,
+		PartialProb:  0.1,
+	})
+	chaotic := &storage.Client{
+		Base:  srv.URL,
+		HTTP:  &http.Client{Transport: injector.Transport(nil)},
+		Retry: storage.RetryPolicy{MaxAttempts: 16, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Budget: 4096},
+	}
+	got, health, err := chaotic.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err != nil {
+		t.Fatalf("fetch under chaos failed: %v (stats %+v)", err, injector.Stats())
+	}
+	if health.Degraded || health.Fresh != nTiles {
+		t.Fatalf("chaos fetch degraded despite retries: %+v (stats %+v)", health, injector.Stats())
+	}
+	if !bytes.Equal(storage.EncodeBinary(got), storage.EncodeBinary(want)) {
+		t.Fatal("region recovered under chaos is not byte-exact")
+	}
+	st := injector.Stats()
+	if st.Errors == 0 || st.Corruptions == 0 {
+		t.Fatalf("chaos plan injected nothing: %+v", st)
+	}
+
+	// The recovered map must still support planning.
+	g, err := got.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		t.Fatal("recovered map has no routable lanelets")
+	}
+	if _, err := hdmaps.FindRoute(g, nodes[0], nodes[len(nodes)-1]); err != nil {
+		t.Fatalf("routing on recovered map: %v", err)
+	}
+}
+
+// TestChaosDegradedModeOutage: a vehicle that has fetched once keeps a
+// usable map when the server goes completely dark — served stale from
+// cache, flagged Degraded, and still routable. A cacheless client gets
+// a hard error, not a panic.
+func TestChaosDegradedModeOutage(t *testing.T) {
+	ctx := context.Background()
+	srv, _, nTiles := publishCity(t, 902)
+
+	injector := chaos.New(chaos.Config{Seed: 3})
+	cache := storage.NewTileCache(128)
+	client := &storage.Client{
+		Base:  srv.URL,
+		HTTP:  &http.Client{Transport: injector.Transport(nil)},
+		Retry: storage.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Cache: cache,
+	}
+	fresh, health, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Degraded {
+		t.Fatalf("healthy fetch flagged degraded: %+v", health)
+	}
+	if cache.Len() != nTiles {
+		t.Fatalf("cache holds %d tiles, want %d", cache.Len(), nTiles)
+	}
+
+	// Total outage.
+	injector.SetDown(true)
+	stale, health2, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err != nil {
+		t.Fatalf("outage fetch errored instead of degrading: %v", err)
+	}
+	if !health2.Degraded || health2.Stale != nTiles || health2.Fresh != 0 {
+		t.Fatalf("outage health = %+v, want all-stale degraded", health2)
+	}
+	if !bytes.Equal(storage.EncodeBinary(stale), storage.EncodeBinary(fresh)) {
+		t.Fatal("stale region differs from last-known-good")
+	}
+	// Routing still works on the stale map.
+	g, err := stale.BuildRouteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		t.Fatal("stale map has no routable lanelets")
+	}
+	if _, err := hdmaps.FindRoute(g, nodes[0], nodes[len(nodes)-1]); err != nil {
+		t.Fatalf("routing on stale map: %v", err)
+	}
+
+	// Without a cache the same outage is an explicit error.
+	bare := &storage.Client{
+		Base:  srv.URL,
+		HTTP:  &http.Client{Transport: injector.Transport(nil)},
+		Retry: storage.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	}
+	if _, _, err := bare.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard"); err == nil {
+		t.Fatal("cacheless outage fetch succeeded")
+	}
+
+	// Server returns; the next fetch is fully fresh again.
+	injector.SetDown(false)
+	_, health3, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health3.Degraded || health3.Fresh != nTiles {
+		t.Fatalf("post-recovery health = %+v", health3)
+	}
+}
+
+// TestChaosPartialOutageStaleMix: individual tile fetches fail hard
+// (every attempt) but the cache fills the holes and reports them stale.
+func TestChaosPartialOutageStaleMix(t *testing.T) {
+	ctx := context.Background()
+	srv, _, nTiles := publishCity(t, 903)
+
+	cache := storage.NewTileCache(128)
+	warm := &storage.Client{Base: srv.URL, Cache: cache}
+	if _, _, err := warm.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now fetch through a wire so hostile some tiles exhaust retries.
+	injector := chaos.New(chaos.Config{Seed: 11, ErrorProb: 0.85})
+	client := &storage.Client{
+		Base:  srv.URL,
+		HTTP:  &http.Client{Transport: injector.Transport(nil)},
+		Retry: storage.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Budget: 1000},
+		Cache: cache,
+	}
+	m, health, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err != nil {
+		t.Fatalf("partial outage should degrade, not fail: %v", err)
+	}
+	if !health.Degraded || health.Stale == 0 {
+		t.Fatalf("expected a degraded stale mix, got %+v", health)
+	}
+	if health.Fresh+health.Stale != nTiles || len(health.Missing) != 0 {
+		t.Fatalf("cache should cover every hole: %+v", health)
+	}
+	if m.NumElements() == 0 {
+		t.Fatal("degraded region is empty")
+	}
+}
+
+// TestChaosRetryBudgetExhaustion: the per-operation budget stops a
+// pathological region from retrying forever.
+func TestChaosRetryBudgetExhaustion(t *testing.T) {
+	ctx := context.Background()
+	srv, _, _ := publishCity(t, 904)
+	injector := chaos.New(chaos.Config{Seed: 23, ErrorProb: 0.95})
+	client := &storage.Client{
+		Base:  srv.URL,
+		HTTP:  &http.Client{Transport: injector.Transport(nil)},
+		Retry: storage.RetryPolicy{MaxAttempts: 50, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Budget: 5},
+	}
+	_, _, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err == nil {
+		t.Fatal("95% error wire with budget 5 succeeded")
+	}
+	st := injector.Stats()
+	total := st.Errors + st.Corruptions + st.Truncations + st.Partials + st.Passthroughs
+	// Budget 5 retries + one first attempt per logical request; a
+	// handful of requests at most ever hit the wire.
+	if total > 40 {
+		t.Fatalf("budget did not bound the retry storm: %d wire operations (%+v)", total, st)
+	}
+}
+
+// TestChaosDeadlineBoundsRetries: the caller's context deadline caps
+// total wall-clock even under injected latency — a vehicle asking for
+// a map "within 150ms" gets an answer (or a timely error) near that
+// deadline, not after the full retry schedule.
+func TestChaosDeadlineBoundsRetries(t *testing.T) {
+	srv, _, _ := publishCity(t, 905)
+	injector := chaos.New(chaos.Config{Seed: 29, LatencyProb: 1, Latency: 200 * time.Millisecond, ErrorProb: 0.5})
+	client := &storage.Client{
+		Base:    srv.URL,
+		HTTP:    &http.Client{Transport: injector.Transport(nil)},
+		Retry:   storage.RetryPolicy{MaxAttempts: 20, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Timeout: time.Second,
+	}
+	deadline := 150 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, err := client.GetTile(ctx, storage.TileKey{Layer: "base", TX: 0, TY: 0})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fetch beat a deadline shorter than the injected latency")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Allow generous scheduling slack, but nowhere near the 20-attempt
+	// retry schedule (~4s of latency alone).
+	if elapsed > deadline+500*time.Millisecond {
+		t.Fatalf("fetch overran its deadline: %v", elapsed)
+	}
+}
+
+// TestChaosStoreServerSide runs the fault injector behind the server
+// (flaky disk rather than flaky wire): 5xx responses and corrupted
+// payloads must still never produce a wrong map — the client retries
+// until the store yields a clean read.
+func TestChaosStoreServerSide(t *testing.T) {
+	ctx := context.Background()
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 2, Cols: 2, Block: 150, Lanes: 2,
+	}, rand.New(rand.NewSource(906)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewMemStore()
+	injector := chaos.New(chaos.Config{Seed: 31, ErrorProb: 0.3, CorruptProb: 0.3, TruncateProb: 0.1})
+	srv := httptest.NewServer(storage.NewTileServer(injector.Store(store)))
+	defer srv.Close()
+
+	client := &storage.Client{Base: srv.URL, Retry: storage.RetryPolicy{MaxAttempts: 16, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Budget: 4096}}
+	// Publish through HTTP PUT (the real pipeline path) so the server
+	// records write-time checksums; corruption at rest is then
+	// detectable on every later read.
+	for key, tm := range (storage.Tiler{TileSize: 200}).Split(g.Map, "base") {
+		if err := client.PutTile(ctx, key, storage.EncodeBinary(tm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := storage.Tiler{}.LoadMap(store, "base", "onboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, health, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, "onboard")
+	if err != nil {
+		t.Fatalf("fetch against chaotic store failed: %v (stats %+v)", err, injector.Stats())
+	}
+	if health.Degraded {
+		t.Fatalf("fetch degraded despite retries: %+v", health)
+	}
+	if !bytes.Equal(storage.EncodeBinary(got), storage.EncodeBinary(want)) {
+		t.Fatal("map recovered from chaotic store is not byte-exact")
+	}
+}

@@ -1,0 +1,443 @@
+package storage
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hdmaps/internal/core"
+)
+
+// ErrChecksum is returned when a fetched tile's payload does not match
+// the server's checksum header — the wire damaged it. It is transient:
+// the retry loop treats it like a 5xx and refetches.
+var ErrChecksum = errors.New("storage: tile checksum mismatch")
+
+// ErrBudget is returned when a fetch gives up because the retry budget
+// for the whole operation is exhausted.
+var ErrBudget = errors.New("storage: retry budget exhausted")
+
+// RetryPolicy bounds how hard the client fights a misbehaving network.
+// The zero value is usable: it resolves to the defaults documented on
+// each field.
+type RetryPolicy struct {
+	// MaxAttempts is the per-request attempt cap, first try included
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms);
+	// it doubles per attempt with full jitter applied.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+	// Budget caps the total number of retries (attempts beyond the
+	// first) spent across one multi-request operation such as
+	// FetchRegion (default 64). Individual requests count against it so
+	// one flaky region cannot stall a vehicle indefinitely.
+	Budget int
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+func (p RetryPolicy) budget() int {
+	if p.Budget <= 0 {
+		return 64
+	}
+	return p.Budget
+}
+
+// backoff returns the sleep before retry number n (n=1 is the first
+// retry), exponential with full jitter.
+func (p RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := p.base() << uint(n-1)
+	if d > p.max() || d <= 0 {
+		d = p.max()
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rng.Float64()))
+}
+
+// Client pulls tiles from a TileServer — the vehicle-side consumer.
+// All fetches take a context; per-attempt timeouts, retries with
+// exponential backoff, and checksum verification are built in, because
+// over a cellular link to a moving vehicle the failure path is the hot
+// path.
+type Client struct {
+	// Base is the server URL, e.g. "http://maps.internal:8080".
+	Base string
+	// HTTP is the client to use (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Retry is the retry policy; its zero value means sane defaults.
+	Retry RetryPolicy
+	// Timeout bounds each individual attempt (default 10s). The
+	// caller's context still bounds the whole operation.
+	Timeout time.Duration
+	// Cache, when set, keeps last-known-good tiles so FetchRegion can
+	// degrade to stale data instead of failing when the server is
+	// unreachable.
+	Cache *TileCache
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.Timeout
+}
+
+// jitter draws a jitter factor; the rng is lazily seeded and mutex-held
+// so concurrent fetches stay race-free.
+func (c *Client) sleepBackoff(ctx context.Context, retry int) error {
+	c.rngMu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := c.Retry.backoff(retry, c.rng)
+	c.rngMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientError marks an error worth retrying.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func transient(err error) error { return &transientError{err: err} }
+
+func isTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// doRetry runs one logical request under the retry policy. budget may
+// be nil (per-request budget only). fn performs a single attempt; it
+// classifies its own failures by wrapping retryable ones via
+// transient().
+func (c *Client) doRetry(ctx context.Context, budget *int, fn func(ctx context.Context) error) error {
+	attempts := c.Retry.attempts()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, c.timeout())
+		err := fn(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		// The caller's deadline expiring is final; a per-attempt
+		// timeout (actx expired, ctx still live) is transient.
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
+		}
+		if !isTransient(err) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if attempt >= attempts {
+			return lastErr
+		}
+		if budget != nil {
+			if *budget <= 0 {
+				return fmt.Errorf("%w: %v", ErrBudget, lastErr)
+			}
+			*budget--
+		}
+		if err := c.sleepBackoff(ctx, attempt); err != nil {
+			return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+		}
+	}
+}
+
+// classifyStatus converts a non-2xx response into an error, marking
+// 5xx (and 429) transient.
+func classifyStatus(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	err := fmt.Errorf("storage client: %s: %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests ||
+		resp.Header.Get(TransientHeader) != "" {
+		return transient(err)
+	}
+	return err
+}
+
+// getJSON fetches a URL and decodes its JSON body with retries.
+func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out interface{}) error {
+	return c.doRetry(ctx, budget, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return classifyStatus(op, resp)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return transient(err)
+		}
+		// Metadata is integrity-checked like tiles: a bit flip in the
+		// tile list could silently shrink the vehicle's map.
+		if want := resp.Header.Get(ChecksumHeader); want != "" && want != Checksum(data) {
+			return transient(fmt.Errorf("storage client: %s: %w", op, ErrChecksum))
+		}
+		// A corrupted JSON body is indistinguishable from truncation;
+		// both are wire damage, so retry.
+		if err := json.Unmarshal(data, out); err != nil {
+			return transient(fmt.Errorf("storage client: %s: %w", op, err))
+		}
+		return nil
+	})
+}
+
+// Layers lists the server's layers.
+func (c *Client) Layers(ctx context.Context) ([]string, error) {
+	var out []string
+	if err := c.getJSON(ctx, nil, "layers", c.Base+"/v1/layers", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) tileURL(key TileKey) string {
+	return fmt.Sprintf("%s/v1/tiles/%s/%d/%d", c.Base, key.Layer, key.TX, key.TY)
+}
+
+// GetTile fetches one tile's bytes with retries and checksum
+// verification; ErrNoTile when absent. Successful fetches refresh the
+// client's Cache when one is configured.
+func (c *Client) GetTile(ctx context.Context, key TileKey) ([]byte, error) {
+	return c.getTile(ctx, nil, key)
+}
+
+func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte, error) {
+	var data []byte
+	err := c.doRetry(ctx, budget, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.tileURL(key), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return fmt.Errorf("%v: %w", key, ErrNoTile)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return classifyStatus("get tile", resp)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return transient(err)
+		}
+		// Verify payload integrity against the server's checksum; a
+		// mismatch is wire corruption, so retry rather than hand a
+		// silently wrong map to the planner.
+		if want := resp.Header.Get(ChecksumHeader); want != "" && want != Checksum(body) {
+			return transient(fmt.Errorf("%v: %w", key, ErrChecksum))
+		}
+		// The checksum covers the wire, not the server's disk: a tile
+		// corrupted at rest checksums "correctly", so also require a
+		// structurally valid map before accepting the payload.
+		if _, derr := DecodeBinary(body); derr != nil {
+			return transient(fmt.Errorf("%v: invalid tile payload: %w", key, derr))
+		}
+		data = body
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.Cache != nil {
+		c.Cache.Put(key, data)
+	}
+	return data, nil
+}
+
+// PutTile uploads one tile with retries; the payload checksum travels
+// in the request header so the server can reject in-transit damage.
+func (c *Client) PutTile(ctx context.Context, key TileKey, data []byte) error {
+	sum := Checksum(data)
+	return c.doRetry(ctx, nil, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.tileURL(key), strings.NewReader(string(data)))
+		if err != nil {
+			return err
+		}
+		req.Header.Set(ChecksumHeader, sum)
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return classifyStatus("put tile", resp)
+		}
+		return nil
+	})
+}
+
+// TileState classifies how one tile of a region was obtained.
+type TileState int
+
+const (
+	// TileFresh means the tile came from the server this fetch.
+	TileFresh TileState = iota
+	// TileStale means the server failed and the cache served a
+	// last-known-good copy.
+	TileStale
+	// TileMissing means neither server nor cache could provide it.
+	TileMissing
+)
+
+// RegionHealth reports how a FetchRegion call actually went — the
+// vehicle's map-health signal for downstream consumers (a planner may
+// slow down on a stale map and refuse to act on a missing one).
+type RegionHealth struct {
+	// Requested counts tiles that should make up the region.
+	Requested int
+	// Fresh, Stale count tiles by provenance.
+	Fresh, Stale int
+	// Missing lists tiles neither the server nor the cache had.
+	Missing []TileKey
+	// Degraded is true when anything other than a fully fresh region
+	// was returned: stale tiles, missing tiles, or a cache-derived
+	// tile list because the server was unreachable.
+	Degraded bool
+	// Errors carries one representative fetch error per degraded tile
+	// (bounded; diagnostic only).
+	Errors []error
+}
+
+func (h *RegionHealth) addError(err error) {
+	if len(h.Errors) < 8 {
+		h.Errors = append(h.Errors, err)
+	}
+}
+
+// FetchRegion downloads all tiles of a layer whose coordinates fall in
+// [tx0,tx1]×[ty0,ty1] and stitches them into one map — the vehicle's
+// map-region pull. The health report says whether the result is fully
+// fresh or degraded; with a Cache configured, server failures degrade
+// to last-known-good tiles instead of failing the whole stitch. An
+// error is returned only when no usable region can be assembled at
+// all.
+func (c *Client) FetchRegion(ctx context.Context, layer string, tx0, ty0, tx1, ty1 int32, name string) (*core.Map, *RegionHealth, error) {
+	health := &RegionHealth{}
+	budget := c.Retry.budget()
+
+	var listed []struct {
+		TX int32 `json:"tx"`
+		TY int32 `json:"ty"`
+	}
+	keys := make([]TileKey, 0)
+	err := c.getJSON(ctx, &budget, "list tiles", c.Base+"/v1/tiles/"+layer, &listed)
+	if err == nil {
+		for _, k := range listed {
+			if k.TX < tx0 || k.TX > tx1 || k.TY < ty0 || k.TY > ty1 {
+				continue
+			}
+			keys = append(keys, TileKey{Layer: layer, TX: k.TX, TY: k.TY})
+		}
+	} else {
+		if ctx.Err() != nil || c.Cache == nil {
+			return nil, nil, err
+		}
+		// Server unreachable: degrade to the cache's view of the region.
+		health.Degraded = true
+		health.addError(err)
+		for _, k := range c.Cache.Keys(layer) {
+			if k.TX < tx0 || k.TX > tx1 || k.TY < ty0 || k.TY > ty1 {
+				continue
+			}
+			keys = append(keys, k)
+		}
+	}
+	health.Requested = len(keys)
+
+	store := NewMemStore()
+	for _, key := range keys {
+		data, err := c.getTile(ctx, &budget, key)
+		switch {
+		case err == nil:
+			health.Fresh++
+		case ctx.Err() != nil:
+			return nil, nil, err
+		case errors.Is(err, ErrNoTile):
+			// Listed but deleted between list and get: skip, not degraded.
+			health.Requested--
+			continue
+		default:
+			health.Degraded = true
+			health.addError(err)
+			if c.Cache != nil {
+				if cached, _, ok := c.Cache.Get(key); ok {
+					health.Stale++
+					data = cached
+					break
+				}
+			}
+			health.Missing = append(health.Missing, key)
+			continue
+		}
+		if err := store.Put(key, data); err != nil {
+			return nil, nil, err
+		}
+	}
+	if health.Fresh+health.Stale == 0 {
+		if len(health.Errors) > 0 {
+			return nil, nil, fmt.Errorf("region unavailable (%d tiles failed): %w", len(health.Missing), health.Errors[0])
+		}
+		return nil, nil, fmt.Errorf("region empty: %w", ErrNoTile)
+	}
+	m, err := Tiler{}.LoadMap(store, layer, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, health, nil
+}

@@ -251,7 +251,10 @@ func (r *reader) polyline() (geo.Polyline, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n > uint64(r.buf.Len()) { // each vertex needs >= 2 bytes
+	// Each vertex is two varints of >= 1 byte each, so n vertices need
+	// at least 2n remaining bytes; checking before make() stops a forged
+	// count from over-allocating.
+	if n > uint64(r.buf.Len())/2 {
 		return nil, fmt.Errorf("%w: polyline of %d vertices exceeds input", ErrBadFormat, n)
 	}
 	out := make(geo.Polyline, n)
@@ -280,7 +283,8 @@ func (r *reader) attrs() (map[string]string, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	if n > uint64(r.buf.Len()) {
+	// Each attr is two strings with >= 1 length byte apiece.
+	if n > uint64(r.buf.Len())/2 {
 		return nil, fmt.Errorf("%w: attr count %d exceeds input", ErrBadFormat, n)
 	}
 	out := make(map[string]string, n)

@@ -4,15 +4,34 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
-
-	"hdmaps/internal/core"
 )
+
+// ChecksumHeader carries the CRC32-C (Castagnoli) checksum of a tile
+// payload, as lowercase hex. The server sets it on every tile GET so
+// clients can verify integrity end-to-end; clients set it on PUT so the
+// server can reject uploads corrupted in transit before they ever reach
+// the store.
+const ChecksumHeader = "X-Tile-Crc32c"
+
+// TransientHeader marks a 4xx response as caused by in-transit damage
+// rather than a bad request, telling clients the attempt is worth
+// retrying.
+const TransientHeader = "X-Tile-Transient"
+
+// castagnoli is the CRC32-C table used for tile checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32-C of a tile payload, formatted for
+// ChecksumHeader.
+func Checksum(data []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(data, castagnoli))
+}
 
 // TileServer exposes a TileStore over HTTP — the central map-distribution
 // node of the ecosystem (vehicles pull tiles for their region; update
@@ -26,18 +45,26 @@ import (
 //	PUT    /v1/tiles/{layer}/{tx}/{ty}   <- tile bytes
 //	DELETE /v1/tiles/{layer}/{tx}/{ty}
 //
-// Concurrency follows the store's guarantees; the server adds a
-// read-write mutex so a PUT is atomic relative to GETs of the same key.
+// Tile GETs carry a ChecksumHeader; error responses have a JSON body
+// {"error": "..."}. Concurrency follows the store's guarantees; the
+// server adds a read-write mutex so a PUT is atomic relative to GETs of
+// the same key.
 type TileServer struct {
 	store TileStore
 	mu    sync.RWMutex
+	// sums remembers each tile's checksum as computed at PUT time. A GET
+	// serves the write-time checksum when one is known, so corruption at
+	// rest (a flaky disk between Put and Get) is detectable by clients —
+	// a checksum recomputed over already-damaged bytes would vouch for
+	// the damage.
+	sums map[TileKey]string
 	// MaxTileBytes bounds accepted uploads (default 16 MiB).
 	MaxTileBytes int64
 }
 
 // NewTileServer wraps a store.
 func NewTileServer(store TileStore) *TileServer {
-	return &TileServer{store: store, MaxTileBytes: 16 << 20}
+	return &TileServer{store: store, sums: make(map[TileKey]string), MaxTileBytes: 16 << 20}
 }
 
 // ServeHTTP implements http.Handler.
@@ -45,14 +72,22 @@ func (s *TileServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	parts := strings.Split(path, "/")
 	switch {
-	case len(parts) == 2 && parts[0] == "v1" && parts[1] == "layers" && r.Method == http.MethodGet:
+	case len(parts) == 2 && parts[0] == "v1" && parts[1] == "layers":
+		if r.Method != http.MethodGet {
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
 		s.handleLayers(w)
-	case len(parts) == 3 && parts[0] == "v1" && parts[1] == "tiles" && r.Method == http.MethodGet:
+	case len(parts) == 3 && parts[0] == "v1" && parts[1] == "tiles":
+		if r.Method != http.MethodGet {
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
 		s.handleList(w, parts[2])
 	case len(parts) == 5 && parts[0] == "v1" && parts[1] == "tiles":
 		key, err := parseKey(parts[2], parts[3], parts[4])
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		switch r.Method {
@@ -63,10 +98,10 @@ func (s *TileServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case http.MethodDelete:
 			s.handleDelete(w, key)
 		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
 		}
 	default:
-		http.Error(w, "not found", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "not found")
 	}
 }
 
@@ -86,34 +121,17 @@ func parseKey(layer, txs, tys string) (TileKey, error) {
 }
 
 func (s *TileServer) handleLayers(w http.ResponseWriter) {
-	// Layers are discovered from the store by probing known keys; the
-	// TileStore interface lists per layer, so servers track layers by
-	// convention: a meta key per layer would be overkill for this use,
-	// and MemStore/DirStore iterate cheaply.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	layers := map[string]bool{}
-	switch st := s.store.(type) {
-	case *MemStore:
-		st.mu.RLock()
-		for k := range st.tiles {
-			layers[k.Layer] = true
-		}
-		st.mu.RUnlock()
-	case *DirStore:
-		ents, err := listDirLayers(st.root)
-		if err == nil {
-			for _, l := range ents {
-				layers[l] = true
-			}
-		}
+	layers, err := s.store.ListLayers()
+	s.mu.RUnlock()
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
 	}
-	out := make([]string, 0, len(layers))
-	for l := range layers {
-		out = append(out, l)
+	if layers == nil {
+		layers = []string{}
 	}
-	sortStrings(out)
-	writeJSON(w, out)
+	writeJSON(w, layers)
 }
 
 func (s *TileServer) handleList(w http.ResponseWriter, layer string) {
@@ -121,7 +139,7 @@ func (s *TileServer) handleList(w http.ResponseWriter, layer string) {
 	keys, err := s.store.Keys(layer)
 	s.mu.RUnlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	type entry struct {
@@ -138,16 +156,23 @@ func (s *TileServer) handleList(w http.ResponseWriter, layer string) {
 func (s *TileServer) handleGet(w http.ResponseWriter, key TileKey) {
 	s.mu.RLock()
 	data, err := s.store.Get(key)
+	sum, haveSum := s.sums[key]
 	s.mu.RUnlock()
 	if errors.Is(err, ErrNoTile) {
-		http.Error(w, "tile not found", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "tile not found")
 		return
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if !haveSum {
+		// Tile predates this server instance (loaded out of band): the
+		// best available checksum is over what the store returned now.
+		sum = Checksum(data)
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(ChecksumHeader, sum)
 	_, _ = w.Write(data)
 }
 
@@ -158,24 +183,36 @@ func (s *TileServer) handlePut(w http.ResponseWriter, r *http.Request, key TileK
 	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if int64(len(data)) > limit {
-		http.Error(w, "tile too large", http.StatusRequestEntityTooLarge)
+		writeJSONError(w, http.StatusRequestEntityTooLarge, "tile too large")
+		return
+	}
+	// A checksum mismatch means the payload was damaged in transit — the
+	// uploader should retry, so refuse before the decode check and mark
+	// the failure retryable for well-behaved clients.
+	if want := r.Header.Get(ChecksumHeader); want != "" && want != Checksum(data) {
+		w.Header().Set(TransientHeader, "checksum-mismatch")
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Sprintf("checksum mismatch: got %s want %s", Checksum(data), want))
 		return
 	}
 	// Tiles must decode as maps: the server refuses corrupt uploads so a
 	// bad producer cannot poison consumers.
 	if _, err := DecodeBinary(data); err != nil {
-		http.Error(w, fmt.Sprintf("invalid tile: %v", err), http.StatusUnprocessableEntity)
+		writeJSONError(w, http.StatusUnprocessableEntity, fmt.Sprintf("invalid tile: %v", err))
 		return
 	}
 	s.mu.Lock()
 	err = s.store.Put(key, data)
+	if err == nil {
+		s.sums[key] = Checksum(data)
+	}
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -184,139 +221,36 @@ func (s *TileServer) handlePut(w http.ResponseWriter, r *http.Request, key TileK
 func (s *TileServer) handleDelete(w http.ResponseWriter, key TileKey) {
 	s.mu.Lock()
 	err := s.store.Delete(key)
+	if err == nil {
+		delete(s.sums, key)
+	}
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// writeJSON sends a JSON body with a ChecksumHeader so clients can
+// detect in-transit damage to metadata (a corrupted tile list is as
+// dangerous as a corrupted tile).
 func writeJSON(w http.ResponseWriter, v interface{}) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	data = append(data, '\n')
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	w.Header().Set(ChecksumHeader, Checksum(data))
+	_, _ = w.Write(data)
 }
 
-// listDirLayers returns the layer directories of a DirStore root.
-func listDirLayers(root string) ([]string, error) {
-	ents, err := os.ReadDir(root)
-	if err != nil {
-		return nil, err
-	}
-	var out []string
-	for _, e := range ents {
-		if e.IsDir() {
-			out = append(out, e.Name())
-		}
-	}
-	return out, nil
-}
-
-// Client pulls tiles from a TileServer — the vehicle-side consumer.
-type Client struct {
-	// Base is the server URL, e.g. "http://maps.internal:8080".
-	Base string
-	// HTTP is the client to use (http.DefaultClient when nil).
-	HTTP *http.Client
-}
-
-func (c *Client) http() *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
-	}
-	return http.DefaultClient
-}
-
-// Layers lists the server's layers.
-func (c *Client) Layers() ([]string, error) {
-	resp, err := c.http().Get(c.Base + "/v1/layers")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("storage client: layers: %s", resp.Status)
-	}
-	var out []string
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// GetTile fetches one tile's bytes; ErrNoTile when absent.
-func (c *Client) GetTile(key TileKey) ([]byte, error) {
-	url := fmt.Sprintf("%s/v1/tiles/%s/%d/%d", c.Base, key.Layer, key.TX, key.TY)
-	resp, err := c.http().Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return nil, fmt.Errorf("%v: %w", key, ErrNoTile)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("storage client: get tile: %s", resp.Status)
-	}
-	return io.ReadAll(resp.Body)
-}
-
-// PutTile uploads one tile.
-func (c *Client) PutTile(key TileKey, data []byte) error {
-	url := fmt.Sprintf("%s/v1/tiles/%s/%d/%d", c.Base, key.Layer, key.TX, key.TY)
-	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(string(data)))
-	if err != nil {
-		return err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("storage client: put tile: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	return nil
-}
-
-// FetchRegion downloads all tiles of a layer whose coordinates fall in
-// [tx0,tx1]×[ty0,ty1] and stitches them into one map — the vehicle's
-// map-region pull.
-func (c *Client) FetchRegion(layer string, tx0, ty0, tx1, ty1 int32, name string) (*core.Map, error) {
-	resp, err := c.http().Get(c.Base + "/v1/tiles/" + layer)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("storage client: list tiles: %s", resp.Status)
-	}
-	var keys []struct {
-		TX int32 `json:"tx"`
-		TY int32 `json:"ty"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
-		return nil, err
-	}
-	store := NewMemStore()
-	found := 0
-	for _, k := range keys {
-		if k.TX < tx0 || k.TX > tx1 || k.TY < ty0 || k.TY > ty1 {
-			continue
-		}
-		key := TileKey{Layer: layer, TX: k.TX, TY: k.TY}
-		data, err := c.GetTile(key)
-		if err != nil {
-			return nil, err
-		}
-		if err := store.Put(key, data); err != nil {
-			return nil, err
-		}
-		found++
-	}
-	if found == 0 {
-		return nil, fmt.Errorf("region empty: %w", ErrNoTile)
-	}
-	return Tiler{}.LoadMap(store, layer, name)
+// writeJSONError sends {"error": msg} with the given status so clients
+// can distinguish structured failures from tile payloads.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -21,18 +23,19 @@ func newTestServer(t *testing.T) (*httptest.Server, *Client, *MemStore) {
 }
 
 func TestTileServerRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	_, client, _ := newTestServer(t)
 	m := testWorld(t, 501)
 	tiler := Tiler{TileSize: 200}
 	tiles := tiler.Split(m, "base")
 	// Push every tile through the HTTP API.
 	for key, tm := range tiles {
-		if err := client.PutTile(key, EncodeBinary(tm)); err != nil {
+		if err := client.PutTile(ctx, key, EncodeBinary(tm)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Layer discovery.
-	layers, err := client.Layers()
+	layers, err := client.Layers(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,28 +43,92 @@ func TestTileServerRoundTrip(t *testing.T) {
 		t.Fatalf("layers = %v", layers)
 	}
 	// Pull the whole region back and compare.
-	back, err := client.FetchRegion("base", -100, -100, 100, 100, m.Name)
+	back, health, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, m.Name)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if health.Degraded || health.Fresh != len(tiles) {
+		t.Fatalf("healthy fetch reported %+v", health)
 	}
 	mapsEquivalent(t, m, back)
 }
 
+// TestTileServerLayersAnyStore exercises layer discovery through the
+// TileStore interface alone — a custom store implementation must work,
+// not just MemStore/DirStore.
+func TestTileServerLayersAnyStore(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	srv := httptest.NewServer(NewTileServer(opaqueStore{inner}))
+	t.Cleanup(srv.Close)
+	client := &Client{Base: srv.URL}
+
+	m := core_NewTinyMap(t)
+	if err := inner.Put(TileKey{Layer: "crowd-signs", TX: 0, TY: 0}, EncodeBinary(m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Put(TileKey{Layer: "base", TX: 1, TY: 1}, EncodeBinary(m)); err != nil {
+		t.Fatal(err)
+	}
+	layers, err := client.Layers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 2 || layers[0] != "base" || layers[1] != "crowd-signs" {
+		t.Fatalf("layers = %v", layers)
+	}
+}
+
+// opaqueStore hides the concrete store type so any type-switch on
+// *MemStore/*DirStore would see neither.
+type opaqueStore struct{ TileStore }
+
 func TestTileServerErrors(t *testing.T) {
+	ctx := context.Background()
 	srv, client, _ := newTestServer(t)
 	// Missing tile -> ErrNoTile through the client.
-	if _, err := client.GetTile(TileKey{Layer: "base", TX: 9, TY: 9}); !errors.Is(err, ErrNoTile) {
+	if _, err := client.GetTile(ctx, TileKey{Layer: "base", TX: 9, TY: 9}); !errors.Is(err, ErrNoTile) {
 		t.Errorf("missing tile err = %v", err)
+	}
+	// Missing tile -> 404 with a JSON error body on the wire.
+	resp, err := http.Get(srv.URL + "/v1/tiles/base/9/9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Errorf("404 body is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || body.Error == "" {
+		t.Errorf("missing tile: status = %d, body = %+v", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("404 content-type = %q", ct)
 	}
 	// Corrupt upload rejected with 422.
 	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/tiles/base/0/0", strings.NewReader("garbage"))
-	resp, err := http.DefaultClient.Do(req)
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("corrupt PUT status = %d", resp.StatusCode)
+	}
+	// Upload whose checksum header disagrees with the body -> 400.
+	good := EncodeBinary(core_NewTinyMap(t))
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/tiles/base/0/0", strings.NewReader(string(good)))
+	req.Header.Set(ChecksumHeader, "deadbeef")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("checksum-mismatch PUT status = %d", resp.StatusCode)
 	}
 	// Bad coordinates -> 400.
 	resp, err = http.Get(srv.URL + "/v1/tiles/base/xx/0")
@@ -81,6 +148,22 @@ func TestTileServerErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown route status = %d", resp.StatusCode)
 	}
+	// Method not allowed: POST on a tile, DELETE on layers and list.
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/tiles/base/0/0"},
+		{http.MethodDelete, "/v1/layers"},
+		{http.MethodDelete, "/v1/tiles/base"},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s status = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
 	// Oversize upload -> 413.
 	ts, ok := srvHandler(srv)
 	if ok {
@@ -94,10 +177,32 @@ func TestTileServerErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Errorf("oversize status = %d", resp.StatusCode)
 		}
+		ts.MaxTileBytes = 16 << 20
 	}
 	// Empty region.
-	if _, err := client.FetchRegion("base", 0, 0, 0, 0, "x"); !errors.Is(err, ErrNoTile) {
+	if _, _, err := client.FetchRegion(ctx, "base", 0, 0, 0, 0, "x"); !errors.Is(err, ErrNoTile) {
 		t.Errorf("empty region err = %v", err)
+	}
+}
+
+// TestTileServerChecksumHeader verifies GETs carry a checksum the
+// client can verify.
+func TestTileServerChecksumHeader(t *testing.T) {
+	ctx := context.Background()
+	srv, client, _ := newTestServer(t)
+	m := core_NewTinyMap(t)
+	data := EncodeBinary(m)
+	key := TileKey{Layer: "base", TX: 0, TY: 0}
+	if err := client.PutTile(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/tiles/base/0/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(ChecksumHeader); got != Checksum(data) {
+		t.Errorf("checksum header = %q, want %q", got, Checksum(data))
 	}
 }
 
@@ -108,10 +213,11 @@ func srvHandler(srv *httptest.Server) (*TileServer, bool) {
 }
 
 func TestTileServerDelete(t *testing.T) {
+	ctx := context.Background()
 	srv, client, _ := newTestServer(t)
 	m := core_NewTinyMap(t)
 	key := TileKey{Layer: "base", TX: 0, TY: 0}
-	if err := client.PutTile(key, EncodeBinary(m)); err != nil {
+	if err := client.PutTile(ctx, key, EncodeBinary(m)); err != nil {
 		t.Fatal(err)
 	}
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/tiles/base/0/0", nil)
@@ -123,17 +229,18 @@ func TestTileServerDelete(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("delete status = %d", resp.StatusCode)
 	}
-	if _, err := client.GetTile(key); !errors.Is(err, ErrNoTile) {
+	if _, err := client.GetTile(ctx, key); !errors.Is(err, ErrNoTile) {
 		t.Errorf("tile survived delete: %v", err)
 	}
 }
 
 func TestTileServerConcurrentAccess(t *testing.T) {
+	ctx := context.Background()
 	_, client, _ := newTestServer(t)
 	m := core_NewTinyMap(t)
 	data := EncodeBinary(m)
 	key := TileKey{Layer: "base", TX: 1, TY: 1}
-	if err := client.PutTile(key, data); err != nil {
+	if err := client.PutTile(ctx, key, data); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -142,14 +249,14 @@ func TestTileServerConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := client.GetTile(key); err != nil {
+			if _, err := client.GetTile(ctx, key); err != nil {
 				errs <- err
 			}
 		}()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := client.PutTile(key, data); err != nil {
+			if err := client.PutTile(ctx, key, data); err != nil {
 				errs <- err
 			}
 		}()

@@ -52,6 +52,8 @@ type TileStore interface {
 	Get(key TileKey) ([]byte, error)
 	// Keys lists all stored tiles of a layer in Morton order.
 	Keys(layer string) ([]TileKey, error)
+	// ListLayers names every layer with at least one tile, sorted.
+	ListLayers() ([]string, error)
 	// Delete removes a tile; deleting a missing tile is not an error.
 	Delete(key TileKey) error
 }
@@ -101,6 +103,22 @@ func (s *MemStore) Keys(layer string) ([]TileKey, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Morton() < out[j].Morton() })
+	return out, nil
+}
+
+// ListLayers implements TileStore.
+func (s *MemStore) ListLayers() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	for k := range s.tiles {
+		seen[k.Layer] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sortStrings(out)
 	return out, nil
 }
 
@@ -178,6 +196,30 @@ func (s *DirStore) Keys(layer string) ([]TileKey, error) {
 		out = append(out, TileKey{Layer: layer, TX: tx, TY: ty})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Morton() < out[j].Morton() })
+	return out, nil
+}
+
+// ListLayers implements TileStore. A layer is any subdirectory holding
+// at least one tile file.
+func (s *DirStore) ListLayers() ([]string, error) {
+	ents, err := os.ReadDir(s.root)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: list layers: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		keys, err := s.Keys(e.Name())
+		if err == nil && len(keys) > 0 {
+			out = append(out, e.Name())
+		}
+	}
+	sortStrings(out)
 	return out, nil
 }
 
