@@ -1,16 +1,18 @@
 # Verification pipeline for the HD-map ecosystem repo.
 #
 #   make verify   — everything CI runs: vet, build, race-enabled tests,
-#                   and a short fuzz smoke over the tile decode path.
+#                   the maintenance chaos soak, and short fuzz smokes.
 #   make test     — fast tier-1 check (what the roadmap calls "tier-1").
+#   make soak     — the ingestion chaos soak at CI volume.
 #   make fuzz     — longer decode fuzzing for local hunting.
 
 GO ?= go
 FUZZTIME ?= 5s
+SOAK_REPORTS ?= 1200
 
-.PHONY: verify vet build test race fuzz-smoke fuzz bench
+.PHONY: verify vet build test race soak fuzz-smoke fuzz bench
 
-verify: vet build race fuzz-smoke
+verify: vet build race soak fuzz-smoke
 	@echo "verify: all green"
 
 vet:
@@ -27,8 +29,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Self-healing maintenance under a hostile fleet: >=20% corrupt/
+# Byzantine/duplicate reports plus injected stage panics, bounded by
+# SOAK_REPORTS so CI duration stays predictable.
+soak:
+	SOAK_REPORTS=$(SOAK_REPORTS) $(GO) test -race -run '^TestChaosSoak$$' -count=1 ./internal/update/ingest
+
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=$(FUZZTIME) ./internal/storage
+	$(GO) test -run='^$$' -fuzz=FuzzTrainBoost -fuzztime=$(FUZZTIME) ./internal/update/crowdupdate
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=5m ./internal/storage

@@ -14,6 +14,9 @@
 //	hdmapctl drive -kind highway -length 1000 -out built.hdmp   (LiDAR mapping run)
 //	hdmapctl serve -dir tiles/ -addr :8080                      (tile distribution server)
 //	hdmapctl fetch -base http://host:8080 -layer base -out region.hdmp  (vehicle-side pull)
+//	hdmapctl ingest -in base.hdmp -store versions/ -synth 200   (supervised maintenance)
+//	hdmapctl versions -store versions/
+//	hdmapctl rollback -store versions/ -n 1 -tiles tiles/
 //
 // Long-running commands (serve, fetch) stop cleanly on SIGINT/SIGTERM:
 // serve drains in-flight requests through http.Server.Shutdown, fetch
@@ -71,6 +74,12 @@ func main() {
 		err = cmdServe(ctx, os.Args[2:])
 	case "fetch":
 		err = cmdFetch(ctx, os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
+	case "versions":
+		err = cmdVersions(os.Args[2:])
+	case "rollback":
+		err = cmdRollback(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -96,7 +105,10 @@ subcommands:
   route     lane-level route between two lanelets
   drive     run the LiDAR mapping pipeline over a generated world
   serve     serve a tile directory over HTTP (graceful shutdown on SIGINT)
-  fetch     pull a tile region from a server and stitch it to one map`)
+  fetch     pull a tile region from a server and stitch it to one map
+  ingest    run supervised map maintenance into a version store
+  versions  list a version store's commit log
+  rollback  restore a previous map version (and republish its tiles)`)
 }
 
 func loadMap(path string) (*core.Map, error) {

@@ -3,20 +3,29 @@
 // added, boundaries repainted). A SLAMCU drive detects and patches the
 // changes; a fleet-based boosted classifier flags the changed section
 // from probe traversals; and the incremental fuser's time decay retires
-// an element that vanished.
+// an element that vanished. The patched map then goes live behind the
+// supervised ingestion service: a hostile fleet (malformed, Byzantine,
+// replayed reports) feeds it, the quarantine and commit gate keep every
+// published version consistent, and a bad batch is rolled back
+// byte-identically.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"hdmaps"
 
+	"hdmaps/internal/chaos"
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
 	"hdmaps/internal/mapeval"
+	"hdmaps/internal/storage"
 	"hdmaps/internal/update/crowdupdate"
+	"hdmaps/internal/update/incremental"
+	"hdmaps/internal/update/ingest"
 	"hdmaps/internal/update/slamcu"
 	"hdmaps/internal/worldgen"
 )
@@ -135,4 +144,92 @@ func main() {
 	if len(counts) == 0 {
 		fmt.Println("  none — map fully converged to the world")
 	}
+
+	// 4. Self-healing maintenance: the patched map becomes version 1 of
+	// a gated version store, and a hostile fleet streams reports through
+	// the supervised ingestion service.
+	fmt.Println("\nsupervised ingestion: hostile fleet vs the commit gate")
+	vs := ingest.NewVersionStore(ingest.GateConfig{})
+	if _, err := vs.Commit(res.UpdatedMap, "slamcu patch"); err != nil {
+		log.Fatal(err)
+	}
+	svc, err := ingest.NewService(vs, ingest.Config{QueueDepth: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj := chaos.NewReportInjector(chaos.ReportChaosConfig{
+		Seed: 23, MalformProb: 0.1, ByzantineProb: 0.08, DuplicateProb: 0.08, StaleProb: 0.05,
+	})
+	for _, r := range fleetReports(vs.Current(), 120, rng, inj) {
+		if err := svc.Submit(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	svc.Close()
+	if err := svc.Commit("fleet flush"); err != nil {
+		log.Fatal(err)
+	}
+	met := svc.Metrics()
+	fmt.Printf("fleet stream: %d submitted, %d accepted, %d quarantined %v\n",
+		met.Submitted, met.Accepted, met.QuarantineTotal, met.Quarantined)
+	fmt.Printf("version store: %d committed versions, serving v%d; injected faults %+v\n",
+		len(vs.Versions()), vs.CurrentSeq(), inj.Stats())
+
+	// A subtly-wrong batch passes the gate (2 m is within per-commit
+	// tolerance); the operator rolls it back byte-identically.
+	good := vs.CurrentBytes()
+	bad := vs.Current()
+	p, err := bad.Point(bad.PointIDs()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Pos = geo.V3(p.Pos.X+2, p.Pos.Y, p.Pos.Z)
+	if _, err := vs.Commit(bad, "bad batch"); err != nil {
+		log.Fatal(err)
+	}
+	v, err := svc.Rollback(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rolled back bad batch to v%d: byte-identical restore = %v\n",
+		v.Seq, bytes.Equal(vs.CurrentBytes(), good) &&
+			bytes.Equal(storage.EncodeBinary(vs.Current()), good))
+}
+
+// fleetReports re-observes the map's point elements with sensor noise
+// in 120 m windows, then mangles each report through the chaos
+// injector.
+func fleetReports(m *core.Map, n int, rng *rand.Rand, inj *chaos.ReportInjector) []ingest.Report {
+	type anchor struct {
+		p     geo.Vec2
+		class core.Class
+	}
+	var anchors []anchor
+	for _, id := range m.PointIDs() {
+		p, _ := m.Point(id)
+		anchors = append(anchors, anchor{p: geo.V2(p.Pos.X, p.Pos.Y), class: p.Class})
+	}
+	var out []ingest.Report
+	for i := 0; i < n; i++ {
+		center := anchors[rng.Intn(len(anchors))]
+		r := ingest.Report{
+			Source: fmt.Sprintf("veh-%d", i%4),
+			Seq:    uint64(i + 1),
+			Stamp:  m.Clock + uint64(i+1),
+		}
+		for _, a := range anchors {
+			if dx, dy := a.p.X-center.p.X, a.p.Y-center.p.Y; dx < -60 || dx > 60 || dy < -60 || dy > 60 {
+				continue
+			}
+			r.Observations = append(r.Observations, incremental.Observation{
+				Class:  a.class,
+				P:      geo.V2(a.p.X+rng.NormFloat64()*0.3, a.p.Y+rng.NormFloat64()*0.3),
+				PosVar: 0.1,
+				Stamp:  r.Stamp,
+			})
+		}
+		mangled, _ := inj.Mangle(r)
+		out = append(out, mangled...)
+	}
+	return out
 }

@@ -42,6 +42,11 @@ type Config struct {
 	// PartialProb makes the response body fail mid-read (connection
 	// reset after some bytes).
 	PartialProb float64
+	// Sleep replaces the wall-clock wait used for injected latency. It
+	// must wait d or return early with an error when done closes. Nil
+	// uses a real timer; tests inject an instant (or stepped fake) clock
+	// so latency-heavy chaos plans run fast and deterministic.
+	Sleep func(d time.Duration, done <-chan struct{}) error
 }
 
 // Stats counts injected faults by type, plus operations passed through
@@ -69,7 +74,16 @@ func New(cfg Config) *Injector {
 	if cfg.Latency <= 0 {
 		cfg.Latency = 50 * time.Millisecond
 	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = realSleep
+	}
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// sleep waits the injected latency through the configured clock; done
+// may be nil for uncancellable waits (store-side faults).
+func (in *Injector) sleep(d time.Duration, done <-chan struct{}) error {
+	return in.cfg.Sleep(d, done)
 }
 
 // SetDown toggles total outage: every operation fails immediately with
@@ -154,9 +168,10 @@ type ErrInjected struct{ Op string }
 
 func (e *ErrInjected) Error() string { return fmt.Sprintf("chaos: injected failure: %s", e.Op) }
 
-// sleep waits the injected latency, or less if the request context
-// expires first (a real slow link does not outlive its caller).
-func sleep(done <-chan struct{}, d time.Duration) error {
+// realSleep is the default Config.Sleep: a wall-clock wait that ends
+// early if done closes first (a real slow link does not outlive its
+// caller).
+func realSleep(d time.Duration, done <-chan struct{}) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -190,7 +205,7 @@ func (c *chaosStore) pre(op string) error {
 	r := c.in.roll()
 	if r.latency {
 		c.in.latencies.Add(1)
-		time.Sleep(c.in.cfg.Latency)
+		_ = c.in.sleep(c.in.cfg.Latency, nil)
 	}
 	if r.fail {
 		c.in.errors.Add(1)
@@ -215,7 +230,7 @@ func (c *chaosStore) Get(key storage.TileKey) ([]byte, error) {
 	r := c.in.roll()
 	if r.latency {
 		c.in.latencies.Add(1)
-		time.Sleep(c.in.cfg.Latency)
+		_ = c.in.sleep(c.in.cfg.Latency, nil)
 	}
 	if r.fail {
 		c.in.errors.Add(1)
@@ -286,7 +301,7 @@ func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	r := c.in.roll()
 	if r.latency {
 		c.in.latencies.Add(1)
-		if err := sleep(req.Context().Done(), c.in.cfg.Latency); err != nil {
+		if err := c.in.sleep(c.in.cfg.Latency, req.Context().Done()); err != nil {
 			return nil, req.Context().Err()
 		}
 	}

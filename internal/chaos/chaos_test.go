@@ -182,6 +182,45 @@ func TestChaosTransportFaults(t *testing.T) {
 	}
 }
 
+func TestInjectableSleepAvoidsWallClock(t *testing.T) {
+	// A fake clock records every injected latency instead of waiting, so
+	// a plan with seconds of injected delay completes instantly.
+	var slept []time.Duration
+	in := New(Config{
+		Seed: 7, LatencyProb: 1, Latency: 5 * time.Second,
+		Sleep: func(d time.Duration, done <-chan struct{}) error {
+			slept = append(slept, d)
+			return nil
+		},
+	})
+	inner := storage.NewMemStore()
+	key := storage.TileKey{Layer: "base", TX: 0, TY: 0}
+	if err := inner.Put(key, tileBytes(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Store(inner)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := st.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fake clock still waited %v of wall time", elapsed)
+	}
+	if len(slept) != 20 {
+		t.Fatalf("fake clock saw %d sleeps, want 20", len(slept))
+	}
+	for _, d := range slept {
+		if d != 5*time.Second {
+			t.Fatalf("fake clock saw latency %v, want 5s", d)
+		}
+	}
+	if st := in.Stats(); st.Latencies != 20 {
+		t.Fatalf("latency counter = %d, want 20", st.Latencies)
+	}
+}
+
 func TestChaosTransportLatencyRespectsContext(t *testing.T) {
 	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write([]byte("ok"))

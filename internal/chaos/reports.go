@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"hdmaps/internal/update/incremental"
+	"hdmaps/internal/update/ingest"
+)
+
+// ReportChaosConfig sets per-fault probabilities for the maintenance
+// ingestion path: the adversary is no longer the wire but the fleet
+// itself, so the faults are hostile report payloads rather than damaged
+// bytes. Probabilities are rolled independently per report.
+type ReportChaosConfig struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// MalformProb poisons one observation with NaN/Inf coordinates or
+	// variance.
+	MalformProb float64
+	// ByzantineProb shifts the whole report by Offset metres — a
+	// mis-georeferenced or fabricated batch.
+	ByzantineProb float64
+	// Offset is the Byzantine displacement (default 500 m).
+	Offset float64
+	// DuplicateProb re-emits the report verbatim (a replayed upload).
+	DuplicateProb float64
+	// StaleProb rewinds the report stamp by StaleBy (default 10_000).
+	StaleProb float64
+	// StaleBy is the stale rewind in logical time (default 10000).
+	StaleBy uint64
+}
+
+// ReportStats counts injected report faults.
+type ReportStats struct {
+	Malformed, Byzantine, Duplicates, Stale, Passthroughs uint64
+}
+
+// ReportInjector mangles ingestion reports deterministically. Construct
+// with NewReportInjector.
+type ReportInjector struct {
+	cfg ReportChaosConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats ReportStats
+}
+
+// NewReportInjector creates a seeded report corrupter.
+func NewReportInjector(cfg ReportChaosConfig) *ReportInjector {
+	if cfg.Offset <= 0 {
+		cfg.Offset = 500
+	}
+	if cfg.StaleBy == 0 {
+		cfg.StaleBy = 10_000
+	}
+	return &ReportInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the fault counters.
+func (ri *ReportInjector) Stats() ReportStats {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	return ri.stats
+}
+
+// Mangle applies the fault plan to one report, returning the report(s)
+// to deliver — duplication yields two — and the injected fault kinds.
+// The input is never aliased: mangled reports carry copied observation
+// slices.
+func (ri *ReportInjector) Mangle(r ingest.Report) ([]ingest.Report, []string) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+
+	malform := ri.rng.Float64() < ri.cfg.MalformProb
+	byzantine := ri.rng.Float64() < ri.cfg.ByzantineProb
+	duplicate := ri.rng.Float64() < ri.cfg.DuplicateProb
+	stale := ri.rng.Float64() < ri.cfg.StaleProb
+	poisonIdx := 0
+	poisonKind := 0
+	if len(r.Observations) > 0 {
+		poisonIdx = ri.rng.Intn(len(r.Observations))
+		poisonKind = ri.rng.Intn(3)
+	}
+
+	var kinds []string
+	out := r
+	switch {
+	case malform:
+		ri.stats.Malformed++
+		kinds = append(kinds, "malformed")
+		out = cloneReport(r)
+		if len(out.Observations) > 0 {
+			o := &out.Observations[poisonIdx]
+			switch poisonKind {
+			case 0:
+				o.P.X = math.NaN()
+			case 1:
+				o.P.Y = math.Inf(1)
+			default:
+				o.PosVar = math.Inf(-1)
+			}
+		}
+	case byzantine:
+		ri.stats.Byzantine++
+		kinds = append(kinds, "byzantine")
+		out = cloneReport(r)
+		for i := range out.Observations {
+			out.Observations[i].P.X += ri.cfg.Offset
+			out.Observations[i].P.Y += ri.cfg.Offset
+		}
+	case stale:
+		ri.stats.Stale++
+		kinds = append(kinds, "stale")
+		out = cloneReport(r)
+		if out.Stamp > ri.cfg.StaleBy {
+			out.Stamp -= ri.cfg.StaleBy
+		} else {
+			out.Stamp = 0
+		}
+	}
+
+	reports := []ingest.Report{out}
+	if duplicate {
+		ri.stats.Duplicates++
+		kinds = append(kinds, "duplicate")
+		reports = append(reports, cloneReport(out))
+	}
+	if len(kinds) == 0 {
+		ri.stats.Passthroughs++
+	}
+	return reports, kinds
+}
+
+// cloneReport deep-copies a report so mangling never aliases the
+// caller's observations.
+func cloneReport(r ingest.Report) ingest.Report {
+	cp := r
+	cp.Observations = append([]incremental.Observation(nil), r.Observations...)
+	return cp
+}

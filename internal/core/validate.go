@@ -21,8 +21,10 @@ func (v ValidationIssue) String() string {
 // Validate checks structural and geometric invariants of the map:
 //
 //   - every line has ≥2 vertices and finite coordinates;
+//   - every area outline has ≥3 vertices and finite coordinates;
 //   - every lanelet references existing left/right bounds, has a
-//     non-degenerate centreline and existing successors/neighbours;
+//     non-degenerate finite centreline, a finite non-negative speed
+//     limit, and existing successors/neighbours;
 //   - every bundle references existing lanelets;
 //   - every regulatory element references existing devices and lanelets;
 //   - confidences are within [0,1].
@@ -66,6 +68,12 @@ func (m *Map) Validate() []ValidationIssue {
 		if len(a.Outline) < 3 {
 			bad(id, "area with %d vertices", len(a.Outline))
 		}
+		for _, v := range a.Outline {
+			if !finiteV2(v) {
+				bad(id, "non-finite area vertex")
+				break
+			}
+		}
 	}
 	for _, id := range m.LaneletIDs() {
 		l := m.lanelets[id]
@@ -78,8 +86,14 @@ func (m *Map) Validate() []ValidationIssue {
 		if len(l.Centerline) < 2 {
 			bad(id, "centreline with %d vertices", len(l.Centerline))
 		}
-		if l.SpeedLimit < 0 {
-			bad(id, "negative speed limit %v", l.SpeedLimit)
+		for _, v := range l.Centerline {
+			if !finiteV2(v) {
+				bad(id, "non-finite centreline vertex")
+				break
+			}
+		}
+		if l.SpeedLimit < 0 || math.IsNaN(l.SpeedLimit) || math.IsInf(l.SpeedLimit, 0) {
+			bad(id, "invalid speed limit %v", l.SpeedLimit)
 		}
 		for _, s := range l.Successors {
 			if _, ok := m.lanelets[s]; !ok {

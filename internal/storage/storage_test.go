@@ -343,6 +343,44 @@ func TestLayerDecoupling(t *testing.T) {
 	}
 }
 
+func TestTilerSyncDropsVacatedTiles(t *testing.T) {
+	// Republishing a layer from a smaller (e.g. rolled-back) map must
+	// delete the tiles the new version no longer occupies; otherwise a
+	// later LoadMap stitches stale elements back in.
+	tiler := Tiler{TileSize: 100}
+	store := NewMemStore()
+
+	wide := core.NewMap("world")
+	for i := 0; i < 4; i++ {
+		wide.AddPoint(core.PointElement{
+			Class: core.ClassSign, Pos: geo.V3(float64(i)*150, 10, 2),
+			Meta: core.Meta{Confidence: 0.9},
+		})
+	}
+	if _, err := tiler.SaveMap(store, wide, "serve"); err != nil {
+		t.Fatal(err)
+	}
+
+	narrow := core.NewMap("world")
+	narrow.AddPoint(core.PointElement{
+		Class: core.ClassSign, Pos: geo.V3(10, 10, 2), Meta: core.Meta{Confidence: 0.9},
+	})
+	saved, deleted, err := tiler.SyncMap(store, narrow, "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != 1 || deleted != 3 {
+		t.Errorf("saved/deleted = %d/%d, want 1/3", saved, deleted)
+	}
+	back, err := tiler.LoadMap(store, "serve", "world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.NumElements(); got != 1 {
+		t.Errorf("reloaded %d elements, want 1 (stale tiles must be gone)", got)
+	}
+}
+
 func BenchmarkEncodeBinary(b *testing.B) {
 	m := testWorld(b, 131)
 	b.ResetTimer()

@@ -332,6 +332,36 @@ func (t Tiler) SaveMap(store TileStore, m *core.Map, layer string) (int, error) 
 	return len(tiles), nil
 }
 
+// SyncMap makes layer's stored tile set exactly m's: it writes every
+// tile of the split and deletes stale tiles left over from a previous
+// version of the layer. SaveMap alone is not enough when a layer is
+// republished — an element migrating across a tile boundary (or a
+// rollback shrinking the map) would otherwise leave its old tile behind
+// and LoadMap would stitch the element twice.
+func (t Tiler) SyncMap(store TileStore, m *core.Map, layer string) (saved, deleted int, err error) {
+	tiles := t.Split(m, layer)
+	for key, sm := range tiles {
+		if err := store.Put(key, EncodeBinary(sm)); err != nil {
+			return saved, deleted, fmt.Errorf("storage: save tile %v: %w", key, err)
+		}
+		saved++
+	}
+	keys, err := store.Keys(layer)
+	if err != nil {
+		return saved, deleted, fmt.Errorf("storage: sync layer %q: %w", layer, err)
+	}
+	for _, key := range keys {
+		if _, live := tiles[key]; live {
+			continue
+		}
+		if err := store.Delete(key); err != nil {
+			return saved, deleted, fmt.Errorf("storage: drop stale tile %v: %w", key, err)
+		}
+		deleted++
+	}
+	return saved, deleted, nil
+}
+
 // LoadMap reads all tiles of a layer and stitches them into one map.
 // Element IDs are preserved (they were globally unique at split time);
 // a duplicated element across tiles is an error. The reassembled map's

@@ -41,7 +41,10 @@ type Boost struct {
 
 // TrainBoost fits AdaBoost with the given number of rounds on samples X
 // with binary labels y (true = changed). It returns ErrBadTraining when
-// the set is empty, single-class, or ragged.
+// the set is empty, single-class, ragged, or contains non-finite
+// features — fleet uploads are untrusted, and a NaN feature would turn
+// into NaN thresholds and alphas that silently misclassify everything
+// downstream.
 func TrainBoost(X [][]float64, y []bool, rounds int) (*Boost, error) {
 	n := len(X)
 	if n == 0 || len(y) != n {
@@ -52,6 +55,11 @@ func TrainBoost(X [][]float64, y []bool, rounds int) (*Boost, error) {
 	for i, x := range X {
 		if len(x) != dim {
 			return nil, ErrBadTraining
+		}
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, ErrBadTraining
+			}
 		}
 		if y[i] {
 			pos++

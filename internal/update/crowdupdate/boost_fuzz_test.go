@@ -1,0 +1,165 @@
+package crowdupdate
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// decodeTrainingSet deterministically builds a (possibly hostile)
+// training set from fuzz bytes: header picks n/dim/label pattern, the
+// rest becomes float64 features verbatim — so NaN, Inf, subnormals and
+// ragged tails all occur naturally.
+func decodeTrainingSet(data []byte) ([][]float64, []bool) {
+	if len(data) < 3 {
+		return nil, nil
+	}
+	n := int(data[0]%16) + 1
+	dim := int(data[1] % 8) // 0 is a valid hostile case
+	labelPat := data[2]
+	data = data[3:]
+	X := make([][]float64, 0, n)
+	y := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		d := dim
+		// Every fourth row is ragged by one when the pattern bit says so.
+		if labelPat&0x10 != 0 && i%4 == 3 {
+			d++
+		}
+		row := make([]float64, d)
+		for j := range row {
+			var v float64
+			if len(data) >= 8 {
+				v = math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+				data = data[8:]
+			} else {
+				v = float64(i*7 + j)
+			}
+			row[j] = v
+		}
+		X = append(X, row)
+		y = append(y, labelPat&(1<<(i%8)) != 0)
+	}
+	return X, y
+}
+
+func FuzzTrainBoost(f *testing.F) {
+	f.Add([]byte{4, 2, 0x05, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{8, 3, 0xAA})
+	f.Add([]byte{16, 1, 0x13, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf0, 0x7f}) // +Inf feature
+	f.Add([]byte{2, 2, 0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf8, 0x7f}) // NaN feature
+	f.Fuzz(func(t *testing.T, data []byte) {
+		X, y := decodeTrainingSet(data)
+		b, err := TrainBoost(X, y, 5)
+		if err != nil {
+			if !errors.Is(err, ErrBadTraining) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		// A trained model must be entirely finite and usable.
+		for _, s := range b.Stumps {
+			if math.IsNaN(s.Threshold) || math.IsNaN(s.Alpha) || math.IsInf(s.Alpha, 0) {
+				t.Fatalf("non-finite stump from accepted training set: %+v", s)
+			}
+		}
+		probe := make([]float64, len(X[0]))
+		if p := b.Prob(probe); math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("Prob out of range: %v", p)
+		}
+	})
+}
+
+func TestTrainBoostRejectsHostileSets(t *testing.T) {
+	good := func() ([][]float64, []bool) {
+		return [][]float64{{0, 0}, {0.1, 0.2}, {5, 5}, {5.1, 4.9}},
+			[]bool{false, false, true, true}
+	}
+
+	cases := map[string]func() ([][]float64, []bool){
+		"empty":        func() ([][]float64, []bool) { return nil, nil },
+		"label-len":    func() ([][]float64, []bool) { X, y := good(); return X, y[:3] },
+		"zero-dim":     func() ([][]float64, []bool) { return [][]float64{{}, {}}, []bool{true, false} },
+		"all-positive": func() ([][]float64, []bool) { X, _ := good(); return X, []bool{true, true, true, true} },
+		"all-negative": func() ([][]float64, []bool) { X, _ := good(); return X, []bool{false, false, false, false} },
+		"ragged": func() ([][]float64, []bool) {
+			X, y := good()
+			X[2] = []float64{5}
+			return X, y
+		},
+		"nan-feature": func() ([][]float64, []bool) {
+			X, y := good()
+			X[1][0] = math.NaN()
+			return X, y
+		},
+		"inf-feature": func() ([][]float64, []bool) {
+			X, y := good()
+			X[3][1] = math.Inf(-1)
+			return X, y
+		},
+	}
+	for name, mk := range cases {
+		X, y := mk()
+		if _, err := TrainBoost(X, y, 10); !errors.Is(err, ErrBadTraining) {
+			t.Errorf("%s: err = %v, want ErrBadTraining", name, err)
+		}
+	}
+
+	// Sanity: the unmutated set still trains and separates.
+	X, y := good()
+	b, err := TrainBoost(X, y, 10)
+	if err != nil {
+		t.Fatalf("clean set rejected: %v", err)
+	}
+	for i, x := range X {
+		if b.Predict(x) != y[i] {
+			t.Errorf("sample %d misclassified", i)
+		}
+	}
+}
+
+func TestTrainBoostRandomHostileNeverPanics(t *testing.T) {
+	// Property sweep: random sets with random hostile mutations must
+	// either train to a finite model or return ErrBadTraining — never
+	// panic, never emit NaN.
+	rng := rand.New(rand.NewSource(1337))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		dim := rng.Intn(5)
+		X := make([][]float64, n)
+		y := make([]bool, n)
+		for i := range X {
+			row := make([]float64, dim)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 10
+			}
+			X[i] = row
+			y[i] = rng.Intn(2) == 0
+		}
+		switch rng.Intn(4) {
+		case 0: // poison one feature
+			if n > 0 && dim > 0 {
+				X[rng.Intn(n)][rng.Intn(dim)] = [3]float64{math.NaN(), math.Inf(1), math.Inf(-1)}[rng.Intn(3)]
+			}
+		case 1: // ragged row
+			X[rng.Intn(n)] = make([]float64, dim+1+rng.Intn(3))
+		case 2: // single class
+			for i := range y {
+				y[i] = true
+			}
+		}
+		b, err := TrainBoost(X, y, 1+rng.Intn(8))
+		if err != nil {
+			if !errors.Is(err, ErrBadTraining) {
+				t.Fatalf("trial %d: unexpected error %v", trial, err)
+			}
+			continue
+		}
+		probe := make([]float64, len(X[0]))
+		if s := b.Score(probe); math.IsNaN(s) {
+			t.Fatalf("trial %d: NaN score from accepted model", trial)
+		}
+	}
+}

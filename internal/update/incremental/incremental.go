@@ -86,6 +86,12 @@ type Fuser struct {
 
 	// Promoted / Removed tally applied changes for reporting.
 	Promoted, Removed int
+	// DroppedInvalid counts observations rejected by validateObs:
+	// non-finite coordinates or variances, or an unknown class. Fusing
+	// such an observation would poison the Kalman state (NaN propagates
+	// through the gain into element positions), so they are dropped at
+	// the door instead.
+	DroppedInvalid int
 }
 
 // NewFuser wraps a map (mutated in place).
@@ -106,10 +112,20 @@ func (f *Fuser) state(id core.ID) *elemState {
 	return s
 }
 
+// ValidObservation reports whether o is safe to fuse: finite
+// coordinates, finite variance, and a known class.
+func ValidObservation(o Observation) bool {
+	return finite(o.P.X) && finite(o.P.Y) && finite(o.PosVar) && o.Class.Valid()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // Observe fuses one batch of observations taken over the given view
 // region at logical time stamp. Mapped point elements inside view that
 // received no matching observation decay; unmatched observations feed
 // the pending queue and are promoted once seen PromoteObs times.
+// Malformed observations (see ValidObservation) are dropped and tallied
+// in DroppedInvalid rather than fused.
 func (f *Fuser) Observe(obs []Observation, view geo.AABB, stamp uint64) {
 	// Deterministic processing order.
 	sort.Slice(obs, func(i, j int) bool {
@@ -120,6 +136,10 @@ func (f *Fuser) Observe(obs []Observation, view geo.AABB, stamp uint64) {
 	})
 	matched := make(map[core.ID]bool)
 	for _, o := range obs {
+		if !ValidObservation(o) {
+			f.DroppedInvalid++
+			continue
+		}
 		if o.PosVar <= 0 {
 			o.PosVar = 0.25
 		}

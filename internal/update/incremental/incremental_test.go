@@ -2,6 +2,7 @@ package incremental
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -52,6 +53,46 @@ func TestFusionRefinesPosition(t *testing.T) {
 	}
 	if p.Meta.Observy < 30 {
 		t.Errorf("observy = %d", p.Meta.Observy)
+	}
+}
+
+func TestObserveDropsMalformedObservations(t *testing.T) {
+	m := core.NewMap("t")
+	id := signAt(m, 10, 0)
+	f, err := NewFuser(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := geo.NewAABB(geo.V2(0, -10), geo.V2(20, 10))
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := []Observation{
+		{Class: core.ClassSign, P: geo.V2(nan, 0), PosVar: 0.1, Stamp: 1},
+		{Class: core.ClassSign, P: geo.V2(10, inf), PosVar: 0.1, Stamp: 1},
+		{Class: core.ClassSign, P: geo.V2(10, 0), PosVar: nan, Stamp: 1},
+		{Class: core.ClassSign, P: geo.V2(10, 0), PosVar: -inf, Stamp: 1},
+		{Class: core.Class(200), P: geo.V2(10, 0), PosVar: 0.1, Stamp: 1},
+	}
+	// One good observation rides along so the element does not decay.
+	obs := append(bad, Observation{Class: core.ClassSign, P: geo.V2(10, 0), PosVar: 0.1, Stamp: 1})
+	f.Observe(obs, view, 1)
+	if f.DroppedInvalid != len(bad) {
+		t.Errorf("DroppedInvalid = %d, want %d", f.DroppedInvalid, len(bad))
+	}
+	p, err := m.Point(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !finite(p.Pos.X) || !finite(p.Pos.Y) {
+		t.Errorf("malformed observation poisoned element position: %v", p.Pos)
+	}
+	if !finite(f.PosVar(id)) {
+		t.Errorf("malformed observation poisoned Kalman variance: %v", f.PosVar(id))
+	}
+	if issues := m.Validate(); len(issues) != 0 {
+		t.Errorf("map invalid after hostile batch: %v", issues)
+	}
+	if f.PendingCount() != 0 {
+		t.Errorf("malformed observations entered the pending queue: %d", f.PendingCount())
 	}
 }
 

@@ -1,0 +1,162 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed: the source is trusted; reports flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the source is shedding; reports are dropped without
+	// inspection until the open period elapses.
+	BreakerOpen
+	// BreakerHalfOpen: probation; a few probe reports are admitted and
+	// their fate decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes per-source circuit breakers.
+type BreakerConfig struct {
+	// FailThreshold is the accumulated-failure count that opens the
+	// breaker (default 5).
+	FailThreshold int
+	// OpenFor is how long an open breaker sheds before allowing
+	// half-open probes (default 30s).
+	OpenFor time.Duration
+	// HalfOpenProbes is the consecutive probe successes required to
+	// close from half-open (default 2).
+	HalfOpenProbes int
+	// DecayEvery forgives one accumulated failure per this many
+	// consecutive successes while closed, so a long-trusted source
+	// decays back to a clean slate instead of tripping on rare noise
+	// (default 4).
+	DecayEvery int
+	// Now is the clock; injectable for deterministic tests (default
+	// time.Now).
+	Now func() time.Time
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 30 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	if c.DecayEvery <= 0 {
+		c.DecayEvery = 4
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Breaker is one source's circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	streak   int // consecutive successes while closed
+	probes   int // consecutive probe successes while half-open
+	openedAt time.Time
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a report from this source should be admitted
+// now, transitioning open→half-open once the open period has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+			b.state = BreakerHalfOpen
+			b.probes = 0
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// Record feeds the outcome of an admitted report back into the breaker.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if !ok {
+			b.trip()
+			return
+		}
+		b.probes++
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.fails = 0
+			b.streak = 0
+		}
+	default: // closed
+		if !ok {
+			b.streak = 0
+			b.fails++
+			if b.fails >= b.cfg.FailThreshold {
+				b.trip()
+			}
+			return
+		}
+		b.streak++
+		if b.fails > 0 && b.streak%b.cfg.DecayEvery == 0 {
+			b.fails--
+		}
+	}
+}
+
+// trip opens the breaker; callers hold the lock.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.probes = 0
+	b.streak = 0
+}
+
+// State returns the current state (open breakers past their period
+// still read open until the next Allow probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Failures returns the accumulated failure count (closed state only).
+func (b *Breaker) Failures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

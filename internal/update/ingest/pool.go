@@ -1,0 +1,83 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a bounded worker pool with panic isolation. Submission never
+// blocks: when the queue is full the report is rejected back to the
+// caller, which accounts for it — ingestion backpressure must never
+// stall the serving path. A handler panic is recovered, reported
+// through onPanic, and kills only that report's processing.
+type pool struct {
+	queue   chan Report
+	handler func(Report)
+	onPanic func(Report, any)
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	panics  atomic.Uint64
+}
+
+// newPool starts workers goroutines consuming a depth-bounded queue.
+func newPool(workers, depth int, handler func(Report), onPanic func(Report, any)) *pool {
+	if workers <= 0 {
+		workers = 4
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	p := &pool{
+		queue:   make(chan Report, depth),
+		handler: handler,
+		onPanic: onPanic,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for r := range p.queue {
+		p.run(r)
+	}
+}
+
+// run executes the handler with panic isolation.
+func (p *pool) run(r Report) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panics.Add(1)
+			if p.onPanic != nil {
+				p.onPanic(r, v)
+			}
+		}
+	}()
+	p.handler(r)
+}
+
+// trySubmit enqueues without blocking; false means the queue was full
+// or the pool closed and the report was not accepted.
+func (p *pool) trySubmit(r Report) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.queue <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+// close drains the queue and stops the workers.
+func (p *pool) close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.queue)
+	p.wg.Wait()
+}

@@ -1,0 +1,213 @@
+// Package ingest is the supervised front door of map maintenance: it
+// wraps the update pipelines behind report validation, per-source
+// circuit breakers, a panic-isolating bounded worker pool, and a
+// versioned map store whose commits are gated on structural and
+// geometric invariants (the reference-free constraint-based
+// verification workflow of He et al.). The fleet feeding a live map is
+// untrusted and noisy — reports arrive malformed, stale, duplicated,
+// or Byzantine — so nothing a vehicle says reaches a served map version
+// without passing the gate, and any published version can be rolled
+// back byte-identically.
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/update/incremental"
+)
+
+// Report is one source's batch of observations: the unit of ingestion,
+// validation, quarantine, and breaker accounting.
+type Report struct {
+	// Source identifies the reporting vehicle/RSU; breaker state and
+	// duplicate detection are keyed on it.
+	Source string
+	// Seq is the source-assigned report sequence number; a replayed
+	// (Source, Seq) pair is rejected as a duplicate.
+	Seq uint64
+	// Stamp is the logical capture time of the batch.
+	Stamp uint64
+	// Observations is the payload handed to the fusion pipeline.
+	Observations []incremental.Observation
+}
+
+// Bounds returns the bounding box of the report's observations.
+func (r Report) Bounds() geo.AABB {
+	box := geo.EmptyAABB()
+	for _, o := range r.Observations {
+		box = box.ExtendPoint(o.P)
+	}
+	return box
+}
+
+// Reason classifies why a report was rejected — the maintenance failure
+// taxonomy.
+type Reason string
+
+// Rejection reasons.
+const (
+	// ReasonMalformed: structurally bad payload — empty, unsourced, or
+	// containing non-finite coordinates/variances or unknown classes.
+	ReasonMalformed Reason = "malformed"
+	// ReasonStale: the report's stamp is outside the freshness window
+	// (too old, or implausibly far in the future).
+	ReasonStale Reason = "stale"
+	// ReasonDuplicate: a (Source, Seq) pair already ingested.
+	ReasonDuplicate Reason = "duplicate"
+	// ReasonByzantine: well-formed but statistically inconsistent with
+	// the served map — the median observation residual exceeds the
+	// outlier threshold.
+	ReasonByzantine Reason = "byzantine"
+	// ReasonShed: dropped without inspection because the source's
+	// circuit breaker is open.
+	ReasonShed Reason = "shed"
+	// ReasonOverload: dropped because the ingestion queue was full —
+	// backpressure protects the serving path.
+	ReasonOverload Reason = "overload"
+	// ReasonPanic: a pipeline stage panicked on this report; the panic
+	// was recovered and isolated to the report.
+	ReasonPanic Reason = "panic"
+)
+
+// reasons lists every Reason in display order.
+var reasons = []Reason{
+	ReasonMalformed, ReasonStale, ReasonDuplicate, ReasonByzantine,
+	ReasonShed, ReasonOverload, ReasonPanic,
+}
+
+// QuarantineEntry is one rejected report held for inspection.
+type QuarantineEntry struct {
+	Report Report
+	Reason Reason
+	// Detail narrows the reason, e.g. which observation was malformed.
+	Detail string
+}
+
+// Quarantine collects rejected reports in a bounded ring with
+// per-reason counters. Counters never lose a rejection; the ring keeps
+// only the most recent Cap entries for inspection.
+type Quarantine struct {
+	mu     sync.Mutex
+	cap    int
+	ring   []QuarantineEntry
+	next   int
+	filled bool
+	counts map[Reason]uint64
+}
+
+// NewQuarantine creates a quarantine holding up to cap inspectable
+// entries (default 256).
+func NewQuarantine(cap int) *Quarantine {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &Quarantine{cap: cap, ring: make([]QuarantineEntry, cap), counts: make(map[Reason]uint64)}
+}
+
+// Add records a rejection.
+func (q *Quarantine) Add(r Report, reason Reason, detail string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.counts[reason]++
+	q.ring[q.next] = QuarantineEntry{Report: r, Reason: reason, Detail: detail}
+	q.next++
+	if q.next == q.cap {
+		q.next = 0
+		q.filled = true
+	}
+}
+
+// count bumps a reason counter without retaining the report (used for
+// drops where the payload itself is not suspicious, e.g. overload).
+func (q *Quarantine) count(reason Reason) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.counts[reason]++
+}
+
+// Counts snapshots the per-reason rejection counters.
+func (q *Quarantine) Counts() map[Reason]uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[Reason]uint64, len(q.counts))
+	for k, v := range q.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total rejection count across reasons.
+func (q *Quarantine) Total() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var t uint64
+	for _, v := range q.counts {
+		t += v
+	}
+	return t
+}
+
+// Entries returns the retained entries, oldest first.
+func (q *Quarantine) Entries() []QuarantineEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []QuarantineEntry
+	if q.filled {
+		out = append(out, q.ring[q.next:]...)
+	}
+	out = append(out, q.ring[:q.next]...)
+	cp := make([]QuarantineEntry, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// validateReport runs the cheap structural checks: malformed payloads.
+// It returns a non-empty detail string on rejection.
+func validateReport(r Report) string {
+	if r.Source == "" {
+		return "missing source"
+	}
+	if len(r.Observations) == 0 {
+		return "empty report"
+	}
+	for i, o := range r.Observations {
+		if !incremental.ValidObservation(o) {
+			return fmt.Sprintf("observation %d: non-finite or invalid (class=%d p=%v var=%v)",
+				i, o.Class, o.P, o.PosVar)
+		}
+	}
+	return ""
+}
+
+// reportResidual is the Byzantine score of a report against a served
+// map snapshot: the median, over observations, of the distance to the
+// nearest same-class mapped point, capped at cap. A fleet report about
+// real roads mostly re-observes mapped elements, so its median residual
+// is small even when it carries genuinely new features; a fabricated or
+// mis-georeferenced report is far from everything.
+func reportResidual(m *core.Map, obs []incremental.Observation, cap float64) float64 {
+	if len(obs) == 0 {
+		return cap
+	}
+	ds := make([]float64, 0, len(obs))
+	for _, o := range obs {
+		box := geo.NewAABB(o.P, o.P).Expand(cap)
+		best := cap
+		for _, p := range m.PointsIn(box, o.Class) {
+			if d := p.Pos.XY().Dist(o.P); d < best {
+				best = d
+			}
+		}
+		ds = append(ds, best)
+	}
+	sort.Float64s(ds)
+	mid := len(ds) / 2
+	if len(ds)%2 == 1 {
+		return ds[mid]
+	}
+	return (ds[mid-1] + ds[mid]) / 2
+}

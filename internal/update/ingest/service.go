@@ -1,0 +1,413 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/update/incremental"
+)
+
+// Service errors.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("ingest: service closed")
+	// ErrNoBase is returned when the version store holds no base
+	// version to maintain.
+	ErrNoBase = errors.New("ingest: version store has no base version")
+)
+
+// PublishConfig wires committed versions into the distribution stack:
+// every committed (or rolled-back-to) version is re-tiled and written
+// to the tile store under Layer. Publishing is best-effort — a flaky
+// tile store degrades distribution, never ingestion — and failures are
+// counted in Metrics.PublishErrors.
+type PublishConfig struct {
+	Store storage.TileStore
+	Layer string
+	Tiler storage.Tiler
+}
+
+// Config tunes the ingestion service.
+type Config struct {
+	// Workers is the pipeline worker count (default 4).
+	Workers int
+	// QueueDepth bounds the ingestion queue; a full queue drops with
+	// accounting instead of blocking (default 64).
+	QueueDepth int
+	// MaxAge is the logical-time freshness window: a report older than
+	// the high-water stamp by more than MaxAge is stale (default 100).
+	MaxAge uint64
+	// FutureSkew rejects reports stamped implausibly far beyond the
+	// high-water mark (default 10×MaxAge).
+	FutureSkew uint64
+	// ByzantineResidual is the median-residual threshold (metres) above
+	// which a report is quarantined as Byzantine; ≤0 disables (default
+	// 25).
+	ByzantineResidual float64
+	// CommitEvery commits a new version after this many accepted
+	// reports (default 16).
+	CommitEvery int
+	// QuarantineCap bounds the inspectable quarantine ring (default
+	// 256).
+	QuarantineCap int
+	// Fuser tunes the underlying incremental fusion pipeline.
+	Fuser incremental.Config
+	// Breaker tunes the per-source circuit breakers.
+	Breaker BreakerConfig
+	// Publish, when set, pushes committed versions to a tile store.
+	Publish *PublishConfig
+	// ApplyHook, when set, runs inside the pipeline stage for every
+	// report just before it is fused — the instrumentation point chaos
+	// tests use to inject stage panics.
+	ApplyHook func(Report)
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 100
+	}
+	if c.FutureSkew == 0 {
+		c.FutureSkew = 10 * c.MaxAge
+	}
+	if c.ByzantineResidual == 0 {
+		c.ByzantineResidual = 25
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 16
+	}
+}
+
+// Metrics is a point-in-time accounting snapshot. After Close (queue
+// drained), Submitted == Accepted + QuarantineTotal: every submitted
+// report is either applied or accounted to a rejection reason.
+type Metrics struct {
+	Submitted, Accepted uint64
+	// Quarantined holds per-reason rejection counters (the taxonomy:
+	// malformed / stale / duplicate / byzantine / shed / overload /
+	// panic).
+	Quarantined     map[Reason]uint64
+	QuarantineTotal uint64
+	// Commits / CommitsRejected / Rollbacks count version-store
+	// transitions; Published / PublishErrors count tile pushes.
+	Commits, CommitsRejected, Rollbacks uint64
+	Published, PublishErrors            uint64
+	// DroppedObservations counts malformed observations the fuser
+	// dropped inside otherwise-valid reports.
+	DroppedObservations uint64
+	// OpenBreakers lists sources currently shedding.
+	OpenBreakers []string
+	// CurrentVersion is the served version's sequence number.
+	CurrentVersion int
+}
+
+// Service is the supervised ingestion front door: it validates and
+// quarantines reports, sheds abusive sources, fuses accepted reports
+// into a working map on a panic-isolated worker pool, and periodically
+// commits the working map through the gate into the version store.
+type Service struct {
+	cfg   Config
+	store *VersionStore
+	quar  *Quarantine
+	pool  *pool
+
+	mu          sync.Mutex // guards working/fuser/seen/highWater/sinceCommit
+	working     *core.Map
+	fuser       *incremental.Fuser
+	seen        map[string]map[uint64]struct{}
+	highWater   uint64
+	sinceCommit int
+	droppedObs  uint64 // DroppedInvalid from retired fusers
+
+	brMu     sync.Mutex
+	breakers map[string]*Breaker
+
+	closed    atomic.Bool
+	submitted atomic.Uint64
+	accepted  atomic.Uint64
+	commits   atomic.Uint64
+	rejected  atomic.Uint64 // commit gate rejections
+	rollbacks atomic.Uint64
+	published atomic.Uint64
+	pubErrs   atomic.Uint64
+}
+
+// NewService supervises the version store's current map. The store
+// must already hold a base version (commit one first).
+func NewService(store *VersionStore, cfg Config) (*Service, error) {
+	cfg.defaults()
+	if store.CurrentSeq() == 0 {
+		return nil, ErrNoBase
+	}
+	s := &Service{
+		cfg:      cfg,
+		store:    store,
+		quar:     NewQuarantine(cfg.QuarantineCap),
+		seen:     make(map[string]map[uint64]struct{}),
+		breakers: make(map[string]*Breaker),
+	}
+	if err := s.resetWorking(); err != nil {
+		return nil, err
+	}
+	s.highWater = s.working.Clock
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.process, s.onPanic)
+	return s, nil
+}
+
+// resetWorking replaces the working map with a clone of the current
+// version and restarts the fuser on it. Callers hold s.mu (or are the
+// constructor).
+func (s *Service) resetWorking() error {
+	if s.fuser != nil {
+		s.droppedObs += uint64(s.fuser.DroppedInvalid)
+	}
+	s.working = s.store.Current()
+	if s.working == nil {
+		return ErrNoBase
+	}
+	f, err := incremental.NewFuser(s.working, s.cfg.Fuser)
+	if err != nil {
+		return err
+	}
+	s.fuser = f
+	s.sinceCommit = 0
+	return nil
+}
+
+// breaker returns (creating if needed) the source's circuit breaker.
+func (s *Service) breaker(source string) *Breaker {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	b, ok := s.breakers[source]
+	if !ok {
+		b = NewBreaker(s.cfg.Breaker)
+		s.breakers[source] = b
+	}
+	return b
+}
+
+// Submit runs the synchronous validation stages (breaker, malformed,
+// duplicate, stale) and enqueues survivors for the pipeline. It never
+// blocks: an overloaded queue drops with accounting. The only error is
+// ErrClosed.
+func (s *Service) Submit(r Report) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.submitted.Add(1)
+	br := s.breaker(r.Source)
+	if !br.Allow() {
+		s.quar.count(ReasonShed)
+		return nil
+	}
+	if detail := validateReport(r); detail != "" {
+		s.quar.Add(r, ReasonMalformed, detail)
+		br.Record(false)
+		return nil
+	}
+	s.mu.Lock()
+	seen := s.seen[r.Source]
+	if seen == nil {
+		seen = make(map[uint64]struct{})
+		s.seen[r.Source] = seen
+	}
+	_, dup := seen[r.Seq]
+	if !dup {
+		seen[r.Seq] = struct{}{}
+	}
+	hw := s.highWater
+	s.mu.Unlock()
+	if dup {
+		s.quar.Add(r, ReasonDuplicate, fmt.Sprintf("seq %d already ingested", r.Seq))
+		br.Record(false)
+		return nil
+	}
+	if hw > 0 && r.Stamp+s.cfg.MaxAge < hw {
+		s.quar.Add(r, ReasonStale, fmt.Sprintf("stamp %d older than %d-%d", r.Stamp, hw, s.cfg.MaxAge))
+		br.Record(false)
+		return nil
+	}
+	if hw > 0 && r.Stamp > hw+s.cfg.FutureSkew {
+		s.quar.Add(r, ReasonStale, fmt.Sprintf("stamp %d future-dated beyond %d+%d", r.Stamp, hw, s.cfg.FutureSkew))
+		br.Record(false)
+		return nil
+	}
+	if !s.pool.trySubmit(r) {
+		s.quar.count(ReasonOverload)
+	}
+	return nil
+}
+
+// process is the pipeline stage run by pool workers: Byzantine
+// screening against the served snapshot, then serialized fusion into
+// the working map and periodic gated commits.
+func (s *Service) process(r Report) {
+	br := s.breaker(r.Source)
+	if s.cfg.ByzantineResidual > 0 {
+		if frozen := s.store.Frozen(); frozen != nil {
+			if res := reportResidual(frozen, r.Observations, s.cfg.ByzantineResidual); res >= s.cfg.ByzantineResidual {
+				s.quar.Add(r, ReasonByzantine, fmt.Sprintf("median residual %.1f m >= %.1f", res, s.cfg.ByzantineResidual))
+				br.Record(false)
+				return
+			}
+		}
+	}
+	if s.cfg.ApplyHook != nil {
+		s.cfg.ApplyHook(r)
+	}
+	s.apply(r)
+	br.Record(true)
+}
+
+// apply fuses one report under the working-map lock and commits when
+// the batch threshold is reached. The deferred unlock keeps a panicking
+// fusion stage from wedging the service.
+func (s *Service) apply(r Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	radius := s.cfg.Fuser.MatchRadius
+	if radius <= 0 {
+		radius = 3
+	}
+	view := r.Bounds().Expand(radius)
+	s.fuser.Observe(r.Observations, view, r.Stamp)
+	if r.Stamp > s.highWater {
+		s.highWater = r.Stamp
+	}
+	s.accepted.Add(1)
+	s.sinceCommit++
+	if s.sinceCommit >= s.cfg.CommitEvery {
+		s.commitLocked("auto batch")
+	}
+}
+
+// onPanic quarantines a report whose pipeline stage panicked.
+func (s *Service) onPanic(r Report, v any) {
+	s.quar.Add(r, ReasonPanic, fmt.Sprintf("pipeline stage panicked: %v", v))
+	s.breaker(r.Source).Record(false)
+}
+
+// commitLocked pushes the working map through the gate. A rejected
+// commit discards the poisoned working set and reverts to the last
+// good version — the bad batch is gone, the served map untouched.
+// Callers hold s.mu.
+func (s *Service) commitLocked(note string) error {
+	s.sinceCommit = 0
+	v, err := s.store.Commit(s.working, note)
+	if err != nil {
+		s.rejected.Add(1)
+		if rerr := s.resetWorking(); rerr != nil {
+			return errors.Join(err, rerr)
+		}
+		return err
+	}
+	s.commits.Add(1)
+	s.publishCurrent(v)
+	return nil
+}
+
+// publishCurrent best-effort pushes the current version's tiles.
+func (s *Service) publishCurrent(v Version) {
+	p := s.cfg.Publish
+	if p == nil || p.Store == nil {
+		return
+	}
+	frozen := s.store.Frozen()
+	if frozen == nil {
+		return
+	}
+	if _, _, err := p.Tiler.SyncMap(p.Store, frozen, p.Layer); err != nil {
+		s.pubErrs.Add(1)
+		return
+	}
+	s.published.Add(1)
+}
+
+// Commit flushes the working map into a new version immediately,
+// returning the gate error (and reverting the working set) on
+// rejection.
+func (s *Service) Commit(note string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitLocked(note)
+}
+
+// Rollback restores the version n steps back as current, discards the
+// working set, and republishes tiles.
+func (s *Service) Rollback(n int) (Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.store.Rollback(n)
+	if err != nil {
+		return v, err
+	}
+	s.rollbacks.Add(1)
+	if err := s.resetWorking(); err != nil {
+		return v, err
+	}
+	s.publishCurrent(v)
+	return v, nil
+}
+
+// Quarantine exposes the rejected-report ring for inspection.
+func (s *Service) Quarantine() *Quarantine { return s.quar }
+
+// Store exposes the underlying version store.
+func (s *Service) Store() *VersionStore { return s.store }
+
+// BreakerState reports a source's breaker position (closed for unknown
+// sources).
+func (s *Service) BreakerState(source string) BreakerState {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	if b, ok := s.breakers[source]; ok {
+		return b.State()
+	}
+	return BreakerClosed
+}
+
+// Close stops intake and drains the pipeline. The version store stays
+// usable (Commit/Rollback via the service remain legal).
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.pool.close()
+}
+
+// Metrics snapshots the accounting counters.
+func (s *Service) Metrics() Metrics {
+	m := Metrics{
+		Submitted:           s.submitted.Load(),
+		Accepted:            s.accepted.Load(),
+		Quarantined:         s.quar.Counts(),
+		QuarantineTotal:     s.quar.Total(),
+		Commits:             s.commits.Load(),
+		CommitsRejected:     s.rejected.Load(),
+		Rollbacks:           s.rollbacks.Load(),
+		Published:           s.published.Load(),
+		PublishErrors:       s.pubErrs.Load(),
+		CurrentVersion:      s.store.CurrentSeq(),
+		DroppedObservations: 0,
+	}
+	s.mu.Lock()
+	m.DroppedObservations = s.droppedObs + uint64(s.fuser.DroppedInvalid)
+	s.mu.Unlock()
+	s.brMu.Lock()
+	for src, b := range s.breakers {
+		if b.State() != BreakerClosed {
+			m.OpenBreakers = append(m.OpenBreakers, src)
+		}
+	}
+	s.brMu.Unlock()
+	return m
+}

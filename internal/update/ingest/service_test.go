@@ -1,0 +1,366 @@
+package ingest
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/update/incremental"
+)
+
+// newServiceOn seeds a store with base and wraps it in a service.
+func newServiceOn(t *testing.T, base *core.Map, cfg Config, gate GateConfig) (*Service, *VersionStore) {
+	t.Helper()
+	vs := NewVersionStore(gate)
+	if _, err := vs.Commit(base, "genesis"); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(vs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, vs
+}
+
+// obsNear returns one clean observation next to the sign at (x, y).
+func obsNear(x, y float64, stamp uint64) incremental.Observation {
+	return incremental.Observation{
+		Class: core.ClassSign, P: geo.V2(x+0.2, y-0.1), PosVar: 0.1, Stamp: stamp,
+	}
+}
+
+func TestNewServiceRequiresBase(t *testing.T) {
+	if _, err := NewService(NewVersionStore(GateConfig{}), Config{}); !errors.Is(err, ErrNoBase) {
+		t.Errorf("err = %v, want ErrNoBase", err)
+	}
+}
+
+func TestServiceQuarantineTaxonomy(t *testing.T) {
+	base := baseMap(12, 12) // clock 144, so stale/future windows are live
+	svc, _ := newServiceOn(t, base, Config{Workers: 2}, GateConfig{})
+
+	reports := []struct {
+		r    Report
+		want Reason // "" = accepted
+	}{
+		{Report{Source: "v1", Seq: 1, Stamp: 150, Observations: []incremental.Observation{obsNear(0, 0, 150)}}, ""},
+		{Report{Source: "v1", Seq: 2, Stamp: 151, Observations: []incremental.Observation{
+			{Class: core.ClassSign, P: geo.V2(math.NaN(), 0), PosVar: 0.1, Stamp: 151},
+		}}, ReasonMalformed},
+		{Report{Source: "v1", Seq: 1, Stamp: 152, Observations: []incremental.Observation{obsNear(30, 0, 152)}}, ReasonDuplicate},
+		{Report{Source: "v1", Seq: 3, Stamp: 1, Observations: []incremental.Observation{obsNear(30, 0, 1)}}, ReasonStale},
+		{Report{Source: "v1", Seq: 4, Stamp: 999_999, Observations: []incremental.Observation{obsNear(30, 0, 999_999)}}, ReasonStale},
+		{Report{Source: "v2", Seq: 1, Stamp: 153, Observations: []incremental.Observation{
+			{Class: core.ClassSign, P: geo.V2(5500, 5500), PosVar: 0.1, Stamp: 153},
+		}}, ReasonByzantine},
+	}
+	for i, tc := range reports {
+		if err := svc.Submit(tc.r); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	svc.Close()
+
+	m := svc.Metrics()
+	if m.Submitted != uint64(len(reports)) {
+		t.Errorf("submitted = %d, want %d", m.Submitted, len(reports))
+	}
+	if m.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1", m.Accepted)
+	}
+	for _, want := range []Reason{ReasonMalformed, ReasonDuplicate, ReasonByzantine} {
+		if got := m.Quarantined[want]; got != 1 {
+			t.Errorf("quarantined[%s] = %d, want 1", want, got)
+		}
+	}
+	if got := m.Quarantined[ReasonStale]; got != 2 {
+		t.Errorf("quarantined[stale] = %d, want 2 (old + future-dated)", got)
+	}
+	if m.Submitted != m.Accepted+m.QuarantineTotal {
+		t.Errorf("accounting broken: %d submitted != %d accepted + %d quarantined",
+			m.Submitted, m.Accepted, m.QuarantineTotal)
+	}
+	if ents := svc.Quarantine().Entries(); len(ents) != 5 {
+		t.Errorf("quarantine ring holds %d entries, want 5", len(ents))
+	}
+}
+
+func TestServicePanicIsolatedToReport(t *testing.T) {
+	base := baseMap(4, 4)
+	cfg := Config{
+		Workers: 2, CommitEvery: 100,
+		ApplyHook: func(r Report) {
+			if r.Source == "faulty" {
+				panic("injected stage fault")
+			}
+		},
+	}
+	svc, vs := newServiceOn(t, base, cfg, GateConfig{})
+
+	if err := svc.Submit(Report{Source: "faulty", Seq: 1, Stamp: 20,
+		Observations: []incremental.Observation{obsNear(0, 0, 20)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(Report{Source: "ok", Seq: 1, Stamp: 21,
+		Observations: []incremental.Observation{obsNear(30, 0, 21)}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	m := svc.Metrics()
+	if got := m.Quarantined[ReasonPanic]; got != 1 {
+		t.Errorf("quarantined[panic] = %d, want 1", got)
+	}
+	if m.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1 — the panic must not take down other reports", m.Accepted)
+	}
+	// The service survives: the working map still commits cleanly.
+	if err := svc.Commit("after panic"); err != nil {
+		t.Errorf("commit after panic: %v", err)
+	}
+	if vs.CurrentSeq() != 2 {
+		t.Errorf("seq = %d, want 2", vs.CurrentSeq())
+	}
+}
+
+func TestServiceBreakerShedsAbusiveSource(t *testing.T) {
+	base := baseMap(4, 4)
+	cfg := Config{
+		Workers: 1,
+		Breaker: BreakerConfig{FailThreshold: 2, OpenFor: time.Hour},
+	}
+	svc, _ := newServiceOn(t, base, cfg, GateConfig{})
+
+	bad := func(seq uint64) Report {
+		return Report{Source: "abuser", Seq: seq, Stamp: 20, Observations: []incremental.Observation{
+			{Class: core.ClassSign, P: geo.V2(math.Inf(1), 0), PosVar: 0.1, Stamp: 20},
+		}}
+	}
+	_ = svc.Submit(bad(1))
+	_ = svc.Submit(bad(2)) // trips the breaker
+	if got := svc.BreakerState("abuser"); got != BreakerOpen {
+		t.Fatalf("breaker = %v after repeated failures, want open", got)
+	}
+	// Even a well-formed report from the shedding source is dropped
+	// without inspection; another source is unaffected.
+	_ = svc.Submit(Report{Source: "abuser", Seq: 3, Stamp: 22,
+		Observations: []incremental.Observation{obsNear(0, 0, 22)}})
+	_ = svc.Submit(Report{Source: "honest", Seq: 1, Stamp: 23,
+		Observations: []incremental.Observation{obsNear(30, 0, 23)}})
+	svc.Close()
+
+	m := svc.Metrics()
+	if got := m.Quarantined[ReasonShed]; got != 1 {
+		t.Errorf("quarantined[shed] = %d, want 1", got)
+	}
+	if got := m.Quarantined[ReasonMalformed]; got != 2 {
+		t.Errorf("quarantined[malformed] = %d, want 2", got)
+	}
+	if m.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1 (honest source)", m.Accepted)
+	}
+	found := false
+	for _, src := range m.OpenBreakers {
+		if src == "abuser" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("open breakers = %v, want abuser listed", m.OpenBreakers)
+	}
+}
+
+func TestServiceAutoCommitPublishesTiles(t *testing.T) {
+	base := baseMap(4, 4)
+	store := storage.NewMemStore()
+	cfg := Config{
+		Workers: 1, CommitEvery: 2,
+		Publish: &PublishConfig{Store: store, Layer: "serve", Tiler: storage.Tiler{TileSize: 500}},
+	}
+	svc, vs := newServiceOn(t, base, cfg, GateConfig{})
+
+	for i := uint64(1); i <= 2; i++ {
+		if err := svc.Submit(Report{Source: "v1", Seq: i, Stamp: 20 + i,
+			Observations: []incremental.Observation{obsNear(float64(i-1)*30, 0, 20 + i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close()
+
+	m := svc.Metrics()
+	if m.Commits < 1 {
+		t.Fatalf("commits = %d, want >= 1", m.Commits)
+	}
+	if m.Published != m.Commits {
+		t.Errorf("published = %d, commits = %d — every commit must publish", m.Published, m.Commits)
+	}
+	if vs.CurrentSeq() < 2 {
+		t.Errorf("seq = %d, want >= 2", vs.CurrentSeq())
+	}
+	// The served tiles reassemble into a valid map of the same size.
+	served, err := (storage.Tiler{TileSize: 500}).LoadMap(store, "serve", "served")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := served.Validate(); len(issues) != 0 {
+		t.Errorf("served map invalid: %v", issues)
+	}
+	if served.NumElements() != vs.Frozen().NumElements() {
+		t.Errorf("served %d elements, current version %d",
+			served.NumElements(), vs.Frozen().NumElements())
+	}
+}
+
+func TestServiceGateRejectionRevertsWorkingSet(t *testing.T) {
+	base := baseMap(4, 4) // 16 elements
+	cfg := Config{
+		Workers: 1, CommitEvery: 1,
+		ByzantineResidual: -1, // allow novel geometry through to the gate
+		Fuser:             incremental.Config{PromoteObs: 1},
+	}
+	gate := GateConfig{MaxAddFrac: 0.01, AddHeadroom: 1}
+	svc, vs := newServiceOn(t, base, cfg, gate)
+
+	// Five instantly-promoted novel elements blow the growth budget.
+	flood := Report{Source: "v1", Seq: 1, Stamp: 20}
+	for i := 0; i < 5; i++ {
+		flood.Observations = append(flood.Observations, incremental.Observation{
+			Class: core.ClassSign, P: geo.V2(7+float64(i)*13, 17), PosVar: 0.1, Stamp: 20,
+		})
+	}
+	if err := svc.Submit(flood); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return svc.Metrics().CommitsRejected >= 1 })
+
+	if got := vs.CurrentSeq(); got != 1 {
+		t.Fatalf("rejected commit advanced the store to seq %d", got)
+	}
+	// The poisoned working set was discarded: the next clean report
+	// commits from the last good version, without the flood's elements.
+	if err := svc.Submit(Report{Source: "v1", Seq: 2, Stamp: 21,
+		Observations: []incremental.Observation{obsNear(0, 0, 21)}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	m := svc.Metrics()
+	if m.Commits != 1 || m.CommitsRejected != 1 {
+		t.Fatalf("commits = %d rejected = %d, want 1 and 1", m.Commits, m.CommitsRejected)
+	}
+	if vs.CurrentSeq() != 2 {
+		t.Fatalf("seq = %d, want 2", vs.CurrentSeq())
+	}
+	if got := vs.Frozen().NumElements(); got != base.NumElements() {
+		t.Errorf("committed version has %d elements, want %d (flood reverted)", got, base.NumElements())
+	}
+}
+
+func TestServiceOverloadDropsWithAccounting(t *testing.T) {
+	base := baseMap(4, 4)
+	gate := make(chan struct{})
+	ready := make(chan struct{})
+	var once sync.Once
+	cfg := Config{
+		Workers: 1, QueueDepth: 1,
+		ApplyHook: func(Report) {
+			once.Do(func() { close(ready) })
+			<-gate
+		},
+	}
+	svc, _ := newServiceOn(t, base, cfg, GateConfig{})
+
+	mk := func(seq uint64) Report {
+		return Report{Source: "v1", Seq: seq, Stamp: 20 + seq,
+			Observations: []incremental.Observation{obsNear(0, 0, 20 + seq)}}
+	}
+	if err := svc.Submit(mk(1)); err != nil { // occupies the worker
+		t.Fatal(err)
+	}
+	<-ready
+	_ = svc.Submit(mk(2)) // fills the queue slot
+	_ = svc.Submit(mk(3)) // dropped: queue full
+	_ = svc.Submit(mk(4)) // dropped: queue full
+	close(gate)
+	svc.Close()
+
+	m := svc.Metrics()
+	if got := m.Quarantined[ReasonOverload]; got != 2 {
+		t.Errorf("quarantined[overload] = %d, want 2", got)
+	}
+	if m.Accepted != 2 {
+		t.Errorf("accepted = %d, want 2", m.Accepted)
+	}
+	if m.Submitted != m.Accepted+m.QuarantineTotal {
+		t.Errorf("accounting broken: %d != %d + %d", m.Submitted, m.Accepted, m.QuarantineTotal)
+	}
+}
+
+func TestServiceRollbackRepublishes(t *testing.T) {
+	base := baseMap(4, 4)
+	store := storage.NewMemStore()
+	cfg := Config{
+		Workers: 1, CommitEvery: 1,
+		Publish: &PublishConfig{Store: store, Layer: "serve", Tiler: storage.Tiler{TileSize: 500}},
+	}
+	svc, vs := newServiceOn(t, base, cfg, GateConfig{})
+	if err := svc.Submit(Report{Source: "v1", Seq: 1, Stamp: 21,
+		Observations: []incremental.Observation{obsNear(0, 0, 21)}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if vs.CurrentSeq() != 2 {
+		t.Fatalf("seq = %d, want 2", vs.CurrentSeq())
+	}
+	before := svc.Metrics().Published
+
+	v, err := svc.Rollback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Seq != 1 || vs.CurrentSeq() != 1 {
+		t.Fatalf("rollback landed at %d, want 1", vs.CurrentSeq())
+	}
+	m := svc.Metrics()
+	if m.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", m.Rollbacks)
+	}
+	if m.Published != before+1 {
+		t.Errorf("published = %d, want %d — rollback must republish tiles", m.Published, before+1)
+	}
+	served, err := (storage.Tiler{TileSize: 500}).LoadMap(store, "serve", "served")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.NumElements() != base.NumElements() {
+		t.Errorf("served %d elements after rollback, want %d", served.NumElements(), base.NumElements())
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	svc, _ := newServiceOn(t, baseMap(2, 2), Config{}, GateConfig{})
+	svc.Close()
+	svc.Close() // idempotent
+	err := svc.Submit(Report{Source: "v", Seq: 1, Stamp: 5,
+		Observations: []incremental.Observation{obsNear(0, 0, 5)}})
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

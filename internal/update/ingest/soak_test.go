@@ -1,0 +1,282 @@
+package ingest_test
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/update/incremental"
+	"hdmaps/internal/update/ingest"
+)
+
+// TestChaosSoak drives a hostile fleet through the whole supervised
+// ingestion service: a seeded chaos injector corrupts well over 20% of
+// the reports (malformed, Byzantine, stale, duplicated), three reports
+// carry an injected pipeline panic, and the test then proves the
+// self-healing contract:
+//
+//   - every committed version passes core.Map.Validate with zero issues;
+//   - the quarantine counters account for every rejected report
+//     (Submitted == Accepted + QuarantineTotal) and match the injector's
+//     fault log category by category;
+//   - a panic injected into a pipeline stage fails only that report;
+//   - after a bad batch slips through, Rollback restores the previous
+//     version byte-identically and republishes its tiles.
+//
+// Report volume is bounded: default 400, overridable via SOAK_REPORTS.
+func TestChaosSoak(t *testing.T) {
+	nReports := 400
+	if v := os.Getenv("SOAK_REPORTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 10 {
+			t.Fatalf("bad SOAK_REPORTS %q", v)
+		}
+		nReports = n
+	}
+
+	// Base map: a 10x10 survey grid of signs, 30 m apart.
+	base := core.NewMap("soak")
+	for r := 0; r < 10; r++ {
+		for c := 0; c < 10; c++ {
+			base.AddPoint(core.PointElement{
+				Class: core.ClassSign,
+				Pos:   geo.V3(float64(c)*30, float64(r)*30, 2.2),
+				Meta:  core.Meta{Confidence: 0.9, Source: "survey"},
+			})
+		}
+	}
+	signs := make([]geo.Vec2, 0, 100)
+	for _, id := range base.PointIDs() {
+		p, _ := base.Point(id)
+		signs = append(signs, geo.V2(p.Pos.X, p.Pos.Y))
+	}
+
+	vs := ingest.NewVersionStore(ingest.GateConfig{})
+	if _, err := vs.Commit(base, "genesis"); err != nil {
+		t.Fatal(err)
+	}
+	tiles := storage.NewMemStore()
+	svc, err := ingest.NewService(vs, ingest.Config{
+		Workers: 4,
+		// Deep enough that no report is ever shed as overload — the
+		// category accounting below must stay exact.
+		QueueDepth: nReports + 32,
+		MaxAge:     1000,
+		FutureSkew: 1 << 40, // logical stamps jump past the base clock
+		// Disabled so the fault-category counters are exactly the
+		// injector's log; shedding is covered by the breaker tests.
+		Breaker:     ingest.BreakerConfig{FailThreshold: 1 << 30},
+		CommitEvery: 16,
+		Publish: &ingest.PublishConfig{
+			Store: tiles, Layer: "serve", Tiler: storage.Tiler{TileSize: 500},
+		},
+		ApplyHook: func(r ingest.Report) {
+			if strings.HasPrefix(r.Source, "faulty-") {
+				panic("injected pipeline fault")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the logical high-water mark so the stale window is live
+	// before the hostile stream starts.
+	const baseStamp = 50_000
+	warm := cleanReport("warmup", 1, baseStamp, signs, rand.New(rand.NewSource(1)))
+	if err := svc.Submit(warm); err != nil {
+		t.Fatal(err)
+	}
+	waitForSoak(t, func() bool { return svc.Metrics().Accepted >= 1 })
+
+	inj := chaos.NewReportInjector(chaos.ReportChaosConfig{
+		Seed:          7,
+		MalformProb:   0.08,
+		ByzantineProb: 0.08,
+		DuplicateProb: 0.07,
+		StaleProb:     0.05,
+		Offset:        500,
+		StaleBy:       20_000,
+	})
+	rng := rand.New(rand.NewSource(42))
+	delivered := uint64(1) // the warmup
+	panics := uint64(0)
+	for i := 0; i < nReports; i++ {
+		r := cleanReport("veh-"+strconv.Itoa(i%5), uint64(i+2), baseStamp+uint64(i+1), signs, rng)
+		out, _ := inj.Mangle(r)
+		for _, mr := range out {
+			if err := svc.Submit(mr); err != nil {
+				t.Fatal(err)
+			}
+			delivered++
+		}
+		if i%100 == 50 { // a crashing stage, every hundred reports
+			f := cleanReport("faulty-"+strconv.Itoa(i/100), 1, baseStamp+uint64(i+1), signs, rng)
+			if err := svc.Submit(f); err != nil {
+				t.Fatal(err)
+			}
+			delivered++
+			panics++
+		}
+	}
+	svc.Close()
+	if err := svc.Commit("final flush"); err != nil {
+		t.Fatal(err)
+	}
+
+	m := svc.Metrics()
+	stats := inj.Stats()
+	t.Logf("delivered=%d accepted=%d quarantined=%v commits=%d versions=%d injected=%+v",
+		m.Submitted, m.Accepted, m.Quarantined, m.Commits, len(vs.Versions()), stats)
+
+	// The stream was hostile enough: >= 20% of deliveries were faulty.
+	faulty := stats.Malformed + stats.Byzantine + stats.Stale + stats.Duplicates
+	if frac := float64(faulty) / float64(delivered); frac < 0.20 {
+		t.Fatalf("only %.1f%% of reports were faulty; the soak must exceed 20%%", 100*frac)
+	}
+	if m.Submitted != delivered {
+		t.Fatalf("submitted = %d, delivered = %d", m.Submitted, delivered)
+	}
+
+	// Accounting: every report is either accepted or attributed to
+	// exactly one rejection reason.
+	if m.Submitted != m.Accepted+m.QuarantineTotal {
+		t.Fatalf("accounting broken: %d submitted != %d accepted + %d quarantined",
+			m.Submitted, m.Accepted, m.QuarantineTotal)
+	}
+	// Category counters reconcile with the injector's fault log. A
+	// duplicate of a malformed report is itself malformed (it never
+	// entered the duplicate-detection window), so those two categories
+	// reconcile jointly.
+	q := m.Quarantined
+	if q[ingest.ReasonByzantine] != stats.Byzantine {
+		t.Errorf("byzantine = %d, injected %d", q[ingest.ReasonByzantine], stats.Byzantine)
+	}
+	if q[ingest.ReasonStale] != stats.Stale {
+		t.Errorf("stale = %d, injected %d", q[ingest.ReasonStale], stats.Stale)
+	}
+	if got := q[ingest.ReasonMalformed] + q[ingest.ReasonDuplicate]; got != stats.Malformed+stats.Duplicates {
+		t.Errorf("malformed+duplicate = %d, injected %d+%d",
+			got, stats.Malformed, stats.Duplicates)
+	}
+	for _, want := range []ingest.Reason{
+		ingest.ReasonMalformed, ingest.ReasonByzantine, ingest.ReasonStale, ingest.ReasonDuplicate,
+	} {
+		if q[want] == 0 {
+			t.Errorf("no %s rejections — the soak did not exercise that fault", want)
+		}
+	}
+	// Each injected panic failed exactly its own report.
+	if got := q[ingest.ReasonPanic]; got != panics {
+		t.Errorf("panic rejections = %d, want %d", got, panics)
+	}
+	if q[ingest.ReasonShed] != 0 || q[ingest.ReasonOverload] != 0 {
+		t.Errorf("unexpected shed/overload: %d/%d", q[ingest.ReasonShed], q[ingest.ReasonOverload])
+	}
+	if m.CommitsRejected != 0 {
+		t.Errorf("gate rejected %d commits of clean fused batches", m.CommitsRejected)
+	}
+	if m.Commits < 2 {
+		t.Fatalf("commits = %d, want several over the soak", m.Commits)
+	}
+
+	// Every committed version — not just the last — validates clean.
+	for _, v := range vs.Versions() {
+		data, err := vs.BytesOf(v.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := storage.DecodeBinary(data)
+		if err != nil {
+			t.Fatalf("version %d does not decode: %v", v.Seq, err)
+		}
+		if issues := vm.Validate(); len(issues) != 0 {
+			t.Errorf("version %d invalid: %v", v.Seq, issues)
+		}
+	}
+	// The served tiles reassemble into the current version.
+	served, err := (storage.Tiler{TileSize: 500}).LoadMap(tiles, "serve", "served")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := served.Validate(); len(issues) != 0 {
+		t.Errorf("served map invalid: %v", issues)
+	}
+	if served.NumElements() != vs.Frozen().NumElements() {
+		t.Errorf("served %d elements, current version has %d",
+			served.NumElements(), vs.Frozen().NumElements())
+	}
+
+	// Rollback contract: a subtly-bad batch slips past the gate (a sign
+	// dragged 2 m is within per-commit tolerance); the operator rolls
+	// back and the previous version is restored byte-identically.
+	goodSeq := vs.CurrentSeq()
+	goodBytes := vs.CurrentBytes()
+	bad := vs.Current()
+	p, err := bad.Point(bad.PointIDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Pos = geo.V3(p.Pos.X+2, p.Pos.Y, p.Pos.Z)
+	if _, err := vs.Commit(bad, "bad batch slipped through"); err != nil {
+		t.Fatalf("the subtle bad batch should pass the gate: %v", err)
+	}
+	publishedBefore := svc.Metrics().Published
+	v, err := svc.Rollback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Seq != goodSeq {
+		t.Fatalf("rollback landed at %d, want %d", v.Seq, goodSeq)
+	}
+	if string(vs.CurrentBytes()) != string(goodBytes) {
+		t.Fatal("rollback did not restore the archived bytes")
+	}
+	if got := storage.EncodeBinary(vs.Current()); string(got) != string(goodBytes) {
+		t.Fatal("restored map does not re-encode byte-identically")
+	}
+	if got := svc.Metrics().Published; got != publishedBefore+1 {
+		t.Errorf("published = %d, want %d — rollback must republish tiles", got, publishedBefore+1)
+	}
+}
+
+// cleanReport observes every sign within a 60 m Chebyshev window of a
+// randomly chosen sign, with 0.2 m position noise. The window shape
+// matches the report's bounding box so no unobserved sign falls inside
+// the fuser's decay view.
+func cleanReport(source string, seq, stamp uint64, signs []geo.Vec2, rng *rand.Rand) ingest.Report {
+	center := signs[rng.Intn(len(signs))]
+	r := ingest.Report{Source: source, Seq: seq, Stamp: stamp}
+	for _, s := range signs {
+		dx, dy := s.X-center.X, s.Y-center.Y
+		if dx < -60 || dx > 60 || dy < -60 || dy > 60 {
+			continue
+		}
+		r.Observations = append(r.Observations, incremental.Observation{
+			Class:  core.ClassSign,
+			P:      geo.V2(s.X+rng.NormFloat64()*0.2, s.Y+rng.NormFloat64()*0.2),
+			PosVar: 0.1,
+			Stamp:  stamp,
+		})
+	}
+	return r
+}
+
+func waitForSoak(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("warmup report never applied")
+}
