@@ -1,18 +1,23 @@
 # Verification pipeline for the HD-map ecosystem repo.
 #
 #   make verify   — everything CI runs: vet, build, race-enabled tests,
-#                   the maintenance chaos soak, and short fuzz smokes.
+#                   the maintenance chaos soak, the overload soak, and
+#                   short fuzz smokes.
 #   make test     — fast tier-1 check (what the roadmap calls "tier-1").
 #   make soak     — the ingestion chaos soak at CI volume.
+#   make soak-overload — stampede the resilient tile server at CI volume.
+#   make loadtest — run the closed-loop load generator against a
+#                   self-hosted server and print its /statz.
 #   make fuzz     — longer decode fuzzing for local hunting.
 
 GO ?= go
 FUZZTIME ?= 5s
 SOAK_REPORTS ?= 1200
+SOAK_GETS ?= 4000
 
-.PHONY: verify vet build test race soak fuzz-smoke fuzz bench
+.PHONY: verify vet build test race soak soak-overload loadtest fuzz-smoke fuzz bench
 
-verify: vet build race soak fuzz-smoke
+verify: vet build race soak soak-overload fuzz-smoke
 	@echo "verify: all green"
 
 vet:
@@ -34,6 +39,19 @@ race:
 # SOAK_REPORTS so CI duration stays predictable.
 soak:
 	SOAK_REPORTS=$(SOAK_REPORTS) $(GO) test -race -run '^TestChaosSoak$$' -count=1 ./internal/update/ingest
+
+# Overload resilience: a zipfian closed-loop stampede with thundering-
+# herd bursts against the admission-controlled tile server, bounded by
+# SOAK_GETS. Asserts the accounting invariant (no request lost silently),
+# Retry-After on every shed response, and coalescing/cache keeping store
+# reads well under client reads.
+soak-overload:
+	SOAK_GETS=$(SOAK_GETS) $(GO) test -race -run '^TestOverloadSoak$$' -count=1 ./internal/chaos
+
+# Interactive load drill: self-hosts a generated city behind the
+# overload pipeline, stampedes it, and prints outcomes plus /statz.
+loadtest:
+	$(GO) run ./cmd/hdmapctl loadtest -clients 40 -requests 100 -rate 50
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=$(FUZZTIME) ./internal/storage

@@ -14,6 +14,7 @@
 //	hdmapctl drive -kind highway -length 1000 -out built.hdmp   (LiDAR mapping run)
 //	hdmapctl serve -dir tiles/ -addr :8080                      (tile distribution server)
 //	hdmapctl fetch -base http://host:8080 -layer base -out region.hdmp  (vehicle-side pull)
+//	hdmapctl loadtest -clients 40 -requests 100                 (overload drill + /statz)
 //	hdmapctl ingest -in base.hdmp -store versions/ -synth 200   (supervised maintenance)
 //	hdmapctl versions -store versions/
 //	hdmapctl rollback -store versions/ -n 1 -tiles tiles/
@@ -25,11 +26,9 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -74,6 +73,8 @@ func main() {
 		err = cmdServe(ctx, os.Args[2:])
 	case "fetch":
 		err = cmdFetch(ctx, os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(ctx, os.Args[2:])
 	case "ingest":
 		err = cmdIngest(os.Args[2:])
 	case "versions":
@@ -104,8 +105,13 @@ subcommands:
   diff      geometric diff of two maps
   route     lane-level route between two lanelets
   drive     run the LiDAR mapping pipeline over a generated world
-  serve     serve a tile directory over HTTP (graceful shutdown on SIGINT)
+  serve     serve a tile directory over HTTP with overload protection
+            (admission control, per-client rate limits, hot-tile cache,
+            request coalescing; graceful drain on SIGINT)
   fetch     pull a tile region from a server and stitch it to one map
+  loadtest  stampede a tile server with a zipfian closed-loop fleet and
+            print its /statz snapshot (self-hosts a server when -base
+            is empty)
   ingest    run supervised map maintenance into a version store
   versions  list a version store's commit log
   rollback  restore a previous map version (and republish its tiles)`)
@@ -361,39 +367,6 @@ func cmdDrive(args []string) error {
 	fmt.Printf("boundary error vs truth: %.3f m (completeness %.0f%%)\n",
 		lr.MeanError, lr.Completeness*100)
 	fmt.Printf("wrote %s\n", *out)
-	return nil
-}
-
-func cmdServe(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	dir := fs.String("dir", "tiles", "tile directory (DirStore root)")
-	addr := fs.String("addr", ":8080", "listen address")
-	drain := fs.Duration("drain", 5*time.Second, "max time to drain in-flight requests on shutdown")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	store, err := storage.NewDirStore(*dir)
-	if err != nil {
-		return err
-	}
-	srv := &http.Server{Addr: *addr, Handler: storage.NewTileServer(store)}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serving tiles from %s on %s\n", *dir, *addr)
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	fmt.Println("shutting down, draining in-flight requests...")
-	sctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := srv.Shutdown(sctx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
-	}
-	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-		return err
-	}
 	return nil
 }
 

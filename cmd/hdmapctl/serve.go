@@ -1,0 +1,205 @@
+// Serve-side commands: the overload-protected tile server and the load
+// drill that stampedes one.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+// serveFlags registers the shared overload-policy knobs and returns a
+// closure resolving them to a resilience.Config.
+func serveFlags(fs *flag.FlagSet) func() resilience.Config {
+	maxConcurrent := fs.Int64("max-concurrent", 64, "admission capacity in weight units (writes weigh 4)")
+	maxWait := fs.Duration("max-wait", 100*time.Millisecond, "max admission queue wait before shedding")
+	reqTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request deadline")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	rate := fs.Float64("rate", 0, "per-client sustained requests/s (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-client burst allowance (0 = ceil(rate))")
+	cache := fs.Int("cache", 1024, "hot-tile response cache size (-1 disables)")
+	return func() resilience.Config {
+		return resilience.Config{
+			MaxConcurrent:  *maxConcurrent,
+			MaxWait:        *maxWait,
+			RequestTimeout: *reqTimeout,
+			RetryAfter:     *retryAfter,
+			RatePerClient:  *rate,
+			RateBurst:      *burst,
+			CacheSize:      *cache,
+		}
+	}
+}
+
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "tiles", "tile directory (DirStore root)")
+	addr := fs.String("addr", ":8080", "listen address")
+	drain := fs.Duration("drain", 5*time.Second, "max time to drain in-flight requests on shutdown")
+	cfg := serveFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := storage.NewDirStore(*dir)
+	if err != nil {
+		return err
+	}
+	handler := resilience.NewHandler(storage.NewTileServer(store), cfg())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving tiles from %s on %s (/healthz /readyz /statz)\n", *dir, ln.Addr())
+	return runServe(ctx, ln, handler, *drain)
+}
+
+// runServe serves handler on ln until ctx is cancelled, then drains:
+// the handler stops admitting (readyz flips to 503, late requests are
+// shed with Retry-After), in-flight requests finish, and the HTTP
+// server shuts down — all within the drain deadline. A nil return
+// means zero in-flight requests were dropped.
+func runServe(ctx context.Context, ln net.Listener, handler *resilience.Handler, drain time.Duration) error {
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down, draining in-flight requests...")
+	// Stop admitting at the handler first so clients get an orderly
+	// 503 + Retry-After instead of a refused connection.
+	handler.StartDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	// Shutdown returned, so every connection closed cleanly; Drain now
+	// certifies the handler-level invariant (zero requests in flight).
+	if err := handler.Drain(dctx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func cmdLoadtest(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	base := fs.String("base", "", "target server URL (empty: self-host a generated city in-process)")
+	clients := fs.Int("clients", 40, "concurrent closed-loop clients")
+	requests := fs.Int("requests", 100, "requests per client")
+	seed := fs.Int64("seed", 42, "load plan seed")
+	burstEvery := fs.Int("burst-every", 10, "every Nth request is a thundering-herd burst (0 disables)")
+	layer := fs.String("layer", "base", "layer whose tiles are stampeded")
+	cfg := serveFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	target := *base
+	if target == "" {
+		// Self-host: generate a city, tile it, and serve it behind the
+		// same overload pipeline `hdmapctl serve` uses.
+		g, err := worldgen.GenerateGrid(worldgen.GridParams{
+			Rows: 3, Cols: 3, Lanes: 2, TrafficLights: true,
+		}, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		store := storage.NewMemStore()
+		n, err := storage.Tiler{TileSize: 200}.SaveMap(store, g.Map, *layer)
+		if err != nil {
+			return err
+		}
+		handler := resilience.NewHandler(storage.NewTileServer(store), cfg())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: handler}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Printf("self-hosted %d tiles at %s\n", n, target)
+	}
+
+	// The tile list is the popularity ranking: index 0 is the hot tile.
+	var listed []struct {
+		TX int32 `json:"tx"`
+		TY int32 `json:"ty"`
+	}
+	if err := getTileList(ctx, target, *layer, &listed); err != nil {
+		return err
+	}
+	if len(listed) == 0 {
+		return fmt.Errorf("layer %q has no tiles to stampede", *layer)
+	}
+	paths := make([]string, len(listed))
+	for i, k := range listed {
+		paths[i] = fmt.Sprintf("/v1/tiles/%s/%d/%d", *layer, k.TX, k.TY)
+	}
+
+	start := time.Now()
+	res, err := chaos.RunLoad(ctx, chaos.LoadConfig{
+		Seed:              *seed,
+		Clients:           *clients,
+		RequestsPerClient: *requests,
+		Paths:             paths,
+		BurstEvery:        *burstEvery,
+		Base:              target,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("load: %d clients x %d requests over %d tiles in %v (%.0f req/s)\n",
+		*clients, *requests, len(paths), elapsed.Round(time.Millisecond),
+		float64(res.Submitted)/elapsed.Seconds())
+	fmt.Printf("outcomes: ok=%d shed=%d errored=%d (shed-without-retry-after=%d, hot-tile ok=%d)\n",
+		res.OK, res.Shed, res.Errored, res.ShedMissingRetryAfter, res.HotOK)
+
+	resp, err := http.Get(target + "/statz")
+	if err != nil {
+		return fmt.Errorf("statz: %w", err)
+	}
+	defer resp.Body.Close()
+	snap, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("statz: %w", err)
+	}
+	fmt.Printf("server /statz: %s", snap)
+	return nil
+}
+
+// getTileList pulls a layer's tile index.
+func getTileList(ctx context.Context, base, layer string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/tiles/"+layer, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("list tiles: %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"time"
 
 	"hdmaps"
@@ -24,6 +25,7 @@ import (
 	"hdmaps/internal/chaos"
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
+	"hdmaps/internal/resilience"
 	"hdmaps/internal/storage"
 	"hdmaps/internal/worldgen"
 )
@@ -42,10 +44,17 @@ func main() {
 	fmt.Printf("generated city: %d key nodes, %d road edges, %.1f lane-km\n",
 		len(city.Nodes), len(city.Edges), city.Map.ComputeStats().TotalLaneKm)
 
-	// Stand up the central tile server (in-process HTTP for the demo;
-	// `hdmapctl serve` runs the same handler standalone).
+	// Stand up the central tile server behind the overload pipeline —
+	// admission control, per-client rate limiting, request coalescing,
+	// and a hot-tile cache (in-process HTTP for the demo; `hdmapctl
+	// serve` runs the same handler standalone).
 	store := storage.NewMemStore()
-	srv := httptest.NewServer(storage.NewTileServer(store))
+	guard := resilience.NewHandler(storage.NewTileServer(store), resilience.Config{
+		MaxConcurrent: 16,
+		MaxWait:       10 * time.Millisecond,
+		RetryAfter:    250 * time.Millisecond,
+	})
+	srv := httptest.NewServer(guard)
 	defer srv.Close()
 	tiler := storage.Tiler{TileSize: 500}
 	nTiles, err := tiler.SaveMap(store, city.Map, "base")
@@ -157,5 +166,36 @@ func main() {
 		fmt.Printf("hottest change cell: %v (%d changes) — construction near %v at %v\n",
 			cell, hot[0].Changes, city.Nodes[0].P, center)
 	}
+
+	// A fleet-wide map refresh stampedes one hot tile; coalescing and the
+	// response cache absorb the herd so the store sees a handful of reads
+	// for hundreds of client requests.
+	herd := 200
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/tiles/base/0/0", nil)
+			req.Header.Set(resilience.ClientIDHeader, fmt.Sprintf("vehicle-%d", i))
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := guard.Stats()
+	fmt.Printf("thundering herd of %d absorbed: %d store reads (coalesced=%d, cache hits=%d, shed=%d)\n",
+		herd, snap.InnerRequests, snap.Coalesced, snap.CacheHits, snap.Shed)
+
+	// Orderly shutdown: stop admitting, let in-flight work finish.
+	guard.StartDrain()
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := guard.Drain(dctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drained cleanly: submitted=%d = accepted=%d + shed=%d + errored=%d, inflight=%d\n",
+		snap.Submitted, snap.Accepted, snap.Shed, snap.Errored, guard.Stats().Inflight)
 	_ = core.NilID
 }

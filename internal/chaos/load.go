@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"hdmaps/internal/resilience"
+)
+
+// LoadConfig drives a seeded closed-loop fleet against a tile server.
+// Closed loop means each simulated vehicle waits for its response
+// before issuing the next request — the realistic overload shape,
+// where server slowness throttles the offered load instead of queueing
+// it to infinity. Popularity is zipfian (a city centre's tiles are hot,
+// the suburbs cold) with optional thundering-herd bursts where the
+// whole fleet synchronizes on the hottest tile at once, the worst case
+// for a coalescing cache.
+type LoadConfig struct {
+	// Seed makes the request sequence reproducible.
+	Seed int64
+	// Clients is the number of concurrent closed-loop clients
+	// (default 8).
+	Clients int
+	// RequestsPerClient bounds each client's loop (default 50).
+	RequestsPerClient int
+	// Paths are the candidate GET paths ranked hottest-first; the
+	// zipfian draw indexes into it. Required, non-empty.
+	Paths []string
+	// ZipfS, ZipfV shape the popularity distribution (defaults 1.2, 1;
+	// ZipfS must be > 1).
+	ZipfS, ZipfV float64
+	// BurstEvery >= 1 makes every BurstEvery-th request a thundering
+	// herd: all clients rendezvous at a barrier, then fire at Paths[0]
+	// simultaneously. 0 disables bursts.
+	BurstEvery int
+	// Base is the server URL, e.g. the httptest server's URL.
+	Base string
+	// HTTP is the client to use (http.DefaultClient when nil). No
+	// retries are layered on: the generator measures raw outcomes, one
+	// submitted request per HTTP round trip.
+	HTTP *http.Client
+	// ClientIDPrefix names clients ("<prefix>-<i>") via the resilience
+	// ClientIDHeader so per-client rate limiting sees distinct vehicles.
+	// Empty means "vehicle".
+	ClientIDPrefix string
+}
+
+// LoadResult aggregates client-observed outcomes. The accounting is
+// total: Submitted == OK + Shed + Errored, so comparing Submitted with
+// the server's /statz proves no request was lost silently on either
+// side of the wire.
+type LoadResult struct {
+	// Submitted counts HTTP requests issued.
+	Submitted uint64
+	// OK counts 200 responses.
+	OK uint64
+	// Shed counts 429/503 responses — load the server refused by
+	// policy.
+	Shed uint64
+	// ShedMissingRetryAfter counts shed responses lacking a
+	// Retry-After header; the overload contract demands this stay 0.
+	ShedMissingRetryAfter uint64
+	// Errored counts transport failures and any other status.
+	Errored uint64
+	// HotOK counts 200s on Paths[0], the zipf-hottest tile — the
+	// denominator for the coalescing-efficiency assertion.
+	HotOK uint64
+}
+
+// RunLoad executes the load plan and blocks until every client
+// finishes or ctx is cancelled (requests already issued complete;
+// cancellation surfaces as transport errors counted in Errored).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if len(cfg.Paths) == 0 {
+		return nil, fmt.Errorf("chaos: load plan has no paths")
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	perClient := cfg.RequestsPerClient
+	if perClient <= 0 {
+		perClient = 50
+	}
+	s, v := cfg.ZipfS, cfg.ZipfV
+	if s <= 1 {
+		s = 1.2
+	}
+	if v < 1 {
+		v = 1
+	}
+	httpc := cfg.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	prefix := cfg.ClientIDPrefix
+	if prefix == "" {
+		prefix = "vehicle"
+	}
+
+	var (
+		res     LoadResult
+		barrier = newBarrier(clients)
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-client rng: deterministic, and zipf draws do not
+			// contend on a shared lock.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			zipf := rand.NewZipf(rng, s, v, uint64(len(cfg.Paths)-1))
+			id := fmt.Sprintf("%s-%d", prefix, i)
+			// No early return on cancellation: a cancelled context makes
+			// every remaining request fail instantly (counted in Errored),
+			// so the loop still reaches each barrier and no sibling is
+			// stranded waiting for a client that left.
+			for n := 0; n < perClient; n++ {
+				path := cfg.Paths[zipf.Uint64()]
+				if cfg.BurstEvery > 0 && n%cfg.BurstEvery == cfg.BurstEvery-1 {
+					// Thundering herd: the whole fleet aligns, then
+					// stampedes the hottest tile in the same instant.
+					barrier.await()
+					path = cfg.Paths[0]
+				}
+				hot := path == cfg.Paths[0]
+				atomic.AddUint64(&res.Submitted, 1)
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Base+path, nil)
+				if err != nil {
+					atomic.AddUint64(&res.Errored, 1)
+					continue
+				}
+				req.Header.Set(resilience.ClientIDHeader, id)
+				resp, err := httpc.Do(req)
+				if err != nil {
+					atomic.AddUint64(&res.Errored, 1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					atomic.AddUint64(&res.OK, 1)
+					if hot {
+						atomic.AddUint64(&res.HotOK, 1)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusServiceUnavailable:
+					atomic.AddUint64(&res.Shed, 1)
+					if resp.Header.Get("Retry-After") == "" {
+						atomic.AddUint64(&res.ShedMissingRetryAfter, 1)
+					}
+				default:
+					atomic.AddUint64(&res.Errored, 1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return &res, nil
+}
+
+// barrier is a reusable rendezvous for n goroutines. Because every
+// client runs the same request count and bursts on the same iteration
+// indices, all n always reach the same barrier generation — no client
+// can deadlock waiting for one that already exited.
+type barrier struct {
+	mu      sync.Mutex
+	n       int
+	waiting int
+	gen     chan struct{}
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, gen: make(chan struct{})}
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	b.waiting++
+	gen := b.gen
+	if b.waiting == b.n {
+		// Last arrival releases the herd and resets for the next cycle.
+		b.waiting = 0
+		b.gen = make(chan struct{})
+		b.mu.Unlock()
+		close(gen)
+		return
+	}
+	b.mu.Unlock()
+	<-gen
+}

@@ -1,0 +1,290 @@
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// countingStore counts reads that actually reach the backing store —
+// the denominator of the coalescing-efficiency assertion.
+type countingStore struct {
+	storage.TileStore
+	gets atomic.Uint64
+}
+
+func (c *countingStore) Get(key storage.TileKey) ([]byte, error) {
+	c.gets.Add(1)
+	return c.TileStore.Get(key)
+}
+
+// publishTiles puts n tiny tiles on layer "base" and returns their GET
+// paths, hottest-first.
+func publishTiles(t *testing.T, store storage.TileStore, n int) []string {
+	t.Helper()
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m := core.NewMap(fmt.Sprintf("tile-%d", i))
+		m.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(float64(i), 1, 0)})
+		key := storage.TileKey{Layer: "base", TX: int32(i), TY: 0}
+		if err := store.Put(key, storage.EncodeBinary(m)); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, fmt.Sprintf("/v1/tiles/base/%d/0", i))
+	}
+	return paths
+}
+
+// statz fetches and decodes the handler's /statz snapshot.
+func statz(t *testing.T, base string) resilience.StatsSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap resilience.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestOverloadSoak stampedes an admission-controlled tile server with a
+// zipfian closed-loop fleet over a chaos-injected store (latency +
+// occasional I/O errors) and asserts the overload contract:
+//
+//  1. no request lost silently — client-side and server-side accounting
+//     both close exactly (submitted == accepted + shed + errored);
+//  2. every shed response carries Retry-After;
+//  3. the coalesce+cache pipeline keeps store reads >= 5x below client
+//     reads on the hot tile set.
+//
+// Volume is bounded: default 4000 GETs, overridable via SOAK_GETS.
+func TestOverloadSoak(t *testing.T) {
+	total := 4000
+	if v := os.Getenv("SOAK_GETS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SOAK_GETS %q", v)
+		}
+		total = n
+	}
+	clients := 40
+	if total < clients {
+		clients = total
+	}
+	perClient := total / clients
+
+	mem := &countingStore{TileStore: storage.NewMemStore()}
+	paths := publishTiles(t, mem, 24)
+	injector := chaos.New(chaos.Config{
+		Seed:        1009,
+		LatencyProb: 0.2, Latency: time.Millisecond,
+		ErrorProb: 0.01,
+	})
+	handler := resilience.NewHandler(storage.NewTileServer(injector.Store(mem)), resilience.Config{
+		MaxConcurrent:  8,
+		MaxWait:        2 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+		RetryAfter:     50 * time.Millisecond,
+		RatePerClient:  25,
+		RateBurst:      5,
+		CacheSize:      64,
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	res, err := chaos.RunLoad(context.Background(), chaos.LoadConfig{
+		Seed:              1013,
+		Clients:           clients,
+		RequestsPerClient: perClient,
+		Paths:             paths,
+		BurstEvery:        10,
+		Base:              srv.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client-side accounting closes.
+	if res.Submitted != res.OK+res.Shed+res.Errored {
+		t.Errorf("client accounting: submitted %d != ok %d + shed %d + errored %d",
+			res.Submitted, res.OK, res.Shed, res.Errored)
+	}
+	if want := uint64(clients * perClient); res.Submitted != want {
+		t.Errorf("submitted = %d, want %d", res.Submitted, want)
+	}
+	// Server-side accounting closes and agrees on volume.
+	snap := statz(t, srv.URL)
+	if snap.Inflight != 0 {
+		t.Errorf("inflight = %d after load drained", snap.Inflight)
+	}
+	if snap.Submitted != snap.Accepted+snap.Shed+snap.Errored {
+		t.Errorf("server accounting: submitted %d != accepted %d + shed %d + errored %d",
+			snap.Submitted, snap.Accepted, snap.Shed, snap.Errored)
+	}
+	if snap.Submitted != res.Submitted {
+		t.Errorf("server saw %d submitted, clients sent %d", snap.Submitted, res.Submitted)
+	}
+	// The overload was real, and every refusal told the client when to
+	// come back.
+	if res.Shed == 0 {
+		t.Error("no load was shed — the stampede did not overload the server; tighten the config")
+	}
+	if res.ShedMissingRetryAfter != 0 {
+		t.Errorf("%d shed responses lacked Retry-After", res.ShedMissingRetryAfter)
+	}
+	// Coalesce+cache efficiency: the store served >= 5x fewer reads than
+	// the fleet received.
+	gets := mem.gets.Load()
+	if gets*5 > res.OK {
+		t.Errorf("store reads %d vs client reads %d: pipeline absorbed < 5x", gets, res.OK)
+	}
+	if snap.CacheHits == 0 {
+		t.Error("hot-tile cache never hit")
+	}
+	t.Logf("soak: submitted=%d ok=%d shed=%d (rate-limited=%d) errored=%d store-reads=%d cache-hits=%d coalesced=%d",
+		res.Submitted, res.OK, res.Shed, snap.RateLimited, res.Errored, gets, snap.CacheHits, snap.Coalesced)
+}
+
+// TestCoalescingAbsorbsHerd isolates singleflight (cache disabled): a
+// closed-loop herd hammering one hot tile through a slow store must be
+// served by a handful of actual store reads.
+func TestCoalescingAbsorbsHerd(t *testing.T) {
+	mem := &countingStore{TileStore: storage.NewMemStore()}
+	paths := publishTiles(t, mem, 1)
+	injector := chaos.New(chaos.Config{
+		Seed:        4243,
+		LatencyProb: 1, Latency: 2 * time.Millisecond,
+	})
+	handler := resilience.NewHandler(storage.NewTileServer(injector.Store(mem)), resilience.Config{
+		MaxConcurrent:  64,
+		MaxWait:        time.Second,
+		RequestTimeout: 5 * time.Second,
+		CacheSize:      -1, // no cache: singleflight alone carries the herd
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	res, err := chaos.RunLoad(context.Background(), chaos.LoadConfig{
+		Seed:              47,
+		Clients:           20,
+		RequestsPerClient: 30,
+		Paths:             paths,
+		Base:              srv.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Submitted {
+		t.Fatalf("herd outcomes: %+v", res)
+	}
+	gets := mem.gets.Load()
+	if gets*5 > res.OK {
+		t.Errorf("coalescing absorbed < 5x: %d store reads for %d client reads", gets, res.OK)
+	}
+	snap := statz(t, srv.URL)
+	if snap.Coalesced == 0 {
+		t.Error("no request was coalesced")
+	}
+	t.Logf("herd: %d client reads served by %d store reads (%d coalesced)", res.OK, gets, snap.Coalesced)
+}
+
+// TestGracefulDrainUnderLoad starts slow in-flight GETs, begins drain,
+// and asserts: new traffic is shed with Retry-After, every in-flight
+// request completes with 200 (zero dropped, no connection resets), and
+// the drain finishes within its deadline.
+func TestGracefulDrainUnderLoad(t *testing.T) {
+	mem := &countingStore{TileStore: storage.NewMemStore()}
+	paths := publishTiles(t, mem, 8)
+	injector := chaos.New(chaos.Config{
+		Seed:        5,
+		LatencyProb: 1, Latency: 50 * time.Millisecond,
+	})
+	handler := resilience.NewHandler(storage.NewTileServer(injector.Store(mem)), resilience.Config{
+		MaxConcurrent:  16,
+		MaxWait:        time.Second,
+		RequestTimeout: 5 * time.Second,
+		CacheSize:      -1, // every GET must ride a real (slow) store read
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	const inflight = 8
+	type outcome struct {
+		code int
+		err  error
+	}
+	outcomes := make(chan outcome, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + paths[i])
+			if err != nil {
+				outcomes <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			outcomes <- outcome{code: resp.StatusCode}
+		}(i)
+	}
+	// Wait until all are inside the handler, then start draining.
+	deadline := time.After(5 * time.Second)
+	for handler.Stats().Inflight < inflight {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d requests in flight", handler.Stats().Inflight)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	handler.StartDrain()
+
+	resp, err := http.Get(srv.URL + paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("post-drain request: %d, Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := handler.Drain(dctx); err != nil {
+		t.Fatalf("drain missed its deadline: %v", err)
+	}
+	wg.Wait()
+	close(outcomes)
+	for o := range outcomes {
+		if o.err != nil {
+			t.Errorf("in-flight request saw a connection error during drain: %v", o.err)
+		} else if o.code != http.StatusOK {
+			t.Errorf("in-flight request dropped during drain: %d", o.code)
+		}
+	}
+	snap := statz(t, srv.URL)
+	if snap.Submitted != snap.Accepted+snap.Shed+snap.Errored {
+		t.Errorf("drain accounting: submitted %d != accepted %d + shed %d + errored %d",
+			snap.Submitted, snap.Accepted, snap.Shed, snap.Errored)
+	}
+	if !snap.Draining {
+		t.Error("statz does not report draining")
+	}
+}

@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"container/list"
+	"sync"
+)
+
+// responseCache is a bounded LRU of captured 200-responses keyed by
+// request path — the server-side hot-tile cache. Unlike the vehicle's
+// storage.TileCache (which exists to serve *stale* data in outages),
+// this cache must never serve stale data: the handler invalidates a
+// path the moment a PUT or DELETE for it is accepted, so a read-through
+// hit is always byte-identical to what the store would return.
+type responseCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent; values are *cacheItem
+	m   map[string]*list.Element
+}
+
+type cacheItem struct {
+	key  string
+	resp *capturedResponse
+}
+
+// newResponseCache creates a cache holding at most max responses
+// (max <= 0 means 1024).
+func newResponseCache(max int) *responseCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &responseCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached response for key, refreshing recency.
+func (c *responseCache) get(key string) (*capturedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheItem).resp, true
+}
+
+// put stores a response, evicting the least recently used entry when
+// full. The capture must not be mutated after insertion.
+func (c *responseCache) put(key string, resp *capturedResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*cacheItem).resp = resp
+		c.ll.MoveToFront(e)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		back := c.ll.Back()
+		if back != nil {
+			c.ll.Remove(back)
+			delete(c.m, back.Value.(*cacheItem).key)
+		}
+	}
+	c.m[key] = c.ll.PushFront(&cacheItem{key: key, resp: resp})
+}
+
+// invalidate drops key (a no-op when absent).
+func (c *responseCache) invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		c.ll.Remove(e)
+		delete(c.m, key)
+	}
+}
+
+// len reports the number of cached responses (diagnostic).
+func (c *responseCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Semaphore is a weighted counting semaphore with FIFO waiters — the
+// admission controller's core. Weights let one expensive request (a
+// tile PUT that decodes and validates the payload) count for several
+// cheap ones (a cached GET). FIFO ordering means a heavy request
+// cannot be starved by a stream of light ones slipping past it.
+type Semaphore struct {
+	size int64
+
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List // of *semWaiter
+}
+
+type semWaiter struct {
+	n     int64
+	ready chan struct{} // closed when the waiter holds its weight
+}
+
+// NewSemaphore creates a semaphore admitting at most size units of
+// weight concurrently (size <= 0 defaults to 1).
+func NewSemaphore(size int64) *Semaphore {
+	if size <= 0 {
+		size = 1
+	}
+	return &Semaphore{size: size}
+}
+
+// TryAcquire takes n units without waiting, reporting success. It
+// fails when the semaphore lacks capacity *or* earlier waiters are
+// queued (overtaking them would break FIFO fairness).
+func (s *Semaphore) TryAcquire(n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		return true
+	}
+	return false
+}
+
+// Acquire takes n units, waiting in FIFO order until capacity frees or
+// ctx is done. A request heavier than the whole semaphore can never be
+// admitted; Acquire fails fast on it rather than deadlocking.
+func (s *Semaphore) Acquire(ctx context.Context, n int64) error {
+	if n > s.size {
+		return context.DeadlineExceeded
+	}
+	s.mu.Lock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Lost the race: the weight was granted between ctx firing
+			// and taking the lock. Keep it — the caller gets admission.
+			s.mu.Unlock()
+			return nil
+		default:
+		}
+		s.waiters.Remove(elem)
+		// Removing a waiter at the queue head may unblock those behind it.
+		s.grantLocked()
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n units and wakes any waiters that now fit.
+func (s *Semaphore) Release(n int64) {
+	s.mu.Lock()
+	s.cur -= n
+	if s.cur < 0 {
+		panic("resilience: semaphore released more than held")
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked admits queued waiters from the front while they fit;
+// callers hold s.mu.
+func (s *Semaphore) grantLocked() {
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*semWaiter)
+		if s.cur+w.n > s.size {
+			return
+		}
+		s.cur += w.n
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+}
+
+// InUse reports the weight currently admitted (diagnostic).
+func (s *Semaphore) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}

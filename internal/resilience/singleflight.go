@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"net/http"
+	"sync"
+)
+
+// capturedResponse is a fully-buffered HTTP response: what a
+// singleflight leader records from the inner handler and every
+// coalesced waiter replays. The body and headers are treated as
+// immutable once the capture completes, so sharing one capture across
+// waiters is race-free.
+type capturedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// newCapture makes an empty capture that doubles as the
+// http.ResponseWriter handed to the inner handler.
+func newCapture() *capturedResponse {
+	return &capturedResponse{status: http.StatusOK, header: make(http.Header)}
+}
+
+// Header implements http.ResponseWriter.
+func (c *capturedResponse) Header() http.Header { return c.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (c *capturedResponse) WriteHeader(status int) { c.status = status }
+
+// Write implements http.ResponseWriter.
+func (c *capturedResponse) Write(p []byte) (int, error) {
+	c.body = append(c.body, p...)
+	return len(p), nil
+}
+
+// writeTo replays the capture onto a real ResponseWriter.
+func (c *capturedResponse) writeTo(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range c.header {
+		h[k] = vs
+	}
+	w.WriteHeader(c.status)
+	_, _ = w.Write(c.body)
+}
+
+// flightCall is one in-flight coalesced execution.
+type flightCall struct {
+	done chan struct{} // closed when resp/err are final
+	resp *capturedResponse
+	err  error
+}
+
+// flightGroup coalesces concurrent identical reads: the first caller
+// for a key becomes the leader and executes; everyone else arriving
+// before the leader finishes piggybacks on the same response. When a
+// thundering herd hits one hot tile, the store sees one read, not a
+// thousand.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// join returns the call for key and whether this caller is the leader.
+// The leader must run the work and then call finish.
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and retires the key so the next
+// miss starts a fresh flight.
+func (g *flightGroup) finish(key string, c *flightCall, resp *capturedResponse, err error) {
+	c.resp, c.err = resp, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}

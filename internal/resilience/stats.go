@@ -1,0 +1,72 @@
+package resilience
+
+import "sync/atomic"
+
+// Stats is an atomic set of serving counters. The accounting invariant
+// the overload soak enforces: every request that enters the handler is
+// counted in Submitted and leaves through exactly one of Accepted,
+// Shed, or Errored — no request is ever lost silently, even under
+// stampede or drain.
+type Stats struct {
+	submitted   atomic.Uint64
+	accepted    atomic.Uint64
+	shed        atomic.Uint64
+	rateLimited atomic.Uint64
+	errored     atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	coalesced   atomic.Uint64
+	innerReqs   atomic.Uint64
+	inflight    atomic.Int64
+}
+
+// StatsSnapshot is one consistent-enough read of the counters — what
+// /statz serves. Consistency is per-counter (each is atomic); the
+// invariant Submitted == Accepted+Shed+Errored holds exactly once the
+// server is quiescent (Inflight == 0).
+type StatsSnapshot struct {
+	// Submitted counts every proxied request that entered the handler
+	// (health/stats endpoints excluded).
+	Submitted uint64 `json:"submitted"`
+	// Accepted counts requests answered by the pipeline: cache hit,
+	// coalesced read, or an inner-handler response of any status.
+	Accepted uint64 `json:"accepted"`
+	// Shed counts policy rejections: draining, admission queue full or
+	// wait exceeded (503), and per-client rate limiting (429). Every
+	// shed response carries Retry-After.
+	Shed uint64 `json:"shed"`
+	// RateLimited is the 429 subset of Shed.
+	RateLimited uint64 `json:"rate_limited"`
+	// Errored counts requests that failed inside the pipeline: the
+	// per-request deadline expired or the inner handler panicked.
+	Errored uint64 `json:"errored"`
+	// CacheHits/CacheMisses count hot-tile cache lookups.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// Coalesced counts requests that piggybacked on another request's
+	// in-flight read instead of reaching the store.
+	Coalesced uint64 `json:"coalesced"`
+	// InnerRequests counts executions of the wrapped handler — with a
+	// pass-through store this equals store operations issued.
+	InnerRequests uint64 `json:"inner_requests"`
+	// Inflight is the live gauge of requests inside the handler.
+	Inflight int64 `json:"inflight"`
+	// Draining reports whether the handler has begun graceful drain.
+	Draining bool `json:"draining"`
+}
+
+// Snapshot reads the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Submitted:     s.submitted.Load(),
+		Accepted:      s.accepted.Load(),
+		Shed:          s.shed.Load(),
+		RateLimited:   s.rateLimited.Load(),
+		Errored:       s.errored.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		InnerRequests: s.innerReqs.Load(),
+		Inflight:      s.inflight.Load(),
+	}
+}

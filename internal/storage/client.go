@@ -8,11 +8,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"hdmaps/internal/core"
+	"hdmaps/internal/resilience"
 )
 
 // ErrChecksum is returned when a fetched tile's payload does not match
@@ -100,6 +102,10 @@ type Client struct {
 	// degrade to stale data instead of failing when the server is
 	// unreachable.
 	Cache *TileCache
+	// ClientID, when set, is sent as X-Client-Id on every request so an
+	// overload-protected server can rate-limit per vehicle rather than
+	// per source address (fleets often share NAT egress).
+	ClientID string
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -119,15 +125,41 @@ func (c *Client) timeout() time.Duration {
 	return c.Timeout
 }
 
-// jitter draws a jitter factor; the rng is lazily seeded and mutex-held
-// so concurrent fetches stay race-free.
-func (c *Client) sleepBackoff(ctx context.Context, retry int) error {
-	c.rngMu.Lock()
-	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+// newRequest builds one attempt's request, stamping the client
+// identity when configured.
+func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
 	}
-	d := c.Retry.backoff(retry, c.rng)
-	c.rngMu.Unlock()
+	if c.ClientID != "" {
+		req.Header.Set(resilience.ClientIDHeader, c.ClientID)
+	}
+	return req, nil
+}
+
+// sleepBackoff waits before retry number `retry`. When the failed
+// attempt carried a server Retry-After hint, that wins over the
+// exponential guess — capped by the per-attempt timeout, so a hostile
+// or confused server advertising "Retry-After: 3600" cannot park the
+// vehicle for an hour. Otherwise: exponential backoff with full
+// jitter; the rng is lazily seeded and mutex-held so concurrent
+// fetches stay race-free.
+func (c *Client) sleepBackoff(ctx context.Context, retry int, hint time.Duration) error {
+	var d time.Duration
+	if hint > 0 {
+		d = hint
+		if max := c.timeout(); d > max {
+			d = max
+		}
+	} else {
+		c.rngMu.Lock()
+		if c.rng == nil {
+			c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		}
+		d = c.Retry.backoff(retry, c.rng)
+		c.rngMu.Unlock()
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -138,8 +170,14 @@ func (c *Client) sleepBackoff(ctx context.Context, retry int) error {
 	}
 }
 
-// transientError marks an error worth retrying.
-type transientError struct{ err error }
+// transientError marks an error worth retrying. retryAfter, when
+// positive, is the server's own backoff hint (a 429/503 Retry-After
+// header): an overloaded server knows better than our exponential
+// guess when it will have capacity again.
+type transientError struct {
+	err        error
+	retryAfter time.Duration
+}
 
 func (e *transientError) Error() string { return e.err.Error() }
 func (e *transientError) Unwrap() error { return e.err }
@@ -149,6 +187,36 @@ func transient(err error) error { return &transientError{err: err} }
 func isTransient(err error) bool {
 	var te *transientError
 	return errors.As(err, &te)
+}
+
+// retryAfterOf extracts the server's retry hint from a transient
+// error (zero when none was given).
+func retryAfterOf(err error) time.Duration {
+	var te *transientError
+	if errors.As(err, &te) {
+		return te.retryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds or an
+// HTTP date. Zero for absent/unparseable/past values.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // doRetry runs one logical request under the retry policy. budget may
@@ -183,20 +251,21 @@ func (c *Client) doRetry(ctx context.Context, budget *int, fn func(ctx context.C
 			}
 			*budget--
 		}
-		if err := c.sleepBackoff(ctx, attempt); err != nil {
+		if err := c.sleepBackoff(ctx, attempt, retryAfterOf(lastErr)); err != nil {
 			return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
 		}
 	}
 }
 
 // classifyStatus converts a non-2xx response into an error, marking
-// 5xx (and 429) transient.
+// 5xx (and 429) transient. An overloaded server's 429/503 Retry-After
+// hint rides along so the retry loop can honor it.
 func classifyStatus(op string, resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 	err := fmt.Errorf("storage client: %s: %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
 	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests ||
 		resp.Header.Get(TransientHeader) != "" {
-		return transient(err)
+		return &transientError{err: err, retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	return err
 }
@@ -204,7 +273,7 @@ func classifyStatus(op string, resp *http.Response) error {
 // getJSON fetches a URL and decodes its JSON body with retries.
 func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out interface{}) error {
 	return c.doRetry(ctx, budget, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		req, err := c.newRequest(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return err
 		}
@@ -257,7 +326,7 @@ func (c *Client) GetTile(ctx context.Context, key TileKey) ([]byte, error) {
 func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte, error) {
 	var data []byte
 	err := c.doRetry(ctx, budget, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.tileURL(key), nil)
+		req, err := c.newRequest(ctx, http.MethodGet, c.tileURL(key), nil)
 		if err != nil {
 			return err
 		}
@@ -305,7 +374,7 @@ func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte,
 func (c *Client) PutTile(ctx context.Context, key TileKey, data []byte) error {
 	sum := Checksum(data)
 	return c.doRetry(ctx, nil, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.tileURL(key), strings.NewReader(string(data)))
+		req, err := c.newRequest(ctx, http.MethodPut, c.tileURL(key), strings.NewReader(string(data)))
 		if err != nil {
 			return err
 		}

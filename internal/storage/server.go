@@ -234,7 +234,10 @@ func (s *TileServer) handleDelete(w http.ResponseWriter, key TileKey) {
 
 // writeJSON sends a JSON body with a ChecksumHeader so clients can
 // detect in-transit damage to metadata (a corrupted tile list is as
-// dangerous as a corrupted tile).
+// dangerous as a corrupted tile). The body is marshalled *before* any
+// header or status reaches the wire: an encode failure must be free to
+// switch to a 500 error response, which is impossible once WriteHeader
+// has fired.
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	data, err := json.Marshal(v)
 	if err != nil {
@@ -244,13 +247,23 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	data = append(data, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(ChecksumHeader, Checksum(data))
+	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
 }
 
 // writeJSONError sends {"error": msg} with the given status so clients
-// can distinguish structured failures from tile payloads.
+// can distinguish structured failures from tile payloads. The body is
+// encoded before the status is written; if the message itself cannot
+// be marshalled (it never should — but an error path must not have
+// error paths) a canned body is served instead of calling WriteHeader
+// twice.
 func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	data, err := json.Marshal(map[string]string{"error": msg})
+	if err != nil {
+		data = []byte(`{"error":"internal error"}`)
+	}
+	data = append(data, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_, _ = w.Write(data)
 }
