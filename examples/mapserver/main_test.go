@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// TestMapserverShutdownDrainsInFlight pins the demo's shutdown pattern
+// (StartDrain, then Drain with a deadline) on the same guarded-server
+// setup main() builds: with slow store reads in flight, every client
+// must get its 200 — no connection reset — new traffic must be shed
+// with Retry-After, and Drain must return nil within the deadline,
+// meaning nothing (including detached coalescing leaders) still
+// touches the store when the process exits.
+func TestMapserverShutdownDrainsInFlight(t *testing.T) {
+	store := storage.NewMemStore()
+	const tiles = 6
+	for i := 0; i < tiles; i++ {
+		key := storage.TileKey{Layer: "base", TX: int32(i), TY: 0}
+		if err := store.Put(key, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every read takes 40ms so the drain begins mid-request.
+	injector := chaos.New(chaos.Config{Seed: 17, LatencyProb: 1, Latency: 40 * time.Millisecond})
+	guard := resilience.NewHandler(storage.NewTileServer(injector.Store(store)), resilience.Config{
+		MaxConcurrent: 16,
+		MaxWait:       time.Second,
+		CacheSize:     -1, // force every GET through the slow store
+	})
+	srv := httptest.NewServer(guard)
+	defer srv.Close()
+
+	type outcome struct {
+		code int
+		err  error
+	}
+	outcomes := make(chan outcome, tiles)
+	var wg sync.WaitGroup
+	for i := 0; i < tiles; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/v1/tiles/base/%d/0", srv.URL, i))
+			if err != nil {
+				outcomes <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			outcomes <- outcome{code: resp.StatusCode}
+		}(i)
+	}
+	deadline := time.After(5 * time.Second)
+	for guard.Stats().Inflight < tiles {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d requests in flight", guard.Stats().Inflight)
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	guard.StartDrain()
+	// A late arrival is refused politely, not reset.
+	resp, err := http.Get(srv.URL + "/v1/tiles/base/0/0")
+	if err != nil {
+		t.Fatalf("post-drain request errored: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("post-drain request: status %d, Retry-After=%q",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := guard.Drain(dctx); err != nil {
+		t.Fatalf("drain missed its deadline: %v", err)
+	}
+	wg.Wait()
+	close(outcomes)
+	for o := range outcomes {
+		if o.err != nil {
+			t.Errorf("in-flight client saw a connection error during drain: %v", o.err)
+		} else if o.code != http.StatusOK {
+			t.Errorf("in-flight GET dropped during drain: status %d", o.code)
+		}
+	}
+	snap := guard.Stats()
+	if snap.Inflight != 0 || !snap.Draining {
+		t.Errorf("post-drain stats: inflight=%d draining=%v", snap.Inflight, snap.Draining)
+	}
+	if snap.Submitted != snap.Accepted+snap.Shed+snap.Errored {
+		t.Errorf("accounting: submitted %d != accepted %d + shed %d + errored %d",
+			snap.Submitted, snap.Accepted, snap.Shed, snap.Errored)
+	}
+}

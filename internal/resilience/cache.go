@@ -10,7 +10,12 @@ import (
 // storage.TileCache (which exists to serve *stale* data in outages),
 // this cache must never serve stale data: the handler invalidates a
 // path the moment a PUT or DELETE for it is accepted, so a read-through
-// hit is always byte-identical to what the store would return.
+// hit is always byte-identical to what the store would return. The
+// racing case — a detached singleflight leader holding pre-write bytes
+// when the write's invalidation runs — is closed on the flightGroup
+// side: writes poison in-flight calls for the path, and the leader's
+// put is skipped atomically with that check (see flightGroup.finish),
+// so an invalidation can never be undone by a stale late insert.
 type responseCache struct {
 	mu  sync.Mutex
 	max int

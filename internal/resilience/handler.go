@@ -16,10 +16,13 @@ import (
 // anonymous stampedes are still contained per source host.
 const ClientIDHeader = "X-Client-Id"
 
-// ShedHeader marks a response generated by the resilience layer rather
-// than the wrapped handler, with the policy that produced it:
-// "draining", "admission", "rate-limit", or "deadline". Load tests use
-// it to separate shed traffic from genuine tile-server errors.
+// ShedHeader marks a response shed by the resilience layer's admission
+// policy, naming the stage that refused it: "draining", "admission",
+// or "rate-limit". The header partitions responses exactly as the
+// counters do: it is present iff the request was counted in
+// Stats.Shed, so load tooling classifying by header agrees with
+// /statz. Deadline expiries are errors (counted in Errored) and carry
+// Retry-After but no ShedHeader.
 const ShedHeader = "X-Overload"
 
 // Config tunes the overload policy. The zero value resolves to the
@@ -134,6 +137,12 @@ type Handler struct {
 	flight  *flightGroup
 	stats   Stats
 
+	// leaders tracks detached singleflight leader goroutines, which
+	// outlive the requests that spawned them and are not part of
+	// inflight; Drain waits for them so shutdown never abandons a store
+	// read mid-flight.
+	leaders sync.WaitGroup
+
 	mu       sync.Mutex
 	draining bool
 	inflight int
@@ -176,26 +185,42 @@ func (h *Handler) StartDrain() {
 }
 
 // Drain performs graceful shutdown of the handler: StartDrain, then
-// wait until every in-flight request has completed or ctx expires.
-// A nil return means zero requests were abandoned.
+// wait until every in-flight request — and every detached singleflight
+// leader still reading the store on their behalf — has completed or
+// ctx expires. A nil return means zero requests were abandoned and no
+// goroutine is still touching the store.
 func (h *Handler) Drain(ctx context.Context) error {
 	h.StartDrain()
 	h.mu.Lock()
-	if h.inflight == 0 {
-		h.mu.Unlock()
-		return nil
+	var idle chan struct{}
+	if h.inflight > 0 {
+		if h.idle == nil {
+			h.idle = make(chan struct{})
+		}
+		idle = h.idle
 	}
-	if h.idle == nil {
-		h.idle = make(chan struct{})
-	}
-	idle := h.idle
 	h.mu.Unlock()
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			return fmt.Errorf("resilience: drain deadline with %d requests in flight: %w",
+				h.Stats().Inflight, ctx.Err())
+		}
+	}
+	// Inflight is now zero and the drain gate sheds new arrivals, so no
+	// further leaders can be spawned — the WaitGroup can only count down.
+	leadersDone := make(chan struct{})
+	go func() {
+		h.leaders.Wait()
+		close(leadersDone)
+	}()
 	select {
-	case <-idle:
+	case <-leadersDone:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("resilience: drain deadline with %d requests in flight: %w",
-			h.Stats().Inflight, ctx.Err())
+		return fmt.Errorf("resilience: drain deadline with detached store reads still running: %w",
+			ctx.Err())
 	}
 }
 
@@ -263,22 +288,32 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	rctx, rcancel := context.WithTimeout(r.Context(), h.cfg.requestTimeout())
 	defer rcancel()
-	if r.Method == http.MethodGet {
+	if r.Method == http.MethodGet && isTilePath(r.URL.Path) {
 		h.serveRead(w, r, rctx)
 	} else {
-		h.serveWrite(w, r, rctx)
+		h.serveDirect(w, r, rctx)
 	}
 }
 
-// serveRead answers a GET through cache and singleflight. The actual
-// store read runs detached from any one client's context: a coalesced
-// read serves every waiter, so the leader hanging up must not poison
-// the herd behind it.
+// serveRead answers a tile GET through cache and singleflight. Only
+// tile paths take this route: their responses depend on nothing but
+// the path (plus query, which joins the flight key), so coalescing
+// cannot leak one client's response to another — the documented
+// contract for wrapping arbitrary handlers. The actual store read runs
+// detached from any one client's context: a coalesced read serves
+// every waiter, so the leader hanging up must not poison the herd
+// behind it.
 func (h *Handler) serveRead(w http.ResponseWriter, r *http.Request, ctx context.Context) {
-	key := r.URL.Path
-	cacheable := h.cache != nil && isTilePath(key)
+	path := r.URL.Path
+	key := path
+	if q := r.URL.RawQuery; q != "" {
+		// Distinct queries are distinct requests; they must neither
+		// coalesce with nor be cached as the bare path.
+		key += "?" + q
+	}
+	cacheable := h.cache != nil && key == path
 	if cacheable {
-		if resp, ok := h.cache.get(key); ok {
+		if resp, ok := h.cache.get(path); ok {
 			h.stats.cacheHits.Add(1)
 			h.stats.accepted.Add(1)
 			resp.writeTo(w)
@@ -293,13 +328,20 @@ func (h *Handler) serveRead(w http.ResponseWriter, r *http.Request, ctx context.
 		req := r.Clone(ictx)
 		// The detached read must not touch the origin connection's body.
 		req.Body = http.NoBody
+		h.leaders.Add(1)
 		go func() {
+			defer h.leaders.Done()
 			defer icancel()
 			resp, err := h.runInner(req)
+			var put func()
 			if err == nil && cacheable && resp.status == http.StatusOK {
-				h.cache.put(key, resp)
+				// The insert runs inside finish, atomically with the
+				// poison check, so a PUT that completed after this read
+				// can never have its invalidation undone by a stale
+				// re-insert (cache.go's freshness invariant).
+				put = func() { h.cache.put(path, resp) }
 			}
-			h.flight.finish(key, call, resp, err)
+			h.flight.finish(key, call, resp, err, put)
 		}()
 	} else {
 		h.stats.coalesced.Add(1)
@@ -317,17 +359,26 @@ func (h *Handler) serveRead(w http.ResponseWriter, r *http.Request, ctx context.
 	case <-ctx.Done():
 		h.stats.errored.Add(1)
 		writeOverloadError(w, http.StatusServiceUnavailable, "request deadline exceeded",
-			"deadline", h.cfg.retryAfter())
+			"", h.cfg.retryAfter())
 	}
 }
 
-// serveWrite runs a mutating request synchronously (its body belongs
-// to this connection and cannot be detached) and invalidates the
-// hot-tile cache for the touched path.
-func (h *Handler) serveWrite(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+// serveDirect runs a request synchronously on its own connection: all
+// mutations (their bodies cannot be detached) and any GET that is not
+// a single-tile read (list endpoints and unknown inner routes, whose
+// responses may vary by header and so must never be shared across
+// clients). Writes poison in-flight reads of the touched path and
+// invalidate its cache entry.
+func (h *Handler) serveDirect(w http.ResponseWriter, r *http.Request, ctx context.Context) {
 	resp, err := h.runInner(r.WithContext(ctx))
-	if h.cache != nil && (r.Method == http.MethodPut || r.Method == http.MethodDelete) {
-		h.cache.invalidate(r.URL.Path)
+	if r.Method == http.MethodPut || r.Method == http.MethodDelete {
+		// Order matters: poison first, then invalidate. A leader that
+		// read pre-write bytes either sees the poison (its insert is
+		// skipped) or already inserted (the invalidation removes it).
+		h.flight.poisonPath(r.URL.Path)
+		if h.cache != nil {
+			h.cache.invalidate(r.URL.Path)
+		}
 	}
 	if err != nil {
 		h.stats.errored.Add(1)
@@ -339,7 +390,7 @@ func (h *Handler) serveWrite(w http.ResponseWriter, r *http.Request, ctx context
 		// have landed, but this client cannot be told so in time.
 		h.stats.errored.Add(1)
 		writeOverloadError(w, http.StatusServiceUnavailable, "request deadline exceeded",
-			"deadline", h.cfg.retryAfter())
+			"", h.cfg.retryAfter())
 		return
 	}
 	h.stats.accepted.Add(1)

@@ -183,6 +183,150 @@ func TestHandlerCoalescing(t *testing.T) {
 	checkInvariant(t, h)
 }
 
+// mutableStore is an inner handler backed by one mutable body: GETs
+// capture the current body then block until released (modelling a slow
+// store read), PUTs replace the body immediately. It reproduces the
+// read/write race window the cache must survive.
+type mutableStore struct {
+	mu      sync.Mutex
+	body    string
+	gets    atomic.Int64
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *mutableStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPut {
+		s.mu.Lock()
+		s.body = "new"
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.gets.Add(1)
+	s.mu.Lock()
+	body := s.body
+	s.mu.Unlock()
+	_, _ = w.Write([]byte(body)) // bytes captured; possibly stale by release time
+	s.entered <- struct{}{}
+	<-s.release
+}
+
+// TestHandlerWriteDuringReadNotCachedStale pins the stale-cache race:
+// a detached GET leader captures pre-PUT bytes, the PUT completes and
+// invalidates the cache, and only then does the leader finish. Its
+// late insert must be suppressed, or the cache would serve the old
+// tile indefinitely.
+func TestHandlerWriteDuringReadNotCachedStale(t *testing.T) {
+	store := &mutableStore{
+		body:    "old",
+		entered: make(chan struct{}, 4),
+		release: make(chan struct{}),
+	}
+	h := NewHandler(store, Config{MaxConcurrent: 8})
+	path := "/v1/tiles/base/1/2"
+
+	first := make(chan string, 1)
+	go func() {
+		w := get(t, h, path, nil)
+		first <- w.Body.String()
+	}()
+	<-store.entered // leader holds "old" and is parked inside the store
+
+	// The PUT lands while the read is in flight: store now says "new",
+	// the cache entry (none yet) is invalidated, the flight poisoned.
+	req := httptest.NewRequest(http.MethodPut, path, strings.NewReader("new"))
+	req.RemoteAddr = "192.0.2.1:1234"
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	close(store.release)
+	// The racing reader may legitimately see the pre-write bytes...
+	if got := <-first; got != "old" {
+		t.Fatalf("racing read = %q, want the pre-write %q", got, "old")
+	}
+	// ...but the cache must not keep them: the next read goes back to
+	// the store and returns the post-PUT bytes.
+	w := get(t, h, path, nil)
+	if got := w.Body.String(); got != "new" {
+		t.Fatalf("post-PUT read = %q, want %q (stale bytes re-entered the cache)", got, "new")
+	}
+	if got := store.gets.Load(); got != 2 {
+		t.Errorf("store gets = %d, want 2 (poisoned insert must not satisfy the refill)", got)
+	}
+	// The fresh bytes are cacheable as usual.
+	w = get(t, h, path, nil)
+	if got := w.Body.String(); got != "new" || store.gets.Load() != 2 {
+		t.Errorf("refill not cached: body=%q gets=%d", got, store.gets.Load())
+	}
+	checkInvariant(t, h)
+}
+
+// TestHandlerQueryStringKeying pins that a tile GET with a query
+// string neither coalesces with nor populates the bare path's cache
+// entry, and is itself never cached.
+func TestHandlerQueryStringKeying(t *testing.T) {
+	inner := &gatedHandler{
+		entered: make(chan struct{}, 2),
+		release: make(chan struct{}),
+		body:    "tile",
+	}
+	h := NewHandler(inner, Config{MaxConcurrent: 8})
+
+	var wg sync.WaitGroup
+	for _, target := range []string{"/v1/tiles/base/1/2?v=1", "/v1/tiles/base/1/2?v=2"} {
+		wg.Add(1)
+		go func(target string) {
+			defer wg.Done()
+			get(t, h, target, nil)
+		}(target)
+	}
+	// Both variants must reach the inner handler — distinct queries are
+	// distinct requests and may not share one flight.
+	<-inner.entered
+	<-inner.entered
+	close(inner.release)
+	wg.Wait()
+	if got := h.Stats().Coalesced; got != 0 {
+		t.Errorf("coalesced = %d, want 0 across distinct queries", got)
+	}
+	// Query responses were not cached — neither under their own key nor
+	// under the bare path.
+	get(t, h, "/v1/tiles/base/1/2?v=1", nil)
+	get(t, h, "/v1/tiles/base/1/2", nil)
+	if got := inner.calls.Load(); got != 4 {
+		t.Errorf("inner calls = %d, want 4 (query responses leaked into the cache)", got)
+	}
+	checkInvariant(t, h)
+}
+
+// TestHandlerNonTileGetsNotCoalesced pins that coalescing is restricted
+// to tile paths: responses of arbitrary inner routes may vary by
+// header, so sharing one captured response across clients would leak.
+func TestHandlerNonTileGetsNotCoalesced(t *testing.T) {
+	inner := &gatedHandler{
+		entered: make(chan struct{}, 2),
+		release: make(chan struct{}),
+		body:    "[]",
+	}
+	h := NewHandler(inner, Config{MaxConcurrent: 8, CacheSize: -1})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get(t, h, "/v1/layers", nil)
+		}()
+	}
+	<-inner.entered
+	<-inner.entered // both concurrent list GETs reached the inner handler
+	close(inner.release)
+	wg.Wait()
+	if got := h.Stats().Coalesced; got != 0 {
+		t.Errorf("coalesced = %d, want 0 on non-tile paths", got)
+	}
+	checkInvariant(t, h)
+}
+
 func TestHandlerRateLimit(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
 	inner := &gatedHandler{body: "x"}
@@ -267,10 +411,18 @@ func TestHandlerRequestTimeout(t *testing.T) {
 	if w.Header().Get("Retry-After") == "" {
 		t.Error("timeout 503 missing Retry-After")
 	}
+	// Deadline expiries are counted in Errored, not Shed, so they must
+	// not carry the shed marker: X-Overload present iff counted shed.
+	if got := w.Header().Get(ShedHeader); got != "" {
+		t.Errorf("deadline response carries %s=%q, but is counted errored", ShedHeader, got)
+	}
 	close(inner.release)
 	s := h.Stats()
 	if s.Errored != 1 {
 		t.Errorf("errored = %d, want 1", s.Errored)
+	}
+	if s.Shed != 0 {
+		t.Errorf("shed = %d, want 0", s.Shed)
 	}
 	checkInvariant(t, h)
 }
@@ -347,6 +499,48 @@ func TestHandlerDrain(t *testing.T) {
 	// reported when requests cannot finish.
 	if err := h.Drain(context.Background()); err != nil {
 		t.Fatalf("idle drain: %v", err)
+	}
+}
+
+// TestHandlerDrainWaitsForDetachedLeader pins that Drain does not
+// certify quiescence while a detached singleflight leader — whose
+// spawning client already hung up — is still reading the store.
+func TestHandlerDrainWaitsForDetachedLeader(t *testing.T) {
+	inner := &gatedHandler{
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+		body:    "x",
+	}
+	h := NewHandler(inner, Config{CacheSize: -1, RequestTimeout: time.Minute})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/tiles/base/0/0", nil).WithContext(ctx)
+	req.RemoteAddr = "192.0.2.1:1234"
+	done := make(chan int, 1)
+	go func() {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		done <- w.Code
+	}()
+	<-inner.entered // the leader is inside the store
+	cancel()        // the client abandons the read; the leader keeps going
+	if code := <-done; code != http.StatusServiceUnavailable {
+		t.Fatalf("abandoned read = %d, want 503", code)
+	}
+	if got := h.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight = %d after the client left, want 0", got)
+	}
+
+	// Zero inflight, yet the store is still being read: Drain must not
+	// return nil until the leader finishes.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer scancel()
+	if err := h.Drain(sctx); err == nil {
+		t.Fatal("drain certified quiescence with a detached store read still running")
+	}
+	close(inner.release)
+	if err := h.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after leader finished: %v", err)
 	}
 }
 

@@ -12,6 +12,7 @@
 package resilience
 
 import (
+	"container/list"
 	"sync"
 	"time"
 )
@@ -89,21 +90,17 @@ func (b *TokenBucket) refill() {
 	b.last = t
 }
 
-// full reports whether the bucket is at capacity (an idle client);
-// callers hold b.mu externally via ClientLimiter.
-func (b *TokenBucket) full() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.refill()
-	return b.tokens >= b.burst
-}
-
 // ClientLimiter maintains one TokenBucket per client identity so one
 // hot vehicle (or a buggy updater in a retry loop) cannot starve the
-// rest of the fleet. The client map is bounded: when it exceeds
-// maxClients, buckets that have refilled to capacity (idle clients)
-// are swept, so a rotating population of one-shot clients cannot grow
-// the map without bound.
+// rest of the fleet. The client set is a hard-bounded LRU: a new
+// identity past maxClients evicts the least-recently-seen bucket in
+// O(1), so a flood of unique spoofed X-Client-Id values can neither
+// grow the map past the cap nor trigger repeated O(n) scans under the
+// lock. The tradeoff is that such a flood can evict an actively
+// rate-limited client's bucket, forgetting its debt — acceptable
+// because the admission semaphore still bounds total concurrency, and
+// an attacker minting fresh identities was never held by per-identity
+// buckets in the first place.
 type ClientLimiter struct {
 	rate       float64
 	burst      int
@@ -111,7 +108,13 @@ type ClientLimiter struct {
 	now        func() time.Time
 
 	mu      sync.Mutex
-	buckets map[string]*TokenBucket
+	ll      *list.List               // front = most recently seen; values are *clientEntry
+	buckets map[string]*list.Element
+}
+
+type clientEntry struct {
+	id string
+	b  *TokenBucket
 }
 
 // NewClientLimiter creates a limiter granting each client rate
@@ -126,7 +129,8 @@ func NewClientLimiter(rate float64, burst, maxClients int, now func() time.Time)
 	}
 	return &ClientLimiter{
 		rate: rate, burst: burst, maxClients: maxClients, now: now,
-		buckets: make(map[string]*TokenBucket),
+		ll:      list.New(),
+		buckets: make(map[string]*list.Element),
 	}
 }
 
@@ -138,30 +142,26 @@ func (l *ClientLimiter) Allow(id string) (ok bool, retryIn time.Duration) {
 		return true, 0
 	}
 	l.mu.Lock()
-	b, found := l.buckets[id]
-	if !found {
+	var b *TokenBucket
+	if e, found := l.buckets[id]; found {
+		l.ll.MoveToFront(e)
+		b = e.Value.(*clientEntry).b
+	} else {
 		if len(l.buckets) >= l.maxClients {
-			l.sweepLocked()
+			back := l.ll.Back()
+			if back != nil {
+				l.ll.Remove(back)
+				delete(l.buckets, back.Value.(*clientEntry).id)
+			}
 		}
 		b = NewTokenBucket(l.rate, l.burst, l.now)
-		l.buckets[id] = b
+		l.buckets[id] = l.ll.PushFront(&clientEntry{id: id, b: b})
 	}
 	l.mu.Unlock()
 	if b.Allow() {
 		return true, 0
 	}
 	return false, b.RetryIn()
-}
-
-// sweepLocked drops idle (fully refilled) buckets; callers hold l.mu.
-// If every client is active the map may exceed maxClients — correctness
-// over a hard cap: actively-limited clients must keep their debt.
-func (l *ClientLimiter) sweepLocked() {
-	for id, b := range l.buckets {
-		if b.full() {
-			delete(l.buckets, id)
-		}
-	}
 }
 
 // Len reports how many client buckets are live (diagnostic).

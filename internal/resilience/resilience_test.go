@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -87,17 +88,30 @@ func TestClientLimiterIsolation(t *testing.T) {
 	}
 }
 
-func TestClientLimiterSweep(t *testing.T) {
+func TestClientLimiterBoundedLRU(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	l := NewClientLimiter(100, 1, 8, clk.now)
-	for i := 0; i < 8; i++ {
-		l.Allow(string(rune('a' + i)))
+	l := NewClientLimiter(1, 1, 8, clk.now)
+	// A flood of unique identities (spoofed X-Client-Id) never grows the
+	// map past the cap.
+	for i := 0; i < 1000; i++ {
+		l.Allow(fmt.Sprintf("spoof-%d", i))
+		if n := l.Len(); n > 8 {
+			t.Fatalf("client map exceeded cap: %d live after %d inserts", n, i+1)
+		}
 	}
-	// All 8 refill to full; the 9th client triggers a sweep.
-	clk.advance(time.Second)
-	l.Allow("fresh")
-	if n := l.Len(); n > 2 {
-		t.Fatalf("idle buckets survived sweep: %d live", n)
+	if n := l.Len(); n != 8 {
+		t.Fatalf("len = %d, want 8 (full cap)", n)
+	}
+	// Eviction is least-recently-seen: an identity kept active survives
+	// a flood that displaces the idle ones.
+	l.Allow("vehicle-hot")
+	for i := 0; i < 7; i++ {
+		l.Allow(fmt.Sprintf("new-%d", i))
+		l.Allow("vehicle-hot") // refresh recency (refused — no tokens — but seen)
+	}
+	l.Allow("new-last")
+	if ok, _ := l.Allow("vehicle-hot"); ok {
+		t.Fatal("active limited client was evicted by the flood (debt forgotten)")
 	}
 }
 

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"net/http"
+	"strings"
 	"sync"
 )
 
@@ -49,6 +50,12 @@ type flightCall struct {
 	done chan struct{} // closed when resp/err are final
 	resp *capturedResponse
 	err  error
+	// poisoned (guarded by flightGroup.mu) is set when a write to the
+	// flight's path completes while the read is in flight: the leader's
+	// captured bytes may predate the write, so they must not enter the
+	// cache. Waiters still receive them — a read racing a write may
+	// legitimately see either side — but the cache may not keep them.
+	poisoned bool
 }
 
 // flightGroup coalesces concurrent identical reads: the first caller
@@ -79,11 +86,32 @@ func (g *flightGroup) join(key string) (*flightCall, bool) {
 }
 
 // finish publishes the leader's result and retires the key so the next
-// miss starts a fresh flight.
-func (g *flightGroup) finish(key string, c *flightCall, resp *capturedResponse, err error) {
+// miss starts a fresh flight. put, when non-nil, inserts the response
+// into the read-through cache; it runs under g.mu and is skipped if a
+// write poisoned the call, so the check-then-insert is atomic against
+// poisonPath — a leader that read pre-write bytes can never re-cache
+// them after the write's invalidation has run.
+func (g *flightGroup) finish(key string, c *flightCall, resp *capturedResponse, err error, put func()) {
 	c.resp, c.err = resp, err
 	g.mu.Lock()
 	delete(g.m, key)
+	if put != nil && !c.poisoned {
+		put()
+	}
 	g.mu.Unlock()
 	close(c.done)
+}
+
+// poisonPath marks every in-flight call for path (with or without a
+// query string) poisoned. Writers call it after the store mutation
+// completes and before invalidating the cache.
+func (g *flightGroup) poisonPath(path string) {
+	prefix := path + "?"
+	g.mu.Lock()
+	for key, c := range g.m {
+		if key == path || strings.HasPrefix(key, prefix) {
+			c.poisoned = true
+		}
+	}
+	g.mu.Unlock()
 }

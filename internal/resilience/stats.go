@@ -33,12 +33,15 @@ type StatsSnapshot struct {
 	Accepted uint64 `json:"accepted"`
 	// Shed counts policy rejections: draining, admission queue full or
 	// wait exceeded (503), and per-client rate limiting (429). Every
-	// shed response carries Retry-After.
+	// shed response carries Retry-After and the X-Overload header —
+	// and only shed responses carry X-Overload, so header-based
+	// classification agrees with this counter.
 	Shed uint64 `json:"shed"`
 	// RateLimited is the 429 subset of Shed.
 	RateLimited uint64 `json:"rate_limited"`
 	// Errored counts requests that failed inside the pipeline: the
 	// per-request deadline expired or the inner handler panicked.
+	// Deadline responses carry Retry-After but no X-Overload.
 	Errored uint64 `json:"errored"`
 	// CacheHits/CacheMisses count hot-tile cache lookups.
 	CacheHits   uint64 `json:"cache_hits"`
