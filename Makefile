@@ -15,13 +15,20 @@ FUZZTIME ?= 5s
 SOAK_REPORTS ?= 1200
 SOAK_GETS ?= 4000
 
-.PHONY: verify vet build test race soak soak-overload loadtest fuzz-smoke fuzz bench
+.PHONY: verify vet vet-obs build test race soak soak-overload loadtest fuzz-smoke fuzz bench
 
-verify: vet build race soak soak-overload fuzz-smoke
+verify: vet vet-obs build race soak soak-overload fuzz-smoke
 	@echo "verify: all green"
 
 vet:
 	$(GO) vet ./...
+
+# Telemetry lint: every metric registered anywhere in the tree must use
+# a literal name in the component.subsystem.name scheme, and label
+# domains must be enumerated (bounded cardinality). Dynamic names are a
+# cardinality leak waiting to happen, so they fail the build.
+vet-obs:
+	$(GO) test -run '^TestObsLint$$' -count=1 ./internal/obs
 
 build:
 	$(GO) build ./...

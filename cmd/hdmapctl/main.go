@@ -107,11 +107,13 @@ subcommands:
   drive     run the LiDAR mapping pipeline over a generated world
   serve     serve a tile directory over HTTP with overload protection
             (admission control, per-client rate limits, hot-tile cache,
-            request coalescing; graceful drain on SIGINT)
+            request coalescing; graceful drain on SIGINT); exposes
+            /statz and /metricz, plus pprof via -pprof and structured
+            logs via -log-level
   fetch     pull a tile region from a server and stitch it to one map
   loadtest  stampede a tile server with a zipfian closed-loop fleet and
-            print its /statz snapshot (self-hosts a server when -base
-            is empty)
+            print its latency histogram and /statz snapshot (self-hosts
+            a server when -base is empty)
   ingest    run supervised map maintenance into a version store
   versions  list a version store's commit log
   rollback  restore a previous map version (and republish its tiles)`)

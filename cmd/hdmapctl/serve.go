@@ -9,12 +9,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
 	"time"
 
 	"hdmaps/internal/chaos"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/resilience"
 	"hdmaps/internal/storage"
 	"hdmaps/internal/worldgen"
@@ -48,6 +53,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	dir := fs.String("dir", "tiles", "tile directory (DirStore root)")
 	addr := fs.String("addr", ":8080", "listen address")
 	drain := fs.Duration("drain", 5*time.Second, "max time to drain in-flight requests on shutdown")
+	logLevel := fs.String("log-level", "warn", "structured log level: debug, info, warn, error, off")
+	pprofAddr := fs.String("pprof", "", "debug listen address for pprof + expvar (e.g. localhost:6060; empty disables)")
 	cfg := serveFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,13 +63,72 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	handler := resilience.NewHandler(storage.NewTileServer(store), cfg())
+	rcfg := cfg()
+	rcfg.Metrics = obs.Default()
+	if logger, err := serveLogger(*logLevel); err != nil {
+		return err
+	} else {
+		rcfg.Log = logger
+	}
+	handler := resilience.NewHandler(storage.NewTileServer(store), rcfg)
+	if *pprofAddr != "" {
+		if err := startDebugServer(*pprofAddr, handler.Metrics()); err != nil {
+			return err
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving tiles from %s on %s (/healthz /readyz /statz)\n", *dir, ln.Addr())
+	fmt.Printf("serving tiles from %s on %s (/healthz /readyz /statz /metricz)\n", *dir, ln.Addr())
 	return runServe(ctx, ln, handler, *drain)
+}
+
+// serveLogger builds the server's structured logger at the requested
+// level; "off" discards everything.
+func serveLogger(level string) (*slog.Logger, error) {
+	switch strings.ToLower(level) {
+	case "off", "none":
+		return obs.Nop(), nil
+	case "debug":
+		return obs.NewLogger(os.Stderr, "serve", slog.LevelDebug), nil
+	case "info":
+		return obs.NewLogger(os.Stderr, "serve", slog.LevelInfo), nil
+	case "warn", "":
+		return obs.NewLogger(os.Stderr, "serve", slog.LevelWarn), nil
+	case "error":
+		return obs.NewLogger(os.Stderr, "serve", slog.LevelError), nil
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+}
+
+// startDebugServer exposes pprof, expvar, and /metricz on a separate
+// listener, so profiling endpoints never share a port (or the overload
+// pipeline's admission policy) with map traffic.
+func startDebugServer(addr string, reg *obs.Registry) error {
+	reg.PublishExpvar("hdmaps")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metricz", obs.MetricsHandler(reg))
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		// expvar's handler is package-private; re-serve its default mux
+		// entry by delegating to the default ServeMux where expvar
+		// registers itself on import... instead, serve the registry
+		// directly: /metricz carries the same data.
+		http.Redirect(w, r, "/metricz", http.StatusTemporaryRedirect)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Printf("debug server on http://%s (/debug/pprof /metricz)\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
 }
 
 // runServe serves handler on ln until ctx is cancelled, then drains:
@@ -173,6 +239,7 @@ func cmdLoadtest(ctx context.Context, args []string) error {
 		float64(res.Submitted)/elapsed.Seconds())
 	fmt.Printf("outcomes: ok=%d shed=%d errored=%d (shed-without-retry-after=%d, hot-tile ok=%d)\n",
 		res.OK, res.Shed, res.Errored, res.ShedMissingRetryAfter, res.HotOK)
+	fmt.Printf("latency: %s\n", res.Latency.Snapshot().Summary())
 
 	resp, err := http.Get(target + "/statz")
 	if err != nil {

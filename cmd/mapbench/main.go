@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hdmaps/internal/experiments"
+	"hdmaps/internal/obs"
 )
 
 func main() {
@@ -34,22 +35,30 @@ func main() {
 		}
 		return
 	}
+	// One wall-clock observation per experiment; the summary at the end
+	// shows where a regeneration run spends its time.
+	durations := obs.NewHistogram([]float64{
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+	})
 	if *id != "" {
-		run(*id, *seed)
+		run(*id, *seed, durations)
+		fmt.Printf("experiment wall-clock: %s\n", durations.Snapshot().Summary())
 		return
 	}
 	for _, e := range experiments.All() {
-		run(e.ID, *seed)
+		run(e.ID, *seed, durations)
 	}
+	fmt.Printf("experiment wall-clock: %s\n", durations.Snapshot().Summary())
 }
 
-func run(id string, seed int64) {
+func run(id string, seed int64, durations *obs.Histogram) {
 	start := time.Now()
 	rep, err := experiments.Run(id, seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 		os.Exit(1)
 	}
+	durations.ObserveSince(start)
 	fmt.Print(rep.String())
 	fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
 }

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"hdmaps/internal/chaos"
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/resilience"
 	"hdmaps/internal/storage"
 	"hdmaps/internal/worldgen"
@@ -49,10 +51,15 @@ func main() {
 	// and a hot-tile cache (in-process HTTP for the demo; `hdmapctl
 	// serve` runs the same handler standalone).
 	store := storage.NewMemStore()
+	// One telemetry registry for the whole demo: the serving pipeline,
+	// the chaos injector, and the vehicle client all report into it, and
+	// the wrap-up reads it back the way an operator would read /metricz.
+	reg := obs.NewRegistry()
 	guard := resilience.NewHandler(storage.NewTileServer(store), resilience.Config{
 		MaxConcurrent: 16,
 		MaxWait:       10 * time.Millisecond,
 		RetryAfter:    250 * time.Millisecond,
+		Metrics:       reg,
 	})
 	srv := httptest.NewServer(guard)
 	defer srv.Close()
@@ -72,13 +79,15 @@ func main() {
 		ErrorProb:   0.2,
 		CorruptProb: 0.2,
 		LatencyProb: 0.2, Latency: 2 * time.Millisecond,
+		Metrics: reg,
 	})
 	cache := storage.NewTileCache(256)
 	client := &storage.Client{
-		Base:  srv.URL,
-		HTTP:  &http.Client{Transport: injector.Transport(nil)},
-		Retry: storage.RetryPolicy{MaxAttempts: 8},
-		Cache: cache,
+		Base:    srv.URL,
+		HTTP:    &http.Client{Transport: injector.Transport(nil)},
+		Retry:   storage.RetryPolicy{MaxAttempts: 8},
+		Cache:   cache,
+		Metrics: reg,
 	}
 	region, health, err := client.FetchRegion(ctx, "base", 0, 0, 2, 2, "onboard")
 	if err != nil {
@@ -197,5 +206,20 @@ func main() {
 	}
 	fmt.Printf("drained cleanly: submitted=%d = accepted=%d + shed=%d + errored=%d, inflight=%d\n",
 		snap.Submitted, snap.Accepted, snap.Shed, snap.Errored, guard.Stats().Inflight)
+
+	// The operator's view: everything above also landed in the shared
+	// telemetry registry (what /metricz serves on a live server).
+	ms := reg.Snapshot()
+	var served uint64
+	for name, h := range ms.Histograms {
+		if strings.HasPrefix(name, "resilience.http.latency_seconds.") && h.Count > 0 {
+			served += h.Count
+			fmt.Printf("telemetry %s: %s\n", name, h.Summary())
+		}
+	}
+	fmt.Printf("telemetry totals: %d requests in latency histograms, client retries=%d, integrity failures=%d, injected corruptions=%d\n",
+		served, ms.Counters["storage.client.retries"],
+		ms.Counters["storage.client.integrity_failures"],
+		ms.Counters["chaos.inject.corruptions"])
 	_ = core.NilID
 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hdmaps/internal/obs"
 	"hdmaps/internal/storage"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	// uses a real timer; tests inject an instant (or stepped fake) clock
 	// so latency-heavy chaos plans run fast and deterministic.
 	Sleep func(d time.Duration, done <-chan struct{}) error
+	// Metrics mirrors the injected-fault counters into an obs registry
+	// (obs.Default() when nil), so a soak can reconcile what the
+	// injector says it did against what the system under test observed
+	// — from the same /metricz scrape.
+	Metrics *obs.Registry
 }
 
 // Stats counts injected faults by type, plus operations passed through
@@ -67,6 +73,13 @@ type Injector struct {
 	rng *rand.Rand
 
 	latencies, errors, corruptions, truncations, partials, passthroughs atomic.Uint64
+
+	om injectorMetrics
+}
+
+// injectorMetrics are the registry-side mirrors of the Stats counters.
+type injectorMetrics struct {
+	latencies, errors, corruptions, truncations, partials, passthroughs *obs.Counter
 }
 
 // New creates an injector with the given fault plan.
@@ -77,8 +90,32 @@ func New(cfg Config) *Injector {
 	if cfg.Sleep == nil {
 		cfg.Sleep = realSleep
 	}
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Injector{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		om: injectorMetrics{
+			latencies:    reg.Counter("chaos.inject.latencies"),
+			errors:       reg.Counter("chaos.inject.errors"),
+			corruptions:  reg.Counter("chaos.inject.corruptions"),
+			truncations:  reg.Counter("chaos.inject.truncations"),
+			partials:     reg.Counter("chaos.inject.partials"),
+			passthroughs: reg.Counter("chaos.inject.passthroughs"),
+		},
+	}
 }
+
+// The count* helpers bump the atomic Stats cell and its registry
+// mirror together, so Injector.Stats() and /metricz can never drift.
+func (in *Injector) countLatency()     { in.latencies.Add(1); in.om.latencies.Inc() }
+func (in *Injector) countError()       { in.errors.Add(1); in.om.errors.Inc() }
+func (in *Injector) countCorruption()  { in.corruptions.Add(1); in.om.corruptions.Inc() }
+func (in *Injector) countTruncation()  { in.truncations.Add(1); in.om.truncations.Inc() }
+func (in *Injector) countPartial()     { in.partials.Add(1); in.om.partials.Inc() }
+func (in *Injector) countPassthrough() { in.passthroughs.Add(1); in.om.passthroughs.Inc() }
 
 // sleep waits the injected latency through the configured clock; done
 // may be nil for uncancellable waits (store-side faults).
@@ -199,16 +236,16 @@ type chaosStore struct {
 
 func (c *chaosStore) pre(op string) error {
 	if c.in.Down() {
-		c.in.errors.Add(1)
+		c.in.countError()
 		return &ErrInjected{Op: op}
 	}
 	r := c.in.roll()
 	if r.latency {
-		c.in.latencies.Add(1)
+		c.in.countLatency()
 		_ = c.in.sleep(c.in.cfg.Latency, nil)
 	}
 	if r.fail {
-		c.in.errors.Add(1)
+		c.in.countError()
 		return &ErrInjected{Op: op}
 	}
 	return nil
@@ -218,22 +255,22 @@ func (c *chaosStore) Put(key storage.TileKey, data []byte) error {
 	if err := c.pre("put"); err != nil {
 		return err
 	}
-	c.in.passthroughs.Add(1)
+	c.in.countPassthrough()
 	return c.next.Put(key, data)
 }
 
 func (c *chaosStore) Get(key storage.TileKey) ([]byte, error) {
 	if c.in.Down() {
-		c.in.errors.Add(1)
+		c.in.countError()
 		return nil, &ErrInjected{Op: "get"}
 	}
 	r := c.in.roll()
 	if r.latency {
-		c.in.latencies.Add(1)
+		c.in.countLatency()
 		_ = c.in.sleep(c.in.cfg.Latency, nil)
 	}
 	if r.fail {
-		c.in.errors.Add(1)
+		c.in.countError()
 		return nil, &ErrInjected{Op: "get"}
 	}
 	data, err := c.next.Get(key)
@@ -242,13 +279,13 @@ func (c *chaosStore) Get(key storage.TileKey) ([]byte, error) {
 	}
 	switch {
 	case r.corrupt:
-		c.in.corruptions.Add(1)
+		c.in.countCorruption()
 		return flipBit(data, r.bitFrac), nil
 	case r.truncate:
-		c.in.truncations.Add(1)
+		c.in.countTruncation()
 		return cut(data, r.truncateFrac), nil
 	}
-	c.in.passthroughs.Add(1)
+	c.in.countPassthrough()
 	return data, nil
 }
 
@@ -256,7 +293,7 @@ func (c *chaosStore) Keys(layer string) ([]storage.TileKey, error) {
 	if err := c.pre("keys"); err != nil {
 		return nil, err
 	}
-	c.in.passthroughs.Add(1)
+	c.in.countPassthrough()
 	return c.next.Keys(layer)
 }
 
@@ -264,7 +301,7 @@ func (c *chaosStore) ListLayers() ([]string, error) {
 	if err := c.pre("list-layers"); err != nil {
 		return nil, err
 	}
-	c.in.passthroughs.Add(1)
+	c.in.countPassthrough()
 	return c.next.ListLayers()
 }
 
@@ -272,7 +309,7 @@ func (c *chaosStore) Delete(key storage.TileKey) error {
 	if err := c.pre("delete"); err != nil {
 		return err
 	}
-	c.in.passthroughs.Add(1)
+	c.in.countPassthrough()
 	return c.next.Delete(key)
 }
 
@@ -295,18 +332,18 @@ type chaosTransport struct {
 
 func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if c.in.Down() {
-		c.in.errors.Add(1)
+		c.in.countError()
 		return nil, &ErrInjected{Op: "connect " + req.URL.Path}
 	}
 	r := c.in.roll()
 	if r.latency {
-		c.in.latencies.Add(1)
+		c.in.countLatency()
 		if err := c.in.sleep(c.in.cfg.Latency, req.Context().Done()); err != nil {
 			return nil, req.Context().Err()
 		}
 	}
 	if r.fail {
-		c.in.errors.Add(1)
+		c.in.countError()
 		if r.failConn {
 			return nil, &ErrInjected{Op: "connect " + req.URL.Path}
 		}
@@ -327,18 +364,18 @@ func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	// Payload faults only make sense on successful bodies.
 	if resp.StatusCode != http.StatusOK || resp.Body == nil {
-		c.in.passthroughs.Add(1)
+		c.in.countPassthrough()
 		return resp, nil
 	}
 	switch {
 	case r.corrupt:
-		c.in.corruptions.Add(1)
+		c.in.countCorruption()
 		return rewriteBody(resp, func(b []byte) []byte { return flipBit(b, r.bitFrac) })
 	case r.truncate:
-		c.in.truncations.Add(1)
+		c.in.countTruncation()
 		return rewriteBody(resp, func(b []byte) []byte { return cut(b, r.truncateFrac) })
 	case r.partial:
-		c.in.partials.Add(1)
+		c.in.countPartial()
 		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
@@ -348,7 +385,7 @@ func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		resp.Body = io.NopCloser(&partialReader{data: body, n: n})
 		return resp, nil
 	}
-	c.in.passthroughs.Add(1)
+	c.in.countPassthrough()
 	return resp, nil
 }
 

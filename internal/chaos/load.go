@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hdmaps/internal/obs"
 	"hdmaps/internal/resilience"
 )
 
@@ -70,6 +72,10 @@ type LoadResult struct {
 	// HotOK counts 200s on Paths[0], the zipf-hottest tile — the
 	// denominator for the coalescing-efficiency assertion.
 	HotOK uint64
+	// Latency is the client-observed per-request latency distribution
+	// (every submitted request observed once, success or not). Its
+	// Snapshot().Summary() is what `hdmapctl loadtest` prints.
+	Latency *obs.Histogram
 }
 
 // RunLoad executes the load plan and blocks until every client
@@ -104,7 +110,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	var (
-		res     LoadResult
+		res     = LoadResult{Latency: obs.NewHistogram(nil)}
 		barrier = newBarrier(clients)
 		wg      sync.WaitGroup
 	)
@@ -131,19 +137,23 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				}
 				hot := path == cfg.Paths[0]
 				atomic.AddUint64(&res.Submitted, 1)
+				start := time.Now()
 				req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Base+path, nil)
 				if err != nil {
+					res.Latency.ObserveSince(start)
 					atomic.AddUint64(&res.Errored, 1)
 					continue
 				}
 				req.Header.Set(resilience.ClientIDHeader, id)
 				resp, err := httpc.Do(req)
 				if err != nil {
+					res.Latency.ObserveSince(start)
 					atomic.AddUint64(&res.Errored, 1)
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				res.Latency.ObserveSince(start)
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					atomic.AddUint64(&res.OK, 1)

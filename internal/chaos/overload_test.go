@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"hdmaps/internal/chaos"
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/resilience"
 	"hdmaps/internal/storage"
 )
@@ -47,6 +49,21 @@ func publishTiles(t *testing.T, store storage.TileStore, n int) []string {
 		paths = append(paths, fmt.Sprintf("/v1/tiles/base/%d/0", i))
 	}
 	return paths
+}
+
+// metricz fetches and decodes the handler's /metricz snapshot.
+func metricz(t *testing.T, base string) obs.RegistrySnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
 }
 
 // statz fetches and decodes the handler's /statz snapshot.
@@ -92,10 +109,15 @@ func TestOverloadSoak(t *testing.T) {
 
 	mem := &countingStore{TileStore: storage.NewMemStore()}
 	paths := publishTiles(t, mem, 24)
+	// One registry shared by the overload pipeline and the chaos
+	// injector, so /metricz carries both views and the soak can check
+	// them against each other.
+	reg := obs.NewRegistry()
 	injector := chaos.New(chaos.Config{
 		Seed:        1009,
 		LatencyProb: 0.2, Latency: time.Millisecond,
 		ErrorProb: 0.01,
+		Metrics:   reg,
 	})
 	handler := resilience.NewHandler(storage.NewTileServer(injector.Store(mem)), resilience.Config{
 		MaxConcurrent:  8,
@@ -105,6 +127,7 @@ func TestOverloadSoak(t *testing.T) {
 		RatePerClient:  25,
 		RateBurst:      5,
 		CacheSize:      64,
+		Metrics:        reg,
 	})
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
@@ -157,6 +180,54 @@ func TestOverloadSoak(t *testing.T) {
 	}
 	if snap.CacheHits == 0 {
 		t.Error("hot-tile cache never hit")
+	}
+	// Telemetry invariants: /metricz must tell exactly the same story as
+	// /statz — the two views read the same atomic cells.
+	ms := metricz(t, srv.URL)
+	for name, want := range map[string]uint64{
+		"resilience.http.submitted":    snap.Submitted,
+		"resilience.http.accepted":     snap.Accepted,
+		"resilience.http.shed":         snap.Shed,
+		"resilience.http.rate_limited": snap.RateLimited,
+		"resilience.http.errored":      snap.Errored,
+		"resilience.cache.hits":        snap.CacheHits,
+		"resilience.flight.coalesced":  snap.Coalesced,
+	} {
+		if got := ms.Counters[name]; got != want {
+			t.Errorf("/metricz %s = %d, /statz says %d", name, got, want)
+		}
+	}
+	// Every submitted request was observed in exactly one latency
+	// histogram series: sum of histogram counts == submitted.
+	var latTotal uint64
+	for name, h := range ms.Histograms {
+		if !strings.HasPrefix(name, "resilience.http.latency_seconds.") {
+			continue
+		}
+		latTotal += h.Count
+		if bt := h.BucketTotal(); bt < h.Count {
+			t.Errorf("%s: bucket total %d < count %d", name, bt, h.Count)
+		}
+	}
+	if latTotal != snap.Submitted {
+		t.Errorf("latency histogram counts sum to %d, submitted = %d", latTotal, snap.Submitted)
+	}
+	// The chaos injector's own accounting surfaced on the same registry.
+	ist := injector.Stats()
+	for name, want := range map[string]uint64{
+		"chaos.inject.latencies":    ist.Latencies,
+		"chaos.inject.errors":       ist.Errors,
+		"chaos.inject.corruptions":  ist.Corruptions,
+		"chaos.inject.truncations":  ist.Truncations,
+		"chaos.inject.partials":     ist.Partials,
+		"chaos.inject.passthroughs": ist.Passthroughs,
+	} {
+		if got := ms.Counters[name]; got != want {
+			t.Errorf("/metricz %s = %d, injector.Stats() says %d", name, got, want)
+		}
+	}
+	if ist.Latencies+ist.Errors+ist.Passthroughs == 0 {
+		t.Error("chaos injector saw no store traffic — the soak exercised nothing")
 	}
 	t.Logf("soak: submitted=%d ok=%d shed=%d (rate-limited=%d) errored=%d store-reads=%d cache-hits=%d coalesced=%d",
 		res.Submitted, res.OK, res.Shed, snap.RateLimited, res.Errored, gets, snap.CacheHits, snap.Coalesced)

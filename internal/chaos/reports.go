@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"hdmaps/internal/obs"
 	"hdmaps/internal/update/incremental"
 	"hdmaps/internal/update/ingest"
 )
@@ -30,6 +31,9 @@ type ReportChaosConfig struct {
 	StaleProb float64
 	// StaleBy is the stale rewind in logical time (default 10000).
 	StaleBy uint64
+	// Metrics mirrors the injected-fault counters into an obs registry
+	// (obs.Default() when nil) under chaos.reports.*.
+	Metrics *obs.Registry
 }
 
 // ReportStats counts injected report faults.
@@ -45,6 +49,13 @@ type ReportInjector struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	stats ReportStats
+
+	om reportMetrics
+}
+
+// reportMetrics are the registry-side mirrors of ReportStats.
+type reportMetrics struct {
+	malformed, byzantine, duplicates, stale, passthroughs *obs.Counter
 }
 
 // NewReportInjector creates a seeded report corrupter.
@@ -55,7 +66,21 @@ func NewReportInjector(cfg ReportChaosConfig) *ReportInjector {
 	if cfg.StaleBy == 0 {
 		cfg.StaleBy = 10_000
 	}
-	return &ReportInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &ReportInjector{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		om: reportMetrics{
+			malformed:    reg.Counter("chaos.reports.malformed"),
+			byzantine:    reg.Counter("chaos.reports.byzantine"),
+			duplicates:   reg.Counter("chaos.reports.duplicates"),
+			stale:        reg.Counter("chaos.reports.stale"),
+			passthroughs: reg.Counter("chaos.reports.passthroughs"),
+		},
+	}
 }
 
 // Stats snapshots the fault counters.
@@ -89,6 +114,7 @@ func (ri *ReportInjector) Mangle(r ingest.Report) ([]ingest.Report, []string) {
 	switch {
 	case malform:
 		ri.stats.Malformed++
+		ri.om.malformed.Inc()
 		kinds = append(kinds, "malformed")
 		out = cloneReport(r)
 		if len(out.Observations) > 0 {
@@ -104,6 +130,7 @@ func (ri *ReportInjector) Mangle(r ingest.Report) ([]ingest.Report, []string) {
 		}
 	case byzantine:
 		ri.stats.Byzantine++
+		ri.om.byzantine.Inc()
 		kinds = append(kinds, "byzantine")
 		out = cloneReport(r)
 		for i := range out.Observations {
@@ -112,6 +139,7 @@ func (ri *ReportInjector) Mangle(r ingest.Report) ([]ingest.Report, []string) {
 		}
 	case stale:
 		ri.stats.Stale++
+		ri.om.stale.Inc()
 		kinds = append(kinds, "stale")
 		out = cloneReport(r)
 		if out.Stamp > ri.cfg.StaleBy {
@@ -124,11 +152,13 @@ func (ri *ReportInjector) Mangle(r ingest.Report) ([]ingest.Report, []string) {
 	reports := []ingest.Report{out}
 	if duplicate {
 		ri.stats.Duplicates++
+		ri.om.duplicates.Inc()
 		kinds = append(kinds, "duplicate")
 		reports = append(reports, cloneReport(out))
 	}
 	if len(kinds) == 0 {
 		ri.stats.Passthroughs++
+		ri.om.passthroughs.Inc()
 	}
 	return reports, kinds
 }

@@ -1,0 +1,61 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsOverhead measures the hot-path cost of the three
+// operations instrumented code performs per request: a counter
+// increment, a histogram observation, and a labeled-counter lookup.
+// All three must be allocation-free — verified both by ReportAllocs
+// here and by TestObsAllocFree below.
+func BenchmarkObsOverhead(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.obs.hits")
+	h := r.Histogram("bench.obs.latency", nil)
+	v := r.CounterVec("bench.obs.outcome", []string{"ok", "shed"})
+
+	b.Run("CounterInc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("HistogramObserve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.00042)
+		}
+	})
+	b.Run("CounterVecWith", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v.With("ok").Inc()
+		}
+	})
+	b.Run("HistogramObserveParallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h.Observe(0.00042)
+			}
+		})
+	})
+}
+
+// TestObsAllocFree pins the allocation-free guarantee as a test, so a
+// regression fails `go test` rather than only showing up in benchmark
+// output nobody reads.
+func TestObsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bench.alloc.hits")
+	h := r.Histogram("bench.alloc.latency", nil)
+	v := r.CounterVec("bench.alloc.outcome", []string{"ok"})
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.001) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { v.With("ok").Inc() }); n != 0 {
+		t.Errorf("CounterVec.With(...).Inc allocates %v per op", n)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// RegistrySnapshot is one consistent-enough read of a whole registry —
+// the /metricz payload. Each cell is individually atomic; cross-metric
+// invariants (e.g. submitted == accepted + shed + errored) hold exactly
+// once the instrumented system is quiescent.
+type RegistrySnapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every metric in the registry.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := RegistrySnapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// MetricsHandler serves the registry as JSON — mount it at /metricz.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(data, '\n'))
+	})
+}
+
+// expvarMu serializes PublishExpvar against itself; expvar.Publish
+// panics on duplicate names, so publishing must be check-then-set.
+var expvarMu sync.Mutex
+
+// PublishExpvar bridges the registry into the stdlib expvar namespace
+// under the given name, so any tooling that already scrapes
+// /debug/vars picks the metrics up for free. Idempotent per name
+// (first binding wins — expvar has no unpublish); callers normally
+// pass the process-wide Default() registry, for which first-wins is
+// exactly right.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

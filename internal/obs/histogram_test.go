@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("empty histogram: count=%d sum=%v max=%v", s.Count, s.Sum, s.Max)
+	}
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty histogram quantiles: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.BucketTotal() != 0 {
+		t.Errorf("empty histogram bucket total = %d", s.BucketTotal())
+	}
+	if got := s.Summary(); got == "" {
+		t.Error("empty histogram summary is empty")
+	}
+}
+
+func TestHistogramOutOfRangeClampsToOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(100)           // beyond top bound
+	h.Observe(math.Inf(1))   // +Inf
+	h.Observe(4.0000001)     // just past the top bound
+	s := h.Snapshot()
+	if s.Overflow != 3 {
+		t.Fatalf("overflow = %d, want 3", s.Overflow)
+	}
+	if s.Count != 3 || s.BucketTotal() != 3 {
+		t.Errorf("count = %d, bucket total = %d, want 3", s.Count, s.BucketTotal())
+	}
+	if math.IsInf(s.Sum, 0) || math.IsInf(s.Max, 0) {
+		t.Errorf("+Inf leaked into sum=%v or max=%v", s.Sum, s.Max)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %v, want 100", s.Max)
+	}
+}
+
+func TestHistogramNegativeAndNaNClampToZero(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(-5)
+	h.Observe(math.Inf(-1))
+	h.Observe(math.NaN())
+	s := h.Snapshot()
+	if s.Buckets[0].Count != 3 {
+		t.Fatalf("first bucket = %d, want 3 (clamped)", s.Buckets[0].Count)
+	}
+	if s.Sum != 0 {
+		t.Errorf("sum = %v, want 0 (all observations clamped to zero)", s.Sum)
+	}
+	if s.Count != 3 {
+		t.Errorf("count = %d, want 3", s.Count)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i%10) + 0.5) // uniform over (0,10)
+	}
+	s := h.Snapshot()
+	if s.P50 < 3 || s.P50 > 7 {
+		t.Errorf("p50 = %v, want near 5 for a uniform distribution", s.P50)
+	}
+	if s.P99 < s.P95 || s.P95 < s.P50 {
+		t.Errorf("quantiles not ordered: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.Max != 9.5 {
+		t.Errorf("max = %v, want 9.5", s.Max)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe from many goroutines
+// (run under -race in CI) and checks the count invariant holds exactly
+// at quiescence: total == sum of bucket counts == observations issued.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := uint64(workers * per); s.Count != want || s.BucketTotal() != want {
+		t.Errorf("count=%d bucketTotal=%d, want %d", s.Count, s.BucketTotal(), want)
+	}
+}
+
+// TestHistogramSnapshotMonotonicity takes snapshots concurrently with
+// writers and asserts the reported Count never decreases between
+// successive reads, and never exceeds the bucket total of a later
+// snapshot — the monotonicity a scraper relies on to compute rates.
+func TestHistogramSnapshotMonotonicity(t *testing.T) {
+	h := NewHistogram(nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(0.001)
+				}
+			}
+		}()
+	}
+	var last uint64
+	for i := 0; i < 5000; i++ {
+		s := h.Snapshot()
+		if s.Count < last {
+			t.Fatalf("snapshot %d: count went backwards: %d -> %d", i, last, s.Count)
+		}
+		// Buckets are bumped before the total, so a snapshot's bucket
+		// total may run ahead of its Count mid-write — but never behind.
+		if s.BucketTotal() < s.Count {
+			t.Fatalf("snapshot %d: bucket total %d < count %d", i, s.BucketTotal(), s.Count)
+		}
+		last = s.Count
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {2, 1},
+		"nan":        {1, math.NaN()},
+		"inf":        {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds: no panic", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

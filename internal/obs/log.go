@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// traceHandler wraps a slog.Handler so every record logged with a
+// context carrying a trace (and optionally a span) ID gets trace_id /
+// span_id attributes appended — the join key between client logs,
+// server logs, and response headers.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := TraceID(ctx); id != "" {
+		rec.AddAttrs(slog.String("trace_id", id))
+	}
+	if id := SpanID(ctx); id != "" {
+		rec.AddAttrs(slog.String("span_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the stack's standard structured logger: JSON records
+// to w at the given level, every record stamped with the component name
+// and — via the *Context log methods — the calling context's trace ID.
+func NewLogger(w io.Writer, component string, level slog.Leveler) *slog.Logger {
+	inner := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}).
+		WithAttrs([]slog.Attr{slog.String("component", component)})
+	return slog.New(&traceHandler{inner: inner})
+}
+
+// nopHandler drops every record without formatting it.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLogger = slog.New(nopHandler{})
+
+// Nop returns a logger that discards everything — the default for
+// components whose config leaves the logger nil, so instrumentation
+// never forces log output on a caller that didn't ask for any. Enabled
+// short-circuits before any attribute is formatted, so a Nop logger on
+// the hot path costs one interface call.
+func Nop() *slog.Logger { return nopLogger }
+
+// OrNop returns l, or the Nop logger when l is nil — the one-liner
+// components use to resolve an optional config field.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}

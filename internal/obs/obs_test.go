@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("test.registry.hits")
+	c2 := r.Counter("test.registry.hits")
+	if c1 != c2 {
+		t.Error("same name returned distinct counters")
+	}
+	c1.Inc()
+	c1.Add(2)
+	if c2.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c2.Value())
+	}
+	g := r.Gauge("test.registry.inflight")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d, want 3", g.Value())
+	}
+	h1 := r.Histogram("test.registry.latency", nil)
+	h2 := r.Histogram("test.registry.latency", []float64{1})
+	if h1 != h2 {
+		t.Error("same name returned distinct histograms")
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	valid := []string{"a.b.c", "resilience.http.submitted", "ingest.stage.duration.fuse", "a2.b_x.c9"}
+	for _, name := range valid {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{"", "a", "a.b", "A.b.c", "a..c", "a.b.", ".a.b", "a.b.c-d", "a.b.9c", "a.b c"}
+	for _, name := range invalid {
+		if err := ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", name)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("registering an invalid name did not panic")
+			}
+		}()
+		NewRegistry().Counter("Bad.Name")
+	}()
+}
+
+func TestRegistryTypeCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.collision.metric")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test.collision.metric")
+}
+
+func TestCounterVecBoundedCardinality(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test.vec.reason", []string{"stale", "malformed"})
+	v.With("stale").Inc()
+	v.With("malformed").Add(2)
+	// Hostile/unknown values all collapse into the "other" series.
+	v.With("totally-unbounded-client-supplied-value-1").Inc()
+	v.With("totally-unbounded-client-supplied-value-2").Inc()
+	s := r.Snapshot()
+	if s.Counters["test.vec.reason.stale"] != 1 {
+		t.Errorf("stale = %d", s.Counters["test.vec.reason.stale"])
+	}
+	if s.Counters["test.vec.reason.malformed"] != 2 {
+		t.Errorf("malformed = %d", s.Counters["test.vec.reason.malformed"])
+	}
+	if s.Counters["test.vec.reason.other"] != 2 {
+		t.Errorf("other = %d, want 2", s.Counters["test.vec.reason.other"])
+	}
+	if got := len(s.Counters); got != 3 {
+		t.Errorf("series count = %d, want 3 — unknown values must not mint series", got)
+	}
+}
+
+func TestHistogramVec2(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec2("test.vec.latency", []float64{1}, []string{"tile"}, []string{"2xx", "5xx"})
+	v.With("tile", "2xx").Observe(0.5)
+	v.With("tile", "weird").Observe(0.5)
+	v.With("nope", "2xx").Observe(0.5)
+	s := r.Snapshot()
+	if s.Histograms["test.vec.latency.tile.2xx"].Count != 1 {
+		t.Error("tile.2xx not observed")
+	}
+	if s.Histograms["test.vec.latency.tile.other"].Count != 1 {
+		t.Error("unknown status did not land in tile.other")
+	}
+	if s.Histograms["test.vec.latency.other.2xx"].Count != 1 {
+		t.Error("unknown route did not land in other.2xx")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Error("fresh context has a trace ID")
+	}
+	ctx, id := EnsureTraceID(ctx)
+	if id == "" || TraceID(ctx) != id {
+		t.Fatalf("EnsureTraceID: id=%q ctx=%q", id, TraceID(ctx))
+	}
+	ctx2, id2 := EnsureTraceID(ctx)
+	if id2 != id || ctx2 != ctx {
+		t.Error("EnsureTraceID on a traced context must be a no-op")
+	}
+	if a, b := NewTraceID(), NewTraceID(); a == b {
+		t.Error("consecutive trace IDs collided")
+	}
+	if len(NewTraceID()) != 16 || len(NewSpanID()) != 8 {
+		t.Errorf("ID lengths: trace=%d span=%d", len(NewTraceID()), len(NewSpanID()))
+	}
+}
+
+func TestSanitizeTraceID(t *testing.T) {
+	if got := SanitizeTraceID("abc-DEF_123.x"); got != "abc-DEF_123.x" {
+		t.Errorf("valid id rejected: %q", got)
+	}
+	for _, bad := range []string{"", strings.Repeat("a", 65), "has space", "inject\nnewline", `q"uote`} {
+		if got := SanitizeTraceID(bad); got != "" {
+			t.Errorf("SanitizeTraceID(%q) = %q, want empty", bad, got)
+		}
+	}
+}
+
+func TestEnsureRequestTrace(t *testing.T) {
+	// Header wins.
+	r := httptest.NewRequest(http.MethodGet, "/x", nil)
+	r.Header.Set(TraceHeader, "wire-id-123")
+	r2, id := EnsureRequestTrace(r)
+	if id != "wire-id-123" || TraceID(r2.Context()) != "wire-id-123" {
+		t.Errorf("header trace not honored: id=%q ctx=%q", id, TraceID(r2.Context()))
+	}
+	// Hostile header is discarded, fresh ID generated.
+	r = httptest.NewRequest(http.MethodGet, "/x", nil)
+	r.Header.Set(TraceHeader, "bad id\n")
+	_, id = EnsureRequestTrace(r)
+	if id == "" || strings.Contains(id, "\n") {
+		t.Errorf("hostile header leaked: %q", id)
+	}
+	// No header: fresh ID.
+	r = httptest.NewRequest(http.MethodGet, "/x", nil)
+	_, id = EnsureRequestTrace(r)
+	if id == "" {
+		t.Error("no trace generated for bare request")
+	}
+}
+
+func TestLoggerStampsTraceAndComponent(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "testcomp", slog.LevelInfo)
+	ctx := WithTraceID(context.Background(), "trace-xyz")
+	ctx = WithSpanID(ctx, "span-1")
+	log.InfoContext(ctx, "hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["component"] != "testcomp" || rec["trace_id"] != "trace-xyz" || rec["span_id"] != "span-1" {
+		t.Errorf("log record missing stamps: %v", rec)
+	}
+	if rec["k"] != "v" || rec["msg"] != "hello" {
+		t.Errorf("log record lost payload: %v", rec)
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic, must not block, must log nothing anywhere.
+	Nop().InfoContext(context.Background(), "dropped")
+	if OrNop(nil) != Nop() {
+		t.Error("OrNop(nil) != Nop()")
+	}
+	real := NewLogger(&bytes.Buffer{}, "x", slog.LevelInfo)
+	if OrNop(real) != real {
+		t.Error("OrNop(l) must pass l through")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.export.hits").Add(7)
+	r.Gauge("test.export.depth").Set(-2)
+	r.Histogram("test.export.latency", []float64{1, 2}).Observe(1.5)
+	srv := httptest.NewServer(MetricsHandler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["test.export.hits"] != 7 {
+		t.Errorf("counter = %d", snap.Counters["test.export.hits"])
+	}
+	if snap.Gauges["test.export.depth"] != -2 {
+		t.Errorf("gauge = %d", snap.Gauges["test.export.depth"])
+	}
+	if h := snap.Histograms["test.export.latency"]; h.Count != 1 || h.Buckets[1].Count != 1 {
+		t.Errorf("histogram snapshot wrong: %+v", h)
+	}
+	// Mutations are refused.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metricz = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.expvar.hits").Inc()
+	r.PublishExpvar("test-obs-registry")
+	r.PublishExpvar("test-obs-registry") // must not panic
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// registrationMethods maps each registry registration method to the
+// number of leading arguments that must be statically checkable: the
+// metric name (always arg 0, always a string literal) and, for Vec
+// variants, the label domains (always composite literals or named
+// slices — never values computed per request).
+var registrationMethods = map[string]bool{
+	"Counter":       true,
+	"Gauge":         true,
+	"Histogram":     true,
+	"CounterVec":    true,
+	"HistogramVec":  true,
+	"HistogramVec2": true,
+}
+
+// TestObsLint is the `make vet-obs` gate: it walks every Go file under
+// internal/ and cmd/ (excluding internal/obs itself) and fails if any
+// metric registration uses a name outside the component.subsystem.name
+// scheme, or builds the name dynamically — the classic unbounded-
+// cardinality bug where a request-derived string is spliced into a
+// metric name. Label-domain cardinality is bounded by the Vec API at
+// runtime (unknown values collapse into "other"), so the lint only has
+// to pin the base names down.
+func TestObsLint(t *testing.T) {
+	root := moduleRoot(t)
+	var violations []string
+	for _, dir := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if filepath.Base(path) == "obs" && strings.HasSuffix(filepath.Dir(path), "internal") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			violations = append(violations, lintFile(t, path, root)...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+func lintFile(t *testing.T, path, root string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	rel, _ := filepath.Rel(root, path)
+	// Package-level functions can share names with registry methods
+	// (e.g. mapeval.Histogram); a call whose receiver is an imported
+	// package identifier is not a metric registration.
+	pkgNames := make(map[string]bool, len(f.Imports))
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := p
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			name = p[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		pkgNames[name] = true
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !registrationMethods[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		if recv, ok := sel.X.(*ast.Ident); ok && pkgNames[recv.Name] && recv.Obj == nil {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		loc := fmt.Sprintf("%s:%d", rel, pos.Line)
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			// A non-obs method can collide on these names; only flag
+			// calls whose first argument is string-shaped at all, since
+			// every registry registration takes the name first.
+			if looksStringy(call.Args[0]) {
+				out = append(out, loc+": metric name is not a string literal — dynamic names risk unbounded cardinality")
+			}
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if err := ValidateName(name); err != nil {
+			out = append(out, fmt.Sprintf("%s: metric name %q: %v", loc, name, err))
+		}
+		return true
+	})
+	return out
+}
+
+// looksStringy reports whether an expression plausibly produces a
+// string at runtime — an identifier, a selector, a fmt.Sprintf-style
+// call, or a concatenation. Int/float literals (e.g. a method named
+// Histogram on some other type taking numbers) are excluded so the
+// lint does not misfire on unrelated APIs.
+func looksStringy(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.STRING
+	case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr:
+		return true
+	case *ast.BinaryExpr:
+		return v.Op == token.ADD && (looksStringy(v.X) || looksStringy(v.Y))
+	}
+	return false
+}
+
+// moduleRoot walks up from the test's working directory to the
+// directory containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}

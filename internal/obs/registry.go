@@ -1,0 +1,356 @@
+// Package obs is the unified telemetry substrate of the HD-map stack:
+// an atomic metrics registry (counters, gauges, fixed-bucket latency
+// histograms), context-propagated trace IDs carried over the wire via
+// the X-Trace-Id header, and slog-based structured logging that stamps
+// every record with its trace. It is dependency-free (stdlib only) and
+// allocation-free on the hot path — a counter increment or histogram
+// observation must be cheap enough to leave enabled in a serving loop
+// handling millions of requests.
+//
+// Metric naming scheme (enforced by ValidateName and the obslint test):
+// dotted lowercase segments, at least three deep —
+// component.subsystem.name — e.g. "resilience.http.submitted". Labeled
+// metrics are families (CounterVec, HistogramVec, HistogramVec2) whose
+// label-value domains are enumerated at registration; an unseen value
+// falls into the reserved "other" series, so label cardinality is
+// bounded by construction no matter what the caller feeds in.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// OtherLabel is the reserved catch-all series of every Vec family:
+// observations with a label value outside the registered domain land
+// here, keeping cardinality bounded under hostile or buggy inputs.
+const OtherLabel = "other"
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a concurrency-safe metric namespace. Registration
+// (Counter/Gauge/Histogram and the Vec constructors) is get-or-create
+// and may happen at any time; instrumented code should register once at
+// construction and keep the returned pointer — subsequent operations on
+// that pointer are lock-free.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry used by components whose
+// config leaves the registry nil — the production default, so every
+// layer of one process lands in one exportable namespace. Tests that
+// assert exact counts should inject their own registry instead.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// ValidateName checks a metric name against the documented scheme:
+// lowercase dotted segments, each matching [a-z][a-z0-9_]*, at least
+// three segments deep (component.subsystem.name).
+func ValidateName(name string) error {
+	segs := 1
+	segStart := 0
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '.':
+			if i == segStart {
+				return fmt.Errorf("obs: metric %q: empty segment", name)
+			}
+			segs++
+			segStart = i + 1
+		case c >= 'a' && c <= 'z':
+		case (c >= '0' && c <= '9') || c == '_':
+			if i == segStart {
+				return fmt.Errorf("obs: metric %q: segment must start with a letter", name)
+			}
+		default:
+			return fmt.Errorf("obs: metric %q: invalid character %q", name, c)
+		}
+	}
+	if len(name) == 0 || segStart == len(name) {
+		return fmt.Errorf("obs: metric %q: empty segment", name)
+	}
+	if segs < 3 {
+		return fmt.Errorf("obs: metric %q: want >= 3 dotted segments (component.subsystem.name), got %d", name, segs)
+	}
+	return nil
+}
+
+// ValidateLabelValue checks a label value: [a-z0-9_]+ (a leading digit
+// is allowed so status classes like "2xx" are legal values).
+func ValidateLabelValue(v string) error {
+	if v == "" {
+		return fmt.Errorf("obs: empty label value")
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return fmt.Errorf("obs: label value %q: invalid character %q", v, c)
+		}
+	}
+	return nil
+}
+
+// mustName panics on a scheme violation — a bad metric name is a
+// programmer error caught the first time the code path runs, not a
+// runtime condition to degrade around.
+func mustName(name string) {
+	if err := ValidateName(name); err != nil {
+		panic(err)
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Panics
+// if the name violates the scheme or is already registered as another
+// metric type.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	mustName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	mustName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (nil means DefaultLatencyBounds). On a
+// repeat registration the existing histogram is returned and bounds are
+// ignored.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	mustName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	h = NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// counterSeries is the get-or-create path for Vec series: the base
+// name has already passed ValidateName and each label value
+// ValidateLabelValue, so the composed series name is not re-validated
+// (label values like "2xx" legally start with a digit, which the base
+// scheme forbids for segments).
+func (r *Registry) counterSeries(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// histogramSeries is counterSeries for histograms.
+func (r *Registry) histogramSeries(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	h := NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// checkFree panics if name is already held by a different metric type.
+// Callers hold r.mu.
+func (r *Registry) checkFree(name, want string) {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && want != "histogram" {
+		panic(fmt.Sprintf("obs: metric %q already registered as a histogram", name))
+	}
+}
+
+// CounterVec is a counter family with one bounded label. The value
+// domain is fixed at registration: With on an unregistered value
+// returns the reserved "other" series, never a new one.
+type CounterVec struct {
+	byValue map[string]*Counter
+	other   *Counter
+}
+
+// CounterVec registers a counter family: one counter per value, named
+// "<name>.<value>", plus "<name>.other" for out-of-domain values.
+func (r *Registry) CounterVec(name string, values []string) *CounterVec {
+	mustName(name)
+	v := &CounterVec{byValue: make(map[string]*Counter, len(values))}
+	for _, val := range values {
+		if err := ValidateLabelValue(val); err != nil {
+			panic(err)
+		}
+		v.byValue[val] = r.counterSeries(name + "." + val)
+	}
+	v.other = r.counterSeries(name + "." + OtherLabel)
+	return v
+}
+
+// With returns the counter for a label value ("other" when the value is
+// outside the registered domain). The lookup is a single map read —
+// allocation-free.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.byValue[value]; ok {
+		return c
+	}
+	return v.other
+}
+
+// HistogramVec is a histogram family with one bounded label.
+type HistogramVec struct {
+	byValue map[string]*Histogram
+	other   *Histogram
+}
+
+// HistogramVec registers a histogram family: "<name>.<value>" per
+// value plus "<name>.other".
+func (r *Registry) HistogramVec(name string, bounds []float64, values []string) *HistogramVec {
+	mustName(name)
+	return r.histogramVecSeries(name, bounds, values)
+}
+
+// histogramVecSeries builds a histogram family under an already-
+// validated prefix (possibly ending in a label value, which mustName
+// would reject).
+func (r *Registry) histogramVecSeries(name string, bounds []float64, values []string) *HistogramVec {
+	v := &HistogramVec{byValue: make(map[string]*Histogram, len(values))}
+	for _, val := range values {
+		if err := ValidateLabelValue(val); err != nil {
+			panic(err)
+		}
+		v.byValue[val] = r.histogramSeries(name+"."+val, bounds)
+	}
+	v.other = r.histogramSeries(name+"."+OtherLabel, bounds)
+	return v
+}
+
+// With returns the histogram for a label value ("other" when outside
+// the domain).
+func (v *HistogramVec) With(value string) *Histogram {
+	if h, ok := v.byValue[value]; ok {
+		return h
+	}
+	return v.other
+}
+
+// HistogramVec2 is a histogram family with two bounded labels (e.g.
+// route × status class). Series are named "<name>.<a>.<b>".
+type HistogramVec2 struct {
+	byA   map[string]*HistogramVec
+	other *HistogramVec
+}
+
+// HistogramVec2 registers the full cross product of the two label
+// domains (plus "other" rows and columns) up front, so With is two map
+// reads and the series count is fixed at (len(aValues)+1) *
+// (len(bValues)+1).
+func (r *Registry) HistogramVec2(name string, bounds []float64, aValues, bValues []string) *HistogramVec2 {
+	mustName(name)
+	v := &HistogramVec2{byA: make(map[string]*HistogramVec, len(aValues))}
+	for _, a := range aValues {
+		if err := ValidateLabelValue(a); err != nil {
+			panic(err)
+		}
+		v.byA[a] = r.histogramVecSeries(name+"."+a, bounds, bValues)
+	}
+	v.other = r.histogramVecSeries(name+"."+OtherLabel, bounds, bValues)
+	return v
+}
+
+// With returns the histogram for an (a, b) label pair, falling back to
+// "other" per position.
+func (v *HistogramVec2) With(a, b string) *Histogram {
+	row, ok := v.byA[a]
+	if !ok {
+		row = v.other
+	}
+	return row.With(b)
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries a request's trace ID over the wire. The ID is
+// generated once at the edge (the client issuing the fetch, or the
+// server for requests arriving without one) and echoed on every
+// response, so one tile fetch or fleet report can be correlated across
+// client logs, server logs, and error bodies.
+const TraceHeader = "X-Trace-Id"
+
+// maxTraceIDLen bounds accepted trace IDs so a hostile client cannot
+// use the header as a log-injection or memory-amplification vector.
+const maxTraceIDLen = 64
+
+type traceKey struct{}
+type spanKey struct{}
+
+// idSource is a process-seeded PRNG for trace/span IDs. Telemetry IDs
+// need cheap uniqueness, not unpredictability, so math/rand under a
+// mutex beats crypto/rand syscalls on the request edge.
+var idSource = struct {
+	sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid())<<32))}
+
+const hexDigits = "0123456789abcdef"
+
+func randomHex(n int) string {
+	buf := make([]byte, n)
+	idSource.Lock()
+	for i := 0; i < n; i += 16 {
+		v := idSource.rng.Uint64()
+		for j := i; j < i+16 && j < n; j++ {
+			buf[j] = hexDigits[v&0xf]
+			v >>= 4
+		}
+	}
+	idSource.Unlock()
+	return string(buf)
+}
+
+// NewTraceID returns a fresh 16-hex-char trace ID.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID returns a fresh 8-hex-char span ID — a component-local
+// identifier logged alongside the trace ID to distinguish hops (client
+// attempt, server handling, pipeline stage) within one trace.
+func NewSpanID() string { return randomHex(8) }
+
+// WithTraceID returns ctx carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the ctx's trace ID, or "" when none is set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// WithSpanID returns ctx carrying a span ID.
+func WithSpanID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, spanKey{}, id)
+}
+
+// SpanID returns the ctx's span ID, or "" when none is set.
+func SpanID(ctx context.Context) string {
+	id, _ := ctx.Value(spanKey{}).(string)
+	return id
+}
+
+// EnsureTraceID returns ctx guaranteed to carry a trace ID, generating
+// one when absent — the call every edge operation (a client fetch, a
+// report submission) makes before any work or logging.
+func EnsureTraceID(ctx context.Context) (context.Context, string) {
+	if id := TraceID(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return WithTraceID(ctx, id), id
+}
+
+// SanitizeTraceID validates an ID received from the wire: ASCII
+// letters, digits, '-', '_' and '.', at most 64 chars. Anything else
+// returns "" so the receiver generates a fresh ID instead of carrying
+// attacker-controlled bytes into its logs.
+func SanitizeTraceID(id string) string {
+	if id == "" || len(id) > maxTraceIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') && (c < '0' || c > '9') &&
+			c != '-' && c != '_' && c != '.' {
+			return ""
+		}
+	}
+	return id
+}
+
+// EnsureRequestTrace resolves an inbound request's trace ID — the
+// sanitized TraceHeader if present, the request context's ID otherwise,
+// a fresh one failing both — and returns the request re-scoped to a
+// context carrying it. Handlers call this once at the top and then
+// propagate r.Context() everywhere, including into response headers and
+// error bodies.
+func EnsureRequestTrace(r *http.Request) (*http.Request, string) {
+	id := SanitizeTraceID(r.Header.Get(TraceHeader))
+	if id == "" {
+		id = TraceID(r.Context())
+	}
+	if id == "" {
+		id = NewTraceID()
+	}
+	if TraceID(r.Context()) == id {
+		return r, id
+	}
+	return r.WithContext(WithTraceID(r.Context(), id)), id
+}

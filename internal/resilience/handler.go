@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
+
+	"hdmaps/internal/obs"
 )
 
 // ClientIDHeader names the requesting client for per-client rate
@@ -60,6 +63,14 @@ type Config struct {
 	// Now is the clock used by the rate limiter (wall clock when nil);
 	// tests inject a stepped fake.
 	Now func() time.Time
+	// Metrics is the registry the handler's counters and latency
+	// histograms register in. Nil gets a private registry — the handler
+	// still serves /metricz, but its series don't mix into the
+	// process-wide namespace, which is what tests asserting exact
+	// counts want. Production callers pass obs.Default().
+	Metrics *obs.Registry
+	// Log receives structured request/shed records; nil discards them.
+	Log *slog.Logger
 }
 
 func (c Config) maxConcurrent() int64 {
@@ -135,7 +146,20 @@ type Handler struct {
 	limiter *ClientLimiter
 	cache   *responseCache // nil when disabled
 	flight  *flightGroup
-	stats   Stats
+	stats   *Stats
+
+	metrics *obs.Registry
+	log     *slog.Logger
+	metricz http.Handler
+	// latency is the per-request duration by route × status class,
+	// observed exactly once per proxied request, so the bucket totals
+	// across all series sum to Stats.Submitted at quiescence.
+	latency *obs.HistogramVec2
+	// admissionWait is time spent queued at the admission semaphore
+	// (both admitted and shed-after-waiting requests observe it).
+	admissionWait *obs.Histogram
+	// shedReason partitions Stats.Shed by refusing stage.
+	shedReason *obs.CounterVec
 
 	// leaders tracks detached singleflight leader goroutines, which
 	// outlive the requests that spawned them and are not part of
@@ -149,13 +173,32 @@ type Handler struct {
 	idle     chan struct{} // non-nil while a Drain() waits for quiescence
 }
 
+// routeClasses and statusClasses are the label domains of the request
+// latency family — fixed here so the series count is bounded no matter
+// what paths or statuses traffic produces.
+var (
+	routeClasses  = []string{"tile", "list", "layers"}
+	statusClasses = []string{"2xx", "3xx", "4xx", "429", "5xx", "503"}
+)
+
 // NewHandler wraps inner in the overload pipeline.
 func NewHandler(inner http.Handler, cfg Config) *Handler {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	h := &Handler{
-		inner:  inner,
-		cfg:    cfg,
-		sem:    NewSemaphore(cfg.maxConcurrent()),
-		flight: newFlightGroup(),
+		inner:         inner,
+		cfg:           cfg,
+		sem:           NewSemaphore(cfg.maxConcurrent()),
+		flight:        newFlightGroup(),
+		metrics:       reg,
+		log:           obs.OrNop(cfg.Log),
+		metricz:       obs.MetricsHandler(reg),
+		stats:         newStats(reg),
+		latency:       reg.HistogramVec2("resilience.http.latency_seconds", nil, routeClasses, statusClasses),
+		admissionWait: reg.Histogram("resilience.admission.wait_seconds", nil),
+		shedReason:    reg.CounterVec("resilience.shed.reason", []string{"draining", "admission", "rate_limit"}),
 	}
 	if cfg.RatePerClient > 0 {
 		h.limiter = NewClientLimiter(cfg.RatePerClient, cfg.rateBurst(), cfg.MaxClients, cfg.Now)
@@ -174,6 +217,11 @@ func (h *Handler) Stats() StatsSnapshot {
 	h.mu.Unlock()
 	return snap
 }
+
+// Metrics returns the handler's registry — what /metricz serves, and
+// where callers mount additional instruments (e.g. the storage client
+// of a co-located ingest worker) so one scrape covers the process.
+func (h *Handler) Metrics() *obs.Registry { return h.metrics }
 
 // StartDrain stops admitting new requests: from now on every proxied
 // request is shed with 503 + Retry-After and /readyz reports 503, while
@@ -249,9 +297,31 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(append(data, '\n'))
 		return
+	case "/metricz":
+		h.metricz.ServeHTTP(w, r)
+		return
 	}
 
-	h.stats.submitted.Add(1)
+	// Resolve the request's trace before any counter or response: the
+	// ID is echoed on the response header (and read back from there by
+	// error writers into JSON bodies), so client, server log, and wire
+	// all agree on one ID per request.
+	r, trace := obs.EnsureRequestTrace(r)
+	w.Header().Set(obs.TraceHeader, trace)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		dur := time.Since(start)
+		route, status := routeClass(r.URL.Path), statusClass(sw.Status())
+		h.latency.With(route, status).Observe(dur.Seconds())
+		h.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method), slog.String("path", r.URL.Path),
+			slog.String("route", route), slog.Int("status", sw.Status()),
+			slog.Duration("dur", dur))
+	}()
+	w = sw
+
+	h.stats.submitted.Inc()
 	h.beginInflight()
 	defer h.endInflight()
 
@@ -259,7 +329,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	draining := h.draining
 	h.mu.Unlock()
 	if draining {
-		h.shed(w, http.StatusServiceUnavailable, "draining", h.cfg.retryAfter(), false)
+		h.shed(w, r, http.StatusServiceUnavailable, "draining", h.cfg.retryAfter(), false)
 		return
 	}
 
@@ -268,7 +338,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if retryIn < h.cfg.retryAfter() {
 				retryIn = h.cfg.retryAfter()
 			}
-			h.shed(w, http.StatusTooManyRequests, "rate-limit", retryIn, true)
+			h.shed(w, r, http.StatusTooManyRequests, "rate-limit", retryIn, true)
 			return
 		}
 	}
@@ -278,10 +348,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		weight = h.cfg.writeWeight()
 	}
 	actx, acancel := context.WithTimeout(r.Context(), h.cfg.maxWait())
+	waitStart := time.Now()
 	err := h.sem.Acquire(actx, weight)
+	h.admissionWait.Observe(time.Since(waitStart).Seconds())
 	acancel()
 	if err != nil {
-		h.shed(w, http.StatusServiceUnavailable, "admission", h.cfg.retryAfter(), false)
+		h.shed(w, r, http.StatusServiceUnavailable, "admission", h.cfg.retryAfter(), false)
 		return
 	}
 	defer h.sem.Release(weight)
@@ -292,6 +364,74 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveRead(w, r, rctx)
 	} else {
 		h.serveDirect(w, r, rctx)
+	}
+}
+
+// statusWriter records the status line so the deferred latency
+// observation can label by status class. A body write without an
+// explicit WriteHeader means 200, per net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// Status returns the response status, 200 when the handler wrote a
+// body without one, 0 when nothing was written at all (classified as
+// "other" by statusClass).
+func (s *statusWriter) Status() int {
+	if s.status == 0 {
+		return http.StatusOK
+	}
+	return s.status
+}
+
+// routeClass buckets a request path into the bounded route label:
+// single-tile reads, tile listings, the layer index, or other.
+func routeClass(path string) string {
+	switch {
+	case isTilePath(path):
+		return "tile"
+	case strings.HasPrefix(path, "/v1/tiles"):
+		return "list"
+	case strings.HasPrefix(path, "/v1/layers"):
+		return "layers"
+	default:
+		return obs.OtherLabel
+	}
+}
+
+// statusClass buckets a status code: the overload-relevant exact codes
+// (429, 503) get their own series, everything else its century class.
+func statusClass(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return "429"
+	case code == http.StatusServiceUnavailable:
+		return "503"
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code >= 300 && code < 400:
+		return "3xx"
+	case code >= 400 && code < 500:
+		return "4xx"
+	case code >= 500 && code < 600:
+		return "5xx"
+	default:
+		return obs.OtherLabel
 	}
 }
 
@@ -413,17 +553,25 @@ func (h *Handler) runInner(r *http.Request) (resp *capturedResponse, err error) 
 }
 
 // shed refuses a request with the policy's status, a Retry-After, and
-// a JSON error body.
-func (h *Handler) shed(w http.ResponseWriter, status int, reason string, retryIn time.Duration, rateLimited bool) {
-	h.stats.shed.Add(1)
+// a JSON error body. reason is the wire spelling (ShedHeader value);
+// the metric label replaces '-' to fit the label charset.
+func (h *Handler) shed(w http.ResponseWriter, r *http.Request, status int, reason string, retryIn time.Duration, rateLimited bool) {
+	h.stats.shed.Inc()
 	if rateLimited {
-		h.stats.rateLimited.Add(1)
+		h.stats.rateLimited.Inc()
 	}
+	h.shedReason.With(strings.ReplaceAll(reason, "-", "_")).Inc()
+	h.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+		slog.String("reason", reason), slog.Int("status", status),
+		slog.String("client", clientID(r)))
 	writeOverloadError(w, status, "overloaded: "+reason, reason, retryIn)
 }
 
 // writeOverloadError emits a resilience-layer JSON error; retryIn > 0
-// adds Retry-After, reason != "" adds ShedHeader.
+// adds Retry-After, reason != "" adds ShedHeader. The trace ID the
+// pipeline stamped on the response header is repeated in the body, so
+// a client that only kept the payload can still quote the ID when
+// filing a report.
 func writeOverloadError(w http.ResponseWriter, status int, msg, reason string, retryIn time.Duration) {
 	w.Header().Set("Content-Type", "application/json")
 	if reason != "" {
@@ -433,6 +581,10 @@ func writeOverloadError(w http.ResponseWriter, status int, msg, reason string, r
 		w.Header().Set("Retry-After", retryAfterValue(retryIn))
 	}
 	w.WriteHeader(status)
+	if trace := w.Header().Get(obs.TraceHeader); trace != "" {
+		_, _ = fmt.Fprintf(w, "{\"error\":%q,\"trace_id\":%q}\n", msg, trace)
+		return
+	}
 	_, _ = fmt.Fprintf(w, "{\"error\":%q}\n", msg)
 }
 

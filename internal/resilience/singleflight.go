@@ -35,10 +35,18 @@ func (c *capturedResponse) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// writeTo replays the capture onto a real ResponseWriter.
+// writeTo replays the capture onto a real ResponseWriter. Headers the
+// outer pipeline already stamped on w win over captured ones: a cache
+// hit or coalesced follower replays the leader's capture, and the
+// leader's detached request carried the leader's trace ID — copying it
+// blindly would overwrite this request's X-Trace-Id with another
+// request's.
 func (c *capturedResponse) writeTo(w http.ResponseWriter) {
 	h := w.Header()
 	for k, vs := range c.header {
+		if _, exists := h[k]; exists {
+			continue
+		}
 		h[k] = vs
 	}
 	w.WriteHeader(c.status)

@@ -1,23 +1,44 @@
 package resilience
 
-import "sync/atomic"
+import "hdmaps/internal/obs"
 
-// Stats is an atomic set of serving counters. The accounting invariant
-// the overload soak enforces: every request that enters the handler is
+// Stats is the serving accounting, backed by the handler's obs
+// registry so the same counters appear in /statz (this snapshot shape)
+// and /metricz (the raw registry export). The accounting invariant the
+// overload soak enforces: every request that enters the handler is
 // counted in Submitted and leaves through exactly one of Accepted,
 // Shed, or Errored — no request is ever lost silently, even under
 // stampede or drain.
 type Stats struct {
-	submitted   atomic.Uint64
-	accepted    atomic.Uint64
-	shed        atomic.Uint64
-	rateLimited atomic.Uint64
-	errored     atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	coalesced   atomic.Uint64
-	innerReqs   atomic.Uint64
-	inflight    atomic.Int64
+	submitted   *obs.Counter
+	accepted    *obs.Counter
+	shed        *obs.Counter
+	rateLimited *obs.Counter
+	errored     *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	coalesced   *obs.Counter
+	innerReqs   *obs.Counter
+	inflight    *obs.Gauge
+}
+
+// newStats registers the serving counters in reg. The metric names are
+// the registry-side spelling of the StatsSnapshot fields; both views
+// read the same atomic cells, so /statz and /metricz can never
+// disagree.
+func newStats(reg *obs.Registry) *Stats {
+	return &Stats{
+		submitted:   reg.Counter("resilience.http.submitted"),
+		accepted:    reg.Counter("resilience.http.accepted"),
+		shed:        reg.Counter("resilience.http.shed"),
+		rateLimited: reg.Counter("resilience.http.rate_limited"),
+		errored:     reg.Counter("resilience.http.errored"),
+		cacheHits:   reg.Counter("resilience.cache.hits"),
+		cacheMisses: reg.Counter("resilience.cache.misses"),
+		coalesced:   reg.Counter("resilience.flight.coalesced"),
+		innerReqs:   reg.Counter("resilience.http.inner_requests"),
+		inflight:    reg.Gauge("resilience.http.inflight"),
+	}
 }
 
 // StatsSnapshot is one consistent-enough read of the counters — what
@@ -61,15 +82,15 @@ type StatsSnapshot struct {
 // Snapshot reads the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Submitted:     s.submitted.Load(),
-		Accepted:      s.accepted.Load(),
-		Shed:          s.shed.Load(),
-		RateLimited:   s.rateLimited.Load(),
-		Errored:       s.errored.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		Coalesced:     s.coalesced.Load(),
-		InnerRequests: s.innerReqs.Load(),
-		Inflight:      s.inflight.Load(),
+		Submitted:     s.submitted.Value(),
+		Accepted:      s.accepted.Value(),
+		Shed:          s.shed.Value(),
+		RateLimited:   s.rateLimited.Value(),
+		Errored:       s.errored.Value(),
+		CacheHits:     s.cacheHits.Value(),
+		CacheMisses:   s.cacheMisses.Value(),
+		Coalesced:     s.coalesced.Value(),
+		InnerRequests: s.innerReqs.Value(),
+		Inflight:      s.inflight.Value(),
 	}
 }

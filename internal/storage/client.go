@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"hdmaps/internal/core"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/resilience"
 )
 
@@ -106,10 +108,53 @@ type Client struct {
 	// overload-protected server can rate-limit per vehicle rather than
 	// per source address (fleets often share NAT egress).
 	ClientID string
+	// Metrics is where the client's counters register (obs.Default()
+	// when nil). Tests asserting exact counts inject a fresh registry.
+	Metrics *obs.Registry
+	// Log receives structured fetch/retry records; nil discards them.
+	Log *slog.Logger
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	metricsOnce sync.Once
+	cm          clientMetrics
 }
+
+// clientMetrics are the client's transport-health counters, resolved
+// once on first use so a zero-value Client still counts into the
+// process default registry.
+type clientMetrics struct {
+	// attempts counts every HTTP attempt issued (first tries and
+	// retries alike); retries counts only the re-tries, so
+	// attempts - retries = logical requests that reached the wire.
+	attempts *obs.Counter
+	retries  *obs.Counter
+	// retryAfterWaits counts backoffs that honored a server Retry-After
+	// hint instead of the exponential guess.
+	retryAfterWaits *obs.Counter
+	// integrityFailures counts payloads rejected after arrival:
+	// checksum mismatches and structurally invalid tile/JSON bodies.
+	integrityFailures *obs.Counter
+}
+
+func (c *Client) metrics() *clientMetrics {
+	c.metricsOnce.Do(func() {
+		reg := c.Metrics
+		if reg == nil {
+			reg = obs.Default()
+		}
+		c.cm = clientMetrics{
+			attempts:          reg.Counter("storage.client.attempts"),
+			retries:           reg.Counter("storage.client.retries"),
+			retryAfterWaits:   reg.Counter("storage.client.retry_after_waits"),
+			integrityFailures: reg.Counter("storage.client.integrity_failures"),
+		}
+	})
+	return &c.cm
+}
+
+func (c *Client) logger() *slog.Logger { return obs.OrNop(c.Log) }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
@@ -126,7 +171,8 @@ func (c *Client) timeout() time.Duration {
 }
 
 // newRequest builds one attempt's request, stamping the client
-// identity when configured.
+// identity when configured and propagating the operation's trace ID so
+// the server logs the same ID the client does.
 func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
@@ -134,6 +180,9 @@ func (c *Client) newRequest(ctx context.Context, method, url string, body io.Rea
 	}
 	if c.ClientID != "" {
 		req.Header.Set(resilience.ClientIDHeader, c.ClientID)
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	return req, nil
 }
@@ -148,6 +197,7 @@ func (c *Client) newRequest(ctx context.Context, method, url string, body io.Rea
 func (c *Client) sleepBackoff(ctx context.Context, retry int, hint time.Duration) error {
 	var d time.Duration
 	if hint > 0 {
+		c.metrics().retryAfterWaits.Inc()
 		d = hint
 		if max := c.timeout(); d > max {
 			d = max
@@ -225,8 +275,13 @@ func parseRetryAfter(h string) time.Duration {
 // transient().
 func (c *Client) doRetry(ctx context.Context, budget *int, fn func(ctx context.Context) error) error {
 	attempts := c.Retry.attempts()
+	m := c.metrics()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		m.attempts.Inc()
+		if attempt > 1 {
+			m.retries.Inc()
+		}
 		actx, cancel := context.WithTimeout(ctx, c.timeout())
 		err := fn(actx)
 		cancel()
@@ -234,6 +289,8 @@ func (c *Client) doRetry(ctx context.Context, budget *int, fn func(ctx context.C
 			return nil
 		}
 		lastErr = err
+		c.logger().LogAttrs(ctx, slog.LevelDebug, "attempt failed",
+			slog.Int("attempt", attempt), slog.String("error", err.Error()))
 		// The caller's deadline expiring is final; a per-attempt
 		// timeout (actx expired, ctx still live) is transient.
 		if ctx.Err() != nil {
@@ -292,11 +349,13 @@ func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out i
 		// Metadata is integrity-checked like tiles: a bit flip in the
 		// tile list could silently shrink the vehicle's map.
 		if want := resp.Header.Get(ChecksumHeader); want != "" && want != Checksum(data) {
+			c.metrics().integrityFailures.Inc()
 			return transient(fmt.Errorf("storage client: %s: %w", op, ErrChecksum))
 		}
 		// A corrupted JSON body is indistinguishable from truncation;
 		// both are wire damage, so retry.
 		if err := json.Unmarshal(data, out); err != nil {
+			c.metrics().integrityFailures.Inc()
 			return transient(fmt.Errorf("storage client: %s: %w", op, err))
 		}
 		return nil
@@ -305,6 +364,7 @@ func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out i
 
 // Layers lists the server's layers.
 func (c *Client) Layers(ctx context.Context) ([]string, error) {
+	ctx, _ = obs.EnsureTraceID(ctx)
 	var out []string
 	if err := c.getJSON(ctx, nil, "layers", c.Base+"/v1/layers", &out); err != nil {
 		return nil, err
@@ -324,6 +384,11 @@ func (c *Client) GetTile(ctx context.Context, key TileKey) ([]byte, error) {
 }
 
 func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte, error) {
+	// Every tile fetch is one traced operation: the ID minted (or
+	// inherited) here rides the TraceHeader of every attempt, so client
+	// and server logs join on it.
+	ctx, _ = obs.EnsureTraceID(ctx)
+	start := time.Now()
 	var data []byte
 	err := c.doRetry(ctx, budget, func(ctx context.Context) error {
 		req, err := c.newRequest(ctx, http.MethodGet, c.tileURL(key), nil)
@@ -349,20 +414,28 @@ func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte,
 		// mismatch is wire corruption, so retry rather than hand a
 		// silently wrong map to the planner.
 		if want := resp.Header.Get(ChecksumHeader); want != "" && want != Checksum(body) {
+			c.metrics().integrityFailures.Inc()
 			return transient(fmt.Errorf("%v: %w", key, ErrChecksum))
 		}
 		// The checksum covers the wire, not the server's disk: a tile
 		// corrupted at rest checksums "correctly", so also require a
 		// structurally valid map before accepting the payload.
 		if _, derr := DecodeBinary(body); derr != nil {
+			c.metrics().integrityFailures.Inc()
 			return transient(fmt.Errorf("%v: invalid tile payload: %w", key, derr))
 		}
 		data = body
 		return nil
 	})
 	if err != nil {
+		c.logger().LogAttrs(ctx, slog.LevelWarn, "tile fetch failed",
+			slog.String("layer", key.Layer), slog.Int("tx", int(key.TX)), slog.Int("ty", int(key.TY)),
+			slog.Duration("dur", time.Since(start)), slog.String("error", err.Error()))
 		return nil, err
 	}
+	c.logger().LogAttrs(ctx, slog.LevelInfo, "tile fetched",
+		slog.String("layer", key.Layer), slog.Int("tx", int(key.TX)), slog.Int("ty", int(key.TY)),
+		slog.Int("bytes", len(data)), slog.Duration("dur", time.Since(start)))
 	if c.Cache != nil {
 		c.Cache.Put(key, data)
 	}
@@ -372,6 +445,7 @@ func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte,
 // PutTile uploads one tile with retries; the payload checksum travels
 // in the request header so the server can reject in-transit damage.
 func (c *Client) PutTile(ctx context.Context, key TileKey, data []byte) error {
+	ctx, _ = obs.EnsureTraceID(ctx)
 	sum := Checksum(data)
 	return c.doRetry(ctx, nil, func(ctx context.Context) error {
 		req, err := c.newRequest(ctx, http.MethodPut, c.tileURL(key), strings.NewReader(string(data)))
@@ -437,6 +511,9 @@ func (h *RegionHealth) addError(err error) {
 // error is returned only when no usable region can be assembled at
 // all.
 func (c *Client) FetchRegion(ctx context.Context, layer string, tx0, ty0, tx1, ty1 int32, name string) (*core.Map, *RegionHealth, error) {
+	// One region pull is one trace; the per-tile getTile calls inherit
+	// the ID rather than minting their own.
+	ctx, _ = obs.EnsureTraceID(ctx)
 	health := &RegionHealth{}
 	budget := c.Retry.budget()
 

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"hdmaps/internal/obs"
 )
 
 // ChecksumHeader carries the CRC32-C (Castagnoli) checksum of a tile
@@ -69,6 +71,12 @@ func NewTileServer(store TileStore) *TileServer {
 
 // ServeHTTP implements http.Handler.
 func (s *TileServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Echo the caller's trace ID (or mint one for untraced requests) so
+	// error bodies and logs can be correlated even when the server runs
+	// bare, without the resilience wrapper in front. The wrapper sets
+	// the same header first, in which case this re-set is a no-op.
+	r, trace := obs.EnsureRequestTrace(r)
+	w.Header().Set(obs.TraceHeader, trace)
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	parts := strings.Split(path, "/")
 	switch {
@@ -257,8 +265,15 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 // be marshalled (it never should — but an error path must not have
 // error paths) a canned body is served instead of calling WriteHeader
 // twice.
+// The trace ID already stamped on the response header is repeated in
+// the body, so a client that dropped the headers still has the join
+// key for a support report.
 func writeJSONError(w http.ResponseWriter, status int, msg string) {
-	data, err := json.Marshal(map[string]string{"error": msg})
+	body := map[string]string{"error": msg}
+	if trace := w.Header().Get(obs.TraceHeader); trace != "" {
+		body["trace_id"] = trace
+	}
+	data, err := json.Marshal(body)
 	if err != nil {
 		data = []byte(`{"error":"internal error"}`)
 	}

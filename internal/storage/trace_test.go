@@ -1,0 +1,175 @@
+package storage_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/obs"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// syncBuffer is a goroutine-safe log sink: the server handler logs from
+// its own goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// logRecords decodes a JSON-lines log buffer.
+func logRecords(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// findRecord returns the first record with the given msg, polling
+// briefly: the server's request log is written after the response body
+// is flushed, so it can trail the client's return by a moment.
+func findRecord(t *testing.T, buf *syncBuffer, msg string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		for _, rec := range logRecords(t, buf.String()) {
+			if rec["msg"] == msg {
+				return rec
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q record in log:\n%s", msg, buf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTraceEndToEnd proves one trace ID joins every observation point
+// of a single tile fetch: the client's structured log, the server's
+// structured log, the HTTP response header, and — on errors — the JSON
+// error body.
+func TestTraceEndToEnd(t *testing.T) {
+	store := storage.NewMemStore()
+	m := core.NewMap("traced")
+	m.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(1, 2, 0)})
+	key := storage.TileKey{Layer: "base", TX: 1, TY: 2}
+	if err := store.Put(key, storage.EncodeBinary(m)); err != nil {
+		t.Fatal(err)
+	}
+
+	var serverLog, clientLog syncBuffer
+	handler := resilience.NewHandler(storage.NewTileServer(store), resilience.Config{
+		Log:     obs.NewLogger(&serverLog, "tile-server", slog.LevelInfo),
+		Metrics: obs.NewRegistry(),
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	client := &storage.Client{
+		Base: srv.URL,
+		Log:  obs.NewLogger(&clientLog, "client", slog.LevelInfo),
+	}
+
+	// Mint the trace on the caller's context so the expected ID is known
+	// up front; the client must propagate, not replace, it.
+	ctx, trace := obs.EnsureTraceID(context.Background())
+	if _, err := client.GetTile(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+
+	crec := findRecord(t, &clientLog, "tile fetched")
+	if got := crec["trace_id"]; got != trace {
+		t.Errorf("client log trace_id = %v, want %s", got, trace)
+	}
+	if got := crec["component"]; got != "client" {
+		t.Errorf("client log component = %v", got)
+	}
+	srec := findRecord(t, &serverLog, "request")
+	if got := srec["trace_id"]; got != trace {
+		t.Errorf("server log trace_id = %v, want %s", got, trace)
+	}
+
+	// Response-header leg: the server echoes the inbound trace ID.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/tiles/base/1/2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != trace {
+		t.Errorf("response %s = %q, want %q", obs.TraceHeader, got, trace)
+	}
+
+	// Error leg: a miss carries the trace in the JSON error body too, so
+	// a vehicle can report exactly which failed exchange it saw.
+	req, err = http.NewRequest(http.MethodGet, srv.URL+"/v1/tiles/base/9/9", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing tile status = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["trace_id"] != trace {
+		t.Errorf("error body trace_id = %q, want %q", body["trace_id"], trace)
+	}
+	if body["error"] == "" {
+		t.Error("error body lost its error message")
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != trace {
+		t.Errorf("error response header trace = %q, want %q", got, trace)
+	}
+
+	// A request with no inbound trace still gets one minted server-side.
+	resp, err = http.Get(srv.URL + "/v1/tiles/base/1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if minted := resp.Header.Get(obs.TraceHeader); minted == "" || minted == trace {
+		t.Errorf("server minted trace = %q (client sent none, prior trace %s)", minted, trace)
+	}
+}

@@ -31,6 +31,11 @@ type Report struct {
 	Seq uint64
 	// Stamp is the logical capture time of the batch.
 	Stamp uint64
+	// Trace, when set, is the trace ID of the upload that carried this
+	// report. The pipeline is asynchronous — a context cannot ride the
+	// queue — so the ID travels on the report itself and is stamped on
+	// every log record and quarantine entry about it.
+	Trace string
 	// Observations is the payload handed to the fusion pipeline.
 	Observations []incremental.Observation
 }

@@ -1,12 +1,16 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hdmaps/internal/core"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/storage"
 	"hdmaps/internal/update/incremental"
 )
@@ -64,6 +68,12 @@ type Config struct {
 	// report just before it is fused — the instrumentation point chaos
 	// tests use to inject stage panics.
 	ApplyHook func(Report)
+	// Metrics is the registry the service's counters, stage-duration
+	// histograms, and breaker gauge register in (obs.Default() when
+	// nil). Tests asserting exact counts inject a fresh registry.
+	Metrics *obs.Registry
+	// Log receives structured quarantine/commit records; nil discards.
+	Log *slog.Logger
 }
 
 func (c *Config) defaults() {
@@ -139,6 +149,49 @@ type Service struct {
 	rollbacks atomic.Uint64
 	published atomic.Uint64
 	pubErrs   atomic.Uint64
+
+	log *slog.Logger
+	om  serviceMetrics
+}
+
+// serviceMetrics are the registry-side instruments. Counters mirror
+// the atomic accounting (both views read identically at quiescence);
+// the stage histograms and breaker gauge exist only here.
+type serviceMetrics struct {
+	submitted *obs.Counter
+	accepted  *obs.Counter
+	// quarantine partitions rejections by Reason — same taxonomy as
+	// Metrics.Quarantined.
+	quarantine *obs.CounterVec
+	// stage times the pipeline stages: validate (structural checks in
+	// Submit), screen (Byzantine residual), fuse (observe into the
+	// working map), commit (gate + version store), publish (re-tile to
+	// the tile store).
+	stage *obs.HistogramVec
+	// breakerOpen is the number of sources currently shedding; sampled
+	// on each Metrics() call rather than maintained per Record, so the
+	// hot path never walks the breaker map.
+	breakerOpen *obs.Gauge
+	commits     *obs.Counter
+	rollbacks   *obs.Counter
+	published   *obs.Counter
+	publishErrs *obs.Counter
+}
+
+func newServiceMetrics(reg *obs.Registry) serviceMetrics {
+	return serviceMetrics{
+		submitted: reg.Counter("ingest.report.submitted"),
+		accepted:  reg.Counter("ingest.report.accepted"),
+		quarantine: reg.CounterVec("ingest.quarantine.reason",
+			[]string{"malformed", "stale", "duplicate", "byzantine", "shed", "overload", "panic"}),
+		stage: reg.HistogramVec("ingest.stage.duration_seconds", nil,
+			[]string{"validate", "screen", "fuse", "commit", "publish"}),
+		breakerOpen: reg.Gauge("ingest.breaker.open"),
+		commits:     reg.Counter("ingest.version.commits"),
+		rollbacks:   reg.Counter("ingest.version.rollbacks"),
+		published:   reg.Counter("ingest.publish.ok"),
+		publishErrs: reg.Counter("ingest.publish.errors"),
+	}
 }
 
 // NewService supervises the version store's current map. The store
@@ -148,12 +201,18 @@ func NewService(store *VersionStore, cfg Config) (*Service, error) {
 	if store.CurrentSeq() == 0 {
 		return nil, ErrNoBase
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	s := &Service{
 		cfg:      cfg,
 		store:    store,
 		quar:     NewQuarantine(cfg.QuarantineCap),
 		seen:     make(map[string]map[uint64]struct{}),
 		breakers: make(map[string]*Breaker),
+		log:      obs.OrNop(cfg.Log),
+		om:       newServiceMetrics(reg),
 	}
 	if err := s.resetWorking(); err != nil {
 		return nil, err
@@ -195,6 +254,35 @@ func (s *Service) breaker(source string) *Breaker {
 	return b
 }
 
+// reportCtx builds a context carrying the report's trace ID so the
+// service's log records join with the uploading client's.
+func (s *Service) reportCtx(r Report) context.Context {
+	if r.Trace == "" {
+		return context.Background()
+	}
+	return obs.WithTraceID(context.Background(), r.Trace)
+}
+
+// reject quarantines a report with full accounting: ring entry,
+// reason counter, registry counter, and a trace-stamped log record.
+func (s *Service) reject(r Report, reason Reason, detail string) {
+	s.quar.Add(r, reason, detail)
+	s.om.quarantine.With(string(reason)).Inc()
+	s.log.LogAttrs(s.reportCtx(r), slog.LevelWarn, "report quarantined",
+		slog.String("source", r.Source), slog.Uint64("seq", r.Seq),
+		slog.String("reason", string(reason)), slog.String("detail", detail))
+}
+
+// rejectCount accounts a drop without retaining the payload (shed and
+// overload drops, where the report itself is not suspicious).
+func (s *Service) rejectCount(r Report, reason Reason) {
+	s.quar.count(reason)
+	s.om.quarantine.With(string(reason)).Inc()
+	s.log.LogAttrs(s.reportCtx(r), slog.LevelWarn, "report dropped",
+		slog.String("source", r.Source), slog.Uint64("seq", r.Seq),
+		slog.String("reason", string(reason)))
+}
+
 // Submit runs the synchronous validation stages (breaker, malformed,
 // duplicate, stale) and enqueues survivors for the pipeline. It never
 // blocks: an overloaded queue drops with accounting. The only error is
@@ -204,13 +292,17 @@ func (s *Service) Submit(r Report) error {
 		return ErrClosed
 	}
 	s.submitted.Add(1)
+	s.om.submitted.Inc()
 	br := s.breaker(r.Source)
 	if !br.Allow() {
-		s.quar.count(ReasonShed)
+		s.rejectCount(r, ReasonShed)
 		return nil
 	}
-	if detail := validateReport(r); detail != "" {
-		s.quar.Add(r, ReasonMalformed, detail)
+	validateStart := time.Now()
+	detail := validateReport(r)
+	s.om.stage.With("validate").Observe(time.Since(validateStart).Seconds())
+	if detail != "" {
+		s.reject(r, ReasonMalformed, detail)
 		br.Record(false)
 		return nil
 	}
@@ -227,22 +319,22 @@ func (s *Service) Submit(r Report) error {
 	hw := s.highWater
 	s.mu.Unlock()
 	if dup {
-		s.quar.Add(r, ReasonDuplicate, fmt.Sprintf("seq %d already ingested", r.Seq))
+		s.reject(r, ReasonDuplicate, fmt.Sprintf("seq %d already ingested", r.Seq))
 		br.Record(false)
 		return nil
 	}
 	if hw > 0 && r.Stamp+s.cfg.MaxAge < hw {
-		s.quar.Add(r, ReasonStale, fmt.Sprintf("stamp %d older than %d-%d", r.Stamp, hw, s.cfg.MaxAge))
+		s.reject(r, ReasonStale, fmt.Sprintf("stamp %d older than %d-%d", r.Stamp, hw, s.cfg.MaxAge))
 		br.Record(false)
 		return nil
 	}
 	if hw > 0 && r.Stamp > hw+s.cfg.FutureSkew {
-		s.quar.Add(r, ReasonStale, fmt.Sprintf("stamp %d future-dated beyond %d+%d", r.Stamp, hw, s.cfg.FutureSkew))
+		s.reject(r, ReasonStale, fmt.Sprintf("stamp %d future-dated beyond %d+%d", r.Stamp, hw, s.cfg.FutureSkew))
 		br.Record(false)
 		return nil
 	}
 	if !s.pool.trySubmit(r) {
-		s.quar.count(ReasonOverload)
+		s.rejectCount(r, ReasonOverload)
 	}
 	return nil
 }
@@ -254,8 +346,11 @@ func (s *Service) process(r Report) {
 	br := s.breaker(r.Source)
 	if s.cfg.ByzantineResidual > 0 {
 		if frozen := s.store.Frozen(); frozen != nil {
-			if res := reportResidual(frozen, r.Observations, s.cfg.ByzantineResidual); res >= s.cfg.ByzantineResidual {
-				s.quar.Add(r, ReasonByzantine, fmt.Sprintf("median residual %.1f m >= %.1f", res, s.cfg.ByzantineResidual))
+			screenStart := time.Now()
+			res := reportResidual(frozen, r.Observations, s.cfg.ByzantineResidual)
+			s.om.stage.With("screen").Observe(time.Since(screenStart).Seconds())
+			if res >= s.cfg.ByzantineResidual {
+				s.reject(r, ReasonByzantine, fmt.Sprintf("median residual %.1f m >= %.1f", res, s.cfg.ByzantineResidual))
 				br.Record(false)
 				return
 			}
@@ -279,11 +374,14 @@ func (s *Service) apply(r Report) {
 		radius = 3
 	}
 	view := r.Bounds().Expand(radius)
+	fuseStart := time.Now()
 	s.fuser.Observe(r.Observations, view, r.Stamp)
+	s.om.stage.With("fuse").Observe(time.Since(fuseStart).Seconds())
 	if r.Stamp > s.highWater {
 		s.highWater = r.Stamp
 	}
 	s.accepted.Add(1)
+	s.om.accepted.Inc()
 	s.sinceCommit++
 	if s.sinceCommit >= s.cfg.CommitEvery {
 		s.commitLocked("auto batch")
@@ -292,7 +390,7 @@ func (s *Service) apply(r Report) {
 
 // onPanic quarantines a report whose pipeline stage panicked.
 func (s *Service) onPanic(r Report, v any) {
-	s.quar.Add(r, ReasonPanic, fmt.Sprintf("pipeline stage panicked: %v", v))
+	s.reject(r, ReasonPanic, fmt.Sprintf("pipeline stage panicked: %v", v))
 	s.breaker(r.Source).Record(false)
 }
 
@@ -302,15 +400,22 @@ func (s *Service) onPanic(r Report, v any) {
 // Callers hold s.mu.
 func (s *Service) commitLocked(note string) error {
 	s.sinceCommit = 0
+	commitStart := time.Now()
 	v, err := s.store.Commit(s.working, note)
+	s.om.stage.With("commit").Observe(time.Since(commitStart).Seconds())
 	if err != nil {
 		s.rejected.Add(1)
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "commit rejected",
+			slog.String("note", note), slog.String("error", err.Error()))
 		if rerr := s.resetWorking(); rerr != nil {
 			return errors.Join(err, rerr)
 		}
 		return err
 	}
 	s.commits.Add(1)
+	s.om.commits.Inc()
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "version committed",
+		slog.Int("seq", v.Seq), slog.String("note", note))
 	s.publishCurrent(v)
 	return nil
 }
@@ -325,11 +430,18 @@ func (s *Service) publishCurrent(v Version) {
 	if frozen == nil {
 		return
 	}
-	if _, _, err := p.Tiler.SyncMap(p.Store, frozen, p.Layer); err != nil {
+	publishStart := time.Now()
+	_, _, err := p.Tiler.SyncMap(p.Store, frozen, p.Layer)
+	s.om.stage.With("publish").Observe(time.Since(publishStart).Seconds())
+	if err != nil {
 		s.pubErrs.Add(1)
+		s.om.publishErrs.Inc()
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "publish failed",
+			slog.Int("seq", v.Seq), slog.String("error", err.Error()))
 		return
 	}
 	s.published.Add(1)
+	s.om.published.Inc()
 }
 
 // Commit flushes the working map into a new version immediately,
@@ -351,6 +463,9 @@ func (s *Service) Rollback(n int) (Version, error) {
 		return v, err
 	}
 	s.rollbacks.Add(1)
+	s.om.rollbacks.Inc()
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "rolled back",
+		slog.Int("steps", n), slog.Int("seq", v.Seq))
 	if err := s.resetWorking(); err != nil {
 		return v, err
 	}
@@ -409,5 +524,9 @@ func (s *Service) Metrics() Metrics {
 		}
 	}
 	s.brMu.Unlock()
+	// The breaker gauge is sampled here rather than maintained on every
+	// Record: walking the breaker map is O(sources) and belongs on the
+	// scrape path, not the ingest hot path.
+	s.om.breakerOpen.Set(int64(len(m.OpenBreakers)))
 	return m
 }

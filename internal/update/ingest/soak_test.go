@@ -11,6 +11,7 @@ import (
 	"hdmaps/internal/chaos"
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/storage"
 	"hdmaps/internal/update/incremental"
 	"hdmaps/internal/update/ingest"
@@ -63,7 +64,11 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	tiles := storage.NewMemStore()
+	// Shared by the service and the report injector: /metricz-style
+	// registry reads are checked against both Stats views below.
+	reg := obs.NewRegistry()
 	svc, err := ingest.NewService(vs, ingest.Config{
+		Metrics: reg,
 		Workers: 4,
 		// Deep enough that no report is ever shed as overload — the
 		// category accounting below must stay exact.
@@ -97,6 +102,7 @@ func TestChaosSoak(t *testing.T) {
 	waitForSoak(t, func() bool { return svc.Metrics().Accepted >= 1 })
 
 	inj := chaos.NewReportInjector(chaos.ReportChaosConfig{
+		Metrics:       reg,
 		Seed:          7,
 		MalformProb:   0.08,
 		ByzantineProb: 0.08,
@@ -185,6 +191,46 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if m.Commits < 2 {
 		t.Fatalf("commits = %d, want several over the soak", m.Commits)
+	}
+
+	// Telemetry invariants: the shared registry must agree with both the
+	// service's Metrics() and the injector's Stats() — same atomic cells,
+	// two views.
+	ms := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"ingest.report.submitted":  m.Submitted,
+		"ingest.report.accepted":   m.Accepted,
+		"ingest.version.commits":   m.Commits,
+		"chaos.reports.malformed":  stats.Malformed,
+		"chaos.reports.byzantine":  stats.Byzantine,
+		"chaos.reports.duplicates": stats.Duplicates,
+		"chaos.reports.stale":      stats.Stale,
+	} {
+		if got := ms.Counters[name]; got != want {
+			t.Errorf("registry %s = %d, want %d", name, got, want)
+		}
+	}
+	var quarTotal uint64
+	for _, reason := range []ingest.Reason{
+		ingest.ReasonMalformed, ingest.ReasonStale, ingest.ReasonDuplicate,
+		ingest.ReasonByzantine, ingest.ReasonShed, ingest.ReasonOverload,
+		ingest.ReasonPanic,
+	} {
+		got := ms.Counters["ingest.quarantine.reason."+string(reason)]
+		if want := q[reason]; got != want {
+			t.Errorf("registry quarantine %s = %d, Metrics() says %d", reason, got, want)
+		}
+		quarTotal += got
+	}
+	if quarTotal != m.QuarantineTotal {
+		t.Errorf("registry quarantine total = %d, Metrics() says %d", quarTotal, m.QuarantineTotal)
+	}
+	// Every accepted report rode through the fusion stage exactly once.
+	if fuse := ms.Histograms["ingest.stage.duration_seconds.fuse"]; fuse.Count != m.Accepted {
+		t.Errorf("fuse stage observations = %d, accepted = %d", fuse.Count, m.Accepted)
+	}
+	if validate := ms.Histograms["ingest.stage.duration_seconds.validate"]; validate.Count == 0 {
+		t.Error("validate stage never observed")
 	}
 
 	// Every committed version — not just the last — validates clean.
