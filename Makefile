@@ -63,6 +63,7 @@ loadtest:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=$(FUZZTIME) ./internal/storage
 	$(GO) test -run='^$$' -fuzz=FuzzTrainBoost -fuzztime=$(FUZZTIME) ./internal/update/crowdupdate
+	$(GO) test -run='^$$' -fuzz=FuzzSanitizeTraceID -fuzztime=$(FUZZTIME) ./internal/obs
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=5m ./internal/storage

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,8 +36,10 @@ func serveFlags(fs *flag.FlagSet) func() resilience.Config {
 	rate := fs.Float64("rate", 0, "per-client sustained requests/s (0 = unlimited)")
 	burst := fs.Int("burst", 0, "per-client burst allowance (0 = ceil(rate))")
 	cache := fs.Int("cache", 1024, "hot-tile response cache size (-1 disables)")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "tail-sampling bar: requests slower than this (or shed/errored) keep their span tree on /tracez (0 disables tracing)")
+	traceRing := fs.Int("trace-ring", 64, "flight-recorder capacity: the last N sampled traces are kept for /tracez")
 	return func() resilience.Config {
-		return resilience.Config{
+		cfg := resilience.Config{
 			MaxConcurrent:  *maxConcurrent,
 			MaxWait:        *maxWait,
 			RequestTimeout: *reqTimeout,
@@ -45,6 +48,14 @@ func serveFlags(fs *flag.FlagSet) func() resilience.Config {
 			RateBurst:      *burst,
 			CacheSize:      *cache,
 		}
+		if *traceSlow > 0 {
+			cfg.Tracer = obs.NewTracer(obs.TracerConfig{
+				SlowThreshold: *traceSlow,
+				Capacity:      *traceRing,
+				Metrics:       obs.Default(),
+			})
+		}
+		return cfg
 	}
 }
 
@@ -72,7 +83,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	handler := resilience.NewHandler(storage.NewTileServer(store), rcfg)
 	if *pprofAddr != "" {
-		if err := startDebugServer(*pprofAddr, handler.Metrics()); err != nil {
+		if err := startDebugServer(*pprofAddr, handler.Metrics(), rcfg.Tracer); err != nil {
 			return err
 		}
 	}
@@ -80,7 +91,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving tiles from %s on %s (/healthz /readyz /statz /metricz)\n", *dir, ln.Addr())
+	fmt.Printf("serving tiles from %s on %s (/healthz /readyz /statz /metricz /tracez)\n", *dir, ln.Addr())
 	return runServe(ctx, ln, handler, *drain)
 }
 
@@ -103,10 +114,10 @@ func serveLogger(level string) (*slog.Logger, error) {
 	}
 }
 
-// startDebugServer exposes pprof, expvar, and /metricz on a separate
-// listener, so profiling endpoints never share a port (or the overload
-// pipeline's admission policy) with map traffic.
-func startDebugServer(addr string, reg *obs.Registry) error {
+// startDebugServer exposes pprof, expvar, /metricz, and /tracez on a
+// separate listener, so profiling endpoints never share a port (or the
+// overload pipeline's admission policy) with map traffic.
+func startDebugServer(addr string, reg *obs.Registry, tracer *obs.Tracer) error {
 	reg.PublishExpvar("hdmaps")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -115,6 +126,7 @@ func startDebugServer(addr string, reg *obs.Registry) error {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metricz", obs.MetricsHandler(reg))
+	mux.Handle("/tracez", obs.TracezHandler(tracer))
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		// expvar's handler is package-private; re-serve its default mux
 		// entry by delegating to the default ServeMux where expvar
@@ -126,7 +138,7 @@ func startDebugServer(addr string, reg *obs.Registry) error {
 	if err != nil {
 		return fmt.Errorf("pprof listener: %w", err)
 	}
-	fmt.Printf("debug server on http://%s (/debug/pprof /metricz)\n", ln.Addr())
+	fmt.Printf("debug server on http://%s (/debug/pprof /metricz /tracez)\n", ln.Addr())
 	go func() { _ = http.Serve(ln, mux) }()
 	return nil
 }
@@ -251,7 +263,68 @@ func cmdLoadtest(ctx context.Context, args []string) error {
 		return fmt.Errorf("statz: %w", err)
 	}
 	fmt.Printf("server /statz: %s", snap)
+	printSlowTraces(target)
 	return nil
+}
+
+// printSlowTraces surfaces the slowest sampled requests of a drill: the
+// latency histogram's bucket exemplars carry the trace IDs tail
+// sampling kept, so the summary can point straight at the span
+// waterfalls of the worst requests. Best-effort — a target without
+// /metricz (or without a tracer) just prints nothing.
+func printSlowTraces(target string) {
+	resp, err := http.Get(target + "/metricz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return
+	}
+	// Keep each trace's worst observed value: the same trace can be the
+	// exemplar of several series (e.g. first as 2xx, later shed).
+	worst := map[string]float64{}
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "resilience.http.latency_seconds.") {
+			continue
+		}
+		exs := make([]*obs.Exemplar, 0, len(h.Buckets)+1)
+		for _, b := range h.Buckets {
+			exs = append(exs, b.Exemplar)
+		}
+		exs = append(exs, h.OverflowExemplar)
+		for _, ex := range exs {
+			if ex == nil || ex.TraceID == "" {
+				continue
+			}
+			if v, ok := worst[ex.TraceID]; !ok || ex.Value > v {
+				worst[ex.TraceID] = ex.Value
+			}
+		}
+	}
+	if len(worst) == 0 {
+		return
+	}
+	type slow struct {
+		id  string
+		val float64
+	}
+	top := make([]slow, 0, len(worst))
+	for id, v := range worst {
+		top = append(top, slow{id, v})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].val > top[j].val })
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Println("slowest sampled requests (latency exemplars; waterfall at /tracez?trace=<id>&format=text):")
+	for _, s := range top {
+		fmt.Printf("  %9.1f ms  %s\n", s.val*1000, s.id)
+	}
 }
 
 // getTileList pulls a layer's tile index.

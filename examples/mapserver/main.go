@@ -55,11 +55,21 @@ func main() {
 	// the chaos injector, and the vehicle client all report into it, and
 	// the wrap-up reads it back the way an operator would read /metricz.
 	reg := obs.NewRegistry()
+	// Tail-sampled tracing rides the same registry: requests slower than
+	// the bar — or failed/shed ones, which the chaos link guarantees —
+	// keep their whole span tree in the flight recorder (/tracez on a
+	// live server); everything else is dropped for near-zero overhead.
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: 25 * time.Millisecond,
+		Capacity:      16,
+		Metrics:       reg,
+	})
 	guard := resilience.NewHandler(storage.NewTileServer(store), resilience.Config{
 		MaxConcurrent: 16,
 		MaxWait:       10 * time.Millisecond,
 		RetryAfter:    250 * time.Millisecond,
 		Metrics:       reg,
+		Tracer:        tracer,
 	})
 	srv := httptest.NewServer(guard)
 	defer srv.Close()
@@ -88,6 +98,7 @@ func main() {
 		Retry:   storage.RetryPolicy{MaxAttempts: 8},
 		Cache:   cache,
 		Metrics: reg,
+		Tracer:  tracer,
 	}
 	region, health, err := client.FetchRegion(ctx, "base", 0, 0, 2, 2, "onboard")
 	if err != nil {
@@ -221,5 +232,17 @@ func main() {
 		served, ms.Counters["storage.client.retries"],
 		ms.Counters["storage.client.integrity_failures"],
 		ms.Counters["chaos.inject.corruptions"])
+
+	// The trace-level view: tail sampling kept the slow and errored
+	// exchanges (the flaky cellular link guarantees some), dropped the
+	// rest. Render the newest sampled trace the way
+	// /tracez?trace=<id>&format=text would — client attempts and server
+	// stages merged into one waterfall.
+	tzs := tracer.TracezSnap()
+	fmt.Printf("tracing: sampled=%d dropped=%d flight-recorder=%d\n",
+		tzs.Sampled, tzs.Dropped, len(tzs.Traces))
+	if len(tzs.Traces) > 0 {
+		fmt.Print(obs.RenderWaterfall(tracer.TraceByID(tzs.Traces[0].TraceID)))
+	}
 	_ = core.NilID
 }

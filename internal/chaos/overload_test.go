@@ -66,6 +66,41 @@ func metricz(t *testing.T, base string) obs.RegistrySnapshot {
 	return snap
 }
 
+// tracez fetches and decodes the handler's /tracez snapshot.
+func tracez(t *testing.T, base string) obs.TracezSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.TracezSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// dumpTracez writes the tracer's final flight-recorder contents to the
+// file named by TRACEZ_DUMP when the test failed — the hook CI uses to
+// upload a post-mortem artifact.
+func dumpTracez(t *testing.T, tracer *obs.Tracer) {
+	path := os.Getenv("TRACEZ_DUMP")
+	if path == "" || !t.Failed() {
+		return
+	}
+	data, err := json.MarshalIndent(tracer.TracezSnap(), "", "  ")
+	if err != nil {
+		t.Logf("tracez dump failed: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Logf("tracez dump failed: %v", err)
+		return
+	}
+	t.Logf("tracez dump written to %s", path)
+}
+
 // statz fetches and decodes the handler's /statz snapshot.
 func statz(t *testing.T, base string) resilience.StatsSnapshot {
 	t.Helper()
@@ -119,6 +154,18 @@ func TestOverloadSoak(t *testing.T) {
 		ErrorProb: 0.01,
 		Metrics:   reg,
 	})
+	// The tracer rides the stampede with deliberately tiny caps so the
+	// bounded-memory claim is exercised under real load; shed and
+	// errored requests tail-sample, so the flight recorder must end the
+	// soak non-empty but never over its caps.
+	const traceCap, spanCap = 8, 24
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: 10 * time.Millisecond,
+		Capacity:      traceCap,
+		MaxSpans:      spanCap,
+		Metrics:       reg,
+	})
+	defer dumpTracez(t, tracer)
 	handler := resilience.NewHandler(storage.NewTileServer(injector.Store(mem)), resilience.Config{
 		MaxConcurrent:  8,
 		MaxWait:        2 * time.Millisecond,
@@ -128,6 +175,7 @@ func TestOverloadSoak(t *testing.T) {
 		RateBurst:      5,
 		CacheSize:      64,
 		Metrics:        reg,
+		Tracer:         tracer,
 	})
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
@@ -229,6 +277,61 @@ func TestOverloadSoak(t *testing.T) {
 	if ist.Latencies+ist.Errors+ist.Passthroughs == 0 {
 		t.Error("chaos injector saw no store traffic — the soak exercised nothing")
 	}
+	// Tracing invariants under load: every request was traced (sampled +
+	// dropped close against submitted), the flight recorder never grew
+	// past its construction-time caps, shed/errored traffic guarantees
+	// tail sampling kept something, and a /metricz latency exemplar
+	// resolves to its span tree on /tracez.
+	tz := tracez(t, srv.URL)
+	if tz.Sampled+tz.Dropped != snap.Submitted {
+		t.Errorf("trace accounting: sampled %d + dropped %d != submitted %d",
+			tz.Sampled, tz.Dropped, snap.Submitted)
+	}
+	if tz.Sampled == 0 {
+		t.Error("tail sampling kept nothing from an overloaded soak")
+	}
+	if len(tz.Traces) > traceCap {
+		t.Errorf("flight recorder holds %d traces, cap is %d", len(tz.Traces), traceCap)
+	}
+	for _, ts := range tz.Traces {
+		if len(ts.Spans) > spanCap {
+			t.Errorf("trace %s exported %d spans, cap is %d", ts.TraceID, len(ts.Spans), spanCap)
+		}
+	}
+	var exemplarIDs []string
+	for name, h := range ms.Histograms {
+		if !strings.HasPrefix(name, "resilience.http.latency_seconds.") {
+			continue
+		}
+		for _, b := range h.Buckets {
+			if b.Exemplar != nil {
+				exemplarIDs = append(exemplarIDs, b.Exemplar.TraceID)
+			}
+		}
+		if h.OverflowExemplar != nil {
+			exemplarIDs = append(exemplarIDs, h.OverflowExemplar.TraceID)
+		}
+	}
+	if len(exemplarIDs) == 0 {
+		t.Error("no latency bucket recorded an exemplar despite sampled traces")
+	}
+	resolved := false
+	for _, id := range exemplarIDs {
+		resp, err := http.Get(srv.URL + "/tracez?trace=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			resolved = true
+			break
+		}
+	}
+	if !resolved && len(exemplarIDs) > 0 {
+		t.Errorf("none of %d exemplar trace IDs resolved on /tracez", len(exemplarIDs))
+	}
+	t.Logf("tracez: sampled=%d dropped=%d recorder=%d exemplars=%d",
+		tz.Sampled, tz.Dropped, len(tz.Traces), len(exemplarIDs))
 	t.Logf("soak: submitted=%d ok=%d shed=%d (rate-limited=%d) errored=%d store-reads=%d cache-hits=%d coalesced=%d",
 		res.Submitted, res.OK, res.Shed, snap.RateLimited, res.Errored, gets, snap.CacheHits, snap.Coalesced)
 }

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"net/http"
+	"sort"
 	"sync"
 )
 
@@ -36,6 +38,58 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		s.Histograms[name] = h.Snapshot()
 	}
 	return s
+}
+
+// MarshalJSON renders the snapshot with every metric family and series
+// key in sorted order, so two scrapes of an idle server are
+// byte-identical and diffable. The guarantee is explicit here rather
+// than inherited from encoding/json's map behaviour, so tooling can
+// rely on it even if the maps are ever replaced by a faster container.
+func (s RegistrySnapshot) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	b.WriteString(`"counters":`)
+	if err := marshalSorted(&b, s.Counters); err != nil {
+		return nil, err
+	}
+	b.WriteString(`,"gauges":`)
+	if err := marshalSorted(&b, s.Gauges); err != nil {
+		return nil, err
+	}
+	b.WriteString(`,"histograms":`)
+	if err := marshalSorted(&b, s.Histograms); err != nil {
+		return nil, err
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// marshalSorted writes m as a JSON object with keys in ascending order.
+func marshalSorted[V any](b *bytes.Buffer, m map[string]V) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return err
+		}
+		b.Write(vb)
+	}
+	b.WriteByte('}')
+	return nil
 }
 
 // MetricsHandler serves the registry as JSON — mount it at /metricz.

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestMetriczDeterministic pins the satellite guarantee: two scrapes of
+// an idle registry are byte-identical, and every object in the payload
+// has its keys in sorted order, so scrapes can be diffed textually.
+func TestMetriczDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	// Populate in deliberately unsorted order.
+	reg.Counter("zeta.last.counter").Add(3)
+	reg.Counter("alpha.first.counter").Inc()
+	reg.Gauge("mid.level.gauge").Set(-7)
+	reg.Histogram("b.lat.seconds", nil).Observe(0.004)
+	reg.Histogram("a.lat.seconds", []float64{0.1, 1}).ObserveWithExemplar(0.05, "trace-ex")
+	vec := reg.CounterVec("vec.family.total", []string{"b", "a"})
+	vec.With("a").Inc()
+	vec.With("b").Inc()
+
+	h := MetricsHandler(reg)
+	scrape := func() []byte {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metricz", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		return rec.Body.Bytes()
+	}
+	first, second := scrape(), scrape()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("idle scrapes differ:\n%s\n%s", first, second)
+	}
+
+	// The three metric-family sections must list their series keys in
+	// ascending order. Each section's raw bytes are tokenized; nested
+	// values are skipped by decoding them into a RawMessage.
+	if !bytes.HasPrefix(first, []byte(`{"counters":`)) {
+		t.Fatalf("sections out of order: %.40s", first)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(first, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		dec := json.NewDecoder(bytes.NewReader(top[section]))
+		if _, err := dec.Token(); err != nil { // opening '{'
+			t.Fatalf("%s: %v", section, err)
+		}
+		prev := ""
+		n := 0
+		for dec.More() {
+			tok, err := dec.Token()
+			if err != nil {
+				t.Fatalf("%s: %v", section, err)
+			}
+			key := tok.(string)
+			if n > 0 && prev >= key {
+				t.Fatalf("%s keys out of order: %q then %q", section, prev, key)
+			}
+			prev = key
+			n++
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				t.Fatalf("%s: %v", section, err)
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s section unexpectedly empty", section)
+		}
+	}
+
+	// The round trip must still decode into the snapshot shape.
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(first, &snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Counters["alpha.first.counter"] != 1 || snap.Counters["zeta.last.counter"] != 3 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["mid.level.gauge"] != -7 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	hs, ok := snap.Histograms["a.lat.seconds"]
+	if !ok || hs.Count != 1 {
+		t.Fatalf("histograms = %v", snap.Histograms)
+	}
+	var ex *Exemplar
+	for _, b := range hs.Buckets {
+		if b.Exemplar != nil {
+			ex = b.Exemplar
+		}
+	}
+	if ex == nil || ex.TraceID != "trace-ex" {
+		t.Fatalf("exemplar did not survive the round trip: %+v", ex)
+	}
+}

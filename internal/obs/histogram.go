@@ -30,6 +30,19 @@ type Histogram struct {
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
 	max    atomic.Uint64 // float64 bits, CAS-updated
+	// exemplars holds, per bucket (last is overflow), the most recent
+	// sampled trace that landed there — the link from a latency bucket
+	// on /metricz to its span tree on /tracez. Written only by
+	// ObserveWithExemplar with a non-empty trace ID, i.e. only on the
+	// rare sampled path; plain Observe never touches it.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one concrete observation to the sampled trace that
+// produced it.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // NewHistogram creates a standalone histogram (not registered
@@ -52,13 +65,26 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	cp := make([]float64, len(bounds))
 	copy(cp, bounds)
-	return &Histogram{bounds: cp, counts: make([]atomic.Uint64, len(cp)+1)}
+	return &Histogram{
+		bounds:    cp,
+		counts:    make([]atomic.Uint64, len(cp)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(cp)+1),
+	}
 }
 
 // Observe records one value. NaN and negative values clamp to zero;
 // +Inf clamps to the top bound for the sum/max and is counted in the
 // overflow bucket, so the sum always stays finite and JSON-exportable.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveWithExemplar(v, "")
+}
+
+// ObserveWithExemplar records one value like Observe and, when traceID
+// is non-empty, remembers (traceID, v) as the owning bucket's exemplar.
+// Callers pass the trace ID only for tail-sampled requests (see
+// Span.SampledTraceID), so the empty-ID hot path stays lock-free and
+// allocation-free and every published exemplar resolves on /tracez.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
 	if v != v || v < 0 { // NaN or negative
 		v = 0
 	}
@@ -80,6 +106,9 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 	addFloat(&h.sum, v)
 	maxFloat(&h.max, v)
+	if traceID != "" {
+		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
 }
 
 // ObserveSince records the elapsed time since start, in seconds.
@@ -119,6 +148,9 @@ type BucketCount struct {
 	UpperBound float64 `json:"le"`
 	// Count is the number of observations in (previous bound, le].
 	Count uint64 `json:"count"`
+	// Exemplar, when present, is the most recent tail-sampled
+	// observation in this bucket; its trace ID resolves on /tracez.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time read of a histogram, with
@@ -131,9 +163,11 @@ type HistogramSnapshot struct {
 	Max      float64       `json:"max"`
 	Buckets  []BucketCount `json:"buckets"`
 	Overflow uint64        `json:"overflow"`
-	P50      float64       `json:"p50"`
-	P95      float64       `json:"p95"`
-	P99      float64       `json:"p99"`
+	// OverflowExemplar is the exemplar of the overflow bucket, if any.
+	OverflowExemplar *Exemplar `json:"overflow_exemplar,omitempty"`
+	P50              float64   `json:"p50"`
+	P95              float64   `json:"p95"`
+	P99              float64   `json:"p99"`
 }
 
 // Snapshot reads the histogram. Individual cells are atomic; the
@@ -151,9 +185,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Buckets: make([]BucketCount, len(h.bounds)),
 	}
 	for i, b := range h.bounds {
-		s.Buckets[i] = BucketCount{UpperBound: b, Count: h.counts[i].Load()}
+		s.Buckets[i] = BucketCount{
+			UpperBound: b,
+			Count:      h.counts[i].Load(),
+			Exemplar:   h.exemplars[i].Load(),
+		}
 	}
 	s.Overflow = h.counts[len(h.bounds)].Load()
+	s.OverflowExemplar = h.exemplars[len(h.bounds)].Load()
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)
 	s.P99 = s.Quantile(0.99)

@@ -25,9 +25,9 @@ func TestHistogramZeroObservations(t *testing.T) {
 
 func TestHistogramOutOfRangeClampsToOverflow(t *testing.T) {
 	h := NewHistogram([]float64{1, 2, 4})
-	h.Observe(100)           // beyond top bound
-	h.Observe(math.Inf(1))   // +Inf
-	h.Observe(4.0000001)     // just past the top bound
+	h.Observe(100)         // beyond top bound
+	h.Observe(math.Inf(1)) // +Inf
+	h.Observe(4.0000001)   // just past the top bound
 	s := h.Snapshot()
 	if s.Overflow != 3 {
 		t.Fatalf("overflow = %d, want 3", s.Overflow)
@@ -155,4 +155,141 @@ func TestHistogramBadBoundsPanic(t *testing.T) {
 			NewHistogram(bounds)
 		}()
 	}
+}
+
+// TestHistogramBucketBoundaryClamping pins the inclusive-upper-bound
+// rule: an observation landing exactly on a bucket's upper bound is
+// counted in that bucket (v <= le), never the next one — so scrape
+// diffs are deterministic for boundary-valued workloads (timeouts,
+// quantized sleeps) and never split across buckets between runs.
+func TestHistogramBucketBoundaryClamping(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	cases := []struct {
+		name   string
+		value  float64
+		bucket int // index into bounds; len(bounds) means overflow
+	}{
+		{"exactly first bound", 0.001, 0},
+		{"just under first bound", 0.0009999, 0},
+		{"just over first bound", 0.0010001, 1},
+		{"exactly middle bound", 0.01, 1},
+		{"exactly penultimate bound", 0.1, 2},
+		{"exactly top bound", 1, 3},
+		{"just over top bound", 1.0000001, 4},
+		{"zero", 0, 0},
+		{"negative clamps to first", -5, 0},
+		{"NaN clamps to first", math.NaN(), 0},
+		{"+Inf counts as overflow", math.Inf(1), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			h.Observe(tc.value)
+			s := h.Snapshot()
+			for i, b := range s.Buckets {
+				want := uint64(0)
+				if i == tc.bucket {
+					want = 1
+				}
+				if b.Count != want {
+					t.Fatalf("bucket %d (le=%g) count = %d, want %d", i, b.UpperBound, b.Count, want)
+				}
+			}
+			wantOv := uint64(0)
+			if tc.bucket == len(bounds) {
+				wantOv = 1
+			}
+			if s.Overflow != wantOv {
+				t.Fatalf("overflow = %d, want %d", s.Overflow, wantOv)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileExtremes is the table-driven regression for
+// interpolated p50/p95/p99 at distribution extremes: everything in one
+// bucket, everything on one boundary, everything in overflow, and a
+// two-point bimodal split. Expected values follow the published rule —
+// linear interpolation from the bucket's lower bound, overflow returns
+// Max.
+func TestHistogramQuantileExtremes(t *testing.T) {
+	bounds := []float64{0.1, 1, 10}
+	interp := func(lower, upper, rank, cumBefore, inBucket float64) float64 {
+		return lower + (rank-cumBefore)/inBucket*(upper-lower)
+	}
+	cases := []struct {
+		name          string
+		values        []float64
+		p50, p95, p99 float64
+	}{
+		{
+			// 100 observations exactly on the first upper bound: all in
+			// bucket 0, quantiles interpolate inside [0, 0.1].
+			name:   "all on first bound",
+			values: repeat(0.1, 100),
+			p50:    interp(0, 0.1, 50, 0, 100),
+			p95:    interp(0, 0.1, 95, 0, 100),
+			p99:    interp(0, 0.1, 99, 0, 100),
+		},
+		{
+			// 100 observations exactly on the top bound: all in the last
+			// finite bucket, interpolating inside [1, 10].
+			name:   "all on top bound",
+			values: repeat(10, 100),
+			p50:    interp(1, 10, 50, 0, 100),
+			p95:    interp(1, 10, 95, 0, 100),
+			p99:    interp(1, 10, 99, 0, 100),
+		},
+		{
+			// Everything beyond the top bound: quantiles land in the
+			// overflow bucket and return the clamped Max.
+			name:   "all overflow",
+			values: repeat(50, 10),
+			p50:    50, p95: 50, p99: 50,
+		},
+		{
+			// Single observation: every quantile interpolates within its
+			// owning bucket (rank q*1 in a 1-count bucket).
+			name:   "single observation",
+			values: []float64{0.05},
+			p50:    interp(0, 0.1, 0.5, 0, 1),
+			p95:    interp(0, 0.1, 0.95, 0, 1),
+			p99:    interp(0, 0.1, 0.99, 0, 1),
+		},
+		{
+			// Bimodal 90/10 split: p50 stays in the fast bucket, p95 and
+			// p99 interpolate inside the slow one.
+			name:   "bimodal",
+			values: append(repeat(0.05, 90), repeat(5, 10)...),
+			p50:    interp(0, 0.1, 50, 0, 90),
+			p95:    interp(1, 10, 95, 90, 10),
+			p99:    interp(1, 10, 99, 90, 10),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			for _, v := range tc.values {
+				h.Observe(v)
+			}
+			s := h.Snapshot()
+			checks := []struct {
+				label     string
+				got, want float64
+			}{{"p50", s.P50, tc.p50}, {"p95", s.P95, tc.p95}, {"p99", s.P99, tc.p99}}
+			for _, c := range checks {
+				if math.Abs(c.got-c.want) > 1e-12 {
+					t.Errorf("%s = %v, want %v", c.label, c.got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
 }

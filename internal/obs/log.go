@@ -24,6 +24,8 @@ func (h *traceHandler) Handle(ctx context.Context, rec slog.Record) error {
 	}
 	if id := SpanID(ctx); id != "" {
 		rec.AddAttrs(slog.String("span_id", id))
+	} else if sp := SpanFromContext(ctx); sp != nil {
+		rec.AddAttrs(slog.String("span_id", sp.IDHex()))
 	}
 	return h.inner.Handle(ctx, rec)
 }

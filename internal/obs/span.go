@@ -1,0 +1,493 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// SpanHeader carries the caller's current span ID over the wire so the
+// server-side root span of the same trace can parent under the exact
+// client attempt that issued the request. Like TraceHeader it is
+// advisory: receivers sanitize it and drop anything suspicious.
+const SpanHeader = "X-Span-Id"
+
+// Span lifecycle states. The per-slot state machine is what makes
+// tail-sampling export safe against detached spans (a coalescing
+// leader's store read can outlive the request's root span): the
+// exporter reads identity fields once a slot is at least spanStarted
+// and timing/attribute fields only once it is spanDone, each published
+// by an atomic store.
+const (
+	spanFree uint32 = iota
+	spanStarted
+	spanEnding
+	spanDone
+)
+
+// TracerConfig configures a Tracer. The zero value is usable: defaults
+// below fill in.
+type TracerConfig struct {
+	// SlowThreshold is the tail-sampling latency bar: a trace whose
+	// root span runs at least this long is kept even if nothing
+	// errored. Default 250ms.
+	SlowThreshold time.Duration
+	// Capacity is the flight-recorder ring size — the last N sampled
+	// traces kept for post-hoc debugging. Default 64.
+	Capacity int
+	// MaxSpans caps spans buffered per trace; starts past the cap are
+	// dropped and counted, so per-trace memory is fixed at
+	// construction. Default 64.
+	MaxSpans int
+	// Metrics, when set, registers obs.trace.{sampled,dropped,
+	// span_overflow} counters on the registry so sampling behaviour is
+	// visible on /metricz. Nil keeps the counters tracer-private.
+	Metrics *Registry
+}
+
+// Tracer is a lock-cheap in-process span collector with tail-based
+// sampling: every span of an active trace is buffered in a
+// pre-allocated per-trace slot array, and the keep/drop decision is
+// made once, when the root span ends — keep the full tree when the
+// request was slow, errored, or force-sampled (shed), drop it
+// otherwise. The not-sampled fast path does no locking and at most one
+// allocation per span (the context carrying it); see
+// BenchmarkSpanOverhead.
+//
+// All methods are safe on a nil *Tracer (they no-op and return nil
+// spans, whose methods also no-op), so instrumented components take a
+// *Tracer and never guard call sites.
+type Tracer struct {
+	slow     time.Duration
+	maxSpans int
+	rec      flightRecorder
+	sampled  *Counter
+	dropped  *Counter
+	overflow *Counter
+}
+
+// NewTracer builds a Tracer from cfg, applying defaults for zero
+// fields.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 64
+	}
+	t := &Tracer{slow: cfg.SlowThreshold, maxSpans: cfg.MaxSpans}
+	t.rec.ring = make([]*TraceSnapshot, cfg.Capacity)
+	if cfg.Metrics != nil {
+		t.sampled = cfg.Metrics.Counter("obs.trace.sampled")
+		t.dropped = cfg.Metrics.Counter("obs.trace.dropped")
+		t.overflow = cfg.Metrics.Counter("obs.trace.span_overflow")
+	} else {
+		t.sampled, t.dropped, t.overflow = &Counter{}, &Counter{}, &Counter{}
+	}
+	return t
+}
+
+// SlowThreshold reports the tail-sampling latency bar.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+// MaxSpans reports the per-trace span cap.
+func (t *Tracer) MaxSpans() int {
+	if t == nil {
+		return 0
+	}
+	return t.maxSpans
+}
+
+// Capacity reports the flight-recorder ring size.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.rec.ring)
+}
+
+// TracerStats is a point-in-time read of sampling counters.
+type TracerStats struct {
+	Sampled      uint64 `json:"sampled"`
+	Dropped      uint64 `json:"dropped"`
+	SpanOverflow uint64 `json:"span_overflow"`
+}
+
+// Stats reads the sampling counters.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Sampled:      t.sampled.Value(),
+		Dropped:      t.dropped.Value(),
+		SpanOverflow: t.overflow.Value(),
+	}
+}
+
+// activeTrace buffers the spans of one in-flight trace. Slots are
+// claimed with an atomic counter; each span's fields are written only
+// by the goroutine that started it and read by the exporter under the
+// slot's state protocol, so the whole structure needs no mutex.
+type activeTrace struct {
+	tracer       *Tracer
+	id           string
+	remoteParent string // root's wire parent span ID, if any
+	start        time.Time
+	next         atomic.Int32
+	overflow     atomic.Uint32
+	errored      atomic.Bool
+	forced       atomic.Bool
+	finalized    atomic.Bool
+	kept         atomic.Bool
+	spans        []Span
+}
+
+// attrKV is one span attribute. Integer values are kept as int64 so
+// SetAttrInt costs no allocation on the hot path; export formats them.
+type attrKV struct {
+	k     string
+	v     string
+	i     int64
+	isInt bool
+}
+
+// maxSpanAttrs bounds attributes per span; sets past the cap are
+// dropped. Fixed array keeps the not-sampled path allocation-free.
+const maxSpanAttrs = 6
+
+// Span is one timed operation inside a trace. A Span is owned by the
+// goroutine that started it: Start*/SetAttr*/Fail/End must not be
+// called concurrently on the same span (concurrent siblings are fine).
+// All methods are nil-safe, so disabled tracing costs nothing beyond
+// the calls themselves.
+type Span struct {
+	tr     *activeTrace
+	id     uint64
+	parent uint64 // 0 marks the root span
+	name   string
+	start  time.Time
+	dur    time.Duration
+	attrs  [maxSpanAttrs]attrKV
+	nattrs int
+	errMsg string
+	state  atomic.Uint32
+}
+
+type activeSpanKey struct{}
+type remoteParentKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span; child
+// spans started from the returned context nest under it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, activeSpanKey{}, s)
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(activeSpanKey{}).(*Span)
+	return s
+}
+
+// WithRemoteParent returns ctx carrying a span ID received from the
+// wire (SpanHeader); the next root span started from the context
+// records it as its parent, linking the server-side tree under the
+// client attempt that issued the request.
+func WithRemoteParent(ctx context.Context, spanID string) context.Context {
+	if spanID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey{}, spanID)
+}
+
+// remoteParent returns the ctx's wire parent span ID, or "".
+func remoteParent(ctx context.Context) string {
+	id, _ := ctx.Value(remoteParentKey{}).(string)
+	return id
+}
+
+// randSpanID mints a non-zero span ID; zero is reserved as the "no
+// parent" marker.
+func randSpanID() uint64 {
+	idSource.Lock()
+	v := idSource.rng.Uint64()
+	for v == 0 {
+		v = idSource.rng.Uint64()
+	}
+	idSource.Unlock()
+	return v
+}
+
+// StartSpan starts a span named name. If ctx already carries an active
+// span the new one is its child in the same trace; otherwise a new
+// trace begins with this span as root, reusing the context's trace ID
+// (minting one if absent). The returned context carries the span;
+// returns (ctx, nil) when t is nil or the trace's span cap is hit.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if parent := SpanFromContext(ctx); parent != nil && parent.tr != nil && parent.tr.tracer == t {
+		s := parent.StartChild(name)
+		if s == nil {
+			return ctx, nil
+		}
+		return context.WithValue(ctx, activeSpanKey{}, s), s
+	}
+	id := TraceID(ctx)
+	if id == "" {
+		id = NewTraceID()
+		ctx = WithTraceID(ctx, id)
+	}
+	tr := &activeTrace{
+		tracer:       t,
+		id:           id,
+		remoteParent: remoteParent(ctx),
+		start:        time.Now(),
+		spans:        make([]Span, t.maxSpans),
+	}
+	tr.next.Store(1)
+	s := &tr.spans[0]
+	s.tr = tr
+	s.id = randSpanID()
+	s.name = name
+	s.start = tr.start
+	s.state.Store(spanStarted)
+	return context.WithValue(ctx, activeSpanKey{}, s), s
+}
+
+// StartChild starts a child span without touching the context — the
+// zero-allocation way to time a leaf stage. Returns nil (whose methods
+// no-op) when s is nil or the trace's span cap is hit.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || s.tr == nil {
+		return nil
+	}
+	tr := s.tr
+	idx := int(tr.next.Add(1)) - 1
+	if idx < 0 || idx >= len(tr.spans) {
+		tr.overflow.Add(1)
+		tr.tracer.overflow.Inc()
+		return nil
+	}
+	c := &tr.spans[idx]
+	c.tr = tr
+	c.id = randSpanID()
+	c.parent = s.id
+	c.name = name
+	c.start = time.Now()
+	c.state.Store(spanStarted)
+	return c
+}
+
+// SetAttr attaches a string attribute; silently dropped past the
+// per-span cap or after End.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.nattrs >= maxSpanAttrs || s.state.Load() != spanStarted {
+		return
+	}
+	s.attrs[s.nattrs] = attrKV{k: key, v: value}
+	s.nattrs++
+}
+
+// SetAttrInt attaches an integer attribute without allocating.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil || s.nattrs >= maxSpanAttrs || s.state.Load() != spanStarted {
+		return
+	}
+	s.attrs[s.nattrs] = attrKV{k: key, i: value, isInt: true}
+	s.nattrs++
+}
+
+// Fail records an error message on the span (first one wins) and marks
+// the whole trace errored, which forces tail sampling to keep it.
+func (s *Span) Fail(msg string) {
+	if s == nil {
+		return
+	}
+	if s.errMsg == "" && s.state.Load() == spanStarted {
+		s.errMsg = msg
+	}
+	if s.tr != nil {
+		s.tr.errored.Store(true)
+	}
+}
+
+// ForceSample marks the trace for keeping regardless of latency or
+// errors — shed requests use it so overload events are always
+// debuggable.
+func (s *Span) ForceSample() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.forced.Store(true)
+}
+
+// End finishes the span, measuring its duration from Start. Ending the
+// root span finalizes the trace (the tail-sampling decision). Safe to
+// call more than once; later calls no-op.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.EndWith(time.Since(s.start))
+}
+
+// EndWith finishes the span with an externally measured duration.
+// Instrumentation that already times a stage for a histogram passes
+// that exact duration here, so the span and the histogram observation
+// can never disagree. Returns d for convenient reuse.
+func (s *Span) EndWith(d time.Duration) time.Duration {
+	if s == nil {
+		return d
+	}
+	if d < 0 {
+		d = 0
+	}
+	if !s.state.CompareAndSwap(spanStarted, spanEnding) {
+		return d
+	}
+	s.dur = d
+	s.state.Store(spanDone)
+	if s.parent == 0 && s.tr != nil {
+		s.tr.finalize(s)
+	}
+	return d
+}
+
+// TraceID returns the span's trace ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil || s.tr == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+// IDHex returns the span ID as 16 hex chars — what goes on the wire in
+// SpanHeader. Allocates; call off the hot path.
+func (s *Span) IDHex() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", s.id)
+}
+
+// SampledTraceID returns the trace ID if the trace has finalized as
+// sampled, "" otherwise. Valid after the root span's End; it is what
+// exemplar writers use so only traces actually resolvable on /tracez
+// are referenced from histogram buckets.
+func (s *Span) SampledTraceID() string {
+	if s == nil || s.tr == nil || !s.tr.kept.Load() {
+		return ""
+	}
+	return s.tr.id
+}
+
+// Sampling reasons recorded on kept traces.
+const (
+	SampledSlow   = "slow"
+	SampledError  = "error"
+	SampledForced = "forced"
+)
+
+// finalize runs the tail-sampling decision when the root span ends.
+func (tr *activeTrace) finalize(root *Span) {
+	if tr.finalized.Swap(true) {
+		return
+	}
+	t := tr.tracer
+	reason := ""
+	switch {
+	case tr.errored.Load():
+		reason = SampledError
+	case tr.forced.Load():
+		reason = SampledForced
+	case root.dur >= t.slow:
+		reason = SampledSlow
+	}
+	if reason == "" {
+		t.dropped.Inc()
+		return
+	}
+	tr.kept.Store(true)
+	t.sampled.Inc()
+	t.rec.add(tr.snapshot(root, reason))
+}
+
+// snapshot copies the trace's ended spans (and the identity of any
+// still-running detached spans) into an immutable TraceSnapshot.
+func (tr *activeTrace) snapshot(root *Span, reason string) *TraceSnapshot {
+	n := int(tr.next.Load())
+	if n > len(tr.spans) {
+		n = len(tr.spans)
+	}
+	ts := &TraceSnapshot{
+		TraceID:      tr.id,
+		RootSpanID:   root.IDHex(),
+		RemoteParent: tr.remoteParent,
+		Reason:       reason,
+		DurationNS:   root.dur.Nanoseconds(),
+		SpansDropped: tr.overflow.Load(),
+		Spans:        make([]SpanSnapshot, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		s := &tr.spans[i]
+		switch s.state.Load() {
+		case spanDone:
+			ss := SpanSnapshot{
+				SpanID:        s.IDHex(),
+				Name:          s.name,
+				StartUnixNano: s.start.UnixNano(),
+				OffsetNS:      s.start.Sub(tr.start).Nanoseconds(),
+				DurationNS:    s.dur.Nanoseconds(),
+				Error:         s.errMsg,
+			}
+			if s.parent != 0 {
+				ss.ParentID = fmt.Sprintf("%016x", s.parent)
+			} else {
+				ss.ParentID = tr.remoteParent
+			}
+			if s.nattrs > 0 {
+				ss.Attrs = make(map[string]string, s.nattrs)
+				for _, a := range s.attrs[:s.nattrs] {
+					if a.isInt {
+						ss.Attrs[a.k] = strconv.FormatInt(a.i, 10)
+					} else {
+						ss.Attrs[a.k] = a.v
+					}
+				}
+			}
+			ts.Spans = append(ts.Spans, ss)
+		case spanStarted, spanEnding:
+			// Still running (a detached leader read outliving the
+			// request). Identity fields were published by the
+			// spanStarted store; timing and attributes are still being
+			// written, so only the former are exported.
+			ss := SpanSnapshot{
+				SpanID:        s.IDHex(),
+				Name:          s.name,
+				StartUnixNano: s.start.UnixNano(),
+				OffsetNS:      s.start.Sub(tr.start).Nanoseconds(),
+				Unfinished:    true,
+			}
+			if s.parent != 0 {
+				ss.ParentID = fmt.Sprintf("%016x", s.parent)
+			}
+			ts.Spans = append(ts.Spans, ss)
+		}
+	}
+	return ts
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanOverhead pins the cost of tracing on the request path.
+// The interesting number is NotSampled — the fate of virtually every
+// request under tail sampling — which must stay allocation-near-zero
+// (see TestSpanAllocBudget for the hard ≤2 allocs/op bound). Sampled
+// includes snapshot construction and the flight-recorder insert, paid
+// only by slow/errored/shed traces.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("Disabled", func(b *testing.B) {
+		var tr *Tracer
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, root := tr.StartSpan(ctx, "req")
+			c := root.StartChild("stage")
+			c.EndWith(time.Microsecond)
+			root.EndWith(time.Microsecond)
+		}
+	})
+	b.Run("NotSampled/ChildSpan", func(b *testing.B) {
+		// Steady-state per-span cost inside an existing trace: claim a
+		// pre-allocated slot, stamp times, end. The root is rotated well
+		// under the span cap so no iteration hits the overflow path.
+		tr := NewTracer(TracerConfig{SlowThreshold: time.Hour, Capacity: 4, MaxSpans: 128})
+		ctx := context.Background()
+		_, root := tr.StartSpan(ctx, "req")
+		n := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n++; n == 100 {
+				root.EndWith(time.Microsecond)
+				_, root = tr.StartSpan(ctx, "req")
+				n = 0
+			}
+			c := root.StartChild("stage")
+			c.SetAttrInt("i", 1)
+			c.EndWith(time.Microsecond)
+		}
+		b.StopTimer()
+		root.EndWith(time.Microsecond)
+	})
+	b.Run("NotSampled/Trace", func(b *testing.B) {
+		// Whole-trace cost for a dropped request: root + three stage
+		// children, i.e. what one fast GET pays end to end.
+		tr := NewTracer(TracerConfig{SlowThreshold: time.Hour, Capacity: 4, MaxSpans: 16})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sctx, root := tr.StartSpan(ctx, "req")
+			_ = sctx
+			for j := 0; j < 3; j++ {
+				c := root.StartChild("stage")
+				c.EndWith(time.Microsecond)
+			}
+			root.EndWith(time.Microsecond)
+		}
+	})
+	b.Run("Sampled/Trace", func(b *testing.B) {
+		// Every trace kept: includes snapshot allocation and the
+		// ring insert.
+		tr := NewTracer(TracerConfig{SlowThreshold: time.Nanosecond, Capacity: 4, MaxSpans: 16})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, root := tr.StartSpan(ctx, "req")
+			for j := 0; j < 3; j++ {
+				c := root.StartChild("stage")
+				c.EndWith(time.Microsecond)
+			}
+			root.EndWith(time.Millisecond)
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testTracer builds a tracer with tight, test-friendly knobs.
+func testTracer(slow time.Duration, capacity, maxSpans int) *Tracer {
+	return NewTracer(TracerConfig{SlowThreshold: slow, Capacity: capacity, MaxSpans: maxSpans})
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "noop")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("nil tracer must not touch the context")
+	}
+	// Every method must no-op on a nil span.
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 1)
+	sp.Fail("boom")
+	sp.ForceSample()
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil End = %v, want 0", d)
+	}
+	if got := sp.EndWith(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("nil EndWith must pass the duration through, got %v", got)
+	}
+	if sp.TraceID() != "" || sp.IDHex() != "" || sp.SampledTraceID() != "" {
+		t.Fatal("nil span IDs must be empty")
+	}
+	if sp.StartChild("c") != nil {
+		t.Fatal("nil span StartChild must return nil")
+	}
+	if tr.Traces() != nil || tr.TraceByID("x") != nil {
+		t.Fatal("nil tracer recorder reads must return nil")
+	}
+}
+
+func TestTailSamplingDropsFast(t *testing.T) {
+	tr := testTracer(time.Hour, 4, 8)
+	ctx, root := tr.StartSpan(context.Background(), "fast")
+	child := root.StartChild("stage")
+	child.EndWith(time.Microsecond)
+	root.EndWith(time.Millisecond)
+	if got := tr.Stats(); got.Dropped != 1 || got.Sampled != 0 {
+		t.Fatalf("stats = %+v, want 1 dropped 0 sampled", got)
+	}
+	if len(tr.Traces()) != 0 {
+		t.Fatal("fast trace must not reach the flight recorder")
+	}
+	if root.SampledTraceID() != "" {
+		t.Fatal("dropped trace must not expose a sampled trace ID")
+	}
+	if TraceID(ctx) == "" {
+		t.Fatal("root start must ensure a trace ID on the context")
+	}
+}
+
+func TestTailSamplingKeepsSlowErroredForced(t *testing.T) {
+	cases := []struct {
+		name   string
+		run    func(tr *Tracer) *Span
+		reason string
+	}{
+		{"slow", func(tr *Tracer) *Span {
+			_, root := tr.StartSpan(context.Background(), "r")
+			root.EndWith(50 * time.Millisecond)
+			return root
+		}, SampledSlow},
+		{"error", func(tr *Tracer) *Span {
+			_, root := tr.StartSpan(context.Background(), "r")
+			c := root.StartChild("stage")
+			c.Fail("exploded")
+			c.EndWith(time.Microsecond)
+			root.EndWith(time.Microsecond)
+			return root
+		}, SampledError},
+		{"forced", func(tr *Tracer) *Span {
+			_, root := tr.StartSpan(context.Background(), "r")
+			root.ForceSample()
+			root.EndWith(time.Microsecond)
+			return root
+		}, SampledForced},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := testTracer(10*time.Millisecond, 4, 8)
+			root := tc.run(tr)
+			traces := tr.Traces()
+			if len(traces) != 1 {
+				t.Fatalf("recorded %d traces, want 1", len(traces))
+			}
+			if traces[0].Reason != tc.reason {
+				t.Fatalf("reason = %q, want %q", traces[0].Reason, tc.reason)
+			}
+			if root.SampledTraceID() != traces[0].TraceID {
+				t.Fatal("SampledTraceID must match the recorded trace")
+			}
+		})
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 4, 8) // sample everything
+	ctx := WithTraceID(context.Background(), "trace-tree")
+	ctx, root := tr.StartSpan(ctx, "root")
+	root.SetAttr("route", "tile")
+	root.SetAttrInt("status", 200)
+	cctx, c1 := tr.StartSpan(ctx, "stage-a") // ctx-linked child
+	_, g1 := tr.StartSpan(cctx, "stage-a-inner")
+	g1.EndWith(time.Millisecond)
+	c1.EndWith(2 * time.Millisecond)
+	c2 := root.StartChild("stage-b") // ctx-free child
+	c2.EndWith(time.Millisecond)
+	root.EndWith(10 * time.Millisecond)
+
+	legs := tr.TraceByID("trace-tree")
+	if len(legs) != 1 {
+		t.Fatalf("legs = %d, want 1", len(legs))
+	}
+	ts := legs[0]
+	byName := map[string]SpanSnapshot{}
+	for _, s := range ts.Spans {
+		byName[s.Name] = s
+	}
+	if len(byName) != 4 {
+		t.Fatalf("spans = %d, want 4 (%v)", len(byName), ts.Spans)
+	}
+	if byName["root"].ParentID != "" {
+		t.Fatal("root must have no parent")
+	}
+	if byName["stage-a"].ParentID != byName["root"].SpanID ||
+		byName["stage-b"].ParentID != byName["root"].SpanID {
+		t.Fatal("stage spans must parent under root")
+	}
+	if byName["stage-a-inner"].ParentID != byName["stage-a"].SpanID {
+		t.Fatal("nested ctx child must parent under stage-a")
+	}
+	attrs := byName["root"].Attrs
+	if attrs["route"] != "tile" || attrs["status"] != "200" {
+		t.Fatalf("root attrs = %v", attrs)
+	}
+	if ts.DurationNS != (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("trace duration = %d", ts.DurationNS)
+	}
+}
+
+func TestSpanCapBoundsTrace(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 2, 4)
+	_, root := tr.StartSpan(context.Background(), "root")
+	for i := 0; i < 10; i++ {
+		c := root.StartChild("child")
+		c.End()
+	}
+	root.EndWith(time.Millisecond)
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	if got := len(traces[0].Spans); got > 4 {
+		t.Fatalf("spans = %d, want <= MaxSpans(4)", got)
+	}
+	if traces[0].SpansDropped != 7 { // 10 children + 1 root - 4 slots
+		t.Fatalf("dropped = %d, want 7", traces[0].SpansDropped)
+	}
+	if tr.Stats().SpanOverflow != 7 {
+		t.Fatalf("overflow counter = %d, want 7", tr.Stats().SpanOverflow)
+	}
+}
+
+func TestFlightRecorderRingBounded(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 3, 4)
+	for i := 0; i < 10; i++ {
+		_, root := tr.StartSpan(context.Background(), "r")
+		root.EndWith(time.Millisecond)
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(traces))
+	}
+	if tr.Stats().Sampled != 10 {
+		t.Fatalf("sampled = %d, want 10", tr.Stats().Sampled)
+	}
+}
+
+// TestDetachedSpanOutlivesRoot pins the export protocol: a child span
+// still running when the root ends (a detached coalescing leader) must
+// appear as unfinished in the snapshot, and its later End must not
+// corrupt anything — this test is most meaningful under -race.
+func TestDetachedSpanOutlivesRoot(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 4, 8)
+	_, root := tr.StartSpan(context.Background(), "root")
+	leader := root.StartChild("store.read")
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-release
+		leader.SetAttr("late", "attr")
+		leader.Fail("late failure")
+		leader.End()
+	}()
+	root.EndWith(time.Millisecond)
+	close(release)
+	wg.Wait()
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	var found bool
+	for _, s := range traces[0].Spans {
+		if s.Name == "store.read" {
+			found = true
+			if !s.Unfinished {
+				t.Fatal("detached span must export as unfinished")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("detached span identity must still be exported")
+	}
+}
+
+func TestRemoteParentLinksRoot(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 4, 8)
+	ctx := WithTraceID(context.Background(), "trace-wire")
+	ctx = WithRemoteParent(ctx, "00000000deadbeef")
+	_, root := tr.StartSpan(ctx, "server.request")
+	root.EndWith(time.Millisecond)
+	legs := tr.TraceByID("trace-wire")
+	if len(legs) != 1 {
+		t.Fatalf("legs = %d", len(legs))
+	}
+	if legs[0].RemoteParent != "00000000deadbeef" {
+		t.Fatalf("remote parent = %q", legs[0].RemoteParent)
+	}
+	if legs[0].Spans[0].ParentID != "00000000deadbeef" {
+		t.Fatalf("root parent = %q, want the wire span ID", legs[0].Spans[0].ParentID)
+	}
+}
+
+func TestTracezHandler(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 4, 8)
+	ctx := WithTraceID(context.Background(), "trace-tracez")
+	_, root := tr.StartSpan(ctx, "root")
+	c := root.StartChild("stage")
+	c.EndWith(time.Millisecond)
+	root.EndWith(5 * time.Millisecond)
+	h := TracezHandler(tr)
+
+	// Index JSON.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	if rec.Code != 200 {
+		t.Fatalf("index status = %d", rec.Code)
+	}
+	var snap TracezSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Sampled != 1 || len(snap.Traces) != 1 || snap.Capacity != 4 || snap.MaxSpans != 8 {
+		t.Fatalf("index = %+v", snap)
+	}
+
+	// Single-trace JSON.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?trace=trace-tracez", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"trace_id":"trace-tracez"`) {
+		t.Fatalf("trace lookup: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Unknown trace → 404.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?trace=absent", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing trace status = %d", rec.Code)
+	}
+
+	// Text waterfall contains both span names and a bar.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?format=text", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "root") || !strings.Contains(body, "stage") ||
+		!strings.Contains(body, "#") {
+		t.Fatalf("waterfall missing content:\n%s", body)
+	}
+
+	// Mutations rejected.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/tracez", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d", rec.Code)
+	}
+}
+
+func TestExemplarRoundTrip(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 4, 8)
+	h := NewHistogram(nil)
+	_, root := tr.StartSpan(context.Background(), "req")
+	d := root.EndWith(3 * time.Millisecond)
+	id := root.SampledTraceID()
+	if id == "" {
+		t.Fatal("slow trace must be sampled")
+	}
+	h.ObserveWithExemplar(d.Seconds(), id)
+	snap := h.Snapshot()
+	var ex *Exemplar
+	for _, b := range snap.Buckets {
+		if b.Exemplar != nil {
+			ex = b.Exemplar
+		}
+	}
+	if ex == nil {
+		t.Fatal("no bucket exemplar recorded")
+	}
+	if ex.TraceID != id || ex.Value != d.Seconds() {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	if len(tr.TraceByID(ex.TraceID)) == 0 {
+		t.Fatal("exemplar trace ID must resolve in the flight recorder")
+	}
+	// Overflow exemplar path.
+	h.ObserveWithExemplar(99, id)
+	if got := h.Snapshot().OverflowExemplar; got == nil || got.TraceID != id {
+		t.Fatalf("overflow exemplar = %+v", got)
+	}
+}
+
+// TestSpanEndIdempotent pins that double-End (e.g. a deferred End after
+// an explicit one) neither double-finalizes nor double-counts.
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := testTracer(time.Nanosecond, 4, 8)
+	_, root := tr.StartSpan(context.Background(), "r")
+	root.EndWith(time.Millisecond)
+	root.EndWith(time.Second)
+	root.End()
+	if got := tr.Stats().Sampled; got != 1 {
+		t.Fatalf("sampled = %d, want 1", got)
+	}
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("traces = %d, want 1", got)
+	}
+	if tr.Traces()[0].DurationNS != time.Millisecond.Nanoseconds() {
+		t.Fatal("first End must win")
+	}
+}
+
+// TestSpanAllocBudget pins the acceptance bar: the not-sampled fast
+// path costs at most 2 allocs per span — 0 for a StartChild/EndWith
+// pair (pre-allocated slot), and the context-linked StartSpan pays only
+// for the context value itself.
+func TestSpanAllocBudget(t *testing.T) {
+	tr := testTracer(time.Hour, 2, 4096)
+	_, root := tr.StartSpan(context.Background(), "root")
+	defer root.End()
+	if n := testing.AllocsPerRun(500, func() {
+		c := root.StartChild("stage")
+		c.SetAttrInt("i", 1)
+		c.EndWith(time.Microsecond)
+	}); n > 0 {
+		t.Fatalf("StartChild/EndWith allocates %.1f/op, want 0", n)
+	}
+	ctx, _ := tr.StartSpan(context.Background(), "root2")
+	if n := testing.AllocsPerRun(500, func() {
+		_, c := tr.StartSpan(ctx, "stage")
+		c.EndWith(time.Microsecond)
+	}); n > 2 {
+		t.Fatalf("ctx StartSpan/End allocates %.1f/op, want <= 2", n)
+	}
+}

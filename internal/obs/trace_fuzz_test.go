@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSanitizeTraceID pins the wire-ID sanitizer against hostile input:
+// it must never panic, never let an oversized or dirty ID through, be
+// idempotent on its own output, and — composed with the fresh-ID
+// fallback every receiver applies — never leave a request without a
+// usable trace ID.
+func FuzzSanitizeTraceID(f *testing.F) {
+	seeds := []string{
+		"",
+		"abc123",
+		NewTraceID(),
+		NewSpanID(),
+		"trace-with_every.allowed-char_09",
+		strings.Repeat("a", 64),
+		strings.Repeat("a", 65),
+		strings.Repeat("x", 1024),
+		"spaces are dirty",
+		"newline\ninjection",
+		"null\x00byte",
+		"unicode-héllo",
+		"emoji-🗺",
+		"\x7f\x80\xff",
+		"../path/traversal",
+		"quote\"and'quote",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	isClean := func(id string) bool {
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			if (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') && (c < '0' || c > '9') &&
+				c != '-' && c != '_' && c != '.' {
+				return false
+			}
+		}
+		return true
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		got := SanitizeTraceID(in)
+		if len(got) > maxTraceIDLen {
+			t.Fatalf("oversized output %d chars from %q", len(got), in)
+		}
+		if got != "" && !isClean(got) {
+			t.Fatalf("dirty output %q from %q", got, in)
+		}
+		if again := SanitizeTraceID(got); again != got {
+			t.Fatalf("not idempotent: %q -> %q -> %q", in, got, again)
+		}
+		// The full receiver-side resolution: sanitize, mint on failure.
+		// The resulting ID must always be non-empty, bounded, and a
+		// fixed point of the sanitizer.
+		resolved := got
+		if resolved == "" {
+			resolved = NewTraceID()
+		}
+		if resolved == "" || len(resolved) > maxTraceIDLen {
+			t.Fatalf("resolution yielded unusable ID %q from %q", resolved, in)
+		}
+		if SanitizeTraceID(resolved) != resolved {
+			t.Fatalf("resolved ID %q is not sanitizer-stable", resolved)
+		}
+	})
+}

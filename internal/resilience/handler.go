@@ -69,6 +69,13 @@ type Config struct {
 	// process-wide namespace, which is what tests asserting exact
 	// counts want. Production callers pass obs.Default().
 	Metrics *obs.Registry
+	// Tracer, when set, wraps every proxied request in a span tree
+	// (server.request → ratelimit.check / admission.wait / cache.lookup
+	// / coalesce.wait / store.read / response.write), tail-sampled into
+	// the tracer's flight recorder and served on /tracez. Slow, errored,
+	// and shed requests are kept; everything else takes the tracer's
+	// near-free drop path. Nil disables tracing entirely.
+	Tracer *obs.Tracer
 	// Log receives structured request/shed records; nil discards them.
 	Log *slog.Logger
 }
@@ -131,11 +138,14 @@ func (c Config) rateBurst() int {
 //
 //	draining? -> rate limit -> admission -> timeout -> coalesce -> cache -> inner
 //
-// plus three meta endpoints outside the pipeline:
+// plus the meta endpoints outside the pipeline:
 //
 //	GET /healthz  -> 200 while the process is alive
 //	GET /readyz   -> 200 while accepting traffic, 503 once draining
 //	GET /statz    -> JSON StatsSnapshot
+//	GET /metricz  -> JSON registry snapshot
+//	GET /tracez   -> flight-recorder span trees (404s per trace when
+//	                 no Tracer is configured)
 //
 // Every proxied request resolves to exactly one of accepted, shed, or
 // errored (see Stats), and shed responses always carry Retry-After.
@@ -149,8 +159,10 @@ type Handler struct {
 	stats   *Stats
 
 	metrics *obs.Registry
+	tracer  *obs.Tracer
 	log     *slog.Logger
 	metricz http.Handler
+	tracez  http.Handler
 	// latency is the per-request duration by route × status class,
 	// observed exactly once per proxied request, so the bucket totals
 	// across all series sum to Stats.Submitted at quiescence.
@@ -193,8 +205,10 @@ func NewHandler(inner http.Handler, cfg Config) *Handler {
 		sem:           NewSemaphore(cfg.maxConcurrent()),
 		flight:        newFlightGroup(),
 		metrics:       reg,
+		tracer:        cfg.Tracer,
 		log:           obs.OrNop(cfg.Log),
 		metricz:       obs.MetricsHandler(reg),
+		tracez:        obs.TracezHandler(cfg.Tracer),
 		stats:         newStats(reg),
 		latency:       reg.HistogramVec2("resilience.http.latency_seconds", nil, routeClasses, statusClasses),
 		admissionWait: reg.Histogram("resilience.admission.wait_seconds", nil),
@@ -300,6 +314,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/metricz":
 		h.metricz.ServeHTTP(w, r)
 		return
+	case "/tracez":
+		h.tracez.ServeHTTP(w, r)
+		return
 	}
 
 	// Resolve the request's trace before any counter or response: the
@@ -308,12 +325,37 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// all agree on one ID per request.
 	r, trace := obs.EnsureRequestTrace(r)
 	w.Header().Set(obs.TraceHeader, trace)
+	// Start the request's root span. A span ID the caller stamped on the
+	// wire (a client retry attempt) becomes the root's remote parent, so
+	// the server-side tree nests under the exact attempt that reached
+	// us. With no tracer configured all span calls below no-op.
+	ctx := r.Context()
+	if h.tracer != nil {
+		if parent := obs.SanitizeTraceID(r.Header.Get(obs.SpanHeader)); parent != "" {
+			ctx = obs.WithRemoteParent(ctx, parent)
+		}
+	}
+	ctx, root := h.tracer.StartSpan(ctx, "server.request")
+	if root != nil {
+		root.SetAttr("method", r.Method)
+		r = r.WithContext(ctx)
+	}
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
 	defer func() {
 		dur := time.Since(start)
 		route, status := routeClass(r.URL.Path), statusClass(sw.Status())
-		h.latency.With(route, status).Observe(dur.Seconds())
+		root.SetAttr("route", route)
+		root.SetAttrInt("status", int64(sw.Status()))
+		if code := sw.Status(); code == http.StatusTooManyRequests || code >= 500 {
+			root.Fail("http " + status)
+		}
+		// The root span and the latency histogram observe the one
+		// measured duration, and the bucket exemplar records the trace
+		// only when tail sampling actually kept it — every exemplar on
+		// /metricz resolves on /tracez.
+		root.EndWith(dur)
+		h.latency.With(route, status).ObserveWithExemplar(dur.Seconds(), root.SampledTraceID())
 		h.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("method", r.Method), slog.String("path", r.URL.Path),
 			slog.String("route", route), slog.Int("status", sw.Status()),
@@ -334,7 +376,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if h.limiter != nil {
-		if ok, retryIn := h.limiter.Allow(clientID(r)); !ok {
+		lsp := root.StartChild("ratelimit.check")
+		ok, retryIn := h.limiter.Allow(clientID(r))
+		lsp.End()
+		if !ok {
 			if retryIn < h.cfg.retryAfter() {
 				retryIn = h.cfg.retryAfter()
 			}
@@ -348,9 +393,14 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		weight = h.cfg.writeWeight()
 	}
 	actx, acancel := context.WithTimeout(r.Context(), h.cfg.maxWait())
+	asp := root.StartChild("admission.wait")
 	waitStart := time.Now()
 	err := h.sem.Acquire(actx, weight)
-	h.admissionWait.Observe(time.Since(waitStart).Seconds())
+	// One measurement feeds both views, so the histogram and the span
+	// can never disagree about how long this request queued.
+	wait := time.Since(waitStart)
+	h.admissionWait.Observe(wait.Seconds())
+	asp.EndWith(wait)
 	acancel()
 	if err != nil {
 		h.shed(w, r, http.StatusServiceUnavailable, "admission", h.cfg.retryAfter(), false)
@@ -451,12 +501,18 @@ func (h *Handler) serveRead(w http.ResponseWriter, r *http.Request, ctx context.
 		// coalesce with nor be cached as the bare path.
 		key += "?" + q
 	}
+	root := obs.SpanFromContext(ctx)
 	cacheable := h.cache != nil && key == path
 	if cacheable {
-		if resp, ok := h.cache.get(path); ok {
+		csp := root.StartChild("cache.lookup")
+		resp, ok := h.cache.get(path)
+		csp.End()
+		if ok {
 			h.stats.cacheHits.Add(1)
 			h.stats.accepted.Add(1)
+			wsp := root.StartChild("response.write")
 			resp.writeTo(w)
+			wsp.End()
 			return
 		}
 		h.stats.cacheMisses.Add(1)
@@ -468,11 +524,19 @@ func (h *Handler) serveRead(w http.ResponseWriter, r *http.Request, ctx context.
 		req := r.Clone(ictx)
 		// The detached read must not touch the origin connection's body.
 		req.Body = http.NoBody
+		// The store read belongs to this request's trace even though it
+		// runs detached; if it outlives the root span the exporter
+		// records it as unfinished rather than waiting.
+		rsp := root.StartChild("store.read")
 		h.leaders.Add(1)
 		go func() {
 			defer h.leaders.Done()
 			defer icancel()
 			resp, err := h.runInner(req)
+			if err != nil {
+				rsp.Fail(err.Error())
+			}
+			rsp.End()
 			var put func()
 			if err == nil && cacheable && resp.status == http.StatusOK {
 				// The insert runs inside finish, atomically with the
@@ -487,16 +551,22 @@ func (h *Handler) serveRead(w http.ResponseWriter, r *http.Request, ctx context.
 		h.stats.coalesced.Add(1)
 	}
 
+	wsp := root.StartChild("coalesce.wait")
 	select {
 	case <-call.done:
+		wsp.End()
 		if call.err != nil {
 			h.stats.errored.Add(1)
 			writeOverloadError(w, http.StatusInternalServerError, call.err.Error(), "", 0)
 			return
 		}
 		h.stats.accepted.Add(1)
+		osp := root.StartChild("response.write")
 		call.resp.writeTo(w)
+		osp.End()
 	case <-ctx.Done():
+		wsp.Fail("request deadline exceeded")
+		wsp.End()
 		h.stats.errored.Add(1)
 		writeOverloadError(w, http.StatusServiceUnavailable, "request deadline exceeded",
 			"", h.cfg.retryAfter())
@@ -510,7 +580,13 @@ func (h *Handler) serveRead(w http.ResponseWriter, r *http.Request, ctx context.
 // clients). Writes poison in-flight reads of the touched path and
 // invalidate its cache entry.
 func (h *Handler) serveDirect(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	root := obs.SpanFromContext(ctx)
+	xsp := root.StartChild("store.exec")
 	resp, err := h.runInner(r.WithContext(ctx))
+	if err != nil {
+		xsp.Fail(err.Error())
+	}
+	xsp.End()
 	if r.Method == http.MethodPut || r.Method == http.MethodDelete {
 		// Order matters: poison first, then invalidate. A leader that
 		// read pre-write bytes either sees the poison (its insert is
@@ -534,7 +610,9 @@ func (h *Handler) serveDirect(w http.ResponseWriter, r *http.Request, ctx contex
 		return
 	}
 	h.stats.accepted.Add(1)
+	wsp := root.StartChild("response.write")
 	resp.writeTo(w)
+	wsp.End()
 }
 
 // runInner executes the wrapped handler into a buffered capture,
@@ -556,6 +634,11 @@ func (h *Handler) runInner(r *http.Request) (resp *capturedResponse, err error) 
 // a JSON error body. reason is the wire spelling (ShedHeader value);
 // the metric label replaces '-' to fit the label charset.
 func (h *Handler) shed(w http.ResponseWriter, r *http.Request, status int, reason string, retryIn time.Duration, rateLimited bool) {
+	// A shed request is exactly the kind of trace an operator wants
+	// post-hoc: mark it failed so tail sampling keeps it.
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		sp.Fail("shed: " + reason)
+	}
 	h.stats.shed.Inc()
 	if rateLimited {
 		h.stats.rateLimited.Inc()

@@ -111,6 +111,12 @@ type Client struct {
 	// Metrics is where the client's counters register (obs.Default()
 	// when nil). Tests asserting exact counts inject a fresh registry.
 	Metrics *obs.Registry
+	// Tracer, when set, wraps each logical operation (get_tile,
+	// put_tile, fetch_region) in a span with every HTTP attempt as a
+	// child span, tail-sampled like the server side. Each attempt's
+	// span ID rides SpanHeader so the server's trace nests under it.
+	// Nil disables client-side tracing.
+	Tracer *obs.Tracer
 	// Log receives structured fetch/retry records; nil discards them.
 	Log *slog.Logger
 
@@ -183,6 +189,9 @@ func (c *Client) newRequest(ctx context.Context, method, url string, body io.Rea
 	}
 	if id := obs.TraceID(ctx); id != "" {
 		req.Header.Set(obs.TraceHeader, id)
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		req.Header.Set(obs.SpanHeader, sp.IDHex())
 	}
 	return req, nil
 }
@@ -272,8 +281,10 @@ func parseRetryAfter(h string) time.Duration {
 // doRetry runs one logical request under the retry policy. budget may
 // be nil (per-request budget only). fn performs a single attempt; it
 // classifies its own failures by wrapping retryable ones via
-// transient().
-func (c *Client) doRetry(ctx context.Context, budget *int, fn func(ctx context.Context) error) error {
+// transient(). Each attempt is a child span of the operation's span,
+// so a sampled trace shows exactly which attempt succeeded and how the
+// backoffs spread out.
+func (c *Client) doRetry(ctx context.Context, budget *int, op string, fn func(ctx context.Context) error) error {
 	attempts := c.Retry.attempts()
 	m := c.metrics()
 	var lastErr error
@@ -283,7 +294,14 @@ func (c *Client) doRetry(ctx context.Context, budget *int, fn func(ctx context.C
 			m.retries.Inc()
 		}
 		actx, cancel := context.WithTimeout(ctx, c.timeout())
+		actx, asp := c.Tracer.StartSpan(actx, "client.attempt")
+		asp.SetAttr("op", op)
+		asp.SetAttrInt("attempt", int64(attempt))
 		err := fn(actx)
+		if err != nil {
+			asp.Fail(err.Error())
+		}
+		asp.End()
 		cancel()
 		if err == nil {
 			return nil
@@ -329,7 +347,9 @@ func classifyStatus(op string, resp *http.Response) error {
 
 // getJSON fetches a URL and decodes its JSON body with retries.
 func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out interface{}) error {
-	return c.doRetry(ctx, budget, func(ctx context.Context) error {
+	ctx, osp := c.Tracer.StartSpan(ctx, "client.get_json")
+	osp.SetAttr("op", op)
+	err := c.doRetry(ctx, budget, op, func(ctx context.Context) error {
 		req, err := c.newRequest(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return err
@@ -360,6 +380,11 @@ func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out i
 		}
 		return nil
 	})
+	if err != nil {
+		osp.Fail(err.Error())
+	}
+	osp.End()
+	return err
 }
 
 // Layers lists the server's layers.
@@ -388,9 +413,13 @@ func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte,
 	// inherited) here rides the TraceHeader of every attempt, so client
 	// and server logs join on it.
 	ctx, _ = obs.EnsureTraceID(ctx)
+	ctx, osp := c.Tracer.StartSpan(ctx, "client.get_tile")
+	osp.SetAttr("layer", key.Layer)
+	osp.SetAttrInt("tx", int64(key.TX))
+	osp.SetAttrInt("ty", int64(key.TY))
 	start := time.Now()
 	var data []byte
-	err := c.doRetry(ctx, budget, func(ctx context.Context) error {
+	err := c.doRetry(ctx, budget, "get tile", func(ctx context.Context) error {
 		req, err := c.newRequest(ctx, http.MethodGet, c.tileURL(key), nil)
 		if err != nil {
 			return err
@@ -431,11 +460,14 @@ func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte,
 		c.logger().LogAttrs(ctx, slog.LevelWarn, "tile fetch failed",
 			slog.String("layer", key.Layer), slog.Int("tx", int(key.TX)), slog.Int("ty", int(key.TY)),
 			slog.Duration("dur", time.Since(start)), slog.String("error", err.Error()))
+		osp.Fail(err.Error())
+		osp.End()
 		return nil, err
 	}
 	c.logger().LogAttrs(ctx, slog.LevelInfo, "tile fetched",
 		slog.String("layer", key.Layer), slog.Int("tx", int(key.TX)), slog.Int("ty", int(key.TY)),
 		slog.Int("bytes", len(data)), slog.Duration("dur", time.Since(start)))
+	osp.End()
 	if c.Cache != nil {
 		c.Cache.Put(key, data)
 	}
@@ -446,8 +478,10 @@ func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte,
 // in the request header so the server can reject in-transit damage.
 func (c *Client) PutTile(ctx context.Context, key TileKey, data []byte) error {
 	ctx, _ = obs.EnsureTraceID(ctx)
+	ctx, osp := c.Tracer.StartSpan(ctx, "client.put_tile")
+	osp.SetAttr("layer", key.Layer)
 	sum := Checksum(data)
-	return c.doRetry(ctx, nil, func(ctx context.Context) error {
+	err := c.doRetry(ctx, nil, "put tile", func(ctx context.Context) error {
 		req, err := c.newRequest(ctx, http.MethodPut, c.tileURL(key), strings.NewReader(string(data)))
 		if err != nil {
 			return err
@@ -463,6 +497,11 @@ func (c *Client) PutTile(ctx context.Context, key TileKey, data []byte) error {
 		}
 		return nil
 	})
+	if err != nil {
+		osp.Fail(err.Error())
+	}
+	osp.End()
+	return err
 }
 
 // TileState classifies how one tile of a region was obtained.
@@ -512,8 +551,13 @@ func (h *RegionHealth) addError(err error) {
 // all.
 func (c *Client) FetchRegion(ctx context.Context, layer string, tx0, ty0, tx1, ty1 int32, name string) (*core.Map, *RegionHealth, error) {
 	// One region pull is one trace; the per-tile getTile calls inherit
-	// the ID rather than minting their own.
+	// the ID rather than minting their own, and their spans nest under
+	// this region span (failed tiles mark the trace errored, so a
+	// degraded pull is always in the flight recorder).
 	ctx, _ = obs.EnsureTraceID(ctx)
+	ctx, rsp := c.Tracer.StartSpan(ctx, "client.fetch_region")
+	rsp.SetAttr("layer", layer)
+	defer rsp.End()
 	health := &RegionHealth{}
 	budget := c.Retry.budget()
 

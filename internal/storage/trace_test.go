@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -171,5 +172,219 @@ func TestTraceEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if minted := resp.Header.Get(obs.TraceHeader); minted == "" || minted == trace {
 		t.Errorf("server minted trace = %q (client sent none, prior trace %s)", minted, trace)
+	}
+}
+
+// slowStore delays reads so a traced fetch crosses the tracer's slow
+// threshold and tail sampling keeps both legs of the span tree.
+type slowStore struct {
+	storage.TileStore
+	delay time.Duration
+}
+
+func (s slowStore) Get(key storage.TileKey) ([]byte, error) {
+	time.Sleep(s.delay)
+	return s.TileStore.Get(key)
+}
+
+// TestSpanTreeEndToEnd extends TestTraceEndToEnd from trace IDs to span
+// trees: one slow tile fetch must yield one trace with two legs —
+// the client's (retry attempts as children of the operation span) and
+// the server's (pipeline stages as children of the request span) —
+// linked across the wire by the attempt span ID, with stage durations
+// consistent with the roots, and discoverable from a /metricz exemplar
+// that resolves on /tracez.
+func TestSpanTreeEndToEnd(t *testing.T) {
+	store := storage.NewMemStore()
+	m := core.NewMap("span-traced")
+	m.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(1, 2, 0)})
+	key := storage.TileKey{Layer: "base", TX: 1, TY: 2}
+	if err := store.Put(key, storage.EncodeBinary(m)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: 2 * time.Millisecond,
+		Capacity:      16,
+		MaxSpans:      32,
+		Metrics:       reg,
+	})
+	handler := resilience.NewHandler(
+		storage.NewTileServer(slowStore{TileStore: store, delay: 10 * time.Millisecond}),
+		resilience.Config{Metrics: reg, Tracer: tracer})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	client := &storage.Client{Base: srv.URL, Tracer: tracer}
+	ctx, trace := obs.EnsureTraceID(context.Background())
+	if _, err := client.GetTile(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both legs finalize asynchronously (the server's root ends in a
+	// deferred hook after the response is flushed), so poll briefly.
+	var legs []*obs.TraceSnapshot
+	deadline := time.Now().Add(2 * time.Second)
+	for len(legs) < 2 && time.Now().Before(deadline) {
+		legs = tracer.TraceByID(trace)
+		time.Sleep(time.Millisecond)
+	}
+	if len(legs) != 2 {
+		t.Fatalf("want 2 legs (client + server) for trace %s, got %d", trace, len(legs))
+	}
+
+	rootOf := func(leg *obs.TraceSnapshot) obs.SpanSnapshot {
+		for _, s := range leg.Spans {
+			if s.SpanID == leg.RootSpanID {
+				return s
+			}
+		}
+		t.Fatalf("leg %s has no root span %s", leg.TraceID, leg.RootSpanID)
+		return obs.SpanSnapshot{}
+	}
+	var clientLeg, serverLeg *obs.TraceSnapshot
+	for _, leg := range legs {
+		if leg.TraceID != trace {
+			t.Fatalf("leg trace ID = %s, want %s", leg.TraceID, trace)
+		}
+		switch rootOf(leg).Name {
+		case "client.get_tile":
+			clientLeg = leg
+		case "server.request":
+			serverLeg = leg
+		}
+	}
+	if clientLeg == nil || serverLeg == nil {
+		t.Fatalf("missing a leg: client=%v server=%v", clientLeg, serverLeg)
+	}
+	for _, leg := range legs {
+		if leg.Reason != obs.SampledSlow {
+			t.Errorf("leg %s sampled for %q, want %q", rootOf(leg).Name, leg.Reason, obs.SampledSlow)
+		}
+	}
+
+	// Client leg: retry attempts are children of the operation span.
+	croot := rootOf(clientLeg)
+	var attempts []obs.SpanSnapshot
+	for _, s := range clientLeg.Spans {
+		if s.Name == "client.attempt" {
+			if s.ParentID != croot.SpanID {
+				t.Errorf("attempt parent = %s, want client root %s", s.ParentID, croot.SpanID)
+			}
+			attempts = append(attempts, s)
+		}
+	}
+	if len(attempts) != 1 {
+		t.Fatalf("want 1 client.attempt span, got %d", len(attempts))
+	}
+	if got := attempts[0].Attrs["attempt"]; got != "1" {
+		t.Errorf("attempt attr = %q, want \"1\"", got)
+	}
+
+	// Cross-wire link: the server root's remote parent is the client's
+	// attempt span, carried on the X-Span-Id header.
+	sroot := rootOf(serverLeg)
+	if serverLeg.RemoteParent == "" || serverLeg.RemoteParent != attempts[0].SpanID {
+		t.Errorf("server remote parent = %q, want attempt span %s",
+			serverLeg.RemoteParent, attempts[0].SpanID)
+	}
+	if sroot.ParentID != serverLeg.RemoteParent {
+		t.Errorf("server root parent = %q, want remote parent %q", sroot.ParentID, serverLeg.RemoteParent)
+	}
+
+	// Server leg: the pipeline stages nest under the request root and
+	// their windows stay inside the root's.
+	const epsilon = int64(5 * time.Millisecond)
+	stages := map[string]obs.SpanSnapshot{}
+	for _, s := range serverLeg.Spans {
+		if s.SpanID == sroot.SpanID {
+			continue
+		}
+		if s.ParentID != sroot.SpanID {
+			t.Errorf("stage %s parent = %s, want server root %s", s.Name, s.ParentID, sroot.SpanID)
+		}
+		if s.OffsetNS < 0 || s.OffsetNS+s.DurationNS > sroot.DurationNS+epsilon {
+			t.Errorf("stage %s window [%d, %d] escapes root duration %d",
+				s.Name, s.OffsetNS, s.OffsetNS+s.DurationNS, sroot.DurationNS)
+		}
+		stages[s.Name] = s
+	}
+	var sequential int64
+	for _, name := range []string{"cache.lookup", "store.read", "response.write"} {
+		s, ok := stages[name]
+		if !ok {
+			t.Fatalf("server leg missing %s stage; have %v", name, stages)
+		}
+		sequential += s.DurationNS
+	}
+	if sequential > sroot.DurationNS+epsilon {
+		t.Errorf("sequential stages sum %dns exceed root %dns", sequential, sroot.DurationNS)
+	}
+	if sr := stages["store.read"]; sr.DurationNS < int64(10*time.Millisecond) {
+		t.Errorf("store.read duration %s shorter than the injected 10ms delay",
+			time.Duration(sr.DurationNS))
+	}
+
+	// The latency histogram carries the trace as an exemplar (written
+	// just after the leg lands in the recorder, so poll), and that
+	// exemplar resolves on /tracez.
+	exemplar := ""
+	for exemplar == "" && time.Now().Before(deadline) {
+		snap := reg.Snapshot()
+		for name, hs := range snap.Histograms {
+			if !strings.HasPrefix(name, "resilience.http.latency_seconds.") {
+				continue
+			}
+			for _, b := range hs.Buckets {
+				if b.Exemplar != nil && b.Exemplar.TraceID == trace {
+					exemplar = b.Exemplar.TraceID
+				}
+			}
+			if hs.OverflowExemplar != nil && hs.OverflowExemplar.TraceID == trace {
+				exemplar = hs.OverflowExemplar.TraceID
+			}
+		}
+		if exemplar == "" {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if exemplar == "" {
+		t.Fatal("no resilience.http.latency_seconds exemplar carries the trace ID")
+	}
+	resp, err := http.Get(srv.URL + "/tracez?trace=" + exemplar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tracez?trace=%s status = %d", exemplar, resp.StatusCode)
+	}
+	var byID struct {
+		TraceID string               `json:"trace_id"`
+		Legs    []*obs.TraceSnapshot `json:"legs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&byID); err != nil {
+		t.Fatal(err)
+	}
+	if byID.TraceID != trace || len(byID.Legs) != 2 {
+		t.Fatalf("/tracez resolved trace=%s legs=%d, want %s with 2 legs", byID.TraceID, len(byID.Legs), trace)
+	}
+
+	// The text waterfall merges both legs into one tree.
+	resp, err = http.Get(srv.URL + "/tracez?trace=" + exemplar + "&format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	water := string(raw)
+	for _, want := range []string{"client.get_tile", "client.attempt", "server.request", "store.read", "legs=2"} {
+		if !strings.Contains(water, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, water)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/update/incremental"
 )
 
@@ -38,6 +39,12 @@ type Report struct {
 	Trace string
 	// Observations is the payload handed to the fusion pipeline.
 	Observations []incremental.Observation
+
+	// span is the report's root ingestion span. The pipeline is
+	// asynchronous, so — like Trace — it rides the report through the
+	// queue rather than a context. Copies of the report share the same
+	// span; End is idempotent, so double-accounting is impossible.
+	span *obs.Span
 }
 
 // Bounds returns the bounding box of the report's observations.

@@ -72,6 +72,13 @@ type Config struct {
 	// histograms, and breaker gauge register in (obs.Default() when
 	// nil). Tests asserting exact counts inject a fresh registry.
 	Metrics *obs.Registry
+	// Tracer, when set, records an "ingest.report" span per submitted
+	// report with one child per pipeline stage (validate → screen →
+	// fuse → commit → publish). Stage spans end with the exact duration
+	// observed into the stage histograms, so the two views can never
+	// disagree. Rejected reports fail the root span, which tail
+	// sampling then keeps.
+	Tracer *obs.Tracer
 	// Log receives structured quarantine/commit records; nil discards.
 	Log *slog.Logger
 }
@@ -150,8 +157,9 @@ type Service struct {
 	published atomic.Uint64
 	pubErrs   atomic.Uint64
 
-	log *slog.Logger
-	om  serviceMetrics
+	log    *slog.Logger
+	om     serviceMetrics
+	tracer *obs.Tracer
 }
 
 // serviceMetrics are the registry-side instruments. Counters mirror
@@ -213,6 +221,7 @@ func NewService(store *VersionStore, cfg Config) (*Service, error) {
 		breakers: make(map[string]*Breaker),
 		log:      obs.OrNop(cfg.Log),
 		om:       newServiceMetrics(reg),
+		tracer:   cfg.Tracer,
 	}
 	if err := s.resetWorking(); err != nil {
 		return nil, err
@@ -265,12 +274,16 @@ func (s *Service) reportCtx(r Report) context.Context {
 
 // reject quarantines a report with full accounting: ring entry,
 // reason counter, registry counter, and a trace-stamped log record.
+// The report's root span (if any) is failed and ended here, so every
+// quarantined report's trace is tail-sampled.
 func (s *Service) reject(r Report, reason Reason, detail string) {
 	s.quar.Add(r, reason, detail)
 	s.om.quarantine.With(string(reason)).Inc()
 	s.log.LogAttrs(s.reportCtx(r), slog.LevelWarn, "report quarantined",
 		slog.String("source", r.Source), slog.Uint64("seq", r.Seq),
 		slog.String("reason", string(reason)), slog.String("detail", detail))
+	r.span.Fail(string(reason) + ": " + detail)
+	r.span.End()
 }
 
 // rejectCount accounts a drop without retaining the payload (shed and
@@ -281,6 +294,8 @@ func (s *Service) rejectCount(r Report, reason Reason) {
 	s.log.LogAttrs(s.reportCtx(r), slog.LevelWarn, "report dropped",
 		slog.String("source", r.Source), slog.Uint64("seq", r.Seq),
 		slog.String("reason", string(reason)))
+	r.span.Fail(string(reason))
+	r.span.End()
 }
 
 // Submit runs the synchronous validation stages (breaker, malformed,
@@ -293,14 +308,25 @@ func (s *Service) Submit(r Report) error {
 	}
 	s.submitted.Add(1)
 	s.om.submitted.Inc()
+	if s.tracer != nil {
+		// The root span outlives Submit: it rides the report through the
+		// queue (see Report.span) and ends in process/reject/onPanic.
+		_, root := s.tracer.StartSpan(s.reportCtx(r), "ingest.report")
+		root.SetAttr("source", r.Source)
+		root.SetAttrInt("seq", int64(r.Seq))
+		r.span = root
+	}
 	br := s.breaker(r.Source)
 	if !br.Allow() {
 		s.rejectCount(r, ReasonShed)
 		return nil
 	}
+	vsp := r.span.StartChild("validate")
 	validateStart := time.Now()
 	detail := validateReport(r)
-	s.om.stage.With("validate").Observe(time.Since(validateStart).Seconds())
+	validateDur := time.Since(validateStart)
+	s.om.stage.With("validate").Observe(validateDur.Seconds())
+	vsp.EndWith(validateDur)
 	if detail != "" {
 		s.reject(r, ReasonMalformed, detail)
 		br.Record(false)
@@ -346,9 +372,12 @@ func (s *Service) process(r Report) {
 	br := s.breaker(r.Source)
 	if s.cfg.ByzantineResidual > 0 {
 		if frozen := s.store.Frozen(); frozen != nil {
+			ssp := r.span.StartChild("screen")
 			screenStart := time.Now()
 			res := reportResidual(frozen, r.Observations, s.cfg.ByzantineResidual)
-			s.om.stage.With("screen").Observe(time.Since(screenStart).Seconds())
+			screenDur := time.Since(screenStart)
+			s.om.stage.With("screen").Observe(screenDur.Seconds())
+			ssp.EndWith(screenDur)
 			if res >= s.cfg.ByzantineResidual {
 				s.reject(r, ReasonByzantine, fmt.Sprintf("median residual %.1f m >= %.1f", res, s.cfg.ByzantineResidual))
 				br.Record(false)
@@ -361,6 +390,7 @@ func (s *Service) process(r Report) {
 	}
 	s.apply(r)
 	br.Record(true)
+	r.span.End()
 }
 
 // apply fuses one report under the working-map lock and commits when
@@ -374,9 +404,12 @@ func (s *Service) apply(r Report) {
 		radius = 3
 	}
 	view := r.Bounds().Expand(radius)
+	fsp := r.span.StartChild("fuse")
 	fuseStart := time.Now()
 	s.fuser.Observe(r.Observations, view, r.Stamp)
-	s.om.stage.With("fuse").Observe(time.Since(fuseStart).Seconds())
+	fuseDur := time.Since(fuseStart)
+	s.om.stage.With("fuse").Observe(fuseDur.Seconds())
+	fsp.EndWith(fuseDur)
 	if r.Stamp > s.highWater {
 		s.highWater = r.Stamp
 	}
@@ -384,7 +417,7 @@ func (s *Service) apply(r Report) {
 	s.om.accepted.Inc()
 	s.sinceCommit++
 	if s.sinceCommit >= s.cfg.CommitEvery {
-		s.commitLocked("auto batch")
+		s.commitLocked("auto batch", r.span)
 	}
 }
 
@@ -397,12 +430,19 @@ func (s *Service) onPanic(r Report, v any) {
 // commitLocked pushes the working map through the gate. A rejected
 // commit discards the poisoned working set and reverts to the last
 // good version — the bad batch is gone, the served map untouched.
-// Callers hold s.mu.
-func (s *Service) commitLocked(note string) error {
+// Callers hold s.mu. parent is the span of the report whose batch
+// tripped the commit (nil for explicit Commit/Rollback calls).
+func (s *Service) commitLocked(note string, parent *obs.Span) error {
 	s.sinceCommit = 0
+	csp := parent.StartChild("commit")
 	commitStart := time.Now()
 	v, err := s.store.Commit(s.working, note)
-	s.om.stage.With("commit").Observe(time.Since(commitStart).Seconds())
+	commitDur := time.Since(commitStart)
+	s.om.stage.With("commit").Observe(commitDur.Seconds())
+	if err != nil {
+		csp.Fail(err.Error())
+	}
+	csp.EndWith(commitDur)
 	if err != nil {
 		s.rejected.Add(1)
 		s.log.LogAttrs(context.Background(), slog.LevelWarn, "commit rejected",
@@ -416,12 +456,14 @@ func (s *Service) commitLocked(note string) error {
 	s.om.commits.Inc()
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, "version committed",
 		slog.Int("seq", v.Seq), slog.String("note", note))
-	s.publishCurrent(v)
+	s.publishCurrent(v, parent)
 	return nil
 }
 
 // publishCurrent best-effort pushes the current version's tiles.
-func (s *Service) publishCurrent(v Version) {
+// parent is the span of the report that triggered the commit (nil for
+// explicit Commit/Rollback calls).
+func (s *Service) publishCurrent(v Version, parent *obs.Span) {
 	p := s.cfg.Publish
 	if p == nil || p.Store == nil {
 		return
@@ -430,9 +472,15 @@ func (s *Service) publishCurrent(v Version) {
 	if frozen == nil {
 		return
 	}
+	psp := parent.StartChild("publish")
 	publishStart := time.Now()
 	_, _, err := p.Tiler.SyncMap(p.Store, frozen, p.Layer)
-	s.om.stage.With("publish").Observe(time.Since(publishStart).Seconds())
+	publishDur := time.Since(publishStart)
+	s.om.stage.With("publish").Observe(publishDur.Seconds())
+	if err != nil {
+		psp.Fail(err.Error())
+	}
+	psp.EndWith(publishDur)
 	if err != nil {
 		s.pubErrs.Add(1)
 		s.om.publishErrs.Inc()
@@ -450,7 +498,7 @@ func (s *Service) publishCurrent(v Version) {
 func (s *Service) Commit(note string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.commitLocked(note)
+	return s.commitLocked(note, nil)
 }
 
 // Rollback restores the version n steps back as current, discards the
@@ -469,7 +517,7 @@ func (s *Service) Rollback(n int) (Version, error) {
 	if err := s.resetWorking(); err != nil {
 		return v, err
 	}
-	s.publishCurrent(v)
+	s.publishCurrent(v, nil)
 	return v, nil
 }
 

@@ -1,6 +1,7 @@
 package ingest_test
 
 import (
+	"encoding/json"
 	"math/rand"
 	"os"
 	"strconv"
@@ -67,8 +68,21 @@ func TestChaosSoak(t *testing.T) {
 	// Shared by the service and the report injector: /metricz-style
 	// registry reads are checked against both Stats views below.
 	reg := obs.NewRegistry()
+	// With an unreachable slow threshold, tail sampling keeps exactly
+	// the quarantined (errored) reports — an exact accounting the
+	// assertions below close against QuarantineTotal. Tiny caps prove
+	// the flight recorder stays bounded regardless of soak volume.
+	const traceCap, spanCap = 8, 16
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: time.Hour,
+		Capacity:      traceCap,
+		MaxSpans:      spanCap,
+		Metrics:       reg,
+	})
+	defer dumpTracez(t, tracer)
 	svc, err := ingest.NewService(vs, ingest.Config{
 		Metrics: reg,
+		Tracer:  tracer,
 		Workers: 4,
 		// Deep enough that no report is ever shed as overload — the
 		// category accounting below must stay exact.
@@ -232,6 +246,28 @@ func TestChaosSoak(t *testing.T) {
 	if validate := ms.Histograms["ingest.stage.duration_seconds.validate"]; validate.Count == 0 {
 		t.Error("validate stage never observed")
 	}
+	// Tracing invariants: every submitted report got a root span, only
+	// the quarantined ones sampled (reason "error"), and the recorder
+	// never grew past its caps no matter how many reports flowed.
+	tz := tracer.TracezSnap()
+	if tz.Sampled != m.QuarantineTotal {
+		t.Errorf("sampled traces = %d, quarantined = %d — tail sampling must keep exactly the rejected reports",
+			tz.Sampled, m.QuarantineTotal)
+	}
+	if tz.Dropped != m.Accepted {
+		t.Errorf("dropped traces = %d, accepted = %d", tz.Dropped, m.Accepted)
+	}
+	if len(tz.Traces) > traceCap {
+		t.Errorf("flight recorder holds %d traces, cap is %d", len(tz.Traces), traceCap)
+	}
+	for _, ts := range tz.Traces {
+		if ts.Reason != obs.SampledError {
+			t.Errorf("trace %s sampled for %q, want %q", ts.TraceID, ts.Reason, obs.SampledError)
+		}
+		if len(ts.Spans) > spanCap {
+			t.Errorf("trace %s exported %d spans, cap is %d", ts.TraceID, len(ts.Spans), spanCap)
+		}
+	}
 
 	// Every committed version — not just the last — validates clean.
 	for _, v := range vs.Versions() {
@@ -313,6 +349,26 @@ func cleanReport(source string, seq, stamp uint64, signs []geo.Vec2, rng *rand.R
 		})
 	}
 	return r
+}
+
+// dumpTracez writes the tracer's final flight-recorder contents to the
+// file named by TRACEZ_DUMP when the test failed — the hook CI uses to
+// upload a post-mortem artifact.
+func dumpTracez(t *testing.T, tracer *obs.Tracer) {
+	path := os.Getenv("TRACEZ_DUMP")
+	if path == "" || !t.Failed() {
+		return
+	}
+	data, err := json.MarshalIndent(tracer.TracezSnap(), "", "  ")
+	if err != nil {
+		t.Logf("tracez dump failed: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Logf("tracez dump failed: %v", err)
+		return
+	}
+	t.Logf("tracez dump written to %s", path)
 }
 
 func waitForSoak(t *testing.T, cond func() bool) {
