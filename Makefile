@@ -6,18 +6,22 @@
 #   make test     — fast tier-1 check (what the roadmap calls "tier-1").
 #   make soak     — the ingestion chaos soak at CI volume.
 #   make soak-overload — stampede the resilient tile server at CI volume.
+#   make soak-cluster — node-kill chaos against the replicated cluster.
 #   make loadtest — run the closed-loop load generator against a
 #                   self-hosted server and print its /statz.
+#   make bench-gate — run the perf probe suite and gate it against the
+#                   committed BENCH_baseline.json.
 #   make fuzz     — longer decode fuzzing for local hunting.
 
 GO ?= go
 FUZZTIME ?= 5s
 SOAK_REPORTS ?= 1200
 SOAK_GETS ?= 4000
+SOAK_CLUSTER_GETS ?= 3000
 
-.PHONY: verify vet vet-obs build test race soak soak-overload loadtest fuzz-smoke fuzz bench
+.PHONY: verify vet vet-obs build test race soak soak-overload soak-cluster loadtest fuzz-smoke fuzz bench bench-gate bench-baseline
 
-verify: vet vet-obs build race soak soak-overload fuzz-smoke
+verify: vet vet-obs build race soak soak-overload soak-cluster fuzz-smoke
 	@echo "verify: all green"
 
 vet:
@@ -55,6 +59,14 @@ soak:
 soak-overload:
 	SOAK_GETS=$(SOAK_GETS) $(GO) test -race -run '^TestOverloadSoak$$' -count=1 ./internal/chaos
 
+# Cluster robustness: 5 replicated nodes behind the consistent-hash
+# router, one killed and revived mid-load each round, bounded by
+# SOAK_CLUSTER_GETS. Asserts zero read unavailability at quorum,
+# byte-identical replica convergence, hinted handoff draining to empty,
+# and the router accounting invariant routed == served + shed + errored.
+soak-cluster:
+	SOAK_CLUSTER_GETS=$(SOAK_CLUSTER_GETS) $(GO) test -race -run '^TestClusterSoak$$' -count=1 ./internal/chaos
+
 # Interactive load drill: self-hosts a generated city behind the
 # overload pipeline, stampedes it, and prints outcomes plus /statz.
 loadtest:
@@ -70,3 +82,13 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Perf trajectory: run the hot-path probe suite and gate it against the
+# committed baseline (loose on wall time — CI neighbours are noisy —
+# tight on allocations, which are deterministic).
+bench-gate:
+	$(GO) run ./cmd/mapbench -compare BENCH_baseline.json
+
+# Refresh the committed baseline after an intentional perf change.
+bench-baseline:
+	$(GO) run ./cmd/mapbench -json -out BENCH_baseline.json

@@ -1,0 +1,198 @@
+// Cluster-side commands: `serve -cluster N` boots a sharded, replicated
+// tile fleet behind one router, and `cluster` prints a running router's
+// /clusterz status document.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/obs"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// serveCluster boots N tile-server nodes (each with its own DirStore
+// under <dir>/nodeI and its own overload pipeline) on loopback
+// listeners, fronts them with a consistent-hash router at R-way
+// replication, and serves the router on addr. One process, N shards:
+// the deployment shape is a demo, but the routing, quorum, repair, and
+// handoff paths are exactly what a multi-host cluster would run.
+func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg resilience.Config, drain time.Duration) error {
+	if n > 16 {
+		return fmt.Errorf("-cluster %d: more than 16 in-process nodes is a typo, not a deployment", n)
+	}
+	nodes := make([]cluster.Node, 0, n)
+	nodeSrvs := make([]*http.Server, 0, n)
+	defer func() {
+		for _, s := range nodeSrvs {
+			_ = s.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%d", i)
+		store, err := storage.NewDirStore(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		// Each node gets its own registry so per-node counters do not
+		// merge into one indistinguishable pile; the router's registry
+		// (obs.Default) carries the fleet-level view.
+		ncfg := rcfg
+		ncfg.Metrics = obs.NewRegistry()
+		handler := resilience.NewHandler(storage.NewTileServer(store), ncfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: handler}
+		go func() { _ = srv.Serve(ln) }()
+		nodeSrvs = append(nodeSrvs, srv)
+		nodes = append(nodes, cluster.Node{Name: name, Base: "http://" + ln.Addr().String()})
+		fmt.Printf("  %s serving %s on %s\n", name, filepath.Join(dir, name), ln.Addr())
+	}
+
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:    nodes,
+		Replicas: replicas,
+		Registry: obs.Default(),
+		Tracer:   rcfg.Tracer,
+		Logger:   rcfg.Log,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	st := rt.Status()
+	fmt.Printf("cluster router on %s: %d nodes, R=%d, read quorum %d, write quorum %d\n",
+		ln.Addr(), len(nodes), st.Replicas, st.ReadQuorum, st.WriteQuorum)
+	fmt.Println("endpoints: /v1/... /healthz /readyz /statz /clusterz /metricz /tracez")
+
+	srv := &http.Server{Handler: rt}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down cluster, draining router...")
+	// Order matters: the router first refuses new work (readyz 503,
+	// /v1 shed with Retry-After) and waits out its background read
+	// finishers and hint drains, then the front door closes, then the
+	// nodes go down — so no shard dies under a request the router still
+	// owns.
+	rt.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("router shutdown: %w", err)
+	}
+	for _, s := range nodeSrvs {
+		if err := s.Shutdown(dctx); err != nil {
+			return fmt.Errorf("node shutdown: %w", err)
+		}
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// cmdCluster fetches and pretty-prints a router's /clusterz document —
+// membership health, quorum shape, handoff backlog, and the accounting
+// counters whose invariants the soak enforces.
+func cmdCluster(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	base := fs.String("base", "http://localhost:8080", "cluster router URL")
+	raw := fs.Bool("json", false, "print the raw /clusterz JSON instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, *base+"/clusterz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("clusterz: %s", resp.Status)
+	}
+	var st cluster.ClusterStatus
+	if *raw {
+		var pretty json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&pretty); err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(pretty, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	printClusterStatus(os.Stdout, st)
+	down := 0
+	for _, m := range st.Members {
+		if !m.Alive {
+			down++
+		}
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d members down", down, len(st.Members))
+	}
+	return nil
+}
+
+func printClusterStatus(w *os.File, st cluster.ClusterStatus) {
+	fmt.Fprintf(w, "cluster: %d members, R=%d, read quorum %d, write quorum %d, %d vnodes/node\n",
+		len(st.Members), st.Replicas, st.ReadQuorum, st.WriteQuorum, st.VNodes)
+	for _, m := range st.Members {
+		state := "up"
+		if !m.Alive {
+			state = "DOWN"
+		}
+		fmt.Fprintf(w, "  %-10s %-28s %-5s", m.Name, m.Base, state)
+		if m.Strikes > 0 {
+			fmt.Fprintf(w, " strikes=%d", m.Strikes)
+		}
+		if pending := st.HintsByNode[m.Name]; pending > 0 {
+			fmt.Fprintf(w, " hints_pending=%d", pending)
+		}
+		if m.LastError != "" && !m.Alive {
+			fmt.Fprintf(w, " last_error=%q", m.LastError)
+		}
+		fmt.Fprintln(w)
+	}
+	s := st.Stats
+	fmt.Fprintf(w, "requests: routed=%d served=%d shed=%d errored=%d (reads=%d writes=%d)\n",
+		s.Routed, s.Served, s.Shed, s.Errored, s.Reads, s.Writes)
+	fmt.Fprintf(w, "repair:   scheduled=%d done=%d skipped=%d dropped=%d stale_seen=%d integrity_failures=%d\n",
+		s.RepairsScheduled, s.RepairsDone, s.RepairsSkipped, s.RepairsDropped,
+		s.StaleReplicas, s.IntegrityFailures)
+	fmt.Fprintf(w, "handoff:  queued=%d drained=%d superseded=%d dropped=%d pending=%d\n",
+		s.HintsQueued, s.HintsDrained, s.HintsSuperseded, s.HintsDropped, s.HintsPending)
+	if s.Draining {
+		fmt.Fprintln(w, "router is draining")
+	}
+}

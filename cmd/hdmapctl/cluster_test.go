@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/core"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// freePort grabs an ephemeral loopback address for a server started by
+// the code under test (which takes an address, not a listener).
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestServeClusterEndToEnd boots `hdmapctl serve -cluster 5 -replicas 3`
+// the way main would, writes and reads a tile through the router,
+// checks /clusterz, runs the `cluster` status subcommand against it,
+// and verifies a clean drain persisted the tile on exactly R shard
+// directories.
+func TestServeClusterEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addr := freePort(t)
+	base := "http://" + addr
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() {
+		served <- serveCluster(ctx, dir, addr, 5, 3, resilience.Config{CacheSize: -1}, 5*time.Second)
+	}()
+	waitReady(t, base)
+
+	m := core.NewMap("cluster-tile")
+	m.Clock = 7
+	data := storage.EncodeBinary(m)
+	key := storage.TileKey{Layer: "base", TX: 3, TY: 4}
+	path := fmt.Sprintf("%s/v1/tiles/%s/%d/%d", base, key.Layer, key.TX, key.TY)
+
+	req, err := http.NewRequest(http.MethodPut, path, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(storage.ChecksumHeader, storage.Checksum(data))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT through router: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+
+	cl := &storage.Client{Endpoints: []string{base}}
+	got, err := cl.GetTile(ctx, key)
+	if err != nil {
+		t.Fatalf("GET through router: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("tile bytes differ through the cluster round trip")
+	}
+
+	resp, err = http.Get(base + "/clusterz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st cluster.ClusterStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 5 || st.Replicas != 3 || st.ReadQuorum != 2 {
+		t.Fatalf("clusterz shape: %d members, R=%d, RQ=%d", len(st.Members), st.Replicas, st.ReadQuorum)
+	}
+	for _, mem := range st.Members {
+		if !mem.Alive {
+			t.Errorf("member %s down in a healthy boot", mem.Name)
+		}
+	}
+
+	// The status subcommand against the live router: healthy fleet means
+	// a nil error (it reports down members as a failure).
+	if err := cmdCluster(ctx, []string{"-base", base}); err != nil {
+		t.Errorf("cluster subcommand: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveCluster: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveCluster did not return after cancellation")
+	}
+
+	// R=3 owners persisted the tile to their DirStores; the other two
+	// shard directories must not have it.
+	holders := 0
+	for i := 0; i < 5; i++ {
+		store, err := storage.NewDirStore(fmt.Sprintf("%s/node%d", dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored, err := store.Get(key)
+		switch {
+		case err == nil:
+			holders++
+			if !bytes.Equal(stored, data) {
+				t.Errorf("node%d holds a divergent replica", i)
+			}
+		case errors.Is(err, storage.ErrNoTile):
+		default:
+			t.Fatal(err)
+		}
+	}
+	if holders != 3 {
+		t.Errorf("tile persisted on %d shards, want exactly R=3", holders)
+	}
+}

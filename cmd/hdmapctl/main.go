@@ -13,6 +13,8 @@
 //	hdmapctl route -in city.hdmp -from <laneletID> -to <laneletID>
 //	hdmapctl drive -kind highway -length 1000 -out built.hdmp   (LiDAR mapping run)
 //	hdmapctl serve -dir tiles/ -addr :8080                      (tile distribution server)
+//	hdmapctl serve -dir shards/ -cluster 5 -replicas 3          (sharded replicated cluster)
+//	hdmapctl cluster -base http://localhost:8080                (cluster status)
 //	hdmapctl fetch -base http://host:8080 -layer base -out region.hdmp  (vehicle-side pull)
 //	hdmapctl loadtest -clients 40 -requests 100                 (overload drill + /statz)
 //	hdmapctl ingest -in base.hdmp -store versions/ -synth 200   (supervised maintenance)
@@ -75,6 +77,8 @@ func main() {
 		err = cmdFetch(ctx, os.Args[2:])
 	case "loadtest":
 		err = cmdLoadtest(ctx, os.Args[2:])
+	case "cluster":
+		err = cmdCluster(ctx, os.Args[2:])
 	case "ingest":
 		err = cmdIngest(os.Args[2:])
 	case "versions":
@@ -109,7 +113,11 @@ subcommands:
             (admission control, per-client rate limits, hot-tile cache,
             request coalescing; graceful drain on SIGINT); exposes
             /statz and /metricz, plus pprof via -pprof and structured
-            logs via -log-level
+            logs via -log-level. With -cluster N -replicas R it boots N
+            sharded nodes behind a consistent-hash router with quorum
+            reads, read-repair, and hinted handoff (/clusterz)
+  cluster   print a running cluster router's /clusterz status (members,
+            quorum shape, repair and handoff accounting)
   fetch     pull a tile region from a server and stitch it to one map
   loadtest  stampede a tile server with a zipfian closed-loop fleet and
             print its latency histogram and /statz snapshot (self-hosts

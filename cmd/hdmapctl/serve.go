@@ -66,12 +66,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	drain := fs.Duration("drain", 5*time.Second, "max time to drain in-flight requests on shutdown")
 	logLevel := fs.String("log-level", "warn", "structured log level: debug, info, warn, error, off")
 	pprofAddr := fs.String("pprof", "", "debug listen address for pprof + expvar (e.g. localhost:6060; empty disables)")
+	clusterN := fs.Int("cluster", 0, "boot N sharded tile nodes behind a replicating router (0/1 = single server)")
+	replicas := fs.Int("replicas", 3, "with -cluster: replicas per tile (R)")
 	cfg := serveFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	store, err := storage.NewDirStore(*dir)
-	if err != nil {
 		return err
 	}
 	rcfg := cfg()
@@ -80,6 +78,18 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	} else {
 		rcfg.Log = logger
+	}
+	if *clusterN > 1 {
+		if *pprofAddr != "" {
+			if err := startDebugServer(*pprofAddr, obs.Default(), rcfg.Tracer); err != nil {
+				return err
+			}
+		}
+		return serveCluster(ctx, *dir, *addr, *clusterN, *replicas, rcfg, *drain)
+	}
+	store, err := storage.NewDirStore(*dir)
+	if err != nil {
+		return err
 	}
 	handler := resilience.NewHandler(storage.NewTileServer(store), rcfg)
 	if *pprofAddr != "" {

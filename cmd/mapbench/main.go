@@ -3,31 +3,53 @@
 // E1–E20 headline results) and prints paper-quoted values next to
 // measured ones.
 //
+// It also owns the repo's perf baseline: `-json` runs the hot-path
+// probe suite in internal/bench and emits JSON, and `-compare` gates a
+// fresh run against a committed baseline with tolerances (loose on
+// wall time, tight on allocations).
+//
 // Usage:
 //
-//	mapbench                 # run everything
+//	mapbench                 # run every experiment
 //	mapbench -experiment E6  # run one experiment
 //	mapbench -seed 7         # change the deterministic seed
 //	mapbench -list           # list experiment IDs
+//	mapbench -json                            # perf suite → stdout JSON
+//	mapbench -json -out BENCH_baseline.json   # write/refresh the baseline
+//	mapbench -compare BENCH_baseline.json     # run suite, gate vs baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"hdmaps/internal/bench"
 	"hdmaps/internal/experiments"
 	"hdmaps/internal/obs"
 )
 
 func main() {
 	var (
-		id   = flag.String("experiment", "", "run a single experiment by ID (e.g. F2, E6)")
-		seed = flag.Int64("seed", 42, "deterministic seed")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
+		id       = flag.String("experiment", "", "run a single experiment by ID (e.g. F2, E6)")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonOut  = flag.Bool("json", false, "run the perf probe suite and emit JSON instead of experiments")
+		outPath  = flag.String("out", "", "with -json: write the suite JSON to this file instead of stdout")
+		compare  = flag.String("compare", "", "run the perf suite and gate it against this baseline JSON file")
+		nsTol    = flag.Float64("nstol", 0, "with -compare: allowed ns_per_op multiple (default 4.0)")
+		allocTol = flag.Float64("alloctol", 0, "with -compare: allowed allocs_per_op multiple (default 1.25)")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(gate(*compare, *seed, bench.Tolerances{NsFactor: *nsTol, AllocFactor: *allocTol}))
+	}
+	if *jsonOut {
+		os.Exit(perfJSON(*seed, *outPath))
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -61,4 +83,61 @@ func run(id string, seed int64, durations *obs.Histogram) {
 	durations.ObserveSince(start)
 	fmt.Print(rep.String())
 	fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+}
+
+// perfJSON runs the probe suite and writes it as JSON (stdout or -out).
+func perfJSON(seed int64, outPath string) int {
+	suite, err := bench.RunSuite(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		if err := bench.WriteRun(outPath, suite); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %d probes to %s\n", len(suite.Results), outPath)
+		return 0
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// gate runs the probe suite and compares it against a committed
+// baseline; a regression beyond tolerance is a nonzero exit, which is
+// what CI keys on.
+func gate(baselinePath string, seed int64, tol bench.Tolerances) int {
+	baseline, err := bench.ReadRun(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	current, err := bench.RunSuite(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	for _, r := range current.Results {
+		fmt.Printf("  %-26s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	c := bench.Compare(baseline, current, tol)
+	for _, n := range c.Notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	if !c.OK() {
+		for _, r := range c.Regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "bench gate: %d regression(s) vs %s\n", len(c.Regressions), baselinePath)
+		return 1
+	}
+	fmt.Printf("bench gate: %d probes within tolerance of %s\n", len(current.Results), baselinePath)
+	return 0
 }

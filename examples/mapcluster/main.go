@@ -1,0 +1,217 @@
+// Mapcluster: the industrial-scale distribution story. A generated city
+// is published through a consistent-hash router into a five-node tile
+// fleet at three-way replication; a vehicle pulls its region through
+// the router exactly as it would from a single server; then a node is
+// killed mid-traffic and the cluster keeps answering every read at
+// quorum while writes park hinted handoffs for the corpse; the node
+// returns, hints drain, and the books balance to zero pending — the
+// "millions of users" serving shape the survey's distribution sub-area
+// assumes, built from the same parts as the single-node pipeline.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/core"
+	"hdmaps/internal/obs"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+// node is one in-process tile server: its own store, its own overload
+// pipeline, its own listener. Kill/restart cycle the HTTP front door
+// while the store survives — a crash that loses the process, not the
+// disk.
+type node struct {
+	name  string
+	store *storage.MemStore
+	addr  string
+	srv   *http.Server
+}
+
+func (n *node) start() error {
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		return err
+	}
+	n.addr = ln.Addr().String()
+	handler := resilience.NewHandler(storage.NewTileServer(n.store), resilience.Config{
+		CacheSize: -1, Metrics: obs.NewRegistry(),
+	})
+	n.srv = &http.Server{Handler: handler}
+	go func() { _ = n.srv.Serve(ln) }()
+	return nil
+}
+
+func (n *node) kill() { _ = n.srv.Close() }
+
+// demoResult carries the numbers the test asserts on.
+type demoResult struct {
+	published    int
+	regionTiles  int
+	readsDegr    int // reads attempted while one node was dead
+	readFailures int // of those, reads that failed (must be 0)
+	stats        cluster.StatsSnapshot
+}
+
+func run(seed int64) (*demoResult, error) {
+	ctx := context.Background()
+
+	// Five nodes, three-way replication: any single failure leaves every
+	// tile with two live replicas — enough for the R/2+1 = 2 read quorum.
+	nodes := make([]*node, 5)
+	members := make([]cluster.Node, 5)
+	for i := range nodes {
+		nodes[i] = &node{name: fmt.Sprintf("node%d", i), store: storage.NewMemStore(), addr: "127.0.0.1:0"}
+		if err := nodes[i].start(); err != nil {
+			return nil, err
+		}
+		members[i] = cluster.Node{Name: nodes[i].name, Base: "http://" + nodes[i].addr}
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:         members,
+		Replicas:      3,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	defer rt.Close()
+	front := &http.Server{Handler: rt}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = front.Serve(ln) }()
+	defer front.Close()
+	routerURL := "http://" + ln.Addr().String()
+	fmt.Printf("cluster: 5 nodes behind %s, R=3, quorum 2\n", routerURL)
+
+	// Publish a generated city through the router: every tile lands on
+	// its three ring owners. The vehicle-side client is pointed at the
+	// router exactly as it would be at a single server — sharding is the
+	// server's business, not the fleet's.
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 4, Cols: 4, Lanes: 2, TrafficLights: true,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	tiles := storage.Tiler{TileSize: 200}.Split(g.Map, "base")
+	client := &storage.Client{Endpoints: []string{routerURL}}
+	keys := make([]storage.TileKey, 0, len(tiles))
+	for key, tm := range tiles {
+		if err := client.PutTile(ctx, key, storage.EncodeBinary(tm)); err != nil {
+			return nil, fmt.Errorf("publish %v: %w", key, err)
+		}
+		keys = append(keys, key)
+	}
+	fmt.Printf("published %d tiles through the router\n", len(tiles))
+
+	// A vehicle pulls a city region through the router.
+	region, health, err := client.FetchRegion(ctx, "base", -100, -100, 100, 100, "downtown")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("vehicle fetched %d tiles (%d fresh) -> %d elements, degraded=%v\n",
+		health.Requested, health.Fresh, region.NumElements(), health.Degraded)
+
+	// Kill a node mid-traffic. The ring does not change — the member is
+	// down, not removed — so its tiles' owner sets still name it; reads
+	// answer from the two surviving replicas, writes park hints.
+	victim := nodes[2]
+	victim.kill()
+	fmt.Printf("killed %s; reading every tile through the router...\n", victim.name)
+	res := &demoResult{published: len(tiles), regionTiles: health.Requested}
+	for _, key := range keys {
+		res.readsDegr++
+		if _, err := client.GetTile(ctx, key); err != nil {
+			res.readFailures++
+			fmt.Printf("  READ FAILED %v: %v\n", key, err)
+		}
+	}
+	fmt.Printf("degraded reads: %d/%d ok (quorum held without %s)\n",
+		res.readsDegr-res.readFailures, res.readsDegr, victim.name)
+
+	// Writes while an owner is dead: acks still reach the sloppy write
+	// quorum; the dead owner's copies are parked durably on a fallback
+	// node as hints.
+	updated := core.NewMap("patch")
+	updated.Clock = g.Map.Clock + 1
+	patch := storage.EncodeBinary(updated)
+	for _, key := range keys[:8] {
+		if err := client.PutTile(ctx, key, patch); err != nil {
+			return nil, fmt.Errorf("write during outage %v: %w", key, err)
+		}
+	}
+	st := rt.Status()
+	fmt.Printf("wrote 8 tiles during the outage: %d hints queued, %d pending\n",
+		st.Stats.HintsQueued, st.Stats.HintsPending)
+
+	// The node returns on its old address; the failure detector marks it
+	// up and drains the parked hints back to it.
+	if err := victim.start(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("%s restarted; waiting for hinted handoff to drain...\n", victim.name)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = rt.Status()
+		s := st.Stats
+		// Pending drops to zero when the drainer takes the batch, before
+		// the last replay's PUT lands — wait for the ledger to balance,
+		// which happens only after every replayed write is on the node.
+		if s.HintsPending == 0 && s.HintsQueued == s.HintsDrained+s.HintsSuperseded+s.HintsDropped {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("hints never drained: %d pending, %d queued, %d drained",
+				s.HintsPending, s.HintsQueued, s.HintsDrained)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res.stats = st.Stats
+	fmt.Printf("handoff drained: queued=%d drained=%d superseded=%d dropped=%d pending=%d\n",
+		st.Stats.HintsQueued, st.Stats.HintsDrained, st.Stats.HintsSuperseded,
+		st.Stats.HintsDropped, st.Stats.HintsPending)
+	fmt.Printf("router accounting: routed=%d = served=%d + shed=%d + errored=%d\n",
+		st.Stats.Routed, st.Stats.Served, st.Stats.Shed, st.Stats.Errored)
+
+	// The recovered node's replica of a patched tile is byte-identical
+	// to what the fleet acknowledged.
+	for _, key := range keys[:8] {
+		data, err := victim.store.Get(key)
+		if errors.Is(err, storage.ErrNoTile) {
+			continue // this tile's owner set never included the victim
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(data, patch) {
+			return nil, fmt.Errorf("%s replica of %v diverged after handoff", victim.name, key)
+		}
+	}
+	fmt.Println("recovered replicas byte-identical to acknowledged writes")
+	for _, n := range nodes {
+		n.kill()
+	}
+	return res, nil
+}
+
+func main() {
+	if _, err := run(31); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+// The demo is the assertion: run() fails on any lost read during the
+// outage, on hints that never drain, or on a recovered replica that
+// diverges from the acknowledged bytes. The test pins the headline
+// numbers on top.
+func TestMapclusterDemo(t *testing.T) {
+	res, err := run(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.published == 0 || res.regionTiles != res.published {
+		t.Errorf("published %d tiles but vehicle region saw %d", res.published, res.regionTiles)
+	}
+	if res.readFailures != 0 {
+		t.Errorf("%d/%d reads failed with one node dead; quorum must hold", res.readFailures, res.readsDegr)
+	}
+	s := res.stats
+	if s.Routed != s.Served+s.Shed+s.Errored {
+		t.Errorf("accounting: routed %d != served %d + shed %d + errored %d",
+			s.Routed, s.Served, s.Shed, s.Errored)
+	}
+	if s.Shed != 0 || s.Errored != 0 {
+		t.Errorf("healthy-quorum demo shed %d / errored %d requests", s.Shed, s.Errored)
+	}
+	if s.HintsQueued == 0 {
+		t.Error("outage writes queued no hints — the handoff path never ran")
+	}
+	if s.HintsPending != 0 || s.HintsQueued != s.HintsDrained+s.HintsSuperseded+s.HintsDropped {
+		t.Errorf("hint books: queued %d != drained %d + superseded %d + dropped %d (+pending %d)",
+			s.HintsQueued, s.HintsDrained, s.HintsSuperseded, s.HintsDropped, s.HintsPending)
+	}
+}

@@ -1,0 +1,219 @@
+// Package bench is the repo's tracked perf baseline: a fixed set of
+// hot-path probes (codec, tile serving, cache, ring routing) measured
+// with the standard testing.Benchmark machinery and serialized as JSON.
+// `cmd/mapbench -json` writes a run; the committed BENCH_baseline.json
+// is the reference point, and `cmd/mapbench -compare` gates CI on it.
+//
+// Two numbers per probe carry different weight. ns_per_op is hardware-
+// dependent, so the gate allows a generous multiple (CI runners are
+// noisy neighbours). allocs_per_op is deterministic for a fixed code
+// path and input, so the gate holds it tight: an allocation regression
+// on a hot path is exactly the kind of silent rot the baseline exists
+// to catch.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/core"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+// Result is one probe's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Run is one full suite execution.
+type Run struct {
+	// Seed is the worldgen seed the probe fixtures were built from.
+	Seed    int64    `json:"seed"`
+	Results []Result `json:"results"`
+}
+
+// probe pairs a stable name with its benchmark body. Names are part of
+// the baseline file format: renaming one orphans its baseline entry.
+type probe struct {
+	name string
+	run  func(b *testing.B)
+}
+
+// fixtures is the shared deterministic input set: one mid-sized urban
+// grid, its binary encoding, a tiled store behind a TileServer, and a
+// populated ring. Building it once keeps the suite's setup cost out of
+// every probe's timing loop.
+type fixtures struct {
+	m     *core.Map
+	data  []byte
+	store *storage.MemStore
+	srv   *storage.TileServer
+	key   storage.TileKey
+	cache *storage.TileCache
+	ring  *cluster.Ring
+	keys  []storage.TileKey
+}
+
+func newFixtures(seed int64) (*fixtures, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 6, Cols: 6, Lanes: 2, TrafficLights: true,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench fixtures: %w", err)
+	}
+	f := &fixtures{m: g.Map, store: storage.NewMemStore()}
+	f.data = storage.EncodeBinary(f.m)
+
+	tiler := storage.Tiler{}
+	if _, err := tiler.SaveMap(f.store, f.m, "base"); err != nil {
+		return nil, fmt.Errorf("bench fixtures: %w", err)
+	}
+	keys, err := f.store.Keys("base")
+	if err != nil || len(keys) == 0 {
+		return nil, fmt.Errorf("bench fixtures: empty tiled store (%v)", err)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].TX != keys[j].TX {
+			return keys[i].TX < keys[j].TX
+		}
+		return keys[i].TY < keys[j].TY
+	})
+	f.keys = keys
+	f.key = keys[len(keys)/2]
+	f.srv = storage.NewTileServer(f.store)
+
+	f.cache = storage.NewTileCache(len(keys) + 8)
+	for _, k := range keys {
+		tile, err := f.store.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("bench fixtures: %w", err)
+		}
+		f.cache.Put(k, tile)
+	}
+
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d", i)
+	}
+	f.ring = cluster.NewRing(nodes, 0)
+	return f, nil
+}
+
+func (f *fixtures) probes() []probe {
+	tileData, _ := f.store.Get(f.key)
+	tileSum := storage.Checksum(tileData)
+	path := fmt.Sprintf("/v1/tiles/%s/%d/%d", f.key.Layer, f.key.TX, f.key.TY)
+	return []probe{
+		{"codec.encode_binary", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if out := storage.EncodeBinary(f.m); len(out) == 0 {
+					b.Fatal("empty encoding")
+				}
+			}
+		}},
+		{"codec.decode_binary", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := storage.DecodeBinary(f.data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"codec.checksum", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if storage.Checksum(f.data) == "" {
+					b.Fatal("empty checksum")
+				}
+			}
+		}},
+		{"tiler.split", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tiles := (storage.Tiler{}).Split(f.m, "base"); len(tiles) == 0 {
+					b.Fatal("no tiles")
+				}
+			}
+		}},
+		// One in-process GET through the TileServer handler — request
+		// parse, store read, checksum header, write. The network is
+		// deliberately absent: this prices the serving hot path the
+		// roadmap's speed campaign will attack, not the kernel's TCP
+		// stack.
+		{"server.get_tile", func(b *testing.B) {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				f.srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("GET %s: %d", path, rec.Code)
+				}
+			}
+		}},
+		{"cache.get_hit", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, _, ok := f.cache.Get(f.keys[i%len(f.keys)])
+				if !ok || len(data) == 0 {
+					b.Fatal("cache miss on warmed key")
+				}
+			}
+		}},
+		{"cluster.ring_owners", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if owners := f.ring.Owners(f.keys[i%len(f.keys)], 3); len(owners) != 3 {
+					b.Fatal("short owner set")
+				}
+			}
+		}},
+		{"server.checksum_verify", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if storage.Checksum(tileData) != tileSum {
+					b.Fatal("checksum drift")
+				}
+			}
+		}},
+	}
+}
+
+// RunSuite executes every probe and returns the measurements in probe
+// order. testing.Benchmark auto-scales iterations to its benchtime
+// (default 1s per probe), so a full suite run costs seconds, not
+// minutes — cheap enough for every CI run.
+func RunSuite(seed int64) (Run, error) {
+	f, err := newFixtures(seed)
+	if err != nil {
+		return Run{}, err
+	}
+	out := Run{Seed: seed}
+	for _, p := range f.probes() {
+		r := testing.Benchmark(p.run)
+		if r.N == 0 {
+			return Run{}, fmt.Errorf("bench: probe %s did not run", p.name)
+		}
+		out.Results = append(out.Results, Result{
+			Name:        p.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return out, nil
+}

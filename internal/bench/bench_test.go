@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func result(name string, ns float64, allocs int64) Result {
+	return Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs, Iterations: 100}
+}
+
+func TestCompareWithinToleranceOK(t *testing.T) {
+	base := Run{Results: []Result{result("a", 1000, 10), result("b", 50, 0)}}
+	// 3x slower is inside the default 4x wall-time allowance; +2 allocs
+	// is inside factor 1.25 + slack 2.
+	cur := Run{Results: []Result{result("a", 3000, 12), result("b", 40, 1)}}
+	c := Compare(base, cur, Tolerances{})
+	if !c.OK() {
+		t.Fatalf("within-tolerance run failed the gate: %v", c.Regressions)
+	}
+}
+
+func TestCompareCatchesRegressions(t *testing.T) {
+	base := Run{Results: []Result{
+		result("slow", 1000, 10),
+		result("hungry", 1000, 100),
+		result("gone", 1000, 10),
+	}}
+	cur := Run{Results: []Result{
+		result("slow", 5000, 10),    // 5x > 4x ns gate
+		result("hungry", 1000, 200), // 2x > 1.25x alloc gate
+		result("fresh", 10, 0),      // new probe: note, not failure
+	}}
+	c := Compare(base, cur, Tolerances{})
+	if len(c.Regressions) != 3 {
+		t.Fatalf("want 3 regressions (ns, allocs, missing), got %v", c.Regressions)
+	}
+	for _, want := range []string{"slow:", "hungry:", "gone:"} {
+		found := false
+		for _, r := range c.Regressions {
+			if strings.HasPrefix(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no regression reported for %q in %v", want, c.Regressions)
+		}
+	}
+	foundNew := false
+	for _, n := range c.Notes {
+		if strings.HasPrefix(n, "fresh:") {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Errorf("new probe not noted: %v", c.Notes)
+	}
+}
+
+func TestCompareNotesBigImprovements(t *testing.T) {
+	base := Run{Results: []Result{result("a", 10000, 10)}}
+	cur := Run{Results: []Result{result("a", 100, 10)}}
+	c := Compare(base, cur, Tolerances{})
+	if !c.OK() {
+		t.Fatalf("improvement failed the gate: %v", c.Regressions)
+	}
+	if len(c.Notes) == 0 || !strings.Contains(c.Notes[0], "re-baselining") {
+		t.Errorf("100x improvement not flagged for re-baselining: %v", c.Notes)
+	}
+}
+
+func TestReadWriteRunRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := Run{Seed: 42, Results: []Result{result("a", 123.5, 7)}}
+	if err := WriteRun(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seed != 42 || len(out.Results) != 1 || out.Results[0] != in.Results[0] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if _, err := ReadRun(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("reading a missing file did not error")
+	}
+}
+
+// The suite itself must run every probe and produce sane numbers. The
+// benchtime is cranked down so this is a wiring smoke test, not a
+// measurement — real measurements happen in cmd/mapbench.
+func TestRunSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite smoke skipped in -short")
+	}
+	old := flag.Lookup("test.benchtime").Value.String()
+	if err := flag.Set("test.benchtime", "1ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = flag.Set("test.benchtime", old) }()
+
+	run, err := RunSuite(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"codec.encode_binary": false, "codec.decode_binary": false,
+		"codec.checksum": false, "tiler.split": false,
+		"server.get_tile": false, "cache.get_hit": false,
+		"cluster.ring_owners": false, "server.checksum_verify": false,
+	}
+	for _, r := range run.Results {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected probe %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("probe %q missing from suite", name)
+		}
+	}
+	// A self-comparison must always pass the gate.
+	if c := Compare(run, run, Tolerances{}); !c.OK() {
+		t.Errorf("self-comparison regressed: %v", c.Regressions)
+	}
+}

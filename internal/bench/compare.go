@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Tolerances bound how far a run may drift from the baseline before
+// the gate fails. The zero value resolves to the defaults documented
+// on each field.
+type Tolerances struct {
+	// NsFactor is the allowed ns_per_op multiple (default 4.0). Wall
+	// time depends on the machine, its load, and its neighbours, so
+	// this is a tripwire for order-of-magnitude regressions, not a
+	// micro-benchmark referee.
+	NsFactor float64
+	// AllocFactor is the allowed allocs_per_op multiple (default 1.25).
+	// Allocation counts are deterministic for a fixed code path, so
+	// this is tight: sustained +25% allocations on a hot path is a real
+	// regression, not noise.
+	AllocFactor float64
+	// AllocSlack is an absolute allowance added on top of AllocFactor
+	// (default 2), so probes measuring near-zero allocations do not
+	// fail on a single incidental allocation.
+	AllocSlack int64
+}
+
+func (t Tolerances) nsFactor() float64 {
+	if t.NsFactor <= 0 {
+		return 4.0
+	}
+	return t.NsFactor
+}
+
+func (t Tolerances) allocFactor() float64 {
+	if t.AllocFactor <= 0 {
+		return 1.25
+	}
+	return t.AllocFactor
+}
+
+func (t Tolerances) allocSlack() int64 {
+	if t.AllocSlack < 0 {
+		return 0
+	}
+	if t.AllocSlack == 0 {
+		return 2
+	}
+	return t.AllocSlack
+}
+
+// Comparison is the outcome of gating one run against a baseline.
+type Comparison struct {
+	// Regressions fail the gate: a probe got slower/hungrier than the
+	// tolerance allows, or vanished from the suite.
+	Regressions []string
+	// Notes are informational: new probes without a baseline entry,
+	// large improvements worth re-baselining.
+	Notes []string
+}
+
+// OK reports whether the gate passes.
+func (c Comparison) OK() bool { return len(c.Regressions) == 0 }
+
+// Compare gates current against baseline. Every baseline probe must
+// still exist and stay within tolerance on both ns_per_op and
+// allocs_per_op; probes present only in current are noted, not failed,
+// so adding a probe does not require regenerating the baseline in the
+// same change.
+func Compare(baseline, current Run, tol Tolerances) Comparison {
+	var c Comparison
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	seen := make(map[string]bool, len(baseline.Results))
+	for _, base := range baseline.Results {
+		seen[base.Name] = true
+		now, ok := cur[base.Name]
+		if !ok {
+			c.Regressions = append(c.Regressions,
+				fmt.Sprintf("%s: probe missing from current run (baseline has it)", base.Name))
+			continue
+		}
+		if maxNs := base.NsPerOp * tol.nsFactor(); now.NsPerOp > maxNs {
+			c.Regressions = append(c.Regressions,
+				fmt.Sprintf("%s: %.0f ns/op exceeds %.1fx baseline (%.0f ns/op, limit %.0f)",
+					base.Name, now.NsPerOp, tol.nsFactor(), base.NsPerOp, maxNs))
+		}
+		maxAllocs := int64(math.Ceil(float64(base.AllocsPerOp)*tol.allocFactor())) + tol.allocSlack()
+		if now.AllocsPerOp > maxAllocs {
+			c.Regressions = append(c.Regressions,
+				fmt.Sprintf("%s: %d allocs/op exceeds limit %d (baseline %d, %.2fx + %d slack)",
+					base.Name, now.AllocsPerOp, maxAllocs, base.AllocsPerOp,
+					tol.allocFactor(), tol.allocSlack()))
+		}
+		if base.NsPerOp > 0 && now.NsPerOp < base.NsPerOp/tol.nsFactor() {
+			c.Notes = append(c.Notes,
+				fmt.Sprintf("%s: %.0f ns/op is >%.1fx faster than baseline %.0f — consider re-baselining",
+					base.Name, now.NsPerOp, tol.nsFactor(), base.NsPerOp))
+		}
+	}
+	for _, r := range current.Results {
+		if !seen[r.Name] {
+			c.Notes = append(c.Notes, fmt.Sprintf("%s: new probe, no baseline entry yet", r.Name))
+		}
+	}
+	return c
+}
+
+// ReadRun loads a run from a JSON file written by WriteRun.
+func ReadRun(path string) (Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Run{}, err
+	}
+	var r Run
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Run{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return Run{}, fmt.Errorf("bench: %s has no results", path)
+	}
+	return r, nil
+}
+
+// WriteRun serializes a run as indented JSON (stable field order), the
+// format BENCH_baseline.json is committed in.
+func WriteRun(path string, r Run) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,490 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/obs"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// clusterNode is one member of the soak fleet: a MemStore behind the
+// full production stack (TileServer + resilience pipeline, own
+// registry), reachable only through its own chaos injector so a
+// node-kill severs exactly this node's link without rebinding ports.
+type clusterNode struct {
+	name string
+	st   *storage.MemStore
+	inj  *chaos.Injector
+	srv  *httptest.Server
+}
+
+// perHostTransport routes each outbound request through the
+// destination node's chaos transport, so SetDown(true) on one injector
+// looks to the router exactly like that machine dropping off the
+// network — probes and shard legs alike.
+type perHostTransport struct {
+	byHost map[string]http.RoundTripper
+}
+
+func (p *perHostTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if rt, ok := p.byHost[req.URL.Host]; ok {
+		return rt.RoundTrip(req)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// clusterTile encodes a small valid tile whose logical clock is the
+// cluster's replica version.
+func clusterTile(clock uint64, salt int) []byte {
+	m := core.NewMap(fmt.Sprintf("ct-%d", salt))
+	m.Clock = clock
+	m.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(float64(salt), float64(clock), 0)})
+	return storage.EncodeBinary(m)
+}
+
+// dumpClusterz writes the router's final /clusterz document to the file
+// named by CLUSTERZ_DUMP when the test failed — the cluster-soak
+// counterpart of the tracez artifact.
+func dumpClusterz(t *testing.T, rt *cluster.Router) {
+	path := os.Getenv("CLUSTERZ_DUMP")
+	if path == "" || !t.Failed() {
+		return
+	}
+	data, err := json.MarshalIndent(rt.Status(), "", "  ")
+	if err != nil {
+		t.Logf("clusterz dump failed: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Logf("clusterz dump failed: %v", err)
+		return
+	}
+	t.Logf("clusterz dump written to %s", path)
+}
+
+// TestClusterSoak runs the sharded tile cluster through repeated
+// node-kills under zipfian read load with a concurrent writer, and
+// asserts the replication contract end to end:
+//
+//  1. zero read unavailability at quorum: every fleet GET during every
+//     kill window returns 200 — nothing shed, nothing errored;
+//  2. the router's accounting closes exactly: routed == served + shed +
+//     errored, and agrees with the client-side request count;
+//  3. hinted handoff drains to empty after every victim returns
+//     (queued == drained + superseded, dropped == 0, pending == 0,
+//     no durable hint layers left anywhere);
+//  4. replicas converge byte-identical on every owner, and a final
+//     CRC-verified read through the router returns exactly the last
+//     acknowledged write of every key.
+//
+// Volume is bounded: default 3000 GETs, overridable via
+// SOAK_CLUSTER_GETS.
+func TestClusterSoak(t *testing.T) {
+	totalGets := 3000
+	if v := os.Getenv("SOAK_CLUSTER_GETS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SOAK_CLUSTER_GETS %q", v)
+		}
+		totalGets = n
+	}
+	const (
+		nNodes   = 5
+		replicas = 3
+		nTiles   = 32
+		rounds   = 3
+	)
+
+	// ---- fleet ----
+	nodes := make([]*clusterNode, nNodes)
+	cfgNodes := make([]cluster.Node, nNodes)
+	transport := &perHostTransport{byHost: map[string]http.RoundTripper{}}
+	for i := range nodes {
+		st := storage.NewMemStore()
+		inj := chaos.New(chaos.Config{Seed: int64(2027 + i)})
+		handler := resilience.NewHandler(storage.NewTileServer(st), resilience.Config{
+			MaxConcurrent:  64,
+			MaxWait:        time.Second,
+			RequestTimeout: 5 * time.Second,
+			RetryAfter:     50 * time.Millisecond,
+			CacheSize:      -1, // convergence is asserted against stores, not caches
+			Metrics:        obs.NewRegistry(),
+		})
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		n := &clusterNode{name: fmt.Sprintf("node%d", i), st: st, inj: inj, srv: srv}
+		nodes[i] = n
+		cfgNodes[i] = cluster.Node{Name: n.name, Base: srv.URL}
+		transport.byHost[srv.Listener.Addr().String()] = inj.Transport(nil)
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: 50 * time.Millisecond,
+		Capacity:      16,
+		MaxSpans:      32,
+		Metrics:       reg,
+	})
+	defer dumpTracez(t, tracer)
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:         cfgNodes,
+		Replicas:      replicas,
+		Transport:     transport,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		ShardTimeout:  2 * time.Second,
+		Registry:      reg,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dumpClusterz(t, rt)
+	rt.Start()
+	defer rt.Close()
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	// Every client-side round trip to the router is counted so the
+	// router's Routed counter can be matched exactly at the end.
+	var myReqs uint64
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	routerPut := func(path string, data []byte) int {
+		myReqs++
+		req, err := http.NewRequest(http.MethodPut, front.URL+path, bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(storage.ChecksumHeader, storage.Checksum(data))
+		resp, err := httpc.Do(req)
+		if err != nil {
+			t.Fatalf("router put %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// ---- seed ----
+	type tileState struct {
+		key   storage.TileKey
+		path  string
+		clock uint64
+		data  []byte
+	}
+	tiles := make([]*tileState, nTiles)
+	paths := make([]string, nTiles)
+	for i := range tiles {
+		key := storage.TileKey{Layer: "base", TX: int32(i), TY: 0}
+		ts := &tileState{key: key, path: fmt.Sprintf("/v1/tiles/base/%d/0", i), clock: 1, data: clusterTile(1, i)}
+		if code := routerPut(ts.path, ts.data); code != http.StatusNoContent {
+			t.Fatalf("seed put %s: %d", ts.path, code)
+		}
+		tiles[i] = ts
+		paths[i] = ts.path
+	}
+
+	// ---- background writer ----
+	// One writer mutates the same keyset throughout the soak with
+	// strictly increasing clocks, so every kill window has writes whose
+	// dead owner must be covered by hinted handoff. expected[] tracks
+	// the last acknowledged version per key under the lock.
+	var (
+		wmu        sync.Mutex
+		writerReqs uint64
+		writerBad  int
+		writerStop = make(chan struct{})
+		writerDone = make(chan struct{})
+	)
+	go func() {
+		defer close(writerDone)
+		i := 0
+		for {
+			select {
+			case <-writerStop:
+				return
+			default:
+			}
+			wmu.Lock()
+			ts := tiles[i%len(tiles)]
+			next := ts.clock + 1
+			data := clusterTile(next, i%len(tiles))
+			wmu.Unlock()
+			req, err := http.NewRequest(http.MethodPut, front.URL+ts.path, bytes.NewReader(data))
+			if err != nil {
+				panic(err)
+			}
+			req.Header.Set(storage.ChecksumHeader, storage.Checksum(data))
+			resp, err := httpc.Do(req)
+			wmu.Lock()
+			writerReqs++
+			if err != nil {
+				writerBad++
+			} else {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusNoContent {
+					ts.clock, ts.data = next, data
+				} else {
+					writerBad++
+				}
+			}
+			wmu.Unlock()
+			i++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// ---- kill/load rounds ----
+	waitStatus := func(name string, wantAlive bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			alive := false
+			for _, m := range rt.Status().Members {
+				if m.Name == name {
+					alive = m.Alive
+				}
+			}
+			if alive == wantAlive {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never became alive=%v", name, wantAlive)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	perRound := totalGets / (rounds * 2)
+	clients := 20
+	if perRound < clients {
+		clients = perRound
+	}
+	runChunk := func(seed int64) *chaos.LoadResult {
+		res, err := chaos.RunLoad(context.Background(), chaos.LoadConfig{
+			Seed:              seed,
+			Clients:           clients,
+			RequestsPerClient: perRound / clients,
+			Paths:             paths,
+			Base:              front.URL,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	var fleetSubmitted, fleetOK, fleetShed, fleetErrored uint64
+	account := func(res *chaos.LoadResult) {
+		fleetSubmitted += res.Submitted
+		fleetOK += res.OK
+		fleetShed += res.Shed
+		fleetErrored += res.Errored
+	}
+
+	for round := 0; round < rounds; round++ {
+		victim := nodes[(round*2)%nNodes]
+		// Healthy traffic, then the kill lands mid-soak: the next chunk
+		// starts while the router still believes the victim is alive, so
+		// failure detection happens under fire.
+		account(runChunk(int64(4000 + round)))
+		victim.inj.SetDown(true)
+		account(runChunk(int64(5000 + round)))
+		waitStatus(victim.name, false)
+		// Recovery: the victim returns and its hints must drain to zero.
+		victim.inj.SetDown(false)
+		waitStatus(victim.name, true)
+		drainDeadline := time.Now().Add(10 * time.Second)
+		for rt.Stats().HintsPending > 0 {
+			if time.Now().After(drainDeadline) {
+				t.Fatalf("round %d: hints never drained: %+v", round, rt.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	close(writerStop)
+	<-writerDone
+
+	// Any hints from the writer's final moments drain now; all nodes
+	// are alive.
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for rt.Stats().HintsPending > 0 {
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("final hints never drained: %+v", rt.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Let in-flight read finishers and queued repairs quiesce before
+	// convergence is judged — they all converge toward the final winner.
+	time.Sleep(100 * time.Millisecond)
+
+	// ---- assertions ----
+	// 1. Zero read unavailability: every fleet GET during every phase —
+	// including mid-kill — was answered 200.
+	if fleetShed != 0 || fleetErrored != 0 || fleetOK != fleetSubmitted {
+		t.Errorf("read availability: submitted=%d ok=%d shed=%d errored=%d",
+			fleetSubmitted, fleetOK, fleetShed, fleetErrored)
+	}
+	wmu.Lock()
+	wReqs, wBad := writerReqs, writerBad
+	wmu.Unlock()
+	if wBad != 0 {
+		t.Errorf("writer availability: %d/%d writes not acknowledged", wBad, wReqs)
+	}
+
+	// 2. Replica convergence: every owner of every key holds the last
+	// acknowledged bytes, byte-identical. Reads through the router give
+	// read-repair its trigger while hints finish settling.
+	byName := map[string]*clusterNode{}
+	for _, n := range nodes {
+		byName[n.name] = n
+	}
+	convergeDeadline := time.Now().Add(15 * time.Second)
+	for _, ts := range tiles {
+		owners := rt.Ring().Owners(ts.key, replicas)
+		for {
+			converged := true
+			for _, o := range owners {
+				got, err := byName[o].st.Get(ts.key)
+				if err != nil || !bytes.Equal(got, ts.data) {
+					converged = false
+					break
+				}
+			}
+			if converged {
+				break
+			}
+			if time.Now().After(convergeDeadline) {
+				t.Fatalf("replicas of %v never converged (owners %v, want clock %d)", ts.key, owners, ts.clock)
+			}
+			myReqs++
+			resp, err := httpc.Get(front.URL + ts.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// 3. Final CRC-verified reads through the router return exactly the
+	// last acknowledged write.
+	for _, ts := range tiles {
+		myReqs++
+		resp, err := httpc.Get(front.URL + ts.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := readBody(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("final read %s: %d", ts.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get(storage.ChecksumHeader); got != storage.Checksum(body) {
+			t.Errorf("final read %s: checksum header %q does not match body", ts.path, got)
+		}
+		if !bytes.Equal(body, ts.data) {
+			t.Errorf("final read %s: body is not the last acknowledged write (clock %d)", ts.path, ts.clock)
+		}
+	}
+
+	// 4. Hinted handoff books balance and nothing was silently parked:
+	// no pending hints, no drops, and no durable hint layers left on any
+	// node's disk.
+	s := rt.Stats()
+	if s.HintsQueued == 0 {
+		t.Error("soak queued no hints — the kills missed every write; raise the write rate")
+	}
+	if s.HintsPending != 0 || s.HintsDropped != 0 {
+		t.Errorf("hint state: %+v", s)
+	}
+	if s.HintsQueued != s.HintsDrained+s.HintsSuperseded+s.HintsDropped {
+		t.Errorf("hint books: queued %d != drained %d + superseded %d + dropped %d",
+			s.HintsQueued, s.HintsDrained, s.HintsSuperseded, s.HintsDropped)
+	}
+	for _, n := range nodes {
+		layers, err := n.st.ListLayers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range layers {
+			if len(l) > 6 && l[:6] == "hint--" {
+				keys, _ := n.st.Keys(l)
+				if len(keys) > 0 {
+					t.Errorf("node %s still holds %d durable hints on layer %s", n.name, len(keys), l)
+				}
+			}
+		}
+	}
+
+	// 5. The router's accounting closes exactly and agrees with the
+	// client side: routed == served + shed + errored, shed == errored
+	// == 0, and the count matches every request this test ever sent.
+	if s.Routed != s.Served+s.Shed+s.Errored {
+		t.Errorf("router accounting: routed %d != served %d + shed %d + errored %d",
+			s.Routed, s.Served, s.Shed, s.Errored)
+	}
+	if s.Shed != 0 || s.Errored != 0 {
+		t.Errorf("router refused/errored traffic: %+v", s)
+	}
+	wantRouted := fleetSubmitted + myReqs + wReqs
+	if s.Routed != wantRouted {
+		t.Errorf("router routed %d requests, clients sent %d", s.Routed, wantRouted)
+	}
+
+	// 6. /metricz tells the same story as Stats() — same atomic cells —
+	// and the per-shard families carried the load with bounded labels.
+	ms := metricz(t, front.URL)
+	for name, want := range map[string]uint64{
+		"cluster.router.routed":  s.Routed,
+		"cluster.router.served":  s.Served,
+		"cluster.router.shed":    s.Shed,
+		"cluster.router.errored": s.Errored,
+		"cluster.hint.queued":    s.HintsQueued,
+		"cluster.hint.drained":   s.HintsDrained,
+	} {
+		if got := ms.Counters[name]; got != want {
+			t.Errorf("/metricz %s = %d, Stats() says %d", name, got, want)
+		}
+	}
+	var shardRouted uint64
+	for _, n := range nodes {
+		shardRouted += ms.Counters["cluster.shard.routed."+n.name]
+	}
+	if shardRouted == 0 {
+		t.Error("per-shard routed counters never moved")
+	}
+	if got := ms.Counters["cluster.shard.routed.other"]; got != 0 {
+		t.Errorf("out-of-domain shard label saw %d increments", got)
+	}
+
+	t.Logf("cluster soak: reads=%d writes=%d routed=%d hints queued=%d drained=%d superseded=%d repairs done=%d skipped=%d stale=%d",
+		fleetSubmitted, wReqs, s.Routed, s.HintsQueued, s.HintsDrained, s.HintsSuperseded,
+		s.RepairsDone, s.RepairsSkipped, s.StaleReplicas)
+}
+
+// readBody drains and closes a response body.
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	buf := &bytes.Buffer{}
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

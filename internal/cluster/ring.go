@@ -1,0 +1,179 @@
+// Package cluster turns N single-process tile servers into one
+// sharded, replicated serving fleet: a consistent-hash ring with
+// virtual nodes maps every TileKey to an owner set of R replicas, a
+// router fans reads out to the owners with a read quorum and repairs
+// stale replicas in the background, and writes that cannot reach a
+// down owner are parked as hints on a fallback node and drained back
+// when the owner recovers. This is the "industrial scale" spatial
+// partitioning of Divide and Conquer (arXiv 2407.18703) applied to
+// serving rather than generation: individual nodes may die mid-load
+// and the cluster keeps answering tile reads at quorum.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"hdmaps/internal/storage"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 128
+// points per node keeps the load imbalance across nodes within a few
+// tens of percent (pinned by the ring property tests) while Add/Remove
+// stays O(V log V).
+const DefaultVNodes = 128
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone distributes short,
+// similar strings ("node0#1", "node0#2") unevenly around a 64-bit
+// circle; the finalizer's avalanche spreads the vnode points enough
+// for the balance bounds the ring tests pin.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over named nodes. It is immutable
+// after construction from the router's point of view: the router
+// swaps whole rings on membership change, so Owners never sees a
+// half-updated circle. Methods on Ring itself are not synchronized.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted member names
+}
+
+// hashString is FNV-1a over s — stable across processes (the ring must
+// agree between a router restart and its peers; maphash would not).
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// keyHash places a tile key on the circle. Layer and both coordinates
+// join the hash so layers shard independently — one layer's hot city
+// centre does not pin the same nodes as every other layer's.
+func keyHash(key storage.TileKey) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key.Layer))
+	var buf [17]byte
+	buf[0] = '/'
+	b := strconv.AppendInt(buf[:1], int64(key.TX), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(key.TY), 10)
+	_, _ = h.Write(b)
+	return mix64(h.Sum64())
+}
+
+// NewRing builds a ring of the given nodes with vnodes virtual nodes
+// each (DefaultVNodes when <= 0). Node names must be unique.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	for _, n := range nodes {
+		r.insert(n)
+	}
+	return r
+}
+
+// insert adds one node's virtual points, keeping the circle sorted.
+func (r *Ring) insert(node string) {
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: hashString(node + "#" + strconv.Itoa(i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	r.nodes = append(r.nodes, node)
+	sort.Strings(r.nodes)
+}
+
+// Nodes returns the sorted member names.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// WithNode returns a new ring with node added (r unchanged). Adding an
+// existing member returns an identical copy.
+func (r *Ring) WithNode(node string) *Ring {
+	nodes := r.Nodes()
+	for _, n := range nodes {
+		if n == node {
+			return NewRing(nodes, r.vnodes)
+		}
+	}
+	return NewRing(append(nodes, node), r.vnodes)
+}
+
+// WithoutNode returns a new ring with node removed (r unchanged).
+func (r *Ring) WithoutNode(node string) *Ring {
+	nodes := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			nodes = append(nodes, n)
+		}
+	}
+	return NewRing(nodes, r.vnodes)
+}
+
+// Owners returns the n distinct nodes owning key, walking clockwise
+// from the key's position — the replica set. Fewer than n members
+// returns them all. The walk is deterministic: the same ring and key
+// always produce the same owner list in the same order (the first
+// entry is the primary).
+func (r *Ring) Owners(key storage.TileKey, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	r.walk(key, func(node string) bool {
+		out = append(out, node)
+		return len(out) < n
+	})
+	return out
+}
+
+// walk visits distinct nodes in ring order starting at key's position,
+// stopping when fn returns false or every member has been visited. The
+// router uses it both for owner sets and to find the first non-owner
+// fallback that should hold hints for a dead owner.
+func (r *Ring) walk(key storage.TileKey, fn func(node string) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(seen) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if !fn(p.node) {
+			return
+		}
+	}
+}

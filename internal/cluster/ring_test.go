@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hdmaps/internal/storage"
+)
+
+func testKeys(n int) []storage.TileKey {
+	layers := []string{"base", "crowd_signs", "lidar"}
+	out := make([]storage.TileKey, 0, n)
+	for i := 0; len(out) < n; i++ {
+		out = append(out, storage.TileKey{
+			Layer: layers[i%len(layers)],
+			TX:    int32(i % 97),
+			TY:    int32(i / 97),
+		})
+	}
+	return out
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node%d", i)
+	}
+	return out
+}
+
+// The ring must be a pure function of membership: two rings built from
+// the same nodes (in any order) route every key identically. A router
+// restart or a peer building its own ring must agree on ownership.
+func TestRingDeterministic(t *testing.T) {
+	nodes := nodeNames(7)
+	a := NewRing(nodes, 0)
+	reversed := make([]string, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	b := NewRing(reversed, 0)
+	for _, key := range testKeys(2000) {
+		oa := a.Owners(key, 3)
+		ob := b.Owners(key, 3)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("owner disagreement for %v: %v vs %v", key, oa, ob)
+		}
+	}
+}
+
+// Owners must return n distinct nodes with a stable primary.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(nodeNames(5), 0)
+	for _, key := range testKeys(500) {
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("want 3 owners, got %v", owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %q in %v", o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	// Asking for more replicas than members returns all members.
+	if got := r.Owners(storage.TileKey{Layer: "base"}, 9); len(got) != 5 {
+		t.Fatalf("overask: want all 5 members, got %v", got)
+	}
+}
+
+// Primary-ownership load must stay balanced across nodes: with
+// DefaultVNodes virtual nodes, no node should own more than ~2x or
+// less than ~1/2 of the fair share of a large keyset.
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 8, 20000
+	r := NewRing(nodeNames(nodes), 0)
+	counts := map[string]int{}
+	for _, key := range testKeys(keys) {
+		counts[r.Owners(key, 1)[0]]++
+	}
+	fair := float64(keys) / float64(nodes)
+	for node, c := range counts {
+		ratio := float64(c) / fair
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("node %s owns %d keys (%.2fx fair share %v)", node, c, ratio, fair)
+		}
+	}
+	if len(counts) != nodes {
+		t.Errorf("only %d/%d nodes own any keys", len(counts), nodes)
+	}
+}
+
+// Adding one node must move only ~K/N of the primary assignments —
+// the whole point of consistent hashing. A naive mod-N hash would move
+// ~(N-1)/N of them.
+func TestRingJoinBoundedMovement(t *testing.T) {
+	const keys = 20000
+	base := NewRing(nodeNames(8), 0)
+	grown := base.WithNode("node8")
+	moved := 0
+	for _, key := range testKeys(keys) {
+		if base.Owners(key, 1)[0] != grown.Owners(key, 1)[0] {
+			moved++
+		}
+	}
+	// Fair share for the 9th node is 1/9 ≈ 11%; allow 2x for vnode
+	// placement variance.
+	if frac := float64(moved) / keys; frac > 2.0/9.0 {
+		t.Errorf("join moved %.1f%% of keys, want <= %.1f%%", frac*100, 100*2.0/9.0)
+	}
+	// Every moved key must have moved TO the new node, never between
+	// old nodes.
+	for _, key := range testKeys(keys) {
+		o, n := base.Owners(key, 1)[0], grown.Owners(key, 1)[0]
+		if o != n && n != "node8" {
+			t.Fatalf("key %v moved %s -> %s, not to the joining node", key, o, n)
+		}
+	}
+}
+
+// Removing a node must relocate exactly the keys it owned: every other
+// key keeps its primary.
+func TestRingLeaveExactMovement(t *testing.T) {
+	const keys = 20000
+	base := NewRing(nodeNames(8), 0)
+	shrunk := base.WithoutNode("node3")
+	for _, key := range testKeys(keys) {
+		o := base.Owners(key, 1)[0]
+		n := shrunk.Owners(key, 1)[0]
+		if o == "node3" {
+			if n == "node3" {
+				t.Fatalf("key %v still owned by removed node", key)
+			}
+		} else if o != n {
+			t.Fatalf("key %v moved %s -> %s though its owner stayed", key, o, n)
+		}
+	}
+}
+
+// WithNode / WithoutNode must not mutate the receiver, and a
+// join+leave round trip must restore the original routing.
+func TestRingImmutableRoundTrip(t *testing.T) {
+	base := NewRing(nodeNames(5), 0)
+	before := map[string]string{}
+	ks := testKeys(1000)
+	for _, key := range ks {
+		before[key.Layer+fmt.Sprint(key.TX, key.TY)] = base.Owners(key, 1)[0]
+	}
+	rt := base.WithNode("extra").WithoutNode("extra")
+	for _, key := range ks {
+		if got := base.Owners(key, 1)[0]; got != before[key.Layer+fmt.Sprint(key.TX, key.TY)] {
+			t.Fatalf("receiver mutated: key %v now %s", key, got)
+		}
+		if got := rt.Owners(key, 1)[0]; got != before[key.Layer+fmt.Sprint(key.TX, key.TY)] {
+			t.Fatalf("round trip changed routing for %v: %s", key, got)
+		}
+	}
+	if base.Len() != 5 || len(base.Nodes()) != 5 {
+		t.Fatalf("receiver membership mutated: %v", base.Nodes())
+	}
+}
+
+// Replica sets (not just primaries) must also move boundedly on join:
+// a key's owner set changes by at most one node when one node joins.
+func TestRingJoinReplicaSetStability(t *testing.T) {
+	base := NewRing(nodeNames(8), 0)
+	grown := base.WithNode("node8")
+	for _, key := range testKeys(5000) {
+		o := base.Owners(key, 3)
+		n := grown.Owners(key, 3)
+		om := map[string]bool{}
+		for _, x := range o {
+			om[x] = true
+		}
+		lost := 0
+		for _, x := range n {
+			if !om[x] {
+				lost++
+			}
+		}
+		if lost > 1 {
+			t.Fatalf("key %v owner set changed by %d nodes on single join: %v -> %v", key, lost, o, n)
+		}
+	}
+}
+
+func TestHintLayerNames(t *testing.T) {
+	hl := hintLayer("node2", "base")
+	if hl != "hint--node2--base" {
+		t.Fatalf("hintLayer: %q", hl)
+	}
+	target, layer, ok := parseHintLayer(hl)
+	if !ok || target != "node2" || layer != "base" {
+		t.Fatalf("parseHintLayer(%q) = %q %q %v", hl, target, layer, ok)
+	}
+	if !isHintLayer(hl) {
+		t.Fatal("isHintLayer false for hint layer")
+	}
+	for _, plain := range []string{"base", "hint--", "hint--x", "hint--x--", "hintx--y--z"} {
+		if isHintLayer(plain) {
+			t.Fatalf("isHintLayer(%q) = true", plain)
+		}
+	}
+	// Layer names containing the separator still round-trip on target
+	// (the first separator wins).
+	target, layer, ok = parseHintLayer(hintLayer("n1", "weird--layer"))
+	if !ok || target != "n1" || layer != "weird--layer" {
+		t.Fatalf("nested separator: %q %q %v", target, layer, ok)
+	}
+}

@@ -1,0 +1,1399 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdmaps/internal/obs"
+	"hdmaps/internal/storage"
+)
+
+// Node identifies one tile-server backend: a stable name (the ring
+// identity, also the metric label) and its HTTP base URL.
+type Node struct {
+	Name string
+	Base string
+}
+
+// Config configures a Router. Zero fields take the defaults documented
+// on each resolver below.
+type Config struct {
+	// Nodes is the initial membership. Names must be unique, non-empty,
+	// and valid metric label values ([a-z0-9_]+).
+	Nodes []Node
+	// Replicas is the owner-set size R per tile (default 3, clamped to
+	// the member count).
+	Replicas int
+	// ReadQuorum / WriteQuorum are the answers required before a read
+	// responds or a write acks (default R/2+1 each). A write quorum is
+	// sloppy: a hint successfully parked for a dead owner counts.
+	ReadQuorum  int
+	WriteQuorum int
+	// VNodes is the virtual-node count per member (default
+	// DefaultVNodes).
+	VNodes int
+	// ShardTimeout bounds each per-node leg request (default 5s).
+	ShardTimeout time.Duration
+	// RetryAfter is the hint on shed (503) responses (default 1s).
+	RetryAfter time.Duration
+	// ProbeInterval / ProbeTimeout drive the failure detector (defaults
+	// 250ms / 1s). FailAfter is the consecutive-strike threshold that
+	// marks a node down (default 2).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	FailAfter     int
+	// MaxHints bounds the in-memory hinted-handoff buffer (default
+	// 4096 hints); MaxRepairQueue bounds the read-repair queue (default
+	// 256).
+	MaxHints       int
+	MaxRepairQueue int
+	// MaxTileBytes bounds accepted PUT bodies (default 16 MiB, matching
+	// storage.TileServer).
+	MaxTileBytes int64
+	// Transport, when set, is used for all node requests — the chaos
+	// tests inject per-host fault transports here.
+	Transport http.RoundTripper
+	// Registry receives the router's counters (default: a private
+	// registry). Tracer receives request spans (default: a tracer with
+	// Metrics on the same registry). Logger defaults to a no-op.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+	Logger   *slog.Logger
+}
+
+func (c *Config) replicas() int {
+	r := c.Replicas
+	if r <= 0 {
+		r = 3
+	}
+	if n := len(c.Nodes); r > n {
+		r = n
+	}
+	return r
+}
+
+func (c *Config) readQuorum() int {
+	if c.ReadQuorum > 0 {
+		return c.ReadQuorum
+	}
+	return c.replicas()/2 + 1
+}
+
+func (c *Config) writeQuorum() int {
+	if c.WriteQuorum > 0 {
+		return c.WriteQuorum
+	}
+	return c.replicas()/2 + 1
+}
+
+func (c *Config) shardTimeout() time.Duration {
+	if c.ShardTimeout > 0 {
+		return c.ShardTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Config) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return time.Second
+}
+
+func (c *Config) probeInterval() time.Duration {
+	if c.ProbeInterval > 0 {
+		return c.ProbeInterval
+	}
+	return 250 * time.Millisecond
+}
+
+func (c *Config) probeTimeout() time.Duration {
+	if c.ProbeTimeout > 0 {
+		return c.ProbeTimeout
+	}
+	return time.Second
+}
+
+func (c *Config) failAfter() int {
+	if c.FailAfter > 0 {
+		return c.FailAfter
+	}
+	return 2
+}
+
+func (c *Config) maxTileBytes() int64 {
+	if c.MaxTileBytes > 0 {
+		return c.MaxTileBytes
+	}
+	return 16 << 20
+}
+
+func (c *Config) maxRepairQueue() int {
+	if c.MaxRepairQueue > 0 {
+		return c.MaxRepairQueue
+	}
+	return 256
+}
+
+// Router fronts a fleet of tile servers as one origin: it routes every
+// tile key to its R ring owners, reads at quorum with background
+// read-repair, replicates writes with hinted handoff for dead owners,
+// and exports the same /statz /metricz /tracez surface as a single
+// node. It implements http.Handler for the storage /v1 API plus the
+// meta endpoints.
+type Router struct {
+	cfg    Config
+	log    *slog.Logger
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	httpc  *http.Client
+	stats  *stats
+	hints  *hintBuffer
+
+	mu      sync.RWMutex
+	ring    *Ring
+	members map[string]*member
+
+	repairCh chan repairJob
+	stop     chan struct{}
+	// closeMu serialises goBG against Close so bg.Add never races
+	// bg.Wait: once draining is set under the lock, no new background
+	// goroutine can start.
+	closeMu  sync.Mutex
+	bg       sync.WaitGroup
+	started  atomic.Bool
+	draining atomic.Bool
+}
+
+// repairJob asks the repair worker to bring one replica up to the
+// winner observed by a quorum read.
+type repairJob struct {
+	m     *member
+	key   storage.TileKey
+	data  []byte
+	sum   string
+	clock uint64
+}
+
+// NewRouter validates cfg and builds a stopped router; call Start to
+// launch the failure detector and repair worker.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	names := make([]string, 0, len(cfg.Nodes))
+	members := make(map[string]*member, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n.Name == "" || n.Base == "" {
+			return nil, fmt.Errorf("cluster: node needs name and base: %+v", n)
+		}
+		if err := obs.ValidateLabelValue(n.Name); err != nil {
+			return nil, fmt.Errorf("cluster: node name %q: %w", n.Name, err)
+		}
+		if _, dup := members[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		n.Base = strings.TrimRight(n.Base, "/")
+		// Nodes start optimistically alive; the first probe round
+		// corrects any that are already dead.
+		members[n.Name] = &member{node: n, alive: true}
+		names = append(names, n.Name)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.TracerConfig{Metrics: reg})
+	}
+	rt := &Router{
+		cfg:      cfg,
+		log:      obs.OrNop(cfg.Logger),
+		tracer:   tracer,
+		reg:      reg,
+		stats:    newStats(reg, names),
+		hints:    newHintBuffer(cfg.MaxHints),
+		ring:     NewRing(names, cfg.VNodes),
+		members:  members,
+		repairCh: make(chan repairJob, cfg.maxRepairQueue()),
+		stop:     make(chan struct{}),
+	}
+	rt.httpc = &http.Client{Transport: cfg.Transport}
+	return rt, nil
+}
+
+// Registry exposes the router's metric registry (for /metricz mounting
+// or test assertions).
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Tracer exposes the router's tracer.
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
+
+// Stats reads the router counters plus live hint/drain state.
+func (rt *Router) Stats() StatsSnapshot {
+	s := rt.stats.snapshot()
+	s.HintsPending = rt.hints.pending()
+	s.Draining = rt.draining.Load()
+	return s
+}
+
+// Start launches the failure detector and the read-repair worker.
+func (rt *Router) Start() {
+	if !rt.started.CompareAndSwap(false, true) {
+		return
+	}
+	rt.bg.Add(2)
+	go rt.probeLoop()
+	go rt.repairLoop()
+}
+
+// Close stops background work and waits for in-flight drains, repairs,
+// and read finishers. The router sheds new proxied requests while
+// closing.
+func (rt *Router) Close() {
+	rt.closeMu.Lock()
+	if !rt.draining.CompareAndSwap(false, true) {
+		rt.closeMu.Unlock()
+		return
+	}
+	rt.closeMu.Unlock()
+	close(rt.stop)
+	rt.bg.Wait()
+}
+
+// goBG runs fn on a tracked background goroutine, refusing once Close
+// has begun (Close waits for everything started before it).
+func (rt *Router) goBG(fn func()) bool {
+	rt.closeMu.Lock()
+	if rt.draining.Load() {
+		rt.closeMu.Unlock()
+		return false
+	}
+	rt.bg.Add(1)
+	rt.closeMu.Unlock()
+	go func() {
+		defer rt.bg.Done()
+		fn()
+	}()
+	return true
+}
+
+// memberList snapshots the membership for lock-free iteration.
+func (rt *Router) memberList() []*member {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*member, 0, len(rt.members))
+	for _, m := range rt.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node.Name < out[j].node.Name })
+	return out
+}
+
+// AddNode joins a node to the ring: the membership map gains a member
+// and the ring is swapped whole, so in-flight owner lookups see either
+// the old or the new circle, never a partial one. Keys the new node
+// now owns converge via read-repair. Joining an existing name replaces
+// its base URL.
+func (rt *Router) AddNode(n Node) error {
+	if n.Name == "" || n.Base == "" {
+		return fmt.Errorf("cluster: node needs name and base: %+v", n)
+	}
+	if err := obs.ValidateLabelValue(n.Name); err != nil {
+		return fmt.Errorf("cluster: node name %q: %w", n.Name, err)
+	}
+	n.Base = strings.TrimRight(n.Base, "/")
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.members[n.Name] = &member{node: n, alive: true}
+	rt.ring = rt.ring.WithNode(n.Name)
+	return nil
+}
+
+// RemoveNode leaves a node from the ring. Its pending hints stay
+// buffered (they are dropped only by eviction) but will never drain.
+func (rt *Router) RemoveNode(name string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.members, name)
+	rt.ring = rt.ring.WithoutNode(name)
+}
+
+// Ring snapshots the current ring.
+func (rt *Router) Ring() *Ring {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring
+}
+
+// ownersFor resolves a key's owner set to live member handles (dead
+// members included — callers decide whether to skip or hint).
+func (rt *Router) ownersFor(key storage.TileKey) []*member {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	names := rt.ring.Owners(key, rt.cfg.replicas())
+	out := make([]*member, 0, len(names))
+	for _, n := range names {
+		if m := rt.members[n]; m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// fallbackFor finds the first live non-owner walking clockwise past a
+// key's owner set — the node that holds durable hint copies for it.
+func (rt *Router) fallbackFor(key storage.TileKey, owners []*member) *member {
+	isOwner := make(map[string]bool, len(owners))
+	for _, m := range owners {
+		isOwner[m.node.Name] = true
+	}
+	rt.mu.RLock()
+	ring, members := rt.ring, rt.members
+	rt.mu.RUnlock()
+	var fb *member
+	ring.walk(key, func(node string) bool {
+		if isOwner[node] {
+			return true
+		}
+		if m := members[node]; m != nil && m.Alive() {
+			fb = m
+			return false
+		}
+		return true
+	})
+	return fb
+}
+
+// ---- HTTP surface ----------------------------------------------------
+
+// ServeHTTP routes meta endpoints locally and proxies the /v1 tile API
+// to the ring. Accounting invariant: every /v1 request increments
+// Routed and exactly one of Served, Shed, Errored.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+		return
+	case "/readyz":
+		if rt.draining.Load() {
+			w.Header().Set("Retry-After", rt.retryAfterValue())
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
+		return
+	case "/statz":
+		rt.writeJSON(w, rt.Stats())
+		return
+	case "/clusterz":
+		rt.writeJSON(w, rt.Status())
+		return
+	case "/metricz":
+		obs.MetricsHandler(rt.reg).ServeHTTP(w, r)
+		return
+	case "/tracez":
+		obs.TracezHandler(rt.tracer).ServeHTTP(w, r)
+		return
+	}
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		http.NotFound(w, r)
+		return
+	}
+
+	rt.stats.routed.Inc()
+	r, trace := obs.EnsureRequestTrace(r)
+	w.Header().Set(obs.TraceHeader, trace)
+	ctx := r.Context()
+	if parent := obs.SanitizeTraceID(r.Header.Get(obs.SpanHeader)); parent != "" {
+		ctx = obs.WithRemoteParent(ctx, parent)
+	}
+	ctx, span := rt.tracer.StartSpan(ctx, "router.request")
+	span.SetAttr("method", r.Method)
+	span.SetAttr("path", r.URL.Path)
+	defer span.End()
+	r = r.WithContext(ctx)
+
+	if rt.draining.Load() {
+		span.Fail("draining")
+		rt.shed(w, span, "router draining")
+		return
+	}
+
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/"), "/")
+	switch {
+	case len(parts) == 2 && parts[1] == "layers":
+		if r.Method != http.MethodGet {
+			rt.clientError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		rt.handleLayers(w, r, span)
+	case len(parts) == 3 && parts[1] == "tiles":
+		if r.Method != http.MethodGet {
+			rt.clientError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		rt.handleList(w, r, span, parts[2])
+	case len(parts) == 5 && parts[1] == "tiles":
+		key, err := parseTileKey(parts[2], parts[3], parts[4])
+		if err != nil {
+			rt.clientError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if isHintLayer(key.Layer) {
+			// Handoff layers are cluster-internal; clients never address
+			// them through the router.
+			rt.clientError(w, http.StatusNotFound, "tile not found")
+			return
+		}
+		span.SetAttr("layer", key.Layer)
+		switch r.Method {
+		case http.MethodGet:
+			rt.handleTileGet(w, r, span, key)
+		case http.MethodPut:
+			rt.handleTilePut(w, r, span, key)
+		case http.MethodDelete:
+			rt.handleTileDelete(w, r, span, key)
+		default:
+			rt.clientError(w, http.StatusMethodNotAllowed, "method not allowed")
+		}
+	default:
+		rt.clientError(w, http.StatusNotFound, "not found")
+	}
+}
+
+func parseTileKey(layer, txs, tys string) (storage.TileKey, error) {
+	if layer == "" {
+		return storage.TileKey{}, errors.New("empty layer")
+	}
+	tx, err := strconv.ParseInt(txs, 10, 32)
+	if err != nil {
+		return storage.TileKey{}, fmt.Errorf("bad tx: %w", err)
+	}
+	ty, err := strconv.ParseInt(tys, 10, 32)
+	if err != nil {
+		return storage.TileKey{}, fmt.Errorf("bad ty: %w", err)
+	}
+	return storage.TileKey{Layer: layer, TX: int32(tx), TY: int32(ty)}, nil
+}
+
+func (rt *Router) retryAfterValue() string {
+	secs := int(rt.cfg.retryAfter().Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// shed refuses a request for lack of quorum: 503 + Retry-After,
+// counted in Shed. Shed responses force-sample their trace so /tracez
+// always has the evidence.
+func (rt *Router) shed(w http.ResponseWriter, span *obs.Span, msg string) {
+	span.ForceSample()
+	rt.stats.shed.Inc()
+	w.Header().Set("Retry-After", rt.retryAfterValue())
+	rt.writeJSONErrorRaw(w, http.StatusServiceUnavailable, msg)
+}
+
+// clientError answers a malformed or unroutable request definitively
+// (4xx), counted in Served — the router did its job.
+func (rt *Router) clientError(w http.ResponseWriter, status int, msg string) {
+	rt.stats.served.Inc()
+	rt.writeJSONErrorRaw(w, status, msg)
+}
+
+// internalError counts a router-side failure.
+func (rt *Router) internalError(w http.ResponseWriter, span *obs.Span, msg string) {
+	span.Fail(msg)
+	rt.stats.errored.Inc()
+	rt.writeJSONErrorRaw(w, http.StatusInternalServerError, msg)
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		rt.writeJSONErrorRaw(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(storage.ChecksumHeader, storage.Checksum(data))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// writeJSONErrorRaw mirrors the tile-server error shape ({"error",
+// "trace_id"}) so clients see one protocol whether they hit a node or
+// the router.
+func (rt *Router) writeJSONErrorRaw(w http.ResponseWriter, status int, msg string) {
+	body := map[string]string{"error": msg}
+	if trace := w.Header().Get(obs.TraceHeader); trace != "" {
+		body["trace_id"] = trace
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		data = []byte(`{"error":"internal error"}`)
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// ClusterStatus is the /clusterz document: membership health, ring
+// shape, quorum parameters, and handoff state in one read.
+type ClusterStatus struct {
+	Replicas    int            `json:"replicas"`
+	ReadQuorum  int            `json:"read_quorum"`
+	WriteQuorum int            `json:"write_quorum"`
+	VNodes      int            `json:"vnodes"`
+	Members     []MemberStatus `json:"members"`
+	HintsByNode map[string]int `json:"hints_by_node,omitempty"`
+	Stats       StatsSnapshot  `json:"stats"`
+}
+
+// Status assembles the /clusterz document.
+func (rt *Router) Status() ClusterStatus {
+	ms := rt.memberList()
+	out := ClusterStatus{
+		Replicas:    rt.cfg.replicas(),
+		ReadQuorum:  rt.cfg.readQuorum(),
+		WriteQuorum: rt.cfg.writeQuorum(),
+		VNodes:      rt.Ring().vnodes,
+		Members:     make([]MemberStatus, 0, len(ms)),
+		HintsByNode: rt.hints.pendingByTarget(),
+		Stats:       rt.Stats(),
+	}
+	for _, m := range ms {
+		out.Members = append(out.Members, m.status())
+	}
+	return out
+}
+
+// ---- shard legs ------------------------------------------------------
+
+// legResult is one replica's answer to a read.
+type legResult struct {
+	m         *member
+	ok        bool // definitive answer: found tile or authoritative miss
+	found     bool
+	data      []byte
+	sum       string
+	clock     uint64
+	integrity bool // reachable but served damaged bytes — repairable
+	errMsg    string
+}
+
+func (rt *Router) tileURL(base string, key storage.TileKey) string {
+	return fmt.Sprintf("%s/v1/tiles/%s/%d/%d", base, url.PathEscape(key.Layer), key.TX, key.TY)
+}
+
+// legContext detaches a shard leg from the client request: a read
+// finisher keeps collecting answers for repair after the response is
+// written, so legs must not die with the handler. Trace identity is
+// carried over explicitly.
+func (rt *Router) legContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	detached := obs.WithTraceID(context.Background(), obs.TraceID(ctx))
+	return context.WithTimeout(detached, rt.cfg.shardTimeout())
+}
+
+// legHeaders stamps trace propagation headers on a shard request: the
+// trace ID plus the leg's span ID, so the node-side server span nests
+// under this exact leg in /tracez.
+func legHeaders(req *http.Request, trace string, leg *obs.Span) {
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
+	if id := leg.IDHex(); id != "" {
+		req.Header.Set(obs.SpanHeader, id)
+	}
+}
+
+// shardGet reads one replica and classifies the answer. Transport
+// errors strike the failure detector; damaged payloads (checksum
+// mismatch, unreadable header) are flagged for repair.
+func (rt *Router) shardGet(ctx context.Context, trace string, leg *obs.Span, m *member, key storage.TileKey) legResult {
+	res := legResult{m: m}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.tileURL(m.node.Base, key), nil)
+	if err != nil {
+		res.errMsg = err.Error()
+		return res
+	}
+	legHeaders(req, trace, leg)
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		rt.noteFailure(m, err.Error())
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		res.errMsg = err.Error()
+		return res
+	}
+	defer func() { _ = resp.Body.Close() }()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.maxTileBytes()+1))
+		if err != nil {
+			rt.noteFailure(m, err.Error())
+			rt.stats.shardErrors.With(m.node.Name).Inc()
+			res.errMsg = err.Error()
+			return res
+		}
+		sum := storage.Checksum(data)
+		if want := resp.Header.Get(storage.ChecksumHeader); want != "" && want != sum {
+			rt.stats.integrityFailures.Inc()
+			res.integrity = true
+			res.errMsg = "checksum mismatch"
+			return res
+		}
+		clock, err := storage.PeekClock(data)
+		if err != nil {
+			rt.stats.integrityFailures.Inc()
+			res.integrity = true
+			res.errMsg = "unreadable tile: " + err.Error()
+			return res
+		}
+		res.ok, res.found, res.data, res.sum, res.clock = true, true, data, sum, clock
+		return res
+	case resp.StatusCode == http.StatusNotFound:
+		res.ok = true // an authoritative miss is a valid quorum answer
+		return res
+	default:
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		res.errMsg = "status " + resp.Status
+		return res
+	}
+}
+
+// shardPut writes one replica (2xx is success).
+func (rt *Router) shardPut(ctx context.Context, trace string, leg *obs.Span, m *member, key storage.TileKey, data []byte, sum string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, rt.tileURL(m.node.Base, key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	legHeaders(req, trace, leg)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(storage.ChecksumHeader, sum)
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		rt.noteFailure(m, err.Error())
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	_ = resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		return errors.New("status " + resp.Status)
+	}
+	return nil
+}
+
+// shardDelete deletes one replica; a 404 counts as success (already
+// gone).
+func (rt *Router) shardDelete(ctx context.Context, trace string, leg *obs.Span, m *member, key storage.TileKey) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, rt.tileURL(m.node.Base, key), nil)
+	if err != nil {
+		return err
+	}
+	legHeaders(req, trace, leg)
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		rt.noteFailure(m, err.Error())
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound && (resp.StatusCode < 200 || resp.StatusCode >= 300) {
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		return errors.New("status " + resp.Status)
+	}
+	return nil
+}
+
+// fresher reports whether replica a is strictly newer than b under the
+// cluster's total order: clock first, payload bytes as tiebreak. The
+// order is deterministic, so every quorum read picks the same winner
+// and read-repair converges all replicas byte-identical.
+func fresher(clockA uint64, dataA []byte, clockB uint64, dataB []byte) bool {
+	if clockA != clockB {
+		return clockA > clockB
+	}
+	return bytes.Compare(dataA, dataB) > 0
+}
+
+// ---- read path -------------------------------------------------------
+
+func (rt *Router) handleTileGet(w http.ResponseWriter, r *http.Request, span *obs.Span, key storage.TileKey) {
+	rt.stats.reads.Inc()
+	owners := rt.ownersFor(key)
+	if len(owners) == 0 {
+		rt.internalError(w, span, "no owners for key")
+		return
+	}
+	trace := obs.TraceID(r.Context())
+	need := rt.cfg.readQuorum()
+	if need > len(owners) {
+		need = len(owners)
+	}
+	span.SetAttrInt("owners", int64(len(owners)))
+
+	results := make(chan legResult, len(owners))
+	launched := 0
+	for _, m := range owners {
+		if !m.Alive() {
+			// A known-dead owner cannot contribute to quorum; fail its
+			// leg instantly instead of burning ShardTimeout on it.
+			results <- legResult{m: m, errMsg: "node down"}
+			launched++
+			continue
+		}
+		// Child spans are started sequentially here (the parent span is
+		// goroutine-owned); each leg goroutine then owns its child.
+		leg := span.StartChild("shard.read")
+		leg.SetAttr("node", m.node.Name)
+		rt.stats.shardRouted.With(m.node.Name).Inc()
+		launched++
+		go func(m *member, leg *obs.Span) {
+			ctx, cancel := rt.legContext(r.Context())
+			defer cancel()
+			res := rt.shardGet(ctx, trace, leg, m, key)
+			if res.errMsg != "" {
+				leg.Fail(res.errMsg)
+			}
+			leg.End()
+			results <- res
+		}(m, leg)
+	}
+
+	var all []legResult
+	answers := 0
+	var winner *legResult
+	responded := false
+	for len(all) < launched {
+		res := <-results
+		all = append(all, res)
+		if res.ok {
+			answers++
+			if res.found && (winner == nil || fresher(res.clock, res.data, winner.clock, winner.data)) {
+				cp := res
+				winner = &cp
+			}
+		}
+		if !responded && answers >= need {
+			responded = true
+			if winner != nil {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set(storage.ChecksumHeader, winner.sum)
+				_, _ = w.Write(winner.data)
+			} else {
+				rt.writeJSONErrorRaw(w, http.StatusNotFound, "tile not found")
+			}
+			rt.stats.served.Inc()
+			// Remaining legs finish in the background purely to feed
+			// read-repair; the client is already answered.
+			remaining := launched - len(all)
+			if remaining > 0 {
+				snapshot := make([]legResult, len(all))
+				copy(snapshot, all)
+				if rt.goBG(func() { rt.finishRead(key, results, snapshot, remaining) }) {
+					return
+				}
+			}
+			break
+		}
+	}
+	if !responded {
+		rt.stats.quorumFailures.Inc()
+		span.Fail("read quorum failed")
+		rt.shed(w, span, fmt.Sprintf("read quorum failed: %d/%d answers", answers, need))
+	}
+	rt.scheduleRepairs(key, all)
+}
+
+// finishRead drains the leftover legs of an already-answered read and
+// feeds the full result set to read-repair, using the freshest replica
+// seen anywhere (which may be newer than the one served).
+func (rt *Router) finishRead(key storage.TileKey, results chan legResult, all []legResult, remaining int) {
+	for i := 0; i < remaining; i++ {
+		select {
+		case res := <-results:
+			all = append(all, res)
+		case <-rt.stop:
+			return
+		}
+	}
+	rt.scheduleRepairs(key, all)
+}
+
+// scheduleRepairs compares every leg against the winner and queues a
+// repair for each stale, missing, or damaged replica that is still
+// reachable. Unreachable replicas are the hinted-handoff path's
+// problem, not read-repair's.
+func (rt *Router) scheduleRepairs(key storage.TileKey, legs []legResult) {
+	var winner *legResult
+	for i := range legs {
+		l := &legs[i]
+		if l.found && (winner == nil || fresher(l.clock, l.data, winner.clock, winner.data)) {
+			winner = l
+		}
+	}
+	if winner == nil {
+		return
+	}
+	for i := range legs {
+		l := &legs[i]
+		if l.m == winner.m {
+			continue
+		}
+		stale := false
+		switch {
+		case l.integrity:
+			stale = true // damaged bytes: overwrite with the winner
+		case !l.ok:
+			continue // unreachable: hints cover it
+		case !l.found:
+			stale = true
+			rt.stats.staleReads.Inc()
+		case !bytes.Equal(l.data, winner.data):
+			stale = true
+			rt.stats.staleReads.Inc()
+		}
+		if !stale {
+			continue
+		}
+		job := repairJob{m: l.m, key: key, data: winner.data, sum: winner.sum, clock: winner.clock}
+		select {
+		case rt.repairCh <- job:
+			rt.stats.repairsScheduled.Inc()
+		default:
+			rt.stats.repairsDropped.Inc()
+		}
+	}
+}
+
+// repairLoop is the read-repair worker: it re-checks the target's
+// current version (another repair or a direct write may have landed
+// first) and writes the winner only if the target is still behind.
+func (rt *Router) repairLoop() {
+	defer rt.bg.Done()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case job := <-rt.repairCh:
+			rt.repair(job)
+		}
+	}
+}
+
+func (rt *Router) repair(job repairJob) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.shardTimeout())
+	defer cancel()
+	_, span := rt.tracer.StartSpan(ctx, "cluster.repair")
+	span.SetAttr("node", job.m.node.Name)
+	span.SetAttr("layer", job.key.Layer)
+	defer span.End()
+	cur := rt.shardGet(ctx, span.TraceID(), span, job.m, job.key)
+	if cur.found && !fresher(job.clock, job.data, cur.clock, cur.data) {
+		rt.stats.repairsSkipped.Inc()
+		return
+	}
+	if !cur.ok && !cur.integrity {
+		// Target unreachable — the hint path owns convergence now.
+		rt.stats.repairsSkipped.Inc()
+		span.Fail("target unreachable")
+		return
+	}
+	if err := rt.shardPut(ctx, span.TraceID(), span, job.m, job.key, job.data, job.sum); err != nil {
+		rt.stats.repairsSkipped.Inc()
+		span.Fail(err.Error())
+		return
+	}
+	rt.stats.repairsDone.Inc()
+	rt.stats.shardRepairs.With(job.m.node.Name).Inc()
+}
+
+// ---- write path ------------------------------------------------------
+
+func (rt *Router) handleTilePut(w http.ResponseWriter, r *http.Request, span *obs.Span, key storage.TileKey) {
+	rt.stats.writes.Inc()
+	limit := rt.cfg.maxTileBytes()
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		rt.clientError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if int64(len(data)) > limit {
+		rt.clientError(w, http.StatusRequestEntityTooLarge, "tile too large")
+		return
+	}
+	sum := storage.Checksum(data)
+	if want := r.Header.Get(storage.ChecksumHeader); want != "" && want != sum {
+		w.Header().Set(storage.TransientHeader, "checksum-mismatch")
+		rt.clientError(w, http.StatusBadRequest,
+			fmt.Sprintf("checksum mismatch: got %s want %s", sum, want))
+		return
+	}
+	clock, err := storage.PeekClock(data)
+	if err != nil {
+		// The router refuses what every node would refuse, without
+		// burning R legs on it.
+		rt.clientError(w, http.StatusUnprocessableEntity, "invalid tile: "+err.Error())
+		return
+	}
+
+	owners := rt.ownersFor(key)
+	if len(owners) == 0 {
+		rt.internalError(w, span, "no owners for key")
+		return
+	}
+	trace := obs.TraceID(r.Context())
+	need := rt.cfg.writeQuorum()
+	if need > len(owners) {
+		need = len(owners)
+	}
+
+	type putOutcome struct {
+		m   *member
+		err error
+	}
+	results := make(chan putOutcome, len(owners))
+	inflight := 0
+	var toHint []*member
+	for _, m := range owners {
+		if !m.Alive() {
+			toHint = append(toHint, m)
+			continue
+		}
+		leg := span.StartChild("shard.write")
+		leg.SetAttr("node", m.node.Name)
+		rt.stats.shardRouted.With(m.node.Name).Inc()
+		inflight++
+		go func(m *member, leg *obs.Span) {
+			ctx, cancel := rt.legContext(r.Context())
+			defer cancel()
+			err := rt.shardPut(ctx, trace, leg, m, key, data, sum)
+			if err != nil {
+				leg.Fail(err.Error())
+			}
+			leg.End()
+			results <- putOutcome{m: m, err: err}
+		}(m, leg)
+	}
+	acked := 0
+	for i := 0; i < inflight; i++ {
+		out := <-results
+		if out.err == nil {
+			acked++
+		} else {
+			toHint = append(toHint, out.m)
+		}
+	}
+	hinted := 0
+	for _, m := range toHint {
+		h := &hint{Target: m.node.Name, Key: key, Data: data, Clock: clock, Sum: sum}
+		if rt.queueHint(r.Context(), trace, span, h, owners) {
+			hinted++
+		}
+	}
+	span.SetAttrInt("acked", int64(acked))
+	span.SetAttrInt("hinted", int64(hinted))
+	// Sloppy quorum: a durably parked hint is a promise the write will
+	// reach its owner, so it counts toward the write quorum — this is
+	// what keeps writes available while a replica is dead.
+	if acked+hinted < need {
+		rt.stats.quorumFailures.Inc()
+		span.Fail("write quorum failed")
+		rt.shed(w, span, fmt.Sprintf("write quorum failed: %d acks + %d hints < %d", acked, hinted, need))
+		return
+	}
+	rt.stats.served.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span *obs.Span, key storage.TileKey) {
+	rt.stats.writes.Inc()
+	owners := rt.ownersFor(key)
+	if len(owners) == 0 {
+		rt.internalError(w, span, "no owners for key")
+		return
+	}
+	trace := obs.TraceID(r.Context())
+	need := rt.cfg.writeQuorum()
+	if need > len(owners) {
+		need = len(owners)
+	}
+	type delOutcome struct {
+		m   *member
+		err error
+	}
+	results := make(chan delOutcome, len(owners))
+	inflight := 0
+	var toHint []*member
+	for _, m := range owners {
+		if !m.Alive() {
+			toHint = append(toHint, m)
+			continue
+		}
+		leg := span.StartChild("shard.write")
+		leg.SetAttr("node", m.node.Name)
+		rt.stats.shardRouted.With(m.node.Name).Inc()
+		inflight++
+		go func(m *member, leg *obs.Span) {
+			ctx, cancel := rt.legContext(r.Context())
+			defer cancel()
+			err := rt.shardDelete(ctx, trace, leg, m, key)
+			if err != nil {
+				leg.Fail(err.Error())
+			}
+			leg.End()
+			results <- delOutcome{m: m, err: err}
+		}(m, leg)
+	}
+	acked := 0
+	for i := 0; i < inflight; i++ {
+		out := <-results
+		if out.err == nil {
+			acked++
+		} else {
+			toHint = append(toHint, out.m)
+		}
+	}
+	hinted := 0
+	for _, m := range toHint {
+		// Delete hints are memory-only (nil Data): there is no payload a
+		// fallback node could hold, so a missed delete survives router
+		// restarts only as a documented gap (see DESIGN.md).
+		h := &hint{Target: m.node.Name, Key: key}
+		if rt.queueHint(r.Context(), trace, span, h, owners) {
+			hinted++
+		}
+	}
+	if acked+hinted < need {
+		rt.stats.quorumFailures.Inc()
+		span.Fail("delete quorum failed")
+		rt.shed(w, span, fmt.Sprintf("delete quorum failed: %d acks + %d hints < %d", acked, hinted, need))
+		return
+	}
+	rt.stats.served.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- hinted handoff --------------------------------------------------
+
+// queueHint parks a write its owner missed: indexed in the router's
+// bounded buffer, plus (for PUT hints) a durable copy on the first live
+// fallback node under a hint-- layer. Returns false when the buffer is
+// full — that leg is then simply failed, never silently dropped.
+func (rt *Router) queueHint(ctx context.Context, trace string, span *obs.Span, h *hint, owners []*member) bool {
+	if h.Data != nil {
+		if fb := rt.fallbackFor(h.Key, owners); fb != nil {
+			hk := storage.TileKey{Layer: hintLayer(h.Target, h.Key.Layer), TX: h.Key.TX, TY: h.Key.TY}
+			leg := span.StartChild("shard.hint")
+			leg.SetAttr("node", fb.node.Name)
+			leg.SetAttr("target", h.Target)
+			legCtx, cancel := rt.legContext(ctx)
+			err := rt.shardPut(legCtx, trace, leg, fb, hk, h.Data, h.Sum)
+			cancel()
+			if err != nil {
+				leg.Fail(err.Error())
+			} else {
+				h.Fallback = fb.node.Name
+			}
+			leg.End()
+		}
+	}
+	switch rt.hints.add(h) {
+	case hintAdded:
+		rt.stats.hintsQueued.Inc()
+	case hintReplaced:
+		// The superseded hint will never replay — its write is subsumed
+		// by this newer one. Counted so queued == drained + superseded +
+		// dropped + pending stays exact.
+		rt.stats.hintsQueued.Inc()
+		rt.stats.hintsSuperseded.Inc()
+	case hintFull:
+		rt.stats.hintsDropped.Inc()
+		return false
+	}
+	rt.stats.shardHinted.With(h.Target).Inc()
+	return true
+}
+
+// startDrainHints replays everything a recovered node missed. One
+// drain per target at a time; the probe loop re-triggers if hints
+// remain (drain aborted by a re-kill) or arrive later.
+func (rt *Router) startDrainHints(m *member) {
+	if !m.beginDrain() {
+		return
+	}
+	if !rt.goBG(func() {
+		defer m.endDrain()
+		rt.drainHints(m)
+	}) {
+		m.endDrain()
+	}
+}
+
+func (rt *Router) drainHints(m *member) {
+	batch := rt.hints.take(m.node.Name)
+	if len(batch) == 0 {
+		return
+	}
+	// Deterministic replay order for debuggability.
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i].Key, batch[j].Key
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.TX != b.TX {
+			return a.TX < b.TX
+		}
+		return a.TY < b.TY
+	})
+	rt.log.Warn("draining hints", "node", m.node.Name, "count", len(batch))
+	for i, h := range batch {
+		select {
+		case <-rt.stop:
+			rt.restoreHints(batch[i:])
+			return
+		default:
+		}
+		if err := rt.replayHint(m, h); err != nil {
+			// Target likely died again: put the rest back and let the
+			// next up-transition resume.
+			rt.log.Warn("hint replay failed", "node", m.node.Name, "error", err.Error())
+			rt.restoreHints(batch[i:])
+			return
+		}
+		rt.stats.hintsDrained.Inc()
+		rt.stats.shardDrained.With(m.node.Name).Inc()
+	}
+	rt.log.Warn("hints drained", "node", m.node.Name, "count", len(batch))
+}
+
+// replayHint delivers one parked write to its recovered owner, unless
+// the owner already has something fresher (a read-repair or a direct
+// write got there first). On success the durable fallback copy is
+// deleted best-effort.
+func (rt *Router) replayHint(m *member, h *hint) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.shardTimeout())
+	defer cancel()
+	_, span := rt.tracer.StartSpan(ctx, "cluster.handoff")
+	span.SetAttr("node", m.node.Name)
+	span.SetAttr("layer", h.Key.Layer)
+	defer span.End()
+	trace := span.TraceID()
+	if h.Data == nil {
+		if err := rt.shardDelete(ctx, trace, span, m, h.Key); err != nil {
+			span.Fail(err.Error())
+			return err
+		}
+		return nil
+	}
+	cur := rt.shardGet(ctx, trace, span, m, h.Key)
+	if !cur.ok && !cur.integrity {
+		span.Fail(cur.errMsg)
+		return errors.New(cur.errMsg)
+	}
+	if !cur.found || fresher(h.Clock, h.Data, cur.clock, cur.data) {
+		if err := rt.shardPut(ctx, trace, span, m, h.Key, h.Data, h.Sum); err != nil {
+			span.Fail(err.Error())
+			return err
+		}
+	}
+	if h.Fallback != "" {
+		rt.mu.RLock()
+		fb := rt.members[h.Fallback]
+		rt.mu.RUnlock()
+		if fb != nil {
+			hk := storage.TileKey{Layer: hintLayer(h.Target, h.Key.Layer), TX: h.Key.TX, TY: h.Key.TY}
+			_ = rt.shardDelete(ctx, trace, span, fb, hk)
+		}
+	}
+	return nil
+}
+
+// restoreHints puts an unfinished drain batch back without recounting
+// it as queued; a hint that raced a newer write for the same key is
+// dropped as superseded.
+func (rt *Router) restoreHints(batch []*hint) {
+	for _, h := range batch {
+		switch rt.hints.restore(h) {
+		case hintAdded:
+		case hintReplaced:
+			rt.stats.hintsSuperseded.Inc()
+		case hintFull:
+			rt.stats.hintsDropped.Inc()
+		}
+	}
+}
+
+// ---- merged listings -------------------------------------------------
+
+// handleLayers merges /v1/layers across all live nodes, hiding
+// cluster-internal hint layers. One reachable node suffices; zero is a
+// shed.
+func (rt *Router) handleLayers(w http.ResponseWriter, r *http.Request, span *obs.Span) {
+	rt.stats.reads.Inc()
+	trace := obs.TraceID(r.Context())
+	type layersOut struct {
+		layers []string
+		err    error
+	}
+	ms := rt.memberList()
+	results := make(chan layersOut, len(ms))
+	inflight := 0
+	for _, m := range ms {
+		if !m.Alive() {
+			continue
+		}
+		leg := span.StartChild("shard.layers")
+		leg.SetAttr("node", m.node.Name)
+		inflight++
+		go func(m *member, leg *obs.Span) {
+			ctx, cancel := rt.legContext(r.Context())
+			defer cancel()
+			var out []string
+			err := rt.shardJSON(ctx, trace, leg, m, "/v1/layers", &out)
+			if err != nil {
+				leg.Fail(err.Error())
+			}
+			leg.End()
+			results <- layersOut{layers: out, err: err}
+		}(m, leg)
+	}
+	seen := map[string]bool{}
+	okCount := 0
+	for i := 0; i < inflight; i++ {
+		res := <-results
+		if res.err != nil {
+			continue
+		}
+		okCount++
+		for _, l := range res.layers {
+			if !isHintLayer(l) {
+				seen[l] = true
+			}
+		}
+	}
+	if okCount == 0 {
+		span.Fail("no node answered layers")
+		rt.shed(w, span, "no node reachable")
+		return
+	}
+	merged := make([]string, 0, len(seen))
+	for l := range seen {
+		merged = append(merged, l)
+	}
+	sort.Strings(merged)
+	rt.stats.served.Inc()
+	rt.writeJSON(w, merged)
+}
+
+// handleList merges a layer's tile listing across all live nodes.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request, span *obs.Span, layer string) {
+	rt.stats.reads.Inc()
+	if isHintLayer(layer) {
+		rt.clientError(w, http.StatusNotFound, "not found")
+		return
+	}
+	trace := obs.TraceID(r.Context())
+	type entry struct {
+		TX int32 `json:"tx"`
+		TY int32 `json:"ty"`
+	}
+	type listOut struct {
+		keys []entry
+		err  error
+	}
+	ms := rt.memberList()
+	results := make(chan listOut, len(ms))
+	inflight := 0
+	for _, m := range ms {
+		if !m.Alive() {
+			continue
+		}
+		leg := span.StartChild("shard.list")
+		leg.SetAttr("node", m.node.Name)
+		inflight++
+		go func(m *member, leg *obs.Span) {
+			ctx, cancel := rt.legContext(r.Context())
+			defer cancel()
+			var out []entry
+			err := rt.shardJSON(ctx, trace, leg, m, "/v1/tiles/"+url.PathEscape(layer), &out)
+			if err != nil {
+				leg.Fail(err.Error())
+			}
+			leg.End()
+			results <- listOut{keys: out, err: err}
+		}(m, leg)
+	}
+	seen := map[entry]bool{}
+	okCount := 0
+	for i := 0; i < inflight; i++ {
+		res := <-results
+		if res.err != nil {
+			continue
+		}
+		okCount++
+		for _, e := range res.keys {
+			seen[e] = true
+		}
+	}
+	if okCount == 0 {
+		span.Fail("no node answered list")
+		rt.shed(w, span, "no node reachable")
+		return
+	}
+	merged := make([]entry, 0, len(seen))
+	for e := range seen {
+		merged = append(merged, e)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].TX != merged[j].TX {
+			return merged[i].TX < merged[j].TX
+		}
+		return merged[i].TY < merged[j].TY
+	})
+	rt.stats.served.Inc()
+	rt.writeJSON(w, merged)
+}
+
+// shardJSON fetches one node's JSON metadata endpoint.
+func (rt *Router) shardJSON(ctx context.Context, trace string, leg *obs.Span, m *member, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.node.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	legHeaders(req, trace, leg)
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		rt.noteFailure(m, err.Error())
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		rt.stats.shardErrors.With(m.node.Name).Inc()
+		return errors.New("status " + resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, rt.cfg.maxTileBytes())).Decode(v)
+}

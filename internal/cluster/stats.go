@@ -1,0 +1,144 @@
+package cluster
+
+import "hdmaps/internal/obs"
+
+// stats is the router's accounting, backed by the router's obs
+// registry so /statz and /metricz read the same atomic cells. The
+// invariant the cluster soak enforces: every proxied request is
+// counted in Routed and leaves through exactly one of Served, Shed, or
+// Errored.
+type stats struct {
+	routed  *obs.Counter
+	served  *obs.Counter
+	shed    *obs.Counter
+	errored *obs.Counter
+
+	reads  *obs.Counter
+	writes *obs.Counter
+
+	quorumFailures    *obs.Counter
+	integrityFailures *obs.Counter
+	staleReads        *obs.Counter
+
+	repairsScheduled *obs.Counter
+	repairsDone      *obs.Counter
+	repairsSkipped   *obs.Counter
+	repairsDropped   *obs.Counter
+
+	hintsQueued     *obs.Counter
+	hintsDrained    *obs.Counter
+	hintsSuperseded *obs.Counter
+	hintsDropped    *obs.Counter
+
+	// Per-shard families, labelled by node name (an enumerated domain:
+	// the membership list fixed at construction, so cardinality is
+	// bounded by construction; unknown nodes collapse into "other").
+	shardRouted  *obs.CounterVec
+	shardErrors  *obs.CounterVec
+	shardRepairs *obs.CounterVec
+	shardHinted  *obs.CounterVec
+	shardDrained *obs.CounterVec
+}
+
+func newStats(reg *obs.Registry, nodeNames []string) *stats {
+	return &stats{
+		routed:  reg.Counter("cluster.router.routed"),
+		served:  reg.Counter("cluster.router.served"),
+		shed:    reg.Counter("cluster.router.shed"),
+		errored: reg.Counter("cluster.router.errored"),
+
+		reads:  reg.Counter("cluster.router.reads"),
+		writes: reg.Counter("cluster.router.writes"),
+
+		quorumFailures:    reg.Counter("cluster.read.quorum_failures"),
+		integrityFailures: reg.Counter("cluster.read.integrity_failures"),
+		staleReads:        reg.Counter("cluster.read.stale_replicas"),
+
+		repairsScheduled: reg.Counter("cluster.repair.scheduled"),
+		repairsDone:      reg.Counter("cluster.repair.done"),
+		repairsSkipped:   reg.Counter("cluster.repair.skipped"),
+		repairsDropped:   reg.Counter("cluster.repair.dropped"),
+
+		hintsQueued:     reg.Counter("cluster.hint.queued"),
+		hintsDrained:    reg.Counter("cluster.hint.drained"),
+		hintsSuperseded: reg.Counter("cluster.hint.superseded"),
+		hintsDropped:    reg.Counter("cluster.hint.dropped"),
+
+		shardRouted:  reg.CounterVec("cluster.shard.routed", nodeNames),
+		shardErrors:  reg.CounterVec("cluster.shard.errors", nodeNames),
+		shardRepairs: reg.CounterVec("cluster.shard.repaired", nodeNames),
+		shardHinted:  reg.CounterVec("cluster.shard.hinted", nodeNames),
+		shardDrained: reg.CounterVec("cluster.shard.handoff_drained", nodeNames),
+	}
+}
+
+// StatsSnapshot is one consistent-enough read of the router counters —
+// what /statz serves. The accounting invariant Routed == Served +
+// Shed + Errored holds exactly at quiescence.
+type StatsSnapshot struct {
+	// Routed counts every proxied /v1 request entering the router
+	// (meta endpoints excluded).
+	Routed uint64 `json:"routed"`
+	// Served counts requests answered definitively: tile bytes, a
+	// merged listing, a 404, or a client-error rejection.
+	Served uint64 `json:"served"`
+	// Shed counts requests refused for lack of quorum (503 +
+	// Retry-After): too few live replicas answered in time.
+	Shed uint64 `json:"shed"`
+	// Errored counts requests that failed inside the router.
+	Errored uint64 `json:"errored"`
+	// Reads / Writes split Routed by direction (GETs vs PUT/DELETE).
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	// QuorumFailures counts reads that could not assemble a read
+	// quorum (the Shed reads).
+	QuorumFailures uint64 `json:"quorum_failures"`
+	// IntegrityFailures counts replica responses rejected for checksum
+	// mismatch or an unreadable tile header.
+	IntegrityFailures uint64 `json:"integrity_failures"`
+	// StaleReplicas counts replica responses observed older than the
+	// quorum winner — each schedules a read-repair.
+	StaleReplicas uint64 `json:"stale_replicas"`
+	// RepairsScheduled/Done/Skipped/Dropped account the read-repair
+	// queue: scheduled == done + skipped once quiescent, dropped
+	// counts repairs refused because the queue was full.
+	RepairsScheduled uint64 `json:"repairs_scheduled"`
+	RepairsDone      uint64 `json:"repairs_done"`
+	RepairsSkipped   uint64 `json:"repairs_skipped"`
+	RepairsDropped   uint64 `json:"repairs_dropped"`
+	// HintsQueued/Drained/Superseded/Dropped account hinted handoff:
+	// queued == drained + superseded + dropped + pending at all times
+	// (superseded hints were overwritten by a newer write for the same
+	// target and key before replay), so once every dead owner has
+	// recovered and replayed, pending == 0 and the books balance.
+	HintsQueued     uint64 `json:"hints_queued"`
+	HintsDrained    uint64 `json:"hints_drained"`
+	HintsSuperseded uint64 `json:"hints_superseded"`
+	HintsDropped    uint64 `json:"hints_dropped"`
+	// HintsPending is the live count of unreplayed hints.
+	HintsPending int `json:"hints_pending"`
+	// Draining reports whether the router has begun graceful drain.
+	Draining bool `json:"draining"`
+}
+
+func (s *stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Routed:            s.routed.Value(),
+		Served:            s.served.Value(),
+		Shed:              s.shed.Value(),
+		Errored:           s.errored.Value(),
+		Reads:             s.reads.Value(),
+		Writes:            s.writes.Value(),
+		QuorumFailures:    s.quorumFailures.Value(),
+		IntegrityFailures: s.integrityFailures.Value(),
+		StaleReplicas:     s.staleReads.Value(),
+		RepairsScheduled:  s.repairsScheduled.Value(),
+		RepairsDone:       s.repairsDone.Value(),
+		RepairsSkipped:    s.repairsSkipped.Value(),
+		RepairsDropped:    s.repairsDropped.Value(),
+		HintsQueued:       s.hintsQueued.Value(),
+		HintsDrained:      s.hintsDrained.Value(),
+		HintsSuperseded:   s.hintsSuperseded.Value(),
+		HintsDropped:      s.hintsDropped.Value(),
+	}
+}

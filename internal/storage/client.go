@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hdmaps/internal/core"
@@ -93,6 +94,13 @@ func (p RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
 type Client struct {
 	// Base is the server URL, e.g. "http://maps.internal:8080".
 	Base string
+	// Endpoints, when non-empty, lists equivalent server (or cluster
+	// router) URLs to fail over between, overriding Base. The client
+	// sticks to one endpoint until an attempt against it fails with a
+	// transient error, then rotates to the next for the following
+	// attempt — so a single dead router is a one-attempt hiccup, not a
+	// fatal configuration.
+	Endpoints []string
 	// HTTP is the client to use (http.DefaultClient when nil).
 	HTTP *http.Client
 	// Retry is the retry policy; its zero value means sane defaults.
@@ -123,8 +131,41 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// epIdx is the index of the endpoint currently in use; failover
+	// advances it by exactly one per observed failure (CAS, so a herd
+	// of concurrent fetches hitting the same dead endpoint rotates
+	// once, not once per fetch).
+	epIdx atomic.Uint32
+
 	metricsOnce sync.Once
 	cm          clientMetrics
+}
+
+// endpoints resolves the failover list: Endpoints when set, else the
+// single Base.
+func (c *Client) endpoints() []string {
+	if len(c.Endpoints) > 0 {
+		return c.Endpoints
+	}
+	return []string{c.Base}
+}
+
+// endpoint returns the endpoint attempts should currently target.
+func (c *Client) endpoint() string {
+	eps := c.endpoints()
+	return eps[int(c.epIdx.Load())%len(eps)]
+}
+
+// failover rotates to the next endpoint if the current index is still
+// `from` — the attempt that failed names the index it used, so two
+// concurrent failures against the same endpoint advance once.
+func (c *Client) failover(from uint32) {
+	if len(c.endpoints()) < 2 {
+		return
+	}
+	if c.epIdx.CompareAndSwap(from, from+1) {
+		c.metrics().failovers.Inc()
+	}
 }
 
 // clientMetrics are the client's transport-health counters, resolved
@@ -142,6 +183,8 @@ type clientMetrics struct {
 	// integrityFailures counts payloads rejected after arrival:
 	// checksum mismatches and structurally invalid tile/JSON bodies.
 	integrityFailures *obs.Counter
+	// failovers counts endpoint rotations after transient failures.
+	failovers *obs.Counter
 }
 
 func (c *Client) metrics() *clientMetrics {
@@ -155,6 +198,7 @@ func (c *Client) metrics() *clientMetrics {
 			retries:           reg.Counter("storage.client.retries"),
 			retryAfterWaits:   reg.Counter("storage.client.retry_after_waits"),
 			integrityFailures: reg.Counter("storage.client.integrity_failures"),
+			failovers:         reg.Counter("storage.client.failovers"),
 		}
 	})
 	return &c.cm
@@ -279,25 +323,34 @@ func parseRetryAfter(h string) time.Duration {
 }
 
 // doRetry runs one logical request under the retry policy. budget may
-// be nil (per-request budget only). fn performs a single attempt; it
-// classifies its own failures by wrapping retryable ones via
-// transient(). Each attempt is a child span of the operation's span,
-// so a sampled trace shows exactly which attempt succeeded and how the
-// backoffs spread out.
-func (c *Client) doRetry(ctx context.Context, budget *int, op string, fn func(ctx context.Context) error) error {
+// be nil (per-request budget only). fn performs a single attempt
+// against the endpoint URL it is handed; it classifies its own
+// failures by wrapping retryable ones via transient(). Each attempt is
+// a child span of the operation's span, so a sampled trace shows
+// exactly which attempt succeeded, which endpoint it used, and how the
+// backoffs spread out. A transient failure rotates to the next
+// configured endpoint before the retry, so a dead router costs one
+// attempt, not the whole operation.
+func (c *Client) doRetry(ctx context.Context, budget *int, op string, fn func(ctx context.Context, base string) error) error {
 	attempts := c.Retry.attempts()
 	m := c.metrics()
+	eps := c.endpoints()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		m.attempts.Inc()
 		if attempt > 1 {
 			m.retries.Inc()
 		}
+		epFrom := c.epIdx.Load()
+		base := eps[int(epFrom)%len(eps)]
 		actx, cancel := context.WithTimeout(ctx, c.timeout())
 		actx, asp := c.Tracer.StartSpan(actx, "client.attempt")
 		asp.SetAttr("op", op)
 		asp.SetAttrInt("attempt", int64(attempt))
-		err := fn(actx)
+		if len(eps) > 1 {
+			asp.SetAttr("endpoint", base)
+		}
+		err := fn(actx, base)
 		if err != nil {
 			asp.Fail(err.Error())
 		}
@@ -317,6 +370,7 @@ func (c *Client) doRetry(ctx context.Context, budget *int, op string, fn func(ct
 		if !isTransient(err) && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
+		c.failover(epFrom)
 		if attempt >= attempts {
 			return lastErr
 		}
@@ -345,12 +399,14 @@ func classifyStatus(op string, resp *http.Response) error {
 	return err
 }
 
-// getJSON fetches a URL and decodes its JSON body with retries.
-func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out interface{}) error {
+// getJSON fetches a server path and decodes its JSON body with
+// retries (and endpoint failover — the path is joined to the current
+// endpoint per attempt).
+func (c *Client) getJSON(ctx context.Context, budget *int, op, path string, out interface{}) error {
 	ctx, osp := c.Tracer.StartSpan(ctx, "client.get_json")
 	osp.SetAttr("op", op)
-	err := c.doRetry(ctx, budget, op, func(ctx context.Context) error {
-		req, err := c.newRequest(ctx, http.MethodGet, url, nil)
+	err := c.doRetry(ctx, budget, op, func(ctx context.Context, base string) error {
+		req, err := c.newRequest(ctx, http.MethodGet, base+path, nil)
 		if err != nil {
 			return err
 		}
@@ -391,14 +447,14 @@ func (c *Client) getJSON(ctx context.Context, budget *int, op, url string, out i
 func (c *Client) Layers(ctx context.Context) ([]string, error) {
 	ctx, _ = obs.EnsureTraceID(ctx)
 	var out []string
-	if err := c.getJSON(ctx, nil, "layers", c.Base+"/v1/layers", &out); err != nil {
+	if err := c.getJSON(ctx, nil, "layers", "/v1/layers", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func (c *Client) tileURL(key TileKey) string {
-	return fmt.Sprintf("%s/v1/tiles/%s/%d/%d", c.Base, key.Layer, key.TX, key.TY)
+func (c *Client) tilePath(key TileKey) string {
+	return fmt.Sprintf("/v1/tiles/%s/%d/%d", key.Layer, key.TX, key.TY)
 }
 
 // GetTile fetches one tile's bytes with retries and checksum
@@ -419,8 +475,8 @@ func (c *Client) getTile(ctx context.Context, budget *int, key TileKey) ([]byte,
 	osp.SetAttrInt("ty", int64(key.TY))
 	start := time.Now()
 	var data []byte
-	err := c.doRetry(ctx, budget, "get tile", func(ctx context.Context) error {
-		req, err := c.newRequest(ctx, http.MethodGet, c.tileURL(key), nil)
+	err := c.doRetry(ctx, budget, "get tile", func(ctx context.Context, base string) error {
+		req, err := c.newRequest(ctx, http.MethodGet, base+c.tilePath(key), nil)
 		if err != nil {
 			return err
 		}
@@ -481,8 +537,8 @@ func (c *Client) PutTile(ctx context.Context, key TileKey, data []byte) error {
 	ctx, osp := c.Tracer.StartSpan(ctx, "client.put_tile")
 	osp.SetAttr("layer", key.Layer)
 	sum := Checksum(data)
-	err := c.doRetry(ctx, nil, "put tile", func(ctx context.Context) error {
-		req, err := c.newRequest(ctx, http.MethodPut, c.tileURL(key), strings.NewReader(string(data)))
+	err := c.doRetry(ctx, nil, "put tile", func(ctx context.Context, base string) error {
+		req, err := c.newRequest(ctx, http.MethodPut, base+c.tilePath(key), strings.NewReader(string(data)))
 		if err != nil {
 			return err
 		}
@@ -566,7 +622,7 @@ func (c *Client) FetchRegion(ctx context.Context, layer string, tx0, ty0, tx1, t
 		TY int32 `json:"ty"`
 	}
 	keys := make([]TileKey, 0)
-	err := c.getJSON(ctx, &budget, "list tiles", c.Base+"/v1/tiles/"+layer, &listed)
+	err := c.getJSON(ctx, &budget, "list tiles", "/v1/tiles/"+layer, &listed)
 	if err == nil {
 		for _, k := range listed {
 			if k.TX < tx0 || k.TX > tx1 || k.TY < ty0 || k.TY > ty1 {

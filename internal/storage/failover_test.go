@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdmaps/internal/obs"
+)
+
+// A client configured with several router endpoints must rotate to the
+// next one when an attempt fails with a transient error, and then stick
+// to the endpoint that works — a dead router costs one attempt, not the
+// operation, and healthy traffic does not keep poking the corpse.
+func TestClientEndpointFailover(t *testing.T) {
+	data := EncodeBinary(core_NewTinyMap(t))
+
+	var deadHits, liveHits atomic.Int64
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadHits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveHits.Add(1)
+		w.Header().Set(ChecksumHeader, Checksum(data))
+		_, _ = w.Write(data)
+	}))
+	t.Cleanup(live.Close)
+
+	reg := obs.NewRegistry()
+	client := &Client{
+		Endpoints: []string{dead.URL, live.URL},
+		Metrics:   reg,
+		Retry:     RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	}
+
+	got, err := client.GetTile(context.Background(), TileKey{Layer: "base", TX: 0, TY: 0})
+	if err != nil {
+		t.Fatalf("GetTile with one dead endpoint: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Error("payload mismatch after failover")
+	}
+	if deadHits.Load() != 1 || liveHits.Load() != 1 {
+		t.Errorf("hits = dead %d, live %d; want 1 each (fail, rotate, succeed)",
+			deadHits.Load(), liveHits.Load())
+	}
+	if v := reg.Counter("storage.client.failovers").Value(); v != 1 {
+		t.Errorf("failovers counter = %d, want 1", v)
+	}
+
+	// Subsequent requests stick to the endpoint that worked.
+	if _, err := client.GetTile(context.Background(), TileKey{Layer: "base", TX: 0, TY: 0}); err != nil {
+		t.Fatalf("second GetTile: %v", err)
+	}
+	if deadHits.Load() != 1 {
+		t.Errorf("dead endpoint re-contacted after failover: %d hits", deadHits.Load())
+	}
+	if liveHits.Load() != 2 {
+		t.Errorf("live hits = %d, want 2", liveHits.Load())
+	}
+}
+
+// Failover must survive an endpoint that is not merely erroring but
+// gone — connection refused, the node-kill case — and must wrap around
+// the endpoint list rather than walking off its end.
+func TestClientEndpointFailoverConnectionRefused(t *testing.T) {
+	data := EncodeBinary(core_NewTinyMap(t))
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ChecksumHeader, Checksum(data))
+		_, _ = w.Write(data)
+	}))
+	t.Cleanup(live.Close)
+	gone := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	goneURL := gone.URL
+	gone.Close() // port now refuses connections
+
+	reg := obs.NewRegistry()
+	client := &Client{
+		// live first: the first failover wraps past the end of the list
+		// only after the index has advanced beyond it, exercising the
+		// mod-len arithmetic in endpoint().
+		Endpoints: []string{goneURL, live.URL},
+		Metrics:   reg,
+		Retry:     RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Timeout:   2 * time.Second,
+	}
+	if _, err := client.GetTile(context.Background(), TileKey{Layer: "base", TX: 0, TY: 0}); err != nil {
+		t.Fatalf("GetTile with a refused endpoint: %v", err)
+	}
+	if v := reg.Counter("storage.client.failovers").Value(); v != 1 {
+		t.Errorf("failovers counter = %d, want 1", v)
+	}
+
+	// Force the index past the end of the list: rotating from the live
+	// endpoint must wrap back to index 0 (mod len), not panic or point
+	// nowhere. endpoint() with epIdx=2 over 2 endpoints is entry 0.
+	client.failover(1)
+	if got := client.endpoint(); got != goneURL {
+		t.Errorf("endpoint after wrap = %q, want %q", got, goneURL)
+	}
+}
+
+// Concurrent fetches that all observe the same endpoint failure must
+// rotate once, not once per fetch — the CAS in failover keyed on the
+// observed index prevents a thundering herd from skipping past healthy
+// endpoints.
+func TestClientFailoverRotatesOncePerFailure(t *testing.T) {
+	c := &Client{
+		Endpoints: []string{"http://a", "http://b", "http://c"},
+		Metrics:   obs.NewRegistry(),
+	}
+	for i := 0; i < 10; i++ {
+		c.failover(0) // ten goroutines all saw endpoint 0 fail
+	}
+	if got := c.endpoint(); got != "http://b" {
+		t.Errorf("endpoint after herd failover = %q, want the next one, not three hops", got)
+	}
+	if v := c.metrics().failovers.Value(); v != 1 {
+		t.Errorf("failovers = %d, want 1 (CAS collapses the herd)", v)
+	}
+}
