@@ -7,6 +7,8 @@
 #   make soak     — the ingestion chaos soak at CI volume.
 #   make soak-overload — stampede the resilient tile server at CI volume.
 #   make soak-cluster — node-kill chaos against the replicated cluster.
+#   make soak-antientropy — delete/crash/revive chaos converged by
+#                   background sweeps alone (no reads).
 #   make loadtest — run the closed-loop load generator against a
 #                   self-hosted server and print its /statz.
 #   make bench-gate — run the perf probe suite and gate it against the
@@ -18,10 +20,11 @@ FUZZTIME ?= 5s
 SOAK_REPORTS ?= 1200
 SOAK_GETS ?= 4000
 SOAK_CLUSTER_GETS ?= 3000
+SOAK_AE_DELETES ?= 8
 
-.PHONY: verify vet vet-obs build test race soak soak-overload soak-cluster loadtest fuzz-smoke fuzz bench bench-gate bench-baseline
+.PHONY: verify vet vet-obs build test race soak soak-overload soak-cluster soak-antientropy loadtest fuzz-smoke fuzz bench bench-gate bench-baseline
 
-verify: vet vet-obs build race soak soak-overload soak-cluster fuzz-smoke
+verify: vet vet-obs build race soak soak-overload soak-cluster soak-antientropy fuzz-smoke
 	@echo "verify: all green"
 
 vet:
@@ -67,6 +70,14 @@ soak-overload:
 soak-cluster:
 	SOAK_CLUSTER_GETS=$(SOAK_CLUSTER_GETS) $(GO) test -race -run '^TestClusterSoak$$' -count=1 ./internal/chaos
 
+# Anti-entropy convergence: cold-replica divergence and a delete/crash/
+# revive cycle (half the durable hints destroyed) must converge through
+# Merkle-digest sweeps alone — the router serves zero reads while the
+# fleet heals — and tombstone GC must reclaim every marker with the
+# ledger balanced, bounded by SOAK_AE_DELETES.
+soak-antientropy:
+	SOAK_AE_DELETES=$(SOAK_AE_DELETES) $(GO) test -race -run '^TestAntiEntropySoak$$' -count=1 ./internal/chaos
+
 # Interactive load drill: self-hosts a generated city behind the
 # overload pipeline, stampedes it, and prints outcomes plus /statz.
 loadtest:
@@ -74,6 +85,7 @@ loadtest:
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinary -fuzztime=$(FUZZTIME) ./internal/storage
+	$(GO) test -run='^$$' -fuzz=FuzzTombstoneDecode -fuzztime=$(FUZZTIME) ./internal/storage
 	$(GO) test -run='^$$' -fuzz=FuzzTrainBoost -fuzztime=$(FUZZTIME) ./internal/update/crowdupdate
 	$(GO) test -run='^$$' -fuzz=FuzzSanitizeTraceID -fuzztime=$(FUZZTIME) ./internal/obs
 

@@ -27,7 +27,7 @@ import (
 // replication, and serves the router on addr. One process, N shards:
 // the deployment shape is a demo, but the routing, quorum, repair, and
 // handoff paths are exactly what a multi-host cluster would run.
-func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg resilience.Config, drain time.Duration) error {
+func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg resilience.Config, drain, sweep, tombTTL time.Duration) error {
 	if n > 16 {
 		return fmt.Errorf("-cluster %d: more than 16 in-process nodes is a typo, not a deployment", n)
 	}
@@ -62,11 +62,13 @@ func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg r
 	}
 
 	rt, err := cluster.NewRouter(cluster.Config{
-		Nodes:    nodes,
-		Replicas: replicas,
-		Registry: obs.Default(),
-		Tracer:   rcfg.Tracer,
-		Logger:   rcfg.Log,
+		Nodes:         nodes,
+		Replicas:      replicas,
+		Registry:      obs.Default(),
+		Tracer:        rcfg.Tracer,
+		Logger:        rcfg.Log,
+		SweepInterval: sweep,
+		TombstoneTTL:  tombTTL,
 	})
 	if err != nil {
 		return err
@@ -190,9 +192,28 @@ func printClusterStatus(w *os.File, st cluster.ClusterStatus) {
 	fmt.Fprintf(w, "repair:   scheduled=%d done=%d skipped=%d dropped=%d stale_seen=%d integrity_failures=%d\n",
 		s.RepairsScheduled, s.RepairsDone, s.RepairsSkipped, s.RepairsDropped,
 		s.StaleReplicas, s.IntegrityFailures)
-	fmt.Fprintf(w, "handoff:  queued=%d drained=%d superseded=%d dropped=%d pending=%d\n",
-		s.HintsQueued, s.HintsDrained, s.HintsSuperseded, s.HintsDropped, s.HintsPending)
+	fmt.Fprintf(w, "handoff:  queued=%d drained=%d superseded=%d dropped=%d recovered=%d pending=%d\n",
+		s.HintsQueued, s.HintsDrained, s.HintsSuperseded, s.HintsDropped, s.HintsRecovered, s.HintsPending)
+	fmt.Fprintf(w, "deletes:  tombstones written=%d reclaimed=%d pending=%d\n",
+		s.TombstonesWritten, s.TombstonesReclaimed, s.TombstonesPending)
+	for _, ts := range st.Tombstones {
+		fmt.Fprintf(w, "    %s/%d/%d clock=%d age=%ds ttl=%ds\n",
+			ts.Layer, ts.TX, ts.TY, ts.Clock, tombstoneAge(ts), ts.TTLSeconds)
+	}
+	fmt.Fprintf(w, "sweeps:   rounds=%d ranges_diffed=%d mismatches=%d keys_synced=%d repairs done=%d skipped=%d\n",
+		s.AERounds, s.AERangesDiffed, s.AERangeMismatches, s.AEKeysSynced,
+		s.AERepairsDone, s.AERepairsSkipped)
 	if s.Draining {
 		fmt.Fprintln(w, "router is draining")
 	}
+}
+
+// tombstoneAge is a marker's age in seconds, clamped at zero for clock
+// skew between the router and this client.
+func tombstoneAge(ts cluster.TombstoneStatus) int64 {
+	age := time.Now().Unix() - int64(ts.Created)
+	if age < 0 {
+		age = 0
+	}
+	return age
 }

@@ -44,7 +44,9 @@ func TestServeClusterEndToEnd(t *testing.T) {
 	defer cancel()
 	served := make(chan error, 1)
 	go func() {
-		served <- serveCluster(ctx, dir, addr, 5, 3, resilience.Config{CacheSize: -1}, 5*time.Second)
+		// Sweeps disabled (negative interval) so counter assertions are
+		// deterministic; a short tombstone TTL proves the flag plumbs.
+		served <- serveCluster(ctx, dir, addr, 5, 3, resilience.Config{CacheSize: -1}, 5*time.Second, -1, time.Minute)
 	}()
 	waitReady(t, base)
 
@@ -77,6 +79,40 @@ func TestServeClusterEndToEnd(t *testing.T) {
 		t.Error("tile bytes differ through the cluster round trip")
 	}
 
+	// Delete a second tile: the deletion must be visible as a pending
+	// tombstone in the /clusterz ledger, not as a silent gap.
+	keyDel := storage.TileKey{Layer: "base", TX: 5, TY: 6}
+	delPath := fmt.Sprintf("%s/v1/tiles/%s/%d/%d", base, keyDel.Layer, keyDel.TX, keyDel.TY)
+	req, err = http.NewRequest(http.MethodPut, delPath, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(storage.ChecksumHeader, storage.Checksum(data))
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT %s status %d", delPath, resp.StatusCode)
+	}
+	if req, err = http.NewRequest(http.MethodDelete, delPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+	if resp, err = http.Get(delPath); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: %d, want 404", resp.StatusCode)
+	}
+
 	resp, err = http.Get(base + "/clusterz")
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +125,13 @@ func TestServeClusterEndToEnd(t *testing.T) {
 	}
 	if len(st.Members) != 5 || st.Replicas != 3 || st.ReadQuorum != 2 {
 		t.Fatalf("clusterz shape: %d members, R=%d, RQ=%d", len(st.Members), st.Replicas, st.ReadQuorum)
+	}
+	if st.Stats.TombstonesWritten != 1 || st.Stats.TombstonesPending != 1 {
+		t.Errorf("clusterz tombstone counters: %+v", st.Stats)
+	}
+	if len(st.Tombstones) != 1 || st.Tombstones[0].Layer != keyDel.Layer ||
+		st.Tombstones[0].TX != keyDel.TX || st.Tombstones[0].TY != keyDel.TY {
+		t.Errorf("clusterz tombstone ledger: %+v", st.Tombstones)
 	}
 	for _, mem := range st.Members {
 		if !mem.Alive {
@@ -113,8 +156,9 @@ func TestServeClusterEndToEnd(t *testing.T) {
 	}
 
 	// R=3 owners persisted the tile to their DirStores; the other two
-	// shard directories must not have it.
-	holders := 0
+	// shard directories must not have it. The deleted key must survive
+	// the restart as a durable marker on its R owners, not as live data.
+	holders, delHolders, markers := 0, 0, 0
 	for i := 0; i < 5; i++ {
 		store, err := storage.NewDirStore(fmt.Sprintf("%s/node%d", dir, i))
 		if err != nil {
@@ -131,8 +175,21 @@ func TestServeClusterEndToEnd(t *testing.T) {
 		default:
 			t.Fatal(err)
 		}
+		if _, err := store.Get(keyDel); err == nil {
+			delHolders++
+		}
+		tk := storage.TileKey{Layer: storage.TombLayerPrefix + keyDel.Layer, TX: keyDel.TX, TY: keyDel.TY}
+		if _, err := store.Get(tk); err == nil {
+			markers++
+		}
 	}
 	if holders != 3 {
 		t.Errorf("tile persisted on %d shards, want exactly R=3", holders)
+	}
+	if delHolders != 0 {
+		t.Errorf("deleted tile still live on %d shards", delHolders)
+	}
+	if markers != 3 {
+		t.Errorf("tombstone marker persisted on %d shards, want exactly R=3", markers)
 	}
 }

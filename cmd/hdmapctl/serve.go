@@ -68,6 +68,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	pprofAddr := fs.String("pprof", "", "debug listen address for pprof + expvar (e.g. localhost:6060; empty disables)")
 	clusterN := fs.Int("cluster", 0, "boot N sharded tile nodes behind a replicating router (0/1 = single server)")
 	replicas := fs.Int("replicas", 3, "with -cluster: replicas per tile (R)")
+	sweep := fs.Duration("sweep", 0, "with -cluster: anti-entropy sweep interval (0 = 30s default, negative disables)")
+	tombTTL := fs.Duration("tombstone-ttl", 0, "with -cluster: delete-marker retention before GC (0 = 24h default)")
 	cfg := serveFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +87,7 @@ func cmdServe(ctx context.Context, args []string) error {
 				return err
 			}
 		}
-		return serveCluster(ctx, *dir, *addr, *clusterN, *replicas, rcfg, *drain)
+		return serveCluster(ctx, *dir, *addr, *clusterN, *replicas, rcfg, *drain, *sweep, *tombTTL)
 	}
 	store, err := storage.NewDirStore(*dir)
 	if err != nil {

@@ -57,11 +57,13 @@ func (n *node) kill() { _ = n.srv.Close() }
 
 // demoResult carries the numbers the test asserts on.
 type demoResult struct {
-	published    int
-	regionTiles  int
-	readsDegr    int // reads attempted while one node was dead
-	readFailures int // of those, reads that failed (must be 0)
-	stats        cluster.StatsSnapshot
+	published     int
+	regionTiles   int
+	readsDegr     int // reads attempted while one node was dead
+	readFailures  int // of those, reads that failed (must be 0)
+	deleted       int // tiles deleted during the second outage
+	resurrections int // deleted tiles still on any replica after sweeps (must be 0)
+	stats         cluster.StatsSnapshot
 }
 
 func run(seed int64) (*demoResult, error) {
@@ -83,6 +85,11 @@ func run(seed int64) (*demoResult, error) {
 		Replicas:      3,
 		ProbeInterval: 25 * time.Millisecond,
 		ProbeTimeout:  250 * time.Millisecond,
+		// The demo drives anti-entropy by hand (SweepNow) so each act is
+		// deterministic; the sub-second TTL makes delete markers
+		// GC-eligible as soon as the fleet converges.
+		SweepInterval: -1,
+		TombstoneTTL:  time.Millisecond,
 	})
 	if err != nil {
 		return nil, err
@@ -204,6 +211,80 @@ func run(seed int64) (*demoResult, error) {
 		}
 	}
 	fmt.Println("recovered replicas byte-identical to acknowledged writes")
+
+	// Final act: deletes must survive a crash too. Kill a different node,
+	// delete tiles while it is down (it misses the tombstones; durable
+	// hints park the markers), revive it, and let handoff plus
+	// anti-entropy sweeps converge the fleet — every replica of a deleted
+	// tile must end up absent, and once all owners hold the marker past
+	// its TTL the GC reclaims the tombstones themselves.
+	victim2 := nodes[1]
+	victim2.kill()
+	fmt.Printf("killed %s; deleting tiles while it is down...\n", victim2.name)
+	delKeys := keys[:4]
+	for _, key := range delKeys {
+		req, err := http.NewRequest(http.MethodDelete,
+			fmt.Sprintf("%s/v1/tiles/%s/%d/%d", routerURL, key.Layer, key.TX, key.TY), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("delete during outage %v: %w", key, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return nil, fmt.Errorf("delete %v: status %d", key, resp.StatusCode)
+		}
+		res.deleted++
+		if _, err := client.GetTile(ctx, key); !errors.Is(err, storage.ErrNoTile) {
+			return nil, fmt.Errorf("read after delete %v: want no tile, got %v", key, err)
+		}
+	}
+	fmt.Printf("deleted %d tiles during the outage; reads already serve 404\n", res.deleted)
+
+	if err := victim2.start(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("%s restarted; draining tombstone hints and sweeping...\n", victim2.name)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		s := rt.Status().Stats
+		if s.HintsPending == 0 && s.HintsQueued == s.HintsDrained+s.HintsSuperseded+s.HintsDropped {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tombstone hints never drained: %d pending", s.HintsPending)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Sweep until the tombstone ledger is empty: the first rounds confirm
+	// every owner holds the marker, then GC reclaims it everywhere.
+	for rt.Stats().TombstonesPending > 0 {
+		rt.SweepNow()
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tombstones never reclaimed: %d pending", rt.Stats().TombstonesPending)
+		}
+	}
+	for _, key := range delKeys {
+		marker := storage.TileKey{Layer: storage.TombLayerPrefix + key.Layer, TX: key.TX, TY: key.TY}
+		for _, n := range nodes {
+			if _, err := n.store.Get(key); err == nil {
+				res.resurrections++
+				fmt.Printf("  RESURRECTED %v on %s\n", key, n.name)
+			}
+			if _, err := n.store.Get(marker); err == nil {
+				return nil, fmt.Errorf("%s still holds a reclaimed tombstone for %v", n.name, key)
+			}
+		}
+	}
+	st = rt.Status()
+	res.stats = st.Stats
+	fmt.Printf("deletes converged: tombstones written=%d reclaimed=%d pending=%d, resurrections=%d\n",
+		st.Stats.TombstonesWritten, st.Stats.TombstonesReclaimed, st.Stats.TombstonesPending,
+		res.resurrections)
+	fmt.Printf("sweeps: rounds=%d mismatches=%d keys_synced=%d\n",
+		st.Stats.AERounds, st.Stats.AERangeMismatches, st.Stats.AEKeysSynced)
 	for _, n := range nodes {
 		n.kill()
 	}

@@ -32,4 +32,14 @@ func TestMapclusterDemo(t *testing.T) {
 		t.Errorf("hint books: queued %d != drained %d + superseded %d + dropped %d (+pending %d)",
 			s.HintsQueued, s.HintsDrained, s.HintsSuperseded, s.HintsDropped, s.HintsPending)
 	}
+	if res.deleted == 0 {
+		t.Error("the delete act deleted nothing")
+	}
+	if res.resurrections != 0 {
+		t.Errorf("%d deleted tiles resurrected on some replica after sweeps", res.resurrections)
+	}
+	if s.TombstonesWritten != uint64(res.deleted) || s.TombstonesReclaimed != s.TombstonesWritten || s.TombstonesPending != 0 {
+		t.Errorf("tombstone books: written %d reclaimed %d pending %d for %d deletes",
+			s.TombstonesWritten, s.TombstonesReclaimed, s.TombstonesPending, res.deleted)
+	}
 }

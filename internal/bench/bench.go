@@ -189,6 +189,22 @@ func (f *fixtures) probes() []probe {
 				}
 			}
 		}},
+		// One Merkle-style layer digest over the tiled store: the unit of
+		// work the anti-entropy sweeper charges every replica for, every
+		// round, on every layer. Keeping it cheap is what makes background
+		// convergence affordable, so its cost is tracked like a hot path.
+		{"server.digest_layer", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := f.srv.LayerDigest("base")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d.Count != len(f.keys) {
+					b.Fatalf("digest covers %d keys, store holds %d", d.Count, len(f.keys))
+				}
+			}
+		}},
 	}
 }
 

@@ -111,6 +111,7 @@ func TestRunSuiteSmoke(t *testing.T) {
 		"codec.checksum": false, "tiler.split": false,
 		"server.get_tile": false, "cache.get_hit": false,
 		"cluster.ring_owners": false, "server.checksum_verify": false,
+		"server.digest_layer": false,
 	}
 	for _, r := range run.Results {
 		if _, ok := want[r.Name]; !ok {

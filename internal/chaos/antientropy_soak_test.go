@@ -1,0 +1,400 @@
+package chaos_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/obs"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// TestAntiEntropySoak runs the delete-resurrection chaos scenario the
+// tombstone design exists for, end to end:
+//
+//	delete while an owner is dead → the router crashes → the owner
+//	revives holding the erased tile → a FRESH router converges every
+//	owner back to absent, using sweeps alone — zero client reads.
+//
+// Two acts:
+//
+//  1. Cold divergence: replicas fork behind the router's back and no
+//     client ever reads the keys. Bounded sweep rounds must converge
+//     every owner byte-identical, with the read counter untouched.
+//  2. Delete-resurrection: for each victim key, the primary owner is
+//     killed, the key deleted through router #1 (marker to live
+//     owners, durable tombstone hint parked), router #1 crashes. For
+//     half the keys the parked hints are wiped too — simulating total
+//     hint loss — so sweeps are provably the only repair channel.
+//     Router #2 starts cold, the owner revives stale, and bounded
+//     sweep rounds converge every owner to absent; GC then reclaims
+//     every marker and the tombstone ledger balances to zero.
+//
+// Throughout: routed == served + shed + errored on both routers, hint
+// books balance, written == reclaimed + pending on the tombstone
+// ledger. Volume is bounded: default 8 deleted keys, overridable via
+// SOAK_AE_DELETES.
+func TestAntiEntropySoak(t *testing.T) {
+	nDeletes := 8
+	if v := os.Getenv("SOAK_AE_DELETES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SOAK_AE_DELETES %q", v)
+		}
+		nDeletes = n
+	}
+	const (
+		nNodes   = 5
+		replicas = 3
+		nCold    = 12 // cold-divergence keys (act 1)
+	)
+
+	// ---- fleet ----
+	nodes := make([]*clusterNode, nNodes)
+	cfgNodes := make([]cluster.Node, nNodes)
+	transport := &perHostTransport{byHost: map[string]http.RoundTripper{}}
+	for i := range nodes {
+		st := storage.NewMemStore()
+		inj := chaos.New(chaos.Config{Seed: int64(7001 + i)})
+		handler := resilience.NewHandler(storage.NewTileServer(st), resilience.Config{
+			MaxConcurrent:  64,
+			MaxWait:        time.Second,
+			RequestTimeout: 5 * time.Second,
+			RetryAfter:     50 * time.Millisecond,
+			CacheSize:      -1,
+			Metrics:        obs.NewRegistry(),
+		})
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		n := &clusterNode{name: fmt.Sprintf("node%d", i), st: st, inj: inj, srv: srv}
+		nodes[i] = n
+		cfgNodes[i] = cluster.Node{Name: n.name, Base: srv.URL}
+		transport.byHost[srv.Listener.Addr().String()] = inj.Transport(nil)
+	}
+	byName := map[string]*clusterNode{}
+	for _, n := range nodes {
+		byName[n.name] = n
+	}
+	baseCfg := cluster.Config{
+		Nodes:         cfgNodes,
+		Replicas:      replicas,
+		Transport:     transport,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		ShardTimeout:  2 * time.Second,
+		SweepInterval: -1, // sweeps fired by hand: rounds must be countable
+		TombstoneTTL:  time.Millisecond,
+	}
+
+	newRouter := func() *cluster.Router {
+		cfg := baseCfg
+		cfg.Registry = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer(obs.TracerConfig{
+			SlowThreshold: 50 * time.Millisecond,
+			Capacity:      16,
+			MaxSpans:      32,
+			Metrics:       cfg.Registry,
+		})
+		tr := cfg.Tracer
+		t.Cleanup(func() { dumpTracez(t, tr) })
+		rt, err := cluster.NewRouter(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	checkAccounting := func(rt *cluster.Router, who string) {
+		s := rt.Stats()
+		if s.Routed != s.Served+s.Shed+s.Errored {
+			t.Errorf("%s accounting: routed %d != served %d + shed %d + errored %d",
+				who, s.Routed, s.Served, s.Shed, s.Errored)
+		}
+	}
+
+	rt1 := newRouter()
+	defer dumpClusterz(t, rt1)
+	rt1.Start()
+	front1 := httptest.NewServer(rt1)
+	defer front1.Close()
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	put := func(base, path string, data []byte) int {
+		req, err := http.NewRequest(http.MethodPut, base+path, bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(storage.ChecksumHeader, storage.Checksum(data))
+		resp, err := httpc.Do(req)
+		if err != nil {
+			t.Fatalf("put %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// ---- seed ----
+	type soakKey struct {
+		key  storage.TileKey
+		path string
+		data []byte
+	}
+	total := nCold + nDeletes
+	keys := make([]*soakKey, total)
+	for i := range keys {
+		k := storage.TileKey{Layer: "base", TX: int32(i), TY: 0}
+		sk := &soakKey{
+			key:  k,
+			path: fmt.Sprintf("/v1/tiles/base/%d/0", i),
+			data: clusterTile(1, i),
+		}
+		if code := put(front1.URL, sk.path, sk.data); code != http.StatusNoContent {
+			t.Fatalf("seed put %s: %d", sk.path, code)
+		}
+		keys[i] = sk
+	}
+	cold, victims := keys[:nCold], keys[nCold:]
+
+	// ---- act 1: cold divergence, sweeps alone ----
+	// Fork one replica of every cold key behind the router's back with a
+	// fresher version — written through the node's own HTTP surface so
+	// its write-time checksum is honest.
+	for i, sk := range cold {
+		owners := rt1.Ring().Owners(sk.key, replicas)
+		n := byName[owners[i%len(owners)]]
+		fresh := clusterTile(2, 1000+i)
+		req, err := http.NewRequest(http.MethodPut, n.srv.URL+sk.path, bytes.NewReader(fresh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("divergent put: %d", resp.StatusCode)
+		}
+		sk.data = fresh
+	}
+	readsBefore := rt1.Stats().Reads
+	const maxRounds = 3
+	coldConverged := func() bool {
+		for _, sk := range cold {
+			for _, o := range rt1.Ring().Owners(sk.key, replicas) {
+				got, err := byName[o].st.Get(sk.key)
+				if err != nil || !bytes.Equal(got, sk.data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rounds := 0
+	for ; rounds < maxRounds && !coldConverged(); rounds++ {
+		rt1.SweepNow()
+	}
+	if !coldConverged() {
+		t.Fatalf("cold keys did not converge within %d sweep rounds", maxRounds)
+	}
+	if got := rt1.Stats().Reads; got != readsBefore {
+		t.Fatalf("act 1 consumed client reads: %d -> %d", readsBefore, got)
+	}
+	t.Logf("act 1: %d cold keys converged in %d sweep round(s)", nCold, rounds)
+
+	// ---- act 2: delete-resurrection across a router crash ----
+	// Every victim's primary owner goes down, the delete lands on the
+	// survivors, and the marker for the dead owner is parked durably.
+	downs := map[string]*clusterNode{}
+	for _, sk := range victims {
+		owner := byName[rt1.Ring().Owners(sk.key, replicas)[0]]
+		if _, dead := downs[owner.name]; !dead {
+			owner.inj.SetDown(true)
+			downs[owner.name] = owner
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			alive := false
+			for _, m := range rt1.Status().Members {
+				if m.Name == owner.name {
+					alive = m.Alive
+				}
+			}
+			if !alive {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("owner %s never marked down", owner.name)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		req, err := http.NewRequest(http.MethodDelete, front1.URL+sk.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete %s: %d", sk.path, resp.StatusCode)
+		}
+		// The dead owner still holds the erased tile — the resurrection
+		// seed this soak exists to kill.
+		if _, err := byName[owner.name].st.Get(sk.key); err != nil {
+			t.Fatalf("dead owner %s lost %v prematurely", owner.name, sk.key)
+		}
+	}
+	s1 := rt1.Stats()
+	if s1.TombstonesWritten != uint64(len(victims)) || s1.TombstonesPending != len(victims) {
+		t.Fatalf("rt1 tombstone ledger: %+v", s1)
+	}
+	checkAccounting(rt1, "rt1")
+
+	// Router #1 crashes, taking its hint buffer and ledger with it.
+	front1.Close()
+	rt1.Close()
+
+	// For half the victims, wipe the durable parked hints everywhere —
+	// total hint loss. Those keys converge by sweep or not at all.
+	for i, sk := range victims {
+		if i%2 == 0 {
+			continue
+		}
+		for _, n := range nodes {
+			layers, err := n.st.ListLayers()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range layers {
+				if len(l) > 6 && l[:6] == "hint--" {
+					_ = n.st.Delete(storage.TileKey{Layer: l, TX: sk.key.TX, TY: sk.key.TY})
+				}
+			}
+		}
+	}
+
+	// Owners revive with stale state; router #2 starts cold.
+	for _, n := range downs {
+		n.inj.SetDown(false)
+	}
+	rt2 := newRouter()
+	defer dumpClusterz(t, rt2)
+	rt2.Start()
+	defer rt2.Close()
+
+	// Hint recovery + drain settle first (kept hints replay their
+	// markers); then sweeps must finish the job for the wiped half.
+	settleDeadline := time.Now().Add(10 * time.Second)
+	for {
+		s := rt2.Stats()
+		if s.HintsPending == 0 && s.HintsQueued == s.HintsDrained+s.HintsSuperseded+s.HintsDropped {
+			break
+		}
+		if time.Now().After(settleDeadline) {
+			t.Fatalf("rt2 hints never settled: %+v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resurrected := func() []string {
+		var bad []string
+		for _, sk := range victims {
+			for _, o := range rt2.Ring().Owners(sk.key, replicas) {
+				if _, err := byName[o].st.Get(sk.key); err == nil {
+					bad = append(bad, fmt.Sprintf("%s@%s", sk.path, o))
+				}
+			}
+		}
+		return bad
+	}
+	rounds = 0
+	for ; rounds < maxRounds && len(resurrected()) > 0; rounds++ {
+		rt2.SweepNow()
+	}
+	if bad := resurrected(); len(bad) > 0 {
+		t.Fatalf("deleted tiles resurrected after %d sweep rounds: %v", maxRounds, bad)
+	}
+	if got := rt2.Stats().Reads; got != 0 {
+		t.Fatalf("act 2 convergence consumed client reads: %d", got)
+	}
+	t.Logf("act 2: %d deletes converged to absent in %d sweep round(s), zero reads", len(victims), rounds)
+
+	// GC: with TTL expired and every owner alive + holding its marker,
+	// bounded extra rounds reclaim every marker.
+	gcDeadline := time.Now().Add(10 * time.Second)
+	for rt2.Stats().TombstonesPending > 0 {
+		if time.Now().After(gcDeadline) {
+			t.Fatalf("tombstones never reclaimed: %+v pending=%v", rt2.Stats(), rt2.Status().Tombstones)
+		}
+		rt2.SweepNow()
+		time.Sleep(5 * time.Millisecond)
+	}
+	s2 := rt2.Stats()
+	if s2.TombstonesWritten != s2.TombstonesReclaimed+uint64(s2.TombstonesPending) {
+		t.Errorf("tombstone books: written %d != reclaimed %d + pending %d",
+			s2.TombstonesWritten, s2.TombstonesReclaimed, s2.TombstonesPending)
+	}
+	// No marker, hint copy, or live tile survives anywhere for any
+	// deleted key — absence converged and was then garbage-collected.
+	for _, sk := range victims {
+		for _, n := range nodes {
+			layers, err := n.st.ListLayers()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range layers {
+				k := storage.TileKey{Layer: l, TX: sk.key.TX, TY: sk.key.TY}
+				if l == sk.key.Layer || len(l) > 6 && (l[:6] == "hint--" || l[:6] == "tomb--") {
+					if _, err := n.st.Get(k); err == nil && l != sk.key.Layer {
+						t.Errorf("node %s still holds %v on internal layer %s", n.name, sk.key, l)
+					}
+				}
+			}
+			if _, err := n.st.Get(sk.key); err == nil {
+				t.Errorf("node %s resurrected %v after GC", n.name, sk.key)
+			}
+		}
+	}
+
+	// Client contract through the fresh router: deleted keys 404, cold
+	// keys serve their winners CRC-verified.
+	front2 := httptest.NewServer(rt2)
+	defer front2.Close()
+	for _, sk := range victims {
+		resp, err := httpc.Get(front2.URL + sk.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("deleted %s read %d, want 404", sk.path, resp.StatusCode)
+		}
+	}
+	for _, sk := range cold {
+		resp, err := httpc.Get(front2.URL + sk.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := readBody(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, sk.data) {
+			t.Errorf("cold key %s: %d, body match=%v", sk.path, resp.StatusCode, bytes.Equal(body, sk.data))
+		}
+	}
+	checkAccounting(rt2, "rt2")
+
+	s2 = rt2.Stats()
+	t.Logf("anti-entropy soak: rounds=%d ranges diffed=%d mismatches=%d keys synced=%d repairs done=%d tombstones written=%d reclaimed=%d hints recovered=%d",
+		s2.AERounds, s2.AERangesDiffed, s2.AERangeMismatches, s2.AEKeysSynced,
+		s2.AERepairsDone, s2.TombstonesWritten, s2.TombstonesReclaimed, s2.HintsRecovered)
+}

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hdmaps/internal/storage"
+)
+
+// newDirTestNode is a testNode over a DirStore, for crash-recovery
+// tests where state must survive on disk.
+func newDirTestNode(t *testing.T, name string) *testNode {
+	t.Helper()
+	store, err := storage.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", storage.NewTileServer(store))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &testNode{name: name, store: store, srv: srv}
+}
+
+func directPut(t *testing.T, base, path string, data []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+path, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("direct put %s: %d", path, resp.StatusCode)
+	}
+}
+
+// TestSweepConvergesColdReplica: a replica diverges behind the router's
+// back and nothing ever reads the key — only sweeps run. The cluster
+// must still converge byte-identically, and once converged the digest
+// pass must stop fetching leaves for the quiet buckets.
+func TestSweepConvergesColdReplica(t *testing.T) {
+	rt, nodes := newTestCluster(t, 3, Config{Replicas: 3, SweepInterval: -1})
+	key := storage.TileKey{Layer: "base", TX: 1, TY: 1}
+	v1, v2 := tileBytes(1, 1), tileBytes(2, 2)
+	if w := do(t, rt, http.MethodPut, "/v1/tiles/base/1/1", v1, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put v1: %d", w.Code)
+	}
+	// One replica jumps ahead during a "partition" (written through its
+	// own HTTP surface, invisible to the router).
+	directPut(t, nodes[2].srv.URL, "/v1/tiles/base/1/1", v2)
+
+	readsBefore := rt.Stats().Reads
+	rt.SweepNow()
+	for _, n := range nodes {
+		got, err := n.store.Get(key)
+		if err != nil || !bytes.Equal(got, v2) {
+			t.Fatalf("node %s did not converge to winner: err=%v", n.name, err)
+		}
+	}
+	s := rt.Stats()
+	if s.Reads != readsBefore {
+		t.Fatalf("sweep convergence consumed client reads: %d -> %d", readsBefore, s.Reads)
+	}
+	if s.AEKeysSynced == 0 || s.AERepairsDone == 0 {
+		t.Fatalf("sweep did not account its work: %+v", s)
+	}
+
+	// Round 2 verifies convergence; round 3 must skip every bucket (no
+	// leaf fetches) because nothing changed since a verified-clean round.
+	rt.SweepNow()
+	mismatchesAfterVerify := rt.Stats().AERangeMismatches
+	rt.SweepNow()
+	if got := rt.Stats().AERangeMismatches; got != mismatchesAfterVerify {
+		t.Fatalf("steady-state sweep still inspecting buckets: %d -> %d", mismatchesAfterVerify, got)
+	}
+	if rt.Stats().AERounds != 3 {
+		t.Fatalf("rounds: %+v", rt.Stats())
+	}
+}
+
+// TestSweepConvergesDeleteToRevivedOwner is the resurrection scenario
+// in miniature: an owner misses a delete while down, revives holding
+// the stale live tile, and no client ever touches the key again. The
+// sweep must propagate the tombstone to the revived owner — absence
+// converges without reads.
+func TestSweepConvergesDeleteToRevivedOwner(t *testing.T) {
+	rt, nodes := newTestCluster(t, 4, Config{Replicas: 3, SweepInterval: -1})
+	byName := map[string]*testNode{}
+	for _, n := range nodes {
+		byName[n.name] = n
+	}
+	const dead = "node2"
+	key := pickKey(rt, "base", dead)
+	path := fmt.Sprintf("/v1/tiles/%s/%d/%d", key.Layer, key.TX, key.TY)
+
+	data := tileBytes(5, 1)
+	if w := do(t, rt, http.MethodPut, path, data, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d", w.Code)
+	}
+	markDown(rt, dead)
+	if w := do(t, rt, http.MethodDelete, path, nil, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", w.Code)
+	}
+	// The dead owner still holds the live tile — a resurrection seed.
+	if _, err := byName[dead].store.Get(key); err != nil {
+		t.Fatal("dead owner lost its stale tile prematurely")
+	}
+	if s := rt.Stats(); s.TombstonesWritten != 1 || s.TombstonesPending != 1 {
+		t.Fatalf("tombstone ledger after delete: %+v", s)
+	}
+
+	// Revive without draining hints (simulate the hint being lost) —
+	// the sweep alone must still converge the deletion.
+	rt.hints.take(dead)
+	rt.members[dead].markUp()
+	rt.SweepNow()
+
+	tl := storage.TombLayerPrefix + key.Layer
+	for _, n := range nodes {
+		if _, err := n.store.Get(key); err == nil {
+			t.Fatalf("node %s still serves the deleted tile", n.name)
+		}
+	}
+	for _, name := range rt.Ring().Owners(key, 3) {
+		if ks, _ := byName[name].store.Keys(tl); len(ks) != 1 {
+			t.Fatalf("owner %s missing tombstone marker", name)
+		}
+	}
+}
+
+// TestSweepGCReclaimsTombstones: once every owner is alive, holds the
+// marker, its TTL expired, and no hint is in flight, the GC pass
+// deletes the markers everywhere and balances the ledger.
+func TestSweepGCReclaimsTombstones(t *testing.T) {
+	rt, nodes := newTestCluster(t, 3, Config{Replicas: 3, SweepInterval: -1, TombstoneTTL: time.Millisecond})
+	key := storage.TileKey{Layer: "base", TX: 8, TY: 8}
+	path := "/v1/tiles/base/8/8"
+	if w := do(t, rt, http.MethodPut, path, tileBytes(3, 3), nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d", w.Code)
+	}
+	if w := do(t, rt, http.MethodDelete, path, nil, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", w.Code)
+	}
+	s := rt.Stats()
+	if s.TombstonesWritten != 1 || s.TombstonesPending != 1 {
+		t.Fatalf("ledger after delete: %+v", s)
+	}
+	// TTLSeconds is 0 (sub-second TTL), so the marker is GC-eligible on
+	// the first sweep: all owners alive, all hold it, nothing pending.
+	rt.SweepNow()
+	s = rt.Stats()
+	if s.TombstonesReclaimed != 1 || s.TombstonesPending != 0 {
+		t.Fatalf("ledger after GC: %+v", s)
+	}
+	if s.TombstonesWritten != s.TombstonesReclaimed+uint64(s.TombstonesPending) {
+		t.Fatalf("tombstone books do not balance: %+v", s)
+	}
+	tl := storage.TombLayerPrefix + key.Layer
+	for _, n := range nodes {
+		if ks, _ := n.store.Keys(tl); len(ks) != 0 {
+			t.Fatalf("node %s still holds a reclaimed marker", n.name)
+		}
+	}
+	// A GC'd delete must not resurrect: the key stays absent.
+	if w := do(t, rt, http.MethodGet, path, nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("get after GC: %d", w.Code)
+	}
+}
+
+// TestSweepGCHeldByDeadOwner: a marker is not reclaimable while any
+// owner is down — the dead owner might revive with the stale tile, and
+// only the marker can out-order it.
+func TestSweepGCHeldByDeadOwner(t *testing.T) {
+	rt, _ := newTestCluster(t, 3, Config{Replicas: 3, SweepInterval: -1, TombstoneTTL: time.Millisecond})
+	path := "/v1/tiles/base/9/9"
+	if w := do(t, rt, http.MethodPut, path, tileBytes(2, 2), nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d", w.Code)
+	}
+	if w := do(t, rt, http.MethodDelete, path, nil, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", w.Code)
+	}
+	markDown(rt, "node1")
+	rt.SweepNow()
+	if s := rt.Stats(); s.TombstonesReclaimed != 0 || s.TombstonesPending != 1 {
+		t.Fatalf("GC ran with a dead owner: %+v", s)
+	}
+	// Owner back up: the next sweep may collect.
+	rt.members["node1"].markUp()
+	rt.SweepNow()
+	if s := rt.Stats(); s.TombstonesReclaimed != 1 || s.TombstonesPending != 0 {
+		t.Fatalf("GC did not collect after revival: %+v", s)
+	}
+}
+
+// TestRouterCrashRecoveryDurableHints: a router parks a missed write
+// and a missed delete for a dead owner, then crashes. A fresh router
+// over the same nodes must rebuild its hint buffer from the durable
+// parked copies and drain them — both the write and the delete reach
+// the revived owner, and the parked copies are cleaned to zero.
+func TestRouterCrashRecoveryDurableHints(t *testing.T) {
+	nodes := make([]*testNode, 4)
+	cfg := Config{Replicas: 3, SweepInterval: -1, ProbeInterval: 20 * time.Millisecond}
+	cfg.Nodes = make([]Node, len(nodes))
+	for i := range nodes {
+		nodes[i] = newDirTestNode(t, fmt.Sprintf("node%d", i))
+		cfg.Nodes[i] = Node{Name: nodes[i].name, Base: nodes[i].srv.URL}
+	}
+	byName := map[string]*testNode{}
+	for _, n := range nodes {
+		byName[n.name] = n
+	}
+	rt1, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const dead = "node1"
+	keyA := pickKey(rt1, "base", dead) // will be deleted while the owner is down
+	keyB := pickKey(rt1, "signs", dead)
+	pathA := fmt.Sprintf("/v1/tiles/%s/%d/%d", keyA.Layer, keyA.TX, keyA.TY)
+	pathB := fmt.Sprintf("/v1/tiles/%s/%d/%d", keyB.Layer, keyB.TX, keyB.TY)
+
+	if w := do(t, rt1, http.MethodPut, pathA, tileBytes(1, 1), nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put A: %d", w.Code)
+	}
+	markDown(rt1, dead)
+	dataB := tileBytes(4, 4)
+	if w := do(t, rt1, http.MethodPut, pathB, dataB, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put B with dead owner: %d", w.Code)
+	}
+	if w := do(t, rt1, http.MethodDelete, pathA, nil, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete A with dead owner: %d", w.Code)
+	}
+	if s := rt1.Stats(); s.HintsPending != 2 {
+		t.Fatalf("hints pending before crash: %+v", s)
+	}
+	countParked := func() int {
+		parked := 0
+		for _, n := range nodes {
+			layers, _ := n.store.ListLayers()
+			for _, l := range layers {
+				if isHintLayer(l) {
+					ks, _ := n.store.Keys(l)
+					parked += len(ks)
+				}
+			}
+		}
+		return parked
+	}
+	if got := countParked(); got != 2 {
+		t.Fatalf("durable parked copies before crash: %d, want 2", got)
+	}
+
+	// Crash: the router dies with its in-memory hint buffer. The nodes
+	// (and their disks) survive.
+	rt1.Close()
+
+	rt2, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt2.Close)
+	rt2.Start()
+
+	// Recovery scan rebuilds the buffer; the probe loop sees the target
+	// alive with pending hints and drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := rt2.Stats()
+		// pending drops when the drain *claims* the batch; quiescence is
+		// when every queued hint is accounted drained/superseded/dropped
+		// and the durable copies are gone.
+		if s.HintsRecovered == 2 && s.HintsQueued == s.HintsDrained+s.HintsSuperseded+s.HintsDropped &&
+			s.HintsPending == 0 && countParked() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery did not drain: %+v parked=%d", s, countParked())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The revived owner got the missed write...
+	got, err := byName[dead].store.Get(keyB)
+	if err != nil || !bytes.Equal(got, dataB) {
+		t.Fatalf("revived owner missing hinted write: err=%v", err)
+	}
+	// ...and the missed delete, as a marker, not a gap.
+	if _, err := byName[dead].store.Get(keyA); err == nil {
+		t.Fatal("revived owner resurrected the deleted tile")
+	}
+	if ks, _ := byName[dead].store.Keys(storage.TombLayerPrefix + keyA.Layer); len(ks) != 1 {
+		t.Fatal("revived owner did not receive the tombstone marker")
+	}
+	// The hint ledger balances across the crash.
+	s := rt2.Stats()
+	if s.HintsQueued != s.HintsDrained+s.HintsSuperseded+s.HintsDropped {
+		t.Fatalf("hint books do not balance after recovery: %+v", s)
+	}
+
+	// The sweep rebuilds the tombstone ledger the old router took to its
+	// grave, so GC still happens eventually.
+	rt2.SweepNow()
+	if s := rt2.Stats(); s.TombstonesPending != 1 || s.TombstonesWritten != 1 {
+		t.Fatalf("ledger not rebuilt from shard state: %+v", s)
+	}
+}
+
+// TestDeleteThenGetServesNotFound: the client-visible contract — a
+// delete wins over the stale replica on quorum reads even before any
+// repair has run.
+func TestDeleteThenGetServesNotFound(t *testing.T) {
+	rt, nodes := newTestCluster(t, 3, Config{Replicas: 3, SweepInterval: -1})
+	path := "/v1/tiles/base/3/3"
+	if w := do(t, rt, http.MethodPut, path, tileBytes(7, 7), nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d", w.Code)
+	}
+	if w := do(t, rt, http.MethodDelete, path, nil, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", w.Code)
+	}
+	if w := do(t, rt, http.MethodGet, path, nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", w.Code)
+	}
+	// A stale replay of the erased write (lower clock than the marker)
+	// must bounce off every replica with 409.
+	stale := tileBytes(1, 1)
+	for _, n := range nodes {
+		req, _ := http.NewRequest(http.MethodPut, n.srv.URL+path, bytes.NewReader(stale))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("stale replay on %s: %d, want 409", n.name, resp.StatusCode)
+		}
+	}
+	// A genuinely newer write resurrects the key (LWW semantics).
+	fresh := tileBytes(100, 2)
+	if w := do(t, rt, http.MethodPut, path, fresh, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("newer put: %d", w.Code)
+	}
+	if w := do(t, rt, http.MethodGet, path, nil, nil); w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), fresh) {
+		t.Fatalf("get after resurrection: %d", w.Code)
+	}
+	checkAccounting(t, rt)
+}

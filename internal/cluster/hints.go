@@ -13,8 +13,9 @@ import (
 // parked write survives a router restart on a real node's disk (the
 // Dynamo-style "hinted handoff buffer on a fallback node"). Hint
 // layers are filtered out of every merged listing, so clients never
-// see them.
-const hintLayerPrefix = "hint--"
+// see them. The prefix is owned by the storage layer, which stores
+// hint payloads raw (tile or tombstone bytes alike).
+const hintLayerPrefix = storage.HintLayerPrefix
 
 // hintLayer names the handoff layer for writes node target missed on
 // layer.
@@ -42,14 +43,16 @@ func isHintLayer(name string) bool {
 	return ok
 }
 
-// hint is one write a down owner missed. Data nil means the missed
-// write was a DELETE (delete hints live only in the router's memory —
-// there is no tombstone payload a fallback node could validate).
+// hint is one write a down owner missed — a tile PUT or, with Tomb
+// set, a deletion whose payload is the encoded tombstone marker. Both
+// kinds park a durable copy on a fallback node, so deletes survive a
+// router restart exactly like writes do.
 type hint struct {
 	Target   string          // owner that missed the write
 	Fallback string          // node durably holding the payload ("" when memory-only)
 	Key      storage.TileKey // original tile key
-	Data     []byte          // payload to replay; nil = delete
+	Data     []byte          // payload to replay: tile bytes, or marker bytes when Tomb
+	Tomb     bool            // payload is a tombstone marker (the missed write was a delete)
 	Clock    uint64          // payload clock, for replay ordering diagnostics
 	Sum      string          // payload checksum (ChecksumHeader value)
 }
@@ -160,6 +163,20 @@ func (b *hintBuffer) pendingFor(target string) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.byTarget[target])
+}
+
+// pendingForKey reports whether any target still has an unreplayed
+// hint for key. Tombstone GC consults this: a marker with a hint in
+// flight is not yet safe to reclaim.
+func (b *hintBuffer) pendingForKey(key storage.TileKey) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.byTarget {
+		if _, ok := m[key]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // pendingByTarget snapshots the per-target pending counts for

@@ -63,6 +63,13 @@ type Config struct {
 	// MaxTileBytes bounds accepted PUT bodies (default 16 MiB, matching
 	// storage.TileServer).
 	MaxTileBytes int64
+	// SweepInterval is the anti-entropy sweep cadence (default 30s;
+	// negative disables background sweeping — SweepNow still works).
+	SweepInterval time.Duration
+	// TombstoneTTL is the minimum deletion-marker age before GC may
+	// reclaim it (default 24h). It must exceed the hint-drain/repair
+	// horizon — see the GC safety argument in DESIGN.md §11.
+	TombstoneTTL time.Duration
 	// Transport, when set, is used for all node requests — the chaos
 	// tests inject per-host fault transports here.
 	Transport http.RoundTripper
@@ -148,6 +155,23 @@ func (c *Config) maxRepairQueue() int {
 	return 256
 }
 
+func (c *Config) sweepInterval() time.Duration {
+	if c.SweepInterval < 0 {
+		return 0 // disabled
+	}
+	if c.SweepInterval == 0 {
+		return 30 * time.Second
+	}
+	return c.SweepInterval
+}
+
+func (c *Config) tombstoneTTL() time.Duration {
+	if c.TombstoneTTL > 0 {
+		return c.TombstoneTTL
+	}
+	return 24 * time.Hour
+}
+
 // Router fronts a fleet of tile servers as one origin: it routes every
 // tile key to its R ring owners, reads at quorum with background
 // read-repair, replicates writes with hinted handoff for dead owners,
@@ -167,6 +191,12 @@ type Router struct {
 	ring    *Ring
 	members map[string]*member
 
+	ledger *tombstoneLedger
+	// sweepMu serialises anti-entropy rounds (ticker vs SweepNow); ae is
+	// only touched under it.
+	sweepMu sync.Mutex
+	ae      *aeState
+
 	repairCh chan repairJob
 	stop     chan struct{}
 	// closeMu serialises goBG against Close so bg.Add never races
@@ -179,13 +209,16 @@ type Router struct {
 }
 
 // repairJob asks the repair worker to bring one replica up to the
-// winner observed by a quorum read.
+// winner observed by a quorum read. (Sweep-found divergences are
+// reconciled inline by the sweeper via syncKey, not queued here.)
 type repairJob struct {
-	m     *member
-	key   storage.TileKey
-	data  []byte
-	sum   string
-	clock uint64
+	m      *member
+	key    storage.TileKey
+	data   []byte
+	sum    string
+	clock  uint64
+	tomb   bool   // payload is a tombstone marker, not tile bytes
+	expect string // conditional-write precondition observed on the target
 }
 
 // NewRouter validates cfg and builds a stopped router; call Start to
@@ -229,6 +262,8 @@ func NewRouter(cfg Config) (*Router, error) {
 		hints:    newHintBuffer(cfg.MaxHints),
 		ring:     NewRing(names, cfg.VNodes),
 		members:  members,
+		ledger:   newTombstoneLedger(),
+		ae:       newAEState(),
 		repairCh: make(chan repairJob, cfg.maxRepairQueue()),
 		stop:     make(chan struct{}),
 	}
@@ -247,11 +282,15 @@ func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
 func (rt *Router) Stats() StatsSnapshot {
 	s := rt.stats.snapshot()
 	s.HintsPending = rt.hints.pending()
+	s.TombstonesPending = rt.ledger.pending()
 	s.Draining = rt.draining.Load()
 	return s
 }
 
-// Start launches the failure detector and the read-repair worker.
+// Start launches the failure detector, the repair worker, the
+// anti-entropy sweeper, and a one-shot recovery scan that rebuilds the
+// hint buffer from durable parked copies a previous router left on the
+// nodes' disks.
 func (rt *Router) Start() {
 	if !rt.started.CompareAndSwap(false, true) {
 		return
@@ -259,6 +298,11 @@ func (rt *Router) Start() {
 	rt.bg.Add(2)
 	go rt.probeLoop()
 	go rt.repairLoop()
+	if iv := rt.cfg.sweepInterval(); iv > 0 {
+		rt.bg.Add(1)
+		go rt.sweepLoop(iv)
+	}
+	rt.goBG(rt.recoverDurableHints)
 }
 
 // Close stops background work and waits for in-flight drains, repairs,
@@ -457,9 +501,9 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			rt.clientError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		if isHintLayer(key.Layer) {
-			// Handoff layers are cluster-internal; clients never address
-			// them through the router.
+		if storage.IsInternalLayer(key.Layer) {
+			// Handoff and tombstone layers are cluster-internal; clients
+			// never address them through the router.
 			rt.clientError(w, http.StatusNotFound, "tile not found")
 			return
 		}
@@ -566,7 +610,20 @@ type ClusterStatus struct {
 	VNodes      int            `json:"vnodes"`
 	Members     []MemberStatus `json:"members"`
 	HintsByNode map[string]int `json:"hints_by_node,omitempty"`
-	Stats       StatsSnapshot  `json:"stats"`
+	// Tombstones is the pending-deletion ledger: markers written but not
+	// yet garbage-collected, sorted by key.
+	Tombstones []TombstoneStatus `json:"tombstones,omitempty"`
+	Stats      StatsSnapshot     `json:"stats"`
+}
+
+// TombstoneStatus is one pending deletion marker in /clusterz.
+type TombstoneStatus struct {
+	Layer      string `json:"layer"`
+	TX         int32  `json:"tx"`
+	TY         int32  `json:"ty"`
+	Clock      uint64 `json:"clock"`
+	Created    uint64 `json:"created"`
+	TTLSeconds uint64 `json:"ttl"`
 }
 
 // Status assembles the /clusterz document.
@@ -579,6 +636,7 @@ func (rt *Router) Status() ClusterStatus {
 		VNodes:      rt.Ring().vnodes,
 		Members:     make([]MemberStatus, 0, len(ms)),
 		HintsByNode: rt.hints.pendingByTarget(),
+		Tombstones:  rt.tombstoneStatus(),
 		Stats:       rt.Stats(),
 	}
 	for _, m := range ms {
@@ -587,19 +645,70 @@ func (rt *Router) Status() ClusterStatus {
 	return out
 }
 
+func (rt *Router) tombstoneStatus() []TombstoneStatus {
+	snap := rt.ledger.snapshot()
+	out := make([]TombstoneStatus, 0, len(snap))
+	for k, e := range snap {
+		out = append(out, TombstoneStatus{
+			Layer: k.Layer, TX: k.TX, TY: k.TY,
+			Clock: e.Clock, Created: e.Created, TTLSeconds: e.TTLSeconds,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.TX != b.TX {
+			return a.TX < b.TX
+		}
+		return a.TY < b.TY
+	})
+	return out
+}
+
 // ---- shard legs ------------------------------------------------------
 
 // legResult is one replica's answer to a read.
 type legResult struct {
 	m         *member
-	ok        bool // definitive answer: found tile or authoritative miss
+	ok        bool // definitive answer: found tile, tombstone, or authoritative miss
 	found     bool
+	tomb      bool // the replica holds a deletion marker; data is the marker bytes
 	data      []byte
 	sum       string
 	clock     uint64
 	integrity bool // reachable but served damaged bytes — repairable
 	errMsg    string
 }
+
+// legExpectOf renders a leg's observed state as a conditional-write
+// precondition: whatever mutation follows is accepted by the shard only
+// if the state is still exactly this.
+func legExpectOf(l *legResult) string {
+	switch {
+	case l.tomb:
+		return storage.ReplicaState{Tomb: true, Clock: l.clock}.String()
+	case l.found:
+		return storage.ReplicaState{Found: true, Clock: l.clock, Sum: l.sum}.String()
+	default:
+		return "absent"
+	}
+}
+
+// Semantic (non-error) write outcomes: the shard answered, ordered the
+// write, and refused it deliberately. Neither strikes the failure
+// detector nor counts as a shard error.
+var (
+	// errSuperseded is a 409: the write is ordered below the replica's
+	// current state (a stale replay losing to a tombstone, or an
+	// obsolete tombstone losing to a newer tile). The write is
+	// accepted-and-immediately-superseded in LWW terms.
+	errSuperseded = errors.New("cluster: write superseded by fresher state")
+	// errPrecondition is a 412: the ExpectHeader precondition failed —
+	// the replica's state moved between observation and write.
+	errPrecondition = errors.New("cluster: write precondition failed")
+)
 
 func (rt *Router) tileURL(base string, key storage.TileKey) string {
 	return fmt.Sprintf("%s/v1/tiles/%s/%d/%d", base, url.PathEscape(key.Layer), key.TX, key.TY)
@@ -663,6 +772,12 @@ func (rt *Router) shardGet(ctx context.Context, trace string, leg *obs.Span, m *
 		}
 		clock, err := storage.PeekClock(data)
 		if err != nil {
+			if ts, derr := storage.DecodeTombstone(data); derr == nil {
+				// A parked deletion marker read back from a hint layer
+				// (hint layers store payloads raw).
+				res.ok, res.tomb, res.data, res.sum, res.clock = true, true, data, sum, ts.Clock
+				return res
+			}
 			rt.stats.integrityFailures.Inc()
 			res.integrity = true
 			res.errMsg = "unreadable tile: " + err.Error()
@@ -671,6 +786,24 @@ func (rt *Router) shardGet(ctx context.Context, trace string, leg *obs.Span, m *
 		res.ok, res.found, res.data, res.sum, res.clock = true, true, data, sum, clock
 		return res
 	case resp.StatusCode == http.StatusNotFound:
+		if resp.Header.Get(storage.TombstoneHeader) != "" {
+			// Deleted, not merely absent: the body carries the marker.
+			data, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.maxTileBytes()+1))
+			if err == nil {
+				sum := storage.Checksum(data)
+				want := resp.Header.Get(storage.ChecksumHeader)
+				if want == "" || want == sum {
+					if ts, derr := storage.DecodeTombstone(data); derr == nil {
+						res.ok, res.tomb, res.data, res.sum, res.clock = true, true, data, sum, ts.Clock
+						return res
+					}
+				}
+			}
+			rt.stats.integrityFailures.Inc()
+			res.integrity = true
+			res.errMsg = "unreadable tombstone"
+			return res
+		}
 		res.ok = true // an authoritative miss is a valid quorum answer
 		return res
 	default:
@@ -680,8 +813,11 @@ func (rt *Router) shardGet(ctx context.Context, trace string, leg *obs.Span, m *
 	}
 }
 
-// shardPut writes one replica (2xx is success).
-func (rt *Router) shardPut(ctx context.Context, trace string, leg *obs.Span, m *member, key storage.TileKey, data []byte, sum string) error {
+// shardPut writes one replica (2xx is success). A non-empty expect is
+// sent as the conditional-write precondition; 412 and 409 come back as
+// errPrecondition/errSuperseded — semantic outcomes the shard decided
+// deliberately, not shard failures.
+func (rt *Router) shardPut(ctx context.Context, trace string, leg *obs.Span, m *member, key storage.TileKey, data []byte, sum, expect string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, rt.tileURL(m.node.Base, key), bytes.NewReader(data))
 	if err != nil {
 		return err
@@ -689,6 +825,9 @@ func (rt *Router) shardPut(ctx context.Context, trace string, leg *obs.Span, m *
 	legHeaders(req, trace, leg)
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(storage.ChecksumHeader, sum)
+	if expect != "" {
+		req.Header.Set(storage.ExpectHeader, expect)
+	}
 	resp, err := rt.httpc.Do(req)
 	if err != nil {
 		rt.noteFailure(m, err.Error())
@@ -697,7 +836,12 @@ func (rt *Router) shardPut(ctx context.Context, trace string, leg *obs.Span, m *
 	}
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	_ = resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		return errSuperseded
+	case resp.StatusCode == http.StatusPreconditionFailed:
+		return errPrecondition
+	case resp.StatusCode < 200 || resp.StatusCode >= 300:
 		rt.stats.shardErrors.With(m.node.Name).Inc()
 		return errors.New("status " + resp.Status)
 	}
@@ -705,13 +849,18 @@ func (rt *Router) shardPut(ctx context.Context, trace string, leg *obs.Span, m *
 }
 
 // shardDelete deletes one replica; a 404 counts as success (already
-// gone).
-func (rt *Router) shardDelete(ctx context.Context, trace string, leg *obs.Span, m *member, key storage.TileKey) error {
+// gone). A non-empty expect makes the delete conditional (412 =>
+// errPrecondition) — tombstone GC uses this to reclaim exactly the
+// marker it observed.
+func (rt *Router) shardDelete(ctx context.Context, trace string, leg *obs.Span, m *member, key storage.TileKey, expect string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, rt.tileURL(m.node.Base, key), nil)
 	if err != nil {
 		return err
 	}
 	legHeaders(req, trace, leg)
+	if expect != "" {
+		req.Header.Set(storage.ExpectHeader, expect)
+	}
 	resp, err := rt.httpc.Do(req)
 	if err != nil {
 		rt.noteFailure(m, err.Error())
@@ -720,6 +869,9 @@ func (rt *Router) shardDelete(ctx context.Context, trace string, leg *obs.Span, 
 	}
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusPreconditionFailed {
+		return errPrecondition
+	}
 	if resp.StatusCode != http.StatusNotFound && (resp.StatusCode < 200 || resp.StatusCode >= 300) {
 		rt.stats.shardErrors.With(m.node.Name).Inc()
 		return errors.New("status " + resp.Status)
@@ -727,16 +879,11 @@ func (rt *Router) shardDelete(ctx context.Context, trace string, leg *obs.Span, 
 	return nil
 }
 
-// fresher reports whether replica a is strictly newer than b under the
-// cluster's total order: clock first, payload bytes as tiebreak. The
-// order is deterministic, so every quorum read picks the same winner
-// and read-repair converges all replicas byte-identical.
-func fresher(clockA uint64, dataA []byte, clockB uint64, dataB []byte) bool {
-	if clockA != clockB {
-		return clockA > clockB
-	}
-	return bytes.Compare(dataA, dataB) > 0
-}
+// The cluster's total order over replica states is
+// storage.FresherState: clock first, tombstone beats live on a tie,
+// payload bytes as final tiebreak. It is deterministic, so every
+// quorum read, repair, and sweep picks the same winner and replicas
+// converge byte-identical — including agreeing on deletions.
 
 // ---- read path -------------------------------------------------------
 
@@ -791,18 +938,21 @@ func (rt *Router) handleTileGet(w http.ResponseWriter, r *http.Request, span *ob
 		all = append(all, res)
 		if res.ok {
 			answers++
-			if res.found && (winner == nil || fresher(res.clock, res.data, winner.clock, winner.data)) {
+			if (res.found || res.tomb) && (winner == nil ||
+				storage.FresherState(res.tomb, res.clock, res.data, winner.tomb, winner.clock, winner.data)) {
 				cp := res
 				winner = &cp
 			}
 		}
 		if !responded && answers >= need {
 			responded = true
-			if winner != nil {
+			if winner != nil && winner.found {
 				w.Header().Set("Content-Type", "application/octet-stream")
 				w.Header().Set(storage.ChecksumHeader, winner.sum)
 				_, _ = w.Write(winner.data)
 			} else {
+				// Absent and tombstoned both read as 404 to clients; the
+				// marker is cluster machinery, not payload.
 				rt.writeJSONErrorRaw(w, http.StatusNotFound, "tile not found")
 			}
 			rt.stats.served.Inc()
@@ -850,7 +1000,8 @@ func (rt *Router) scheduleRepairs(key storage.TileKey, legs []legResult) {
 	var winner *legResult
 	for i := range legs {
 		l := &legs[i]
-		if l.found && (winner == nil || fresher(l.clock, l.data, winner.clock, winner.data)) {
+		if (l.found || l.tomb) && (winner == nil ||
+			storage.FresherState(l.tomb, l.clock, l.data, winner.tomb, winner.clock, winner.data)) {
 			winner = l
 		}
 	}
@@ -868,17 +1019,27 @@ func (rt *Router) scheduleRepairs(key storage.TileKey, legs []legResult) {
 			stale = true // damaged bytes: overwrite with the winner
 		case !l.ok:
 			continue // unreachable: hints cover it
-		case !l.found:
+		case !l.found && !l.tomb:
+			// Absent — including absent where the winner is a tombstone:
+			// markers propagate to every owner so absences converge too,
+			// and GC reclaims them only once all owners hold one.
 			stale = true
 			rt.stats.staleReads.Inc()
-		case !bytes.Equal(l.data, winner.data):
+		case l.tomb != winner.tomb || !bytes.Equal(l.data, winner.data):
 			stale = true
 			rt.stats.staleReads.Inc()
 		}
 		if !stale {
 			continue
 		}
-		job := repairJob{m: l.m, key: key, data: winner.data, sum: winner.sum, clock: winner.clock}
+		job := repairJob{
+			m: l.m, key: key, data: winner.data, sum: winner.sum,
+			clock: winner.clock, tomb: winner.tomb, expect: legExpectOf(l),
+		}
+		if l.integrity {
+			// A damaged replica's true state is unknowable; overwrite it.
+			job.expect = ""
+		}
 		select {
 		case rt.repairCh <- job:
 			rt.stats.repairsScheduled.Inc()
@@ -911,7 +1072,8 @@ func (rt *Router) repair(job repairJob) {
 	span.SetAttr("layer", job.key.Layer)
 	defer span.End()
 	cur := rt.shardGet(ctx, span.TraceID(), span, job.m, job.key)
-	if cur.found && !fresher(job.clock, job.data, cur.clock, cur.data) {
+	if (cur.found || cur.tomb) &&
+		!storage.FresherState(job.tomb, job.clock, job.data, cur.tomb, cur.clock, cur.data) {
 		rt.stats.repairsSkipped.Inc()
 		return
 	}
@@ -921,9 +1083,20 @@ func (rt *Router) repair(job repairJob) {
 		span.Fail("target unreachable")
 		return
 	}
-	if err := rt.shardPut(ctx, span.TraceID(), span, job.m, job.key, job.data, job.sum); err != nil {
+	// The write is conditional on the state just re-read: if anything
+	// lands on the replica between this check and the PUT, the shard
+	// answers 412 and the repair steps aside instead of overwriting the
+	// fresher write — the read-then-overwrite race is closed at the
+	// shard, not by hoping the queue is fast.
+	expect := ""
+	if !cur.integrity {
+		expect = legExpectOf(&cur)
+	}
+	if err := rt.shardPut(ctx, span.TraceID(), span, job.m, job.key, job.data, job.sum, expect); err != nil {
 		rt.stats.repairsSkipped.Inc()
-		span.Fail(err.Error())
+		if !errors.Is(err, errPrecondition) && !errors.Is(err, errSuperseded) {
+			span.Fail(err.Error())
+		}
 		return
 	}
 	rt.stats.repairsDone.Inc()
@@ -989,7 +1162,7 @@ func (rt *Router) handleTilePut(w http.ResponseWriter, r *http.Request, span *ob
 		go func(m *member, leg *obs.Span) {
 			ctx, cancel := rt.legContext(r.Context())
 			defer cancel()
-			err := rt.shardPut(ctx, trace, leg, m, key, data, sum)
+			err := rt.shardPut(ctx, trace, leg, m, key, data, sum, "")
 			if err != nil {
 				leg.Fail(err.Error())
 			}
@@ -1000,7 +1173,10 @@ func (rt *Router) handleTilePut(w http.ResponseWriter, r *http.Request, span *ob
 	acked := 0
 	for i := 0; i < inflight; i++ {
 		out := <-results
-		if out.err == nil {
+		// errSuperseded acks too: the shard ordered the write below a
+		// tombstone it holds — accepted-and-immediately-superseded is a
+		// completed write under last-writer-wins, not a failure.
+		if out.err == nil || errors.Is(out.err, errSuperseded) {
 			acked++
 		} else {
 			toHint = append(toHint, out.m)
@@ -1028,6 +1204,13 @@ func (rt *Router) handleTilePut(w http.ResponseWriter, r *http.Request, span *ob
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleTileDelete makes a delete as durable as a write: instead of
+// issuing bare DELETEs (which a dead owner would simply miss), the
+// router writes a tombstone marker to every owner. The marker's clock
+// dominates every version observable on live owners, so replays of
+// erased writes lose to it; dead owners get durable tombstone hints
+// parked on a fallback node's disk, so the delete survives even a
+// router crash while the owner is down.
 func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span *obs.Span, key storage.TileKey) {
 	rt.stats.writes.Inc()
 	owners := rt.ownersFor(key)
@@ -1040,6 +1223,49 @@ func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span 
 	if need > len(owners) {
 		need = len(owners)
 	}
+
+	// Phase 1: observe the highest clock among reachable owners, so the
+	// marker is stamped above everything the delete must erase.
+	clockCh := make(chan legResult, len(owners))
+	probes := 0
+	for _, m := range owners {
+		if !m.Alive() {
+			continue
+		}
+		leg := span.StartChild("shard.read")
+		leg.SetAttr("node", m.node.Name)
+		probes++
+		go func(m *member, leg *obs.Span) {
+			ctx, cancel := rt.legContext(r.Context())
+			defer cancel()
+			res := rt.shardGet(ctx, trace, leg, m, key)
+			if res.errMsg != "" {
+				leg.Fail(res.errMsg)
+			}
+			leg.End()
+			clockCh <- res
+		}(m, leg)
+	}
+	var maxClock uint64
+	for i := 0; i < probes; i++ {
+		res := <-clockCh
+		if res.ok && (res.found || res.tomb) && res.clock > maxClock {
+			maxClock = res.clock
+		}
+	}
+
+	ts := storage.Tombstone{
+		Layer: key.Layer, TX: key.TX, TY: key.TY,
+		Clock:      maxClock + 1,
+		Created:    uint64(time.Now().Unix()),
+		TTLSeconds: uint64(rt.cfg.tombstoneTTL() / time.Second),
+	}
+	// Built once: every owner receives byte-identical marker bytes.
+	marker := storage.EncodeTombstone(ts)
+	sum := storage.Checksum(marker)
+
+	// Phase 2: replicate the marker exactly like a write, with sloppy
+	// quorum and durable hints for unreachable owners.
 	type delOutcome struct {
 		m   *member
 		err error
@@ -1059,7 +1285,7 @@ func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span 
 		go func(m *member, leg *obs.Span) {
 			ctx, cancel := rt.legContext(r.Context())
 			defer cancel()
-			err := rt.shardDelete(ctx, trace, leg, m, key)
+			err := rt.shardPut(ctx, trace, leg, m, key, marker, sum, "")
 			if err != nil {
 				leg.Fail(err.Error())
 			}
@@ -1070,7 +1296,10 @@ func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span 
 	acked := 0
 	for i := 0; i < inflight; i++ {
 		out := <-results
-		if out.err == nil {
+		if out.err == nil || errors.Is(out.err, errSuperseded) {
+			// 409 means a write newer than phase 1 observed landed in
+			// between; the delete is ordered before it and erased nothing
+			// — still a completed delete under last-writer-wins.
 			acked++
 		} else {
 			toHint = append(toHint, out.m)
@@ -1078,10 +1307,7 @@ func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span 
 	}
 	hinted := 0
 	for _, m := range toHint {
-		// Delete hints are memory-only (nil Data): there is no payload a
-		// fallback node could hold, so a missed delete survives router
-		// restarts only as a documented gap (see DESIGN.md).
-		h := &hint{Target: m.node.Name, Key: key}
+		h := &hint{Target: m.node.Name, Key: key, Data: marker, Tomb: true, Clock: ts.Clock, Sum: sum}
 		if rt.queueHint(r.Context(), trace, span, h, owners) {
 			hinted++
 		}
@@ -1091,6 +1317,9 @@ func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span 
 		span.Fail("delete quorum failed")
 		rt.shed(w, span, fmt.Sprintf("delete quorum failed: %d acks + %d hints < %d", acked, hinted, need))
 		return
+	}
+	if rt.ledger.record(key, ledgerEntry{Clock: ts.Clock, Created: ts.Created, TTLSeconds: ts.TTLSeconds}) {
+		rt.stats.tombstonesWritten.Inc()
 	}
 	rt.stats.served.Inc()
 	w.WriteHeader(http.StatusNoContent)
@@ -1110,7 +1339,7 @@ func (rt *Router) queueHint(ctx context.Context, trace string, span *obs.Span, h
 			leg.SetAttr("node", fb.node.Name)
 			leg.SetAttr("target", h.Target)
 			legCtx, cancel := rt.legContext(ctx)
-			err := rt.shardPut(legCtx, trace, leg, fb, hk, h.Data, h.Sum)
+			err := rt.shardPut(legCtx, trace, leg, fb, hk, h.Data, h.Sum, "")
 			cancel()
 			if err != nil {
 				leg.Fail(err.Error())
@@ -1202,21 +1431,33 @@ func (rt *Router) replayHint(m *member, h *hint) error {
 	defer span.End()
 	trace := span.TraceID()
 	if h.Data == nil {
-		if err := rt.shardDelete(ctx, trace, span, m, h.Key); err != nil {
+		// Legacy memory-only delete hint (pre-tombstone); replay as a bare
+		// delete since there is no marker to deliver.
+		if err := rt.shardDelete(ctx, trace, span, m, h.Key, ""); err != nil {
 			span.Fail(err.Error())
 			return err
 		}
 		return nil
 	}
-	cur := rt.shardGet(ctx, trace, span, m, h.Key)
-	if !cur.ok && !cur.integrity {
-		span.Fail(cur.errMsg)
-		return errors.New(cur.errMsg)
-	}
-	if !cur.found || fresher(h.Clock, h.Data, cur.clock, cur.data) {
-		if err := rt.shardPut(ctx, trace, span, m, h.Key, h.Data, h.Sum); err != nil {
+	if h.Tomb {
+		// Tombstone markers carry their own ordering: the shard accepts,
+		// no-ops (older than existing marker), or rejects with 409 (a
+		// fresher live tile landed) — all of which complete the hint.
+		if err := rt.shardPut(ctx, trace, span, m, h.Key, h.Data, h.Sum, ""); err != nil && !errors.Is(err, errSuperseded) {
 			span.Fail(err.Error())
 			return err
+		}
+	} else {
+		cur := rt.shardGet(ctx, trace, span, m, h.Key)
+		if !cur.ok && !cur.integrity {
+			span.Fail(cur.errMsg)
+			return errors.New(cur.errMsg)
+		}
+		if (!cur.found && !cur.tomb) || storage.FresherState(false, h.Clock, h.Data, cur.tomb, cur.clock, cur.data) {
+			if err := rt.shardPut(ctx, trace, span, m, h.Key, h.Data, h.Sum, ""); err != nil && !errors.Is(err, errSuperseded) {
+				span.Fail(err.Error())
+				return err
+			}
 		}
 	}
 	if h.Fallback != "" {
@@ -1225,7 +1466,7 @@ func (rt *Router) replayHint(m *member, h *hint) error {
 		rt.mu.RUnlock()
 		if fb != nil {
 			hk := storage.TileKey{Layer: hintLayer(h.Target, h.Key.Layer), TX: h.Key.TX, TY: h.Key.TY}
-			_ = rt.shardDelete(ctx, trace, span, fb, hk)
+			_ = rt.shardDelete(ctx, trace, span, fb, hk, "")
 		}
 	}
 	return nil
@@ -1243,6 +1484,95 @@ func (rt *Router) restoreHints(batch []*hint) {
 		case hintFull:
 			rt.stats.hintsDropped.Inc()
 		}
+	}
+}
+
+// recoverDurableHints rebuilds the in-memory hint buffer from payloads
+// parked on fallback nodes' disks under hint-- layers. A fresh router
+// over the same nodes (crash restart, failover) runs this once on
+// Start, so parked writes — and parked deletes — survive the router
+// process. Unreachable fallbacks are skipped; the sweeper converges
+// whatever recovery misses.
+func (rt *Router) recoverDurableHints() {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.shardTimeout()*4)
+	defer cancel()
+	_, span := rt.tracer.StartSpan(ctx, "cluster.hint_recovery")
+	defer span.End()
+	trace := span.TraceID()
+	recovered := 0
+	type entry struct {
+		TX int32 `json:"tx"`
+		TY int32 `json:"ty"`
+	}
+	for _, fb := range rt.memberList() {
+		if !fb.Alive() {
+			continue
+		}
+		var layers []string
+		leg := span.StartChild("shard.layers")
+		leg.SetAttr("node", fb.node.Name)
+		lctx, lcancel := rt.legContext(ctx)
+		err := rt.shardJSON(lctx, trace, leg, fb, "/v1/layers", &layers)
+		lcancel()
+		if err != nil {
+			leg.Fail(err.Error())
+		}
+		leg.End()
+		if err != nil {
+			continue
+		}
+		for _, hl := range layers {
+			target, origLayer, ok := parseHintLayer(hl)
+			if !ok {
+				continue
+			}
+			var keys []entry
+			leg := span.StartChild("shard.list")
+			leg.SetAttr("node", fb.node.Name)
+			lctx, lcancel := rt.legContext(ctx)
+			err := rt.shardJSON(lctx, trace, leg, fb, "/v1/tiles/"+url.PathEscape(hl), &keys)
+			lcancel()
+			if err != nil {
+				leg.Fail(err.Error())
+			}
+			leg.End()
+			if err != nil {
+				continue
+			}
+			for _, e := range keys {
+				hk := storage.TileKey{Layer: hl, TX: e.TX, TY: e.TY}
+				leg := span.StartChild("shard.read")
+				leg.SetAttr("node", fb.node.Name)
+				lctx, lcancel := rt.legContext(ctx)
+				res := rt.shardGet(lctx, trace, leg, fb, hk)
+				lcancel()
+				if res.errMsg != "" {
+					leg.Fail(res.errMsg)
+				}
+				leg.End()
+				if !res.ok || (!res.found && !res.tomb) {
+					continue
+				}
+				h := &hint{
+					Target:   target,
+					Fallback: fb.node.Name,
+					Key:      storage.TileKey{Layer: origLayer, TX: e.TX, TY: e.TY},
+					Data:     res.data,
+					Tomb:     res.tomb,
+					Clock:    res.clock,
+					Sum:      res.sum,
+				}
+				if rt.hints.restore(h) == hintAdded {
+					rt.stats.hintsQueued.Inc()
+					rt.stats.hintsRecovered.Inc()
+					rt.stats.shardHinted.With(target).Inc()
+					recovered++
+				}
+			}
+		}
+	}
+	if recovered > 0 {
+		rt.log.Warn("recovered durable hints", "count", recovered)
 	}
 }
 
@@ -1289,7 +1619,7 @@ func (rt *Router) handleLayers(w http.ResponseWriter, r *http.Request, span *obs
 		}
 		okCount++
 		for _, l := range res.layers {
-			if !isHintLayer(l) {
+			if !storage.IsInternalLayer(l) {
 				seen[l] = true
 			}
 		}
@@ -1311,7 +1641,7 @@ func (rt *Router) handleLayers(w http.ResponseWriter, r *http.Request, span *obs
 // handleList merges a layer's tile listing across all live nodes.
 func (rt *Router) handleList(w http.ResponseWriter, r *http.Request, span *obs.Span, layer string) {
 	rt.stats.reads.Inc()
-	if isHintLayer(layer) {
+	if storage.IsInternalLayer(layer) {
 		rt.clientError(w, http.StatusNotFound, "not found")
 		return
 	}

@@ -20,7 +20,7 @@ import (
 // HTTP surface plus the /healthz the failure detector probes.
 type testNode struct {
 	name  string
-	store *storage.MemStore
+	store storage.TileStore
 	srv   *httptest.Server
 }
 
@@ -289,8 +289,14 @@ func TestRouterHintedHandoff(t *testing.T) {
 	// Recovery: the up transition drains the handoff buffer back to the
 	// returned owner.
 	rt.noteSuccess(rt.members[dead])
+	// pending() drops when the drain claims the batch, before the replay
+	// PUT lands — quiescence is when the drained counter catches up.
 	deadline := time.Now().Add(5 * time.Second)
-	for rt.hints.pending() > 0 {
+	for {
+		s := rt.Stats()
+		if s.HintsPending == 0 && s.HintsDrained == 1 {
+			break
+		}
 		if time.Now().After(deadline) {
 			t.Fatal("hints did not drain")
 		}
@@ -345,7 +351,11 @@ func TestRouterHintSupersededByNewerWrite(t *testing.T) {
 	}
 	rt.noteSuccess(rt.members[dead])
 	deadline := time.Now().Add(5 * time.Second)
-	for rt.hints.pending() > 0 {
+	for {
+		s := rt.Stats()
+		if s.HintsPending == 0 && s.HintsDrained == 1 {
+			break
+		}
 		if time.Now().After(deadline) {
 			t.Fatal("hints did not drain")
 		}

@@ -29,6 +29,17 @@ type stats struct {
 	hintsDrained    *obs.Counter
 	hintsSuperseded *obs.Counter
 	hintsDropped    *obs.Counter
+	hintsRecovered  *obs.Counter
+
+	tombstonesWritten   *obs.Counter
+	tombstonesReclaimed *obs.Counter
+
+	aeRounds          *obs.Counter
+	aeRangesDiffed    *obs.Counter
+	aeRangeMismatches *obs.Counter
+	aeKeysSynced      *obs.Counter
+	aeRepairsDone     *obs.Counter
+	aeRepairsSkipped  *obs.Counter
 
 	// Per-shard families, labelled by node name (an enumerated domain:
 	// the membership list fixed at construction, so cardinality is
@@ -63,6 +74,17 @@ func newStats(reg *obs.Registry, nodeNames []string) *stats {
 		hintsDrained:    reg.Counter("cluster.hint.drained"),
 		hintsSuperseded: reg.Counter("cluster.hint.superseded"),
 		hintsDropped:    reg.Counter("cluster.hint.dropped"),
+		hintsRecovered:  reg.Counter("cluster.hint.recovered"),
+
+		tombstonesWritten:   reg.Counter("cluster.tombstone.written"),
+		tombstonesReclaimed: reg.Counter("cluster.tombstone.reclaimed"),
+
+		aeRounds:          reg.Counter("cluster.antientropy.rounds"),
+		aeRangesDiffed:    reg.Counter("cluster.antientropy.ranges_diffed"),
+		aeRangeMismatches: reg.Counter("cluster.antientropy.range_mismatches"),
+		aeKeysSynced:      reg.Counter("cluster.antientropy.keys_synced"),
+		aeRepairsDone:     reg.Counter("cluster.antientropy.repairs_done"),
+		aeRepairsSkipped:  reg.Counter("cluster.antientropy.repairs_skipped"),
 
 		shardRouted:  reg.CounterVec("cluster.shard.routed", nodeNames),
 		shardErrors:  reg.CounterVec("cluster.shard.errors", nodeNames),
@@ -115,8 +137,30 @@ type StatsSnapshot struct {
 	HintsDrained    uint64 `json:"hints_drained"`
 	HintsSuperseded uint64 `json:"hints_superseded"`
 	HintsDropped    uint64 `json:"hints_dropped"`
+	// HintsRecovered counts hints rebuilt from durable parked copies by
+	// a restarted router (each is also counted in HintsQueued, so the
+	// hint ledger stays balanced across a crash).
+	HintsRecovered uint64 `json:"hints_recovered"`
 	// HintsPending is the live count of unreplayed hints.
 	HintsPending int `json:"hints_pending"`
+	// TombstonesWritten/Reclaimed/Pending account the delete ledger:
+	// written == reclaimed + pending (set-cardinality semantics — a key
+	// deleted twice before GC counts once).
+	TombstonesWritten   uint64 `json:"tombstones_written"`
+	TombstonesReclaimed uint64 `json:"tombstones_reclaimed"`
+	TombstonesPending   int    `json:"tombstones_pending"`
+	// Anti-entropy sweep accounting: Rounds completed; RangesDiffed
+	// digest buckets compared; RangeMismatches buckets whose leaf tuples
+	// had to be fetched; KeysSynced divergent keys reconciled inline by
+	// the sweep; AERepairsDone/Skipped the per-replica outcomes (skipped
+	// = the conditional write lost a race to a concurrent fresher write,
+	// the target was unreachable, or the divergence had already healed).
+	AERounds          uint64 `json:"antientropy_rounds"`
+	AERangesDiffed    uint64 `json:"antientropy_ranges_diffed"`
+	AERangeMismatches uint64 `json:"antientropy_range_mismatches"`
+	AEKeysSynced      uint64 `json:"antientropy_keys_synced"`
+	AERepairsDone     uint64 `json:"antientropy_repairs_done"`
+	AERepairsSkipped  uint64 `json:"antientropy_repairs_skipped"`
 	// Draining reports whether the router has begun graceful drain.
 	Draining bool `json:"draining"`
 }
@@ -140,5 +184,16 @@ func (s *stats) snapshot() StatsSnapshot {
 		HintsDrained:      s.hintsDrained.Value(),
 		HintsSuperseded:   s.hintsSuperseded.Value(),
 		HintsDropped:      s.hintsDropped.Value(),
+		HintsRecovered:    s.hintsRecovered.Value(),
+
+		TombstonesWritten:   s.tombstonesWritten.Value(),
+		TombstonesReclaimed: s.tombstonesReclaimed.Value(),
+
+		AERounds:          s.aeRounds.Value(),
+		AERangesDiffed:    s.aeRangesDiffed.Value(),
+		AERangeMismatches: s.aeRangeMismatches.Value(),
+		AEKeysSynced:      s.aeKeysSynced.Value(),
+		AERepairsDone:     s.aeRepairsDone.Value(),
+		AERepairsSkipped:  s.aeRepairsSkipped.Value(),
 	}
 }

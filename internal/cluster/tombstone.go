@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sync"
+
+	"hdmaps/internal/storage"
+)
+
+// ledgerEntry tracks one key's outstanding deletion marker: the clock
+// it was written at and its GC parameters, copied from the marker so
+// the ledger can decide TTL expiry without re-fetching it.
+type ledgerEntry struct {
+	Clock      uint64
+	Created    uint64
+	TTLSeconds uint64
+}
+
+// tombstoneLedger is the router's account of deletion markers not yet
+// garbage-collected. The invariant the soak asserts:
+//
+//	tombstones written == reclaimed + pending
+//
+// with set-cardinality semantics — record counts a key once no matter
+// how many times it is re-deleted before GC, and complete removes it
+// only when the reclaimed clock matches the recorded one (a concurrent
+// re-delete at a higher clock keeps the key pending).
+type tombstoneLedger struct {
+	mu      sync.Mutex
+	entries map[storage.TileKey]ledgerEntry
+}
+
+func newTombstoneLedger() *tombstoneLedger {
+	return &tombstoneLedger{entries: make(map[storage.TileKey]ledgerEntry)}
+}
+
+// record notes a marker written (or re-discovered from shard state by
+// the sweeper). Returns true when the key is new to the ledger — the
+// caller increments TombstonesWritten exactly then. A newer clock for
+// a known key updates the entry without recounting.
+func (l *tombstoneLedger) record(key storage.TileKey, e ledgerEntry) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.entries[key]
+	if ok && cur.Clock >= e.Clock {
+		return false
+	}
+	l.entries[key] = e
+	return !ok
+}
+
+// complete retires a key after GC (or after observing a live tile that
+// superseded the marker). The entry is removed only if its clock still
+// matches — a re-delete racing GC stays pending. Returns true when an
+// entry was actually retired.
+func (l *tombstoneLedger) complete(key storage.TileKey, clock uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.entries[key]
+	if !ok || cur.Clock != clock {
+		return false
+	}
+	delete(l.entries, key)
+	return true
+}
+
+// pending is the live count of uncollected markers.
+func (l *tombstoneLedger) pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// snapshot copies the ledger for a GC pass to iterate without holding
+// the lock across network calls.
+func (l *tombstoneLedger) snapshot() map[storage.TileKey]ledgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[storage.TileKey]ledgerEntry, len(l.entries))
+	for k, e := range l.entries {
+		out[k] = e
+	}
+	return out
+}

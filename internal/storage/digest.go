@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"encoding/binary"
+	"strconv"
+)
+
+// DigestBuckets is the fan-out of a layer digest: every key of a layer
+// falls into one of these buckets by coordinate hash, and each bucket
+// summarises its (key, clock, CRC) tuples into one 64-bit digest. An
+// anti-entropy sweeper compares the fixed-size bucket vector between
+// replicas and fetches per-key tuples only for buckets that disagree —
+// the two-level Merkle-style exchange that keeps steady-state sweep
+// traffic independent of key count.
+const DigestBuckets = 16
+
+// DigestEntry is one key's digest tuple: coordinates, logical clock,
+// write-time checksum, and whether the entry is a deletion marker.
+// Created/TTLSeconds are populated only on tombstone listings, where
+// the sweeper needs them to rebuild its GC ledger after a restart.
+type DigestEntry struct {
+	TX         int32  `json:"tx"`
+	TY         int32  `json:"ty"`
+	Clock      uint64 `json:"clock"`
+	Sum        string `json:"crc"`
+	Tomb       bool   `json:"tomb,omitempty"`
+	Created    uint64 `json:"created,omitempty"`
+	TTLSeconds uint64 `json:"ttl,omitempty"`
+}
+
+// BucketDigest is one bucket's summary: entry count plus the
+// order-independent XOR of entry hashes, hex-encoded.
+type BucketDigest struct {
+	Count  int    `json:"count"`
+	Digest string `json:"digest"`
+}
+
+// LayerDigest is the /v1/digest document for one layer: a fixed
+// DigestBuckets-long bucket vector covering live tiles and tombstones
+// alike — a deleted key digests differently from an absent one, which
+// is what lets sweeps converge "absences" too.
+type LayerDigest struct {
+	Layer   string         `json:"layer"`
+	Count   int            `json:"count"`
+	Buckets []BucketDigest `json:"buckets"`
+}
+
+// DigestBucketOf maps tile coordinates to their digest bucket. The
+// assignment depends only on (tx, ty), so every replica of a key files
+// it under the same bucket regardless of which node computes the
+// digest.
+func DigestBucketOf(tx, ty int32) int {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(tx))
+	binary.LittleEndian.PutUint32(b[4:], uint32(ty))
+	return int(digestMix(fnv64(b[:])) >> 60 & (DigestBuckets - 1))
+}
+
+// DigestEntryHash folds one entry into its 64-bit leaf hash. Buckets
+// XOR leaf hashes, so two replicas' buckets are equal exactly when
+// they hold the same set of (key, clock, CRC, tomb) tuples, in any
+// order.
+func DigestEntryHash(e DigestEntry) uint64 {
+	var b [25]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(e.TX))
+	binary.LittleEndian.PutUint32(b[4:], uint32(e.TY))
+	binary.LittleEndian.PutUint64(b[8:], e.Clock)
+	if e.Tomb {
+		b[16] = 1
+	}
+	copy(b[17:], e.Sum) // CRC32-C hex is 8 bytes
+	return digestMix(fnv64(b[:]))
+}
+
+// fnv64 is FNV-1a over a byte slice.
+func fnv64(data []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// digestMix is a splitmix64-style finalizer spreading FNV's weak high
+// bits before they pick a bucket.
+func digestMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// formatDigest renders a bucket digest for the wire.
+func formatDigest(x uint64) string { return strconv.FormatUint(x, 16) }

@@ -60,13 +60,64 @@ type TileServer struct {
 	// a checksum recomputed over already-damaged bytes would vouch for
 	// the damage.
 	sums map[TileKey]string
+	// clocks remembers each tile's logical clock as decoded at PUT time,
+	// so digest computation does not re-decode every payload per sweep.
+	clocks map[TileKey]uint64
+	// tombs holds the per-key deletion markers (keyed by the *live* key)
+	// backing the tomb-- shadow layers. A key is in exactly one of three
+	// states under mu: live (store has it), tombstoned (tombs has it), or
+	// absent (neither).
+	tombs map[TileKey]tombRecord
 	// MaxTileBytes bounds accepted uploads (default 16 MiB).
 	MaxTileBytes int64
 }
 
-// NewTileServer wraps a store.
+// tombRecord is a decoded deletion marker plus its canonical bytes and
+// write-time checksum, cached so GETs and digests never re-decode.
+type tombRecord struct {
+	ts   Tombstone
+	sum  string
+	data []byte
+}
+
+// NewTileServer wraps a store. Any tomb-- shadow layers already in the
+// store (a directory store surviving a restart) are rescanned so the
+// per-key deletion state comes back with the data; unreadable markers
+// are skipped best-effort — anti-entropy re-propagates them.
 func NewTileServer(store TileStore) *TileServer {
-	return &TileServer{store: store, sums: make(map[TileKey]string), MaxTileBytes: 16 << 20}
+	s := &TileServer{
+		store:        store,
+		sums:         make(map[TileKey]string),
+		clocks:       make(map[TileKey]uint64),
+		tombs:        make(map[TileKey]tombRecord),
+		MaxTileBytes: 16 << 20,
+	}
+	layers, err := store.ListLayers()
+	if err != nil {
+		return s
+	}
+	for _, l := range layers {
+		if !strings.HasPrefix(l, TombLayerPrefix) {
+			continue
+		}
+		keys, err := store.Keys(l)
+		if err != nil {
+			continue
+		}
+		for _, k := range keys {
+			data, err := store.Get(k)
+			if err != nil {
+				continue
+			}
+			ts, err := DecodeTombstone(data)
+			live := TileKey{Layer: strings.TrimPrefix(l, TombLayerPrefix), TX: k.TX, TY: k.TY}
+			if err != nil || ts.Key() != live {
+				continue
+			}
+			s.tombs[live] = tombRecord{ts: ts, sum: Checksum(data), data: data}
+		}
+	}
+	return s
 }
 
 // ServeHTTP implements http.Handler.
@@ -92,6 +143,12 @@ func (s *TileServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleList(w, parts[2])
+	case len(parts) == 3 && parts[0] == "v1" && parts[1] == "digest":
+		if r.Method != http.MethodGet {
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		s.handleDigest(w, r, parts[2])
 	case len(parts) == 5 && parts[0] == "v1" && parts[1] == "tiles":
 		key, err := parseKey(parts[2], parts[3], parts[4])
 		if err != nil {
@@ -104,7 +161,7 @@ func (s *TileServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case http.MethodPut:
 			s.handlePut(w, r, key)
 		case http.MethodDelete:
-			s.handleDelete(w, key)
+			s.handleDelete(w, r, key)
 		default:
 			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
 		}
@@ -165,8 +222,21 @@ func (s *TileServer) handleGet(w http.ResponseWriter, key TileKey) {
 	s.mu.RLock()
 	data, err := s.store.Get(key)
 	sum, haveSum := s.sums[key]
+	tr, haveTomb := s.tombs[key]
 	s.mu.RUnlock()
 	if errors.Is(err, ErrNoTile) {
+		if haveTomb {
+			// Deleted, not merely absent: a 404 carrying the deletion
+			// clock and the exact marker bytes, so a cluster router can
+			// distinguish "never had it" from "removed at clock c" and
+			// propagate the marker to replicas that missed the delete.
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set(ChecksumHeader, tr.sum)
+			w.Header().Set(TombstoneHeader, strconv.FormatUint(tr.ts.Clock, 10))
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = w.Write(tr.data)
+			return
+		}
 		writeJSONError(w, http.StatusNotFound, "tile not found")
 		return
 	}
@@ -207,14 +277,80 @@ func (s *TileServer) handlePut(w http.ResponseWriter, r *http.Request, key TileK
 			fmt.Sprintf("checksum mismatch: got %s want %s", Checksum(data), want))
 		return
 	}
+	if strings.HasPrefix(key.Layer, TombLayerPrefix) {
+		// Shadow layers change only through tombstone writes on the live
+		// key; a direct write could desynchronise marker and state.
+		writeJSONError(w, http.StatusUnprocessableEntity, "reserved layer")
+		return
+	}
+	if strings.HasPrefix(key.Layer, HintLayerPrefix) {
+		s.putHintCopy(w, key, data)
+		return
+	}
+	if IsTombstone(data) {
+		ts, err := DecodeTombstone(data)
+		if err != nil {
+			writeJSONError(w, http.StatusUnprocessableEntity, fmt.Sprintf("invalid tombstone: %v", err))
+			return
+		}
+		s.putTombstone(w, r, key, ts, data)
+		return
+	}
 	// Tiles must decode as maps: the server refuses corrupt uploads so a
 	// bad producer cannot poison consumers.
 	if _, err := DecodeBinary(data); err != nil {
 		writeJSONError(w, http.StatusUnprocessableEntity, fmt.Sprintf("invalid tile: %v", err))
 		return
 	}
+	clock, err := PeekClock(data)
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, fmt.Sprintf("invalid tile: %v", err))
+		return
+	}
 	s.mu.Lock()
+	cur, curData := s.stateLocked(key)
+	if !s.checkExpectLocked(w, r, cur) {
+		s.mu.Unlock()
+		return
+	}
+	if cur.Tomb && !FresherState(false, clock, data, true, cur.Clock, curData) {
+		// Resurrection guard: a write that does not dominate the local
+		// tombstone is a replay of something the delete already erased.
+		s.mu.Unlock()
+		w.Header().Set(StateHeader, cur.String())
+		writeJSONError(w, http.StatusConflict, "write superseded by tombstone")
+		return
+	}
 	err = s.store.Put(key, data)
+	if err == nil {
+		s.sums[key] = Checksum(data)
+		s.clocks[key] = clock
+		if cur.Tomb {
+			_ = s.store.Delete(TileKey{Layer: tombLayer(key.Layer), TX: key.TX, TY: key.TY})
+			delete(s.tombs, key)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// putHintCopy parks a handoff payload raw under a hint-- layer. Both
+// tile and tombstone bytes are accepted — a durable delete hint *is* a
+// parked marker — but the payload must decode as one of the two, so a
+// damaged copy cannot later replay as garbage.
+func (s *TileServer) putHintCopy(w http.ResponseWriter, key TileKey, data []byte) {
+	if _, terr := DecodeTombstone(data); terr != nil {
+		if _, err := DecodeBinary(data); err != nil {
+			writeJSONError(w, http.StatusUnprocessableEntity, fmt.Sprintf("invalid hint payload: %v", err))
+			return
+		}
+	}
+	s.mu.Lock()
+	err := s.store.Put(key, data)
 	if err == nil {
 		s.sums[key] = Checksum(data)
 	}
@@ -226,11 +362,44 @@ func (s *TileServer) handlePut(w http.ResponseWriter, r *http.Request, key TileK
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *TileServer) handleDelete(w http.ResponseWriter, key TileKey) {
+// putTombstone applies a deletion marker to a live key: the marker is
+// stored under the tomb-- shadow layer and the live tile (if any) is
+// removed, atomically with the Expect precondition under s.mu.
+func (s *TileServer) putTombstone(w http.ResponseWriter, r *http.Request, key TileKey, ts Tombstone, data []byte) {
+	if ts.Key() != key {
+		writeJSONError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("tombstone key %v does not match %v", ts.Key(), key))
+		return
+	}
 	s.mu.Lock()
-	err := s.store.Delete(key)
+	cur, curData := s.stateLocked(key)
+	if !s.checkExpectLocked(w, r, cur) {
+		s.mu.Unlock()
+		return
+	}
+	if cur.Tomb && !FresherState(true, ts.Clock, data, true, cur.Clock, curData) {
+		// An equal-or-fresher marker is already here — idempotent ack.
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if cur.Found && !FresherState(true, ts.Clock, data, false, cur.Clock, curData) {
+		// The live tile postdates the delete: the marker is obsolete and
+		// must not erase newer data. 409 tells the router "acked, but
+		// superseded" — distinct from a precondition mismatch.
+		s.mu.Unlock()
+		w.Header().Set(StateHeader, cur.String())
+		writeJSONError(w, http.StatusConflict, "tombstone superseded by newer tile")
+		return
+	}
+	err := s.store.Put(TileKey{Layer: tombLayer(key.Layer), TX: key.TX, TY: key.TY}, data)
+	if err == nil && cur.Found {
+		err = s.store.Delete(key)
+	}
 	if err == nil {
 		delete(s.sums, key)
+		delete(s.clocks, key)
+		s.tombs[key] = tombRecord{ts: ts, sum: Checksum(data), data: data}
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -238,6 +407,87 @@ func (s *TileServer) handleDelete(w http.ResponseWriter, key TileKey) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *TileServer) handleDelete(w http.ResponseWriter, r *http.Request, key TileKey) {
+	s.mu.Lock()
+	cur, _ := s.stateLocked(key)
+	if !s.checkExpectLocked(w, r, cur) {
+		s.mu.Unlock()
+		return
+	}
+	var err error
+	if cur.Tomb && r.Header.Get(ExpectHeader) != "" {
+		// Conditional delete of a tombstoned key is marker GC: the caller
+		// proved it observed exactly this marker, so reclaiming it cannot
+		// lose a deletion some replica still needs.
+		err = s.store.Delete(TileKey{Layer: tombLayer(key.Layer), TX: key.TX, TY: key.TY})
+		if err == nil {
+			delete(s.tombs, key)
+		}
+	} else {
+		err = s.store.Delete(key)
+		if err == nil {
+			delete(s.sums, key)
+			delete(s.clocks, key)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// stateLocked returns the key's current conditional-write state and,
+// for live/tombstoned keys, the payload bytes backing same-clock
+// tie-breaks. Caller holds s.mu.
+func (s *TileServer) stateLocked(key TileKey) (ReplicaState, []byte) {
+	if tr, ok := s.tombs[key]; ok {
+		return ReplicaState{Tomb: true, Clock: tr.ts.Clock, Sum: tr.sum}, tr.data
+	}
+	data, err := s.store.Get(key)
+	if err != nil {
+		return ReplicaState{}, nil
+	}
+	sum, ok := s.sums[key]
+	if !ok {
+		sum = Checksum(data)
+		s.sums[key] = sum
+	}
+	clock, ok := s.clocks[key]
+	if !ok {
+		if c, perr := PeekClock(data); perr == nil {
+			clock = c
+			s.clocks[key] = c
+		}
+	}
+	return ReplicaState{Found: true, Clock: clock, Sum: sum}, data
+}
+
+// checkExpectLocked evaluates the ExpectHeader precondition against the
+// current state; on mismatch it answers 412 with the observed state in
+// StateHeader and returns false. Caller holds s.mu, so the check is
+// atomic with whatever mutation follows.
+func (s *TileServer) checkExpectLocked(w http.ResponseWriter, r *http.Request, cur ReplicaState) bool {
+	v := r.Header.Get(ExpectHeader)
+	if v == "" {
+		return true
+	}
+	want, err := ParseReplicaState(v)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	match := want.Tomb == cur.Tomb && want.Found == cur.Found && want.Clock == cur.Clock &&
+		(!want.Found || want.Sum == cur.Sum)
+	if !match {
+		w.Header().Set(StateHeader, cur.String())
+		writeJSONError(w, http.StatusPreconditionFailed, "state is "+cur.String()+", expected "+want.String())
+		return false
+	}
+	return true
 }
 
 // writeJSON sends a JSON body with a ChecksumHeader so clients can

@@ -1,0 +1,398 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// stateServer spins up a TileServer over a fresh MemStore.
+func stateServer(t *testing.T) (*TileServer, *MemStore, *httptest.Server) {
+	t.Helper()
+	store := NewMemStore()
+	ts := NewTileServer(store)
+	srv := httptest.NewServer(ts)
+	t.Cleanup(srv.Close)
+	return ts, store, srv
+}
+
+func stateTile(t *testing.T, clock uint64) []byte {
+	t.Helper()
+	m := core_NewTinyMap(t)
+	m.Clock = clock
+	return EncodeBinary(m)
+}
+
+// doTile issues a raw tile request with optional Expect header.
+func doTile(t *testing.T, method, url, expect string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(context.Background(), method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expect != "" {
+		req.Header.Set(ExpectHeader, expect)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestServerTombstoneLifecycle(t *testing.T) {
+	_, store, srv := stateServer(t)
+	url := srv.URL + "/v1/tiles/base/1/2"
+
+	// Live write at clock 5.
+	if resp := doTile(t, http.MethodPut, url, "", stateTile(t, 5)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+
+	// Tombstone at clock 6 supersedes it.
+	marker := EncodeTombstone(Tombstone{Layer: "base", TX: 1, TY: 2, Clock: 6, Created: 1, TTLSeconds: 60})
+	if resp := doTile(t, http.MethodPut, url, "", marker); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("tombstone put: %d", resp.StatusCode)
+	}
+
+	// GET now answers 404 + marker bytes + deletion clock.
+	resp := doTile(t, http.MethodGet, url, "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TombstoneHeader); got != "6" {
+		t.Fatalf("tombstone header = %q, want 6", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(body, marker) {
+		t.Fatal("tombstone GET body is not the marker bytes")
+	}
+	if got := resp.Header.Get(ChecksumHeader); got != Checksum(marker) {
+		t.Fatalf("tombstone checksum header = %q", got)
+	}
+
+	// Live tile is gone from the store; marker lives in the shadow layer.
+	if _, err := store.Get(TileKey{Layer: "base", TX: 1, TY: 2}); err == nil {
+		t.Fatal("live tile still in store after tombstone")
+	}
+	if _, err := store.Get(TileKey{Layer: "tomb--base", TX: 1, TY: 2}); err != nil {
+		t.Fatalf("marker not in shadow layer: %v", err)
+	}
+
+	// A stale replay (clock 4 < 6) must NOT resurrect — 409.
+	resp = doTile(t, http.MethodPut, url, "", stateTile(t, 4))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale replay: %d, want 409", resp.StatusCode)
+	}
+	if got := resp.Header.Get(StateHeader); got != "tomb:6" {
+		t.Fatalf("409 state header = %q, want tomb:6", got)
+	}
+
+	// A genuinely newer write (clock 7) resurrects and clears the marker.
+	if resp := doTile(t, http.MethodPut, url, "", stateTile(t, 7)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("newer put: %d", resp.StatusCode)
+	}
+	if resp := doTile(t, http.MethodGet, url, "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after resurrection: %d", resp.StatusCode)
+	}
+	if _, err := store.Get(TileKey{Layer: "tomb--base", TX: 1, TY: 2}); err == nil {
+		t.Fatal("marker survived a superseding write")
+	}
+}
+
+func TestServerTombstoneObsoleteMarker(t *testing.T) {
+	_, _, srv := stateServer(t)
+	url := srv.URL + "/v1/tiles/base/0/0"
+	if resp := doTile(t, http.MethodPut, url, "", stateTile(t, 10)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	// A delete at clock 9 arrives late: live tile wins, marker refused.
+	old := EncodeTombstone(Tombstone{Layer: "base", TX: 0, TY: 0, Clock: 9, Created: 1, TTLSeconds: 60})
+	resp := doTile(t, http.MethodPut, url, "", old)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("obsolete tombstone: %d, want 409", resp.StatusCode)
+	}
+	if resp := doTile(t, http.MethodGet, url, "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tile should survive obsolete tombstone: %d", resp.StatusCode)
+	}
+}
+
+func TestServerTombstoneKeyMismatch(t *testing.T) {
+	_, _, srv := stateServer(t)
+	marker := EncodeTombstone(Tombstone{Layer: "base", TX: 9, TY: 9, Clock: 1})
+	resp := doTile(t, http.MethodPut, srv.URL+"/v1/tiles/base/1/1", "", marker)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("key-mismatched marker: %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestServerConditionalPut(t *testing.T) {
+	_, _, srv := stateServer(t)
+	url := srv.URL + "/v1/tiles/base/3/3"
+	v1 := stateTile(t, 1)
+
+	// Expect absent on an absent key: accepted.
+	if resp := doTile(t, http.MethodPut, url, "absent", v1); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("expect-absent put: %d", resp.StatusCode)
+	}
+	// Expect absent again: the key is now live — 412 with current state.
+	resp := doTile(t, http.MethodPut, url, "absent", stateTile(t, 2))
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("stale expect: %d, want 412", resp.StatusCode)
+	}
+	want := "live:1:" + Checksum(v1)
+	if got := resp.Header.Get(StateHeader); got != want {
+		t.Fatalf("412 state = %q, want %q", got, want)
+	}
+	// Expect the observed state: accepted.
+	if resp := doTile(t, http.MethodPut, url, want, stateTile(t, 2)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("matching expect: %d", resp.StatusCode)
+	}
+	// Malformed expect: 400.
+	if resp := doTile(t, http.MethodPut, url, "bogus", stateTile(t, 3)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed expect: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerConditionalDeleteGC(t *testing.T) {
+	_, store, srv := stateServer(t)
+	url := srv.URL + "/v1/tiles/base/4/4"
+	if resp := doTile(t, http.MethodPut, url, "", stateTile(t, 1)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	marker := EncodeTombstone(Tombstone{Layer: "base", TX: 4, TY: 4, Clock: 2, Created: 1, TTLSeconds: 1})
+	if resp := doTile(t, http.MethodPut, url, "", marker); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("tombstone: %d", resp.StatusCode)
+	}
+	// GC with the wrong clock: 412, marker stays.
+	if resp := doTile(t, http.MethodDelete, url, "tomb:9", nil); resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("wrong-clock GC: %d, want 412", resp.StatusCode)
+	}
+	// GC with the observed marker: 204, marker reclaimed, key absent.
+	if resp := doTile(t, http.MethodDelete, url, "tomb:2", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("GC: %d", resp.StatusCode)
+	}
+	if _, err := store.Get(TileKey{Layer: "tomb--base", TX: 4, TY: 4}); err == nil {
+		t.Fatal("marker survived GC")
+	}
+	resp := doTile(t, http.MethodGet, url, "", nil)
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(TombstoneHeader) != "" {
+		t.Fatalf("after GC want plain 404, got %d tomb=%q", resp.StatusCode, resp.Header.Get(TombstoneHeader))
+	}
+}
+
+func TestServerReservedTombLayer(t *testing.T) {
+	_, _, srv := stateServer(t)
+	resp := doTile(t, http.MethodPut, srv.URL+"/v1/tiles/tomb--base/1/1", "", stateTile(t, 1))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("direct tomb-- write: %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestServerHintLayerAcceptsMarkers(t *testing.T) {
+	_, _, srv := stateServer(t)
+	marker := EncodeTombstone(Tombstone{Layer: "base", TX: 1, TY: 1, Clock: 3})
+	// Parked delete hint: raw storage, no tombstone semantics applied.
+	url := srv.URL + "/v1/tiles/hint--node-b--base/1/1"
+	if resp := doTile(t, http.MethodPut, url, "", marker); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("hint marker park: %d", resp.StatusCode)
+	}
+	resp := doTile(t, http.MethodGet, url, "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hint marker read back: %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(body, marker) {
+		t.Fatal("parked marker bytes changed")
+	}
+	// Garbage is still refused on hint layers.
+	if resp := doTile(t, http.MethodPut, url, "", []byte("junk")); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage hint park: %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestServerTombstoneRestartRescan(t *testing.T) {
+	store := NewMemStore()
+	first := NewTileServer(store)
+	srv := httptest.NewServer(first)
+	url := srv.URL + "/v1/tiles/base/8/8"
+	if resp := doTile(t, http.MethodPut, url, "", stateTile(t, 1)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	marker := EncodeTombstone(Tombstone{Layer: "base", TX: 8, TY: 8, Clock: 2, Created: 1, TTLSeconds: 60})
+	if resp := doTile(t, http.MethodPut, url, "", marker); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("tombstone: %d", resp.StatusCode)
+	}
+	srv.Close()
+
+	// A fresh server over the same store must come back tombstone-aware.
+	second := httptest.NewServer(NewTileServer(store))
+	defer second.Close()
+	resp := doTile(t, http.MethodGet, second.URL+"/v1/tiles/base/8/8", "", nil)
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(TombstoneHeader) != "2" {
+		t.Fatalf("restarted server lost tombstone: %d tomb=%q", resp.StatusCode, resp.Header.Get(TombstoneHeader))
+	}
+	// And the resurrection guard still holds.
+	if resp := doTile(t, http.MethodPut, second.URL+"/v1/tiles/base/8/8", "", stateTile(t, 1)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("restarted server allowed resurrection: %d", resp.StatusCode)
+	}
+}
+
+func TestServerLayerDigest(t *testing.T) {
+	ts, _, srv := stateServer(t)
+	// Populate a few tiles plus one tombstone.
+	for i := 0; i < 8; i++ {
+		url := srv.URL + "/v1/tiles/base/" + strconv.Itoa(i) + "/0"
+		if resp := doTile(t, http.MethodPut, url, "", stateTile(t, uint64(i+1))); resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("put %d: %d", i, resp.StatusCode)
+		}
+	}
+	marker := EncodeTombstone(Tombstone{Layer: "base", TX: 0, TY: 0, Clock: 99, Created: 1, TTLSeconds: 60})
+	if resp := doTile(t, http.MethodPut, srv.URL+"/v1/tiles/base/0/0", "", marker); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("tombstone: %d", resp.StatusCode)
+	}
+
+	d, err := ts.LayerDigest("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 8 {
+		t.Fatalf("digest count = %d, want 8 (7 live + 1 tomb)", d.Count)
+	}
+	if len(d.Buckets) != DigestBuckets {
+		t.Fatalf("bucket vector length %d", len(d.Buckets))
+	}
+
+	// An identical second server digests identically; a diverged one
+	// differs exactly in the changed key's bucket.
+	store2 := NewMemStore()
+	ts2 := NewTileServer(store2)
+	srv2 := httptest.NewServer(ts2)
+	defer srv2.Close()
+	for i := 0; i < 8; i++ {
+		url := srv2.URL + "/v1/tiles/base/" + strconv.Itoa(i) + "/0"
+		if resp := doTile(t, http.MethodPut, url, "", stateTile(t, uint64(i+1))); resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("put2 %d: %d", i, resp.StatusCode)
+		}
+	}
+	if resp := doTile(t, http.MethodPut, srv2.URL+"/v1/tiles/base/0/0", "", marker); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("tombstone2: %d", resp.StatusCode)
+	}
+	d2, err := ts2.LayerDigest("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Buckets {
+		if d.Buckets[i] != d2.Buckets[i] {
+			t.Fatalf("identical replicas disagree in bucket %d: %+v vs %+v", i, d.Buckets[i], d2.Buckets[i])
+		}
+	}
+	// Diverge replica 2 at one key.
+	if resp := doTile(t, http.MethodPut, srv2.URL+"/v1/tiles/base/5/0", "", stateTile(t, 50)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("diverge put: %d", resp.StatusCode)
+	}
+	d2, _ = ts2.LayerDigest("base")
+	diff := 0
+	for i := range d.Buckets {
+		if d.Buckets[i].Digest != d2.Buckets[i].Digest {
+			diff++
+			if i != DigestBucketOf(5, 0) {
+				t.Fatalf("divergence surfaced in wrong bucket %d", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("one-key divergence changed %d buckets", diff)
+	}
+
+	// Leaf fetch of the suspect bucket shows the diverged clock.
+	entries, err := ts2.DigestEntries("base", DigestBucketOf(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.TX == 5 && e.TY == 0 {
+			found = true
+			if e.Clock != 50 {
+				t.Fatalf("leaf clock = %d, want 50", e.Clock)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("diverged key missing from its bucket's leaves")
+	}
+}
+
+func TestServerDigestEndpoint(t *testing.T) {
+	_, _, srv := stateServer(t)
+	if resp := doTile(t, http.MethodPut, srv.URL+"/v1/tiles/base/1/1", "", stateTile(t, 7)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	marker := EncodeTombstone(Tombstone{Layer: "base", TX: 2, TY: 2, Clock: 3, Created: 11, TTLSeconds: 60})
+	if resp := doTile(t, http.MethodPut, srv.URL+"/v1/tiles/base/2/2", "", marker); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("tombstone: %d", resp.StatusCode)
+	}
+
+	var d LayerDigest
+	getJSON(t, srv.URL+"/v1/digest/base", &d)
+	if d.Layer != "base" || d.Count != 2 || len(d.Buckets) != DigestBuckets {
+		t.Fatalf("digest doc: %+v", d)
+	}
+
+	var entries []DigestEntry
+	getJSON(t, srv.URL+"/v1/digest/base?bucket="+strconv.Itoa(DigestBucketOf(2, 2)), &entries)
+	foundTomb := false
+	for _, e := range entries {
+		if e.TX == 2 && e.TY == 2 {
+			foundTomb = true
+			if !e.Tomb || e.Clock != 3 || e.Created != 0 {
+				t.Fatalf("bucket tombstone entry: %+v", e)
+			}
+		}
+	}
+	if !foundTomb {
+		t.Fatal("tombstone missing from bucket leaves")
+	}
+
+	var tombs []DigestEntry
+	getJSON(t, srv.URL+"/v1/digest/base?tombs=1", &tombs)
+	if len(tombs) != 1 || tombs[0].Created != 11 || tombs[0].TTLSeconds != 60 {
+		t.Fatalf("tombstone listing: %+v", tombs)
+	}
+
+	// Internal layers are refused.
+	resp := doTile(t, http.MethodGet, srv.URL+"/v1/digest/hint--x--base", "", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("internal-layer digest: %d, want 400", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
