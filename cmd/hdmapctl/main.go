@@ -8,6 +8,8 @@
 //	hdmapctl gen -kind grid -rows 4 -cols 4 -out city.hdmp
 //	hdmapctl stats -in map.hdmp
 //	hdmapctl validate -in map.hdmp
+//	hdmapctl verify-map map.hdmp                                (constraint engine, -json for reports)
+//	hdmapctl verify-map -tiles tiles/ -layer base               (verify a stitched tile layer)
 //	hdmapctl convert -in map.hdmp -out map.json
 //	hdmapctl diff -a old.hdmp -b new.hdmp
 //	hdmapctl route -in city.hdmp -from <laneletID> -to <laneletID>
@@ -63,6 +65,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "verify-map":
+		err = cmdVerifyMap(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
 	case "diff":
@@ -105,6 +109,12 @@ subcommands:
   gen       generate a synthetic world map (-kind highway|grid)
   stats     print map statistics
   validate  check structural invariants
+  verify-map
+            run the reference-free constraint engine (geometric,
+            topological, semantic rules) over a map file or a stitched
+            tile layer; -json for machine-readable reports, -rules to
+            list the rule catalog; exits non-zero iff Error-severity
+            violations exist
   convert   convert between binary (.hdmp) and JSON (.json)
   diff      geometric diff of two maps
   route     lane-level route between two lanelets

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/mapverify"
+	"hdmaps/internal/storage"
+)
+
+// cmdVerifyMap runs the reference-free constraint engine over a map
+// file or a stitched tile layer and reports every violation. The exit
+// status mirrors the commit gate: non-zero exactly when Error-severity
+// findings exist (Warns alone exit zero), so `hdmapctl verify-map` can
+// gate deployment scripts the same way the ingest gate blocks commits.
+func cmdVerifyMap(args []string) error {
+	fs := flag.NewFlagSet("verify-map", flag.ExitOnError)
+	in := fs.String("in", "", "input map (.hdmp or .json); may also be the first positional arg")
+	tiles := fs.String("tiles", "", "tile store directory (stitches -layer instead of reading -in)")
+	layer := fs.String("layer", "base", "layer to stitch from -tiles")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	maxViol := fs.Int("max-violations", 0, "violation list cap (0 = engine default)")
+	disable := fs.String("disable", "", "comma-separated rule names to skip (see 'rules' below)")
+	listRules := fs.Bool("rules", false, "list every rule name and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listRules {
+		for _, r := range mapverify.RuleNames() {
+			fmt.Println(r)
+		}
+		return nil
+	}
+	if *in == "" && fs.NArg() > 0 {
+		*in = fs.Arg(0)
+	}
+
+	var m *core.Map
+	var src string
+	var err error
+	switch {
+	case *tiles != "":
+		store, serr := storage.NewDirStore(*tiles)
+		if serr != nil {
+			return serr
+		}
+		m, err = storage.Tiler{}.LoadMap(store, *layer, *layer)
+		src = fmt.Sprintf("%s (layer %s)", *tiles, *layer)
+	case *in != "":
+		m, err = loadMap(*in)
+		src = *in
+	default:
+		return fmt.Errorf("verify-map: need -in <map>, a positional path, or -tiles <dir>")
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := mapverify.Config{MaxViolations: *maxViol}
+	if *disable != "" {
+		for _, r := range strings.Split(*disable, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				cfg.Disable = append(cfg.Disable, r)
+			}
+		}
+	}
+	rep := mapverify.Verify(m, cfg)
+
+	if *jsonOut {
+		out := struct {
+			Source     string          `json:"source"`
+			Checked    int             `json:"checked"`
+			Errors     int             `json:"errors"`
+			Warnings   int             `json:"warnings"`
+			Truncated  bool            `json:"truncated"`
+			Clean      bool            `json:"clean"`
+			Violations []jsonViolation `json:"violations"`
+			ByRule     map[string]int  `json:"by_rule"`
+		}{
+			Source: src, Checked: rep.Checked,
+			Errors: rep.Errors, Warnings: rep.Warnings,
+			Truncated: rep.Truncated, Clean: rep.Clean(),
+			Violations: make([]jsonViolation, 0, len(rep.Violations)),
+			ByRule:     map[string]int{},
+		}
+		for _, v := range rep.Violations {
+			out.Violations = append(out.Violations, jsonViolation{
+				Rule: v.Rule, Severity: v.Severity.String(),
+				Element: int64(v.ElementID), Detail: v.Detail,
+			})
+			out.ByRule[v.Rule]++
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, v := range rep.Violations {
+			fmt.Println(v)
+		}
+		if rep.Truncated {
+			fmt.Printf("(violation list truncated; totals below are complete)\n")
+		}
+		if rep.Clean() && rep.Warnings == 0 {
+			fmt.Printf("ok: %s — %d elements verified, no violations\n", src, rep.Checked)
+		} else {
+			fmt.Printf("%s: %d elements verified, %d errors, %d warnings\n",
+				src, rep.Checked, rep.Errors, rep.Warnings)
+		}
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("verify-map: %d error-severity violations", rep.Errors)
+	}
+	return nil
+}
+
+// jsonViolation is the stable JSON shape for one violation (severity
+// rendered as a string, not the internal enum).
+type jsonViolation struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Element  int64  `json:"element"`
+	Detail   string `json:"detail"`
+}

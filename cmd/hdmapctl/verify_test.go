@@ -1,0 +1,78 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hdmaps/internal/mapverify"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+// TestCmdVerifyMap exercises the verify-map subcommand end to end: a
+// pristine generated city verifies clean (nil error = exit 0), every
+// worldgen corruption makes it return non-nil (= exit 1), the tile-
+// store path stitches and verifies a layer, and -disable silences the
+// one firing rule.
+func TestCmdVerifyMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 3, Cols: 3, Lanes: 2, TrafficLights: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	clean := filepath.Join(dir, "clean.hdmp")
+	if err := saveMap(g.Map, clean); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerifyMap([]string{clean}); err != nil {
+		t.Fatalf("pristine map should verify clean: %v", err)
+	}
+	if err := cmdVerifyMap([]string{"-json", "-in", clean}); err != nil {
+		t.Fatalf("json mode changed the verdict: %v", err)
+	}
+
+	// Every corruption class must flip the exit status.
+	for _, kind := range worldgen.CorruptionKinds() {
+		m := g.Map.Clone()
+		if _, ok := worldgen.ApplyCorruption(m, kind, rng); !ok {
+			t.Fatalf("no victim for %s", kind)
+		}
+		bad := filepath.Join(dir, kind.String()+".hdmp")
+		if err := saveMap(m, bad); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdVerifyMap([]string{bad}); err == nil {
+			t.Errorf("%s: verify-map returned success on a corrupted map", kind)
+		}
+	}
+
+	// Tile-store path: split the city, stitch the layer back, verify.
+	store, err := storage.NewDirStore(filepath.Join(dir, "tiles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (storage.Tiler{}).SaveMap(store, g.Map, "base"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerifyMap([]string{"-tiles", filepath.Join(dir, "tiles"), "-layer", "base"}); err != nil {
+		t.Fatalf("stitched tile layer should verify clean: %v", err)
+	}
+
+	// -disable turns the one firing rule off, flipping exit back to 0.
+	m := g.Map.Clone()
+	if _, ok := worldgen.ApplyCorruption(m, worldgen.CorruptOrphanSuccessor, rng); !ok {
+		t.Fatal("no victim")
+	}
+	orphaned := filepath.Join(dir, "orphaned.hdmp")
+	if err := saveMap(m, orphaned); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerifyMap([]string{"-disable", mapverify.RuleDanglingRef, orphaned}); err != nil {
+		t.Fatalf("disabling the firing rule should verify clean, got %v", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"hdmaps/internal/cluster"
 	"hdmaps/internal/core"
+	"hdmaps/internal/mapverify"
 	"hdmaps/internal/storage"
 	"hdmaps/internal/worldgen"
 )
@@ -202,6 +203,19 @@ func (f *fixtures) probes() []probe {
 				}
 				if d.Count != len(f.keys) {
 					b.Fatalf("digest covers %d keys, store holds %d", d.Count, len(f.keys))
+				}
+			}
+		}},
+		// One full constraint-engine pass over the urban grid: the work
+		// the ingest commit gate adds to every candidate version. The
+		// gate runs synchronously inside Commit, so verification cost is
+		// commit latency — tracked here to keep it honest.
+		{"mapverify.full_pass", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := mapverify.Verify(f.m, mapverify.Config{})
+				if rep.Errors != 0 {
+					b.Fatalf("bench fixture map has %d error-severity violations", rep.Errors)
 				}
 			}
 		}},

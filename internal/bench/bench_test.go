@@ -111,7 +111,7 @@ func TestRunSuiteSmoke(t *testing.T) {
 		"codec.checksum": false, "tiler.split": false,
 		"server.get_tile": false, "cache.get_hit": false,
 		"cluster.ring_owners": false, "server.checksum_verify": false,
-		"server.digest_layer": false,
+		"server.digest_layer": false, "mapverify.full_pass": false,
 	}
 	for _, r := range run.Results {
 		if _, ok := want[r.Name]; !ok {

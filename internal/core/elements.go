@@ -100,6 +100,9 @@ func (b BoundaryType) String() string {
 	}
 }
 
+// Valid reports whether b is a known boundary type.
+func (b BoundaryType) Valid() bool { return b <= BoundaryVirtual }
+
 // Meta is the versioning and provenance header carried by every element.
 type Meta struct {
 	Version    int     // increments on every mutation
@@ -211,6 +214,9 @@ func (k RegulatoryKind) String() string {
 		return "unknown"
 	}
 }
+
+// Valid reports whether k is a known regulatory kind.
+func (k RegulatoryKind) Valid() bool { return k <= RegTrafficLight }
 
 // Errors shared by map operations.
 var (

@@ -40,6 +40,9 @@ func (t LaneType) String() string {
 	}
 }
 
+// Valid reports whether t is a known lane type.
+func (t LaneType) Valid() bool { return t <= LaneExit }
+
 // Lanelet is the atomic drivable unit of the relational layer: a lane
 // section bounded left and right by physical linestrings, with an explicit
 // centreline, driving direction implied by the centreline orientation,

@@ -50,14 +50,8 @@ func (m *Map) Validate() []ValidationIssue {
 	}
 	for _, id := range m.LineIDs() {
 		l := m.lines[id]
-		if len(l.Geometry) < 2 {
-			bad(id, "line with %d vertices", len(l.Geometry))
-		}
-		for _, v := range l.Geometry {
-			if !finiteV2(v) {
-				bad(id, "non-finite line vertex")
-				break
-			}
+		if iss := GeometryIssue(l.Geometry, 2); iss != "" {
+			bad(id, "line %s", iss)
 		}
 		if l.Meta.Confidence < 0 || l.Meta.Confidence > 1 {
 			bad(id, "confidence %v out of range", l.Meta.Confidence)
@@ -65,14 +59,8 @@ func (m *Map) Validate() []ValidationIssue {
 	}
 	for _, id := range m.AreaIDs() {
 		a := m.areas[id]
-		if len(a.Outline) < 3 {
-			bad(id, "area with %d vertices", len(a.Outline))
-		}
-		for _, v := range a.Outline {
-			if !finiteV2(v) {
-				bad(id, "non-finite area vertex")
-				break
-			}
+		if iss := GeometryIssue(geo.Polyline(a.Outline), 3); iss != "" {
+			bad(id, "area %s", iss)
 		}
 	}
 	for _, id := range m.LaneletIDs() {
@@ -83,14 +71,8 @@ func (m *Map) Validate() []ValidationIssue {
 		if _, ok := m.lines[l.Right]; !ok {
 			bad(id, "missing right bound %d", l.Right)
 		}
-		if len(l.Centerline) < 2 {
-			bad(id, "centreline with %d vertices", len(l.Centerline))
-		}
-		for _, v := range l.Centerline {
-			if !finiteV2(v) {
-				bad(id, "non-finite centreline vertex")
-				break
-			}
+		if iss := GeometryIssue(l.Centerline, 2); iss != "" {
+			bad(id, "centreline %s", iss)
 		}
 		if l.SpeedLimit < 0 || math.IsNaN(l.SpeedLimit) || math.IsInf(l.SpeedLimit, 0) {
 			bad(id, "invalid speed limit %v", l.SpeedLimit)
@@ -143,6 +125,36 @@ func (m *Map) Validate() []ValidationIssue {
 		}
 	}
 	return issues
+}
+
+// FinitePolyline reports whether every vertex of pl is finite (no NaN
+// or Inf coordinate).
+func FinitePolyline(pl geo.Polyline) bool {
+	for _, v := range pl {
+		if !finiteV2(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// GeometryIssue reports why pl cannot serve as usable element geometry:
+// fewer than minVerts vertices, a non-finite coordinate, or zero arc
+// length (the element renders as a point). It is the single definition
+// of "degenerate geometry" shared by Validate and the mapverify
+// constraint engine, so a map cannot pass one and fail the other. The
+// empty string means the geometry is usable.
+func GeometryIssue(pl geo.Polyline, minVerts int) string {
+	if len(pl) < minVerts {
+		return fmt.Sprintf("with %d vertices (want >= %d)", len(pl), minVerts)
+	}
+	if !FinitePolyline(pl) {
+		return "with non-finite vertex"
+	}
+	if pl.Length() <= 0 {
+		return "with zero arc length (degenerate)"
+	}
+	return ""
 }
 
 func finiteV2(v geo.Vec2) bool {

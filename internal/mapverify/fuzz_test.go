@@ -1,0 +1,43 @@
+package mapverify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/mapverify"
+	"hdmaps/internal/storage"
+	"hdmaps/internal/worldgen"
+)
+
+// FuzzVerifyMap feeds arbitrary bytes through the binary decoder into
+// the constraint engine: whatever structurally-weird map the decoder
+// accepts, Verify must terminate without panicking and the retained
+// violation list must respect its cap. This is the engine's promise to
+// the ingest gate, which runs it on every candidate commit.
+func FuzzVerifyMap(f *testing.F) {
+	f.Add([]byte{})
+	rng := rand.New(rand.NewSource(9))
+	if g, err := worldgen.GenerateGrid(worldgen.GridParams{Rows: 2, Cols: 2, Lanes: 1}, rng); err == nil {
+		f.Add(storage.EncodeBinary(g.Map))
+		for _, kind := range worldgen.CorruptionKinds() {
+			m := g.Map.Clone()
+			if _, ok := worldgen.ApplyCorruption(m, kind, rng); ok {
+				f.Add(storage.EncodeBinary(m))
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := storage.DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		const cap = 64
+		rep := mapverify.Verify(m, mapverify.Config{MaxViolations: cap})
+		if len(rep.Violations) > cap {
+			t.Fatalf("violation list %d exceeds cap %d", len(rep.Violations), cap)
+		}
+		if rep.Errors < 0 || rep.Warnings < 0 {
+			t.Fatalf("negative severity totals: %d/%d", rep.Errors, rep.Warnings)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package mapverify_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
+	"hdmaps/internal/mapverify"
+	"hdmaps/internal/worldgen"
+)
+
+// lane adds a well-formed lane (real bounds, derived by offsetting)
+// and fails the test on error.
+func lane(t *testing.T, m *core.Map, cl geo.Polyline, width, speed float64) core.ID {
+	t.Helper()
+	id, err := m.AddLaneFromCenterline(core.LaneSpec{
+		Centerline: cl, Width: width, SpeedLimit: speed, Source: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// rawLane adds a bare lanelet without bound lines (their absence is a
+// dangling-ref finding, which the cases below tolerate).
+func rawLane(m *core.Map, cl geo.Polyline, speed float64) core.ID {
+	return m.AddLanelet(core.Lanelet{Centerline: cl, SpeedLimit: speed})
+}
+
+// TestRuleCatalog drives one minimal violating map through every rule:
+// the build function constructs the smallest map that breaks exactly
+// the rule under test (plus whatever structural noise that implies),
+// and the case asserts the rule fires at its documented severity.
+func TestRuleCatalog(t *testing.T) {
+	cases := []struct {
+		rule  string
+		sev   mapverify.Severity
+		cfg   mapverify.Config
+		build func(t *testing.T, m *core.Map)
+	}{
+		{
+			rule: mapverify.RuleNonFinite, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				rawLane(m, geo.Polyline{geo.V2(0, 0), geo.V2(math.NaN(), 0)}, 10)
+			},
+		},
+		{
+			rule: mapverify.RuleDegenerate, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				rawLane(m, geo.Polyline{geo.V2(5, 5), geo.V2(5, 5)}, 10)
+			},
+		},
+		{
+			rule: mapverify.RuleLaneWidth, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(30, 0)}, 0.6, 10)
+			},
+		},
+		{
+			rule: mapverify.RuleBoundCross, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				id := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(20, 0)}, 3.5, 10)
+				l, _ := m.Lanelet(id)
+				right, _ := m.Line(l.Right)
+				right.Geometry = geo.Polyline{geo.V2(0, -1.75), geo.V2(20, 3)}
+			},
+		},
+		{
+			rule: mapverify.RuleBoundSide, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				id := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(20, 0)}, 3.5, 10)
+				l, _ := m.Lanelet(id)
+				right, _ := m.Line(l.Right)
+				right.Geometry = l.Centerline.Offset(3) // left of the left bound
+			},
+		},
+		{
+			rule: mapverify.RuleSelfIntersect, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				rawLane(m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0), geo.V2(5, 5), geo.V2(5, -5)}, 10)
+			},
+		},
+		{
+			rule: mapverify.RuleVertexJump, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				rawLane(m, geo.Polyline{geo.V2(0, 0), geo.V2(1000, 0)}, 10)
+			},
+		},
+		{
+			rule: mapverify.RuleCurvature, sev: mapverify.SevWarn,
+			cfg: mapverify.Config{MaxCurvature: 0.3, MinLaneWidth: 0.5},
+			build: func(t *testing.T, m *core.Map) {
+				lane(t, m, geo.Polyline{
+					geo.V2(0, 0), geo.V2(8, 0), geo.V2(8, 4), geo.V2(0, 4),
+				}, 1.8, 10)
+			},
+		},
+		{
+			rule: mapverify.RuleDanglingRef, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				id := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 10)
+				l, _ := m.Lanelet(id)
+				l.Successors = append(l.Successors, core.ID(999999))
+			},
+		},
+		{
+			rule: mapverify.RuleDiscontinuity, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				a := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 10)
+				b := lane(t, m, geo.Polyline{geo.V2(50, 0), geo.V2(60, 0)}, 3.5, 10)
+				if err := m.Connect(a, b); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			rule: mapverify.RuleHeadingFlip, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				a := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 10)
+				b := lane(t, m, geo.Polyline{geo.V2(10, 0), geo.V2(0, 0)}, 3.5, 10)
+				if err := m.Connect(a, b); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			rule: mapverify.RuleOrphan, sev: mapverify.SevWarn,
+			build: func(t *testing.T, m *core.Map) {
+				lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 10)
+				lane(t, m, geo.Polyline{geo.V2(0, 50), geo.V2(10, 50)}, 3.5, 10)
+			},
+		},
+		{
+			rule: mapverify.RuleArity, sev: mapverify.SevWarn,
+			build: func(t *testing.T, m *core.Map) {
+				a := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 10)
+				for i := 0; i < 9; i++ {
+					b := lane(t, m, geo.Polyline{
+						geo.V2(10, 0), geo.V2(20, float64(i)),
+					}, 3.5, 10)
+					if err := m.Connect(a, b); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			rule: mapverify.RuleSpeedRange, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 200)
+			},
+		},
+		{
+			rule: mapverify.RuleSpeedCliff, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				a := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 30)
+				b := lane(t, m, geo.Polyline{geo.V2(10, 0), geo.V2(20, 0)}, 3.5, 5)
+				if err := m.Connect(a, b); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			rule: mapverify.RuleRegAssoc, sev: mapverify.SevWarn,
+			build: func(t *testing.T, m *core.Map) {
+				dev := m.AddPoint(core.PointElement{Class: core.ClassSign, Pos: geo.V3(0, 0, 2)})
+				m.AddRegulatory(core.RegulatoryElement{Kind: core.RegStop, Devices: []core.ID{dev}})
+			},
+		},
+		{
+			rule: mapverify.RuleTaxonomy, sev: mapverify.SevError,
+			build: func(t *testing.T, m *core.Map) {
+				id := lane(t, m, geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)}, 3.5, 10)
+				l, _ := m.Lanelet(id)
+				l.Type = core.LaneType(200)
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.rule, func(t *testing.T) {
+			m := core.NewMap("t")
+			tc.build(t, m)
+			rep := mapverify.Verify(m, tc.cfg)
+			found := false
+			for _, v := range rep.Violations {
+				if v.Rule == tc.rule {
+					found = true
+					if v.Severity != tc.sev {
+						t.Errorf("%s reported at %s, want %s: %s", tc.rule, v.Severity, tc.sev, v)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("rule %s did not fire; got %v", tc.rule, rep.Violations)
+			}
+		})
+	}
+}
+
+// TestVerifyDeterministic: the same map must yield a byte-identical
+// sorted violation list across runs — the property the gate's
+// accounting and the CLI's JSON output lean on.
+func TestVerifyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{Rows: 3, Cols: 3, Lanes: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Map
+	for _, kind := range worldgen.CorruptionKinds() {
+		if _, ok := worldgen.ApplyCorruption(m, kind, rng); !ok {
+			t.Fatalf("no victim for %s", kind)
+		}
+	}
+	a := mapverify.Verify(m, mapverify.Config{})
+	b := mapverify.Verify(m, mapverify.Config{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("verify not deterministic:\n%v\nvs\n%v", a, b)
+	}
+	if len(a.Violations) == 0 || a.Errors == 0 {
+		t.Fatal("corrupted map should have violations")
+	}
+	for i := 1; i < len(a.Violations); i++ {
+		p, q := a.Violations[i-1], a.Violations[i]
+		if p.ElementID > q.ElementID {
+			t.Fatalf("violations not sorted: %v before %v", p, q)
+		}
+	}
+}
+
+// TestViolationCap: a pathologically broken map must not grow the
+// report past MaxViolations, while the severity totals keep counting.
+func TestViolationCap(t *testing.T) {
+	m := core.NewMap("t")
+	for i := 0; i < 30; i++ {
+		rawLane(m, geo.Polyline{geo.V2(float64(i), 0), geo.V2(math.NaN(), 1)}, 10)
+	}
+	rep := mapverify.Verify(m, mapverify.Config{MaxViolations: 10})
+	if len(rep.Violations) != 10 {
+		t.Fatalf("cap not enforced: %d violations retained", len(rep.Violations))
+	}
+	if !rep.Truncated {
+		t.Fatal("Truncated not set")
+	}
+	if rep.Errors <= 10 {
+		t.Fatalf("severity totals should keep counting past the cap, got %d", rep.Errors)
+	}
+	if rep.Clean() {
+		t.Fatal("capped report cannot be clean")
+	}
+}
+
+// TestDisableRule: a disabled rule is fully silent — neither retained
+// nor counted.
+func TestDisableRule(t *testing.T) {
+	m := core.NewMap("t")
+	m.AddLanelet(core.Lanelet{
+		Centerline: geo.Polyline{geo.V2(0, 0), geo.V2(10, 0)},
+		SpeedLimit: 200,
+	})
+	all := mapverify.Verify(m, mapverify.Config{})
+	if all.CountRule(mapverify.RuleSpeedRange) == 0 {
+		t.Fatal("speed range rule should fire")
+	}
+	off := mapverify.Verify(m, mapverify.Config{Disable: []string{mapverify.RuleSpeedRange}})
+	if off.CountRule(mapverify.RuleSpeedRange) != 0 {
+		t.Fatal("disabled rule still fired")
+	}
+	if off.Errors >= all.Errors {
+		t.Fatalf("disabling a firing rule should lower the error count (%d vs %d)", off.Errors, all.Errors)
+	}
+}

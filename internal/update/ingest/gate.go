@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"hdmaps/internal/core"
+	"hdmaps/internal/mapverify"
+	"hdmaps/internal/obs"
 )
 
 // GateConfig tunes the commit gate: the invariants a candidate map
@@ -34,6 +36,17 @@ type GateConfig struct {
 	// DisplacementLimit is the physical-element count above which the
 	// quadratic displacement check is skipped (default 5000).
 	DisplacementLimit int
+	// Verify tunes the reference-free mapverify constraint engine run
+	// against every candidate — the "mapverify" invariant family. The
+	// zero value means engine defaults; individual rules can be
+	// disabled through Verify.Disable.
+	Verify mapverify.Config
+	// DisableVerify turns the mapverify invariant off entirely,
+	// leaving only the bounded-change checks above.
+	DisableVerify bool
+	// Metrics is the registry the per-rule gate-rejection counters
+	// register in (obs.Default() when nil).
+	Metrics *obs.Registry
 }
 
 func (c *GateConfig) defaults() {
@@ -60,9 +73,14 @@ func (c *GateConfig) defaults() {
 // GateViolation is one failed commit-gate invariant.
 type GateViolation struct {
 	// Invariant names the violated constraint class: "validate",
-	// "mass-deletion", "growth", "bounds", "displacement".
+	// "mass-deletion", "growth", "bounds", "displacement",
+	// "mapverify".
 	Invariant string
-	Detail    string
+	// Rule is the mapverify rule name for "mapverify" violations
+	// (empty for the legacy invariant families) — the key the
+	// per-rule rejection counters are partitioned by.
+	Rule   string
+	Detail string
 }
 
 // String implements fmt.Stringer.
@@ -105,6 +123,33 @@ func CheckCommit(parent, next *core.Map, cfg GateConfig) []GateViolation {
 		}
 		out = append(out, GateViolation{Invariant: "validate", Detail: iss.String()})
 	}
+	// Invariant 1b: the reference-free constraint engine. Error-severity
+	// findings block like any other invariant; Warns never do. The
+	// report is capped the same way the validate family is.
+	if !cfg.DisableVerify {
+		rep := mapverify.Verify(next, cfg.Verify)
+		shown := 0
+		for _, v := range rep.Violations {
+			if v.Severity != mapverify.SevError {
+				continue
+			}
+			if shown >= 8 {
+				break
+			}
+			out = append(out, GateViolation{
+				Invariant: "mapverify", Rule: v.Rule,
+				Detail: fmt.Sprintf("%s element %d: %s", v.Rule, v.ElementID, v.Detail),
+			})
+			shown++
+		}
+		if rest := rep.Errors - shown; shown > 0 && rest > 0 {
+			out = append(out, GateViolation{
+				Invariant: "mapverify",
+				Detail:    fmt.Sprintf("... and %d more error-severity violations", rest),
+			})
+		}
+	}
+
 	if parent == nil {
 		return out
 	}

@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hdmaps/internal/mapverify"
+	"hdmaps/internal/obs"
+	"hdmaps/internal/worldgen"
+)
+
+// TestGateQuarantinesCorruption closes the loop between the worldgen
+// adversarial suite and the commit gate: every corruption class,
+// applied to a committed city, must be rejected by Commit with a
+// mapverify violation and accounted on the per-rule counters — while
+// the pristine genesis and a benign follow-up commit sail through.
+func TestGateQuarantinesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g, err := worldgen.GenerateGrid(worldgen.GridParams{
+		Rows: 4, Cols: 4, Lanes: 2, TrafficLights: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	vs := NewVersionStore(GateConfig{Metrics: reg})
+	if _, err := vs.Commit(g.Map, "genesis"); err != nil {
+		t.Fatalf("pristine genesis rejected: %v", err)
+	}
+
+	mapverifyRejects := func() uint64 {
+		var n uint64
+		for _, rule := range mapverify.RuleNames() {
+			n += reg.CounterVec("ingest.gate.mapverify", mapverify.RuleNames()).With(rule).Value()
+		}
+		return n
+	}
+
+	for _, kind := range worldgen.CorruptionKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			m := vs.Current()
+			c, ok := worldgen.ApplyCorruption(m, kind, rng)
+			if !ok {
+				t.Fatalf("no victim for %s", kind)
+			}
+			before := mapverifyRejects()
+			_, err := vs.Commit(m, "corrupted")
+			var ge *GateError
+			if !errors.As(err, &ge) {
+				t.Fatalf("%s on lanelet %d (%s) was committed, want gate rejection",
+					kind, c.ID, c.Detail)
+			}
+			found := false
+			for _, v := range ge.Violations {
+				if v.Invariant == "mapverify" {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s rejected, but not by the mapverify invariant: %v", kind, ge.Violations)
+			}
+			if after := mapverifyRejects(); after <= before {
+				t.Fatalf("%s: per-rule counters did not move (%d -> %d)", kind, before, after)
+			}
+		})
+	}
+
+	if seq := vs.CurrentSeq(); seq != 1 {
+		t.Fatalf("corrupted commits advanced the store to seq %d", seq)
+	}
+
+	// A benign maintenance change still commits.
+	m := vs.Current()
+	site := worldgen.ConstructionSite{
+		Center: m.Bounds().Center(), Radius: 60,
+		AddCount: 2, MoveProb: 0.3, MoveStd: 0.5,
+	}
+	worldgen.ApplyConstruction(&worldgen.World{Map: m}, site, rng)
+	if _, err := vs.Commit(m, "maintenance"); err != nil {
+		t.Fatalf("benign maintenance commit rejected: %v", err)
+	}
+
+	// DisableVerify turns the invariant off: the corruption commits.
+	loose := NewVersionStore(GateConfig{DisableVerify: true, Metrics: obs.NewRegistry()})
+	if _, err := loose.Commit(g.Map, "genesis"); err != nil {
+		t.Fatal(err)
+	}
+	m2 := loose.Current()
+	if _, ok := worldgen.ApplyCorruption(m2, worldgen.CorruptSpeedCliff, rng); !ok {
+		t.Fatal("no victim")
+	}
+	if _, err := loose.Commit(m2, "unchecked"); err != nil {
+		t.Fatalf("DisableVerify store still rejected: %v", err)
+	}
+}

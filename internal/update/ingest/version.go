@@ -10,8 +10,52 @@ import (
 	"sync"
 
 	"hdmaps/internal/core"
+	"hdmaps/internal/mapverify"
+	"hdmaps/internal/obs"
 	"hdmaps/internal/storage"
 )
+
+// gateMetrics is the bounded rejection accounting for the commit gate:
+// one counter per invariant family ("which invariant rejects commits")
+// and one per mapverify rule ("which constraint the bad maps break").
+// Both label domains are fixed at registration, so cardinality stays
+// bounded no matter what gets committed.
+type gateMetrics struct {
+	invariant *obs.CounterVec
+	rule      *obs.CounterVec
+}
+
+func newGateMetrics(reg *obs.Registry) *gateMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &gateMetrics{
+		invariant: reg.CounterVec("ingest.gate.invariant", []string{
+			"validate", "mass_deletion", "growth", "bounds", "displacement", "mapverify",
+		}),
+		rule: reg.CounterVec("ingest.gate.mapverify", mapverify.RuleNames()),
+	}
+}
+
+// observe accounts one rejected commit: each violated invariant family
+// counts once per rejection, and every reported mapverify violation
+// counts against its rule.
+func (g *gateMetrics) observe(viol []GateViolation) {
+	seen := make(map[string]bool, 4)
+	for _, v := range viol {
+		inv := v.Invariant
+		if inv == "mass-deletion" {
+			inv = "mass_deletion" // obs label values are [a-z0-9_]+
+		}
+		if !seen[inv] {
+			seen[inv] = true
+			g.invariant.With(inv).Inc()
+		}
+		if v.Invariant == "mapverify" && v.Rule != "" {
+			g.rule.With(v.Rule).Inc()
+		}
+	}
+}
 
 // Version describes one committed map version.
 type Version struct {
@@ -60,12 +104,13 @@ type VersionStore struct {
 	versions []archived
 	current  int       // current seq, 0 = none
 	frozen   *core.Map // decoded current, indexes frozen, read-only
+	metrics  *gateMetrics
 }
 
 // NewVersionStore creates an in-memory store gated by cfg.
 func NewVersionStore(cfg GateConfig) *VersionStore {
 	cfg.defaults()
-	return &VersionStore{gate: cfg}
+	return &VersionStore{gate: cfg, metrics: newGateMetrics(cfg.Metrics)}
 }
 
 // OpenVersionDir opens (creating if needed) a directory-backed store.
@@ -75,7 +120,7 @@ func OpenVersionDir(dir string, cfg GateConfig) (*VersionStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: open version dir: %w", err)
 	}
-	vs := &VersionStore{dir: dir, gate: cfg}
+	vs := &VersionStore{dir: dir, gate: cfg, metrics: newGateMetrics(cfg.Metrics)}
 	if err := vs.load(); err != nil {
 		return nil, err
 	}
@@ -196,6 +241,7 @@ func (vs *VersionStore) Commit(m *core.Map, note string) (Version, error) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	if viol := CheckCommit(vs.frozen, m, vs.gate); len(viol) > 0 {
+		vs.metrics.observe(viol)
 		return Version{}, &GateError{Violations: viol}
 	}
 	data := storage.EncodeBinary(m)

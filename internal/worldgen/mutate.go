@@ -1,6 +1,7 @@
 package worldgen
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 
@@ -151,4 +152,171 @@ func ApplyConstruction(w *World, site ConstructionSite, rng *rand.Rand) []Mutati
 	}
 	m.FreezeIndexes()
 	return muts
+}
+
+// CorruptionKind labels one adversarial map-corruption class: a defect
+// a hostile (or buggy) maintenance pipeline could smuggle past coarse
+// bounded-change checks, used to prove the mapverify constraint engine
+// catches each class at Error severity.
+type CorruptionKind uint8
+
+// Corruption kinds.
+const (
+	// CorruptReverseLanelet reverses a centreline without touching the
+	// bounds: driving direction flips, bounds end up wrong-sided, and
+	// successor links become discontinuous.
+	CorruptReverseLanelet CorruptionKind = iota
+	// CorruptPinchLane drags the right bound across the lane corridor,
+	// pinching the drivable width to nothing.
+	CorruptPinchLane
+	// CorruptTeleportVertex moves one interior centreline vertex
+	// kilometres away (a classic mis-georeferenced patch).
+	CorruptTeleportVertex
+	// CorruptOrphanSuccessor appends a successor reference to a lanelet
+	// that does not exist.
+	CorruptOrphanSuccessor
+	// CorruptNaNSmuggle writes a NaN coordinate into a centreline
+	// vertex.
+	CorruptNaNSmuggle
+	// CorruptSpeedCliff multiplies a posted speed limit far past its
+	// successor's, creating an undrivable limit discontinuity.
+	CorruptSpeedCliff
+
+	numCorruptionKinds
+)
+
+// String implements fmt.Stringer.
+func (k CorruptionKind) String() string {
+	names := [...]string{
+		"reverse_lanelet", "pinch_lane", "teleport_vertex",
+		"orphan_successor", "nan_smuggle", "speed_cliff",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// CorruptionKinds lists every corruption class, in declaration order.
+func CorruptionKinds() []CorruptionKind {
+	out := make([]CorruptionKind, numCorruptionKinds)
+	for i := range out {
+		out[i] = CorruptionKind(i)
+	}
+	return out
+}
+
+// Corruption records one applied adversarial mutation.
+type Corruption struct {
+	Kind CorruptionKind
+	// ID is the corrupted lanelet.
+	ID core.ID
+	// Detail describes what was done to it.
+	Detail string
+}
+
+// orphanID is an ID far above anything worldgen allocates; appending
+// it as a successor is guaranteed dangling.
+const orphanID = core.ID(1) << 40
+
+// ApplyCorruption mutates m in place with one instance of the given
+// corruption class, picking the victim lanelet deterministically from
+// rng. It reports false when the map offers no suitable victim (e.g.
+// a lanelet-free map). Unlike ApplyConstruction these are not
+// plausible world changes — they are defects, meant to be caught.
+func ApplyCorruption(m *core.Map, kind CorruptionKind, rng *rand.Rand) (Corruption, bool) {
+	ids := m.LaneletIDs()
+	if len(ids) == 0 {
+		return Corruption{}, false
+	}
+	pick := rng.Intn(len(ids))
+
+	switch kind {
+	case CorruptReverseLanelet:
+		id := ids[pick]
+		l, err := m.Lanelet(id)
+		if err != nil {
+			return Corruption{}, false
+		}
+		l.Centerline = l.Centerline.Reverse()
+		return Corruption{Kind: kind, ID: id, Detail: "centreline reversed, bounds untouched"}, true
+
+	case CorruptPinchLane:
+		// The victim needs a resolvable right bound to drag.
+		for off := 0; off < len(ids); off++ {
+			id := ids[(pick+off)%len(ids)]
+			l, err := m.Lanelet(id)
+			if err != nil || len(l.Centerline) < 2 {
+				continue
+			}
+			right, err := m.Line(l.Right)
+			if err != nil {
+				continue
+			}
+			// Re-derive the right bound 2 m to the LEFT of the
+			// centreline: past the left bound of any real lane, so the
+			// corridor width goes negative.
+			right.Geometry = l.Centerline.Offset(2.0)
+			return Corruption{Kind: kind, ID: id, Detail: "right bound dragged across the corridor"}, true
+		}
+		return Corruption{}, false
+
+	case CorruptTeleportVertex:
+		for off := 0; off < len(ids); off++ {
+			id := ids[(pick+off)%len(ids)]
+			l, err := m.Lanelet(id)
+			if err != nil || len(l.Centerline) < 2 {
+				continue
+			}
+			cl := l.Centerline.Clone()
+			i := len(cl) / 2
+			cl[i] = cl[i].Add(geo.V2(5000, 4000))
+			l.Centerline = cl
+			return Corruption{Kind: kind, ID: id, Detail: "centreline vertex teleported ~6.4 km"}, true
+		}
+		return Corruption{}, false
+
+	case CorruptOrphanSuccessor:
+		id := ids[pick]
+		l, err := m.Lanelet(id)
+		if err != nil {
+			return Corruption{}, false
+		}
+		l.Successors = append(l.Successors, orphanID)
+		return Corruption{Kind: kind, ID: id, Detail: "successor reference to a nonexistent lanelet"}, true
+
+	case CorruptNaNSmuggle:
+		for off := 0; off < len(ids); off++ {
+			id := ids[(pick+off)%len(ids)]
+			l, err := m.Lanelet(id)
+			if err != nil || len(l.Centerline) < 2 {
+				continue
+			}
+			cl := l.Centerline.Clone()
+			cl[len(cl)/2].X = math.NaN()
+			l.Centerline = cl
+			return Corruption{Kind: kind, ID: id, Detail: "NaN centreline coordinate"}, true
+		}
+		return Corruption{}, false
+
+	case CorruptSpeedCliff:
+		// The victim needs a posted successor to cliff against.
+		for off := 0; off < len(ids); off++ {
+			id := ids[(pick+off)%len(ids)]
+			l, err := m.Lanelet(id)
+			if err != nil || l.SpeedLimit <= 0 {
+				continue
+			}
+			for _, sid := range l.Successors {
+				succ, err := m.Lanelet(sid)
+				if err != nil || succ.SpeedLimit <= 0 {
+					continue
+				}
+				l.SpeedLimit = succ.SpeedLimit * 5
+				return Corruption{Kind: kind, ID: id, Detail: "posted limit raised to 5x its successor's"}, true
+			}
+		}
+		return Corruption{}, false
+	}
+	return Corruption{}, false
 }
