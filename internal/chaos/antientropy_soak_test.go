@@ -29,9 +29,11 @@ import (
 //  1. Cold divergence: replicas fork behind the router's back and no
 //     client ever reads the keys. Bounded sweep rounds must converge
 //     every owner byte-identical, with the read counter untouched.
-//  2. Delete-resurrection: for each victim key, the primary owner is
-//     killed, the key deleted through router #1 (marker to live
-//     owners, durable tombstone hint parked), router #1 crashes. For
+//  2. Delete-resurrection: the victim keys' shared primary owner is
+//     killed, each key deleted through router #1 (marker to the live
+//     owners, durable tombstone hint parked; the delete's clock probe
+//     still reaches its read quorum on the two survivors), router #1
+//     crashes. For
 //     half the keys the parked hints are wiped too — simulating total
 //     hint loss — so sweeps are provably the only repair channel.
 //     Router #2 starts cold, the owner revives stale, and bounded
@@ -145,9 +147,7 @@ func TestAntiEntropySoak(t *testing.T) {
 		path string
 		data []byte
 	}
-	total := nCold + nDeletes
-	keys := make([]*soakKey, total)
-	for i := range keys {
+	seedKey := func(i int) *soakKey {
 		k := storage.TileKey{Layer: "base", TX: int32(i), TY: 0}
 		sk := &soakKey{
 			key:  k,
@@ -157,9 +157,31 @@ func TestAntiEntropySoak(t *testing.T) {
 		if code := put(front1.URL, sk.path, sk.data); code != http.StatusNoContent {
 			t.Fatalf("seed put %s: %d", sk.path, code)
 		}
-		keys[i] = sk
+		return sk
 	}
-	cold, victims := keys[:nCold], keys[nCold:]
+	cold := make([]*soakKey, nCold)
+	for i := range cold {
+		cold[i] = seedKey(i)
+	}
+	// Every victim shares one primary owner. The delete path requires a
+	// read quorum of definitive clock probes before minting a marker,
+	// so the soak keeps exactly one owner dead per victim key — a
+	// second dead owner would (correctly) shed the delete instead.
+	victims := make([]*soakKey, 0, nDeletes)
+	deadOwner := ""
+	for i := nCold; len(victims) < nDeletes; i++ {
+		if i > nCold+1000 {
+			t.Fatalf("could not find %d victim keys owned by %s", nDeletes, deadOwner)
+		}
+		sk := seedKey(i)
+		primary := rt1.Ring().Owners(sk.key, replicas)[0]
+		if deadOwner == "" {
+			deadOwner = primary
+		}
+		if primary == deadOwner {
+			victims = append(victims, sk)
+		}
+	}
 
 	// ---- act 1: cold divergence, sweeps alone ----
 	// Fork one replica of every cold key behind the router's back with a

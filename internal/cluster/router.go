@@ -81,29 +81,34 @@ type Config struct {
 	Logger   *slog.Logger
 }
 
-func (c *Config) replicas() int {
+// replicasFor clamps the configured replication factor to the given
+// membership size. Callers pass *current* membership, not the initial
+// cfg.Nodes list: a cluster started below its target factor regains
+// the full factor (and the quorums derived from it) as AddNode grows
+// the ring.
+func (c *Config) replicasFor(members int) int {
 	r := c.Replicas
 	if r <= 0 {
 		r = 3
 	}
-	if n := len(c.Nodes); r > n {
-		r = n
+	if r > members {
+		r = members
 	}
 	return r
 }
 
-func (c *Config) readQuorum() int {
+func (c *Config) readQuorumFor(replicas int) int {
 	if c.ReadQuorum > 0 {
 		return c.ReadQuorum
 	}
-	return c.replicas()/2 + 1
+	return replicas/2 + 1
 }
 
-func (c *Config) writeQuorum() int {
+func (c *Config) writeQuorumFor(replicas int) int {
 	if c.WriteQuorum > 0 {
 		return c.WriteQuorum
 	}
-	return c.replicas()/2 + 1
+	return replicas/2 + 1
 }
 
 func (c *Config) shardTimeout() time.Duration {
@@ -384,12 +389,25 @@ func (rt *Router) Ring() *Ring {
 	return rt.ring
 }
 
+// replicas is the effective replication factor: the configured factor
+// clamped to current membership under rt.mu.
+func (rt *Router) replicas() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.cfg.replicasFor(len(rt.members))
+}
+
+// readQuorum / writeQuorum derive quorums from the effective (current
+// membership) replication factor unless explicitly configured.
+func (rt *Router) readQuorum() int  { return rt.cfg.readQuorumFor(rt.replicas()) }
+func (rt *Router) writeQuorum() int { return rt.cfg.writeQuorumFor(rt.replicas()) }
+
 // ownersFor resolves a key's owner set to live member handles (dead
 // members included — callers decide whether to skip or hint).
 func (rt *Router) ownersFor(key storage.TileKey) []*member {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	names := rt.ring.Owners(key, rt.cfg.replicas())
+	names := rt.ring.Owners(key, rt.cfg.replicasFor(len(rt.members)))
 	out := make([]*member, 0, len(names))
 	for _, n := range names {
 		if m := rt.members[n]; m != nil {
@@ -630,9 +648,9 @@ type TombstoneStatus struct {
 func (rt *Router) Status() ClusterStatus {
 	ms := rt.memberList()
 	out := ClusterStatus{
-		Replicas:    rt.cfg.replicas(),
-		ReadQuorum:  rt.cfg.readQuorum(),
-		WriteQuorum: rt.cfg.writeQuorum(),
+		Replicas:    rt.replicas(),
+		ReadQuorum:  rt.readQuorum(),
+		WriteQuorum: rt.writeQuorum(),
 		VNodes:      rt.Ring().vnodes,
 		Members:     make([]MemberStatus, 0, len(ms)),
 		HintsByNode: rt.hints.pendingByTarget(),
@@ -895,7 +913,7 @@ func (rt *Router) handleTileGet(w http.ResponseWriter, r *http.Request, span *ob
 		return
 	}
 	trace := obs.TraceID(r.Context())
-	need := rt.cfg.readQuorum()
+	need := rt.readQuorum()
 	if need > len(owners) {
 		need = len(owners)
 	}
@@ -1138,7 +1156,7 @@ func (rt *Router) handleTilePut(w http.ResponseWriter, r *http.Request, span *ob
 		return
 	}
 	trace := obs.TraceID(r.Context())
-	need := rt.cfg.writeQuorum()
+	need := rt.writeQuorum()
 	if need > len(owners) {
 		need = len(owners)
 	}
@@ -1219,7 +1237,7 @@ func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span 
 		return
 	}
 	trace := obs.TraceID(r.Context())
-	need := rt.cfg.writeQuorum()
+	need := rt.writeQuorum()
 	if need > len(owners) {
 		need = len(owners)
 	}
@@ -1247,11 +1265,31 @@ func (rt *Router) handleTileDelete(w http.ResponseWriter, r *http.Request, span 
 		}(m, leg)
 	}
 	var maxClock uint64
+	okProbes := 0
 	for i := 0; i < probes; i++ {
 		res := <-clockCh
-		if res.ok && (res.found || res.tomb) && res.clock > maxClock {
+		if !res.ok {
+			continue
+		}
+		okProbes++
+		if (res.found || res.tomb) && res.clock > maxClock {
 			maxClock = res.clock
 		}
+	}
+	// The marker's clock is only trustworthy if a read quorum answered
+	// definitively: with fewer, the stamp could land below a version an
+	// unreachable owner holds, and the delete would ack 204 yet erase
+	// nothing. Shed instead — the client retries when owners recover.
+	probeNeed := rt.readQuorum()
+	if probeNeed > len(owners) {
+		probeNeed = len(owners)
+	}
+	if okProbes < probeNeed {
+		rt.stats.quorumFailures.Inc()
+		span.Fail("delete probe quorum failed")
+		rt.shed(w, span, fmt.Sprintf("delete probe quorum failed: %d definitive answers from %d probes, need %d",
+			okProbes, probes, probeNeed))
+		return
 	}
 
 	ts := storage.Tombstone{

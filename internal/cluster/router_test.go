@@ -226,12 +226,72 @@ func TestRouterShedsWithoutQuorum(t *testing.T) {
 	checkAccounting(t, rt)
 }
 
+// TestReplicasFollowMembership: the effective replication factor
+// clamps to current membership, not the boot-time Nodes list — a
+// cluster started below its target regains the full factor (and the
+// derived quorums) once AddNode grows the ring.
+func TestReplicasFollowMembership(t *testing.T) {
+	rt, nodes := newTestCluster(t, 2, Config{Replicas: 3})
+	if got := rt.replicas(); got != 2 {
+		t.Fatalf("2-node start: replicas %d, want 2", got)
+	}
+	late := newTestNode(t, "node2")
+	if err := rt.AddNode(Node{Name: late.name, Base: late.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.replicas(); got != 3 {
+		t.Fatalf("after join: replicas %d, want 3", got)
+	}
+	if got := rt.writeQuorum(); got != 2 {
+		t.Fatalf("after join: write quorum %d, want 2", got)
+	}
+	if st := rt.Status(); st.Replicas != 3 || st.WriteQuorum != 2 {
+		t.Fatalf("status: replicas %d quorum %d", st.Replicas, st.WriteQuorum)
+	}
+	// A post-join write must land on all three nodes (R == N), not on
+	// the two the boot-time clamp would have chosen.
+	data := tileBytes(1, 9)
+	if w := do(t, rt, http.MethodPut, "/v1/tiles/base/3/3", data, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d %s", w.Code, w.Body.String())
+	}
+	key := storage.TileKey{Layer: "base", TX: 3, TY: 3}
+	for _, n := range append(nodes, late) {
+		got, err := n.store.Get(key)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("node %s replica after join: err=%v len=%d", n.name, err, len(got))
+		}
+	}
+	checkAccounting(t, rt)
+}
+
+// TestDeleteShedsWithoutProbeQuorum: minting a deletion marker from
+// fewer than a read quorum of definitive clock answers could stamp it
+// below the tile's real version, acking a delete that erases nothing.
+// The router must shed instead.
+func TestDeleteShedsWithoutProbeQuorum(t *testing.T) {
+	rt, _ := newTestCluster(t, 3, Config{Replicas: 3})
+	data := tileBytes(7, 5)
+	if w := do(t, rt, http.MethodPut, "/v1/tiles/base/2/2", data, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d", w.Code)
+	}
+	markDown(rt, "node0")
+	markDown(rt, "node1")
+	w := do(t, rt, http.MethodDelete, "/v1/tiles/base/2/2", nil, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("sub-quorum delete: %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	checkAccounting(t, rt)
+}
+
 // pickKey finds a tile key on the given layer whose owner set contains
 // wantOwner — N=4, R=3 guarantees one non-owner fallback.
 func pickKey(rt *Router, layer, wantOwner string) storage.TileKey {
 	for tx := int32(0); tx < 1000; tx++ {
 		key := storage.TileKey{Layer: layer, TX: tx, TY: 0}
-		for _, o := range rt.Ring().Owners(key, rt.cfg.replicas()) {
+		for _, o := range rt.Ring().Owners(key, rt.replicas()) {
 			if o == wantOwner {
 				return key
 			}

@@ -110,7 +110,9 @@ func (v Violation) String() string {
 // pathological maps.
 type Report struct {
 	// Violations is sorted by (ElementID, Rule, Detail) and capped at
-	// Config.MaxViolations.
+	// Config.MaxViolations. When the cap truncates, Error-severity
+	// entries are retained in preference to Warns, so Errors > 0
+	// guarantees at least one Error appears in the slice (up to the cap).
 	Violations []Violation
 	Errors     int
 	Warnings   int
@@ -235,11 +237,18 @@ type engine struct {
 	cfg Config
 	off map[string]bool
 	rep *Report
+	// warnsKept counts Warn-severity entries currently retained in the
+	// Violations slice, so error-preferential eviction at the cap can
+	// bail out in O(1) once only errors remain.
+	warnsKept int
 }
 
 // add records one violation, honouring per-rule disables and the cap.
 // Severity counts keep incrementing past the cap so the report's
-// totals stay truthful.
+// totals stay truthful. Error-severity violations are retained
+// preferentially: once the cap is hit, a new Error evicts the most
+// recently retained Warn, so a flood of Warns from early-running rules
+// can never push the findings that block a commit out of the report.
 func (e *engine) add(rule string, sev Severity, id core.ID, format string, args ...interface{}) {
 	if e.off[rule] {
 		return
@@ -251,7 +260,19 @@ func (e *engine) add(rule string, sev Severity, id core.ID, format string, args 
 	}
 	if len(e.rep.Violations) >= e.cfg.MaxViolations {
 		e.rep.Truncated = true
-		return
+		if sev != SevError || e.warnsKept == 0 {
+			return
+		}
+		for i := len(e.rep.Violations) - 1; i >= 0; i-- {
+			if e.rep.Violations[i].Severity != SevError {
+				e.rep.Violations = append(e.rep.Violations[:i], e.rep.Violations[i+1:]...)
+				e.warnsKept--
+				break
+			}
+		}
+	}
+	if sev != SevError {
+		e.warnsKept++
 	}
 	e.rep.Violations = append(e.rep.Violations, Violation{
 		Rule: rule, Severity: sev, ElementID: id, Detail: fmt.Sprintf(format, args...),

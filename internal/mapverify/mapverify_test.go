@@ -256,6 +256,42 @@ func TestViolationCap(t *testing.T) {
 	}
 }
 
+// TestErrorRetentionUnderWarnFlood: Warn findings from rules that run
+// earlier must not evict Error findings from the capped report — a
+// hostile map could otherwise hide its blocking violations behind warn
+// noise, leaving downstream consumers of the slice blind to them.
+func TestErrorRetentionUnderWarnFlood(t *testing.T) {
+	m := core.NewMap("t")
+	// 12 disconnected lanes: one orphan Warn each, all recorded before
+	// the semantic pass runs.
+	for i := 0; i < 12; i++ {
+		lane(t, m, geo.Polyline{geo.V2(0, float64(20*i)), geo.V2(10, float64(20*i))}, 3.5, 10)
+	}
+	// The single Error-severity finding (speed out of range) arrives
+	// after every Warn above has already filled the cap.
+	lane(t, m, geo.Polyline{geo.V2(0, 400), geo.V2(10, 400)}, 3.5, 200)
+
+	rep := mapverify.Verify(m, mapverify.Config{MaxViolations: 8})
+	if len(rep.Violations) != 8 || !rep.Truncated {
+		t.Fatalf("cap not honoured: %d retained, truncated=%v", len(rep.Violations), rep.Truncated)
+	}
+	if rep.Errors != 1 {
+		t.Fatalf("want exactly 1 error, got %d (%d warnings)", rep.Errors, rep.Warnings)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Severity == mapverify.SevError {
+			if v.Rule != mapverify.RuleSpeedRange {
+				t.Fatalf("unexpected error rule %s", v.Rule)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("warn flood evicted the Error-severity violation from the capped report")
+	}
+}
+
 // TestDisableRule: a disabled rule is fully silent — neither retained
 // nor counted.
 func TestDisableRule(t *testing.T) {

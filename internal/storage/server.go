@@ -114,6 +114,21 @@ func NewTileServer(store TileStore) *TileServer {
 			if err != nil || ts.Key() != live {
 				continue
 			}
+			// A crash mid-mutation can leave both a marker and a live tile
+			// on disk: handlePut installs the live tile before removing the
+			// shadow marker, and putTombstone installs the marker before
+			// removing the live tile. Resurrecting a dominated marker would
+			// make conditional writes and digests disagree with GET, so
+			// finish whichever cleanup was interrupted instead: the
+			// FresherState winner stays, the loser is deleted.
+			if ld, lerr := store.Get(live); lerr == nil {
+				if clock, cerr := PeekClock(ld); cerr == nil &&
+					FresherState(false, clock, ld, true, ts.Clock, data) {
+					_ = store.Delete(k)
+					continue
+				}
+				_ = store.Delete(live)
+			}
 			s.tombs[live] = tombRecord{ts: ts, sum: Checksum(data), data: data}
 		}
 	}

@@ -248,6 +248,57 @@ func TestServerTombstoneRestartRescan(t *testing.T) {
 	}
 }
 
+// TestServerRestartReconcilesCrashShadow: a crash can leave a live
+// tile and its tomb-- shadow marker on disk together (handlePut dies
+// between installing the tile and removing the marker; putTombstone
+// dies between installing the marker and removing the tile). The
+// restart rescan must finish the interrupted cleanup — the
+// FresherState winner stays, the loser is deleted — so conditional
+// writes, digests, and GETs agree again.
+func TestServerRestartReconcilesCrashShadow(t *testing.T) {
+	live := TileKey{Layer: "base", TX: 9, TY: 9}
+	shadow := TileKey{Layer: "tomb--base", TX: 9, TY: 9}
+
+	// Live tile dominates (clock 3 > marker 2): the tile survives and
+	// the stale marker is reclaimed.
+	store := NewMemStore()
+	if err := store.Put(live, stateTile(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	stale := EncodeTombstone(Tombstone{Layer: "base", TX: 9, TY: 9, Clock: 2, Created: 1, TTLSeconds: 60})
+	if err := store.Put(shadow, stale); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewTileServer(store))
+	if resp := doTile(t, http.MethodGet, srv.URL+"/v1/tiles/base/9/9", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("dominating live tile not served: %d", resp.StatusCode)
+	}
+	if _, err := store.Get(shadow); err == nil {
+		t.Fatal("dominated marker survived the restart rescan")
+	}
+	srv.Close()
+
+	// Marker dominates (clock 5 > tile 3): the deletion wins and the
+	// stale live tile is removed.
+	store2 := NewMemStore()
+	if err := store2.Put(live, stateTile(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := EncodeTombstone(Tombstone{Layer: "base", TX: 9, TY: 9, Clock: 5, Created: 1, TTLSeconds: 60})
+	if err := store2.Put(shadow, fresh); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(NewTileServer(store2))
+	defer srv2.Close()
+	resp := doTile(t, http.MethodGet, srv2.URL+"/v1/tiles/base/9/9", "", nil)
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(TombstoneHeader) != "5" {
+		t.Fatalf("dominating marker not honoured: %d tomb=%q", resp.StatusCode, resp.Header.Get(TombstoneHeader))
+	}
+	if _, err := store2.Get(live); err == nil {
+		t.Fatal("dominated live tile survived the restart rescan")
+	}
+}
+
 func TestServerLayerDigest(t *testing.T) {
 	ts, _, srv := stateServer(t)
 	// Populate a few tiles plus one tombstone.

@@ -142,7 +142,11 @@ func CheckCommit(parent, next *core.Map, cfg GateConfig) []GateViolation {
 			})
 			shown++
 		}
-		if rest := rep.Errors - shown; shown > 0 && rest > 0 {
+		// The block decision rides on rep.Errors, not on what survived the
+		// engine's violation cap: even if every Error entry were evicted
+		// from the capped slice, a non-zero error count must still reject
+		// the commit.
+		if rest := rep.Errors - shown; rest > 0 {
 			out = append(out, GateViolation{
 				Invariant: "mapverify",
 				Detail:    fmt.Sprintf("... and %d more error-severity violations", rest),

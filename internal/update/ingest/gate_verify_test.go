@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"hdmaps/internal/core"
+	"hdmaps/internal/geo"
 	"hdmaps/internal/mapverify"
 	"hdmaps/internal/obs"
 	"hdmaps/internal/worldgen"
@@ -95,5 +97,40 @@ func TestGateQuarantinesCorruption(t *testing.T) {
 	}
 	if _, err := loose.Commit(m2, "unchecked"); err != nil {
 		t.Fatalf("DisableVerify store still rejected: %v", err)
+	}
+}
+
+// TestGateBlocksWarnFloodedMap: the gate's block decision keys on the
+// engine's full Error count and the engine retains Error entries
+// preferentially under its violation cap, so a map that floods the
+// report with Warn findings before its single Error still cannot
+// commit.
+func TestGateBlocksWarnFloodedMap(t *testing.T) {
+	m := core.NewMap("flood")
+	addLane := func(y, speed float64) {
+		if _, err := m.AddLaneFromCenterline(core.LaneSpec{
+			Centerline: geo.Polyline{geo.V2(0, y), geo.V2(10, y)},
+			Width:      3.5, SpeedLimit: speed, Source: "test",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 12 disconnected lanes emit an orphan Warn each; the last lane's
+	// out-of-range speed is the only Error and is recorded after every
+	// Warn has already filled the 8-entry cap.
+	for i := 0; i < 12; i++ {
+		addLane(float64(20*i), 10)
+	}
+	addLane(400, 200)
+
+	viol := CheckCommit(nil, m, GateConfig{Verify: mapverify.Config{MaxViolations: 8}})
+	found := false
+	for _, v := range viol {
+		if v.Invariant == "mapverify" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warn-flooded map passed the gate: %v", viol)
 	}
 }
