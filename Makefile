@@ -67,8 +67,11 @@ soak-overload:
 # SOAK_CLUSTER_GETS. Asserts zero read unavailability at quorum,
 # byte-identical replica convergence, hinted handoff draining to empty,
 # and the router accounting invariant routed == served + shed + errored.
+# SOAK_ALERT_LIFECYCLE adds the bounded end-of-soak alert arc: total
+# node failure drives slo.read.availability ok -> critical (with a
+# resolvable exemplar trace) and revival clears it back to ok.
 soak-cluster:
-	SOAK_CLUSTER_GETS=$(SOAK_CLUSTER_GETS) $(GO) test -race -run '^TestClusterSoak$$' -count=1 ./internal/chaos
+	SOAK_CLUSTER_GETS=$(SOAK_CLUSTER_GETS) SOAK_ALERT_LIFECYCLE=1 $(GO) test -race -run '^TestClusterSoak$$' -count=1 ./internal/chaos
 
 # Anti-entropy convergence: cold-replica divergence and a delete/crash/
 # revive cycle (half the durable hints destroyed) must converge through

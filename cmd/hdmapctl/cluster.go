@@ -27,7 +27,7 @@ import (
 // replication, and serves the router on addr. One process, N shards:
 // the deployment shape is a demo, but the routing, quorum, repair, and
 // handoff paths are exactly what a multi-host cluster would run.
-func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg resilience.Config, drain, sweep, tombTTL time.Duration) error {
+func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg resilience.Config, drain, sweep, tombTTL, sample time.Duration) error {
 	if n > 16 {
 		return fmt.Errorf("-cluster %d: more than 16 in-process nodes is a typo, not a deployment", n)
 	}
@@ -62,13 +62,14 @@ func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg r
 	}
 
 	rt, err := cluster.NewRouter(cluster.Config{
-		Nodes:         nodes,
-		Replicas:      replicas,
-		Registry:      obs.Default(),
-		Tracer:        rcfg.Tracer,
-		Logger:        rcfg.Log,
-		SweepInterval: sweep,
-		TombstoneTTL:  tombTTL,
+		Nodes:          nodes,
+		Replicas:       replicas,
+		Registry:       obs.Default(),
+		Tracer:         rcfg.Tracer,
+		Logger:         rcfg.Log,
+		SweepInterval:  sweep,
+		TombstoneTTL:   tombTTL,
+		SampleInterval: sample,
 	})
 	if err != nil {
 		return err
@@ -82,7 +83,7 @@ func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg r
 	st := rt.Status()
 	fmt.Printf("cluster router on %s: %d nodes, R=%d, read quorum %d, write quorum %d\n",
 		ln.Addr(), len(nodes), st.Replicas, st.ReadQuorum, st.WriteQuorum)
-	fmt.Println("endpoints: /v1/... /healthz /readyz /statz /clusterz /metricz /tracez")
+	fmt.Println("endpoints: /v1/... /healthz /readyz /statz /clusterz /metricz /tracez /fleetz /alertz")
 
 	srv := &http.Server{Handler: rt}
 	errc := make(chan error, 1)

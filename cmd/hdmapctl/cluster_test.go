@@ -46,7 +46,7 @@ func TestServeClusterEndToEnd(t *testing.T) {
 	go func() {
 		// Sweeps disabled (negative interval) so counter assertions are
 		// deterministic; a short tombstone TTL proves the flag plumbs.
-		served <- serveCluster(ctx, dir, addr, 5, 3, resilience.Config{CacheSize: -1}, 5*time.Second, -1, time.Minute)
+		served <- serveCluster(ctx, dir, addr, 5, 3, resilience.Config{CacheSize: -1}, 5*time.Second, -1, time.Minute, 0)
 	}()
 	waitReady(t, base)
 

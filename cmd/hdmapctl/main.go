@@ -17,6 +17,7 @@
 //	hdmapctl serve -dir tiles/ -addr :8080                      (tile distribution server)
 //	hdmapctl serve -dir shards/ -cluster 5 -replicas 3          (sharded replicated cluster)
 //	hdmapctl cluster -base http://localhost:8080                (cluster status)
+//	hdmapctl top -base http://localhost:8080                    (live fleet dashboard)
 //	hdmapctl fetch -base http://host:8080 -layer base -out region.hdmp  (vehicle-side pull)
 //	hdmapctl loadtest -clients 40 -requests 100                 (overload drill + /statz)
 //	hdmapctl ingest -in base.hdmp -store versions/ -synth 200   (supervised maintenance)
@@ -83,6 +84,8 @@ func main() {
 		err = cmdLoadtest(ctx, os.Args[2:])
 	case "cluster":
 		err = cmdCluster(ctx, os.Args[2:])
+	case "top":
+		err = cmdTop(ctx, os.Args[2:])
 	case "ingest":
 		err = cmdIngest(os.Args[2:])
 	case "versions":
@@ -128,6 +131,9 @@ subcommands:
             reads, read-repair, and hinted handoff (/clusterz)
   cluster   print a running cluster router's /clusterz status (members,
             quorum shape, repair and handoff accounting)
+  top       live terminal dashboard over a router's /fleetz: per-node
+            QPS, p99, shed/error rates, hints, tombstones, and active
+            SLO burn-rate alerts (-once for a single snapshot)
   fetch     pull a tile region from a server and stitch it to one map
   loadtest  stampede a tile server with a zipfian closed-loop fleet and
             print its latency histogram and /statz snapshot (self-hosts

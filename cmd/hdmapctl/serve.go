@@ -70,6 +70,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	replicas := fs.Int("replicas", 3, "with -cluster: replicas per tile (R)")
 	sweep := fs.Duration("sweep", 0, "with -cluster: anti-entropy sweep interval (0 = 30s default, negative disables)")
 	tombTTL := fs.Duration("tombstone-ttl", 0, "with -cluster: delete-marker retention before GC (0 = 24h default)")
+	sample := fs.Duration("sample", 0, "with -cluster: observability sampling/federation/SLO cadence (0 = 5s default, negative disables /fleetz and /alertz)")
 	cfg := serveFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,7 +88,7 @@ func cmdServe(ctx context.Context, args []string) error {
 				return err
 			}
 		}
-		return serveCluster(ctx, *dir, *addr, *clusterN, *replicas, rcfg, *drain, *sweep, *tombTTL)
+		return serveCluster(ctx, *dir, *addr, *clusterN, *replicas, rcfg, *drain, *sweep, *tombTTL, *sample)
 	}
 	store, err := storage.NewDirStore(*dir)
 	if err != nil {

@@ -1,0 +1,142 @@
+// `hdmapctl top` — a live terminal dashboard over a cluster router's
+// /fleetz document: one row per node (QPS, tail latency, shed and
+// error rates, parked hints, pending tombstones) plus the active SLO
+// alert set, refreshed in place.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"hdmaps/internal/cluster"
+)
+
+func cmdTop(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	base := fs.String("base", "http://localhost:8080", "cluster router URL")
+	interval := fs.Duration("interval", 2*time.Second, "refresh cadence")
+	once := fs.Bool("once", false, "print one snapshot and exit (no screen control)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *interval + 5*time.Second}
+	fetch := func() (*cluster.FleetStatus, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, *base+"/fleetz?points=2", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return nil, fmt.Errorf("/fleetz: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		var doc cluster.FleetStatus
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&doc); err != nil {
+			return nil, err
+		}
+		return &doc, nil
+	}
+
+	if *once {
+		doc, err := fetch()
+		if err != nil {
+			return err
+		}
+		fmt.Print(renderFleet(doc, *base))
+		return nil
+	}
+
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		doc, err := fetch()
+		// Home the cursor and clear below instead of wiping the whole
+		// scrollback: the dashboard repaints in place.
+		fmt.Print("\x1b[H\x1b[2J")
+		if err != nil {
+			fmt.Printf("hdmapctl top — %s\n\n  unreachable: %v\n", *base, err)
+		} else {
+			fmt.Print(renderFleet(doc, *base))
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// renderFleet formats one /fleetz document as the dashboard screen.
+// Pure (no I/O, no clock) so tests can assert on exact output.
+func renderFleet(doc *cluster.FleetStatus, base string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hdmapctl top — %s  (interval %s, generated %s)\n\n",
+		base, doc.SampleInterval, doc.GeneratedAt.Format(time.TimeOnly))
+	fmt.Fprintf(&b, "  %-10s %-9s %-6s %9s %9s %9s %9s %7s %7s\n",
+		"NODE", "ROLE", "STATE", "QPS", "P99(ms)", "SHED/s", "ERR/s", "HINTS", "TOMBS")
+	for _, n := range doc.Nodes {
+		state := "up"
+		switch {
+		case !n.Alive:
+			state = "DOWN"
+		case n.Stale:
+			state = "stale"
+		}
+		if n.CollapsedInto != "" {
+			// Collapsed members have no series of their own; point at the
+			// pseudo-node carrying them instead of printing zeros as data.
+			fmt.Fprintf(&b, "  %-10s %-9s %-6s %s\n",
+				n.Name, n.Role, state, "-> "+n.CollapsedInto)
+			continue
+		}
+		s := n.Summary
+		fmt.Fprintf(&b, "  %-10s %-9s %-6s %9.1f %9.1f %9.1f %9.1f %7d %7d\n",
+			n.Name, n.Role, state, s.QPS, s.P99Seconds*1000, s.ShedPerSec, s.ErrorsPerSec,
+			s.HintsPending, s.TombstonesPending)
+	}
+
+	active, quiet := 0, 0
+	sorted := make([]int, 0, len(doc.Alerts))
+	for i := range doc.Alerts {
+		sorted = append(sorted, i)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		ai, aj := doc.Alerts[sorted[i]], doc.Alerts[sorted[j]]
+		if ai.State != aj.State {
+			// critical first, then warning, then ok.
+			rank := map[string]int{"critical": 0, "warning": 1, "ok": 2}
+			return rank[ai.State] < rank[aj.State]
+		}
+		return ai.Name < aj.Name
+	})
+	b.WriteString("\n  SLO ALERTS\n")
+	for _, i := range sorted {
+		a := doc.Alerts[i]
+		if a.State == "ok" {
+			quiet++
+			continue
+		}
+		active++
+		fmt.Fprintf(&b, "  %-8s %-28s burn fast=%.1f slow=%.1f", strings.ToUpper(a.State), a.Name, a.BurnFast, a.BurnSlow)
+		if a.ExemplarTraceID != "" {
+			fmt.Fprintf(&b, "  trace=%s", a.ExemplarTraceID)
+		}
+		b.WriteByte('\n')
+	}
+	if active == 0 {
+		fmt.Fprintf(&b, "  all clear (%d objectives ok)\n", quiet)
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/obs/slo"
+	"hdmaps/internal/resilience"
+)
+
+func TestRenderFleet(t *testing.T) {
+	doc := &cluster.FleetStatus{
+		GeneratedAt:    time.Unix(1700000000, 0).UTC(),
+		SampleInterval: "5s",
+		MaxNodes:       16,
+		Nodes: []cluster.FleetNodeStatus{
+			{Name: "router", Role: "router", Alive: true,
+				Summary: cluster.FleetSummary{QPS: 120.5, P99Seconds: 0.042, ShedPerSec: 1.5, HintsPending: 3, TombstonesPending: 2}},
+			{Name: "node0", Role: "shard", Alive: true,
+				Summary: cluster.FleetSummary{QPS: 40, P99Seconds: 0.010}},
+			{Name: "node1", Role: "shard", Alive: false, Stale: true, LastError: "node down"},
+			{Name: "node9", Role: "overflow", Alive: true, CollapsedInto: "other"},
+		},
+		Alerts: []slo.Alert{
+			{Name: "slo.read.latency_p99", State: "ok"},
+			{Name: "slo.read.availability", State: "critical", BurnFast: 50.2, BurnSlow: 31.7, ExemplarTraceID: "deadbeefdeadbeef"},
+		},
+	}
+	out := renderFleet(doc, "http://localhost:8080")
+
+	for _, want := range []string{
+		"NODE", "QPS", "P99(ms)", "HINTS", "TOMBS",
+		"router", "120.5", "42.0", // p99 rendered in ms
+		"node1", "DOWN",
+		"node9", "-> other", // collapsed members point at the pseudo-node
+		"CRITICAL slo.read.availability",
+		"burn fast=50.2 slow=31.7",
+		"trace=deadbeefdeadbeef",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "OK slo.read.latency_p99") {
+		t.Errorf("ok objectives should not be listed as alerts:\n%s", out)
+	}
+
+	// All clear: the ok set is summarised, not itemised.
+	doc.Alerts = []slo.Alert{{Name: "slo.read.availability", State: "ok"}}
+	out = renderFleet(doc, "b")
+	if !strings.Contains(out, "all clear (1 objectives ok)") {
+		t.Errorf("healthy render: %s", out)
+	}
+}
+
+// TestTopEndToEnd boots `serve -cluster 3`, waits for federation to
+// commit a round, and runs `top -once` against the live router — the
+// dashboard must render every node of the multi-node view.
+func TestTopEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addr := freePort(t)
+	base := "http://" + addr
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() {
+		served <- serveCluster(ctx, dir, addr, 3, 3, resilience.Config{CacheSize: -1},
+			5*time.Second, -1, time.Minute, 50*time.Millisecond)
+	}()
+	waitReady(t, base)
+
+	// Drive a little traffic so the federated rates have something to
+	// report, then wait until every shard has a committed scrape.
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/tiles/base/%d/0", base, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/fleetz?points=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc cluster.FleetStatus
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed := 0
+		for _, n := range doc.Nodes {
+			if n.Role == "shard" && n.Scrapes > 0 && !n.Stale {
+				committed++
+			}
+		}
+		if len(doc.Nodes) == 4 && committed == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federation never committed all shards: %+v", doc.Nodes)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	out := captureStdout(t, func() {
+		if err := cmdTop(ctx, []string{"-base", base, "-once"}); err != nil {
+			t.Fatalf("top -once: %v", err)
+		}
+	})
+	for _, want := range []string{"router", "node0", "node1", "node2", "SLO ALERTS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveCluster: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveCluster did not return after cancellation")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	fn()
+	os.Stdout = orig
+	_ = w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -123,11 +123,12 @@ func gate(baselinePath string, seed int64, tol bench.Tolerances) int {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		return 1
 	}
-	for _, r := range current.Results {
-		fmt.Printf("  %-26s %12.0f ns/op %8d allocs/op %10d B/op\n",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
-	}
 	c := bench.Compare(baseline, current, tol)
+	// The delta table prints on every run, pass or fail: perf drift
+	// should be visible in CI logs long before it crosses a tolerance.
+	for _, d := range c.Deltas {
+		fmt.Printf("  %s\n", d)
+	}
 	for _, n := range c.Notes {
 		fmt.Printf("note: %s\n", n)
 	}

@@ -22,6 +22,24 @@ func TestCompareWithinToleranceOK(t *testing.T) {
 	}
 }
 
+func TestCompareEmitsDeltasEvenWhenPassing(t *testing.T) {
+	base := Run{Results: []Result{result("a", 1000, 10), result("b", 50, 0)}}
+	cur := Run{Results: []Result{result("a", 1500, 12), result("b", 50, 0)}}
+	c := Compare(base, cur, Tolerances{})
+	if !c.OK() {
+		t.Fatalf("gate failed: %v", c.Regressions)
+	}
+	if len(c.Deltas) != 2 {
+		t.Fatalf("want a delta line per matched probe, got %v", c.Deltas)
+	}
+	if !strings.Contains(c.Deltas[0], "+50.0%") || !strings.Contains(c.Deltas[0], "(+2 vs 10)") {
+		t.Errorf("delta line missing drift vs baseline: %q", c.Deltas[0])
+	}
+	if !strings.Contains(c.Deltas[1], "+0.0%") {
+		t.Errorf("unchanged probe should show zero drift: %q", c.Deltas[1])
+	}
+}
+
 func TestCompareCatchesRegressions(t *testing.T) {
 	base := Run{Results: []Result{
 		result("slow", 1000, 10),

@@ -59,6 +59,11 @@ type Comparison struct {
 	// Notes are informational: new probes without a baseline entry,
 	// large improvements worth re-baselining.
 	Notes []string
+	// Deltas is one line per probe present in both runs — current vs
+	// baseline on wall time and allocations. The gate prints them even
+	// when passing, so perf drift is visible long before it crosses a
+	// tolerance.
+	Deltas []string
 }
 
 // OK reports whether the gate passes.
@@ -84,6 +89,7 @@ func Compare(baseline, current Run, tol Tolerances) Comparison {
 				fmt.Sprintf("%s: probe missing from current run (baseline has it)", base.Name))
 			continue
 		}
+		c.Deltas = append(c.Deltas, deltaLine(base, now))
 		if maxNs := base.NsPerOp * tol.nsFactor(); now.NsPerOp > maxNs {
 			c.Regressions = append(c.Regressions,
 				fmt.Sprintf("%s: %.0f ns/op exceeds %.1fx baseline (%.0f ns/op, limit %.0f)",
@@ -108,6 +114,17 @@ func Compare(baseline, current Run, tol Tolerances) Comparison {
 		}
 	}
 	return c
+}
+
+// deltaLine renders one probe's drift against its baseline entry.
+func deltaLine(base, now Result) string {
+	pct := math.Inf(1)
+	if base.NsPerOp > 0 {
+		pct = (now.NsPerOp/base.NsPerOp - 1) * 100
+	}
+	return fmt.Sprintf("%-26s %10.0f ns/op (%+6.1f%% vs %.0f) %6d allocs/op (%+d vs %d)",
+		now.Name, now.NsPerOp, pct, base.NsPerOp,
+		now.AllocsPerOp, now.AllocsPerOp-base.AllocsPerOp, base.AllocsPerOp)
 }
 
 // ReadRun loads a run from a JSON file written by WriteRun.

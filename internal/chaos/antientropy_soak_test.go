@@ -94,6 +94,12 @@ func TestAntiEntropySoak(t *testing.T) {
 		ShardTimeout:  2 * time.Second,
 		SweepInterval: -1, // sweeps fired by hand: rounds must be countable
 		TombstoneTTL:  time.Millisecond,
+		// Observability plane at soak speed so /fleetz and /alertz land
+		// as failure artifacts and the no-critical-alert assertion at
+		// the end judges a realistic cadence.
+		SampleInterval: 50 * time.Millisecond,
+		SLOFastWindow:  250 * time.Millisecond,
+		SLOSlowWindow:  time.Second,
 	}
 
 	newRouter := func() *cluster.Router {
@@ -123,6 +129,8 @@ func TestAntiEntropySoak(t *testing.T) {
 
 	rt1 := newRouter()
 	defer dumpClusterz(t, rt1)
+	defer dumpFleetz(t, rt1)
+	defer dumpAlertz(t, rt1)
 	rt1.Start()
 	front1 := httptest.NewServer(rt1)
 	defer front1.Close()
@@ -309,6 +317,8 @@ func TestAntiEntropySoak(t *testing.T) {
 	}
 	rt2 := newRouter()
 	defer dumpClusterz(t, rt2)
+	defer dumpFleetz(t, rt2)
+	defer dumpAlertz(t, rt2)
 	rt2.Start()
 	defer rt2.Close()
 
@@ -414,6 +424,17 @@ func TestAntiEntropySoak(t *testing.T) {
 		}
 	}
 	checkAccounting(rt2, "rt2")
+
+	// The observability plane rode along the whole heal: a critical
+	// alert at the end of a clean convergence is a false alarm the SLO
+	// engine must not raise — sweeps and hint replay are maintenance,
+	// not an outage.
+	for _, a := range rt2.SLOAlerts() {
+		if a.State == "critical" {
+			t.Errorf("objective %s critical after a clean anti-entropy heal (burn fast=%.2f slow=%.2f)",
+				a.Name, a.BurnFast, a.BurnSlow)
+		}
+	}
 
 	s2 = rt2.Stats()
 	t.Logf("anti-entropy soak: rounds=%d ranges diffed=%d mismatches=%d keys synced=%d repairs done=%d tombstones written=%d reclaimed=%d hints recovered=%d",

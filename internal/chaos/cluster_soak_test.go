@@ -18,6 +18,7 @@ import (
 	"hdmaps/internal/core"
 	"hdmaps/internal/geo"
 	"hdmaps/internal/obs"
+	"hdmaps/internal/obs/slo"
 	"hdmaps/internal/resilience"
 	"hdmaps/internal/storage"
 )
@@ -61,20 +62,46 @@ func clusterTile(clock uint64, salt int) []byte {
 // named by CLUSTERZ_DUMP when the test failed — the cluster-soak
 // counterpart of the tracez artifact.
 func dumpClusterz(t *testing.T, rt *cluster.Router) {
-	path := os.Getenv("CLUSTERZ_DUMP")
+	if path := os.Getenv("CLUSTERZ_DUMP"); path != "" && t.Failed() {
+		writeDump(t, path, rt.Status())
+	}
+}
+
+// dumpFleetz and dumpAlertz are the observability-plane counterparts:
+// the federated fleet document and the SLO alert set land next to the
+// clusterz artifact when a soak fails, so a red CI run shows what the
+// dashboards showed.
+func dumpFleetz(t *testing.T, rt *cluster.Router) {
+	path := os.Getenv("FLEETZ_DUMP")
 	if path == "" || !t.Failed() {
 		return
 	}
-	data, err := json.MarshalIndent(rt.Status(), "", "  ")
+	if doc := rt.FleetStatus(0); doc != nil {
+		writeDump(t, path, doc)
+	}
+}
+
+func dumpAlertz(t *testing.T, rt *cluster.Router) {
+	path := os.Getenv("ALERTZ_DUMP")
+	if path == "" || !t.Failed() {
+		return
+	}
+	if alerts := rt.SLOAlerts(); alerts != nil {
+		writeDump(t, path, alerts)
+	}
+}
+
+func writeDump(t *testing.T, path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		t.Logf("clusterz dump failed: %v", err)
+		t.Logf("dump %s failed: %v", path, err)
 		return
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		t.Logf("clusterz dump failed: %v", err)
+		t.Logf("dump %s failed: %v", path, err)
 		return
 	}
-	t.Logf("clusterz dump written to %s", path)
+	t.Logf("dump written to %s", path)
 }
 
 // TestClusterSoak runs the sharded tile cluster through repeated
@@ -150,11 +177,19 @@ func TestClusterSoak(t *testing.T) {
 		ShardTimeout:  2 * time.Second,
 		Registry:      reg,
 		Tracer:        tracer,
+		// The observability plane rides along at soak speed: tight
+		// sample cadence and burn windows so the SLO engine sees every
+		// kill round, and /fleetz + /alertz land as failure artifacts.
+		SampleInterval: 50 * time.Millisecond,
+		SLOFastWindow:  250 * time.Millisecond,
+		SLOSlowWindow:  time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer dumpClusterz(t, rt)
+	defer dumpFleetz(t, rt)
+	defer dumpAlertz(t, rt)
 	rt.Start()
 	defer rt.Close()
 	front := httptest.NewServer(rt)
@@ -476,9 +511,118 @@ func TestClusterSoak(t *testing.T) {
 		t.Errorf("out-of-domain shard label saw %d increments", got)
 	}
 
+	// 7. The observability plane watched the whole soak: federation holds
+	// a committed, non-stale scrape for every revived shard, and the
+	// availability objective never left ok — the zero-shed guarantee seen
+	// through the SLO engine's eyes.
+	fleetDeadline := time.Now().Add(10 * time.Second)
+	for {
+		doc := rt.FleetStatus(1)
+		committed := 0
+		for _, n := range doc.Nodes {
+			if n.Role == "shard" && n.Scrapes > 0 && !n.Stale {
+				committed++
+			}
+		}
+		if committed == nNodes {
+			break
+		}
+		if time.Now().After(fleetDeadline) {
+			t.Fatalf("federation never committed all %d shards: %+v", nNodes, doc.Nodes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, a := range rt.SLOAlerts() {
+		if a.Name == "slo.read.availability" && a.State != "ok" {
+			t.Errorf("availability objective %s after a zero-shed soak (burn fast=%.2f slow=%.2f)",
+				a.State, a.BurnFast, a.BurnSlow)
+		}
+	}
+
 	t.Logf("cluster soak: reads=%d writes=%d routed=%d hints queued=%d drained=%d superseded=%d repairs done=%d skipped=%d stale=%d",
 		fleetSubmitted, wReqs, s.Routed, s.HintsQueued, s.HintsDrained, s.HintsSuperseded,
 		s.RepairsDone, s.RepairsSkipped, s.StaleReplicas)
+
+	// 8. Alert lifecycle under total failure, gated behind
+	// SOAK_ALERT_LIFECYCLE because it deliberately sheds traffic — it
+	// must run after every accounting assertion above has settled.
+	if os.Getenv("SOAK_ALERT_LIFECYCLE") != "" {
+		alertLifecycle(t, front.URL, httpc, rt, nodes, paths)
+	}
+}
+
+// alertLifecycle drives slo.read.availability through its full arc
+// against the live fleet: every node dies, sustained shed traffic
+// trips the multi-window burn rates to critical, the alert's exemplar
+// trace resolves on /tracez, and revival plus healthy traffic clears
+// it back to ok. Bounded by hard deadlines on both transitions.
+func alertLifecycle(t *testing.T, base string, httpc *http.Client, rt *cluster.Router, nodes []*clusterNode, paths []string) {
+	t.Helper()
+	availability := func() (slo.Alert, bool) {
+		for _, a := range rt.SLOAlerts() {
+			if a.Name == "slo.read.availability" {
+				return a, true
+			}
+		}
+		return slo.Alert{}, false
+	}
+	get := func(i int) {
+		resp, err := httpc.Get(base + paths[i%len(paths)])
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+
+	for _, n := range nodes {
+		n.inj.SetDown(true)
+	}
+	var critical slo.Alert
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; ; i++ {
+		get(i)
+		if a, ok := availability(); ok && a.State == "critical" {
+			critical = a
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("availability alert never went critical under total shed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if critical.ExemplarTraceID == "" {
+		t.Error("critical availability alert carries no exemplar trace")
+	} else {
+		resp, err := httpc.Get(base + "/tracez?trace=" + critical.ExemplarTraceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("exemplar trace %s not resolvable on /tracez: %d",
+				critical.ExemplarTraceID, resp.StatusCode)
+		}
+	}
+
+	for _, n := range nodes {
+		n.inj.SetDown(false)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for i := 0; ; i++ {
+		get(i)
+		a, ok := availability()
+		if ok && a.State == "ok" {
+			if a.Transitions < 2 {
+				t.Errorf("alert cleared with %d transitions, want at least ok->critical->ok", a.Transitions)
+			}
+			t.Logf("alert lifecycle: critical burn fast=%.1f slow=%.1f exemplar=%s, cleared after revival",
+				critical.BurnFast, critical.BurnSlow, critical.ExemplarTraceID)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("availability alert never cleared after revival")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // readBody drains and closes a response body.

@@ -122,6 +122,7 @@ func (rt *Router) sweepOnce() {
 	}
 	rt.gcPass(trace, span)
 	rt.stats.aeRounds.Inc()
+	rt.noteSweepRound(time.Now())
 }
 
 // sweepLayer diffs one layer's digests against the previous round and

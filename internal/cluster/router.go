@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"hdmaps/internal/obs"
+	"hdmaps/internal/obs/slo"
+	"hdmaps/internal/obs/timeseries"
 	"hdmaps/internal/storage"
 )
 
@@ -70,6 +72,24 @@ type Config struct {
 	// reclaim it (default 24h). It must exceed the hint-drain/repair
 	// horizon — see the GC safety argument in DESIGN.md §11.
 	TombstoneTTL time.Duration
+	// SampleInterval is the observability-plane cadence: registry
+	// sampling, fleet federation scrapes, and SLO evaluation all run on
+	// this tick (default 5s; negative disables the whole plane —
+	// /fleetz and /alertz answer 404).
+	SampleInterval time.Duration
+	// SampleHistory is the ring capacity of every time series, in ticks
+	// (default 360 — half an hour at the default interval).
+	SampleHistory int
+	// MaxFleetNodes bounds the per-node series cardinality in the
+	// federated view; nodes beyond it collapse into one reserved
+	// "other" pseudo-node (default 16).
+	MaxFleetNodes int
+	// SLOFastWindow / SLOSlowWindow are the burn-rate windows (defaults
+	// 5m / 1h, resolved by the SLO engine). SLOObjectives overrides the
+	// shipped objective set when non-nil.
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
+	SLOObjectives []slo.Objective
 	// Transport, when set, is used for all node requests — the chaos
 	// tests inject per-host fault transports here.
 	Transport http.RoundTripper
@@ -202,6 +222,19 @@ type Router struct {
 	sweepMu sync.Mutex
 	ae      *aeState
 
+	// Observability plane (nil when disabled): per-request latency
+	// histogram, registry sampler, fleet federation, SLO engine, and
+	// the anti-entropy freshness gauge fed from lastSweep (unix ms).
+	// obsMu serialises observability rounds (obsLoop ticker vs
+	// ObserveNow) — the sampler is not safe for concurrent sampling.
+	obsMu     sync.Mutex
+	latency   *obs.Histogram
+	sampler   *timeseries.Sampler
+	fleet     *fleet
+	sloEng    *slo.Engine
+	aeAge     *obs.Gauge
+	lastSweep atomic.Int64
+
 	repairCh chan repairJob
 	stop     chan struct{}
 	// closeMu serialises goBG against Close so bg.Add never races
@@ -273,6 +306,10 @@ func NewRouter(cfg Config) (*Router, error) {
 		stop:     make(chan struct{}),
 	}
 	rt.httpc = &http.Client{Transport: cfg.Transport}
+	rt.latency = reg.Histogram("cluster.router.latency_seconds", nil)
+	if err := rt.buildObservability(); err != nil {
+		return nil, err
+	}
 	return rt, nil
 }
 
@@ -306,6 +343,10 @@ func (rt *Router) Start() {
 	if iv := rt.cfg.sweepInterval(); iv > 0 {
 		rt.bg.Add(1)
 		go rt.sweepLoop(iv)
+	}
+	if rt.sampler != nil {
+		rt.bg.Add(1)
+		go rt.obsLoop(rt.cfg.sampleInterval())
 	}
 	rt.goBG(rt.recoverDurableHints)
 }
@@ -474,6 +515,12 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/tracez":
 		obs.TracezHandler(rt.tracer).ServeHTTP(w, r)
 		return
+	case "/fleetz":
+		rt.handleFleetz(w, r)
+		return
+	case "/alertz":
+		rt.handleAlertz(w, r)
+		return
 	}
 	if !strings.HasPrefix(r.URL.Path, "/v1/") {
 		http.NotFound(w, r)
@@ -490,7 +537,14 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx, span := rt.tracer.StartSpan(ctx, "router.request")
 	span.SetAttr("method", r.Method)
 	span.SetAttr("path", r.URL.Path)
-	defer span.End()
+	start := time.Now()
+	defer func() {
+		dur := time.Since(start)
+		span.EndWith(dur)
+		// Exemplars only for tail-sampled traces, so the stamped trace ID
+		// is always resolvable on /tracez.
+		rt.latency.ObserveWithExemplar(dur.Seconds(), span.SampledTraceID())
+	}()
 	r = r.WithContext(ctx)
 
 	if rt.draining.Load() {

@@ -43,6 +43,11 @@ type Histogram struct {
 type Exemplar struct {
 	TraceID string  `json:"trace_id"`
 	Value   float64 `json:"value"`
+	// AtNanos is the observation's wall-clock time in unix
+	// nanoseconds. Consumers choosing among buckets prefer fresher
+	// exemplars: trace rings evict old entries, so a stale exemplar is
+	// a dangling pointer.
+	AtNanos int64 `json:"at_nanos,omitempty"`
 }
 
 // NewHistogram creates a standalone histogram (not registered
@@ -107,7 +112,7 @@ func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
 	addFloat(&h.sum, v)
 	maxFloat(&h.max, v)
 	if traceID != "" {
-		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: v})
+		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: v, AtNanos: time.Now().UnixNano()})
 	}
 }
 
@@ -171,27 +176,27 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot reads the histogram. Individual cells are atomic; the
-// snapshot as a whole is consistent once writers are quiescent, and the
-// Count of successive snapshots is monotonically non-decreasing even
-// under concurrent Observe.
+// snapshot as a whole is made coherent by construction: Count is read
+// first and the bucket cells are clamped down to it, so
+// BucketTotal() == Count in every snapshot, even mid-Observe, and the
+// Count of successive snapshots is monotonically non-decreasing.
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	cells := make([]uint64, len(h.counts))
+	count, max := h.ReadCells(cells)
 	s := HistogramSnapshot{
-		// Count is read first: concurrent Observes bump the bucket cell
-		// before the total, so a snapshot can otherwise see a bucket sum
-		// exceeding the total it reports.
-		Count:   h.count.Load(),
+		Count:   count,
 		Sum:     math.Float64frombits(h.sum.Load()),
-		Max:     math.Float64frombits(h.max.Load()),
+		Max:     max,
 		Buckets: make([]BucketCount, len(h.bounds)),
 	}
 	for i, b := range h.bounds {
 		s.Buckets[i] = BucketCount{
 			UpperBound: b,
-			Count:      h.counts[i].Load(),
+			Count:      cells[i],
 			Exemplar:   h.exemplars[i].Load(),
 		}
 	}
-	s.Overflow = h.counts[len(h.bounds)].Load()
+	s.Overflow = cells[len(h.bounds)]
 	s.OverflowExemplar = h.exemplars[len(h.bounds)].Load()
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)
@@ -199,8 +204,68 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// BucketTotal sums the per-bucket counts (including overflow) — equal
-// to Count once writers are quiescent.
+// NumCells is the bucket-cell count including the overflow bucket —
+// the scratch length ReadCells needs.
+func (h *Histogram) NumCells() int { return len(h.counts) }
+
+// ReadCells reads the per-bucket cells into scratch (len(scratch) must
+// be >= NumCells()) and returns the observation count and max. It
+// allocates nothing, which is what lets a sampler poll every histogram
+// on a fixed interval for free.
+//
+// Coherence: Observe bumps a bucket cell before the total count, so a
+// raw concurrent read can see sum(cells) > count by the number of
+// in-flight observations. ReadCells reads count first, then clamps the
+// excess off the cells from the overflow bucket downward — the
+// in-flight observations are simply deferred to the next read — so
+// sum(scratch[:NumCells()]) == count holds exactly, always.
+func (h *Histogram) ReadCells(scratch []uint64) (count uint64, max float64) {
+	count = h.count.Load()
+	var total uint64
+	for i := range h.counts {
+		v := h.counts[i].Load()
+		scratch[i] = v
+		total += v
+	}
+	for i := len(h.counts) - 1; i >= 0 && total > count; i-- {
+		over := total - count
+		if scratch[i] < over {
+			over = scratch[i]
+		}
+		scratch[i] -= over
+		total -= over
+	}
+	return count, math.Float64frombits(h.max.Load())
+}
+
+// CellQuantile estimates the q-quantile from a ReadCells scratch read,
+// without allocating. Semantics match HistogramSnapshot.Quantile:
+// linear interpolation within the owning bucket, overflow returns max.
+func (h *Histogram) CellQuantile(scratch []uint64, count uint64, max float64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	cum := uint64(0)
+	lower := 0.0
+	for i, b := range h.bounds {
+		c := scratch[i]
+		if c > 0 && float64(cum+c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(b-lower)
+		}
+		cum += c
+		lower = b
+	}
+	return max
+}
+
+// BucketTotal sums the per-bucket counts (including overflow). Equal
+// to Count in every snapshot — Snapshot clamps in-flight observations
+// off the cells — so scrape consumers may divide by either.
 func (s HistogramSnapshot) BucketTotal() uint64 {
 	var t uint64
 	for _, b := range s.Buckets {

@@ -128,15 +128,96 @@ func TestHistogramSnapshotMonotonicity(t *testing.T) {
 		if s.Count < last {
 			t.Fatalf("snapshot %d: count went backwards: %d -> %d", i, last, s.Count)
 		}
-		// Buckets are bumped before the total, so a snapshot's bucket
-		// total may run ahead of its Count mid-write — but never behind.
-		if s.BucketTotal() < s.Count {
-			t.Fatalf("snapshot %d: bucket total %d < count %d", i, s.BucketTotal(), s.Count)
+		// Buckets are bumped before the total, and Snapshot clamps the
+		// in-flight excess off the cells — so the two totals agree
+		// exactly in every snapshot, not just at quiescence.
+		if s.BucketTotal() != s.Count {
+			t.Fatalf("snapshot %d: bucket total %d != count %d", i, s.BucketTotal(), s.Count)
 		}
 		last = s.Count
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestHistogramConcurrentScrapeCoherence is the regression test for the
+// scrape-vs-sample race: an Observe landing between the bucket-cell
+// read and the count read used to let one scrape report
+// sum(buckets) != count. Snapshots taken while writers hammer the
+// histogram must agree internally, every time.
+func TestHistogramConcurrentScrapeCoherence(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	stop := make(chan struct{})
+	var wg, started sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := []float64{0.0005, 0.005, 0.05, 0.5} // one per bucket incl. overflow
+			h.Observe(vals[w%len(vals)])
+			started.Done() // scrapes race at least these 8 observations
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(vals[(w+i)%len(vals)])
+				}
+			}
+		}(w)
+	}
+	started.Wait()
+	scratch := make([]uint64, h.NumCells())
+	for i := 0; i < 20000; i++ {
+		s := h.Snapshot()
+		if got := s.BucketTotal(); got != s.Count {
+			t.Fatalf("scrape %d: sum(buckets)=%d != count=%d", i, got, s.Count)
+		}
+		count, _ := h.ReadCells(scratch)
+		var total uint64
+		for _, c := range scratch {
+			total += c
+		}
+		if total != count {
+			t.Fatalf("ReadCells %d: sum(cells)=%d != count=%d", i, total, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// At quiescence the clamp must not have lost anything: a final read
+	// sees every observation in both totals.
+	s := h.Snapshot()
+	if s.Count == 0 || s.BucketTotal() != s.Count {
+		t.Fatalf("quiescent: bucket total %d, count %d", s.BucketTotal(), s.Count)
+	}
+}
+
+// TestHistogramReadCellsQuantile pins CellQuantile (the sampler's
+// alloc-free read) to the Snapshot quantile math on the same data.
+func TestHistogramReadCellsQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 1000) // 0..1s spread across buckets
+	}
+	s := h.Snapshot()
+	scratch := make([]uint64, h.NumCells())
+	count, max := h.ReadCells(scratch)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := s.Quantile(q)
+		got := h.CellQuantile(scratch, count, max, q)
+		if got != want {
+			t.Errorf("q=%v: CellQuantile=%v, Snapshot.Quantile=%v", q, got, want)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c, m := h.ReadCells(scratch)
+		if h.CellQuantile(scratch, c, m, 0.99) < 0 {
+			t.Fatal("negative quantile")
+		}
+	}); n != 0 {
+		t.Errorf("ReadCells+CellQuantile allocates %v/op, want 0", n)
+	}
 }
 
 func TestHistogramBadBoundsPanic(t *testing.T) {

@@ -26,14 +26,37 @@ var registrationMethods = map[string]bool{
 	"HistogramVec2": true,
 }
 
+// vecMethods are the registrations whose trailing arguments carry
+// label domains; string elements of those domains must themselves be
+// valid label values or the exporter would reject them at runtime.
+var vecMethods = map[string]bool{
+	"CounterVec":    true,
+	"HistogramVec":  true,
+	"HistogramVec2": true,
+}
+
+// objectiveSeriesFields are the slo.Objective fields that name a
+// time-series or metric; a literal value outside the metric-name
+// grammar can never match a sampled series, so the objective would
+// sit in permanent no-data.
+var objectiveSeriesFields = map[string]bool{
+	"Name":           true,
+	"GoodSeries":     true,
+	"BadSeries":      true,
+	"TotalSeries":    true,
+	"ValueSeries":    true,
+	"ExemplarSource": true,
+}
+
 // TestObsLint is the `make vet-obs` gate: it walks every Go file under
-// internal/ and cmd/ (excluding internal/obs itself) and fails if any
-// metric registration uses a name outside the component.subsystem.name
-// scheme, or builds the name dynamically — the classic unbounded-
-// cardinality bug where a request-derived string is spliced into a
-// metric name. Label-domain cardinality is bounded by the Vec API at
-// runtime (unknown values collapse into "other"), so the lint only has
-// to pin the base names down.
+// internal/ and cmd/ and fails if any metric registration, series
+// Ensure, or SLO objective uses a name outside the
+// component.subsystem.name scheme, or builds a metric name dynamically
+// — the classic unbounded-cardinality bug where a request-derived
+// string is spliced into a metric name. The obs package itself is
+// excluded (its tests use deliberately invalid names as fixtures) but
+// its subpackages — timeseries, slo — are linted like any other
+// client.
 func TestObsLint(t *testing.T) {
 	root := moduleRoot(t)
 	var violations []string
@@ -43,12 +66,15 @@ func TestObsLint(t *testing.T) {
 				return err
 			}
 			if d.IsDir() {
-				if filepath.Base(path) == "obs" && strings.HasSuffix(filepath.Dir(path), "internal") {
+				if filepath.Base(path) == "testdata" {
 					return filepath.SkipDir
 				}
 				return nil
 			}
 			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			if filepath.Dir(path) == filepath.Join(root, "internal", "obs") {
 				return nil
 			}
 			violations = append(violations, lintFile(t, path, root)...)
@@ -63,6 +89,40 @@ func TestObsLint(t *testing.T) {
 	}
 }
 
+// TestObsLintFixture proves the lint actually bites: a non-compiled
+// fixture carries one violation of each class, and every one must be
+// reported — with nothing extra.
+func TestObsLintFixture(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join(root, "internal", "obs", "testdata", "obslint_bad.go.src")
+	got := lintFile(t, fixture, root)
+	wants := []string{
+		`metric name "Bad.Name.Caps"`,
+		`metric name "only.two"`,
+		"metric name is not a string literal",
+		`label value "Bad-Value"`,
+		`series name "not.enough"`,
+		`objective Name "bad alert name"`,
+		`objective BadSeries "x.y"`,
+		`objective ValueSeries "Caps.a.b"`,
+	}
+	for _, want := range wants {
+		found := false
+		for _, v := range got {
+			if strings.Contains(v, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture violation %q not reported; got:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+	if len(got) != len(wants) {
+		t.Errorf("fixture produced %d violations, want %d:\n%s", len(got), len(wants), strings.Join(got, "\n"))
+	}
+}
+
 func lintFile(t *testing.T, path, root string) []string {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -71,6 +131,7 @@ func lintFile(t *testing.T, path, root string) []string {
 		t.Fatalf("parse %s: %v", path, err)
 	}
 	rel, _ := filepath.Rel(root, path)
+	isTest := strings.HasSuffix(path, "_test.go")
 	// Package-level functions can share names with registry methods
 	// (e.g. mapeval.Histogram); a call whose receiver is an imported
 	// package identifier is not a metric registration.
@@ -91,39 +152,158 @@ func lintFile(t *testing.T, path, root string) []string {
 	}
 	var out []string
 	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !registrationMethods[sel.Sel.Name] || len(call.Args) == 0 {
-			return true
-		}
-		if recv, ok := sel.X.(*ast.Ident); ok && pkgNames[recv.Name] && recv.Obj == nil {
-			return true
-		}
-		pos := fset.Position(call.Pos())
-		loc := fmt.Sprintf("%s:%d", rel, pos.Line)
-		lit, ok := call.Args[0].(*ast.BasicLit)
-		if !ok || lit.Kind != token.STRING {
-			// A non-obs method can collide on these names; only flag
-			// calls whose first argument is string-shaped at all, since
-			// every registry registration takes the name first.
-			if looksStringy(call.Args[0]) {
-				out = append(out, loc+": metric name is not a string literal — dynamic names risk unbounded cardinality")
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			out = append(out, lintCall(fset, rel, pkgNames, v)...)
+		case *ast.CompositeLit:
+			// The slo package's own validation tests construct invalid
+			// objectives on purpose; everywhere else a literal objective
+			// must name real series.
+			if !isTest {
+				out = append(out, lintObjectiveLit(fset, rel, v)...)
 			}
-			return true
-		}
-		name, err := strconv.Unquote(lit.Value)
-		if err != nil {
-			return true
-		}
-		if err := ValidateName(name); err != nil {
-			out = append(out, fmt.Sprintf("%s: metric name %q: %v", loc, name, err))
 		}
 		return true
 	})
 	return out
+}
+
+func lintCall(fset *token.FileSet, rel string, pkgNames map[string]bool, call *ast.CallExpr) []string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if recv, ok := sel.X.(*ast.Ident); ok && pkgNames[recv.Name] && recv.Obj == nil {
+		return nil
+	}
+	pos := fset.Position(call.Pos())
+	loc := fmt.Sprintf("%s:%d", rel, pos.Line)
+
+	// Store.Ensure(name, kind): a literal series name obeys the same
+	// grammar as metric names. Dynamic names are allowed here — the
+	// sampler and federation derive series names from already-validated
+	// registry names at runtime.
+	if sel.Sel.Name == "Ensure" && len(call.Args) == 2 {
+		if name, ok := stringLit(call.Args[0]); ok {
+			if err := ValidateName(name); err != nil {
+				return []string{fmt.Sprintf("%s: series name %q: %v", loc, name, err)}
+			}
+		}
+		return nil
+	}
+
+	if !registrationMethods[sel.Sel.Name] {
+		return nil
+	}
+	var out []string
+	name, ok := stringLit(call.Args[0])
+	if !ok {
+		// A non-obs method can collide on these names; only flag calls
+		// whose first argument is string-shaped at all, since every
+		// registry registration takes the name first.
+		if looksStringy(call.Args[0]) {
+			out = append(out, loc+": metric name is not a string literal — dynamic names risk unbounded cardinality")
+		}
+		return out
+	}
+	if err := ValidateName(name); err != nil {
+		out = append(out, fmt.Sprintf("%s: metric name %q: %v", loc, name, err))
+	}
+	// Vec label domains written as composite literals: every string
+	// element must be a valid label value. Identifiers and calls (e.g.
+	// mapverify.RuleNames()) pass through — the registry validates
+	// those at runtime.
+	if vecMethods[sel.Sel.Name] {
+		for _, arg := range call.Args[1:] {
+			lit, ok := arg.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, el := range lit.Elts {
+				val, ok := stringLit(el)
+				if !ok {
+					continue
+				}
+				if err := ValidateLabelValue(val); err != nil {
+					out = append(out, fmt.Sprintf("%s: label value %q: %v", loc, val, err))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lintObjectiveLit validates string-literal series fields of
+// Objective / slo.Objective composite literals, including untyped
+// elements of []Objective slices.
+func lintObjectiveLit(fset *token.FileSet, rel string, lit *ast.CompositeLit) []string {
+	switch typ := lit.Type.(type) {
+	case *ast.ArrayType:
+		if !isObjectiveType(typ.Elt) {
+			return nil
+		}
+		var out []string
+		for _, el := range lit.Elts {
+			inner, ok := el.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			out = append(out, lintObjectiveFields(fset, rel, inner)...)
+		}
+		return out
+	default:
+		if !isObjectiveType(lit.Type) {
+			return nil
+		}
+		return lintObjectiveFields(fset, rel, lit)
+	}
+}
+
+func lintObjectiveFields(fset *token.FileSet, rel string, lit *ast.CompositeLit) []string {
+	var out []string
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !objectiveSeriesFields[key.Name] {
+			continue
+		}
+		val, ok := stringLit(kv.Value)
+		if !ok {
+			continue
+		}
+		if err := ValidateName(val); err != nil {
+			pos := fset.Position(kv.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: objective %s %q: %v", rel, pos.Line, key.Name, val, err))
+		}
+	}
+	return out
+}
+
+// isObjectiveType matches the type expression `Objective` or
+// `<pkg>.Objective` (however the slo package is imported).
+func isObjectiveType(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name == "Objective"
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "Objective"
+	}
+	return false
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
 }
 
 // looksStringy reports whether an expression plausibly produces a

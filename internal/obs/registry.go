@@ -65,6 +65,10 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// gen counts registrations. Samplers compare it against the value
+	// they last resolved cell pointers at: unchanged means the metric
+	// set is identical and the cached pointers are still complete.
+	gen atomic.Uint64
 }
 
 // NewRegistry creates an empty registry.
@@ -84,6 +88,42 @@ var defaultRegistry = NewRegistry()
 
 // Default returns the process-wide registry.
 func Default() *Registry { return defaultRegistry }
+
+// Generation is a cheap change detector: it increments on every metric
+// registration (including Vec series) and never otherwise, so two equal
+// reads bracket an unchanged metric set.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
+// Each visits every registered metric under the read lock, in map
+// order. Callbacks may be nil to skip a kind and must not register
+// metrics on this registry (that would deadlock).
+func (r *Registry) Each(cf func(string, *Counter), gf func(string, *Gauge), hf func(string, *Histogram)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if cf != nil {
+		for name, c := range r.counters {
+			cf(name, c)
+		}
+	}
+	if gf != nil {
+		for name, g := range r.gauges {
+			gf(name, g)
+		}
+	}
+	if hf != nil {
+		for name, h := range r.histograms {
+			hf(name, h)
+		}
+	}
+}
+
+// LookupHistogram returns the named histogram or nil — a read-only
+// probe that, unlike Histogram, never registers anything.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.histograms[name]
+}
 
 // ValidateName checks a metric name against the documented scheme:
 // lowercase dotted segments, each matching [a-z][a-z0-9_]*, at least
@@ -161,6 +201,7 @@ func (r *Registry) Counter(name string) *Counter {
 	r.checkFree(name, "counter")
 	c = &Counter{}
 	r.counters[name] = c
+	r.gen.Add(1)
 	return c
 }
 
@@ -181,6 +222,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	r.checkFree(name, "gauge")
 	g = &Gauge{}
 	r.gauges[name] = g
+	r.gen.Add(1)
 	return g
 }
 
@@ -204,6 +246,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.checkFree(name, "histogram")
 	h = NewHistogram(bounds)
 	r.histograms[name] = h
+	r.gen.Add(1)
 	return h
 }
 
@@ -221,6 +264,7 @@ func (r *Registry) counterSeries(name string) *Counter {
 	r.checkFree(name, "counter")
 	c := &Counter{}
 	r.counters[name] = c
+	r.gen.Add(1)
 	return c
 }
 
@@ -234,6 +278,7 @@ func (r *Registry) histogramSeries(name string, bounds []float64) *Histogram {
 	r.checkFree(name, "histogram")
 	h := NewHistogram(bounds)
 	r.histograms[name] = h
+	r.gen.Add(1)
 	return h
 }
 

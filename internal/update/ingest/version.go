@@ -21,6 +21,12 @@ import (
 // Both label domains are fixed at registration, so cardinality stays
 // bounded no matter what gets committed.
 type gateMetrics struct {
+	// checked counts every commit attempt entering the gate; rejected
+	// counts the attempts the gate refused. Their ratio is the commit-
+	// gate pass rate the slo.ingest.gate_pass objective burns against.
+	checked  *obs.Counter
+	rejected *obs.Counter
+
 	invariant *obs.CounterVec
 	rule      *obs.CounterVec
 }
@@ -30,6 +36,8 @@ func newGateMetrics(reg *obs.Registry) *gateMetrics {
 		reg = obs.Default()
 	}
 	return &gateMetrics{
+		checked:  reg.Counter("ingest.gate.checked"),
+		rejected: reg.Counter("ingest.gate.rejected"),
 		invariant: reg.CounterVec("ingest.gate.invariant", []string{
 			"validate", "mass_deletion", "growth", "bounds", "displacement", "mapverify",
 		}),
@@ -41,6 +49,7 @@ func newGateMetrics(reg *obs.Registry) *gateMetrics {
 // counts once per rejection, and every reported mapverify violation
 // counts against its rule.
 func (g *gateMetrics) observe(viol []GateViolation) {
+	g.rejected.Inc()
 	seen := make(map[string]bool, 4)
 	for _, v := range viol {
 		inv := v.Invariant
@@ -240,6 +249,7 @@ func writeFileAtomic(path string, data []byte) error {
 func (vs *VersionStore) Commit(m *core.Map, note string) (Version, error) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
+	vs.metrics.checked.Inc()
 	if viol := CheckCommit(vs.frozen, m, vs.gate); len(viol) > 0 {
 		vs.metrics.observe(viol)
 		return Version{}, &GateError{Violations: viol}
