@@ -9,6 +9,8 @@
 #   make soak-cluster — node-kill chaos against the replicated cluster.
 #   make soak-antientropy — delete/crash/revive chaos converged by
 #                   background sweeps alone (no reads).
+#   make soak-alerting — fault arcs through the push-alerting plane:
+#                   incidents, webhook delivery under chaos, flap damping.
 #   make loadtest — run the closed-loop load generator against a
 #                   self-hosted server and print its /statz.
 #   make bench-gate — run the perf probe suite and gate it against the
@@ -21,10 +23,11 @@ SOAK_REPORTS ?= 1200
 SOAK_GETS ?= 4000
 SOAK_CLUSTER_GETS ?= 3000
 SOAK_AE_DELETES ?= 8
+SOAK_ALERT_ARCS ?= 2
 
-.PHONY: verify vet vet-obs build test race soak soak-overload soak-cluster soak-antientropy loadtest fuzz-smoke fuzz bench bench-gate bench-baseline
+.PHONY: verify vet vet-obs build test race soak soak-overload soak-cluster soak-antientropy soak-alerting loadtest fuzz-smoke fuzz bench bench-gate bench-baseline
 
-verify: vet vet-obs build race soak soak-overload soak-cluster soak-antientropy fuzz-smoke
+verify: vet vet-obs build race soak soak-overload soak-cluster soak-antientropy soak-alerting fuzz-smoke
 	@echo "verify: all green"
 
 vet:
@@ -80,6 +83,16 @@ soak-cluster:
 # ledger balanced, bounded by SOAK_AE_DELETES.
 soak-antientropy:
 	SOAK_AE_DELETES=$(SOAK_AE_DELETES) $(GO) test -race -run '^TestAntiEntropySoak$$' -count=1 ./internal/chaos
+
+# Active observability plane: repeated total-fleet kill/revive arcs must
+# each mint exactly one availability incident bundling the kill+revival
+# journal events and a resolvable exemplar trace; webhook deliveries
+# through a 30%-error chaos link must keep the ledger balanced (fired ==
+# delivered + dropped, zero pending after Close); and an oscillating
+# objective inside the min-hold window must produce exactly one
+# notification. Bounded by SOAK_ALERT_ARCS.
+soak-alerting:
+	SOAK_ALERT_ARCS=$(SOAK_ALERT_ARCS) $(GO) test -race -run '^TestAlertingSoak$$' -count=1 ./internal/chaos
 
 # Interactive load drill: self-hosts a generated city behind the
 # overload pipeline, stampedes it, and prints outcomes plus /statz.

@@ -83,7 +83,7 @@ func serveCluster(ctx context.Context, dir, addr string, n, replicas int, rcfg r
 	st := rt.Status()
 	fmt.Printf("cluster router on %s: %d nodes, R=%d, read quorum %d, write quorum %d\n",
 		ln.Addr(), len(nodes), st.Replicas, st.ReadQuorum, st.WriteQuorum)
-	fmt.Println("endpoints: /v1/... /healthz /readyz /statz /clusterz /metricz /tracez /fleetz /alertz")
+	fmt.Println("endpoints: /v1/... /healthz /readyz /statz /clusterz /metricz /tracez /fleetz /alertz /eventz /incidentz")
 
 	srv := &http.Server{Handler: rt}
 	errc := make(chan error, 1)

@@ -1,0 +1,98 @@
+// `hdmapctl incidents` — print a cluster router's /incidentz table:
+// one block per incident with its alert arc, bundled journal events,
+// and exemplar trace, newest first.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hdmaps/internal/obs/incident"
+)
+
+func cmdIncidents(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("incidents", flag.ExitOnError)
+	base := fs.String("base", "http://localhost:8080", "cluster router URL")
+	state := fs.String("state", "", "filter: open or resolved (default both)")
+	asJSON := fs.Bool("json", false, "print the raw /incidentz document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := *base + "/incidentz"
+	if *state != "" {
+		url += "?state=" + *state
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/incidentz: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if *asJSON {
+		fmt.Println(strings.TrimSpace(string(body)))
+		return nil
+	}
+	var doc incident.Status
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return err
+	}
+	fmt.Print(renderIncidents(&doc, *base))
+	return nil
+}
+
+// renderIncidents formats one /incidentz document. Pure (no I/O, no
+// clock) so tests can assert on exact output.
+func renderIncidents(doc *incident.Status, base string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hdmapctl incidents — %s  (%d open, %d resolved, generated %s)\n",
+		base, doc.Open, doc.Resolved, doc.GeneratedAt.Format(time.TimeOnly))
+	if len(doc.Incidents) == 0 {
+		b.WriteString("\n  no incidents\n")
+		return b.String()
+	}
+	for _, inc := range doc.Incidents {
+		fmt.Fprintf(&b, "\n  %s %s %s [%s]\n", inc.ID, strings.ToUpper(inc.State),
+			inc.Objective, inc.Severity)
+		if inc.Description != "" {
+			fmt.Fprintf(&b, "    %s\n", inc.Description)
+		}
+		fmt.Fprintf(&b, "    opened %s", inc.OpenedAt.Format(time.TimeOnly))
+		if inc.State == incident.StateResolved {
+			fmt.Fprintf(&b, ", resolved %s (%s)",
+				inc.ResolvedAt.Format(time.TimeOnly),
+				inc.ResolvedAt.Sub(inc.OpenedAt).Round(time.Second))
+		}
+		b.WriteByte('\n')
+		if inc.ExemplarTraceID != "" {
+			fmt.Fprintf(&b, "    exemplar trace %s\n", inc.ExemplarTraceID)
+		}
+		for _, step := range inc.Arc {
+			fmt.Fprintf(&b, "    arc  %s  %s -> %s  burn fast=%.1f slow=%.1f\n",
+				step.At.Format(time.TimeOnly), step.From, step.To, step.BurnFast, step.BurnSlow)
+		}
+		for _, e := range inc.Events {
+			fmt.Fprintf(&b, "    evt  %s  %-18s %s", e.At.Format(time.TimeOnly), e.Type, e.Node)
+			if e.Detail != "" {
+				fmt.Fprintf(&b, "  %s", e.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

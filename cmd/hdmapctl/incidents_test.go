@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hdmaps/internal/obs/eventlog"
+	"hdmaps/internal/obs/incident"
+)
+
+func TestRenderIncidents(t *testing.T) {
+	at := time.Unix(1700000000, 0).UTC()
+	doc := &incident.Status{
+		GeneratedAt: at,
+		Open:        1,
+		Resolved:    1,
+		Incidents: []incident.Incident{
+			{
+				ID: "inc-2", Objective: "slo.read.availability", State: incident.StateOpen,
+				Severity: "critical", OpenedAt: at.Add(-time.Minute),
+				Description:     "routed requests answered, not shed",
+				ExemplarTraceID: "feedfacefeedface",
+				Arc: []incident.ArcStep{
+					{At: at.Add(-time.Minute), From: "ok", To: "critical", BurnFast: 44.1, BurnSlow: 20.3},
+				},
+				Events: []eventlog.Event{
+					{Seq: 7, At: at.Add(-90 * time.Second), Type: eventlog.TypeNodeDead,
+						Node: "node1", Detail: "probe timeout"},
+				},
+			},
+			{
+				ID: "inc-1", Objective: "slo.sweep.cadence", State: incident.StateResolved,
+				Severity: "warning", OpenedAt: at.Add(-time.Hour),
+				ResolvedAt: at.Add(-time.Hour + 30*time.Second),
+			},
+		},
+	}
+	out := renderIncidents(doc, "http://localhost:8080")
+	for _, want := range []string{
+		"1 open, 1 resolved",
+		"inc-2 OPEN slo.read.availability [critical]",
+		"exemplar trace feedfacefeedface",
+		"ok -> critical  burn fast=44.1 slow=20.3",
+		"node_dead", "node1", "probe timeout",
+		"inc-1 RESOLVED slo.sweep.cadence [warning]",
+		"(30s)", // resolved incidents show their duration
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	empty := &incident.Status{GeneratedAt: at}
+	if out := renderIncidents(empty, "b"); !strings.Contains(out, "no incidents") {
+		t.Errorf("empty render: %s", out)
+	}
+}
+
+func TestRenderEvents(t *testing.T) {
+	if out := renderEvents(nil); out != "" {
+		t.Errorf("nil journal should render nothing, got %q", out)
+	}
+	at := time.Unix(1700000000, 0).UTC()
+	doc := &eventlog.Status{
+		GeneratedAt: at,
+		Seq:         2,
+		Events: []eventlog.Event{
+			{Seq: 1, At: at, Type: eventlog.TypeNodeDead, Node: "node0", Detail: "probe timeout"},
+			{Seq: 2, At: at, Type: eventlog.TypeAlertCritical,
+				Detail: "slo.read.availability: ok -> critical", TraceID: "deadbeefdeadbeef"},
+		},
+	}
+	out := renderEvents(doc)
+	for _, want := range []string{
+		"EVENTS",
+		"node_dead", "node0", "probe timeout",
+		"alert_critical", "trace=deadbeefdeadbeef",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if out := renderEvents(&eventlog.Status{GeneratedAt: at}); !strings.Contains(out, "journal empty") {
+		t.Errorf("empty journal render: %s", out)
+	}
+}

@@ -86,6 +86,8 @@ func main() {
 		err = cmdCluster(ctx, os.Args[2:])
 	case "top":
 		err = cmdTop(ctx, os.Args[2:])
+	case "incidents":
+		err = cmdIncidents(ctx, os.Args[2:])
 	case "ingest":
 		err = cmdIngest(os.Args[2:])
 	case "versions":
@@ -132,8 +134,12 @@ subcommands:
   cluster   print a running cluster router's /clusterz status (members,
             quorum shape, repair and handoff accounting)
   top       live terminal dashboard over a router's /fleetz: per-node
-            QPS, p99, shed/error rates, hints, tombstones, and active
-            SLO burn-rate alerts (-once for a single snapshot)
+            QPS, p99, shed/error rates, hints, tombstones, active SLO
+            burn-rate alerts, and the tail of the cluster event journal
+            (-once for a single snapshot)
+  incidents print a router's /incidentz table: each incident's alert
+            arc, the journal events in its causal window, and its
+            exemplar trace (-state open|resolved, -json for raw)
   fetch     pull a tile region from a server and stitch it to one map
   loadtest  stampede a tile server with a zipfian closed-loop fleet and
             print its latency histogram and /statz snapshot (self-hosts

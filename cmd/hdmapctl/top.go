@@ -1,7 +1,8 @@
 // `hdmapctl top` — a live terminal dashboard over a cluster router's
 // /fleetz document: one row per node (QPS, tail latency, shed and
 // error rates, parked hints, pending tombstones) plus the active SLO
-// alert set, refreshed in place.
+// alert set and the tail of the cluster event journal (/eventz),
+// refreshed in place.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"hdmaps/internal/cluster"
+	"hdmaps/internal/obs/eventlog"
 )
 
 func cmdTop(ctx context.Context, args []string) error {
@@ -47,6 +49,28 @@ func cmdTop(ctx context.Context, args []string) error {
 		}
 		return &doc, nil
 	}
+	// The events pane is best-effort: a router without the journal
+	// (plane disabled, older build) just loses the pane, not the
+	// dashboard.
+	fetchEvents := func() *eventlog.Status {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, *base+"/eventz?max=8", nil)
+		if err != nil {
+			return nil
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		var doc eventlog.Status
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&doc); err != nil {
+			return nil
+		}
+		return &doc
+	}
 
 	if *once {
 		doc, err := fetch()
@@ -54,6 +78,7 @@ func cmdTop(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(renderFleet(doc, *base))
+		fmt.Print(renderEvents(fetchEvents()))
 		return nil
 	}
 
@@ -68,6 +93,7 @@ func cmdTop(ctx context.Context, args []string) error {
 			fmt.Printf("hdmapctl top — %s\n\n  unreachable: %v\n", *base, err)
 		} else {
 			fmt.Print(renderFleet(doc, *base))
+			fmt.Print(renderEvents(fetchEvents()))
 		}
 		select {
 		case <-ctx.Done():
@@ -137,6 +163,30 @@ func renderFleet(doc *cluster.FleetStatus, base string) string {
 	}
 	if active == 0 {
 		fmt.Fprintf(&b, "  all clear (%d objectives ok)\n", quiet)
+	}
+	return b.String()
+}
+
+// renderEvents formats the journal tail as the dashboard's EVENTS
+// pane, newest last (reading order matches the scrollback). A nil
+// document (journal unavailable) renders nothing. Pure, like
+// renderFleet, so tests can assert on exact output.
+func renderEvents(doc *eventlog.Status) string {
+	if doc == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\n  EVENTS\n")
+	if len(doc.Events) == 0 {
+		b.WriteString("  (journal empty)\n")
+		return b.String()
+	}
+	for _, e := range doc.Events {
+		fmt.Fprintf(&b, "  %s  %-18s %-10s %s", e.At.Format(time.TimeOnly), e.Type, e.Node, e.Detail)
+		if e.TraceID != "" {
+			fmt.Fprintf(&b, "  trace=%s", e.TraceID)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -119,7 +119,7 @@ func TestTopEndToEnd(t *testing.T) {
 			t.Fatalf("top -once: %v", err)
 		}
 	})
-	for _, want := range []string{"router", "node0", "node1", "node2", "SLO ALERTS"} {
+	for _, want := range []string{"router", "node0", "node1", "node2", "SLO ALERTS", "EVENTS"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("top output missing %q:\n%s", want, out)
 		}

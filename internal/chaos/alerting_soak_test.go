@@ -1,0 +1,391 @@
+package chaos_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdmaps/internal/chaos"
+	"hdmaps/internal/cluster"
+	"hdmaps/internal/obs"
+	"hdmaps/internal/obs/eventlog"
+	"hdmaps/internal/obs/incident"
+	"hdmaps/internal/obs/notify"
+	"hdmaps/internal/resilience"
+	"hdmaps/internal/storage"
+)
+
+// dumpEventz / dumpIncidentz land the cluster event journal and the
+// incident table next to the clusterz/fleetz artifacts when an
+// alerting soak fails: the timeline an operator would read is exactly
+// the evidence a red CI run needs.
+func dumpEventz(t *testing.T, rt *cluster.Router) {
+	path := os.Getenv("EVENTZ_DUMP")
+	if path == "" || !t.Failed() {
+		return
+	}
+	if j := rt.EventLog(); j != nil {
+		writeDump(t, path, j.Since(0, "", 0))
+	}
+}
+
+func dumpIncidentz(t *testing.T, rt *cluster.Router) {
+	path := os.Getenv("INCIDENTZ_DUMP")
+	if path == "" || !t.Failed() {
+		return
+	}
+	if m := rt.Incidents(); m != nil {
+		writeDump(t, path, m.Incidents())
+	}
+}
+
+// TestAlertingSoak proves the active observability plane end to end
+// under injected faults:
+//
+//  1. Fault arcs: every node is killed under read load until the
+//     availability SLO degrades, then revived until it recovers. Each
+//     arc must mint exactly one availability incident, and the
+//     resolved incident must bundle the kill and revival journal
+//     events of every victim plus an exemplar trace resolvable on
+//     /tracez.
+//  2. Push delivery: a webhook sink reached through a chaos transport
+//     (30% injected connection errors / synthesized 503s) must keep
+//     its ledger balanced — fired == delivered + dropped with zero
+//     pending after Close — and the receiver must have seen exactly
+//     the delivered count.
+//  3. Flap damping: an objective oscillating inside the min-hold
+//     window through the real engine + notifier produces exactly one
+//     notification; every further transition is suppressed as dedup
+//     or flap.
+//
+// Volume is bounded: default 2 fault arcs, overridable via
+// SOAK_ALERT_ARCS.
+func TestAlertingSoak(t *testing.T) {
+	arcs := 2
+	if v := os.Getenv("SOAK_ALERT_ARCS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SOAK_ALERT_ARCS %q", v)
+		}
+		arcs = n
+	}
+	const (
+		nNodes = 3
+		nTiles = 8
+	)
+
+	// ---- fleet ----
+	nodes := make([]*clusterNode, nNodes)
+	cfgNodes := make([]cluster.Node, nNodes)
+	transport := &perHostTransport{byHost: map[string]http.RoundTripper{}}
+	for i := range nodes {
+		st := storage.NewMemStore()
+		inj := chaos.New(chaos.Config{Seed: int64(9100 + i), Metrics: obs.NewRegistry()})
+		handler := resilience.NewHandler(storage.NewTileServer(st), resilience.Config{
+			MaxConcurrent:  64,
+			MaxWait:        time.Second,
+			RequestTimeout: 5 * time.Second,
+			RetryAfter:     50 * time.Millisecond,
+			CacheSize:      -1,
+			Metrics:        obs.NewRegistry(),
+		})
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		n := &clusterNode{name: fmt.Sprintf("node%d", i), st: st, inj: inj, srv: srv}
+		nodes[i] = n
+		cfgNodes[i] = cluster.Node{Name: n.name, Base: srv.URL}
+		transport.byHost[srv.Listener.Addr().String()] = inj.Transport(nil)
+	}
+
+	// ---- webhook sink behind its own chaos link ----
+	var webhookHits atomic.Uint64
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		webhookHits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hook.Close()
+	hookInj := chaos.New(chaos.Config{Seed: 9555, ErrorProb: 0.3, Metrics: obs.NewRegistry()})
+	hookClient := &http.Client{
+		Transport: hookInj.Transport(nil),
+		Timeout:   2 * time.Second,
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: 50 * time.Millisecond,
+		Capacity:      16,
+		MaxSpans:      32,
+		Metrics:       reg,
+	})
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:         cfgNodes,
+		Replicas:      nNodes,
+		Transport:     transport,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		ShardTimeout:  2 * time.Second,
+		Registry:      reg,
+		Tracer:        tracer,
+		// Soak-speed plane: tight sampling and burn windows so every
+		// arc completes in wall-clock seconds.
+		SampleInterval: 50 * time.Millisecond,
+		SLOFastWindow:  250 * time.Millisecond,
+		SLOSlowWindow:  time.Second,
+		EventLogPath:   filepath.Join(t.TempDir(), "events.jsonl"),
+		IncidentWindow: time.Hour,
+		NotifySinks:    []notify.Sink{notify.NewWebhookSink("webhook", hook.URL, hookClient)},
+		// Effectively no hold: every real transition notifies, so the
+		// chaos link sees steady delivery traffic. Flap damping gets
+		// its own phase below.
+		NotifyMinHold: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dumpEventz(t, rt)
+	defer dumpIncidentz(t, rt)
+	defer dumpTracez(t, tracer)
+	rt.Start()
+	defer rt.Close() // idempotent; the ledger check below closes first
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	paths := make([]string, nTiles)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/v1/tiles/base/%d/0", i)
+		if err := putTile(httpc, front.URL+paths[i], clusterTile(1, i)); err != nil {
+			t.Fatalf("seed %s: %v", paths[i], err)
+		}
+	}
+	get := func(i int) {
+		resp, err := httpc.Get(front.URL + paths[i%len(paths)])
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+
+	availabilityIncidents := func(state string) []incident.Incident {
+		var out []incident.Incident
+		for _, inc := range rt.Incidents().Incidents() {
+			if inc.Objective == "slo.read.availability" && inc.State == state {
+				out = append(out, inc)
+			}
+		}
+		return out
+	}
+
+	// ---- fault arcs ----
+	for arc := 0; arc < arcs; arc++ {
+		// Healthy warm-up so the burn windows start clean.
+		for i := 0; i < 50; i++ {
+			get(i)
+		}
+
+		for _, n := range nodes {
+			n.inj.SetDown(true)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for i := 0; ; i++ {
+			get(i)
+			if len(availabilityIncidents(incident.StateOpen)) > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("arc %d: no availability incident opened under total shed", arc)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if n := len(availabilityIncidents(incident.StateOpen)); n != 1 {
+			t.Fatalf("arc %d: %d open availability incidents, want exactly 1", arc, n)
+		}
+
+		for _, n := range nodes {
+			n.inj.SetDown(false)
+		}
+		deadline = time.Now().Add(30 * time.Second)
+		for i := 0; ; i++ {
+			get(i)
+			if len(availabilityIncidents(incident.StateOpen)) == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("arc %d: availability incident never resolved after revival", arc)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		resolved := availabilityIncidents(incident.StateResolved)
+		if len(resolved) != arc+1 {
+			t.Fatalf("after arc %d: %d resolved availability incidents, want %d",
+				arc, len(resolved), arc+1)
+		}
+		// Incidents() returns resolved newest-first: [0] is this arc's.
+		inc := resolved[0]
+		dead, revived := map[string]bool{}, map[string]bool{}
+		for _, e := range inc.Events {
+			switch e.Type {
+			case eventlog.TypeNodeDead:
+				dead[e.Node] = true
+			case eventlog.TypeNodeRevived:
+				revived[e.Node] = true
+			}
+		}
+		for _, n := range nodes {
+			if !dead[n.name] || !revived[n.name] {
+				t.Errorf("arc %d: incident %s missing kill/revival events for %s (dead=%v revived=%v)",
+					arc, inc.ID, n.name, dead, revived)
+			}
+		}
+		if len(inc.Arc) < 2 {
+			t.Errorf("arc %d: incident %s alert arc has %d steps, want the degrade and the recovery",
+				arc, inc.ID, len(inc.Arc))
+		}
+		if inc.ExemplarTraceID == "" {
+			t.Errorf("arc %d: incident %s carries no exemplar trace", arc, inc.ID)
+		} else {
+			resp, err := httpc.Get(front.URL + "/tracez?trace=" + inc.ExemplarTraceID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("arc %d: exemplar trace %s not resolvable on /tracez: %d",
+					arc, inc.ExemplarTraceID, resp.StatusCode)
+			}
+		}
+	}
+
+	// ---- webhook ledger at quiesce ----
+	notifier := rt.Notifier()
+	if notifier == nil {
+		t.Fatal("router built without a notifier despite NotifySinks")
+	}
+	// Close the router: the observability loop stops first, then the
+	// notifier drains its queues — pending must reach zero, not be
+	// abandoned.
+	rt.Close()
+	led := notifier.Ledger()
+	if led.Fired == 0 {
+		t.Error("webhook ledger: no notifications fired across the soak")
+	}
+	if led.Pending != 0 {
+		t.Errorf("webhook ledger: %d pending after Close, want 0", led.Pending)
+	}
+	if led.Fired != led.Delivered+led.Dropped+led.Pending {
+		t.Errorf("webhook ledger does not balance: fired=%d delivered=%d dropped=%d pending=%d",
+			led.Fired, led.Delivered, led.Dropped, led.Pending)
+	}
+	if got := webhookHits.Load(); got != led.Delivered {
+		t.Errorf("webhook receiver saw %d deliveries, ledger says %d", got, led.Delivered)
+	}
+	hookStats := hookInj.Stats()
+	t.Logf("alerting soak: %d arcs, webhook fired=%d delivered=%d dropped=%d (chaos errors injected=%d)",
+		arcs, led.Fired, led.Delivered, led.Dropped, hookStats.Errors)
+
+	// ---- flap damping through the real engine + notifier ----
+	flapDampingPhase(t)
+}
+
+// putTile PUTs one tile with its checksum; the seeding helper for the
+// alerting soak (the cluster soak carries its own inline variant with
+// request accounting this soak does not need).
+func putTile(httpc *http.Client, url string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(storage.ChecksumHeader, storage.Checksum(data))
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("put %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// flapDampingPhase oscillates the availability objective of an
+// unstarted router between healthy and shedding through the real SLO
+// engine and notifier, with a min-hold far wider than the oscillation
+// period: exactly one notification may reach the sink; every further
+// transition must be suppressed as dedup or flap.
+func flapDampingPhase(t *testing.T) {
+	t.Helper()
+	var hits atomic.Uint64
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hook.Close()
+
+	fake := httptest.NewServer(http.NotFoundHandler())
+	defer fake.Close()
+	reg := obs.NewRegistry()
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:          []cluster.Node{{Name: "n1", Base: fake.URL}},
+		Registry:       reg,
+		SampleInterval: time.Second, // driven manually via ObserveNow
+		SLOFastWindow:  5 * time.Second,
+		SLOSlowWindow:  20 * time.Second,
+		NotifySinks:    []notify.Sink{notify.NewWebhookSink("webhook", hook.URL, nil)},
+		NotifyMinHold:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	routed := reg.Counter("cluster.router.routed")
+	shed := reg.Counter("cluster.router.shed")
+	base := time.Unix(300000, 0)
+	tick := 0
+	step := func(shedding bool) {
+		rt.ObserveNow(base.Add(time.Duration(tick) * time.Second))
+		tick++
+		routed.Add(100)
+		if shedding {
+			shed.Add(100)
+		}
+	}
+
+	for i := 0; i < 25; i++ {
+		step(false) // clean baseline
+	}
+	// Oscillate: repeated degrade/recover cycles, all inside the hold.
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 10; i++ {
+			step(true)
+		}
+		for i := 0; i < 45; i++ {
+			step(false)
+		}
+	}
+	rt.Close() // drain the notifier before reading receiver + ledger
+
+	led := rt.Notifier().Ledger()
+	if got := hits.Load(); got != 1 {
+		t.Errorf("flap damping: sink received %d notifications under oscillation, want exactly 1 (ledger %+v)", got, led)
+	}
+	if led.Delivered != 1 {
+		t.Errorf("flap damping ledger delivered=%d, want 1: %+v", led.Delivered, led)
+	}
+	if led.Seen < 6 {
+		t.Errorf("flap damping: engine produced %d transitions, oscillation plan expected at least 6", led.Seen)
+	}
+	if led.SuppressedDedup+led.SuppressedFlap != led.Seen-1 {
+		t.Errorf("flap damping: suppressed dedup=%d flap=%d of %d seen, want all but the first",
+			led.SuppressedDedup, led.SuppressedFlap, led.Seen)
+	}
+	t.Logf("flap damping: %d transitions -> 1 notification (dedup=%d flap=%d)",
+		led.Seen, led.SuppressedDedup, led.SuppressedFlap)
+}

@@ -3,12 +3,14 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net/url"
 	"sort"
 	"strconv"
 	"time"
 
 	"hdmaps/internal/obs"
+	"hdmaps/internal/obs/eventlog"
 	"hdmaps/internal/storage"
 )
 
@@ -123,6 +125,8 @@ func (rt *Router) sweepOnce() {
 	rt.gcPass(trace, span)
 	rt.stats.aeRounds.Inc()
 	rt.noteSweepRound(time.Now())
+	rt.event(eventlog.TypeSweepRound, "",
+		fmt.Sprintf("%d layers over %d/%d live nodes", len(layers), len(live), len(ms)), trace)
 }
 
 // sweepLayer diffs one layer's digests against the previous round and

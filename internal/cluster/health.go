@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"hdmaps/internal/obs/eventlog"
 )
 
 // member is the router's view of one node: its identity plus the
@@ -163,6 +165,7 @@ func (rt *Router) probeLoop() {
 func (rt *Router) noteFailure(m *member, errMsg string) {
 	if m.strike(rt.cfg.failAfter(), errMsg) {
 		rt.log.Warn("node down", "node", m.node.Name, "error", errMsg)
+		rt.event(eventlog.TypeNodeDead, m.node.Name, errMsg, "")
 	}
 }
 
@@ -171,6 +174,7 @@ func (rt *Router) noteFailure(m *member, errMsg string) {
 func (rt *Router) noteSuccess(m *member) {
 	if m.markUp() {
 		rt.log.Warn("node up", "node", m.node.Name)
+		rt.event(eventlog.TypeNodeRevived, m.node.Name, "", "")
 		rt.startDrainHints(m)
 	}
 }

@@ -12,6 +12,9 @@ import (
 	"strconv"
 	"time"
 
+	"hdmaps/internal/obs/eventlog"
+	"hdmaps/internal/obs/incident"
+	"hdmaps/internal/obs/notify"
 	"hdmaps/internal/obs/slo"
 	"hdmaps/internal/obs/timeseries"
 )
@@ -90,10 +93,11 @@ func (rt *Router) shippedObjectives() []slo.Objective {
 	return objs
 }
 
-// buildObservability wires the sampler, federation, and SLO engine
-// into a freshly-constructed router. A non-positive resolved sample
-// interval leaves the plane off (rt.sampler et al stay nil; /fleetz
-// and /alertz answer 404).
+// buildObservability wires the sampler, federation, SLO engine, event
+// journal, incident manager, and notifier into a freshly-constructed
+// router. A non-positive resolved sample interval leaves the plane off
+// (rt.sampler et al stay nil; /fleetz, /alertz, /eventz, and
+// /incidentz answer 404).
 func (rt *Router) buildObservability() error {
 	iv := rt.cfg.sampleInterval()
 	if iv <= 0 {
@@ -107,16 +111,49 @@ func (rt *Router) buildObservability() error {
 	rt.fleet = newFleet(rt, iv, rt.cfg.sampleHistory(), rt.cfg.maxFleetNodes())
 	rt.aeAge = rt.reg.Gauge("cluster.antientropy.round_age_seconds")
 
+	if rt.cfg.EventLog != nil {
+		rt.journal = rt.cfg.EventLog
+	} else {
+		j, err := eventlog.New(eventlog.Config{
+			Types:    eventlog.StandardTypes(),
+			Capacity: rt.cfg.EventLogCapacity,
+			Path:     rt.cfg.EventLogPath,
+			Registry: rt.reg,
+		})
+		if err != nil {
+			return err
+		}
+		rt.journal = j
+		rt.ownJournal = true
+	}
+	rt.incidents = incident.New(incident.Config{
+		Journal:  rt.journal,
+		Window:   rt.cfg.IncidentWindow,
+		Registry: rt.reg,
+	})
+	if len(rt.cfg.NotifySinks) > 0 {
+		n, err := notify.New(notify.Config{
+			Sinks:    rt.cfg.NotifySinks,
+			MinHold:  rt.cfg.NotifyMinHold,
+			Registry: rt.reg,
+		})
+		if err != nil {
+			return err
+		}
+		rt.notifier = n
+	}
+
 	objs := rt.cfg.SLOObjectives
 	if objs == nil {
 		objs = rt.shippedObjectives()
 	}
 	eng, err := slo.New(slo.Config{
-		Source:     rt.sampler.Store(),
-		Objectives: objs,
-		FastWindow: rt.cfg.SLOFastWindow,
-		SlowWindow: rt.cfg.SLOSlowWindow,
-		Registry:   rt.reg,
+		Source:       rt.sampler.Store(),
+		Objectives:   objs,
+		FastWindow:   rt.cfg.SLOFastWindow,
+		SlowWindow:   rt.cfg.SLOSlowWindow,
+		Registry:     rt.reg,
+		OnTransition: rt.onAlertTransition,
 	})
 	if err != nil {
 		return err
@@ -188,22 +225,30 @@ func (rt *Router) SLOAlerts() []slo.Alert {
 	return rt.sloEng.Alerts()
 }
 
+// maxFleetPoints bounds ?points=: no ring is anywhere near this deep,
+// so anything beyond it is a garbage cursor, not a request for more
+// history.
+const maxFleetPoints = 1 << 20
+
 // handleFleetz serves the federated fleet document. ?points=N bounds
-// the per-series history (default 30, 0 = full ring).
+// the per-series history (default 30, 0 = full ring). Non-numeric,
+// negative, or absurd values are 400 JSON errors — never silently
+// coerced.
 func (rt *Router) handleFleetz(w http.ResponseWriter, r *http.Request) {
 	if rt.fleet == nil {
-		http.Error(w, "observability plane disabled", http.StatusNotFound)
+		rt.writeJSONErrorRaw(w, http.StatusNotFound, "observability plane disabled")
 		return
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		rt.writeJSONErrorRaw(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
 	points := 30
 	if v := r.URL.Query().Get("points"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			http.Error(w, "bad points", http.StatusBadRequest)
+		if err != nil || n < 0 || n > maxFleetPoints {
+			rt.writeJSONErrorRaw(w, http.StatusBadRequest,
+				"bad points: want an integer in [0, 2^20], got "+strconv.Quote(v))
 			return
 		}
 		points = n

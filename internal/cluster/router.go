@@ -18,6 +18,9 @@ import (
 	"time"
 
 	"hdmaps/internal/obs"
+	"hdmaps/internal/obs/eventlog"
+	"hdmaps/internal/obs/incident"
+	"hdmaps/internal/obs/notify"
 	"hdmaps/internal/obs/slo"
 	"hdmaps/internal/obs/timeseries"
 	"hdmaps/internal/storage"
@@ -90,6 +93,24 @@ type Config struct {
 	SLOFastWindow time.Duration
 	SLOSlowWindow time.Duration
 	SLOObjectives []slo.Objective
+	// EventLog, when set, is the shared journal the router emits
+	// lifecycle events into (embedding processes pass the same journal
+	// to ingest/resilience so /eventz is one cluster-wide timeline).
+	// When nil and the plane is enabled, the router builds a private
+	// journal over the full standard domain — durable at EventLogPath
+	// if that is set, memory-only otherwise. EventLogCapacity bounds
+	// the ring (default 1024).
+	EventLog         *eventlog.Log
+	EventLogPath     string
+	EventLogCapacity int
+	// NotifySinks, when non-empty, enables push alerting: every alert
+	// transition fans out to each sink with retry, dedup, and flap
+	// damping (NotifyMinHold, default 1m — see notify.Config.MinHold).
+	NotifySinks   []notify.Sink
+	NotifyMinHold time.Duration
+	// IncidentWindow is the causal look-back for incident timelines
+	// (default 2m — see incident.Config.Window).
+	IncidentWindow time.Duration
 	// Transport, when set, is used for all node requests — the chaos
 	// tests inject per-host fault transports here.
 	Transport http.RoundTripper
@@ -234,6 +255,13 @@ type Router struct {
 	sloEng    *slo.Engine
 	aeAge     *obs.Gauge
 	lastSweep atomic.Int64
+	// Active plane (nil when disabled): the event journal (/eventz),
+	// incident manager (/incidentz), and push notifier. ownJournal
+	// marks a journal the router built itself and must close.
+	journal    *eventlog.Log
+	ownJournal bool
+	incidents  *incident.Manager
+	notifier   *notify.Notifier
 
 	repairCh chan repairJob
 	stop     chan struct{}
@@ -363,6 +391,15 @@ func (rt *Router) Close() {
 	rt.closeMu.Unlock()
 	close(rt.stop)
 	rt.bg.Wait()
+	// Quiesce the push plane after background work stops emitting:
+	// Close drains every sink queue, so the delivery ledger balances
+	// with pending at zero.
+	if rt.notifier != nil {
+		rt.notifier.Close()
+	}
+	if rt.ownJournal {
+		_ = rt.journal.Close()
+	}
 }
 
 // goBG runs fn on a tracked background goroutine, refusing once Close
@@ -411,6 +448,7 @@ func (rt *Router) AddNode(n Node) error {
 	defer rt.mu.Unlock()
 	rt.members[n.Name] = &member{node: n, alive: true}
 	rt.ring = rt.ring.WithNode(n.Name)
+	rt.event(eventlog.TypeNodeJoin, n.Name, n.Base, "")
 	return nil
 }
 
@@ -421,6 +459,7 @@ func (rt *Router) RemoveNode(name string) {
 	defer rt.mu.Unlock()
 	delete(rt.members, name)
 	rt.ring = rt.ring.WithoutNode(name)
+	rt.event(eventlog.TypeNodeLeave, name, "", "")
 }
 
 // Ring snapshots the current ring.
@@ -520,6 +559,12 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	case "/alertz":
 		rt.handleAlertz(w, r)
+		return
+	case "/eventz":
+		rt.handleEventz(w, r)
+		return
+	case "/incidentz":
+		rt.handleIncidentz(w, r)
 		return
 	}
 	if !strings.HasPrefix(r.URL.Path, "/v1/") {
@@ -1508,6 +1553,7 @@ func (rt *Router) drainHints(m *member) {
 		rt.stats.shardDrained.With(m.node.Name).Inc()
 	}
 	rt.log.Warn("hints drained", "node", m.node.Name, "count", len(batch))
+	rt.event(eventlog.TypeHintDrain, m.node.Name, fmt.Sprintf("%d hints replayed", len(batch)), "")
 }
 
 // replayHint delivers one parked write to its recovered owner, unless

@@ -1,0 +1,138 @@
+package notify
+
+// The shipped sinks. Each is deliberately thin: the Notifier owns
+// queueing, retry, and accounting, so a sink is just "move one JSON
+// document somewhere" — an HTTP POST, a spawned command, or a log
+// line. Webhook deliveries ride whatever http.Client the caller
+// provides, which is how they pick up the chaos-aware transport in
+// soaks and the default transport in production.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os/exec"
+
+	"hdmaps/internal/obs"
+)
+
+// WebhookSink POSTs each notification as JSON to a fixed URL. Any
+// transport error or non-2xx status is a failed attempt (the notifier
+// retries).
+type WebhookSink struct {
+	name   string
+	url    string
+	client *http.Client
+}
+
+// NewWebhookSink builds a webhook sink. A nil client uses
+// http.DefaultClient; soaks pass a client wrapped in the chaos
+// transport to inject delivery faults.
+func NewWebhookSink(name, url string, client *http.Client) *WebhookSink {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &WebhookSink{name: name, url: url, client: client}
+}
+
+// Name identifies the sink in the ledger and metrics.
+func (s *WebhookSink) Name() string { return s.name }
+
+// Deliver POSTs the notification, propagating its exemplar trace ID on
+// the wire header so the receiving system can join the page to the
+// trace.
+func (s *WebhookSink) Deliver(ctx context.Context, n Notification) error {
+	body, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Errorf("notify: marshal notification: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("notify: build webhook request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if n.ExemplarTraceID != "" {
+		req.Header.Set(obs.TraceHeader, n.ExemplarTraceID)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("notify: webhook post: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("notify: webhook status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ExecSink runs a command per notification with the JSON document on
+// stdin — the "page via arbitrary glue script" escape hatch. A
+// non-zero exit is a failed attempt.
+type ExecSink struct {
+	name string
+	cmd  string
+	args []string
+}
+
+// NewExecSink builds an exec sink for a fixed command line.
+func NewExecSink(name, cmd string, args ...string) *ExecSink {
+	return &ExecSink{name: name, cmd: cmd, args: args}
+}
+
+// Name identifies the sink in the ledger and metrics.
+func (s *ExecSink) Name() string { return s.name }
+
+// Deliver runs the command, bounded by ctx, feeding it the
+// notification JSON on stdin.
+func (s *ExecSink) Deliver(ctx context.Context, n Notification) error {
+	body, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Errorf("notify: marshal notification: %w", err)
+	}
+	cmd := exec.CommandContext(ctx, s.cmd, s.args...)
+	cmd.Stdin = bytes.NewReader(body)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("notify: exec %s: %w (output %.200q)", s.cmd, err, out)
+	}
+	return nil
+}
+
+// LogSink writes each notification as a structured log record — the
+// always-works local sink that makes the notifier useful with zero
+// external configuration.
+type LogSink struct {
+	name string
+	log  *slog.Logger
+}
+
+// NewLogSink builds a log sink. A nil logger uses slog.Default().
+func NewLogSink(name string, log *slog.Logger) *LogSink {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &LogSink{name: name, log: log}
+}
+
+// Name identifies the sink in the ledger and metrics.
+func (s *LogSink) Name() string { return s.name }
+
+// Deliver logs the notification; it never fails.
+func (s *LogSink) Deliver(_ context.Context, n Notification) error {
+	s.log.Info("alert notification",
+		"objective", n.Objective,
+		"from", n.From,
+		"to", n.To,
+		"at", n.At,
+		"burn_fast", n.BurnFast,
+		"burn_slow", n.BurnSlow,
+		"trace_id", n.ExemplarTraceID,
+	)
+	return nil
+}

@@ -35,6 +35,16 @@ var vecMethods = map[string]bool{
 	"HistogramVec2": true,
 }
 
+// sinkConstructors are the notify constructors whose first argument is
+// the sink's ledger name — a per-sink label on the notify.* counter
+// families, so it must satisfy the label-value grammar and must not
+// shadow the reserved catch-all series.
+var sinkConstructors = map[string]bool{
+	"NewWebhookSink": true,
+	"NewExecSink":    true,
+	"NewLogSink":     true,
+}
+
 // objectiveSeriesFields are the slo.Objective fields that name a
 // time-series or metric; a literal value outside the metric-name
 // grammar can never match a sampled series, so the objective would
@@ -105,6 +115,10 @@ func TestObsLintFixture(t *testing.T) {
 		`objective Name "bad alert name"`,
 		`objective BadSeries "x.y"`,
 		`objective ValueSeries "Caps.a.b"`,
+		`event type "Bad-Type"`,
+		`event type "other"`,
+		`sink name "Bad-Sink"`,
+		`sink name "other"`,
 	}
 	for _, want := range wants {
 		found := false
@@ -155,6 +169,7 @@ func lintFile(t *testing.T, path, root string) []string {
 		switch v := n.(type) {
 		case *ast.CallExpr:
 			out = append(out, lintCall(fset, rel, pkgNames, v)...)
+			out = append(out, lintEventDomains(fset, rel, v)...)
 		case *ast.CompositeLit:
 			// The slo package's own validation tests construct invalid
 			// objectives on purpose; everywhere else a literal objective
@@ -228,6 +243,54 @@ func lintCall(fset *token.FileSet, rel string, pkgNames map[string]bool, call *a
 					out = append(out, fmt.Sprintf("%s: label value %q: %v", loc, val, err))
 				}
 			}
+		}
+	}
+	return out
+}
+
+// lintEventDomains checks the event-journal and notifier name domains,
+// which become per-value series of CounterVec families at runtime:
+// literal arguments to eventlog.Domain (event types) and the literal
+// first argument of the notify sink constructors (sink names) must be
+// valid label values and must not claim the reserved "other" series —
+// the same violations eventlog.Domain and notify.New reject at
+// runtime, caught here at lint time instead of first boot. Non-literal
+// arguments pass through; runtime validation owns those.
+func lintEventDomains(fset *token.FileSet, rel string, call *ast.CallExpr) []string {
+	var fn string
+	switch v := call.Fun.(type) {
+	case *ast.Ident:
+		fn = v.Name
+	case *ast.SelectorExpr:
+		fn = v.Sel.Name
+	default:
+		return nil
+	}
+	pos := fset.Position(call.Pos())
+	loc := fmt.Sprintf("%s:%d", rel, pos.Line)
+	var out []string
+	switch {
+	case fn == "Domain":
+		for _, arg := range call.Args {
+			typ, ok := stringLit(arg)
+			if !ok {
+				continue
+			}
+			if typ == OtherLabel {
+				out = append(out, fmt.Sprintf("%s: event type %q is the reserved catch-all for unknown types", loc, typ))
+			} else if err := ValidateLabelValue(typ); err != nil {
+				out = append(out, fmt.Sprintf("%s: event type %q: %v", loc, typ, err))
+			}
+		}
+	case sinkConstructors[fn] && len(call.Args) > 0:
+		name, ok := stringLit(call.Args[0])
+		if !ok {
+			return nil
+		}
+		if name == OtherLabel {
+			out = append(out, fmt.Sprintf("%s: sink name %q is the reserved catch-all series", loc, name))
+		} else if err := ValidateLabelValue(name); err != nil {
+			out = append(out, fmt.Sprintf("%s: sink name %q: %v", loc, name, err))
 		}
 	}
 	return out

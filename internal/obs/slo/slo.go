@@ -127,6 +127,23 @@ type Config struct {
 	Registry *obs.Registry
 	// Now overrides the clock (tests).
 	Now func() time.Time
+	// OnTransition, when set, receives every state change after the
+	// evaluation pass completes — the push half of the alerting plane
+	// (notifier fan-out, incident minting, journal entries) hangs off
+	// it. Called outside the engine lock, in objective declaration
+	// order, from whichever goroutine ran Evaluate.
+	OnTransition func(Transition)
+}
+
+// Transition is one alert state change as fed to OnTransition: the
+// objective, the edge, and the full alert verdict that caused it.
+type Transition struct {
+	Objective   string
+	Description string
+	From        State
+	To          State
+	At          time.Time
+	Alert       Alert
 }
 
 func (c *Config) fastWindow() time.Duration {
@@ -201,6 +218,11 @@ type Alert struct {
 	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
 	// Transitions counts state changes since engine start.
 	Transitions uint64 `json:"transitions"`
+	// LastTransition is when the state last changed — zero until the
+	// first change, unlike Since, which starts at engine construction.
+	// Dedup and flap-damping logic keys off it, which is what makes
+	// that logic testable against the injectable clock.
+	LastTransition time.Time `json:"last_transition,omitempty"`
 }
 
 // objectiveState is the engine's mutable per-objective record.
@@ -208,6 +230,7 @@ type objectiveState struct {
 	obj         Objective
 	state       State
 	since       time.Time
+	lastChange  time.Time
 	transitions uint64
 	lastAlert   Alert
 }
@@ -337,8 +360,8 @@ func (e *Engine) Evaluate() {
 	minSamples := e.cfg.minSamples()
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.evaluations.Inc()
+	var fired []Transition
 	warning, critical := 0, 0
 	for _, os := range e.objs {
 		o := &os.obj
@@ -366,15 +389,18 @@ func (e *Engine) Evaluate() {
 		} else {
 			a.NoData = true
 		}
+		prev := os.state
 		if next != os.state {
 			os.state = next
 			os.since = now
+			os.lastChange = now
 			os.transitions++
 			e.transitions.With(next.String()).Inc()
 		}
 		a.State = os.state.String()
 		a.Since = os.since
 		a.Transitions = os.transitions
+		a.LastTransition = os.lastChange
 		if os.state != StateOK {
 			a.ExemplarTraceID = e.exemplarFor(o)
 		}
@@ -385,9 +411,26 @@ func (e *Engine) Evaluate() {
 			critical++
 		}
 		os.lastAlert = a
+		if next != prev {
+			fired = append(fired, Transition{
+				Objective:   o.Name,
+				Description: o.Description,
+				From:        prev,
+				To:          next,
+				At:          now,
+				Alert:       a,
+			})
+		}
 	}
 	e.warnGauge.Set(int64(warning))
 	e.critGauge.Set(int64(critical))
+	cb := e.cfg.OnTransition
+	e.mu.Unlock()
+	if cb != nil {
+		for _, tr := range fired {
+			cb(tr)
+		}
+	}
 }
 
 // Alerts reads the latest verdict per objective, in declaration order.

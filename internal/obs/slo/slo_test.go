@@ -305,3 +305,72 @@ func TestAlertzHandler(t *testing.T) {
 		t.Fatalf("POST status %d, want 405", rec.Code)
 	}
 }
+
+func TestLastTransitionTimestampAndCallback(t *testing.T) {
+	st := timeseries.NewStore(64)
+	now := time.Unix(30000, 0)
+	var fired []Transition
+	e, err := New(Config{
+		Source:       st,
+		Objectives:   []Objective{availability()},
+		FastWindow:   5 * time.Second,
+		SlowWindow:   20 * time.Second,
+		Registry:     obs.NewRegistry(),
+		Now:          func() time.Time { return now },
+		OnTransition: func(tr Transition) { fired = append(fired, tr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy: no transition has ever happened, so LastTransition is
+	// zero while Since is the construction time.
+	now = fill(st, now, 25, 100, 0, 0)
+	e.Evaluate()
+	if a := e.Alerts()[0]; !a.LastTransition.IsZero() || a.Since.IsZero() {
+		t.Fatalf("healthy: last_transition %v since %v", a.LastTransition, a.Since)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("healthy pass fired %d transitions", len(fired))
+	}
+
+	// Fault: the transition is stamped with the injected clock and the
+	// callback sees the same edge.
+	now = fill(st, now, 25, 100, 50, 0)
+	tripAt := now
+	e.Evaluate()
+	a := e.Alerts()[0]
+	if !a.LastTransition.Equal(tripAt) {
+		t.Fatalf("fault: last_transition %v, want %v", a.LastTransition, tripAt)
+	}
+	if len(fired) != 1 || fired[0].From != StateOK || fired[0].To != StateCritical {
+		t.Fatalf("fired = %+v", fired)
+	}
+	if fired[0].Objective != "slo.read.availability" || !fired[0].At.Equal(tripAt) {
+		t.Fatalf("fired[0] = %+v", fired[0])
+	}
+	if fired[0].Alert.State != "critical" || !fired[0].Alert.LastTransition.Equal(tripAt) {
+		t.Fatalf("fired[0].Alert = %+v", fired[0].Alert)
+	}
+
+	// Steady state: no new transition, timestamp holds.
+	now = fill(st, now, 3, 100, 50, 0)
+	e.Evaluate()
+	if a := e.Alerts()[0]; !a.LastTransition.Equal(tripAt) {
+		t.Fatalf("steady: last_transition moved to %v", a.LastTransition)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("steady pass fired transitions: %+v", fired)
+	}
+
+	// Recovery fires the closing edge with a fresh timestamp.
+	now = fill(st, now, 60, 100, 0, 0)
+	clearAt := now
+	e.Evaluate()
+	if a := e.Alerts()[0]; !a.LastTransition.Equal(clearAt) {
+		t.Fatalf("recovered: last_transition %v, want %v", a.LastTransition, clearAt)
+	}
+	if len(fired) != 2 || fired[1].From != StateCritical || fired[1].To != StateOK {
+		t.Fatalf("fired = %+v", fired)
+	}
+}

@@ -214,3 +214,77 @@ func TestSamplerStartClose(t *testing.T) {
 	s2 := NewSampler(Config{Registry: reg})
 	s2.Close()
 }
+
+// TestStoreWrapExactlyAtCapacity pins the eviction boundary: tick
+// number cap keeps every point, tick cap+1 evicts exactly the oldest,
+// and Last/Window stay consistent across the wrap — the off-by-one a
+// modular ring gets wrong first.
+func TestStoreWrapExactlyAtCapacity(t *testing.T) {
+	const capacity = 5
+	st := NewStore(capacity)
+	sr := st.Ensure("wrap.bound.v", KindGauge)
+	base := time.Unix(8000, 0)
+
+	for i := 0; i < capacity; i++ {
+		st.Tick(base.Add(time.Duration(i) * time.Second))
+		sr.Set(float64(i))
+	}
+	pts := st.Snapshot(0)[0].Points
+	if len(pts) != capacity || pts[0].V != 0 || pts[capacity-1].V != capacity-1 {
+		t.Fatalf("at capacity: points %+v, want 0..%d intact", pts, capacity-1)
+	}
+
+	// One more tick: slot 0 is overwritten, nothing else moves.
+	st.Tick(base.Add(capacity * time.Second))
+	sr.Set(float64(capacity))
+	pts = st.Snapshot(0)[0].Points
+	if len(pts) != capacity || pts[0].V != 1 || pts[capacity-1].V != capacity {
+		t.Fatalf("past capacity: points %+v, want 1..%d", pts, capacity)
+	}
+	if v, ok := st.Last("wrap.bound.v"); !ok || v != capacity {
+		t.Errorf("Last across wrap = %v ok=%v, want %d", v, ok, capacity)
+	}
+	// A window spanning the whole ring sees exactly capacity samples —
+	// the wrapped-away point is gone, not double-counted.
+	if n := st.Window("wrap.bound.v", time.Hour, nil); n != capacity {
+		t.Errorf("full window across wrap = %d samples, want %d", n, capacity)
+	}
+}
+
+// TestSamplerRestartBaselinesAtCurrentValue models a sampler process
+// restart over a registry that kept counting: the first round after
+// construction must baseline at the current counter value — the
+// accumulated total is uptime, not rate — and a counter reset observed
+// after the restart still clamps to the post-reset value.
+func TestSamplerRestartBaselinesAtCurrentValue(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("test.restart.hits")
+	c.Add(5000) // history accumulated before this sampler existed
+
+	s := NewSampler(Config{Registry: reg, Interval: time.Second})
+	base := time.Unix(9000, 0)
+	s.SampleNow(base)
+	if v, ok := s.Store().Last("test.restart.hits"); !ok || v != 0 {
+		t.Fatalf("first post-restart rate = %v ok=%v, want 0 (no uptime spike)", v, ok)
+	}
+
+	// Normal increments rate as usual from the restart baseline.
+	c.Add(30)
+	s.SampleNow(base.Add(time.Second))
+	if v, ok := s.Store().Last("test.restart.hits"); !ok || v != 30 {
+		t.Fatalf("steady rate after restart = %v ok=%v, want 30", v, ok)
+	}
+
+	// A second restart mid-history: same guarantee holds with a fresh
+	// sampler over the same, further-advanced registry.
+	s2 := NewSampler(Config{Registry: reg, Interval: time.Second})
+	s2.SampleNow(base.Add(2 * time.Second))
+	if v, ok := s2.Store().Last("test.restart.hits"); !ok || v != 0 {
+		t.Fatalf("second restart rate = %v ok=%v, want 0", v, ok)
+	}
+	c.Add(7)
+	s2.SampleNow(base.Add(3 * time.Second))
+	if v, ok := s2.Store().Last("test.restart.hits"); !ok || v != 7 || v < 0 {
+		t.Errorf("rate after second restart = %v ok=%v, want 7 and never negative", v, ok)
+	}
+}

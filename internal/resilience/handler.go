@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hdmaps/internal/obs"
+	"hdmaps/internal/obs/eventlog"
 )
 
 // ClientIDHeader names the requesting client for per-client rate
@@ -78,6 +79,11 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Log receives structured request/shed records; nil discards them.
 	Log *slog.Logger
+	// Events, when set, receives cluster-journal entries for the
+	// handler's lifecycle edges: drain start, drain completion, and
+	// recovered handler panics. Typically the cluster router's journal
+	// so serving-layer faults share the /eventz timeline; nil discards.
+	Events *eventlog.Log
 }
 
 func (c Config) maxConcurrent() int64 {
@@ -161,6 +167,7 @@ type Handler struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	log     *slog.Logger
+	events  *eventlog.Log
 	metricz http.Handler
 	tracez  http.Handler
 	// latency is the per-request duration by route × status class,
@@ -207,6 +214,7 @@ func NewHandler(inner http.Handler, cfg Config) *Handler {
 		metrics:       reg,
 		tracer:        cfg.Tracer,
 		log:           obs.OrNop(cfg.Log),
+		events:        cfg.Events,
 		metricz:       obs.MetricsHandler(reg),
 		tracez:        obs.TracezHandler(cfg.Tracer),
 		stats:         newStats(reg),
@@ -242,8 +250,20 @@ func (h *Handler) Metrics() *obs.Registry { return h.metrics }
 // requests already in flight run to completion. Idempotent.
 func (h *Handler) StartDrain() {
 	h.mu.Lock()
+	first := !h.draining
 	h.draining = true
 	h.mu.Unlock()
+	if first {
+		h.event(eventlog.TypeDrainStart, "admission gate closed", "")
+	}
+}
+
+// event appends one entry to the shared cluster journal; a no-op when
+// no journal was configured.
+func (h *Handler) event(typ, detail, traceID string) {
+	if h.events != nil {
+		h.events.Append(typ, "", detail, traceID)
+	}
 }
 
 // Drain performs graceful shutdown of the handler: StartDrain, then
@@ -279,6 +299,7 @@ func (h *Handler) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-leadersDone:
+		h.event(eventlog.TypeDrainDone, "all in-flight requests and detached reads complete", "")
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("resilience: drain deadline with detached store reads still running: %w",
@@ -623,6 +644,8 @@ func (h *Handler) runInner(r *http.Request) (resp *capturedResponse, err error) 
 	defer func() {
 		if p := recover(); p != nil {
 			resp, err = nil, fmt.Errorf("handler panic: %v", p)
+			h.event(eventlog.TypeHandlerPanic, fmt.Sprintf("%s %s: %v", r.Method, r.URL.Path, p),
+				obs.SpanFromContext(r.Context()).TraceID())
 		}
 	}()
 	c := newCapture()

@@ -51,6 +51,11 @@ type BreakerConfig struct {
 	// Now is the clock; injectable for deterministic tests (default
 	// time.Now).
 	Now func() time.Time
+	// OnStateChange, when set, is invoked after every state transition
+	// (open, half-open, closed) with the breaker's own lock released —
+	// the hook may safely call back into the breaker or take other
+	// locks. The service uses it to journal trip/close events.
+	OnStateChange func(from, to BreakerState)
 }
 
 func (c *BreakerConfig) defaults() {
@@ -92,29 +97,33 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // now, transitioning open→half-open once the open period has elapsed.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	var admit bool
 	switch b.state {
 	case BreakerOpen:
 		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
 			b.state = BreakerHalfOpen
 			b.probes = 0
-			return true
+			admit = true
 		}
-		return false
 	default:
-		return true
+		admit = true
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return admit
 }
 
 // Record feeds the outcome of an admitted report back into the breaker.
 func (b *Breaker) Record(ok bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	switch b.state {
 	case BreakerHalfOpen:
 		if !ok {
 			b.trip()
-			return
+			break
 		}
 		b.probes++
 		if b.probes >= b.cfg.HalfOpenProbes {
@@ -129,12 +138,22 @@ func (b *Breaker) Record(ok bool) {
 			if b.fails >= b.cfg.FailThreshold {
 				b.trip()
 			}
-			return
+			break
 		}
 		b.streak++
 		if b.fails > 0 && b.streak%b.cfg.DecayEvery == 0 {
 			b.fails--
 		}
+	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// notify fires the state-change hook outside the lock.
+func (b *Breaker) notify(from, to BreakerState) {
+	if from != to && b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"hdmaps/internal/core"
 	"hdmaps/internal/obs"
+	"hdmaps/internal/obs/eventlog"
 	"hdmaps/internal/storage"
 	"hdmaps/internal/update/incremental"
 )
@@ -81,6 +82,12 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Log receives structured quarantine/commit records; nil discards.
 	Log *slog.Logger
+	// Events, when set, receives cluster-journal entries for the
+	// service's state transitions: commit-gate rejections, rollbacks,
+	// and per-source breaker trips/closes. Typically the router's
+	// journal (Router.EventLog) so ingest faults land on the same
+	// /eventz timeline as node deaths and alert edges; nil discards.
+	Events *eventlog.Log
 }
 
 func (c *Config) defaults() {
@@ -160,6 +167,7 @@ type Service struct {
 	log    *slog.Logger
 	om     serviceMetrics
 	tracer *obs.Tracer
+	events *eventlog.Log
 }
 
 // serviceMetrics are the registry-side instruments. Counters mirror
@@ -222,6 +230,7 @@ func NewService(store *VersionStore, cfg Config) (*Service, error) {
 		log:      obs.OrNop(cfg.Log),
 		om:       newServiceMetrics(reg),
 		tracer:   cfg.Tracer,
+		events:   cfg.Events,
 	}
 	if err := s.resetWorking(); err != nil {
 		return nil, err
@@ -257,7 +266,11 @@ func (s *Service) breaker(source string) *Breaker {
 	defer s.brMu.Unlock()
 	b, ok := s.breakers[source]
 	if !ok {
-		b = NewBreaker(s.cfg.Breaker)
+		bcfg := s.cfg.Breaker
+		bcfg.OnStateChange = func(from, to BreakerState) {
+			s.breakerEvent(source, from, to)
+		}
+		b = NewBreaker(bcfg)
 		s.breakers[source] = b
 	}
 	return b
@@ -270,6 +283,25 @@ func (s *Service) reportCtx(r Report) context.Context {
 		return context.Background()
 	}
 	return obs.WithTraceID(context.Background(), r.Trace)
+}
+
+// event appends one entry to the shared cluster journal; a no-op when
+// no journal was configured, so emission points never need a guard.
+func (s *Service) event(typ, node, detail, traceID string) {
+	if s.events != nil {
+		s.events.Append(typ, node, detail, traceID)
+	}
+}
+
+// breakerEvent journals a source breaker's trip/close edges. Half-open
+// is probation, not a verdict, so it is not journaled.
+func (s *Service) breakerEvent(source string, from, to BreakerState) {
+	switch to {
+	case BreakerOpen:
+		s.event(eventlog.TypeBreakerOpen, source, "tripped from "+from.String(), "")
+	case BreakerClosed:
+		s.event(eventlog.TypeBreakerClose, source, "recovered from "+from.String(), "")
+	}
 }
 
 // reject quarantines a report with full accounting: ring entry,
@@ -447,6 +479,7 @@ func (s *Service) commitLocked(note string, parent *obs.Span) error {
 		s.rejected.Add(1)
 		s.log.LogAttrs(context.Background(), slog.LevelWarn, "commit rejected",
 			slog.String("note", note), slog.String("error", err.Error()))
+		s.event(eventlog.TypeCommitReject, "", note+": "+err.Error(), parent.TraceID())
 		if rerr := s.resetWorking(); rerr != nil {
 			return errors.Join(err, rerr)
 		}
@@ -514,6 +547,7 @@ func (s *Service) Rollback(n int) (Version, error) {
 	s.om.rollbacks.Inc()
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, "rolled back",
 		slog.Int("steps", n), slog.Int("seq", v.Seq))
+	s.event(eventlog.TypeRollback, "", fmt.Sprintf("%d steps back to seq %d", n, v.Seq), "")
 	if err := s.resetWorking(); err != nil {
 		return v, err
 	}
